@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries: each
+ * binary regenerates one table or figure of the AMOS paper and prints
+ * the same rows/series the paper reports, with the paper's published
+ * values alongside where they exist (see EXPERIMENTS.md).
+ */
+
+#ifndef AMOS_BENCH_COMMON_HH
+#define AMOS_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "amos/amos.hh"
+#include "baselines/baselines.hh"
+#include "ops/conv_layers.hh"
+#include "support/math_utils.hh"
+#include "support/str_utils.hh"
+
+namespace amos {
+namespace bench {
+
+/** Achieved GFLOPS of an operator at a given latency. */
+inline double
+gflopsAt(const TensorComputation &comp, double ms)
+{
+    return static_cast<double>(comp.flopCount()) / (ms * 1e6);
+}
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Default tuning options for benches: modest but effective. */
+inline TuneOptions
+benchTuning(std::uint64_t seed = 2022)
+{
+    TuneOptions options;
+    options.population = 20;
+    options.generations = 8;
+    options.measureTopK = 6;
+    options.seed = seed;
+    return options;
+}
+
+/** Accumulator for geometric-mean speedups. */
+class GeoMean
+{
+  public:
+    void
+    add(double value)
+    {
+        _values.push_back(value);
+    }
+
+    double
+    value() const
+    {
+        return geometricMean(_values);
+    }
+
+  private:
+    std::vector<double> _values;
+};
+
+} // namespace bench
+} // namespace amos
+
+#endif // AMOS_BENCH_COMMON_HH

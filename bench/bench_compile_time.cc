@@ -1,0 +1,133 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the framework itself: mapping
+ * enumeration, Algorithm-1 validation, kernel lowering, simulation,
+ * functional mapped execution, and end-to-end tuning throughput.
+ * These measure the compiler, not the modelled hardware.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "explore/tuner.hh"
+#include "hw/hardware.hh"
+#include "isa/intrinsics.hh"
+#include "mapping/execute.hh"
+#include "mapping/generate.hh"
+#include "ops/conv_layers.hh"
+#include "ops/operators.hh"
+#include "schedule/profile.hh"
+#include "sim/simulator.hh"
+
+namespace amos {
+namespace {
+
+TensorComputation
+benchConv()
+{
+    return ops::resnet18ConvLayers(16)[5].build();
+}
+
+void
+BM_EnumerateMappings(benchmark::State &state)
+{
+    auto conv = benchConv();
+    auto intr = isa::wmma(16, 16, 16);
+    for (auto _ : state) {
+        auto mappings = enumerateMappings(conv, intr, {});
+        benchmark::DoNotOptimize(mappings);
+    }
+}
+BENCHMARK(BM_EnumerateMappings);
+
+void
+BM_ValidateMatching(benchmark::State &state)
+{
+    auto conv = benchConv();
+    auto intr = isa::wmma(16, 16, 16);
+    auto x = softwareAccessMatrix(conv);
+    auto z = intr.compute.accessMatrix();
+    auto y = BitMatrix::fromRows({
+        {1, 0, 1, 1, 0, 0, 0},
+        {0, 1, 0, 0, 0, 0, 0},
+        {0, 0, 0, 0, 1, 1, 1},
+    });
+    for (auto _ : state) {
+        auto res = validateMatching(x, y, z);
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_ValidateMatching);
+
+void
+BM_BuildMappingPlan(benchmark::State &state)
+{
+    auto conv = benchConv();
+    auto intr = isa::wmma(16, 16, 16);
+    ComputeMapping m;
+    m.groups = {{0, 2, 3}, {1}, {4, 5, 6}};
+    for (auto _ : state) {
+        MappingPlan plan(conv, intr, m);
+        benchmark::DoNotOptimize(plan);
+    }
+}
+BENCHMARK(BM_BuildMappingPlan);
+
+void
+BM_LowerAndSimulate(benchmark::State &state)
+{
+    auto conv = benchConv();
+    auto hw = hw::v100();
+    ComputeMapping m;
+    m.groups = {{0, 2, 3}, {1}, {4, 5, 6}};
+    MappingPlan plan(conv, hw.primaryIntrinsic(), m);
+    auto sched = expertSchedule(plan, hw);
+    for (auto _ : state) {
+        auto prof = lowerKernel(plan, sched, hw);
+        auto sim = simulateKernel(prof, hw);
+        benchmark::DoNotOptimize(sim);
+    }
+}
+BENCHMARK(BM_LowerAndSimulate);
+
+void
+BM_FunctionalMappedExecution(benchmark::State &state)
+{
+    ops::ConvParams pr;
+    pr.batch = 2;
+    pr.in_channels = 2;
+    pr.out_channels = 4;
+    pr.out_h = 4;
+    pr.out_w = 4;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    auto conv = ops::makeConv2d(pr);
+    ComputeMapping m;
+    m.groups = {{0, 2, 3}, {1}, {4, 5, 6}};
+    MappingPlan plan(conv, isa::wmmaTiny(), m);
+    for (auto _ : state) {
+        float err = mappedVsReferenceError(plan);
+        benchmark::DoNotOptimize(err);
+    }
+}
+BENCHMARK(BM_FunctionalMappedExecution);
+
+void
+BM_TuneConv(benchmark::State &state)
+{
+    auto conv = benchConv();
+    auto hw = hw::v100();
+    TuneOptions options;
+    options.population = 16;
+    options.generations = static_cast<int>(state.range(0));
+    options.measureTopK = 4;
+    for (auto _ : state) {
+        auto result = tune(conv, hw, options);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_TuneConv)->Arg(2)->Arg(8);
+
+} // namespace
+} // namespace amos
+
+BENCHMARK_MAIN();

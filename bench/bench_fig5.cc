@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fig. 5 reproduction: performance-model validation on the Tensor
+ * Core GPU using the ResNet-18 2D-convolution workload. Prints the
+ * exploration series (ground-truth vs model-predicted GFLOPS per
+ * step), the overall pairwise rank accuracy and top-40% recall, and
+ * the recall-vs-top-rate table (the paper's inset).
+ */
+
+#include "bench_common.hh"
+#include "explore/stats.hh"
+#include "explore/trace_io.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace amos;
+    bench::banner("Fig. 5: performance-model validation (V100, C2D)");
+
+    auto hw = hw::v100();
+    // The paper uses 2D convolution layers from ResNet-18; merge the
+    // traces of several layers for a ~100-step series.
+    std::vector<ExplorationStep> all_steps;
+    auto layers = ops::resnet18ConvLayers(16);
+
+    TextTable per_layer({"layer", "steps", "pairwise-acc",
+                         "top-40%-recall", "geo-rel-err"});
+    for (int idx : {1, 5, 8, 11}) {
+        const auto &layer = layers[static_cast<std::size_t>(idx)];
+        auto comp = layer.build();
+        TuneOptions options = bench::benchTuning(1000 + idx);
+        options.generations = 10;
+        options.measureTopK = 6;
+        auto result = tune(comp, hw, options);
+        if (argc > 1) {
+            writeTextFile(std::string(argv[1]) + "/fig5_" +
+                              layer.label + ".csv",
+                          traceToCsv(result.trace));
+        }
+        per_layer.addRow(
+            {layer.label, std::to_string(result.trace.size()),
+             fmtDouble(pairwiseAccuracy(result.trace), 3),
+             fmtDouble(topFractionRecall(result.trace, 0.4), 3),
+             fmtDouble(geoMeanRelativeError(result.trace), 2)});
+        double flops = static_cast<double>(comp.flopCount());
+        for (auto step : result.trace) {
+            // Re-key the series to GFLOPS as the paper plots it.
+            step.predictedCycles =
+                flops / (cyclesToMs(step.predictedCycles, hw) * 1e6);
+            step.measuredCycles =
+                flops / (cyclesToMs(step.measuredCycles, hw) * 1e6);
+            all_steps.push_back(step);
+        }
+    }
+    std::printf("%s", per_layer.toString().c_str());
+
+    // The exploration series (subsampled): ground truth vs model.
+    bench::banner("exploration series (GFLOPS)");
+    TextTable series({"step", "ground-truth", "model"});
+    for (std::size_t i = 0; i < all_steps.size(); i += 8) {
+        series.addRow({std::to_string(i),
+                       fmtDouble(all_steps[i].measuredCycles, 0),
+                       fmtDouble(all_steps[i].predictedCycles, 0)});
+    }
+    std::printf("%s", series.toString().c_str());
+
+    // Recall under different top rates (the paper's inset table:
+    // 0.25 / 0.706 / 0.808 / 0.914 / 0.864 / 0.846 for 0.1..0.6).
+    // Rank statistics are computed on cycles, so re-derive from the
+    // raw traces of one layer.
+    auto comp = layers[1].build();
+    auto result = tune(comp, hw, bench::benchTuning(77));
+    bench::banner("recall vs top rate (paper inset)");
+    TextTable recall({"top rate", "recall"});
+    for (double q : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+        recall.addRow(
+            {fmtDouble(q, 1),
+             fmtDouble(topFractionRecall(result.trace, q), 3)});
+    }
+    std::printf("%s", recall.toString().c_str());
+    std::printf(
+        "\nPaper: overall pairwise accuracy 85.7%%, top-40%% recall\n"
+        "91.4%%; predictions track the trend, not absolute values.\n");
+    return 0;
+}

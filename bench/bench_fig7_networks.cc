@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 7a-d reproduction: end-to-end network speedup of AMOS over
+ * the PyTorch library proxy on V100-like and A100-like accelerators
+ * at batch sizes 1 and 16.
+ */
+
+#include "bench_common.hh"
+#include "graph/network.hh"
+
+namespace amos {
+namespace {
+
+void
+runFor(const HardwareSpec &hw, std::int64_t batch)
+{
+    bench::banner("Fig. 7 " + hw.name + " BS=" +
+                  std::to_string(batch) +
+                  ": network speedup over PyTorch proxy");
+    NetworkCompileOptions options;
+    options.tuning = bench::benchTuning();
+    options.tuning.generations = 5;
+    options.tuning.maxMappings = 16;
+
+    std::vector<Network> nets = {
+        shuffleNet(batch),   resnet18(batch),  resnet50(batch),
+        mobileNetV1(batch),  bertBase(batch),  miLstm(batch),
+        transformer(batch),
+    };
+    TextTable table({"network", "pytorch(ms)", "amos(ms)",
+                     "speedup", "amos mapped", "total ops"});
+    for (const auto &net : nets) {
+        auto torch_res = compileNetwork(
+            net, hw, NetworkCompiler::PyTorch, options);
+        auto amos_res = compileNetwork(net, hw, NetworkCompiler::Amos,
+                                       options);
+        table.addRow({net.name, fmtDouble(torch_res.totalMs, 3),
+                      fmtDouble(amos_res.totalMs, 3),
+                      fmtDouble(torch_res.totalMs /
+                                    amos_res.totalMs,
+                                2),
+                      std::to_string(amos_res.mappedOps),
+                      std::to_string(amos_res.totalOps)});
+    }
+    std::printf("%s", table.toString().c_str());
+}
+
+} // namespace
+} // namespace amos
+
+int
+main()
+{
+    using namespace amos;
+    runFor(hw::v100(), 1);
+    runFor(hw::v100(), 16);
+    runFor(hw::a100(), 1);
+    runFor(hw::a100(), 16);
+    std::printf(
+        "\nPaper: speedups 0.91x..10.42x; the depthwise/grouped-\n"
+        "heavy nets (ShuffleNet, MobileNet) gain most, Bert the\n"
+        "least (GEMM is already optimal in libraries), and batch 1\n"
+        "gains exceed batch 16 (dispatch overheads amortise).\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 8b reproduction: absolute performance (GOPS) of AutoTVM and
+ * AMOS on the Mali G76 dot units for the seven MobileNet-V2 layer
+ * pairs (a C2D and its depthwise sibling per stage). AutoTVM's
+ * hand-written Bifrost template is less optimised for the dot
+ * intrinsic and fails outright on some depthwise layers.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace amos;
+    bench::banner(
+        "Fig. 8b: absolute GOPS on Mali G76 (AutoTVM vs AMOS)");
+
+    auto hw = hw::maliG76();
+    Compiler compiler(hw, bench::benchTuning());
+    TextTable table({"layer", "kind", "autotvm GOPS", "amos GOPS",
+                     "speedup"});
+
+    int idx = 0;
+    for (const auto &layer : ops::mobilenetV2Layers(1)) {
+        ++idx;
+        struct Case
+        {
+            const char *kind;
+            TensorComputation comp;
+        };
+        std::vector<Case> cases;
+        cases.push_back({"conv2d", layer.build()});
+        cases.push_back({"depthwise", layer.buildDepthwise()});
+        for (auto &c : cases) {
+            // AutoTVM's Bifrost template: scalar-unit code; on
+            // depthwise layers 2-4 the paper reports internal
+            // errors, which we model as an order-of-magnitude
+            // efficiency collapse of the generated kernel.
+            bool autotvm_broken =
+                std::string(c.kind) == "depthwise" &&
+                (idx >= 2 && idx <= 4);
+            auto autotvm = baselines::scalarExecution(
+                c.comp, hw, autotvm_broken ? 0.02 : 0.35,
+                "autotvm");
+            auto amos_res = compiler.compile(c.comp);
+            double autotvm_gops =
+                bench::gflopsAt(c.comp, autotvm.milliseconds);
+            double amos_gops =
+                bench::gflopsAt(c.comp, amos_res.milliseconds);
+            table.addRow(
+                {"L" + std::to_string(idx), c.kind,
+                 fmtDouble(autotvm_gops, 1),
+                 fmtDouble(amos_gops, 1),
+                 fmtDouble(amos_gops / autotvm_gops, 2)});
+        }
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf(
+        "\nPaper: AMOS reaches 392-1030 GOPS on conv2d against\n"
+        "18-34 for AutoTVM (up to 25.04x); depthwise layers 2-4\n"
+        "fail to compile under AutoTVM's template.\n");
+    return 0;
+}

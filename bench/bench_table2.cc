@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table 2 reproduction: how many operators of each real DNN the
+ * XLA-style pattern matcher maps to Tensor Core versus how many AMOS
+ * maps, with the failing-example category per network.
+ */
+
+#include "bench_common.hh"
+#include "graph/network.hh"
+
+namespace amos {
+namespace {
+
+struct Row
+{
+    Network net;
+    std::size_t paperTotal;
+    std::size_t paperXla;
+    std::size_t paperOurs;
+    const char *failedExample;
+};
+
+} // namespace
+} // namespace amos
+
+int
+main()
+{
+    using namespace amos;
+    bench::banner("Table 2: operators mapped to Tensor Core");
+
+    std::vector<Row> rows;
+    rows.push_back({shuffleNet(1), 70, 6, 50, "depthwise conv"});
+    rows.push_back({resnet50(1), 71, 15, 54, "strided conv"});
+    rows.push_back({mobileNetV1(1), 30, 7, 29, "grouped conv"});
+    rows.push_back({bertBase(1), 204, 42, 84, "part of attention"});
+    rows.push_back({miLstm(1), 11, 0, 9, "linear"});
+
+    auto hw = hw::v100();
+    NetworkCompileOptions options;
+    options.tuning = bench::benchTuning();
+    options.tuning.generations = 3;
+    options.tuning.maxMappings = 8;
+
+    TextTable table({"network", "total (paper)", "xla (paper)",
+                     "amos (paper)", "xla failed example"});
+    for (auto &row : rows) {
+        auto xla = compileNetwork(row.net, hw, NetworkCompiler::Xla,
+                                  options);
+        auto ours = compileNetwork(row.net, hw, NetworkCompiler::Amos,
+                                   options);
+        auto cell = [](int measured, std::size_t paper) {
+            return std::to_string(measured) + " (" +
+                   std::to_string(paper) + ")";
+        };
+        table.addRow({row.net.name,
+                      cell(ours.totalOps, row.paperTotal),
+                      cell(xla.mappedOps, row.paperXla),
+                      cell(ours.mappedOps, row.paperOurs),
+                      row.failedExample});
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf(
+        "\nAMOS maps every tensor operator; XLA's templates only\n"
+        "fire on exact GEMMs and stride-1 standard convolutions, so\n"
+        "depthwise/grouped/strided variants and batch-1 linears\n"
+        "(matrix-vector) fall back to the scalar units.\n");
+    return 0;
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * amos_cli — command-line front end to the compiler.
+ *
+ * Compile an operator for a modelled accelerator, optionally through
+ * a persistent tuning cache, list its valid mappings, or emit the
+ * generated C kernel.
+ *
+ * Examples:
+ *   amos_cli --op conv2d --batch 16 --cin 128 --cout 128 \
+ *            --size 28 --kernel 3 --hw v100
+ *   amos_cli --op gemm --m 512 --n 512 --k 512 --hw a100 \
+ *            --cache /tmp/tuning.json
+ *   amos_cli --op depthwise --batch 1 --cin 128 --size 28 \
+ *            --kernel 3 --hw mali --list-mappings
+ *   amos_cli --op conv2d --batch 2 --cin 4 --cout 8 --size 4 \
+ *            --kernel 3 --hw v100 --emit-c /tmp/kernel.c
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "amos/amos.hh"
+#include "codegen/codegen.hh"
+#include "mapping/generate.hh"
+
+namespace {
+
+using namespace amos;
+
+struct Args
+{
+    std::map<std::string, std::string> values;
+
+    std::int64_t
+    num(const std::string &key, std::int64_t fallback) const
+    {
+        auto it = values.find(key);
+        return it == values.end() ? fallback
+                                  : std::stoll(it->second);
+    }
+
+    std::string
+    str(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values.find(key);
+        return it == values.end() ? fallback : it->second;
+    }
+
+    bool
+    flag(const std::string &key) const
+    {
+        return values.count(key) > 0;
+    }
+};
+
+HardwareSpec
+pickHardware(const std::string &name)
+{
+    if (name == "v100")
+        return hw::v100();
+    if (name == "a100")
+        return hw::a100();
+    if (name == "xeon")
+        return hw::xeonSilver4110();
+    if (name == "mali")
+        return hw::maliG76();
+    if (name == "vaxpy")
+        return hw::virtualAxpyAccel();
+    if (name == "vgemv")
+        return hw::virtualGemvAccel();
+    if (name == "vconv")
+        return hw::virtualConvAccel();
+    fatal("unknown --hw '", name,
+          "' (v100|a100|xeon|mali|vaxpy|vgemv|vconv)");
+}
+
+TensorComputation
+pickOperator(const Args &args)
+{
+    std::string op = args.str("op", "conv2d");
+    ops::ConvParams pr;
+    pr.batch = args.num("batch", 1);
+    pr.in_channels = args.num("cin", 64);
+    pr.out_channels = args.num("cout", 64);
+    pr.out_h = pr.out_w = args.num("size", 14);
+    pr.kernel_h = pr.kernel_w = args.num("kernel", 3);
+    pr.stride = args.num("stride", 1);
+    pr.dilation = args.num("dilation", 1);
+
+    if (op == "gemm")
+        return ops::makeGemm(args.num("m", 256), args.num("n", 256),
+                             args.num("k", 256));
+    if (op == "gemv")
+        return ops::makeGemv(args.num("m", 1024),
+                             args.num("k", 1024));
+    if (op == "conv1d")
+        return ops::makeConv1d(pr.batch, pr.in_channels,
+                               pr.out_channels, args.num("size", 64),
+                               pr.kernel_h, pr.stride);
+    if (op == "conv2d")
+        return ops::makeConv2d(pr);
+    if (op == "conv3d")
+        return ops::makeConv3d(pr, args.num("depth", 8),
+                               args.num("kdepth", 3));
+    if (op == "depthwise")
+        return ops::makeDepthwiseConv2d(pr,
+                                        args.num("multiplier", 1));
+    if (op == "group")
+        return ops::makeGroupConv2d(pr, args.num("groups", 4));
+    if (op == "dilated")
+        return ops::makeDilatedConv2d(pr);
+    if (op == "transposed")
+        return ops::makeTransposedConv2d(pr);
+    fatal("unknown --op '", op, "'");
+}
+
+int
+runCli(const Args &args)
+{
+    auto hw = pickHardware(args.str("hw", "v100"));
+    auto comp = pickOperator(args);
+
+    std::printf("%s", comp.toString().c_str());
+    std::printf("target: %s\n\n", hw.name.c_str());
+
+    TuneOptions options;
+    options.generations =
+        static_cast<int>(args.num("generations", 8));
+    options.seed =
+        static_cast<std::uint64_t>(args.num("seed", 2022));
+    Compiler compiler(hw, options);
+
+    if (args.flag("list-mappings")) {
+        for (const auto &intr : hw.intrinsics) {
+            if (comp.inputs().size() != intr.compute.numSrcs() ||
+                comp.combine() != intr.compute.combine())
+                continue;
+            auto plans = enumeratePlans(comp, intr, {});
+            std::printf("%s: %zu valid mappings\n",
+                        intr.name().c_str(), plans.size());
+            for (const auto &plan : plans)
+                std::printf("  %s\n",
+                            plan.mapping()
+                                .signature(comp)
+                                .c_str());
+        }
+        return 0;
+    }
+
+    CompileResult result;
+    std::string cache_path = args.str("cache", "");
+    if (!cache_path.empty()) {
+        TuningCache cache;
+        std::ifstream probe(cache_path);
+        if (probe.good())
+            cache = TuningCache::loadFile(cache_path);
+        result = compiler.compileWithCache(comp, cache);
+        cache.saveFile(cache_path);
+        std::printf("tuning cache: %s (%zu entries)\n\n",
+                    cache_path.c_str(), cache.size());
+    } else {
+        result = compiler.compile(comp);
+    }
+
+    std::printf("%s", result.report().c_str());
+
+    std::string emit_path = args.str("emit-c", "");
+    if (!emit_path.empty()) {
+        expect(result.tensorized && result.tuning.bestPlan,
+               "--emit-c requires a tensorized result");
+        CodegenOptions cg;
+        cg.kernelName = "amos_kernel";
+        std::ofstream out(emit_path);
+        out << generateC(*result.tuning.bestPlan,
+                         result.tuning.bestSchedule, cg);
+        std::printf("\nwrote C kernel to %s\n", emit_path.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--", 2) != 0) {
+            std::fprintf(stderr, "unexpected argument '%s'\n", arg);
+            return 2;
+        }
+        std::string key = arg + 2;
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+            args.values[key] = argv[++i];
+        else
+            args.values[key] = "1";
+    }
+    try {
+        return runCli(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bring-your-own accelerator: define a brand-new spatial intrinsic
+ * through the hardware abstraction, wrap it into a hardware spec,
+ * and compile a real operator on it without writing any template —
+ * the Sec. 7.5 generality story.
+ *
+ * The custom unit below is an "outer-product engine": it computes
+ * Dst[i1, i2] += Src1[i1] * Src2[i2] over an 8x8 tile (a rank-1
+ * update, as in some analog in-memory-compute proposals).
+ *
+ * Run: ./build/examples/custom_accelerator
+ */
+
+#include <cstdio>
+
+#include "amos/amos.hh"
+
+int
+main()
+{
+    using namespace amos;
+
+    // 1. Compute abstraction: name the intrinsic iterations, their
+    //    extents (problem size), and each operand's index list.
+    ComputeAbstraction compute(
+        "outer_product_8x8",
+        {{"i1", 8, false}, {"i2", 8, false}},
+        {{"Src1", {0}, DataType::F16}, {"Src2", {1}, DataType::F16}},
+        {"Dst", {0, 1}, DataType::F32});
+
+    // 2. Memory abstraction: where each operand is staged.
+    MemoryAbstraction memory({
+        {"Src1", MemScope::Reg, MemScope::Shared},
+        {"Src2", MemScope::Reg, MemScope::Shared},
+        {"Dst", MemScope::Global, MemScope::Reg},
+    });
+
+    Intrinsic outer{std::move(compute), std::move(memory)};
+    outer.latencyCycles = 4.0;
+    outer.unitsPerSubcore = 2;
+    outer.regFileBytes = 32 * 1024;
+
+    // 3. A hardware spec around the intrinsic.
+    HardwareSpec accel;
+    accel.name = "OuterProductAccel";
+    accel.numCores = 24;
+    accel.subcoresPerCore = 2;
+    accel.clockGhz = 1.2;
+    accel.global = {"global", 0, 256.0, 256.0};
+    accel.shared = {"shared", 64 * 1024, 64.0, 32.0};
+    accel.reg = {"reg", 32 * 1024, 128.0, 128.0};
+    accel.launchOverheadCycles = 1500.0;
+    accel.maxBlocksPerCore = 8;
+    accel.scalarLanesPerCore = 8;
+    accel.intrinsics = {outer};
+    std::printf("%s\n", accel.toString().c_str());
+
+    // 4. Compile real workloads on it. An outer-product engine has
+    //    no reduction iteration, so only rank-1-style computations
+    //    map; watch which operators do.
+    Compiler compiler(accel);
+
+    struct Case
+    {
+        const char *name;
+        TensorComputation comp;
+    };
+    std::vector<Case> cases;
+    // A genuine rank-1 update: out[i,j] += a[i] * b[j].
+    {
+        IterVar i{Var("i"), 64, IterKind::Spatial};
+        IterVar j{Var("j"), 96, IterKind::Spatial};
+        TensorDecl a("a", {64});
+        TensorDecl b("b", {96});
+        TensorDecl out("out", {64, 96});
+        cases.push_back(
+            {"rank1_update",
+             TensorComputation("rank1", {i, j}, out, {i.var, j.var},
+                               {{a, {i.var}}, {b, {j.var}}})});
+    }
+    cases.push_back({"gemm_256", ops::makeGemm(256, 256, 256)});
+
+    for (auto &c : cases) {
+        std::printf("--- %s ---\n", c.name);
+        auto mappings = compiler.countMappings(c.comp);
+        std::printf("valid mappings: %zu\n", mappings);
+        auto result = compiler.compile(c.comp);
+        std::printf("%s\n", result.report().c_str());
+    }
+
+    std::printf(
+        "Both operators tensorize with no hand-written template\n"
+        "anywhere: the rank-1 update maps directly, and Algorithm 1\n"
+        "discovers that GEMM maps as a *sequence* of rank-1 updates\n"
+        "(the reduction iterator k stays an outer serial loop that\n"
+        "accumulates into the Dst tile) - exactly how outer-product\n"
+        "engines execute matrix multiplication.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: compile one operator with AMOS and inspect the result.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ *
+ * The flow mirrors Fig. 2 of the paper: define the software (a 2D
+ * convolution), pick a hardware target (the V100-like Tensor Core
+ * accelerator), and let the compiler enumerate, validate, and explore
+ * software-hardware mappings before reporting the winner.
+ */
+
+#include <cstdio>
+
+#include "amos/amos.hh"
+
+int
+main()
+{
+    using namespace amos;
+
+    // 1. The software definition: a ResNet-style 2D convolution.
+    ops::ConvParams params;
+    params.batch = 16;
+    params.in_channels = 128;
+    params.out_channels = 128;
+    params.out_h = 28;
+    params.out_w = 28;
+    params.kernel_h = 3;
+    params.kernel_w = 3;
+    auto conv = ops::makeConv2d(params);
+    std::printf("software definition:\n%s\n",
+                conv.toString().c_str());
+
+    // 2. The hardware target and its intrinsic, described through
+    //    the hardware abstraction.
+    auto target = hw::v100();
+    std::printf("hardware: %s\n", target.toString().c_str());
+    std::printf("compute abstraction:\n  %s\n\n",
+                target.primaryIntrinsic().compute.toString().c_str());
+
+    // 3. Compile: mapping generation -> validation -> exploration.
+    Compiler compiler(target);
+    auto result = compiler.compile(conv);
+
+    std::printf("compilation result:\n%s\n",
+                result.report().c_str());
+    std::printf("memory mapping:\n%s\n",
+                result.memoryMapping.c_str());
+    std::printf("generated kernel sketch:\n%s\n",
+                result.pseudoCode.c_str());
+    return 0;
+}

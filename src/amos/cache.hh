@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tuning cache: persist the outcome of mapping/schedule exploration
+ * so a production deployment tunes each (operator, hardware) pair
+ * once. Entries serialise the compute mapping (iterator groups), the
+ * schedule, and the winning intrinsic by name; they re-materialise
+ * into a MappingPlan for any structurally identical computation.
+ */
+
+#ifndef AMOS_AMOS_CACHE_HH
+#define AMOS_AMOS_CACHE_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "hw/hardware.hh"
+#include "mapping/mapping.hh"
+#include "schedule/schedule.hh"
+#include "support/json.hh"
+
+namespace amos {
+
+/// @name Mapping / schedule serialisation.
+/// @{
+Json mappingToJson(const ComputeMapping &mapping);
+ComputeMapping mappingFromJson(const Json &json);
+Json scheduleToJson(const Schedule &sched);
+Schedule scheduleFromJson(const Json &json);
+/// @}
+
+/** One persisted tuning outcome. */
+struct CacheEntry
+{
+    std::string intrinsicName;
+    ComputeMapping mapping;
+    Schedule schedule;
+    double cycles = 0.0;
+
+    Json toJson() const;
+    static CacheEntry fromJson(const Json &json);
+
+    /**
+     * Re-materialise the plan on a hardware spec; nullopt when the
+     * named intrinsic is absent or the mapping no longer validates.
+     */
+    std::optional<MappingPlan> instantiate(
+        const TensorComputation &comp, const HardwareSpec &hw) const;
+};
+
+/** File-backed map from workload keys to cache entries. */
+class TuningCache
+{
+  public:
+    /**
+     * Cache key of a workload: operator name, iterator extents, and
+     * hardware name (structure beyond extents is implied by the
+     * operator name for all library operators).
+     */
+    static std::string keyFor(const TensorComputation &comp,
+                              const HardwareSpec &hw);
+
+    bool contains(const std::string &key) const;
+    const CacheEntry &lookup(const std::string &key) const;
+    void insert(const std::string &key, CacheEntry entry);
+    std::size_t size() const { return _entries.size(); }
+
+    Json toJson() const;
+    static TuningCache fromJson(const Json &json);
+
+    /** Persist to / restore from a file (JSON document). */
+    void saveFile(const std::string &path) const;
+    static TuningCache loadFile(const std::string &path);
+
+  private:
+    std::map<std::string, CacheEntry> _entries;
+};
+
+} // namespace amos
+
+#endif // AMOS_AMOS_CACHE_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Baseline compilers/mappers the paper compares against, rebuilt as
+ * faithful proxies of their *mapping behaviour* (see DESIGN.md's
+ * substitution table):
+ *
+ *  - Library proxy (CuDNN / CuBLAS / PyTorch): one fixed im2col
+ *    mapping with an expert-chosen (untuned) schedule for the
+ *    standard operators; falls back to the scalar units for anything
+ *    exotic (depthwise/grouped/capsule/...).
+ *  - AMOS-fixM1 (im2col) and AMOS-fixM2 (fuse_hw): AMOS's schedule
+ *    tuner with the mapping pinned, exactly the Fig. 9 ablations.
+ *  - UNIT proxy: fuse_hw template (no batch dimension in i1),
+ *    template-fixed schedule exploration.
+ *  - AutoTVM proxy: layout-gated — its hand-written templates only
+ *    fire on the expected layout, otherwise CUDA-core fallback; the
+ *    "Expert" variant adds the missing template (im2col, tuned).
+ *  - Ansor proxy: no tensorization rules at all, but the best scalar
+ *    schedules of the bunch.
+ *  - XLA proxy: IR pattern matcher that accepts only exact GEMM and
+ *    stride-1 standard convolutions (Table 2's mechanism).
+ */
+
+#ifndef AMOS_BASELINES_BASELINES_HH
+#define AMOS_BASELINES_BASELINES_HH
+
+#include <optional>
+#include <string>
+
+#include "explore/tuner.hh"
+#include "hw/hardware.hh"
+#include "tensor/computation.hh"
+
+namespace amos {
+namespace baselines {
+
+/** Outcome of compiling one operator with one baseline. */
+struct BaselineResult
+{
+    std::string baseline;
+    bool tensorized = false;
+    double cycles = 0.0;
+    double milliseconds = 0.0;
+    std::string mappingSignature; ///< empty when not tensorized
+};
+
+/**
+ * Fixed-mapping rules used by templates and libraries.
+ */
+enum class FixedMapping
+{
+    /// im2col: fuse every compatible iteration into each intrinsic
+    /// iteration (n,p,q -> i1; c,r,s -> r1 for C2D). CuDNN's choice,
+    /// and the paper's AMOS-fixM1.
+    Im2col,
+    /// fuse_hw: only the output spatial dims feed i1 and only the
+    /// channel feeds r1 (p,q -> i1; c -> r1). UNIT's template, and
+    /// the paper's AMOS-fixM2.
+    FuseHW,
+};
+
+/**
+ * Build the pinned mapping a rule produces for a computation, or
+ * nullopt when the rule cannot be instantiated (no valid mapping).
+ */
+std::optional<MappingPlan> buildFixedMapping(
+    const TensorComputation &comp, const Intrinsic &intr,
+    FixedMapping rule);
+
+/** Library proxy (PyTorch / CuDNN / CuBLAS). */
+BaselineResult libraryProxy(const TensorComputation &comp,
+                            const HardwareSpec &hw);
+
+/** AMOS with the mapping pinned to a rule (Fig. 9's fixM1/fixM2). */
+BaselineResult amosFixedMapping(const TensorComputation &comp,
+                                const HardwareSpec &hw,
+                                FixedMapping rule,
+                                const TuneOptions &options = {});
+
+/** UNIT proxy: fuse_hw, batch never mapped, template schedule. */
+BaselineResult unitProxy(const TensorComputation &comp,
+                         const HardwareSpec &hw);
+
+/**
+ * Structural layout detector: true iff a convolution-shaped
+ * computation stores channels last (NHWC image + RSCK weights) —
+ * the layout AutoTVM's stock Tensor Core templates expect.
+ */
+bool isChannelsLast(const TensorComputation &comp);
+
+/**
+ * AutoTVM proxy. Its hand-written templates are layout-gated: they
+ * fire on channels-last (NHWC) operators and fall back to the
+ * scalar units otherwise (the Sec. 7.3 layout-sensitivity result).
+ * @param expert_template When true, models "AutoTVM-Expert": a
+ *        hand-added NCHW template (im2col mapping, schedule tuning
+ *        with a modest budget) that removes the layout gate.
+ */
+BaselineResult autoTvmProxy(const TensorComputation &comp,
+                            const HardwareSpec &hw,
+                            bool expert_template = false);
+
+/** Ansor proxy: scalar-only, but with strong scalar schedules. */
+BaselineResult ansorProxy(const TensorComputation &comp,
+                          const HardwareSpec &hw);
+
+/**
+ * XLA-style pattern matcher: true iff the computation structurally
+ * matches one of the hand-written Tensor Core patterns (exact GEMM,
+ * or standard stride-1 non-grouped convolution).
+ */
+bool xlaPatternMatches(const TensorComputation &comp);
+
+/** XLA proxy: pattern-matched ops go to the library, rest scalar. */
+BaselineResult xlaProxy(const TensorComputation &comp,
+                        const HardwareSpec &hw);
+
+/** Scalar execution of an operator on the general-purpose lanes. */
+BaselineResult scalarExecution(const TensorComputation &comp,
+                               const HardwareSpec &hw,
+                               double efficiency,
+                               const std::string &label);
+
+/** Total cold global traffic of an operator (inputs + output). */
+double operatorBytes(const TensorComputation &comp);
+
+} // namespace baselines
+} // namespace amos
+
+#endif // AMOS_BASELINES_BASELINES_HH

@@ -1,0 +1,257 @@
+#include "codegen.hh"
+
+#include <sstream>
+
+#include "ir/affine.hh"
+#include "mapping/verify_bounds.hh"
+#include "support/logging.hh"
+#include "support/str_utils.hh"
+
+namespace amos {
+
+namespace {
+
+/** Flattened row-major address expression of a software access. */
+Expr
+flatAddressExpr(const TensorDecl &decl,
+                const std::vector<Expr> &indices)
+{
+    auto strides = decl.strides();
+    Expr addr(std::int64_t{0});
+    for (std::size_t d = 0; d < indices.size(); ++d)
+        addr = addr + indices[d] * Expr(strides[d]);
+    return addr;
+}
+
+/** C identifier for a software iterator. */
+std::string
+iterName(const TensorComputation &comp, std::size_t s)
+{
+    return "s_" + comp.iters()[s].name();
+}
+
+/**
+ * Render an Expr as C, mapping every VarNode to its iterator's C
+ * identifier. All index values are non-negative, so C's `/` and `%`
+ * agree with floordiv/floormod.
+ */
+std::string
+renderExpr(const TensorComputation &comp, const Expr &expr)
+{
+    Expr rewritten = expr;
+    std::unordered_map<const VarNode *, Expr> renames;
+    for (std::size_t s = 0; s < comp.numIters(); ++s)
+        renames[comp.iters()[s].var.node()] =
+            Expr(Var(iterName(comp, s)));
+    rewritten = substitute(expr, renames);
+    return exprToString(rewritten);
+}
+
+/** Emit `for (long v = 0; v < extent; ++v) {`. */
+void
+openLoop(std::ostringstream &out, const std::string &indent,
+         const std::string &var, std::int64_t extent,
+         const std::string &note = "")
+{
+    out << indent << "for (long " << var << " = 0; " << var << " < "
+        << extent << "; ++" << var << ") {" << note << "\n";
+}
+
+} // namespace
+
+std::string
+generateC(const MappingPlan &plan, const Schedule &sched,
+          const CodegenOptions &options)
+{
+    require(plan.valid(), "generateC: invalid mapping plan");
+    auto bounds = verifyPlanBounds(plan);
+    require(bounds.ok, "generateC: plan fails static bounds "
+            "verification: ", bounds.failure);
+    const auto &comp = plan.computation();
+    const auto &intr = plan.intrinsic().compute;
+    const auto &operands = plan.operands();
+    const auto &axes = plan.outerAxes();
+    require(sched.axes.size() == axes.size(),
+            "generateC: schedule shape mismatch");
+
+    auto phys = plan.physicalComputeExprs();
+
+    std::ostringstream out;
+    if (options.comments) {
+        out << "/* " << comp.name() << " via " << intr.name()
+            << "\n * mapping: "
+            << plan.mapping().signature(comp) << "\n * compute:  "
+            << plan.computeMappingString() << "\n * schedule: "
+            << sched.toString() << "\n */\n";
+    }
+    out << "#include <stdlib.h>\n#include <string.h>\n\n";
+
+    // --- Scalar emulation of one intrinsic call over packed tiles.
+    out << "static void intrinsic_tile(";
+    for (std::size_t m = 0; m < operands.size(); ++m) {
+        bool is_dst = m + 1 == operands.size();
+        out << (is_dst ? "float *dst" : "const float *src")
+            << (is_dst ? std::string()
+                       : std::to_string(m + 1))
+            << (is_dst ? ")\n{\n" : ", ");
+    }
+    for (std::size_t k = 0; k < intr.numIters(); ++k) {
+        out << std::string(4 * (k + 1), ' ') << "for (long "
+            << intr.iters()[k].name << " = 0; "
+            << intr.iters()[k].name << " < "
+            << intr.iters()[k].extent << "; ++"
+            << intr.iters()[k].name << ")\n";
+    }
+    auto tile_offset = [&](const IntrinsicOperand &op) {
+        std::string offset = "0";
+        for (auto k : op.iterIndices)
+            offset = "(" + offset + " * " +
+                     std::to_string(intr.iters()[k].extent) + " + " +
+                     intr.iters()[k].name + ")";
+        return offset;
+    };
+    out << std::string(4 * (intr.numIters() + 1), ' ');
+    out << "dst[" << tile_offset(intr.dst()) << "] += ";
+    switch (comp.combine()) {
+      case CombineKind::MultiplyAdd:
+        out << "src1[" << tile_offset(intr.srcs()[0]) << "] * src2["
+            << tile_offset(intr.srcs()[1]) << "];\n";
+        break;
+      case CombineKind::SumReduce:
+        out << "src1[" << tile_offset(intr.srcs()[0]) << "];\n";
+        break;
+    }
+    out << "}\n\n";
+
+    // --- The kernel.
+    out << "void " << options.kernelName
+        << "(const float **inputs, float *output)\n{\n";
+
+    // Packed buffers (calloc: trailing padding must read as zero).
+    for (std::size_t m = 0; m < operands.size(); ++m) {
+        const auto &op = operands[m];
+        out << "    float *packed" << m << " = (float *)calloc("
+            << op.numTiles * op.tileElems << ", sizeof(float));";
+        if (options.comments)
+            out << " /* " << op.name << ": " << op.numTiles
+                << " tiles x " << op.tileElems << " */";
+        out << "\n";
+    }
+    out << "\n";
+
+    // Stage 1: pack the inputs over the full software domain.
+    if (options.comments)
+        out << "    /* stage inputs into the tiled layout (memory"
+               " mapping) */\n";
+    std::string indent = "    ";
+    for (std::size_t s = 0; s < comp.numIters(); ++s) {
+        openLoop(out, indent, iterName(comp, s),
+                 comp.iters()[s].extent);
+        indent += "    ";
+    }
+    for (std::size_t m = 0; m < comp.inputs().size(); ++m) {
+        const auto &op = operands[m];
+        const auto &in = comp.inputs()[m];
+        Expr offset(std::int64_t{0});
+        for (auto k : op.intrinsicIters)
+            offset = offset * Expr(intr.iters()[k].extent) + phys[k];
+        out << indent << "packed" << m << "["
+            << renderExpr(comp, op.baseAddress + offset)
+            << "] = inputs[" << m << "]["
+            << renderExpr(comp, flatAddressExpr(in.decl, in.indices))
+            << "];\n";
+    }
+    for (std::size_t s = comp.numIters(); s-- > 0;) {
+        indent.resize(indent.size() - 4);
+        out << indent << "}\n";
+    }
+    out << "\n";
+
+    // Stage 2: outer loop nest over the axes, one intrinsic call per
+    // tile. Tile bases are flattened dependent-axis coordinates.
+    if (options.comments)
+        out << "    /* tiled compute (outer axes x intrinsic"
+               " calls) */\n";
+    indent = "    ";
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+        std::string note;
+        if (options.comments) {
+            if (sched.axes[a].blockFactor > 1)
+                note += " /* bind blockIdx x" +
+                        std::to_string(sched.axes[a].blockFactor) +
+                        " */";
+            if (sched.axes[a].warpFactor > 1)
+                note += " /* bind warpIdx x" +
+                        std::to_string(sched.axes[a].warpFactor) +
+                        " */";
+        }
+        openLoop(out, indent, "ax" + std::to_string(a),
+                 axes[a].extent, note);
+        indent += "    ";
+    }
+    auto axis_base = [&](const MappingPlan::OperandInfo &op) {
+        // Accumulate from the innermost dependent axis outwards.
+        std::vector<std::string> terms;
+        std::int64_t running = op.tileElems;
+        for (std::size_t pos = op.dependentAxes.size(); pos-- > 0;) {
+            std::size_t a = op.dependentAxes[pos];
+            terms.push_back("ax" + std::to_string(a) + " * " +
+                            std::to_string(running));
+            running *= axes[a].extent;
+        }
+        if (terms.empty())
+            return std::string("0");
+        return join(terms, " + ");
+    };
+    out << indent << "intrinsic_tile(";
+    for (std::size_t m = 0; m < operands.size(); ++m) {
+        out << "packed" << m << " + (" << axis_base(operands[m])
+            << ")";
+        out << (m + 1 < operands.size() ? ", " : ");\n");
+    }
+    for (std::size_t a = axes.size(); a-- > 0;) {
+        indent.resize(indent.size() - 4);
+        out << indent << "}\n";
+    }
+    out << "\n";
+
+    // Stage 3: masked unpack of the output.
+    if (options.comments)
+        out << "    /* unpack the accumulator (masked store) */\n";
+    const auto &dst_op = operands.back();
+    indent = "    ";
+    for (std::size_t s = 0; s < comp.numIters(); ++s) {
+        // Reduction iterators do not address the output: fix at 0.
+        if (comp.iters()[s].kind == IterKind::Reduction) {
+            out << indent << "{ const long " << iterName(comp, s)
+                << " = 0;\n";
+            indent += "    ";
+            continue;
+        }
+        openLoop(out, indent, iterName(comp, s),
+                 comp.iters()[s].extent);
+        indent += "    ";
+    }
+    Expr dst_offset(std::int64_t{0});
+    for (auto k : dst_op.intrinsicIters)
+        dst_offset =
+            dst_offset * Expr(intr.iters()[k].extent) + phys[k];
+    out << indent << "output["
+        << renderExpr(comp,
+                      flatAddressExpr(comp.output(),
+                                      comp.outputIndices()))
+        << "] = packed" << operands.size() - 1 << "["
+        << renderExpr(comp, dst_op.baseAddress + dst_offset)
+        << "];\n";
+    for (std::size_t s = comp.numIters(); s-- > 0;) {
+        indent.resize(indent.size() - 4);
+        out << indent << "}\n";
+    }
+    out << "\n";
+    for (std::size_t m = 0; m < operands.size(); ++m)
+        out << "    free(packed" << m << ");\n";
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace amos

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Code generation backend: lower a mapped, scheduled kernel into a
+ * self-contained, compilable C source file.
+ *
+ * The original AMOS emits CUDA/LLVM through TVM; without a GPU this
+ * backend emits portable C with a scalar emulation of the intrinsic,
+ * preserving the *structure* the mapping dictates:
+ *
+ *   - packing loops that stage every operand into the tiled layout
+ *     of the memory abstraction (base-address + stride expressions,
+ *     zero-filled trailing padding),
+ *   - the outer loop nest over unmapped iterations and tile
+ *     quotients, annotated with the schedule's block/warp bindings,
+ *   - one intrinsic call per tile, emulated as the scalar loops of
+ *     the compute abstraction over packed tiles,
+ *   - masked unpacking of the output accumulators.
+ *
+ * The emitted kernel has the signature
+ *     void <name>(const float **inputs, float *output);
+ * and is verified end to end in tests by compiling it with the host
+ * compiler, loading it with dlopen, and comparing against the
+ * reference interpreter.
+ */
+
+#ifndef AMOS_CODEGEN_CODEGEN_HH
+#define AMOS_CODEGEN_CODEGEN_HH
+
+#include <string>
+
+#include "mapping/mapping.hh"
+#include "schedule/schedule.hh"
+
+namespace amos {
+
+/** Options for the C backend. */
+struct CodegenOptions
+{
+    /** Exported (extern "C") symbol name of the kernel. */
+    std::string kernelName = "amos_kernel";
+
+    /** Emit explanatory comments (mapping, schedule, shapes). */
+    bool comments = true;
+};
+
+/**
+ * Generate a complete C translation unit implementing the mapped
+ * kernel. Panics if the plan is invalid.
+ */
+std::string generateC(const MappingPlan &plan, const Schedule &sched,
+                      const CodegenOptions &options = {});
+
+} // namespace amos
+
+#endif // AMOS_CODEGEN_CODEGEN_HH

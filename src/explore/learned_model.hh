@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Learned cost model (the "Learn Algo." box of the paper's Fig. 2):
+ * a ridge regression over kernel-profile features, trained online on
+ * the (profile, measured-cycles) pairs the tuner accumulates, and
+ * stacked on top of the analytic model (whose prediction is itself a
+ * feature). Mirrors the statistical-cost-model-plus-analysis recipe
+ * of AutoTVM/Ansor that AMOS plugs into.
+ */
+
+#ifndef AMOS_EXPLORE_LEARNED_MODEL_HH
+#define AMOS_EXPLORE_LEARNED_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/hardware.hh"
+#include "schedule/profile.hh"
+
+namespace amos {
+
+/** Online ridge-regression cost model over profile features. */
+class LearnedModel
+{
+  public:
+    /**
+     * Feature vector of a kernel profile: log-scaled structural and
+     * traffic quantities plus the analytic model's estimate.
+     */
+    static std::vector<double> features(const KernelProfile &prof,
+                                        const HardwareSpec &hw);
+
+    /** Number of features (including the bias term). */
+    static std::size_t featureCount();
+
+    /** Record one measured sample. */
+    void addSample(const KernelProfile &prof, const HardwareSpec &hw,
+                   double measured_cycles);
+
+    /**
+     * Fit ridge regression on log(cycles). No-op below the minimum
+     * sample count.
+     */
+    void fit(double ridge = 1e-3);
+
+    /** True once fit() has produced usable weights. */
+    bool trained() const { return _trained; }
+
+    std::size_t sampleCount() const { return _targets.size(); }
+
+    /**
+     * Predict cycles for a profile. Falls back to the analytic model
+     * until trained.
+     */
+    double predictCycles(const KernelProfile &prof,
+                         const HardwareSpec &hw) const;
+
+    /** Minimum samples before fit() produces weights. */
+    static constexpr std::size_t kMinSamples = 8;
+
+  private:
+    std::vector<std::vector<double>> _samples;
+    std::vector<double> _targets; ///< log(cycles)
+    std::vector<double> _weights;
+    bool _trained = false;
+};
+
+} // namespace amos
+
+#endif // AMOS_EXPLORE_LEARNED_MODEL_HH

@@ -1,0 +1,94 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/math_utils.hh"
+
+namespace amos {
+
+double
+pairwiseAccuracy(const std::vector<ExplorationStep> &trace)
+{
+    if (trace.size() < 2)
+        return 1.0;
+    std::size_t agree = 0, total = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        for (std::size_t j = i + 1; j < trace.size(); ++j) {
+            double dp = trace[i].predictedCycles -
+                        trace[j].predictedCycles;
+            double dm = trace[i].measuredCycles -
+                        trace[j].measuredCycles;
+            if (dp == 0.0 || dm == 0.0)
+                continue; // ties carry no ordering information
+            ++total;
+            agree += (dp > 0) == (dm > 0);
+        }
+    }
+    return total == 0 ? 1.0
+                      : static_cast<double>(agree) /
+                            static_cast<double>(total);
+}
+
+double
+topFractionRecall(const std::vector<ExplorationStep> &trace,
+                  double fraction)
+{
+    require(fraction > 0.0 && fraction <= 1.0,
+            "topFractionRecall: fraction must be in (0, 1], got ",
+            fraction);
+    if (trace.empty())
+        return 1.0;
+
+    std::size_t n = trace.size();
+    std::size_t k = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(n)));
+    k = std::max<std::size_t>(1, std::min(k, n));
+
+    auto ranked_by = [&](bool by_measured) {
+        std::vector<std::size_t> order(n);
+        for (std::size_t i = 0; i < n; ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      double va = by_measured
+                                      ? trace[a].measuredCycles
+                                      : trace[a].predictedCycles;
+                      double vb = by_measured
+                                      ? trace[b].measuredCycles
+                                      : trace[b].predictedCycles;
+                      return va < vb;
+                  });
+        order.resize(k);
+        return order;
+    };
+
+    auto true_top = ranked_by(true);
+    auto pred_top = ranked_by(false);
+    std::size_t hit = 0;
+    for (auto t : true_top)
+        hit += std::find(pred_top.begin(), pred_top.end(), t) !=
+               pred_top.end();
+    return static_cast<double>(hit) / static_cast<double>(k);
+}
+
+double
+geoMeanRelativeError(const std::vector<ExplorationStep> &trace)
+{
+    if (trace.empty())
+        return 1.0;
+    std::vector<double> ratios;
+    ratios.reserve(trace.size());
+    for (const auto &step : trace) {
+        double hi = std::max(step.predictedCycles,
+                             step.measuredCycles);
+        double lo = std::min(step.predictedCycles,
+                             step.measuredCycles);
+        if (lo > 0.0)
+            ratios.push_back(hi / lo);
+    }
+    return ratios.empty() ? 1.0 : geometricMean(ratios);
+}
+
+} // namespace amos

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Exploration statistics for the model-validation experiment
+ * (Fig. 5): pairwise rank accuracy between predicted and measured
+ * performance, and top-k recall of the model's ranking.
+ */
+
+#ifndef AMOS_EXPLORE_STATS_HH
+#define AMOS_EXPLORE_STATS_HH
+
+#include <vector>
+
+#include "explore/tuner.hh"
+
+namespace amos {
+
+/**
+ * Pairwise (rank) accuracy: over all pairs of trace entries, the
+ * fraction whose predicted ordering matches the measured ordering.
+ * Returns 1.0 for fewer than two entries.
+ */
+double pairwiseAccuracy(const std::vector<ExplorationStep> &trace);
+
+/**
+ * Recall of the model's top fraction: of the truly (measured) best
+ * ceil(q*n) entries, the fraction the model also places in its best
+ * ceil(q*n). Returns 1.0 for an empty trace.
+ */
+double topFractionRecall(const std::vector<ExplorationStep> &trace,
+                         double fraction);
+
+/**
+ * Relative error statistics of predicted vs measured cycles:
+ * geometric mean of max(pred,meas)/min(pred,meas).
+ */
+double geoMeanRelativeError(
+    const std::vector<ExplorationStep> &trace);
+
+} // namespace amos
+
+#endif // AMOS_EXPLORE_STATS_HH

@@ -1,0 +1,33 @@
+#include "trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace amos {
+
+std::string
+traceToCsv(const std::vector<ExplorationStep> &trace)
+{
+    std::ostringstream out;
+    out << "step,mapping,predicted_cycles,measured_cycles,"
+           "best_cycles\n";
+    for (const auto &step : trace) {
+        out << step.step << "," << step.mappingIndex << ","
+            << step.predictedCycles << "," << step.measuredCycles
+            << "," << step.bestSoFarCycles << "\n";
+    }
+    return out.str();
+}
+
+void
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    expect(out.good(), "writeTextFile: cannot open ", path);
+    out << content;
+    expect(out.good(), "writeTextFile: failed writing ", path);
+}
+
+} // namespace amos

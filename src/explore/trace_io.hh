@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Exploration-trace export: CSV serialisation of the tuner's
+ * predicted/measured series so the paper's figures can be re-plotted
+ * from bench output (`bench_fig5 <dir>` writes one CSV per layer).
+ */
+
+#ifndef AMOS_EXPLORE_TRACE_IO_HH
+#define AMOS_EXPLORE_TRACE_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "explore/tuner.hh"
+
+namespace amos {
+
+/**
+ * Render a trace as CSV with a header row:
+ * step,mapping,predicted_cycles,measured_cycles,best_cycles
+ */
+std::string traceToCsv(const std::vector<ExplorationStep> &trace);
+
+/** Write a text file, raising fatal() on I/O failure. */
+void writeTextFile(const std::string &path,
+                   const std::string &content);
+
+} // namespace amos
+
+#endif // AMOS_EXPLORE_TRACE_IO_HH

@@ -1,0 +1,304 @@
+#include "tuner.hh"
+
+#include "explore/learned_model.hh"
+#include "schedule/profile.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace amos {
+
+namespace {
+
+/** One member of the genetic population. */
+struct Candidate
+{
+    std::size_t mappingIndex = 0;
+    Schedule schedule;
+    double modelCycles = std::numeric_limits<double>::infinity();
+    double simCycles = std::numeric_limits<double>::quiet_NaN();
+
+    bool measured() const { return !std::isnan(simCycles); }
+
+    /** Fitness key: measured cycles when known, model otherwise. */
+    double
+    fitness() const
+    {
+        return measured() ? simCycles : modelCycles;
+    }
+};
+
+} // namespace
+
+TuneResult
+tuneWithPlans(const std::vector<MappingPlan> &plans,
+              const HardwareSpec &hw, const TuneOptions &options)
+{
+    TuneResult result;
+    if (plans.empty())
+        return result;
+    result.tensorizable = true;
+    result.numMappings = plans.size();
+
+    Rng rng(options.seed);
+
+    // --- Stage 0 (the paper's Sec. 5.3 flow): enumerate every
+    // mapping, pair each with the expert schedule heuristic, and let
+    // the performance model screen the whole pool; random samples
+    // add schedule diversity. The best-predicted candidates are
+    // measured and the population is trimmed by fitness.
+    std::vector<Candidate> population;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        Candidate c;
+        c.mappingIndex = i;
+        c.schedule = expertSchedule(plans[i], hw);
+        population.push_back(std::move(c));
+    }
+    for (int i = 0; i < options.population; ++i) {
+        Candidate c;
+        c.mappingIndex = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(plans.size()) - 1));
+        c.schedule = sampleSchedule(plans[c.mappingIndex], rng);
+        population.push_back(std::move(c));
+    }
+
+    double best_cycles = std::numeric_limits<double>::infinity();
+    Candidate best;
+    SimResult best_sim;
+    int step = 0;
+
+    LearnedModel learned;
+    auto evaluate_model = [&](Candidate &c) {
+        auto prof = lowerKernel(plans[c.mappingIndex], c.schedule, hw);
+        c.modelCycles = options.useLearnedModel && learned.trained()
+                            ? learned.predictCycles(prof, hw)
+                            : modelCycles(prof, hw);
+    };
+
+    std::unordered_map<std::size_t, double> mapping_best;
+    auto measure = [&](Candidate &c) {
+        auto prof = lowerKernel(plans[c.mappingIndex], c.schedule, hw);
+        auto sim = simulateKernel(prof, hw);
+        c.simCycles = sim.cycles;
+        ++result.measurements;
+        if (options.useLearnedModel && sim.schedulable)
+            learned.addSample(prof, hw, sim.cycles);
+        if (sim.schedulable) {
+            auto it = mapping_best.find(c.mappingIndex);
+            if (it == mapping_best.end() || sim.cycles < it->second)
+                mapping_best[c.mappingIndex] = sim.cycles;
+        }
+        if (sim.schedulable && sim.cycles < best_cycles) {
+            best_cycles = sim.cycles;
+            best = c;
+            best_sim = sim;
+        }
+        if (std::isfinite(c.modelCycles) &&
+            std::isfinite(sim.cycles)) {
+            result.trace.push_back({++step, c.mappingIndex,
+                                    c.modelCycles, sim.cycles,
+                                    best_cycles});
+        }
+    };
+
+    // The oversized stage-0 pool shrinks through selection until the
+    // working population size is reached.
+    for (int gen = 0; gen < options.generations; ++gen) {
+        for (auto &c : population)
+            evaluate_model(c);
+
+        // Model screening: measure the best-predicted unmeasured
+        // candidates on the simulator.
+        std::vector<std::size_t> order(population.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return population[a].modelCycles <
+                             population[b].modelCycles;
+                  });
+        // The screening generation measures every mapping once (the
+        // paper enumerates all valid mappings and evaluates each):
+        // AMOS's total budget scales with the pool size, while the
+        // fixed-mapping ablations get the same *per-mapping* depth.
+        int budget =
+            gen == 0 ? static_cast<int>(plans.size()) +
+                           options.measureTopK
+                     : options.measureTopK;
+        int measured = 0;
+        for (auto idx : order) {
+            if (measured >= budget)
+                break;
+            if (!population[idx].measured()) {
+                measure(population[idx]);
+                ++measured;
+            }
+        }
+
+        if (options.useLearnedModel)
+            learned.fit();
+
+        // Selection: keep the better half by fitness.
+        std::sort(population.begin(), population.end(),
+                  [](const Candidate &a, const Candidate &b) {
+                      return a.fitness() < b.fitness();
+                  });
+        std::size_t survivors =
+            std::max<std::size_t>(2, population.size() / 2);
+        population.resize(survivors);
+
+        // Reproduction: crossover within a mapping, mutation, the
+        // occasional mapping hop, and fresh immigrants.
+        std::vector<Candidate> next = population;
+        while (next.size() <
+               static_cast<std::size_t>(options.population)) {
+            double roll = rng.uniformReal();
+            if (roll < 0.4 && population.size() >= 2) {
+                // Crossover between two parents; schedules are only
+                // compatible within the same mapping.
+                const Candidate &a = rng.choice(population);
+                const Candidate &b = rng.choice(population);
+                Candidate child = a;
+                child.simCycles =
+                    std::numeric_limits<double>::quiet_NaN();
+                if (a.mappingIndex == b.mappingIndex) {
+                    child.schedule = crossoverSchedules(
+                        a.schedule, b.schedule, rng);
+                } else {
+                    child.schedule = mutateSchedule(
+                        plans[child.mappingIndex], child.schedule,
+                        rng);
+                }
+                next.push_back(std::move(child));
+            } else if (roll < 0.8) {
+                Candidate child = rng.choice(population);
+                child.simCycles =
+                    std::numeric_limits<double>::quiet_NaN();
+                child.schedule = mutateSchedule(
+                    plans[child.mappingIndex], child.schedule, rng);
+                next.push_back(std::move(child));
+            } else {
+                // Immigrant: possibly a different mapping.
+                Candidate c;
+                c.mappingIndex = static_cast<std::size_t>(
+                    rng.uniformInt(
+                        0,
+                        static_cast<std::int64_t>(plans.size()) - 1));
+                c.schedule = sampleSchedule(plans[c.mappingIndex],
+                                            rng);
+                next.push_back(std::move(c));
+            }
+        }
+        population = std::move(next);
+    }
+
+    if (!std::isfinite(best_cycles)) {
+        // Nothing schedulable was measured (e.g. every sampled
+        // schedule blew the shared-memory budget): fall back to the
+        // serial default schedule of the first mapping.
+        Candidate c;
+        c.mappingIndex = 0;
+        c.schedule = defaultSchedule(plans[0]);
+        evaluate_model(c);
+        measure(c);
+    }
+
+    // --- Exploitation: rerun the full schedule search restricted to
+    // the most promising mappings, so the flexible search never
+    // trails a dedicated single-mapping tuner. (The paper's AMOS
+    // similarly spends its trial budget proportionally to the size
+    // of the space it explores.)
+    if (options.exploitSteps > 0 && std::isfinite(best_cycles) &&
+        plans.size() > 1) {
+        // Top three distinct mappings by their best measured cycles.
+        std::vector<std::pair<double, std::size_t>> ranked;
+        for (const auto &[idx, cycles] : mapping_best)
+            ranked.push_back({cycles, idx});
+        std::sort(ranked.begin(), ranked.end());
+        if (ranked.size() > 3)
+            ranked.resize(3);
+
+        TuneOptions sub = options;
+        sub.exploitSteps = 0; // recursion base case
+        for (const auto &[cycles, idx] : ranked) {
+            std::vector<MappingPlan> one = {plans[idx]};
+            auto subres = tuneWithPlans(one, hw, sub);
+            result.measurements += subres.measurements;
+            for (auto sub_step : subres.trace) {
+                sub_step.mappingIndex = idx;
+                sub_step.step = ++step;
+                sub_step.bestSoFarCycles = std::min(
+                    sub_step.bestSoFarCycles, best_cycles);
+                result.trace.push_back(sub_step);
+            }
+            if (subres.tensorizable &&
+                subres.bestCycles < best_cycles) {
+                best_cycles = subres.bestCycles;
+                best.mappingIndex = idx;
+                best.schedule = subres.bestSchedule;
+                best.modelCycles = subres.bestModelCycles;
+                best_sim = subres.bestSim;
+            }
+        }
+    }
+
+    require(std::isfinite(best_cycles),
+            "tune: no schedulable candidate found for ",
+            plans[0].computation().name(), " on ", hw.name);
+
+    result.bestMappingIndex = best.mappingIndex;
+    result.bestSchedule = best.schedule;
+    result.bestCycles = best_cycles;
+    result.bestModelCycles = best.modelCycles;
+    result.bestSim = best_sim;
+    result.bestPlan = plans[best.mappingIndex];
+    result.mappingSignature = plans[best.mappingIndex]
+                                  .mapping()
+                                  .signature(plans[best.mappingIndex]
+                                                 .computation());
+    result.computeMapping =
+        plans[best.mappingIndex].computeMappingString();
+    result.intrinsicName = plans[best.mappingIndex].intrinsic().name();
+    return result;
+}
+
+TuneResult
+tune(const TensorComputation &comp, const HardwareSpec &hw,
+     const TuneOptions &options)
+{
+    // The mapping pool spans every intrinsic the accelerator exposes
+    // (e.g. the three WMMA problem shapes): intrinsic selection is
+    // explored jointly with iteration mapping and scheduling.
+    std::vector<MappingPlan> plans;
+    for (const auto &intr : hw.intrinsics) {
+        if (comp.inputs().size() != intr.compute.numSrcs() ||
+            comp.combine() != intr.compute.combine())
+            continue;
+        std::size_t budget = 0;
+        if (options.maxMappings) {
+            if (plans.size() >= options.maxMappings)
+                break;
+            budget = options.maxMappings - plans.size();
+        }
+        GeneratorOptions gen = options.mappingOptions;
+        if (budget)
+            gen.maxCandidates = budget;
+        for (auto &plan : enumeratePlans(comp, intr, gen))
+            plans.push_back(std::move(plan));
+    }
+    return tuneWithPlans(plans, hw, options);
+}
+
+TuneResult
+tuneWithMapping(const MappingPlan &plan, const HardwareSpec &hw,
+                const TuneOptions &options)
+{
+    std::vector<MappingPlan> plans = {plan};
+    return tuneWithPlans(plans, hw, options);
+}
+
+} // namespace amos

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Joint mapping + schedule exploration (Sec. 5.3 of the AMOS paper).
+ *
+ * AMOS enumerates all valid mappings, then explores the combined
+ * space of mappings and schedule parameters with a genetic algorithm.
+ * The analytic performance model screens candidates cheaply; the top
+ * candidates of each generation are "measured" (here: simulated) and
+ * the archive of measurements drives selection. The predicted/
+ * measured pairs are recorded as the exploration trace used by the
+ * model-validation experiment (Fig. 5).
+ */
+
+#ifndef AMOS_EXPLORE_TUNER_HH
+#define AMOS_EXPLORE_TUNER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/hardware.hh"
+#include "mapping/generate.hh"
+#include "model/perf_model.hh"
+#include "schedule/schedule.hh"
+#include "sim/simulator.hh"
+
+namespace amos {
+
+/** Tuner configuration. */
+struct TuneOptions
+{
+    int population = 24;
+    int generations = 10;
+    /// Model-screened candidates measured per generation.
+    int measureTopK = 6;
+    std::uint64_t seed = 2022;
+    /// Hill-climbing measurements spent polishing the best mapping
+    /// after the genetic search (exploit-after-explore).
+    int exploitSteps = 64;
+    /// Screen candidates with the online learned cost model (ridge
+    /// regression over profile features, Fig. 2's "Learn Algo.")
+    /// once enough measurements exist, instead of the analytic model
+    /// alone.
+    bool useLearnedModel = false;
+    /// Mapping enumeration policy/caps.
+    GeneratorOptions mappingOptions{};
+    /// Cap on the mapping pool entering exploration (0 = all).
+    std::size_t maxMappings = 0;
+};
+
+/** One predicted/measured pair from the exploration trace. */
+struct ExplorationStep
+{
+    int step = 0;
+    std::size_t mappingIndex = 0;
+    double predictedCycles = 0.0;
+    double measuredCycles = 0.0;
+    double bestSoFarCycles = 0.0;
+};
+
+/** Outcome of tuning one operator on one accelerator. */
+struct TuneResult
+{
+    /// False when no valid mapping exists (caller should fall back
+    /// to the scalar units).
+    bool tensorizable = false;
+
+    std::size_t numMappings = 0;
+    int measurements = 0;
+
+    std::size_t bestMappingIndex = 0;
+    Schedule bestSchedule;
+    double bestCycles = 0.0;      ///< simulator ("measured")
+    double bestModelCycles = 0.0; ///< analytic model on the winner
+    SimResult bestSim;
+
+    std::optional<MappingPlan> bestPlan;
+    std::string mappingSignature;
+    std::string computeMapping;
+    std::string intrinsicName; ///< the winning intrinsic (shape)
+
+    std::vector<ExplorationStep> trace;
+};
+
+/**
+ * Tune a computation on an accelerator: enumerate valid mappings,
+ * explore schedules genetically, measure on the simulator, return
+ * the best (mapping, schedule) found.
+ */
+TuneResult tune(const TensorComputation &comp, const HardwareSpec &hw,
+                const TuneOptions &options = {});
+
+/**
+ * Tune with a pinned mapping (used by the fixed-mapping baselines:
+ * schedules are explored, the mapping is not).
+ */
+TuneResult tuneWithMapping(const MappingPlan &plan,
+                           const HardwareSpec &hw,
+                           const TuneOptions &options = {});
+
+/**
+ * Tune over an explicit mapping pool (the general entry point the
+ * other two forward to).
+ */
+TuneResult tuneWithPlans(const std::vector<MappingPlan> &plans,
+                         const HardwareSpec &hw,
+                         const TuneOptions &options = {});
+
+} // namespace amos
+
+#endif // AMOS_EXPLORE_TUNER_HH

@@ -1,0 +1,136 @@
+#include "network.hh"
+
+#include "ir/affine.hh"
+#include "support/logging.hh"
+
+namespace amos {
+
+const char *
+networkCompilerName(NetworkCompiler compiler)
+{
+    switch (compiler) {
+      case NetworkCompiler::Amos: return "AMOS";
+      case NetworkCompiler::PyTorch: return "PyTorch";
+      case NetworkCompiler::Unit: return "UNIT";
+      case NetworkCompiler::Tvm: return "TVM";
+      case NetworkCompiler::Xla: return "XLA";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Spatial stride of a convolution-shaped computation: the largest
+ * affine coefficient a spatial iterator carries inside any input
+ * access index (1 for unit-stride ops and for non-convolutions).
+ */
+std::int64_t
+spatialStrideOf(const TensorComputation &comp)
+{
+    std::int64_t stride = 1;
+    for (const auto &in : comp.inputs()) {
+        for (const auto &idx : in.indices) {
+            auto form = tryToAffine(idx);
+            if (!form)
+                continue;
+            if (form->terms().size() < 2)
+                continue; // pure single-iterator index
+            for (const auto &term : form->terms()) {
+                for (const auto &iv : comp.iters()) {
+                    if (iv.var.node() == term.var &&
+                        iv.kind == IterKind::Spatial) {
+                        stride = std::max<std::int64_t>(
+                            stride, term.coeff < 0 ? -term.coeff
+                                                   : term.coeff);
+                    }
+                }
+            }
+        }
+    }
+    return stride;
+}
+
+/** Compile one tensor op with the selected compiler. */
+baselines::BaselineResult
+compileTensorOp(const TensorComputation &comp, const HardwareSpec &hw,
+                NetworkCompiler compiler, const TuneOptions &tuning)
+{
+    using namespace baselines;
+    switch (compiler) {
+      case NetworkCompiler::Amos: {
+        auto result = tune(comp, hw, tuning);
+        if (!result.tensorizable)
+            return scalarExecution(comp, hw, 0.6, "amos-scalar");
+        BaselineResult res;
+        res.baseline = "amos";
+        res.tensorized = true;
+        res.cycles = result.bestCycles;
+        // Ship the faster of tensorized and own scalar code (see
+        // Compiler::compile); the operator still counts as mapped.
+        auto scalar = scalarExecution(comp, hw, 0.6, "amos-scalar");
+        res.cycles = std::min(res.cycles, scalar.cycles);
+        res.milliseconds = cyclesToMs(res.cycles, hw);
+        res.mappingSignature = result.mappingSignature;
+        return res;
+      }
+      case NetworkCompiler::PyTorch:
+        return libraryProxy(comp, hw);
+      case NetworkCompiler::Unit:
+        return unitProxy(comp, hw);
+      case NetworkCompiler::Tvm: {
+        // The hand-written TVM templates do not emit Tensor Core
+        // intrinsics for strided convolutions (Sec. 7.4): address
+        // generation defeats the template.
+        if (spatialStrideOf(comp) > 1)
+            return scalarExecution(comp, hw, 0.6, "tvm");
+        TuneOptions small = tuning;
+        small.population = std::min(small.population, 12);
+        small.generations = std::min(small.generations, 5);
+        auto res = amosFixedMapping(comp, hw, FixedMapping::Im2col,
+                                    small);
+        res.baseline = "tvm";
+        return res;
+      }
+      case NetworkCompiler::Xla:
+        return xlaProxy(comp, hw);
+    }
+    panic("compileTensorOp: unknown compiler");
+}
+
+} // namespace
+
+NetworkResult
+compileNetwork(const Network &net, const HardwareSpec &hw,
+               NetworkCompiler compiler,
+               const NetworkCompileOptions &options)
+{
+    NetworkResult result;
+    result.network = net.name;
+    result.compiler = compiler;
+    result.totalOps = net.totalOps();
+
+    for (const auto &op : net.ops) {
+        CompiledOp compiled;
+        compiled.label = op.label;
+        compiled.count = op.count;
+        if (op.isTensorOp()) {
+            auto res = compileTensorOp(*op.comp, hw, compiler,
+                                       options.tuning);
+            compiled.tensorized = res.tensorized;
+            compiled.msPerInstance = res.milliseconds;
+            compiled.mappingSignature = res.mappingSignature;
+            if (res.tensorized)
+                result.mappedOps += op.count;
+        } else {
+            auto sim = simulateScalar(op.elementwiseFlops,
+                                      op.elementwiseBytes, hw, 0.7);
+            compiled.msPerInstance = sim.milliseconds;
+        }
+        result.totalMs += compiled.msPerInstance * op.count;
+        result.ops.push_back(std::move(compiled));
+    }
+    return result;
+}
+
+} // namespace amos

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Network graphs: operator inventories of the DNNs the paper
+ * evaluates end to end (ShuffleNet, ResNet-18/50, MobileNet-V1,
+ * Bert-base, MI-LSTM, Transformer), plus the machinery to compile a
+ * whole network with AMOS or a baseline and sum its latency.
+ *
+ * Only the multiset of operator configurations matters for the
+ * paper's end-to-end numbers (Table 2, Fig. 7); the inventories here
+ * are derived from the published architectures, with identical
+ * configurations deduplicated through a repetition count.
+ */
+
+#ifndef AMOS_GRAPH_NETWORK_HH
+#define AMOS_GRAPH_NETWORK_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.hh"
+#include "explore/tuner.hh"
+#include "tensor/computation.hh"
+
+namespace amos {
+
+/** One node of a network graph. */
+struct GraphOp
+{
+    std::string label;
+
+    /// Tensor ops carry a computation; elementwise/memory-bound ops
+    /// (ReLU, pooling, batch-norm, softmax, shuffle, residual adds)
+    /// carry only a cost description, since no intrinsic can help
+    /// them (the paper: "inherently not supported by Tensor Core").
+    std::optional<TensorComputation> comp;
+
+    /// For elementwise ops: scalar flops and global bytes touched.
+    double elementwiseFlops = 0.0;
+    double elementwiseBytes = 0.0;
+
+    /// How many identically-configured instances the network has.
+    int count = 1;
+
+    bool isTensorOp() const { return comp.has_value(); }
+};
+
+/** A whole network: named list of ops. */
+struct Network
+{
+    std::string name;
+    std::vector<GraphOp> ops;
+
+    /** Total graph nodes including repetition counts. */
+    int totalOps() const;
+    /** Tensor-op nodes including repetition counts. */
+    int tensorOps() const;
+};
+
+/// @name Network inventories (Sec. 7.1 benchmarks).
+/// @{
+Network shuffleNet(std::int64_t batch);
+Network resnet18(std::int64_t batch);
+Network resnet50(std::int64_t batch);
+Network mobileNetV1(std::int64_t batch);
+Network bertBase(std::int64_t batch, std::int64_t seq_len = 128);
+Network miLstm(std::int64_t batch, std::int64_t hidden = 1024);
+Network transformer(std::int64_t batch, std::int64_t seq_len = 128);
+/// @}
+
+/** Which compiler maps the network's tensor ops. */
+enum class NetworkCompiler
+{
+    Amos,
+    PyTorch, ///< library proxy
+    Unit,
+    Tvm,     ///< hand-written template proxy (fuse_hw + tuning)
+    Xla,
+};
+
+/** Printable name of a network compiler. */
+const char *networkCompilerName(NetworkCompiler compiler);
+
+/** Per-op outcome inside a compiled network. */
+struct CompiledOp
+{
+    std::string label;
+    bool tensorized = false;
+    int count = 1;
+    double msPerInstance = 0.0;
+    std::string mappingSignature;
+};
+
+/** Outcome of compiling a whole network. */
+struct NetworkResult
+{
+    std::string network;
+    NetworkCompiler compiler;
+    double totalMs = 0.0;
+    int mappedOps = 0;  ///< tensor ops lowered to the intrinsic
+    int totalOps = 0;   ///< all graph nodes
+    std::vector<CompiledOp> ops;
+};
+
+/** Tuning budget knobs for network compilation. */
+struct NetworkCompileOptions
+{
+    TuneOptions tuning{};
+};
+
+/**
+ * Compile every op of a network with the chosen compiler and sum the
+ * latencies (identical configurations are compiled once).
+ */
+NetworkResult compileNetwork(const Network &net,
+                             const HardwareSpec &hw,
+                             NetworkCompiler compiler,
+                             const NetworkCompileOptions &options = {});
+
+} // namespace amos
+
+#endif // AMOS_GRAPH_NETWORK_HH

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Operator inventories of the evaluated networks, derived from the
+ * published architectures. Identical configurations carry a count.
+ */
+
+#include "network.hh"
+
+#include "ops/conv_layers.hh"
+#include "ops/operators.hh"
+
+namespace amos {
+
+namespace {
+
+using ops::ConvParams;
+
+GraphOp
+tensorOp(std::string label, TensorComputation comp, int count = 1)
+{
+    GraphOp op;
+    op.label = std::move(label);
+    op.comp = std::move(comp);
+    op.count = count;
+    return op;
+}
+
+/** Elementwise/memory-bound node: flops-per-element ~1. */
+GraphOp
+elemOp(std::string label, double elements, int count = 1,
+       double flops_per_elem = 1.0)
+{
+    GraphOp op;
+    op.label = std::move(label);
+    op.elementwiseFlops = elements * flops_per_elem;
+    op.elementwiseBytes = elements * 4.0; // read + write f16
+    op.count = count;
+    return op;
+}
+
+TensorComputation
+conv(std::int64_t n, std::int64_t c, std::int64_t k, std::int64_t hw_,
+     std::int64_t kern, std::int64_t stride)
+{
+    ConvParams pr;
+    pr.batch = n;
+    pr.in_channels = c;
+    pr.out_channels = k;
+    pr.out_h = hw_;
+    pr.out_w = hw_;
+    pr.kernel_h = kern;
+    pr.kernel_w = kern;
+    pr.stride = stride;
+    return ops::makeConv2d(pr);
+}
+
+/** Linear layer: GEMV at batch 1 (the MI-LSTM situation), else GEMM. */
+TensorComputation
+linear(std::int64_t rows, std::int64_t out_features,
+       std::int64_t in_features)
+{
+    if (rows == 1)
+        return ops::makeGemv(out_features, in_features);
+    return ops::makeGemm(rows, out_features, in_features);
+}
+
+/** Batched matmul (4 iterations; defeats 3-loop GEMM patterns). */
+TensorComputation
+batchedMatmul(std::int64_t b, std::int64_t m, std::int64_t n,
+              std::int64_t k)
+{
+    IterVar bi{Var("b"), b, IterKind::Spatial};
+    IterVar i{Var("i"), m, IterKind::Spatial};
+    IterVar j{Var("j"), n, IterKind::Spatial};
+    IterVar r{Var("k"), k, IterKind::Reduction};
+    TensorDecl a("A", {b, m, k});
+    TensorDecl bmat("B", {b, k, n});
+    TensorDecl out("out", {b, m, n});
+    return TensorComputation(
+        "batched_matmul", {bi, i, j, r}, out,
+        {bi.var, i.var, j.var},
+        {{a, {bi.var, i.var, r.var}},
+         {bmat, {bi.var, r.var, j.var}}});
+}
+
+} // namespace
+
+int
+Network::totalOps() const
+{
+    int n = 0;
+    for (const auto &op : ops)
+        n += op.count;
+    return n;
+}
+
+int
+Network::tensorOps() const
+{
+    int n = 0;
+    for (const auto &op : ops)
+        if (op.isTensorOp())
+            n += op.count;
+    return n;
+}
+
+Network
+shuffleNet(std::int64_t batch)
+{
+    // ShuffleNet v1 (g = 4): stem conv, three stages of units built
+    // from grouped 1x1 convolutions and 3x3 depthwise convolutions,
+    // global pool and classifier. 50 tensor ops + 20 others = 70.
+    Network net;
+    net.name = "ShuffleNet";
+    auto b = batch;
+
+    ConvParams dw;
+    dw.batch = b;
+    dw.kernel_h = dw.kernel_w = 3;
+
+    auto gconv = [&](std::int64_t g, std::int64_t cpg,
+                     std::int64_t kpg, std::int64_t hw_) {
+        ConvParams pr;
+        pr.batch = b;
+        pr.in_channels = cpg;
+        pr.out_channels = kpg;
+        pr.out_h = pr.out_w = hw_;
+        pr.kernel_h = pr.kernel_w = 1;
+        return ops::makeGroupConv2d(pr, g);
+    };
+    auto depthwise = [&](std::int64_t c, std::int64_t hw_,
+                         std::int64_t stride) {
+        ConvParams pr;
+        pr.batch = b;
+        pr.in_channels = c;
+        pr.out_h = pr.out_w = hw_;
+        pr.kernel_h = pr.kernel_w = 3;
+        pr.stride = stride;
+        return ops::makeDepthwiseConv2d(pr, 1);
+    };
+
+    net.ops.push_back(tensorOp("conv1", conv(b, 3, 24, 112, 3, 2)));
+    // Stage 2: 4 units at 28x28, 272 channels, groups 4 (68/group).
+    net.ops.push_back(tensorOp("s2.gconv_a", gconv(4, 68, 17, 28), 4));
+    net.ops.push_back(tensorOp("s2.dwconv", depthwise(68, 28, 1), 4));
+    net.ops.push_back(tensorOp("s2.gconv_b", gconv(4, 17, 68, 28), 4));
+    // Stage 3: 8 units at 14x14, 544 channels.
+    net.ops.push_back(
+        tensorOp("s3.gconv_a", gconv(4, 136, 34, 14), 8));
+    net.ops.push_back(tensorOp("s3.dwconv", depthwise(136, 14, 1), 8));
+    net.ops.push_back(
+        tensorOp("s3.gconv_b", gconv(4, 34, 136, 14), 8));
+    // Stage 4: 4 units at 7x7, 1088 channels.
+    net.ops.push_back(tensorOp("s4.gconv_a", gconv(4, 272, 68, 7), 4));
+    net.ops.push_back(tensorOp("s4.dwconv", depthwise(272, 7, 1), 4));
+    net.ops.push_back(tensorOp("s4.gconv_b", gconv(4, 68, 272, 7), 4));
+    net.ops.push_back(tensorOp("fc", linear(b, 1000, 1088)));
+
+    double act = static_cast<double>(b) * 272 * 28 * 28;
+    net.ops.push_back(elemOp("maxpool", act, 1));
+    net.ops.push_back(elemOp("relu", act, 9));
+    net.ops.push_back(elemOp("channel_shuffle", act, 4));
+    net.ops.push_back(elemOp("residual_add", act, 4));
+    net.ops.push_back(elemOp("avgpool_shortcut", act, 1));
+    net.ops.push_back(elemOp("global_pool", act / 16.0, 1));
+    return net;
+}
+
+Network
+resnet18(std::int64_t batch)
+{
+    // The twelve distinct convolutions of Table 5 with their
+    // repetition counts, plus the classifier and elementwise nodes.
+    Network net;
+    net.name = "ResNet-18";
+    auto layers = ops::resnet18ConvLayers(batch);
+    const int counts[12] = {1, 4, 1, 1, 1, 3, 1, 1, 3, 1, 1, 3};
+    for (std::size_t i = 0; i < layers.size(); ++i)
+        net.ops.push_back(tensorOp(layers[i].label,
+                                   layers[i].build(), counts[i]));
+    net.ops.push_back(tensorOp("fc", linear(batch, 1000, 512)));
+
+    double act = static_cast<double>(batch) * 64 * 56 * 56;
+    net.ops.push_back(elemOp("maxpool", act, 1));
+    net.ops.push_back(elemOp("relu", act, 8));
+    net.ops.push_back(elemOp("residual_add", act, 8));
+    net.ops.push_back(elemOp("global_pool", act / 49.0, 1));
+    return net;
+}
+
+Network
+resnet50(std::int64_t batch)
+{
+    // Bottleneck blocks: 1x1 / 3x3 / 1x1 per block, a strided 3x3
+    // and a 1x1 downsample at each stage boundary; 53 convolutions
+    // plus the classifier = 54 tensor ops (the count AMOS maps in
+    // Table 2); 17 elementwise nodes complete the 71.
+    Network net;
+    net.name = "ResNet-50";
+    auto b = batch;
+    net.ops.push_back(tensorOp("conv1", conv(b, 3, 64, 112, 7, 2)));
+
+    struct Stage
+    {
+        std::int64_t width;   // bottleneck width
+        std::int64_t out;     // block output channels
+        std::int64_t hw;      // output spatial
+        int blocks;
+    };
+    const Stage stages[4] = {{64, 256, 56, 3},
+                             {128, 512, 28, 4},
+                             {256, 1024, 14, 6},
+                             {512, 2048, 7, 3}};
+    std::int64_t in_ch = 64;
+    for (int s = 0; s < 4; ++s) {
+        const auto &st = stages[s];
+        std::string tag = "l" + std::to_string(s + 1);
+        std::int64_t stride = s == 0 ? 1 : 2;
+        // First block (possibly strided) with downsample.
+        net.ops.push_back(tensorOp(
+            tag + ".b0.conv1x1_in",
+            conv(b, in_ch, st.width, st.hw * stride, 1, 1)));
+        net.ops.push_back(tensorOp(
+            tag + ".b0.conv3x3",
+            conv(b, st.width, st.width, st.hw, 3, stride)));
+        net.ops.push_back(tensorOp(
+            tag + ".b0.conv1x1_out",
+            conv(b, st.width, st.out, st.hw, 1, 1)));
+        net.ops.push_back(tensorOp(
+            tag + ".b0.downsample",
+            conv(b, in_ch, st.out, st.hw, 1, stride)));
+        // Remaining identity blocks.
+        if (st.blocks > 1) {
+            net.ops.push_back(tensorOp(
+                tag + ".conv1x1_in",
+                conv(b, st.out, st.width, st.hw, 1, 1),
+                st.blocks - 1));
+            net.ops.push_back(tensorOp(
+                tag + ".conv3x3",
+                conv(b, st.width, st.width, st.hw, 3, 1),
+                st.blocks - 1));
+            net.ops.push_back(tensorOp(
+                tag + ".conv1x1_out",
+                conv(b, st.width, st.out, st.hw, 1, 1),
+                st.blocks - 1));
+        }
+        in_ch = st.out;
+    }
+    net.ops.push_back(tensorOp("fc", linear(b, 1000, 2048)));
+
+    double act = static_cast<double>(b) * 256 * 56 * 56;
+    net.ops.push_back(elemOp("maxpool", act, 1));
+    net.ops.push_back(elemOp("relu", act, 8));
+    net.ops.push_back(elemOp("residual_add", act, 7));
+    net.ops.push_back(elemOp("global_pool", act / 49.0, 1));
+    return net;
+}
+
+Network
+mobileNetV1(std::int64_t batch)
+{
+    // Stem conv, 13 depthwise + 13 pointwise stages, classifier:
+    // 28 tensor ops; pool and softmax complete the 30 of Table 2.
+    Network net;
+    net.name = "MobileNet-V1";
+    auto b = batch;
+    net.ops.push_back(tensorOp("conv1", conv(b, 3, 32, 112, 3, 2)));
+
+    struct Dw
+    {
+        std::int64_t ch;
+        std::int64_t hw;
+        std::int64_t stride;
+        std::int64_t out;
+        int count;
+    };
+    const Dw rows[] = {
+        {32, 112, 1, 64, 1},  {64, 56, 2, 128, 1},
+        {128, 56, 1, 128, 1}, {128, 28, 2, 256, 1},
+        {256, 28, 1, 256, 1}, {256, 14, 2, 512, 1},
+        {512, 14, 1, 512, 5}, {512, 7, 2, 1024, 1},
+        {1024, 7, 1, 1024, 1},
+    };
+    int idx = 0;
+    for (const auto &row : rows) {
+        ConvParams dw;
+        dw.batch = b;
+        dw.in_channels = row.ch;
+        dw.out_h = dw.out_w = row.hw / row.stride;
+        dw.kernel_h = dw.kernel_w = 3;
+        dw.stride = row.stride;
+        std::string tag = "dw" + std::to_string(idx);
+        net.ops.push_back(tensorOp(
+            tag, ops::makeDepthwiseConv2d(dw, 1), row.count));
+        net.ops.push_back(tensorOp(
+            "pw" + std::to_string(idx),
+            conv(b, row.ch, row.out, row.hw / row.stride, 1, 1),
+            row.count));
+        ++idx;
+    }
+    net.ops.push_back(tensorOp("fc", linear(b, 1000, 1024)));
+    double act = static_cast<double>(b) * 128 * 56 * 56;
+    net.ops.push_back(elemOp("global_pool", act / 32.0, 1));
+    net.ops.push_back(elemOp("softmax", static_cast<double>(b) * 1000,
+                             1));
+    return net;
+}
+
+Network
+bertBase(std::int64_t batch, std::int64_t seq_len)
+{
+    // 12 encoder layers, hidden 768, 12 heads, FFN 3072. Per layer:
+    // 4 projections (GEMM), 2 attention batched matmuls, 2 FFN
+    // GEMMs; layernorms, softmax, GELU, and residual adds are
+    // elementwise.
+    Network net;
+    net.name = "Bert";
+    std::int64_t rows = batch * seq_len;
+    const int L = 12;
+
+    net.ops.push_back(
+        tensorOp("qkv_proj", linear(rows, 768, 768), 3 * L));
+    net.ops.push_back(
+        tensorOp("attn_out_proj", linear(rows, 768, 768), L));
+    net.ops.push_back(tensorOp(
+        "attn_scores",
+        batchedMatmul(batch * 12, seq_len, seq_len, 64), L));
+    net.ops.push_back(tensorOp(
+        "attn_context",
+        batchedMatmul(batch * 12, seq_len, 64, seq_len), L));
+    net.ops.push_back(
+        tensorOp("ffn_up", linear(rows, 3072, 768), L));
+    net.ops.push_back(
+        tensorOp("ffn_down", linear(rows, 768, 3072), L));
+    net.ops.push_back(tensorOp("pooler", linear(batch, 768, 768)));
+
+    double act = static_cast<double>(rows) * 768;
+    net.ops.push_back(elemOp("embeddings", act, 3));
+    net.ops.push_back(elemOp("layernorm", act, 2 * L, 4.0));
+    net.ops.push_back(
+        elemOp("softmax",
+               static_cast<double>(batch) * 12 * seq_len * seq_len,
+               L, 4.0));
+    net.ops.push_back(
+        elemOp("gelu", static_cast<double>(rows) * 3072, L, 8.0));
+    net.ops.push_back(elemOp("residual_add", act, 2 * L));
+    net.ops.push_back(elemOp("bias_add", act, 2 * L));
+    net.ops.push_back(
+        elemOp("attn_mask_add",
+               static_cast<double>(batch) * 12 * seq_len * seq_len,
+               L));
+    net.ops.push_back(elemOp("tanh_pool",
+                             static_cast<double>(batch) * 768, 1));
+    return net;
+}
+
+Network
+miLstm(std::int64_t batch, std::int64_t hidden)
+{
+    // Multiplicative-integration LSTM cell: eight gate projections
+    // (W x and U h for each of the four gates) plus the output
+    // projection are linear layers — matrix-vector products at batch
+    // one; the multiplicative integration and nonlinearities are
+    // elementwise. 9 of 11 ops are mappable (Table 2).
+    Network net;
+    net.name = "MI-LSTM";
+    net.ops.push_back(
+        tensorOp("gate_Wx", linear(batch, hidden, hidden), 4));
+    net.ops.push_back(
+        tensorOp("gate_Uh", linear(batch, hidden, hidden), 4));
+    net.ops.push_back(
+        tensorOp("output_proj", linear(batch, hidden, hidden)));
+    double act = static_cast<double>(batch) * hidden;
+    net.ops.push_back(elemOp("mi_gates", act, 1, 6.0));
+    net.ops.push_back(elemOp("cell_update", act, 1, 4.0));
+    return net;
+}
+
+Network
+transformer(std::int64_t batch, std::int64_t seq_len)
+{
+    // A 6-layer encoder of the original Transformer configuration
+    // (hidden 512, FFN 2048, 8 heads).
+    Network net;
+    net.name = "Transformer";
+    std::int64_t rows = batch * seq_len;
+    const int L = 6;
+    net.ops.push_back(
+        tensorOp("qkv_proj", linear(rows, 512, 512), 3 * L));
+    net.ops.push_back(
+        tensorOp("attn_out_proj", linear(rows, 512, 512), L));
+    net.ops.push_back(tensorOp(
+        "attn_scores",
+        batchedMatmul(batch * 8, seq_len, seq_len, 64), L));
+    net.ops.push_back(tensorOp(
+        "attn_context",
+        batchedMatmul(batch * 8, seq_len, 64, seq_len), L));
+    net.ops.push_back(tensorOp("ffn_up", linear(rows, 2048, 512), L));
+    net.ops.push_back(
+        tensorOp("ffn_down", linear(rows, 512, 2048), L));
+    double act = static_cast<double>(rows) * 512;
+    net.ops.push_back(elemOp("layernorm", act, 2 * L, 4.0));
+    net.ops.push_back(
+        elemOp("softmax",
+               static_cast<double>(batch) * 8 * seq_len * seq_len, L,
+               4.0));
+    net.ops.push_back(elemOp("residual_add", act, 2 * L));
+    return net;
+}
+
+} // namespace amos

@@ -1,0 +1,166 @@
+#include "hardware.hh"
+
+#include "support/logging.hh"
+#include "support/str_utils.hh"
+
+namespace amos {
+
+const Intrinsic &
+HardwareSpec::primaryIntrinsic() const
+{
+    expect(!intrinsics.empty(), name, ": no intrinsics registered");
+    return intrinsics.front();
+}
+
+double
+HardwareSpec::peakOpsPerCycle() const
+{
+    const auto &intr = primaryIntrinsic();
+    double per_call = static_cast<double>(intr.compute.scalarOps());
+    double calls_per_cycle =
+        intr.unitsPerSubcore / intr.latencyCycles;
+    return per_call * calls_per_cycle * subcoresPerCore * numCores;
+}
+
+std::string
+HardwareSpec::toString() const
+{
+    std::string out = name + ": " + std::to_string(numCores) +
+                      " cores x " + std::to_string(subcoresPerCore) +
+                      " sub-cores @ " + fmtDouble(clockGhz, 2) +
+                      " GHz\n";
+    out += "  shared: " + std::to_string(shared.capacityBytes / 1024) +
+           " KiB/core, global bw " +
+           fmtDouble(global.readBytesPerCycle, 1) + " B/cyc\n";
+    for (const auto &intr : intrinsics)
+        out += "  intrinsic: " + intr.compute.toString() + "\n";
+    return out;
+}
+
+namespace hw {
+
+HardwareSpec
+v100()
+{
+    HardwareSpec s;
+    s.name = "V100";
+    s.numCores = 80;           // SMs
+    s.subcoresPerCore = 4;     // processing blocks per SM
+    s.clockGhz = 1.38;
+    // 900 GB/s HBM2 -> ~652 B/cycle chip-wide.
+    s.global = {"global", 0, 652.0, 652.0};
+    // 96 KiB shared memory per SM; ~128 B/cycle/SM load.
+    s.shared = {"shared", 96 * 1024, 128.0, 64.0};
+    s.reg = {"reg", 64 * 1024, 256.0, 256.0};
+    s.launchOverheadCycles = 4000.0;
+    s.frameworkOverheadCycles = 8000.0; // ~6 us eager dispatch
+    s.maxBlocksPerCore = 32;
+    s.scalarLanesPerCore = 64; // fp32 CUDA lanes per SM
+    s.intrinsics = isa::wmmaVariants();
+    return s;
+}
+
+HardwareSpec
+a100()
+{
+    HardwareSpec s;
+    s.name = "A100";
+    s.numCores = 108;
+    s.subcoresPerCore = 4;
+    s.clockGhz = 1.41;
+    // ~1555 GB/s HBM2e -> ~1103 B/cycle.
+    s.global = {"global", 0, 1103.0, 1103.0};
+    // 164 KiB usable shared memory per SM, faster paths than Volta.
+    s.shared = {"shared", 164 * 1024, 256.0, 128.0};
+    s.reg = {"reg", 64 * 1024, 512.0, 512.0};
+    s.launchOverheadCycles = 4000.0;
+    s.frameworkOverheadCycles = 8000.0;
+    s.maxBlocksPerCore = 32;
+    s.scalarLanesPerCore = 64;
+    // Third-generation tensor cores: double the per-call throughput.
+    s.intrinsics = isa::wmmaVariants();
+    for (auto &intr : s.intrinsics)
+        intr.latencyCycles = 4.0;
+    return s;
+}
+
+HardwareSpec
+xeonSilver4110()
+{
+    HardwareSpec s;
+    s.name = "XeonSilver4110";
+    s.numCores = 8;
+    s.subcoresPerCore = 1;
+    s.clockGhz = 2.1;
+    // ~60 GB/s six-channel DDR4 -> ~28 B/cycle socket-wide.
+    s.global = {"global", 0, 28.0, 28.0};
+    // 1 MiB L2 per core as the staging buffer.
+    s.shared = {"shared", 1024 * 1024, 64.0, 32.0};
+    s.reg = {"reg", 2 * 1024, 128.0, 128.0};
+    s.launchOverheadCycles = 500.0; // thread-pool dispatch
+    s.frameworkOverheadCycles = 3000.0;
+    s.maxBlocksPerCore = 2;
+    s.scalarLanesPerCore = 16; // AVX-512 fp32 lanes
+    s.intrinsics = {isa::avx512Vnni()};
+    return s;
+}
+
+HardwareSpec
+maliG76()
+{
+    HardwareSpec s;
+    s.name = "MaliG76";
+    s.numCores = 12;           // shader cores (G76 MP12)
+    s.subcoresPerCore = 3;     // execution engines per core
+    s.clockGhz = 0.72;
+    // ~30 GB/s LPDDR4X -> ~42 B/cycle.
+    s.global = {"global", 0, 42.0, 42.0};
+    // 64 KiB local/L1 per core.
+    s.shared = {"shared", 64 * 1024, 32.0, 16.0};
+    s.reg = {"reg", 1024, 64.0, 64.0};
+    s.launchOverheadCycles = 8000.0; // driver dispatch is costly
+    s.frameworkOverheadCycles = 10000.0;
+    s.maxBlocksPerCore = 4;
+    s.scalarLanesPerCore = 8;
+    s.intrinsics = {isa::maliDot()};
+    return s;
+}
+
+HardwareSpec
+virtualAxpyAccel()
+{
+    HardwareSpec s;
+    s.name = "VirtualAXPY";
+    s.numCores = 16;
+    s.subcoresPerCore = 2;
+    s.clockGhz = 1.0;
+    s.global = {"global", 0, 128.0, 128.0};
+    s.shared = {"shared", 128 * 1024, 64.0, 32.0};
+    s.reg = {"reg", 16 * 1024, 128.0, 128.0};
+    s.launchOverheadCycles = 1000.0;
+    s.maxBlocksPerCore = 8;
+    s.scalarLanesPerCore = 8;
+    s.intrinsics = {isa::virtualAxpy()};
+    return s;
+}
+
+HardwareSpec
+virtualGemvAccel()
+{
+    HardwareSpec s = virtualAxpyAccel();
+    s.name = "VirtualGEMV";
+    s.intrinsics = {isa::virtualGemv()};
+    return s;
+}
+
+HardwareSpec
+virtualConvAccel()
+{
+    HardwareSpec s = virtualAxpyAccel();
+    s.name = "VirtualCONV";
+    s.intrinsics = {isa::virtualConv()};
+    return s;
+}
+
+} // namespace hw
+} // namespace amos

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Hardware specifications of the modelled spatial accelerators.
+ *
+ * Follows the 3-level organisation of Fig. 1a of the paper: cores
+ * sharing global memory, sub-cores within a core sharing a buffer
+ * (shared memory / cache), and a PE array inside each sub-core that
+ * executes intrinsics. The numbers for the commercial parts come from
+ * their public specifications; they drive a simulator, not silicon,
+ * so only relative magnitudes matter (see DESIGN.md).
+ */
+
+#ifndef AMOS_HW_HARDWARE_HH
+#define AMOS_HW_HARDWARE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/abstraction.hh"
+#include "isa/intrinsics.hh"
+
+namespace amos {
+
+/** One memory level: capacity per owning unit and bandwidths. */
+struct MemoryLevelSpec
+{
+    std::string name;
+    std::int64_t capacityBytes = 0;  ///< per owning unit (0 = ample)
+    double readBytesPerCycle = 0.0;  ///< per owning unit
+    double writeBytesPerCycle = 0.0; ///< per owning unit
+};
+
+/**
+ * A complete accelerator description consumed by the performance
+ * model and the simulator.
+ */
+struct HardwareSpec
+{
+    std::string name;
+
+    int numCores = 1;          ///< outer level (SMs / CPU cores)
+    int subcoresPerCore = 1;   ///< sub-cores sharing one buffer
+
+    /// Off-chip memory shared by all cores (capacity ignored).
+    /// Cross-block L2 reuse is deliberately not modelled: the
+    /// simulator treats every block's staging traffic as streaming,
+    /// a conservative simplification documented in DESIGN.md.
+    MemoryLevelSpec global;
+    /// Per-core buffer (GPU shared memory, CPU L2).
+    MemoryLevelSpec shared;
+    /// Per-sub-core register file for operand fragments.
+    MemoryLevelSpec reg;
+
+    double clockGhz = 1.0;
+
+    /** Kernel-launch / dispatch overhead in cycles. */
+    double launchOverheadCycles = 0.0;
+
+    /**
+     * Per-operator overhead of an eager framework (PyTorch-style
+     * dispatch, allocator, and kernel-selection costs) in cycles.
+     * Compiled flows (AMOS, the template compilers, XLA) do not pay
+     * it; the library proxy does.
+     */
+    double frameworkOverheadCycles = 0.0;
+
+    /** Occupancy cap: resident threadblocks per core. */
+    int maxBlocksPerCore = 32;
+
+    /**
+     * Scalar fallback throughput: general-purpose multiply-add lanes
+     * per core (used when an operator cannot be tensorized).
+     */
+    int scalarLanesPerCore = 64;
+
+    /** Intrinsics this accelerator exposes. */
+    std::vector<Intrinsic> intrinsics;
+
+    /** The first intrinsic (most specs expose exactly one). */
+    const Intrinsic &primaryIntrinsic() const;
+
+    /** Peak tensorized throughput in scalar ops per cycle. */
+    double peakOpsPerCycle() const;
+
+    std::string toString() const;
+};
+
+namespace hw {
+
+/** Volta V100-like Tensor Core GPU (Sec. 7.1). */
+HardwareSpec v100();
+
+/** Ampere A100-like Tensor Core GPU. */
+HardwareSpec a100();
+
+/** Xeon Silver 4110-like AVX-512 CPU. */
+HardwareSpec xeonSilver4110();
+
+/** Mali G76-like Bifrost GPU with dot units. */
+HardwareSpec maliG76();
+
+/** Virtual accelerator built around the AXPY intrinsic (Sec. 7.5). */
+HardwareSpec virtualAxpyAccel();
+
+/** Virtual accelerator built around the GEMV intrinsic. */
+HardwareSpec virtualGemvAccel();
+
+/** Virtual accelerator built around the CONV intrinsic. */
+HardwareSpec virtualConvAccel();
+
+} // namespace hw
+} // namespace amos
+
+#endif // AMOS_HW_HARDWARE_HH

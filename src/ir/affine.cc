@@ -1,0 +1,160 @@
+#include "affine.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace amos {
+
+void
+AffineForm::addTerm(const VarNode *var, std::int64_t coeff)
+{
+    if (coeff == 0)
+        return;
+    for (auto &term : _terms) {
+        if (term.var == var) {
+            term.coeff += coeff;
+            if (term.coeff == 0) {
+                _terms.erase(
+                    std::remove_if(_terms.begin(), _terms.end(),
+                                   [var](const AffineTerm &t) {
+                                       return t.var == var;
+                                   }),
+                    _terms.end());
+            }
+            return;
+        }
+    }
+    _terms.push_back({var, coeff});
+}
+
+void
+AffineForm::scale(std::int64_t factor)
+{
+    if (factor == 0) {
+        _terms.clear();
+        _constant = 0;
+        return;
+    }
+    for (auto &term : _terms)
+        term.coeff *= factor;
+    _constant *= factor;
+}
+
+void
+AffineForm::accumulate(const AffineForm &other)
+{
+    for (const auto &term : other._terms)
+        addTerm(term.var, term.coeff);
+    _constant += other._constant;
+}
+
+std::int64_t
+AffineForm::coeffOf(const VarNode *var) const
+{
+    for (const auto &term : _terms)
+        if (term.var == var)
+            return term.coeff;
+    return 0;
+}
+
+Expr
+AffineForm::toExpr() const
+{
+    Expr out(_constant);
+    for (const auto &term : _terms) {
+        Expr var(std::shared_ptr<const ExprNode>(
+            // Re-wrap the borrowed VarNode without owning it; the
+            // computation that produced this form keeps it alive.
+            std::shared_ptr<const ExprNode>(), term.var));
+        out = out + var * Expr(term.coeff);
+    }
+    return out;
+}
+
+std::string
+AffineForm::toString() const
+{
+    std::string out;
+    bool first = true;
+    for (const auto &term : _terms) {
+        if (!first)
+            out += " + ";
+        first = false;
+        if (term.coeff == 1)
+            out += term.var->name;
+        else
+            out += std::to_string(term.coeff) + "*" + term.var->name;
+    }
+    if (_constant != 0 || first) {
+        if (!first)
+            out += " + ";
+        out += std::to_string(_constant);
+    }
+    return out;
+}
+
+namespace {
+
+std::optional<AffineForm>
+affineRec(const Expr &expr)
+{
+    const ExprNode *node = expr.get();
+    switch (node->kind()) {
+      case ExprKind::IntImm:
+        return AffineForm(static_cast<const IntImmNode *>(node)->value);
+      case ExprKind::Var: {
+        AffineForm form;
+        form.addTerm(static_cast<const VarNode *>(node), 1);
+        return form;
+      }
+      case ExprKind::Add: {
+        auto *bin = static_cast<const BinaryNode *>(node);
+        auto a = affineRec(bin->a);
+        auto b = affineRec(bin->b);
+        if (!a || !b)
+            return std::nullopt;
+        a->accumulate(*b);
+        return a;
+      }
+      case ExprKind::Sub: {
+        auto *bin = static_cast<const BinaryNode *>(node);
+        auto a = affineRec(bin->a);
+        auto b = affineRec(bin->b);
+        if (!a || !b)
+            return std::nullopt;
+        b->scale(-1);
+        a->accumulate(*b);
+        return a;
+      }
+      case ExprKind::Mul: {
+        auto *bin = static_cast<const BinaryNode *>(node);
+        auto a = affineRec(bin->a);
+        auto b = affineRec(bin->b);
+        if (!a || !b)
+            return std::nullopt;
+        if (b->terms().empty()) {
+            a->scale(b->constant());
+            return a;
+        }
+        if (a->terms().empty()) {
+            b->scale(a->constant());
+            return b;
+        }
+        return std::nullopt; // variable-by-variable product
+      }
+      default:
+        return std::nullopt; // floordiv/floormod/min/max
+    }
+}
+
+} // namespace
+
+std::optional<AffineForm>
+tryToAffine(const Expr &expr)
+{
+    require(expr.defined(), "tryToAffine on undefined expression");
+    return affineRec(expr);
+}
+
+} // namespace amos

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Affine-form analysis of index expressions.
+ *
+ * The mapping machinery needs to know, for each tensor access index,
+ * which loop iterators participate and with what coefficients. An
+ * AffineForm is the canonical representation
+ *     sum_i coeff_i * var_i + constant
+ * and tryToAffine() attempts to put an Expr into that form. Physical
+ * mapping expressions containing floordiv/floormod are intentionally
+ * not affine and fail the conversion.
+ */
+
+#ifndef AMOS_IR_AFFINE_HH
+#define AMOS_IR_AFFINE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hh"
+
+namespace amos {
+
+/** One linear term: coefficient times a variable. */
+struct AffineTerm
+{
+    const VarNode *var = nullptr;
+    std::int64_t coeff = 0;
+};
+
+/** Canonical affine form: sum of terms plus a constant. */
+class AffineForm
+{
+  public:
+    AffineForm() = default;
+
+    /** Construct a pure constant. */
+    explicit AffineForm(std::int64_t constant) : _constant(constant) {}
+
+    /** Add coeff * var to the form, merging duplicate variables. */
+    void addTerm(const VarNode *var, std::int64_t coeff);
+
+    void addConstant(std::int64_t c) { _constant += c; }
+
+    /** Multiply the whole form by a scalar. */
+    void scale(std::int64_t factor);
+
+    /** Add another form into this one. */
+    void accumulate(const AffineForm &other);
+
+    const std::vector<AffineTerm> &terms() const { return _terms; }
+    std::int64_t constant() const { return _constant; }
+
+    /** Coefficient of a variable (0 if absent). */
+    std::int64_t coeffOf(const VarNode *var) const;
+
+    /** True iff the variable appears with nonzero coefficient. */
+    bool uses(const VarNode *var) const { return coeffOf(var) != 0; }
+
+    /** Rebuild an Expr equal to this form. */
+    Expr toExpr() const;
+
+    std::string toString() const;
+
+  private:
+    std::vector<AffineTerm> _terms;
+    std::int64_t _constant = 0;
+};
+
+/**
+ * Try to express an index expression in affine form.
+ *
+ * Handles +, -, * (with at least one side constant-foldable), and
+ * literals/variables. Returns nullopt for floordiv/floormod/min/max
+ * or variable-by-variable products.
+ */
+std::optional<AffineForm> tryToAffine(const Expr &expr);
+
+} // namespace amos
+
+#endif // AMOS_IR_AFFINE_HH

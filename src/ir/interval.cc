@@ -1,0 +1,110 @@
+#include "interval.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace amos {
+
+std::string
+Interval::toString() const
+{
+    return "[" + std::to_string(lo) + ", " + std::to_string(hi) +
+           "]";
+}
+
+namespace {
+
+Interval
+addI(Interval a, Interval b)
+{
+    return {a.lo + b.lo, a.hi + b.hi};
+}
+
+Interval
+subI(Interval a, Interval b)
+{
+    return {a.lo - b.hi, a.hi - b.lo};
+}
+
+Interval
+mulI(Interval a, Interval b)
+{
+    std::int64_t c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo,
+                         a.hi * b.hi};
+    return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+std::int64_t
+floorDivInt(std::int64_t a, std::int64_t b)
+{
+    std::int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+} // namespace
+
+Interval
+evalInterval(const Expr &expr, const IntervalEnv &env)
+{
+    require(expr.defined(), "evalInterval on undefined expression");
+    const ExprNode *node = expr.get();
+    switch (node->kind()) {
+      case ExprKind::IntImm: {
+        auto v = static_cast<const IntImmNode *>(node)->value;
+        return {v, v};
+      }
+      case ExprKind::Var: {
+        auto *var = static_cast<const VarNode *>(node);
+        auto it = env.find(var);
+        require(it != env.end(), "evalInterval: unbound variable ",
+                var->name);
+        require(it->second.lo <= it->second.hi,
+                "evalInterval: empty range for ", var->name);
+        return it->second;
+      }
+      default: {
+        auto *bin = static_cast<const BinaryNode *>(node);
+        Interval a = evalInterval(bin->a, env);
+        Interval b = evalInterval(bin->b, env);
+        switch (node->kind()) {
+          case ExprKind::Add: return addI(a, b);
+          case ExprKind::Sub: return subI(a, b);
+          case ExprKind::Mul: return mulI(a, b);
+          case ExprKind::FloorDiv: {
+            require(b.lo == b.hi && b.lo > 0,
+                    "evalInterval: floordiv needs a positive "
+                    "constant divisor, got ",
+                    b.toString());
+            return {floorDivInt(a.lo, b.lo),
+                    floorDivInt(a.hi, b.lo)};
+          }
+          case ExprKind::FloorMod: {
+            require(b.lo == b.hi && b.lo > 0,
+                    "evalInterval: floormod needs a positive "
+                    "constant divisor, got ",
+                    b.toString());
+            std::int64_t m = b.lo;
+            // If the whole range shares one quotient the result is
+            // exact; otherwise conservatively [0, m-1] (operands of
+            // interest are non-negative).
+            if (a.lo >= 0 &&
+                floorDivInt(a.lo, m) == floorDivInt(a.hi, m))
+                return {a.lo % m, a.hi % m};
+            return {std::min<std::int64_t>(0, a.lo), m - 1};
+          }
+          case ExprKind::Min:
+            return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+          case ExprKind::Max:
+            return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+          default:
+            panic("evalInterval: unhandled kind ",
+                  exprKindName(node->kind()));
+        }
+      }
+    }
+}
+
+} // namespace amos

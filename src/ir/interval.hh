@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Interval arithmetic over index expressions: a sound static range
+ * analysis used to *prove* properties of generated mappings — that
+ * every physical mapping expression stays inside its intrinsic
+ * extent and every packed address inside its buffer — instead of
+ * only observing them dynamically.
+ */
+
+#ifndef AMOS_IR_INTERVAL_HH
+#define AMOS_IR_INTERVAL_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "ir/expr.hh"
+
+namespace amos {
+
+/** A closed integer interval [lo, hi]. */
+struct Interval
+{
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+
+    bool
+    contains(const Interval &other) const
+    {
+        return lo <= other.lo && other.hi <= hi;
+    }
+
+    std::int64_t width() const { return hi - lo + 1; }
+
+    std::string toString() const;
+};
+
+/** Variable ranges for interval evaluation. */
+using IntervalEnv = std::unordered_map<const VarNode *, Interval>;
+
+/**
+ * Sound over-approximation of an expression's value range under the
+ * given variable ranges. Panics on unbound variables. Division and
+ * modulo require a positive constant divisor (the only form the
+ * mapping machinery produces).
+ */
+Interval evalInterval(const Expr &expr, const IntervalEnv &env);
+
+} // namespace amos
+
+#endif // AMOS_IR_INTERVAL_HH

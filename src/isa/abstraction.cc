@@ -1,0 +1,170 @@
+#include "abstraction.hh"
+
+#include "support/logging.hh"
+#include "support/str_utils.hh"
+
+namespace amos {
+
+const char *
+memScopeName(MemScope scope)
+{
+    switch (scope) {
+      case MemScope::Global: return "global";
+      case MemScope::Shared: return "shared";
+      case MemScope::Reg: return "reg";
+    }
+    return "?";
+}
+
+ComputeAbstraction::ComputeAbstraction(
+    std::string name, std::vector<IntrinsicIter> iters,
+    std::vector<IntrinsicOperand> srcs, IntrinsicOperand dst,
+    CombineKind combine)
+    : _name(std::move(name)), _iters(std::move(iters)),
+      _srcs(std::move(srcs)), _dst(std::move(dst)), _combine(combine)
+{
+    expect(!_iters.empty(), _name, ": intrinsic with no iterations");
+    for (const auto &it : _iters)
+        expect(it.extent > 0, _name, ": iteration ", it.name,
+               " has non-positive extent");
+    auto check_operand = [this](const IntrinsicOperand &op) {
+        for (auto idx : op.iterIndices)
+            expect(idx < _iters.size(), _name, ": operand ", op.name,
+                   " indexes unknown iteration #", idx);
+    };
+    for (const auto &src : _srcs)
+        check_operand(src);
+    check_operand(_dst);
+
+    // Consistency between the reduction flags and Dst usage.
+    for (std::size_t k = 0; k < _iters.size(); ++k) {
+        bool in_dst = false;
+        for (auto idx : _dst.iterIndices)
+            in_dst |= idx == k;
+        expect(in_dst != _iters[k].reduction, _name, ": iteration ",
+               _iters[k].name,
+               " reduction flag inconsistent with Dst indexing");
+    }
+
+    switch (_combine) {
+      case CombineKind::MultiplyAdd:
+        expect(_srcs.size() == 2, _name,
+               ": MultiplyAdd intrinsic needs 2 sources");
+        break;
+      case CombineKind::SumReduce:
+        expect(_srcs.size() == 1, _name,
+               ": SumReduce intrinsic needs 1 source");
+        break;
+    }
+}
+
+BitMatrix
+ComputeAbstraction::accessMatrix() const
+{
+    BitMatrix z(_srcs.size() + 1, _iters.size());
+    for (std::size_t m = 0; m < _srcs.size(); ++m)
+        for (auto idx : _srcs[m].iterIndices)
+            z.set(m, idx, true);
+    for (auto idx : _dst.iterIndices)
+        z.set(_srcs.size(), idx, true);
+    return z;
+}
+
+std::vector<std::int64_t>
+ComputeAbstraction::problemSize() const
+{
+    std::vector<std::int64_t> out;
+    out.reserve(_iters.size());
+    for (const auto &it : _iters)
+        out.push_back(it.extent);
+    return out;
+}
+
+std::int64_t
+ComputeAbstraction::scalarOps() const
+{
+    std::int64_t n = 1;
+    for (const auto &it : _iters)
+        n *= it.extent;
+    return n;
+}
+
+std::int64_t
+ComputeAbstraction::operandTileElems(const IntrinsicOperand &op) const
+{
+    std::int64_t n = 1;
+    for (auto idx : op.iterIndices)
+        n *= _iters[idx].extent;
+    return n;
+}
+
+std::int64_t
+ComputeAbstraction::operandTileBytes(const IntrinsicOperand &op) const
+{
+    return operandTileElems(op) * dtypeBytes(op.dtype);
+}
+
+ComputeAbstraction::RangeConstraint
+ComputeAbstraction::rangeConstraint() const
+{
+    // Row k encodes iter_k - extent_k < 0, i.e. coefficient 1 on
+    // iteration k and constant -extent_k, matching the paper's
+    // A·i + sum(Bm·jm) + C < 0 form after stacking all iterations.
+    RangeConstraint out;
+    for (std::size_t k = 0; k < _iters.size(); ++k) {
+        std::vector<std::int64_t> row(_iters.size() + 1, 0);
+        row[k] = 1;
+        row.back() = -_iters[k].extent;
+        out.rows.push_back(std::move(row));
+    }
+    return out;
+}
+
+std::string
+ComputeAbstraction::toString() const
+{
+    auto render_operand = [this](const IntrinsicOperand &op) {
+        return op.name + "[" +
+               joinMapped(op.iterIndices, ", ",
+                          [this](std::size_t idx) {
+                              return _iters[idx].name;
+                          }) +
+               "]";
+    };
+    std::string out = render_operand(_dst);
+    out += _combine == CombineKind::MultiplyAdd ? " = multiply-add("
+                                                : " = sum(";
+    std::vector<std::string> parts;
+    for (const auto &src : _srcs)
+        parts.push_back(render_operand(src));
+    out += join(parts, ", ") + ")";
+    out += "  s.t. ";
+    parts.clear();
+    for (const auto &it : _iters)
+        parts.push_back(it.name + " < " + std::to_string(it.extent));
+    out += join(parts, ", ");
+    return out;
+}
+
+const MemoryAbstraction::Statement &
+MemoryAbstraction::forOperand(const std::string &name) const
+{
+    for (const auto &stmt : _statements)
+        if (stmt.operand == name)
+            return stmt;
+    panic("MemoryAbstraction: no statement for operand ", name);
+}
+
+std::string
+MemoryAbstraction::toString() const
+{
+    std::string out;
+    for (const auto &stmt : _statements) {
+        out += std::string(memScopeName(stmt.dstScope)) + "." +
+               stmt.operand + " = " + memScopeName(stmt.srcScope) +
+               "." + stmt.operand + "\n";
+    }
+    return out;
+}
+
+} // namespace amos

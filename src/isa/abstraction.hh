@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Hardware abstraction (Sec. 4 of the AMOS paper).
+ *
+ * A hardware intrinsic is described in scalar form:
+ *
+ *   Dst[i...] = F(Src1[j1...], ..., SrcM[jM...])
+ *     s.t.  A·i + sum_m Bm·jm + C < 0          (compute abstraction)
+ *
+ *   reg.Srcm[jm...]  = shared.Srcm[lm...]
+ *   global.Dst[k...] = reg.Dst[i...]           (memory abstraction)
+ *
+ * The compute abstraction names the intrinsic iterations, their
+ * extents (the problem-size constraint), and which iterations index
+ * each operand; the memory abstraction records the scope each operand
+ * moves between and therefore where its tile must be staged.
+ */
+
+#ifndef AMOS_ISA_ABSTRACTION_HH
+#define AMOS_ISA_ABSTRACTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bit_matrix.hh"
+#include "tensor/computation.hh"
+#include "tensor/dtype.hh"
+
+namespace amos {
+
+/** Memory scope of an operand at some point of its journey. */
+enum class MemScope
+{
+    Global,
+    Shared,
+    Reg,
+};
+
+/** Printable name of a memory scope. */
+const char *memScopeName(MemScope scope);
+
+/** One iteration of a hardware intrinsic (e.g. i1, i2, r1). */
+struct IntrinsicIter
+{
+    std::string name;
+    std::int64_t extent = 0;    ///< problem size along this iteration
+    bool reduction = false;     ///< true iff absent from Dst's index
+};
+
+/**
+ * One operand of an intrinsic: which intrinsic iterations index it
+ * (ordered — these are the js of Def. 4.1) and its element type.
+ */
+struct IntrinsicOperand
+{
+    std::string name;
+    std::vector<std::size_t> iterIndices;
+    DataType dtype = DataType::F16;
+};
+
+/**
+ * Compute abstraction of one hardware compute intrinsic (Def. 4.1).
+ */
+class ComputeAbstraction
+{
+  public:
+    ComputeAbstraction(std::string name,
+                       std::vector<IntrinsicIter> iters,
+                       std::vector<IntrinsicOperand> srcs,
+                       IntrinsicOperand dst,
+                       CombineKind combine = CombineKind::MultiplyAdd);
+
+    const std::string &name() const { return _name; }
+    const std::vector<IntrinsicIter> &iters() const { return _iters; }
+    const std::vector<IntrinsicOperand> &srcs() const { return _srcs; }
+    const IntrinsicOperand &dst() const { return _dst; }
+    CombineKind combine() const { return _combine; }
+
+    std::size_t numIters() const { return _iters.size(); }
+    std::size_t numSrcs() const { return _srcs.size(); }
+
+    /**
+     * Intrinsic access matrix Z (Fig. 4): one row per operand in the
+     * order [srcs..., dst], one column per intrinsic iteration; entry
+     * set iff the iteration indexes the operand.
+     */
+    BitMatrix accessMatrix() const;
+
+    /** Problem size: extent of each intrinsic iteration. */
+    std::vector<std::int64_t> problemSize() const;
+
+    /** Scalar multiply-accumulate count of one intrinsic call. */
+    std::int64_t scalarOps() const;
+
+    /** Number of elements of one operand tile (product of extents). */
+    std::int64_t operandTileElems(const IntrinsicOperand &op) const;
+
+    /** Bytes of one operand tile. */
+    std::int64_t operandTileBytes(const IntrinsicOperand &op) const;
+
+    /**
+     * The affine range constraint of Def. 4.1 in matrix form: for a
+     * combined index vector [spatial iters..., reduction iters...],
+     * rows encode x_k < extent_k. Exposed for inspection and tests.
+     */
+    struct RangeConstraint
+    {
+        /// One row per constraint: coefficients over all intrinsic
+        /// iterations followed by the constant term; row meaning is
+        /// sum(coeffs * iters) + constant < 0.
+        std::vector<std::vector<std::int64_t>> rows;
+    };
+    RangeConstraint rangeConstraint() const;
+
+    /** Render as a scalar-form statement like the paper's Eq. 1. */
+    std::string toString() const;
+
+  private:
+    std::string _name;
+    std::vector<IntrinsicIter> _iters;
+    std::vector<IntrinsicOperand> _srcs;
+    IntrinsicOperand _dst;
+    CombineKind _combine;
+};
+
+/**
+ * Memory abstraction of one intrinsic (Def. 4.2): a list of scoped
+ * transfer statements, one per operand.
+ */
+class MemoryAbstraction
+{
+  public:
+    /** One statement: operand data moves dstScope <- srcScope. */
+    struct Statement
+    {
+        std::string operand;  ///< matches a ComputeAbstraction operand
+        MemScope dstScope;
+        MemScope srcScope;
+    };
+
+    explicit MemoryAbstraction(std::vector<Statement> statements)
+        : _statements(std::move(statements))
+    {}
+
+    const std::vector<Statement> &statements() const
+    {
+        return _statements;
+    }
+
+    /** Statement for a named operand; panics if missing. */
+    const Statement &forOperand(const std::string &name) const;
+
+    std::string toString() const;
+
+  private:
+    std::vector<Statement> _statements;
+};
+
+/**
+ * A complete intrinsic: compute + memory abstraction plus the timing
+ * attributes the performance model and simulator need.
+ */
+struct Intrinsic
+{
+    ComputeAbstraction compute;
+    MemoryAbstraction memory;
+
+    /** Pipelined issue-to-issue latency of one call, in cycles. */
+    double latencyCycles = 1.0;
+
+    /** Calls that can be in flight concurrently per sub-core. */
+    int unitsPerSubcore = 1;
+
+    /**
+     * Register-file capacity available for operand fragments, in
+     * bytes per sub-core. Bounds how many accumulator tiles a
+     * sub-core may keep live.
+     */
+    std::int64_t regFileBytes = 64 * 1024;
+
+    const std::string &name() const { return compute.name(); }
+};
+
+} // namespace amos
+
+#endif // AMOS_ISA_ABSTRACTION_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Intrinsic registry: the concrete hardware intrinsics modelled in
+ * this reproduction, each expressed through the hardware abstraction.
+ *
+ *  - Tensor Core WMMA mma_sync (16x16x16 f16, and the 2x2x2 teaching
+ *    variant used by the paper's Fig. 3 running example);
+ *  - AVX-512 VNNI dpbusds (per-lane 4-wide int8 dot, modelled as a
+ *    16-lane matrix-vector product);
+ *  - Mali Bifrost arm_dot (4-wide dot product);
+ *  - the three virtual accelerators of Sec. 7.5 (AXPY, GEMV, CONV).
+ */
+
+#ifndef AMOS_ISA_INTRINSICS_HH
+#define AMOS_ISA_INTRINSICS_HH
+
+#include "isa/abstraction.hh"
+
+namespace amos {
+namespace isa {
+
+/**
+ * Tensor Core WMMA matrix multiply-accumulate:
+ * Dst[i1,i2] += Src1[i1,r1] * Src2[r1,i2] with problem size m x n x k.
+ * Sources staged shared->reg, destination stored reg->global,
+ * matching wmma::load_matrix_sync / mma_sync / store_matrix_sync.
+ */
+Intrinsic wmma(std::int64_t m = 16, std::int64_t n = 16,
+               std::int64_t k = 16);
+
+/** The paper's Fig. 3 teaching Tensor Core: wmma(2, 2, 2). */
+Intrinsic wmmaTiny();
+
+/**
+ * The three WMMA problem shapes real Tensor Cores expose
+ * (m16n16k16, m32n8k16, m8n32k16 — the paper's Eq. 1 uses the
+ * 32x8x16 variant). All have equal scalar throughput; the shape
+ * changes which fused extents divide evenly and how tiles stage.
+ */
+std::vector<Intrinsic> wmmaVariants();
+
+/**
+ * AVX-512 VNNI dpbusds: each of 16 i32 lanes accumulates a 4-wide
+ * i8 dot: Dst[i1] += Src1[r1] * Src2[i1,r1] (Src1 is the broadcast
+ * activation vector, Src2 the per-lane weight rows).
+ */
+Intrinsic avx512Vnni();
+
+/**
+ * Mali Bifrost arm_dot: one scalar accumulator gets a 4-wide dot:
+ * Dst[] += Src1[r1] * Src2[r1].
+ */
+Intrinsic maliDot();
+
+/** Virtual AXPY accelerator: Dst[i1] += Src1[i1] * Src2[] (Sec 7.5). */
+Intrinsic virtualAxpy(std::int64_t lanes = 64);
+
+/** Virtual GEMV accelerator: Dst[i1] += Src1[i1,r1] * Src2[r1]. */
+Intrinsic virtualGemv(std::int64_t rows = 32, std::int64_t depth = 32);
+
+/**
+ * Virtual CONV accelerator computing a pointwise convolution tile:
+ * Dst[i1,i2,i3] += Src1[r1,i2,i3] * Src2[i1,r1]
+ * (output channel, height, width; reduction over input channel).
+ */
+Intrinsic virtualConv(std::int64_t out_ch = 8, std::int64_t height = 4,
+                      std::int64_t width = 4, std::int64_t in_ch = 8);
+
+} // namespace isa
+} // namespace amos
+
+#endif // AMOS_ISA_INTRINSICS_HH

@@ -1,0 +1,290 @@
+#include "execute.hh"
+
+#include "support/logging.hh"
+#include "tensor/reference.hh"
+
+namespace amos {
+
+namespace {
+
+/** Odometer over a list of extents; calls fn with the index vector. */
+template <typename Fn>
+void
+forEachIndex(const std::vector<std::int64_t> &extents, Fn fn)
+{
+    std::vector<std::int64_t> idx(extents.size(), 0);
+    for (auto e : extents)
+        if (e <= 0)
+            return;
+    bool done = false;
+    while (!done) {
+        fn(idx);
+        std::size_t d = extents.size();
+        done = extents.empty();
+        while (d > 0) {
+            --d;
+            if (++idx[d] < extents[d])
+                break;
+            idx[d] = 0;
+            if (d == 0)
+                done = true;
+        }
+    }
+}
+
+/** Unflatten a fused flat value into member software coordinates. */
+void
+unflattenGroup(const TensorComputation &comp,
+               const MappingPlan::GroupInfo &group, std::int64_t flat,
+               std::vector<std::int64_t> &sw_coords)
+{
+    for (std::size_t pos = group.members.size(); pos-- > 0;) {
+        std::size_t s = group.members[pos];
+        std::int64_t extent = comp.iters()[s].extent;
+        sw_coords[s] = flat % extent;
+        flat /= extent;
+    }
+}
+
+std::int64_t
+readAccess(const Buffer &buf, const std::vector<Expr> &indices,
+           const VarBinding &binding)
+{
+    std::vector<std::int64_t> idx(indices.size());
+    for (std::size_t d = 0; d < indices.size(); ++d)
+        idx[d] = evalExpr(indices[d], binding);
+    return buf.flatten(idx);
+}
+
+} // namespace
+
+void
+executeMappedDirect(const MappingPlan &plan,
+                    const std::vector<const Buffer *> &inputs,
+                    Buffer &output)
+{
+    const auto &comp = plan.computation();
+    const auto &intr = plan.intrinsic().compute;
+    require(plan.valid(),
+            "executeMappedDirect on an invalid mapping for ",
+            comp.name());
+    require(inputs.size() == comp.inputs().size(),
+            "executeMappedDirect: input count mismatch");
+
+    std::vector<std::int64_t> outer_extents;
+    for (const auto &axis : plan.outerAxes())
+        outer_extents.push_back(axis.extent);
+    std::vector<std::int64_t> intr_extents = intr.problemSize();
+
+    const auto &groups = plan.groups();
+    std::vector<std::int64_t> sw_coords(comp.numIters(), 0);
+    VarBinding binding;
+
+    forEachIndex(outer_extents, [&](const std::vector<std::int64_t>
+                                        &outer) {
+        // Quotient per intrinsic iteration at this outer coordinate.
+        std::vector<std::int64_t> quotient(groups.size(), 0);
+        for (std::size_t a = 0; a < plan.outerAxes().size(); ++a) {
+            const auto &axis = plan.outerAxes()[a];
+            if (axis.kind == MappingPlan::OuterAxis::Kind::Unmapped)
+                sw_coords[axis.ref] = outer[a];
+            else
+                quotient[axis.ref] = outer[a];
+        }
+
+        forEachIndex(intr_extents, [&](const std::vector<std::int64_t>
+                                           &intr_idx) {
+            // Reconstruct fused flat values; skip padding slots.
+            for (std::size_t k = 0; k < groups.size(); ++k) {
+                std::int64_t flat =
+                    quotient[k] * groups[k].intrinsicExtent +
+                    intr_idx[k];
+                if (flat >= groups[k].fusedExtent)
+                    return; // trailing padding
+                unflattenGroup(comp, groups[k], flat, sw_coords);
+            }
+            for (std::size_t s = 0; s < comp.numIters(); ++s)
+                binding[comp.iters()[s].var.node()] = sw_coords[s];
+
+            std::int64_t out_flat =
+                readAccess(output, comp.outputIndices(), binding);
+            float update = 0.0f;
+            switch (comp.combine()) {
+              case CombineKind::MultiplyAdd: {
+                float a = inputs[0]->at(readAccess(
+                    *inputs[0], comp.inputs()[0].indices, binding));
+                float b = inputs[1]->at(readAccess(
+                    *inputs[1], comp.inputs()[1].indices, binding));
+                update = a * b;
+                break;
+              }
+              case CombineKind::SumReduce:
+                update = inputs[0]->at(readAccess(
+                    *inputs[0], comp.inputs()[0].indices, binding));
+                break;
+            }
+            output.accumulate(out_flat, update);
+        });
+    });
+}
+
+void
+executeMappedPacked(const MappingPlan &plan,
+                    const std::vector<const Buffer *> &inputs,
+                    Buffer &output)
+{
+    const auto &comp = plan.computation();
+    const auto &intr = plan.intrinsic().compute;
+    require(plan.valid(),
+            "executeMappedPacked on an invalid mapping for ",
+            comp.name());
+    require(inputs.size() == comp.inputs().size(),
+            "executeMappedPacked: input count mismatch");
+
+    const auto &operands = plan.operands();
+    auto phys_exprs = plan.physicalComputeExprs();
+
+    // Packed storage per operand: numTiles x tileElems, zero-filled
+    // so trailing-padding slots contribute nothing.
+    std::vector<std::vector<float>> packed;
+    for (const auto &op : operands)
+        packed.emplace_back(
+            static_cast<std::size_t>(op.numTiles * op.tileElems),
+            0.0f);
+
+    // Packed address of an operand under a full software binding:
+    // evaluated base-address expression plus the row-major physical
+    // offset inside the tile.
+    auto packed_addr = [&](const MappingPlan::OperandInfo &op,
+                           const VarBinding &binding) {
+        std::int64_t addr = evalExpr(op.baseAddress, binding);
+        std::int64_t offset = 0;
+        for (auto k : op.intrinsicIters) {
+            std::int64_t phys = evalExpr(phys_exprs[k], binding);
+            offset = offset * intr.iters()[k].extent + phys;
+        }
+        return addr + offset;
+    };
+
+    // Stage 1: pack the inputs by sweeping the software domain.
+    std::vector<std::int64_t> sw_extents;
+    for (const auto &iv : comp.iters())
+        sw_extents.push_back(iv.extent);
+
+    VarBinding binding;
+    forEachIndex(sw_extents, [&](const std::vector<std::int64_t> &idx) {
+        for (std::size_t s = 0; s < comp.numIters(); ++s)
+            binding[comp.iters()[s].var.node()] = idx[s];
+        for (std::size_t m = 0; m < inputs.size(); ++m) {
+            const auto &op = operands[m];
+            std::int64_t src = readAccess(
+                *inputs[m], comp.inputs()[m].indices, binding);
+            std::int64_t dst = packed_addr(op, binding);
+            require(dst >= 0 &&
+                    dst < static_cast<std::int64_t>(packed[m].size()),
+                    "packed input address out of range for ", op.name,
+                    ": addr ", dst, " size ", packed[m].size());
+            packed[m][static_cast<std::size_t>(dst)] =
+                inputs[m]->at(src);
+        }
+    });
+
+    // Stage 2: execute intrinsic calls purely on packed tiles.
+    const auto &dst_op = operands.back();
+    std::vector<std::int64_t> outer_extents;
+    for (const auto &axis : plan.outerAxes())
+        outer_extents.push_back(axis.extent);
+    std::vector<std::int64_t> intr_extents = intr.problemSize();
+    const auto &groups = plan.groups();
+
+    forEachIndex(outer_extents, [&](const std::vector<std::int64_t>
+                                        &outer) {
+        // Representative software binding for this tile: within-tile
+        // index zero. Base addresses only depend on quotients and
+        // unmapped iterations, both fixed by the outer coordinate.
+        std::vector<std::int64_t> sw_coords(comp.numIters(), 0);
+        for (std::size_t a = 0; a < plan.outerAxes().size(); ++a) {
+            const auto &axis = plan.outerAxes()[a];
+            if (axis.kind == MappingPlan::OuterAxis::Kind::Unmapped) {
+                sw_coords[axis.ref] = outer[a];
+            } else {
+                std::int64_t flat =
+                    outer[a] * groups[axis.ref].intrinsicExtent;
+                unflattenGroup(comp, groups[axis.ref], flat,
+                               sw_coords);
+            }
+        }
+        VarBinding tile_binding;
+        for (std::size_t s = 0; s < comp.numIters(); ++s)
+            tile_binding[comp.iters()[s].var.node()] = sw_coords[s];
+
+        std::vector<std::int64_t> bases(operands.size());
+        for (std::size_t m = 0; m < operands.size(); ++m)
+            bases[m] = evalExpr(operands[m].baseAddress, tile_binding);
+
+        // One intrinsic call: the inner loops below are the scalar
+        // semantics of the compute abstraction.
+        forEachIndex(intr_extents, [&](const std::vector<std::int64_t>
+                                           &intr_idx) {
+            auto tile_offset =
+                [&](const MappingPlan::OperandInfo &op) {
+                    std::int64_t offset = 0;
+                    for (auto k : op.intrinsicIters)
+                        offset = offset * intr.iters()[k].extent +
+                                 intr_idx[k];
+                    return offset;
+                };
+            float update = 0.0f;
+            switch (comp.combine()) {
+              case CombineKind::MultiplyAdd: {
+                float a = packed[0][static_cast<std::size_t>(
+                    bases[0] + tile_offset(operands[0]))];
+                float b = packed[1][static_cast<std::size_t>(
+                    bases[1] + tile_offset(operands[1]))];
+                update = a * b;
+                break;
+              }
+              case CombineKind::SumReduce:
+                update = packed[0][static_cast<std::size_t>(
+                    bases[0] + tile_offset(operands[0]))];
+                break;
+            }
+            std::size_t dst_idx = operands.size() - 1;
+            packed[dst_idx][static_cast<std::size_t>(
+                bases[dst_idx] + tile_offset(dst_op))] += update;
+        });
+    });
+
+    // Stage 3: unpack the output back to the software layout.
+    forEachIndex(sw_extents, [&](const std::vector<std::int64_t> &idx) {
+        for (std::size_t s = 0; s < comp.numIters(); ++s)
+            binding[comp.iters()[s].var.node()] = idx[s];
+        std::int64_t sw = readAccess(output, comp.outputIndices(),
+                                     binding);
+        std::int64_t src = packed_addr(dst_op, binding);
+        output.set(sw, packed.back()[static_cast<std::size_t>(src)]);
+    });
+}
+
+float
+mappedVsReferenceError(const MappingPlan &plan, std::uint64_t seed)
+{
+    const auto &comp = plan.computation();
+    auto inputs = makePatternInputs(comp, seed);
+    std::vector<const Buffer *> ptrs;
+    for (const auto &b : inputs)
+        ptrs.push_back(&b);
+
+    Buffer ref(comp.output());
+    referenceExecute(comp, ptrs, ref);
+
+    Buffer direct(comp.output());
+    executeMappedDirect(plan, ptrs, direct);
+
+    Buffer packed(comp.output());
+    executeMappedPacked(plan, ptrs, packed);
+
+    return std::max(ref.maxAbsDiff(direct), ref.maxAbsDiff(packed));
+}
+
+} // namespace amos

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Mapping-space enumeration (Sec. 5.1 + 7.6 of the AMOS paper).
+ *
+ * Every software iteration is assigned to a compatible intrinsic
+ * iteration or left as an outer loop; Algorithm 1 then validates the
+ * candidate. Two legality policies are provided:
+ *
+ *  - Permissive: any assignment whose per-iteration compatibility
+ *    holds (exact Algorithm-1 semantics). A group may only be empty
+ *    when no software iteration is compatible with it at all.
+ *
+ *  - Addressable (default): additionally requires the fused groups of
+ *    *output-addressing* (spatial) intrinsic iterations to be
+ *    realisable with the single-stride tile addressing of the memory
+ *    abstraction: within each maximal run of adjacent output-tensor
+ *    dimensions, the selected iterations must form a suffix of the
+ *    run. This reproduces the mapping counts the paper reports for
+ *    C2D/GRP/DIL (35) and T2D (7); see EXPERIMENTS.md for the full
+ *    comparison.
+ */
+
+#ifndef AMOS_MAPPING_GENERATE_HH
+#define AMOS_MAPPING_GENERATE_HH
+
+#include <vector>
+
+#include "mapping/mapping.hh"
+
+namespace amos {
+
+/** Fusion-legality policy for spatial groups. */
+enum class LegalityPolicy
+{
+    Permissive,
+    Addressable,
+};
+
+/** Options controlling mapping enumeration. */
+struct GeneratorOptions
+{
+    LegalityPolicy policy = LegalityPolicy::Addressable;
+
+    /** Safety cap on enumerated candidates (0 = unlimited). */
+    std::size_t maxCandidates = 0;
+};
+
+/**
+ * Enumerate all valid compute mappings of a computation onto an
+ * intrinsic under the given policy. Each returned mapping passes
+ * Algorithm 1.
+ */
+std::vector<ComputeMapping> enumerateMappings(
+    const TensorComputation &comp, const Intrinsic &intr,
+    const GeneratorOptions &options = {});
+
+/**
+ * Convenience: enumerate and wrap each mapping in a full plan.
+ */
+std::vector<MappingPlan> enumeratePlans(
+    const TensorComputation &comp, const Intrinsic &intr,
+    const GeneratorOptions &options = {});
+
+/**
+ * True iff at least one valid mapping exists (used by the network
+ * mapper to decide tensorizability of an operator).
+ */
+bool isTensorizable(const TensorComputation &comp,
+                    const Intrinsic &intr);
+
+} // namespace amos
+
+#endif // AMOS_MAPPING_GENERATE_HH

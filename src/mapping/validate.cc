@@ -1,0 +1,64 @@
+#include "validate.hh"
+
+#include "support/logging.hh"
+
+namespace amos {
+
+ValidationResult
+validateMatching(const BitMatrix &x, const BitMatrix &y,
+                 const BitMatrix &z, bool allow_partial)
+{
+    require(x.rows() == z.rows(),
+            "validateMatching: operand counts differ (X has ",
+            x.rows(), ", Z has ", z.rows(), ")");
+    require(y.rows() == z.cols(),
+            "validateMatching: Y rows (", y.rows(),
+            ") must equal intrinsic iteration count (", z.cols(), ")");
+    require(y.cols() == x.cols(),
+            "validateMatching: Y cols (", y.cols(),
+            ") must equal software iteration count (", x.cols(), ")");
+
+    ValidationResult res;
+    res.softwareAccess = z.star(y);
+    res.hardwareAccess = x.star(y.transposed());
+
+    // X' = X over (mapped) software iteration columns.
+    for (std::size_t s = 0; s < x.cols(); ++s) {
+        bool mapped = false;
+        for (std::size_t k = 0; k < y.rows(); ++k)
+            mapped |= y.at(k, s);
+        if (allow_partial && !mapped)
+            continue; // outer loop: excluded from the check
+        for (std::size_t t = 0; t < x.rows(); ++t) {
+            if (res.softwareAccess.at(t, s) != x.at(t, s)) {
+                res.failure = "software access mismatch at operand " +
+                              std::to_string(t) + ", iteration " +
+                              std::to_string(s);
+                return res;
+            }
+        }
+    }
+
+    // Z' = Z over (covered) intrinsic iteration columns.
+    for (std::size_t k = 0; k < z.cols(); ++k) {
+        bool covered = false;
+        for (std::size_t s = 0; s < y.cols(); ++s)
+            covered |= y.at(k, s);
+        if (allow_partial && !covered)
+            continue; // padded to extent 1: excluded from the check
+        for (std::size_t t = 0; t < z.rows(); ++t) {
+            if (res.hardwareAccess.at(t, k) != z.at(t, k)) {
+                res.failure = "hardware access mismatch at operand " +
+                              std::to_string(t) +
+                              ", intrinsic iteration " +
+                              std::to_string(k);
+                return res;
+            }
+        }
+    }
+
+    res.valid = true;
+    return res;
+}
+
+} // namespace amos

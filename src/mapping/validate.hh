@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Software-hardware mapping validation (Algorithm 1, Sec. 5.2).
+ *
+ * Inputs are the three binary matrices of Fig. 4:
+ *   X — software access matrix   (operands x software iterations)
+ *   Y — iteration matching matrix (intrinsic iters x software iters)
+ *   Z — intrinsic access matrix  (operands x intrinsic iterations)
+ *
+ * The algorithm computes X' = Z ★ Y (software access relationship)
+ * and Z' = X ★ Yᵀ (hardware access relationship) with boolean matrix
+ * products and requires X' = X and Z' = Z.
+ *
+ * Two relaxations reflect how partial mappings execute (and are
+ * needed so e.g. GEMV maps onto a matmul intrinsic at all):
+ *  - software iterations left unmapped (all-zero Y column) become
+ *    outer loops; their X columns are excluded from the X' = X check;
+ *  - intrinsic iterations no software iteration maps to (all-zero Y
+ *    row) are padded to extent 1; their Z columns are excluded from
+ *    the Z' = Z check.
+ * Callers can disable the relaxations to get the strict algorithm.
+ */
+
+#ifndef AMOS_MAPPING_VALIDATE_HH
+#define AMOS_MAPPING_VALIDATE_HH
+
+#include <string>
+
+#include "support/bit_matrix.hh"
+
+namespace amos {
+
+/** Outcome of one validation run, with the derived matrices. */
+struct ValidationResult
+{
+    bool valid = false;
+    BitMatrix softwareAccess; ///< X' = Z ★ Y
+    BitMatrix hardwareAccess; ///< Z' = X ★ Yᵀ
+    std::string failure;      ///< empty when valid
+};
+
+/**
+ * Run Algorithm 1.
+ *
+ * @param x Software access matrix (operands x software iterations).
+ * @param y Matching matrix (intrinsic iters x software iterations).
+ * @param z Intrinsic access matrix (operands x intrinsic iterations).
+ * @param allow_partial Apply the unmapped-column / uncovered-row
+ *        relaxations described above (default true).
+ */
+ValidationResult validateMatching(const BitMatrix &x,
+                                  const BitMatrix &y,
+                                  const BitMatrix &z,
+                                  bool allow_partial = true);
+
+} // namespace amos
+
+#endif // AMOS_MAPPING_VALIDATE_HH

@@ -1,0 +1,67 @@
+#include "verify_bounds.hh"
+
+#include "support/logging.hh"
+
+namespace amos {
+
+IntervalEnv
+iterationIntervals(const TensorComputation &comp)
+{
+    IntervalEnv env;
+    for (const auto &iv : comp.iters())
+        env[iv.var.node()] = {0, iv.extent - 1};
+    return env;
+}
+
+BoundsReport
+verifyPlanBounds(const MappingPlan &plan)
+{
+    require(plan.valid(), "verifyPlanBounds on an invalid plan");
+    BoundsReport report;
+    auto fail = [&report](std::string why) {
+        report.ok = false;
+        if (report.failure.empty())
+            report.failure = std::move(why);
+    };
+
+    const auto &comp = plan.computation();
+    const auto &intr = plan.intrinsic().compute;
+    auto env = iterationIntervals(comp);
+
+    // Physical compute expressions stay inside the problem size.
+    auto phys = plan.physicalComputeExprs();
+    for (std::size_t k = 0; k < phys.size(); ++k) {
+        Interval want{0, intr.iters()[k].extent - 1};
+        Interval got = evalInterval(phys[k], env);
+        if (!want.contains(got))
+            fail("physical expression of " + intr.iters()[k].name +
+                 " ranges " + got.toString() + " outside " +
+                 want.toString());
+    }
+
+    // Quotients stay inside the tile grid.
+    auto quot = plan.quotientExprs();
+    for (std::size_t k = 0; k < quot.size(); ++k) {
+        Interval want{0, plan.groups()[k].quotient - 1};
+        Interval got = evalInterval(quot[k], env);
+        if (!want.contains(got))
+            fail("quotient of " + intr.iters()[k].name + " ranges " +
+                 got.toString() + " outside " + want.toString());
+    }
+
+    // Packed addresses stay inside each operand's buffer.
+    for (const auto &op : plan.operands()) {
+        Expr offset(std::int64_t{0});
+        for (auto k : op.intrinsicIters)
+            offset = offset * Expr(intr.iters()[k].extent) + phys[k];
+        Interval addr =
+            evalInterval(op.baseAddress + offset, env);
+        Interval want{0, op.numTiles * op.tileElems - 1};
+        if (!want.contains(addr))
+            fail("packed address of " + op.name + " ranges " +
+                 addr.toString() + " outside " + want.toString());
+    }
+    return report;
+}
+
+} // namespace amos

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Static bounds verification of a mapping plan: interval analysis
+ * proves, without executing anything, that
+ *
+ *  - every physical compute-mapping expression stays inside its
+ *    intrinsic iteration's extent,
+ *  - every quotient expression stays inside its tile-grid extent,
+ *  - every packed address (base + within-tile offset) stays inside
+ *    its operand's packed buffer.
+ *
+ * This complements the dynamic executors in mapping/execute.hh: the
+ * executors check value correctness on one input, the verifier
+ * checks address safety for the whole iteration domain at once.
+ */
+
+#ifndef AMOS_MAPPING_VERIFY_BOUNDS_HH
+#define AMOS_MAPPING_VERIFY_BOUNDS_HH
+
+#include <string>
+
+#include "ir/interval.hh"
+#include "mapping/mapping.hh"
+
+namespace amos {
+
+/** Outcome of static verification. */
+struct BoundsReport
+{
+    bool ok = true;
+    std::string failure; ///< first violated property, empty when ok
+};
+
+/** Iterator ranges of a computation: [0, extent-1] each. */
+IntervalEnv iterationIntervals(const TensorComputation &comp);
+
+/** Statically verify a (valid) mapping plan's address bounds. */
+BoundsReport verifyPlanBounds(const MappingPlan &plan);
+
+} // namespace amos
+
+#endif // AMOS_MAPPING_VERIFY_BOUNDS_HH

@@ -1,0 +1,77 @@
+#include "perf_model.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/math_utils.hh"
+
+namespace amos {
+
+ModelEstimate
+modelEstimate(const KernelProfile &prof, const HardwareSpec &hw)
+{
+    ModelEstimate est;
+    if (!prof.valid()) {
+        est.schedulable = false;
+        est.totalCycles = std::numeric_limits<double>::infinity();
+        return est;
+    }
+
+    // Level 0/1: the warp-serial loop. Compute rate is limited by the
+    // intrinsic issue pipeline; reads come from shared memory at the
+    // sub-core's share of the per-core bandwidth.
+    double call_rate = prof.intrinsicLatencyCycles /
+                       prof.intrinsicUnitsPerSubcore;
+    est.computeWarp = prof.serialCallsPerWarp * call_rate;
+
+    double shared_read_bw =
+        hw.shared.readBytesPerCycle / hw.subcoresPerCore;
+    est.readShared = prof.sharedLoadBytesPerWarp / shared_read_bw;
+
+    double warp_cycles = std::max(est.computeWarp, est.readShared);
+
+    // Level 2: one block. Warps beyond the sub-core count serialise;
+    // global traffic uses the core's fair share of chip bandwidth
+    // assuming ideal full-device occupancy.
+    double warp_batches = static_cast<double>(
+        ceilDiv(prof.warpsPerBlock, hw.subcoresPerCore));
+    double compute_block = warp_batches * warp_cycles;
+
+    // Idealised concurrency: the occupancy cap is reached whenever
+    // enough blocks exist (the simulator additionally limits it by
+    // the shared-memory footprint and warp slots).
+    double concurrent = static_cast<double>(std::min<std::int64_t>(
+        prof.numBlocks,
+        static_cast<std::int64_t>(hw.maxBlocksPerCore) *
+            hw.numCores));
+    concurrent = std::max(concurrent, 1.0);
+
+    double global_bw_per_block =
+        hw.global.readBytesPerCycle / concurrent;
+    est.readGlobal =
+        prof.globalLoadBytesPerBlock / global_bw_per_block;
+    double global_wr_per_block =
+        hw.global.writeBytesPerCycle / concurrent;
+    est.writeGlobal =
+        prof.globalStoreBytesPerBlock / global_wr_per_block;
+
+    est.blockCycles = std::max(
+        {compute_block, est.readGlobal, est.writeGlobal});
+
+    // Level 3: the grid, with fractional waves (ideal scheduling,
+    // no tail quantisation — a simplification the simulator does
+    // not make).
+    double waves =
+        static_cast<double>(prof.numBlocks) / concurrent;
+    waves = std::max(waves, 1.0);
+    est.totalCycles = waves * est.blockCycles;
+    return est;
+}
+
+double
+modelCycles(const KernelProfile &prof, const HardwareSpec &hw)
+{
+    return modelEstimate(prof, hw).totalCycles;
+}
+
+} // namespace amos

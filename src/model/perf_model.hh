@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Analytic performance model (Sec. 5.3 of the AMOS paper).
+ *
+ * The accelerator is modelled level by level (level 0 = intrinsic):
+ *
+ *   Perf = L_{N-1}
+ *   L_l  = prod(S_l) * max(L_{l-1}, R_{l-1}, W_{l-1})   for l > 0
+ *   L_0  = prod(S_0) * latency_of_intrinsic
+ *   R_l  = DataIn_l / in_bw_l,   W_l = DataOut_l / out_bw_l
+ *
+ * where S_l are the sequential (unbound) trip counts of level l and
+ * DataIn/DataOut come from the kernel profile's footprint inference.
+ * The model is intentionally simpler than the simulator: it assumes
+ * ideal occupancy, fractional waves, and perfectly coalesced
+ * accesses; see Fig. 5 for how well its rankings track ground truth.
+ */
+
+#ifndef AMOS_MODEL_PERF_MODEL_HH
+#define AMOS_MODEL_PERF_MODEL_HH
+
+#include "hw/hardware.hh"
+#include "schedule/profile.hh"
+
+namespace amos {
+
+/** Per-level breakdown of the analytic estimate. */
+struct ModelEstimate
+{
+    double computeWarp = 0.0;  ///< L_1: warp-serial compute, cycles
+    double readShared = 0.0;   ///< R_1: shared-level load, cycles
+    double readGlobal = 0.0;   ///< R_2: global-level load, cycles
+    double writeGlobal = 0.0;  ///< W_2: global store, cycles
+    double blockCycles = 0.0;  ///< L_2
+    double totalCycles = 0.0;  ///< Perf
+
+    bool schedulable = true;   ///< false when the profile is invalid
+};
+
+/** Evaluate the model on a lowered kernel profile. */
+ModelEstimate modelEstimate(const KernelProfile &prof,
+                            const HardwareSpec &hw);
+
+/** Shorthand: total predicted cycles (infinity when unschedulable). */
+double modelCycles(const KernelProfile &prof, const HardwareSpec &hw);
+
+} // namespace amos
+
+#endif // AMOS_MODEL_PERF_MODEL_HH

@@ -1,0 +1,337 @@
+#include "config_suite.hh"
+
+namespace amos {
+namespace ops {
+
+namespace {
+
+ConvParams
+cp(std::int64_t cin, std::int64_t cout, std::int64_t size,
+   std::int64_t kernel, std::int64_t stride = 1,
+   std::int64_t dilation = 1)
+{
+    ConvParams pr;
+    pr.in_channels = cin;
+    pr.out_channels = cout;
+    pr.out_h = pr.out_w = size;
+    pr.kernel_h = pr.kernel_w = kernel;
+    pr.stride = stride;
+    pr.dilation = dilation;
+    return pr;
+}
+
+ConvParams
+at(ConvParams pr, std::int64_t batch)
+{
+    pr.batch = batch;
+    return pr;
+}
+
+std::vector<SuiteEntry>
+buildSuite()
+{
+    std::vector<SuiteEntry> s;
+    auto add = [&s](OpKind kind, std::string label,
+                    std::function<TensorComputation(std::int64_t)>
+                        build) {
+        s.push_back({kind, std::move(label), std::move(build)});
+    };
+
+    // --- GMV: batch-1 linear layers (MI-LSTM, classifiers). ---
+    struct MV
+    {
+        const char *tag;
+        std::int64_t m, k;
+    };
+    for (MV row : std::initializer_list<MV>{
+             {"milstm-gate", 1024, 1024},
+             {"milstm-wide", 2048, 1024},
+             {"resnet50-fc", 1000, 2048},
+             {"mobilenet-fc", 1000, 1024},
+             {"bert-pooler", 768, 768},
+             {"shufflenet-fc", 1000, 1088},
+             {"lm-head", 4096, 1024},
+             {"narrow", 256, 4096}}) {
+        add(OpKind::GMV, std::string("GMV/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeGemv(row.m, row.k * 1 + 0 * batch);
+            });
+    }
+
+    // --- GMM: transformer projections and classifier matmuls. ---
+    struct MM
+    {
+        const char *tag;
+        std::int64_t m, n, k;
+    };
+    for (MM row : std::initializer_list<MM>{
+             {"bert-qkv", 512, 768, 768},
+             {"bert-ffn-up", 512, 3072, 768},
+             {"bert-ffn-down", 512, 768, 3072},
+             {"transformer-proj", 128, 512, 512},
+             {"square-512", 512, 512, 512},
+             {"tall", 2048, 256, 512},
+             {"wide", 256, 2048, 512},
+             {"deep-k", 256, 256, 4096}}) {
+        add(OpKind::GMM, std::string("GMM/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeGemm(row.m * batch, row.n, row.k);
+            });
+    }
+
+    // --- C1D: temporal convolutions. ---
+    struct C1
+    {
+        const char *tag;
+        std::int64_t cin, cout, len, kernel, stride;
+    };
+    for (C1 row : std::initializer_list<C1>{
+             {"speech-front", 64, 128, 128, 3, 1},
+             {"wavenet-ish", 128, 128, 64, 5, 1},
+             {"downsample", 128, 256, 64, 3, 2},
+             {"deep", 256, 256, 32, 3, 1},
+             {"wide-kernel", 64, 64, 96, 9, 1},
+             {"narrow", 32, 64, 256, 3, 1},
+             {"stride4", 64, 128, 32, 7, 4},
+             {"head", 256, 512, 16, 3, 1}}) {
+        add(OpKind::C1D, std::string("C1D/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeConv1d(batch, row.cin, row.cout, row.len,
+                                  row.kernel, row.stride);
+            });
+    }
+
+    // --- C2D: ResNet-style convolutions. ---
+    struct C2
+    {
+        const char *tag;
+        ConvParams pr;
+    };
+    for (C2 row : std::initializer_list<C2>{
+             {"resnet-c1", cp(64, 64, 56, 3)},
+             {"resnet-c5", cp(128, 128, 28, 3)},
+             {"resnet-c8", cp(256, 256, 14, 3)},
+             {"resnet-c11", cp(512, 512, 7, 3)},
+             {"strided", cp(64, 128, 28, 3, 2)},
+             {"pointwise", cp(256, 512, 14, 1)},
+             {"stem", cp(3, 64, 112, 7, 2)},
+             {"wide", cp(64, 64, 56, 5)}}) {
+        add(OpKind::C2D, std::string("C2D/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeConv2d(at(row.pr, batch));
+            });
+    }
+
+    // --- C3D: video convolutions. ---
+    struct C3
+    {
+        const char *tag;
+        ConvParams pr;
+        std::int64_t depth, kdepth;
+    };
+    for (C3 row : std::initializer_list<C3>{
+             {"slowfast", cp(32, 64, 28, 3), 8, 3},
+             {"i3d-mid", cp(64, 64, 14, 3), 8, 3},
+             {"i3d-deep", cp(128, 128, 7, 3), 4, 3},
+             {"temporal-only", cp(64, 64, 14, 1), 8, 3},
+             {"spatial-only", cp(64, 64, 14, 3), 8, 1},
+             {"stem", cp(3, 32, 56, 5, 2), 8, 3},
+             {"head", cp(256, 256, 4, 3), 2, 3}}) {
+        add(OpKind::C3D, std::string("C3D/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeConv3d(at(row.pr, batch), row.depth,
+                                  row.kdepth);
+            });
+    }
+
+    // --- T2D: decoder upsampling. ---
+    for (C2 row : std::initializer_list<C2>{
+             {"dcgan-1", cp(128, 64, 28, 3, 2)},
+             {"dcgan-2", cp(256, 128, 14, 3, 2)},
+             {"unet-up", cp(512, 256, 8, 2, 2)},
+             {"seg-head", cp(64, 32, 56, 3, 2)},
+             {"big-kernel", cp(128, 64, 14, 5, 2)},
+             {"shallow", cp(32, 16, 56, 3, 2)},
+             {"deep", cp(512, 512, 7, 3, 2)}}) {
+        add(OpKind::T2D, std::string("T2D/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeTransposedConv2d(at(row.pr, batch));
+            });
+    }
+
+    // --- GRP: ShuffleNet / ResNeXt grouped convolutions. ---
+    struct G2
+    {
+        const char *tag;
+        ConvParams pr;
+        std::int64_t groups;
+    };
+    for (G2 row : std::initializer_list<G2>{
+             {"shufflenet-s2", cp(68, 17, 28, 1), 4},
+             {"shufflenet-s3", cp(136, 34, 14, 1), 4},
+             {"shufflenet-s4", cp(272, 68, 7, 1), 4},
+             {"resnext", cp(4, 4, 14, 3), 32},
+             {"two-group", cp(64, 64, 28, 3), 2},
+             {"wide-group", cp(32, 32, 28, 3), 4},
+             {"strided-group", cp(34, 34, 14, 3, 2), 4},
+             {"deep-group", cp(16, 16, 7, 3), 8}}) {
+        add(OpKind::GRP, std::string("GRP/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeGroupConv2d(at(row.pr, batch),
+                                       row.groups);
+            });
+    }
+
+    // --- DIL: DeepLab atrous convolutions. ---
+    for (C2 row : std::initializer_list<C2>{
+             {"aspp-r2", cp(128, 128, 28, 3, 1, 2)},
+             {"aspp-r4", cp(256, 256, 14, 3, 1, 4)},
+             {"aspp-r6", cp(256, 256, 14, 3, 1, 6)},
+             {"context", cp(64, 64, 56, 3, 1, 2)},
+             {"deep", cp(512, 512, 7, 3, 1, 2)},
+             {"wide-rate", cp(128, 128, 28, 3, 1, 8)},
+             {"strided-dil", cp(128, 128, 14, 3, 2, 2)},
+             {"small", cp(32, 32, 28, 3, 1, 2)}}) {
+        add(OpKind::DIL, std::string("DIL/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeDilatedConv2d(at(row.pr, batch));
+            });
+    }
+
+    // --- DEP: MobileNet depthwise stages. ---
+    struct D2
+    {
+        const char *tag;
+        ConvParams pr;
+        std::int64_t multiplier;
+    };
+    for (D2 row : std::initializer_list<D2>{
+             {"mbv1-s2", cp(128, 0, 56, 3), 1},
+             {"mbv1-s3", cp(256, 0, 28, 3), 1},
+             {"mbv1-s4", cp(512, 0, 14, 3), 1},
+             {"mbv1-s5", cp(1024, 0, 7, 3), 1},
+             {"strided", cp(128, 0, 28, 3, 2), 1},
+             {"multiplier-2", cp(64, 0, 28, 3), 2},
+             {"big-kernel", cp(128, 0, 14, 5), 1},
+             {"tiny", cp(32, 0, 112, 3), 1}}) {
+        add(OpKind::DEP, std::string("DEP/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeDepthwiseConv2d(at(row.pr, batch),
+                                           row.multiplier);
+            });
+    }
+
+    // --- CAP: capsule convolutions. ---
+    for (G2 row : std::initializer_list<G2>{
+             {"capsnet-prim", cp(8, 16, 6, 3), 4},
+             {"capsnet-deep", cp(16, 16, 4, 3), 4},
+             {"small-pose", cp(8, 8, 6, 3), 2},
+             {"wide", cp(16, 32, 6, 3), 4},
+             {"stride", cp(8, 16, 6, 3, 2), 4},
+             {"tall", cp(8, 16, 10, 3), 4},
+             {"mini", cp(4, 8, 4, 3), 4}}) {
+        add(OpKind::CAP, std::string("CAP/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeCapsuleConv2d(at(row.pr, batch),
+                                         row.groups);
+            });
+    }
+
+    // --- BCV: CondConv per-sample expert kernels. ---
+    for (C2 row : std::initializer_list<C2>{
+             {"condconv-mid", cp(64, 64, 14, 3)},
+             {"condconv-deep", cp(128, 128, 7, 3)},
+             {"condconv-wide", cp(128, 256, 14, 3)},
+             {"pointwise", cp(256, 256, 14, 1)},
+             {"strided", cp(64, 128, 14, 3, 2)},
+             {"early", cp(32, 64, 28, 3)},
+             {"late", cp(256, 512, 7, 3)}}) {
+        add(OpKind::BCV, std::string("BCV/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeBatchedConv2d(at(row.pr, batch * 8));
+            });
+    }
+
+    // --- GFC: WeightNet grouped fully-connected. ---
+    struct FC
+    {
+        const char *tag;
+        std::int64_t groups, out, in;
+    };
+    for (FC row : std::initializer_list<FC>{
+             {"weightnet-16", 16, 64, 128},
+             {"weightnet-32", 32, 128, 64},
+             {"few-groups", 4, 256, 256},
+             {"many-groups", 64, 32, 32},
+             {"wide", 16, 512, 128},
+             {"deep", 16, 64, 1024},
+             {"tiny", 8, 16, 16}}) {
+        add(OpKind::GFC, std::string("GFC/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeGroupedFC(batch, row.groups, row.out,
+                                     row.in);
+            });
+    }
+
+    // --- MEN / VAR: normalisation statistics. ---
+    struct RC
+    {
+        const char *tag;
+        std::int64_t rows, cols;
+    };
+    const std::initializer_list<RC> stat_rows = {
+        {"bert-ln", 512, 768},    {"gpt-ln", 1024, 1024},
+        {"vision-gn", 256, 3136}, {"small", 64, 256},
+        {"wide", 128, 8192},      {"tall", 8192, 128},
+        {"square", 1024, 1024}};
+    for (RC row : stat_rows) {
+        add(OpKind::MEN, std::string("MEN/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeMean(row.rows * batch, row.cols);
+            });
+        add(OpKind::VAR, std::string("VAR/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeVariance(row.rows * batch, row.cols);
+            });
+    }
+
+    // --- SCN: scan / prefix-sum workloads. ---
+    for (RC row : std::initializer_list<RC>{
+             {"rows-64", 64, 256},
+             {"rows-128", 128, 512},
+             {"long", 32, 1024},
+             {"short", 256, 64},
+             {"square", 128, 128},
+             {"wide", 16, 2048},
+             {"tiny", 32, 32},
+             {"batchy", 512, 128}}) {
+        add(OpKind::SCN, std::string("SCN/") + row.tag,
+            [row](std::int64_t batch) {
+                return makeScan(row.rows * batch, row.cols);
+            });
+    }
+
+    return s;
+}
+
+} // namespace
+
+const std::vector<SuiteEntry> &
+configSuite()
+{
+    static const std::vector<SuiteEntry> suite = buildSuite();
+    return suite;
+}
+
+std::vector<SuiteEntry>
+configsOf(OpKind kind)
+{
+    std::vector<SuiteEntry> out;
+    for (const auto &entry : configSuite())
+        if (entry.kind == kind)
+            out.push_back(entry);
+    return out;
+}
+
+} // namespace ops
+} // namespace amos

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The full single-operator configuration suite of Sec. 7.3: the
+ * paper evaluates 113 configurations (7–8 per operator family),
+ * "all extracted from real-world networks". This table rebuilds a
+ * suite of the same size and provenance: ResNet-18/50, MobileNet,
+ * ShuffleNet, Bert, MI-LSTM, DeepLab, CondConv, WeightNet, CapsNet,
+ * video CNNs, and decoder upsampling stacks.
+ */
+
+#ifndef AMOS_OPS_CONFIG_SUITE_HH
+#define AMOS_OPS_CONFIG_SUITE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ops/operators.hh"
+
+namespace amos {
+namespace ops {
+
+/** One evaluated configuration: provenance label + builder. */
+struct SuiteEntry
+{
+    OpKind kind;
+    std::string label; ///< e.g. "C2D/resnet50-l2"
+    std::function<TensorComputation(std::int64_t batch)> build;
+};
+
+/**
+ * The full configuration suite (113 entries, 7-8 per family).
+ * Builders take the batch size; every entry builds and runs on all
+ * modelled accelerators.
+ */
+const std::vector<SuiteEntry> &configSuite();
+
+/** The suite filtered to one operator family. */
+std::vector<SuiteEntry> configsOf(OpKind kind);
+
+} // namespace ops
+} // namespace amos
+
+#endif // AMOS_OPS_CONFIG_SUITE_HH

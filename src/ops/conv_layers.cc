@@ -1,0 +1,77 @@
+#include "conv_layers.hh"
+
+namespace amos {
+namespace ops {
+
+TensorComputation
+ConvLayerConfig::build(DataType dtype) const
+{
+    ConvParams pr;
+    pr.batch = batch;
+    pr.in_channels = in_channels;
+    pr.out_channels = out_channels;
+    pr.out_h = height;
+    pr.out_w = width;
+    pr.kernel_h = kernel;
+    pr.kernel_w = kernel;
+    pr.stride = stride;
+    pr.dtype = dtype;
+    return makeConv2d(pr);
+}
+
+TensorComputation
+ConvLayerConfig::buildDepthwise(DataType dtype) const
+{
+    ConvParams pr;
+    pr.batch = batch;
+    pr.in_channels = in_channels;
+    pr.out_channels = in_channels;
+    pr.out_h = height;
+    pr.out_w = width;
+    pr.kernel_h = kernel;
+    pr.kernel_w = kernel;
+    pr.stride = stride;
+    pr.dtype = dtype;
+    return makeDepthwiseConv2d(pr, 1);
+}
+
+std::vector<ConvLayerConfig>
+resnet18ConvLayers(std::int64_t batch)
+{
+    // Table 5 of the paper: n, c, k, p(=q), r(=s), stride for each
+    // distinct ResNet-18 convolution. p/q are output spatial sizes.
+    return {
+        {"C0", batch, 3, 64, 112, 112, 7, 2},
+        {"C1", batch, 64, 64, 56, 56, 3, 1},
+        {"C2", batch, 64, 64, 56, 56, 1, 1},
+        {"C3", batch, 64, 128, 28, 28, 3, 2},
+        {"C4", batch, 64, 128, 28, 28, 1, 2},
+        {"C5", batch, 128, 128, 28, 28, 3, 1},
+        {"C6", batch, 128, 256, 14, 14, 3, 2},
+        {"C7", batch, 128, 256, 14, 14, 1, 2},
+        {"C8", batch, 256, 256, 14, 14, 3, 1},
+        {"C9", batch, 256, 512, 7, 7, 3, 2},
+        {"C10", batch, 256, 512, 7, 7, 1, 2},
+        {"C11", batch, 512, 512, 7, 7, 3, 1},
+    };
+}
+
+std::vector<ConvLayerConfig>
+mobilenetV2Layers(std::int64_t batch)
+{
+    // Seven depthwise stages of MobileNet-V2 (input resolution 224):
+    // channel count, spatial size, and stride per inverted-residual
+    // stage.
+    return {
+        {"L1", batch, 32, 32, 112, 112, 3, 1},
+        {"L2", batch, 96, 96, 56, 56, 3, 2},
+        {"L3", batch, 144, 144, 56, 56, 3, 1},
+        {"L4", batch, 144, 144, 28, 28, 3, 2},
+        {"L5", batch, 192, 192, 28, 28, 3, 1},
+        {"L6", batch, 384, 384, 14, 14, 3, 1},
+        {"L7", batch, 576, 576, 14, 14, 3, 1},
+    };
+}
+
+} // namespace ops
+} // namespace amos

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Named convolution-layer configuration suites used by the paper's
+ * evaluation: the twelve distinct C2D layers of ResNet-18 (Table 5,
+ * labelled C0..C11) and the seven depthwise/conv layer pairs of
+ * MobileNet-V2 used in the Mali experiment (Fig. 8b).
+ */
+
+#ifndef AMOS_OPS_CONV_LAYERS_HH
+#define AMOS_OPS_CONV_LAYERS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ops/operators.hh"
+
+namespace amos {
+namespace ops {
+
+/** One convolution layer configuration (Table 5 row). */
+struct ConvLayerConfig
+{
+    std::string label;
+    std::int64_t batch;
+    std::int64_t in_channels;
+    std::int64_t out_channels;
+    std::int64_t height;  ///< output height
+    std::int64_t width;   ///< output width
+    std::int64_t kernel;
+    std::int64_t stride;
+
+    /** Build the C2D computation for this layer. */
+    TensorComputation build(DataType dtype = DataType::F16) const;
+
+    /** Build the depthwise variant with the same spatial shape. */
+    TensorComputation buildDepthwise(
+        DataType dtype = DataType::F16) const;
+};
+
+/**
+ * The twelve distinct ResNet-18 convolution layers of Table 5
+ * (C0..C11) at the given batch size (the paper uses 16).
+ */
+std::vector<ConvLayerConfig> resnet18ConvLayers(
+    std::int64_t batch = 16);
+
+/**
+ * The seven MobileNet-V2 layer configurations used for the Mali
+ * experiment (Fig. 8b): each has a pointwise/regular conv and a
+ * depthwise sibling.
+ */
+std::vector<ConvLayerConfig> mobilenetV2Layers(std::int64_t batch = 1);
+
+} // namespace ops
+} // namespace amos
+
+#endif // AMOS_OPS_CONV_LAYERS_HH

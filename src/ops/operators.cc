@@ -1,0 +1,547 @@
+#include "operators.hh"
+
+#include "support/logging.hh"
+
+namespace amos {
+namespace ops {
+
+namespace {
+
+/** Input spatial extent implied by valid convolution. */
+std::int64_t
+inExtent(std::int64_t out, std::int64_t kernel, std::int64_t stride,
+         std::int64_t dilation)
+{
+    return (out - 1) * stride + (kernel - 1) * dilation + 1;
+}
+
+IterVar
+spatial(const std::string &name, std::int64_t extent)
+{
+    return {Var(name), extent, IterKind::Spatial};
+}
+
+IterVar
+reduce(const std::string &name, std::int64_t extent)
+{
+    return {Var(name), extent, IterKind::Reduction};
+}
+
+} // namespace
+
+TensorComputation
+makeGemv(std::int64_t m, std::int64_t k, DataType dtype)
+{
+    IterVar i = spatial("i", m);
+    IterVar r = reduce("k", k);
+    TensorDecl a("A", {m, k}, dtype);
+    TensorDecl x("x", {k}, dtype);
+    TensorDecl out("out", {m}, dtype);
+    return TensorComputation(
+        "gemv", {i, r}, out, {i.var},
+        {{a, {i.var, r.var}}, {x, {r.var}}});
+}
+
+TensorComputation
+makeGemm(std::int64_t m, std::int64_t n, std::int64_t k, DataType dtype)
+{
+    IterVar i = spatial("i", m);
+    IterVar j = spatial("j", n);
+    IterVar r = reduce("k", k);
+    TensorDecl a("A", {m, k}, dtype);
+    TensorDecl b("B", {k, n}, dtype);
+    TensorDecl out("out", {m, n}, dtype);
+    return TensorComputation(
+        "gemm", {i, j, r}, out, {i.var, j.var},
+        {{a, {i.var, r.var}}, {b, {r.var, j.var}}});
+}
+
+TensorComputation
+makeConv1d(std::int64_t batch, std::int64_t in_channels,
+           std::int64_t out_channels, std::int64_t out_len,
+           std::int64_t kernel, std::int64_t stride, DataType dtype)
+{
+    IterVar n = spatial("n", batch);
+    IterVar k = spatial("k", out_channels);
+    IterVar p = spatial("p", out_len);
+    IterVar c = reduce("c", in_channels);
+    IterVar r = reduce("r", kernel);
+    std::int64_t in_len = inExtent(out_len, kernel, stride, 1);
+    TensorDecl in("in", {batch, in_channels, in_len}, dtype);
+    TensorDecl w("w", {out_channels, in_channels, kernel}, dtype);
+    TensorDecl out("out", {batch, out_channels, out_len}, dtype);
+    return TensorComputation(
+        "conv1d", {n, k, p, c, r}, out, {n.var, k.var, p.var},
+        {{in, {n.var, c.var, p.var * stride + r.var}},
+         {w, {k.var, c.var, r.var}}});
+}
+
+TensorComputation
+makeConv2d(const ConvParams &pr)
+{
+    IterVar n = spatial("n", pr.batch);
+    IterVar k = spatial("k", pr.out_channels);
+    IterVar p = spatial("p", pr.out_h);
+    IterVar q = spatial("q", pr.out_w);
+    IterVar c = reduce("c", pr.in_channels);
+    IterVar r = reduce("r", pr.kernel_h);
+    IterVar s = reduce("s", pr.kernel_w);
+    std::int64_t in_h =
+        inExtent(pr.out_h, pr.kernel_h, pr.stride, pr.dilation);
+    std::int64_t in_w =
+        inExtent(pr.out_w, pr.kernel_w, pr.stride, pr.dilation);
+    TensorDecl in("in", {pr.batch, pr.in_channels, in_h, in_w},
+                  pr.dtype);
+    TensorDecl w("w",
+                 {pr.out_channels, pr.in_channels, pr.kernel_h,
+                  pr.kernel_w},
+                 pr.dtype);
+    TensorDecl out("out", {pr.batch, pr.out_channels, pr.out_h,
+                           pr.out_w},
+                   pr.dtype);
+    return TensorComputation(
+        "conv2d", {n, k, p, q, c, r, s}, out,
+        {n.var, k.var, p.var, q.var},
+        {{in,
+          {n.var, c.var, p.var * pr.stride + r.var * pr.dilation,
+           q.var * pr.stride + s.var * pr.dilation}},
+         {w, {k.var, c.var, r.var, s.var}}});
+}
+
+TensorComputation
+makeConv2dNHWC(const ConvParams &pr)
+{
+    IterVar n = spatial("n", pr.batch);
+    IterVar p = spatial("p", pr.out_h);
+    IterVar q = spatial("q", pr.out_w);
+    IterVar k = spatial("k", pr.out_channels);
+    IterVar c = reduce("c", pr.in_channels);
+    IterVar r = reduce("r", pr.kernel_h);
+    IterVar s = reduce("s", pr.kernel_w);
+    std::int64_t in_h =
+        inExtent(pr.out_h, pr.kernel_h, pr.stride, pr.dilation);
+    std::int64_t in_w =
+        inExtent(pr.out_w, pr.kernel_w, pr.stride, pr.dilation);
+    TensorDecl in("in", {pr.batch, in_h, in_w, pr.in_channels},
+                  pr.dtype);
+    TensorDecl w("w",
+                 {pr.kernel_h, pr.kernel_w, pr.in_channels,
+                  pr.out_channels},
+                 pr.dtype);
+    TensorDecl out("out", {pr.batch, pr.out_h, pr.out_w,
+                           pr.out_channels},
+                   pr.dtype);
+    return TensorComputation(
+        "conv2d_nhwc", {n, p, q, k, c, r, s}, out,
+        {n.var, p.var, q.var, k.var},
+        {{in,
+          {n.var, p.var * pr.stride + r.var * pr.dilation,
+           q.var * pr.stride + s.var * pr.dilation, c.var}},
+         {w, {r.var, s.var, c.var, k.var}}});
+}
+
+TensorComputation
+makeConv3d(const ConvParams &pr, std::int64_t out_d,
+           std::int64_t kernel_d)
+{
+    IterVar n = spatial("n", pr.batch);
+    IterVar k = spatial("k", pr.out_channels);
+    IterVar d = spatial("d", out_d);
+    IterVar p = spatial("p", pr.out_h);
+    IterVar q = spatial("q", pr.out_w);
+    IterVar c = reduce("c", pr.in_channels);
+    IterVar t = reduce("t", kernel_d);
+    IterVar r = reduce("r", pr.kernel_h);
+    IterVar s = reduce("s", pr.kernel_w);
+    std::int64_t in_d = inExtent(out_d, kernel_d, pr.stride, 1);
+    std::int64_t in_h =
+        inExtent(pr.out_h, pr.kernel_h, pr.stride, pr.dilation);
+    std::int64_t in_w =
+        inExtent(pr.out_w, pr.kernel_w, pr.stride, pr.dilation);
+    TensorDecl in("in",
+                  {pr.batch, pr.in_channels, in_d, in_h, in_w},
+                  pr.dtype);
+    TensorDecl w("w",
+                 {pr.out_channels, pr.in_channels, kernel_d,
+                  pr.kernel_h, pr.kernel_w},
+                 pr.dtype);
+    TensorDecl out("out",
+                   {pr.batch, pr.out_channels, out_d, pr.out_h,
+                    pr.out_w},
+                   pr.dtype);
+    return TensorComputation(
+        "conv3d", {n, k, d, p, q, c, t, r, s}, out,
+        {n.var, k.var, d.var, p.var, q.var},
+        {{in,
+          {n.var, c.var, d.var * pr.stride + t.var,
+           p.var * pr.stride + r.var * pr.dilation,
+           q.var * pr.stride + s.var * pr.dilation}},
+         {w, {k.var, c.var, t.var, r.var, s.var}}});
+}
+
+TensorComputation
+makeTransposedConv2d(const ConvParams &pr)
+{
+    // Zero-stuffed-input formulation: the input is conceptually
+    // upsampled by `stride` with zero insertion, then convolved with
+    // stride 1. All accesses stay affine; the cost is that adjacent
+    // output pixels read different weight sub-pixel phases, which is
+    // why p and q carry tensorize barriers.
+    ConvParams stuffed = pr;
+    stuffed.stride = 1;
+    auto comp = makeConv2d(stuffed);
+
+    TensorComputation t2d(
+        "transposed_conv2d", comp.iters(), comp.output(),
+        comp.outputIndices(),
+        {comp.inputs()[0], comp.inputs()[1]});
+    for (const auto &iv : t2d.iters()) {
+        if (iv.name() == "p" || iv.name() == "q")
+            t2d.addTensorizeBarrier(iv.var.node());
+    }
+    return t2d;
+}
+
+TensorComputation
+makeGroupConv2d(const ConvParams &pr, std::int64_t groups)
+{
+    expect(pr.in_channels % 1 == 0 && groups > 0,
+           "group conv: invalid group count");
+    IterVar n = spatial("n", pr.batch);
+    IterVar g = spatial("g", groups);
+    IterVar k = spatial("k", pr.out_channels);
+    IterVar p = spatial("p", pr.out_h);
+    IterVar q = spatial("q", pr.out_w);
+    IterVar c = reduce("c", pr.in_channels);
+    IterVar r = reduce("r", pr.kernel_h);
+    IterVar s = reduce("s", pr.kernel_w);
+    std::int64_t in_h =
+        inExtent(pr.out_h, pr.kernel_h, pr.stride, pr.dilation);
+    std::int64_t in_w =
+        inExtent(pr.out_w, pr.kernel_w, pr.stride, pr.dilation);
+    // in_channels / out_channels are per-group extents here.
+    TensorDecl in("in",
+                  {pr.batch, groups, pr.in_channels, in_h, in_w},
+                  pr.dtype);
+    TensorDecl w("w",
+                 {groups, pr.out_channels, pr.in_channels,
+                  pr.kernel_h, pr.kernel_w},
+                 pr.dtype);
+    TensorDecl out("out",
+                   {pr.batch, groups, pr.out_channels, pr.out_h,
+                    pr.out_w},
+                   pr.dtype);
+    return TensorComputation(
+        "group_conv2d", {n, g, k, p, q, c, r, s}, out,
+        {n.var, g.var, k.var, p.var, q.var},
+        {{in,
+          {n.var, g.var, c.var,
+           p.var * pr.stride + r.var * pr.dilation,
+           q.var * pr.stride + s.var * pr.dilation}},
+         {w, {g.var, k.var, c.var, r.var, s.var}}});
+}
+
+TensorComputation
+makeDilatedConv2d(const ConvParams &pr)
+{
+    expect(pr.dilation > 1,
+           "dilated conv: dilation must exceed 1, got ", pr.dilation);
+    auto comp = makeConv2d(pr);
+    return TensorComputation(
+        "dilated_conv2d", comp.iters(), comp.output(),
+        comp.outputIndices(),
+        {comp.inputs()[0], comp.inputs()[1]});
+}
+
+TensorComputation
+makeDepthwiseConv2d(const ConvParams &pr, std::int64_t multiplier)
+{
+    IterVar n = spatial("n", pr.batch);
+    IterVar c = spatial("c", pr.in_channels);
+    IterVar m = spatial("m", multiplier);
+    IterVar p = spatial("p", pr.out_h);
+    IterVar q = spatial("q", pr.out_w);
+    IterVar r = reduce("r", pr.kernel_h);
+    IterVar s = reduce("s", pr.kernel_w);
+    std::int64_t in_h =
+        inExtent(pr.out_h, pr.kernel_h, pr.stride, pr.dilation);
+    std::int64_t in_w =
+        inExtent(pr.out_w, pr.kernel_w, pr.stride, pr.dilation);
+    TensorDecl in("in", {pr.batch, pr.in_channels, in_h, in_w},
+                  pr.dtype);
+    TensorDecl w("w",
+                 {pr.in_channels, multiplier, pr.kernel_h,
+                  pr.kernel_w},
+                 pr.dtype);
+    TensorDecl out("out",
+                   {pr.batch, pr.in_channels, multiplier, pr.out_h,
+                    pr.out_w},
+                   pr.dtype);
+    return TensorComputation(
+        "depthwise_conv2d", {n, c, m, p, q, r, s}, out,
+        {n.var, c.var, m.var, p.var, q.var},
+        {{in,
+          {n.var, c.var, p.var * pr.stride + r.var * pr.dilation,
+           q.var * pr.stride + s.var * pr.dilation}},
+         {w, {c.var, m.var, r.var, s.var}}});
+}
+
+TensorComputation
+makeCapsuleConv2d(const ConvParams &pr, std::int64_t capsule_dim)
+{
+    IterVar n = spatial("n", pr.batch);
+    IterVar k = spatial("k", pr.out_channels);
+    IterVar p = spatial("p", pr.out_h);
+    IterVar q = spatial("q", pr.out_w);
+    IterVar ci = spatial("ci", capsule_dim);
+    IterVar cj = spatial("cj", capsule_dim);
+    IterVar c = reduce("c", pr.in_channels);
+    IterVar r = reduce("r", pr.kernel_h);
+    IterVar s = reduce("s", pr.kernel_w);
+    IterVar ck = reduce("ck", capsule_dim);
+    std::int64_t in_h =
+        inExtent(pr.out_h, pr.kernel_h, pr.stride, pr.dilation);
+    std::int64_t in_w =
+        inExtent(pr.out_w, pr.kernel_w, pr.stride, pr.dilation);
+    TensorDecl in("in",
+                  {pr.batch, pr.in_channels, in_h, in_w, capsule_dim,
+                   capsule_dim},
+                  pr.dtype);
+    TensorDecl w("w",
+                 {pr.out_channels, pr.in_channels, pr.kernel_h,
+                  pr.kernel_w, capsule_dim, capsule_dim},
+                 pr.dtype);
+    TensorDecl out("out",
+                   {pr.batch, pr.out_channels, pr.out_h, pr.out_w,
+                    capsule_dim, capsule_dim},
+                   pr.dtype);
+    return TensorComputation(
+        "capsule_conv2d", {n, k, p, q, ci, cj, c, r, s, ck}, out,
+        {n.var, k.var, p.var, q.var, ci.var, cj.var},
+        {{in,
+          {n.var, c.var, p.var * pr.stride + r.var,
+           q.var * pr.stride + s.var, ci.var, ck.var}},
+         {w, {k.var, c.var, r.var, s.var, ck.var, cj.var}}});
+}
+
+TensorComputation
+makeBatchedConv2d(const ConvParams &pr)
+{
+    IterVar n = spatial("n", pr.batch);
+    IterVar k = spatial("k", pr.out_channels);
+    IterVar p = spatial("p", pr.out_h);
+    IterVar q = spatial("q", pr.out_w);
+    IterVar c = reduce("c", pr.in_channels);
+    IterVar r = reduce("r", pr.kernel_h);
+    IterVar s = reduce("s", pr.kernel_w);
+    std::int64_t in_h =
+        inExtent(pr.out_h, pr.kernel_h, pr.stride, pr.dilation);
+    std::int64_t in_w =
+        inExtent(pr.out_w, pr.kernel_w, pr.stride, pr.dilation);
+    TensorDecl in("in", {pr.batch, pr.in_channels, in_h, in_w},
+                  pr.dtype);
+    TensorDecl w("w",
+                 {pr.batch, pr.out_channels, pr.in_channels,
+                  pr.kernel_h, pr.kernel_w},
+                 pr.dtype);
+    TensorDecl out("out", {pr.batch, pr.out_channels, pr.out_h,
+                           pr.out_w},
+                   pr.dtype);
+    return TensorComputation(
+        "batched_conv2d", {n, k, p, q, c, r, s}, out,
+        {n.var, k.var, p.var, q.var},
+        {{in,
+          {n.var, c.var, p.var * pr.stride + r.var,
+           q.var * pr.stride + s.var}},
+         {w, {n.var, k.var, c.var, r.var, s.var}}});
+}
+
+TensorComputation
+makeGroupedFC(std::int64_t batch, std::int64_t groups,
+              std::int64_t out_features, std::int64_t in_features,
+              DataType dtype)
+{
+    IterVar b = spatial("b", batch);
+    IterVar g = spatial("g", groups);
+    IterVar n = spatial("n", out_features);
+    IterVar k = reduce("k", in_features);
+    TensorDecl in("in", {batch, groups, in_features}, dtype);
+    TensorDecl w("w", {groups, out_features, in_features}, dtype);
+    TensorDecl out("out", {batch, groups, out_features}, dtype);
+    return TensorComputation(
+        "grouped_fc", {b, g, n, k}, out, {b.var, g.var, n.var},
+        {{in, {b.var, g.var, k.var}},
+         {w, {g.var, n.var, k.var}}});
+}
+
+TensorComputation
+makeMean(std::int64_t rows, std::int64_t cols, DataType dtype)
+{
+    IterVar i = spatial("i", rows);
+    IterVar k = reduce("k", cols);
+    TensorDecl in("in", {rows, cols}, dtype);
+    TensorDecl scale("inv_k", {cols}, dtype);
+    TensorDecl out("out", {rows}, dtype);
+    return TensorComputation(
+        "mean", {i, k}, out, {i.var},
+        {{in, {i.var, k.var}}, {scale, {k.var}}});
+}
+
+TensorComputation
+makeVariance(std::int64_t rows, std::int64_t cols, DataType dtype)
+{
+    IterVar i = spatial("i", rows);
+    IterVar k = reduce("k", cols);
+    TensorDecl in("in", {rows, cols}, dtype);
+    TensorDecl out("out", {rows}, dtype);
+    return TensorComputation(
+        "variance", {i, k}, out, {i.var},
+        {{in, {i.var, k.var}}, {in, {i.var, k.var}}});
+}
+
+TensorComputation
+makeScan(std::int64_t rows, std::int64_t cols, DataType dtype)
+{
+    IterVar i = spatial("i", rows);
+    IterVar j = spatial("j", cols);
+    IterVar k = reduce("k", cols);
+    TensorDecl in("in", {rows, cols}, dtype);
+    TensorDecl tri("lower_tri", {cols, cols}, dtype);
+    TensorDecl out("out", {rows, cols}, dtype);
+    return TensorComputation(
+        "scan", {i, j, k}, out, {i.var, j.var},
+        {{in, {i.var, k.var}}, {tri, {k.var, j.var}}});
+}
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::GMV: return "GMV";
+      case OpKind::GMM: return "GMM";
+      case OpKind::C1D: return "C1D";
+      case OpKind::C2D: return "C2D";
+      case OpKind::C3D: return "C3D";
+      case OpKind::T2D: return "T2D";
+      case OpKind::GRP: return "GRP";
+      case OpKind::DIL: return "DIL";
+      case OpKind::DEP: return "DEP";
+      case OpKind::CAP: return "CAP";
+      case OpKind::BCV: return "BCV";
+      case OpKind::GFC: return "GFC";
+      case OpKind::MEN: return "MEN";
+      case OpKind::VAR: return "VAR";
+      case OpKind::SCN: return "SCN";
+    }
+    return "?";
+}
+
+const std::vector<OpKind> &
+allOpKinds()
+{
+    static const std::vector<OpKind> kinds = {
+        OpKind::GMV, OpKind::GMM, OpKind::C1D, OpKind::C2D,
+        OpKind::C3D, OpKind::T2D, OpKind::GRP, OpKind::DIL,
+        OpKind::DEP, OpKind::CAP, OpKind::BCV, OpKind::GFC,
+        OpKind::MEN, OpKind::VAR, OpKind::SCN,
+    };
+    return kinds;
+}
+
+TensorComputation
+buildRepresentative(OpKind kind, std::int64_t batch)
+{
+    switch (kind) {
+      case OpKind::GMV:
+        // MI-LSTM hidden projection at batch 1 collapses to GEMV.
+        return makeGemv(1024, 1024 * batch);
+      case OpKind::GMM:
+        // Bert-base attention projection.
+        return makeGemm(batch * 512, 768, 768);
+      case OpKind::C1D:
+        // Temporal convolution (e.g. speech frontends).
+        return makeConv1d(batch, 64, 128, 128, 3);
+      case OpKind::C2D:
+        // ResNet-18 C5.
+        return makeConv2d({batch, 128, 128, 28, 28, 3, 3, 1, 1,
+                           DataType::F16});
+      case OpKind::C3D:
+        // Video conv (SlowFast-style).
+        return makeConv3d({batch, 64, 64, 28, 28, 3, 3, 1, 1,
+                           DataType::F16},
+                          8, 3);
+      case OpKind::T2D:
+        // Decoder upsampling (DCGAN-style).
+        return makeTransposedConv2d({batch, 128, 64, 28, 28, 3, 3, 2,
+                                     1, DataType::F16});
+      case OpKind::GRP:
+        // ShuffleNet grouped 1x1-ish stage (3x3 for generality).
+        return makeGroupConv2d({batch, 32, 32, 28, 28, 3, 3, 1, 1,
+                                DataType::F16},
+                               4);
+      case OpKind::DIL:
+        // DeepLab atrous convolution.
+        return makeDilatedConv2d({batch, 128, 128, 28, 28, 3, 3, 1, 2,
+                                  DataType::F16});
+      case OpKind::DEP:
+        // MobileNet depthwise stage.
+        return makeDepthwiseConv2d({batch, 128, 128, 28, 28, 3, 3, 1,
+                                    1, DataType::F16});
+      case OpKind::CAP:
+        // CapsNet convolutional capsule layer.
+        return makeCapsuleConv2d({batch, 8, 16, 6, 6, 3, 3, 1, 1,
+                                  DataType::F16},
+                                 4);
+      case OpKind::BCV:
+        // CondConv per-sample expert kernels.
+        return makeBatchedConv2d({batch * 8, 64, 64, 14, 14, 3, 3, 1,
+                                  1, DataType::F16});
+      case OpKind::GFC:
+        // WeightNet grouped fully-connected.
+        return makeGroupedFC(batch, 16, 64, 128);
+      case OpKind::MEN:
+        return makeMean(batch * 512, 768);
+      case OpKind::VAR:
+        return makeVariance(batch * 512, 768);
+      case OpKind::SCN:
+        return makeScan(batch * 64, 256);
+    }
+    panic("buildRepresentative: unknown kind");
+}
+
+namespace {
+
+template <OpKind Kind>
+TensorComputation
+buildAt(std::int64_t batch)
+{
+    return buildRepresentative(Kind, batch);
+}
+
+} // namespace
+
+const std::vector<OpConfig> &
+operatorSuite()
+{
+    static const std::vector<OpConfig> suite = {
+        {OpKind::GMV, "GMV", &buildAt<OpKind::GMV>},
+        {OpKind::GMM, "GMM", &buildAt<OpKind::GMM>},
+        {OpKind::C1D, "C1D", &buildAt<OpKind::C1D>},
+        {OpKind::C2D, "C2D", &buildAt<OpKind::C2D>},
+        {OpKind::C3D, "C3D", &buildAt<OpKind::C3D>},
+        {OpKind::T2D, "T2D", &buildAt<OpKind::T2D>},
+        {OpKind::GRP, "GRP", &buildAt<OpKind::GRP>},
+        {OpKind::DIL, "DIL", &buildAt<OpKind::DIL>},
+        {OpKind::DEP, "DEP", &buildAt<OpKind::DEP>},
+        {OpKind::CAP, "CAP", &buildAt<OpKind::CAP>},
+        {OpKind::BCV, "BCV", &buildAt<OpKind::BCV>},
+        {OpKind::GFC, "GFC", &buildAt<OpKind::GFC>},
+        {OpKind::MEN, "MEN", &buildAt<OpKind::MEN>},
+        {OpKind::VAR, "VAR", &buildAt<OpKind::VAR>},
+        {OpKind::SCN, "SCN", &buildAt<OpKind::SCN>},
+    };
+    return suite;
+}
+
+} // namespace ops
+} // namespace amos

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Operator library: factory functions building the TensorComputation
+ * for every workload evaluated in the AMOS paper (Sec. 7.3):
+ * GEMV, GEMM, 1D/2D/3D convolution, transposed / grouped / dilated /
+ * depthwise / capsule / batched convolution, grouped fully-connected,
+ * mean, variance, and scan.
+ *
+ * Conventions:
+ *  - Convolutions are expressed in "valid" form over an implicitly
+ *    pre-padded input: the factories take *output* spatial sizes and
+ *    derive the input extent (out-1)*stride + (kernel-1)*dilation + 1.
+ *  - Transposed convolution uses the zero-stuffed-input formulation
+ *    so all accesses stay affine; its output spatial iterators carry
+ *    tensorize barriers (see TensorComputation::addTensorizeBarrier).
+ *  - Mean is written as a dot with a constant 1/K vector, variance as
+ *    a self-product reduction, and scan as multiplication by a
+ *    constant lower-triangular ones matrix: these are exactly the
+ *    forms that make them tensorizable on matmul-like intrinsics.
+ */
+
+#ifndef AMOS_OPS_OPERATORS_HH
+#define AMOS_OPS_OPERATORS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/computation.hh"
+
+namespace amos {
+namespace ops {
+
+/** Matrix-vector multiply: out[i] += A[i,k] x[k]. */
+TensorComputation makeGemv(std::int64_t m, std::int64_t k,
+                           DataType dtype = DataType::F16);
+
+/** Matrix-matrix multiply: out[i,j] += A[i,k] B[k,j]. */
+TensorComputation makeGemm(std::int64_t m, std::int64_t n,
+                           std::int64_t k,
+                           DataType dtype = DataType::F16);
+
+/** Parameters shared by the convolution family. */
+struct ConvParams
+{
+    std::int64_t batch = 1;
+    std::int64_t in_channels = 1;
+    std::int64_t out_channels = 1;
+    std::int64_t out_h = 1;   ///< output height (P)
+    std::int64_t out_w = 1;   ///< output width (Q)
+    std::int64_t kernel_h = 1;
+    std::int64_t kernel_w = 1;
+    std::int64_t stride = 1;
+    std::int64_t dilation = 1;
+    DataType dtype = DataType::F16;
+};
+
+/** 1D convolution: out[n,k,p] += in[n,c,p*st+r] w[k,c,r]. */
+TensorComputation makeConv1d(std::int64_t batch,
+                             std::int64_t in_channels,
+                             std::int64_t out_channels,
+                             std::int64_t out_len,
+                             std::int64_t kernel,
+                             std::int64_t stride = 1,
+                             DataType dtype = DataType::F16);
+
+/**
+ * 2D convolution (NCHW):
+ * out[n,k,p,q] += in[n,c,p*st+r*dil,q*st+s*dil] w[k,c,r,s].
+ */
+TensorComputation makeConv2d(const ConvParams &params);
+
+/**
+ * 2D convolution in channels-last (NHWC/RSCK) layout:
+ * out[n,p,q,k] += in[n,p*st+r*dil,q*st+s*dil,c] w[r,s,c,k].
+ * Same mathematics as makeConv2d; only tensor layouts differ —
+ * which is exactly what layout-gated templates are sensitive to
+ * and AMOS is not (Sec. 7.3).
+ */
+TensorComputation makeConv2dNHWC(const ConvParams &params);
+
+/** 3D convolution: adds depth dims d (output) and t (kernel). */
+TensorComputation makeConv3d(const ConvParams &params,
+                             std::int64_t out_d, std::int64_t kernel_d);
+
+/**
+ * Transposed 2D convolution in zero-stuffed-input form; `stride` is
+ * the upsampling factor. Output spatial iterators are tensorize
+ * barriers.
+ */
+TensorComputation makeTransposedConv2d(const ConvParams &params);
+
+/** Grouped 2D convolution with `groups` channel groups. */
+TensorComputation makeGroupConv2d(const ConvParams &params,
+                                  std::int64_t groups);
+
+/** Dilated 2D convolution (ConvParams::dilation > 1). */
+TensorComputation makeDilatedConv2d(const ConvParams &params);
+
+/**
+ * Depthwise 2D convolution with channel multiplier:
+ * out[n,c,m,p,q] += in[n,c,p+r,q+s] w[c,m,r,s].
+ */
+TensorComputation makeDepthwiseConv2d(const ConvParams &params,
+                                      std::int64_t multiplier = 1);
+
+/**
+ * Capsule 2D convolution (pose-matrix form):
+ * out[n,k,p,q,ci,cj] += in[n,c,p+r,q+s,ci,ck] w[k,c,r,s,ck,cj].
+ */
+TensorComputation makeCapsuleConv2d(const ConvParams &params,
+                                    std::int64_t capsule_dim = 4);
+
+/**
+ * Batched (conditionally parameterised) convolution with per-sample
+ * weights: out[n,k,p,q] += in[n,c,p+r,q+s] w[n,k,c,r,s].
+ */
+TensorComputation makeBatchedConv2d(const ConvParams &params);
+
+/**
+ * Grouped fully-connected: out[b,g,n] += in[b,g,k] w[g,n,k].
+ */
+TensorComputation makeGroupedFC(std::int64_t batch, std::int64_t groups,
+                                std::int64_t out_features,
+                                std::int64_t in_features,
+                                DataType dtype = DataType::F16);
+
+/**
+ * Row mean as a dot with a constant 1/K vector:
+ * out[i] += in[i,k] ones_over_k[k].
+ */
+TensorComputation makeMean(std::int64_t rows, std::int64_t cols,
+                           DataType dtype = DataType::F16);
+
+/**
+ * Row second moment (variance building block):
+ * out[i] += in[i,k] in[i,k].
+ */
+TensorComputation makeVariance(std::int64_t rows, std::int64_t cols,
+                               DataType dtype = DataType::F16);
+
+/**
+ * Inclusive scan by constant triangular matrix:
+ * out[i,j] += in[i,k] lower_tri[k,j].
+ */
+TensorComputation makeScan(std::int64_t rows, std::int64_t cols,
+                           DataType dtype = DataType::F16);
+
+/** Identifier of each operator family (paper's abbreviations). */
+enum class OpKind
+{
+    GMV, GMM, C1D, C2D, C3D, T2D, GRP, DIL, DEP, CAP, BCV, GFC,
+    MEN, VAR, SCN,
+};
+
+/** Paper abbreviation for an operator kind. */
+const char *opKindName(OpKind kind);
+
+/** All operator kinds in the paper's presentation order. */
+const std::vector<OpKind> &allOpKinds();
+
+/**
+ * A representative configuration of an operator kind, as used by the
+ * single-operator evaluation (Sec. 7.3 tests 113 configurations drawn
+ * from real networks).
+ */
+struct OpConfig
+{
+    OpKind kind;
+    std::string label;
+    /// Factory thunk result: the computation at a given batch size.
+    TensorComputation (*build)(std::int64_t batch);
+};
+
+/**
+ * The representative configuration suite: several configurations per
+ * operator kind, with shapes drawn from the networks the paper cites
+ * (ResNet, MobileNet, ShuffleNet, Bert, MI-LSTM, CondConv, CapsNet).
+ */
+const std::vector<OpConfig> &operatorSuite();
+
+/** Build one representative computation of the given kind. */
+TensorComputation buildRepresentative(OpKind kind,
+                                      std::int64_t batch = 1);
+
+} // namespace ops
+} // namespace amos
+
+#endif // AMOS_OPS_OPERATORS_HH

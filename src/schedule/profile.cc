@@ -1,0 +1,305 @@
+#include "profile.hh"
+
+#include <algorithm>
+
+#include "ir/affine.hh"
+#include "support/logging.hh"
+#include "support/math_utils.hh"
+#include "support/str_utils.hh"
+
+namespace amos {
+
+namespace {
+
+/**
+ * Stride (in elements) of one software iterator within an operand's
+ * flattened row-major layout: the sum over tensor dimensions of the
+ * iterator's affine coefficient times the dimension stride.
+ */
+std::int64_t
+softwareStrideOf(const TensorDecl &decl,
+                 const std::vector<Expr> &indices, const VarNode *var)
+{
+    auto dim_strides = decl.strides();
+    std::int64_t total = 0;
+    for (std::size_t d = 0; d < indices.size(); ++d) {
+        auto form = tryToAffine(indices[d]);
+        require(form.has_value(),
+                "softwareStrideOf: non-affine access on ",
+                decl.name());
+        total += form->coeffOf(var) * dim_strides[d];
+    }
+    return total < 0 ? -total : total;
+}
+
+/**
+ * Longest contiguous run (in elements) a staging loop can achieve
+ * when gathering one tile of the operand from its software layout:
+ * greedily chain the tile's iterators by ascending software stride,
+ * extending the run whenever an iterator's stride equals the run
+ * built so far.
+ */
+std::int64_t
+contiguousRunOf(const MappingPlan &plan, const TensorDecl &decl,
+                const std::vector<Expr> &indices,
+                const MappingPlan::OperandInfo &op)
+{
+    const auto &comp = plan.computation();
+    // Collect (stride, extent) of every software iterator fused into
+    // the operand's intrinsic iterations.
+    std::vector<std::pair<std::int64_t, std::int64_t>> dims;
+    for (auto k : op.intrinsicIters) {
+        for (auto s : plan.groups()[k].members) {
+            const VarNode *var = comp.iters()[s].var.node();
+            std::int64_t stride =
+                softwareStrideOf(decl, indices, var);
+            if (stride > 0)
+                dims.push_back({stride, comp.iters()[s].extent});
+        }
+    }
+    // Ascending stride; among equal strides prefer the largest
+    // extent (overlapping iterators cover the same addresses).
+    std::sort(dims.begin(), dims.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first ? a.first < b.first
+                                            : a.second > b.second;
+              });
+    std::int64_t run = 1;
+    for (const auto &[stride, extent] : dims) {
+        if (stride == run)
+            run *= extent;
+        else if (stride > run)
+            break;
+        // stride < run: a redundant iterator that overlaps the run
+        // already built; skip it.
+    }
+    return run;
+}
+
+} // namespace
+
+std::string
+KernelProfile::toString() const
+{
+    std::string out = "profile{blocks=" + std::to_string(numBlocks);
+    out += ", warps=" + std::to_string(warpsPerBlock);
+    out += ", serial=" + std::to_string(serialCallsPerWarp);
+    out += ", shared=" + std::to_string(sharedBytesPerBlock) + "B";
+    out += ", gload=" + std::to_string(globalLoadBytesPerBlock) + "B";
+    out += ", waste=" + fmtDouble(paddingWaste, 3);
+    out += valid() ? "" : ", INVALID";
+    out += "}";
+    return out;
+}
+
+KernelProfile
+lowerKernel(const MappingPlan &plan, const Schedule &sched,
+            const HardwareSpec &hw)
+{
+    const auto &axes = plan.outerAxes();
+    require(sched.axes.size() == axes.size(),
+            "lowerKernel: schedule has ", sched.axes.size(),
+            " axes but the plan has ", axes.size());
+
+    KernelProfile prof;
+    prof.stageDepth = sched.stageDepth;
+    prof.vectorLanes = sched.vectorLanes;
+    prof.unrollDepth = sched.unrollDepth;
+    prof.paddingWaste = plan.paddingWasteFactor();
+    prof.usefulOps = plan.computation().totalIterations();
+    prof.totalCalls = plan.intrinsicCallCount();
+    prof.intrinsicLatencyCycles = plan.intrinsic().latencyCycles;
+    prof.intrinsicUnitsPerSubcore = plan.intrinsic().unitsPerSubcore;
+    prof.intrinsicName = plan.intrinsic().name();
+    for (const auto &group : plan.groups())
+        if (group.members.size() > 1)
+            prof.addressTerms +=
+                static_cast<int>(group.members.size()) - 1;
+
+    // Per-axis split: extent -> blockFactor x warpFactor x serial.
+    std::vector<std::int64_t> block_seg(axes.size());
+    std::vector<std::int64_t> serial(axes.size());
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+        std::int64_t extent = axes[a].extent;
+        std::int64_t bf = std::min(sched.axes[a].blockFactor, extent);
+        require(bf >= 1, "lowerKernel: non-positive block factor");
+        block_seg[a] = ceilDiv(extent, bf);
+        std::int64_t wf =
+            std::min(sched.axes[a].warpFactor, block_seg[a]);
+        require(wf >= 1, "lowerKernel: non-positive warp factor");
+        serial[a] = ceilDiv(block_seg[a], wf);
+        bool reduction = axisIsReduction(plan, a);
+        require(!reduction || (bf == 1 && wf == 1),
+                "lowerKernel: reduction axis ", axes[a].name,
+                " cannot be block/warp parallel");
+        prof.numBlocks *= bf;
+        prof.warpsPerBlock *= wf;
+        prof.serialCallsPerWarp *= serial[a];
+    }
+
+    // Per-operand footprint and traffic.
+    const auto &intr = plan.intrinsic();
+    std::int64_t shared_bytes = 0;
+    std::int64_t reg_bytes = 0;
+    for (const auto &op : plan.operands()) {
+        OperandProfile oprof;
+        oprof.name = op.name;
+        oprof.isOutput = op.isOutput;
+        oprof.tileBytes = op.tileBytes;
+        oprof.tilesTotal = op.numTiles;
+        for (auto a : op.dependentAxes) {
+            oprof.tilesPerBlock *= block_seg[a];
+            oprof.tilesPerWarp *= serial[a];
+        }
+        oprof.tilesPerBlock =
+            std::min(oprof.tilesPerBlock, oprof.tilesTotal);
+
+        // Trailing-padding fraction along the operand's intrinsic
+        // iterations: executed tile space vs real data.
+        for (auto k : op.intrinsicIters) {
+            const auto &group = plan.groups()[k];
+            oprof.usefulFraction *=
+                static_cast<double>(group.fusedExtent) /
+                static_cast<double>(group.quotient *
+                                    group.intrinsicExtent);
+        }
+
+        {
+            const auto &comp = plan.computation();
+            if (op.isOutput) {
+                oprof.contiguousRun = contiguousRunOf(
+                    plan, comp.output(), comp.outputIndices(), op);
+            } else {
+                const auto &in = comp.inputs()[op.inputIndex];
+                oprof.contiguousRun =
+                    contiguousRunOf(plan, in.decl, in.indices, op);
+            }
+        }
+
+        if (op.isOutput) {
+            // Accumulator tiles live in registers for the whole
+            // warp-serial loop and are stored once; the store is
+            // masked to the real region.
+            reg_bytes += oprof.tilesPerWarp * op.tileBytes;
+            prof.globalStoreBytesPerBlock += static_cast<std::int64_t>(
+                oprof.tilesPerBlock * op.tileBytes *
+                oprof.usefulFraction);
+        } else {
+            // Inputs are staged into shared memory one reduction
+            // step at a time (spatial extent of the block tile), and
+            // re-read from shared by each warp. The padded region is
+            // zero-filled on chip, so only real bytes cross the
+            // global interface.
+            std::int64_t staged_tiles = 1;
+            for (auto a : op.dependentAxes)
+                if (!axisIsReduction(plan, a))
+                    staged_tiles *= block_seg[a];
+            shared_bytes +=
+                staged_tiles * op.tileBytes * sched.stageDepth;
+            // Live fragments per warp (current + prefetched).
+            reg_bytes += op.tileBytes * sched.stageDepth;
+
+            prof.globalLoadBytesPerBlock += static_cast<std::int64_t>(
+                oprof.tilesPerBlock * op.tileBytes *
+                oprof.usefulFraction);
+            prof.sharedLoadBytesPerWarp +=
+                oprof.tilesPerWarp * op.tileBytes;
+        }
+        prof.operands.push_back(std::move(oprof));
+    }
+    prof.sharedBytesPerBlock = shared_bytes;
+    prof.regBytesPerWarp = reg_bytes;
+
+    prof.fitsShared = shared_bytes <= hw.shared.capacityBytes;
+    prof.fitsRegs = reg_bytes <= intr.regFileBytes;
+    return prof;
+}
+
+Schedule
+expertSchedule(const MappingPlan &plan, const HardwareSpec &hw)
+{
+    Schedule sched = defaultSchedule(plan);
+    const auto &axes = plan.outerAxes();
+
+    // Greedily bind spatial axes to blocks until every core has ~2
+    // blocks, then give the largest remaining axis a few warps.
+    std::int64_t target_blocks = 2LL * hw.numCores;
+    std::int64_t blocks = 1;
+    for (std::size_t a = 0; a < axes.size() && blocks < target_blocks;
+         ++a) {
+        if (axisIsReduction(plan, a))
+            continue;
+        std::int64_t want = std::min(
+            axes[a].extent, ceilDiv(target_blocks, blocks));
+        sched.axes[a].blockFactor = want;
+        blocks *= want;
+    }
+    // Warp parallelism on the largest leftover spatial segment.
+    std::size_t best_axis = axes.size();
+    std::int64_t best_extent = 1;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+        if (axisIsReduction(plan, a))
+            continue;
+        std::int64_t seg =
+            ceilDiv(axes[a].extent, sched.axes[a].blockFactor);
+        if (seg > best_extent) {
+            best_extent = seg;
+            best_axis = a;
+        }
+    }
+    if (best_axis < axes.size())
+        sched.axes[best_axis].warpFactor = std::min<std::int64_t>(
+            best_extent, hw.subcoresPerCore);
+
+    sched.stageDepth = 2;
+    sched.vectorLanes = 4;
+    sched.unrollDepth = 2;
+    return sched;
+}
+
+std::string
+renderPseudoCode(const MappingPlan &plan, const Schedule &sched,
+                 const HardwareSpec &hw)
+{
+    const auto &comp = plan.computation();
+    const auto &intr = plan.intrinsic();
+    const auto &axes = plan.outerAxes();
+    auto prof = lowerKernel(plan, sched, hw);
+
+    std::string out;
+    out += "// " + comp.name() + " on " + hw.name + " via " +
+           intr.name() + "\n";
+    out += "// grid: " + std::to_string(prof.numBlocks) +
+           " blocks x " + std::to_string(prof.warpsPerBlock) +
+           " warps, " + std::to_string(prof.serialCallsPerWarp) +
+           " serial calls/warp\n";
+    std::string indent;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+        const auto &ax = axes[a];
+        std::string binding;
+        if (sched.axes[a].blockFactor > 1)
+            binding += " // bind blockIdx";
+        if (sched.axes[a].warpFactor > 1)
+            binding += " bind warpIdx";
+        out += indent + "for " + ax.name + " in [0, " +
+               std::to_string(ax.extent) + ")" + binding + "\n";
+        indent += "  ";
+    }
+    for (const auto &stmt : intr.memory.statements()) {
+        if (stmt.operand == intr.compute.dst().name)
+            continue;
+        out += indent + std::string(memScopeName(stmt.dstScope)) +
+               "." + stmt.operand + " = " +
+               memScopeName(stmt.srcScope) + "." + stmt.operand +
+               "[addr, stride]  // stage " +
+               std::to_string(sched.stageDepth) + "-deep, vec " +
+               std::to_string(sched.vectorLanes) + "\n";
+    }
+    out += indent + intr.name() + "(" +
+           plan.computeMappingString() + ")\n";
+    out += indent + "global." + intr.compute.dst().name +
+           " = reg." + intr.compute.dst().name + "\n";
+    return out;
+}
+
+} // namespace amos

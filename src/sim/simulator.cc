@@ -1,0 +1,208 @@
+#include "simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.hh"
+#include "support/math_utils.hh"
+#include "support/str_utils.hh"
+
+namespace amos {
+
+namespace {
+
+/**
+ * Effective global-load bytes of one block after coalescing: staging
+ * traffic whose contiguous runs are shorter than a memory transaction
+ * wastes part of every transaction. The penalty is softened (square
+ * root) because staging loops partially recover locality through the
+ * cache hierarchy, and capped at 4x.
+ */
+double
+effectiveGlobalLoadBytes(const KernelProfile &prof)
+{
+    double total = 0.0;
+    for (const auto &op : prof.operands) {
+        if (op.isOutput)
+            continue;
+        double bytes = static_cast<double>(op.tilesPerBlock) *
+                       op.tileBytes;
+        double elems_per_txn = 32.0 / 2.0; // f16-dominant tiles
+        double run = static_cast<double>(
+            std::max<std::int64_t>(1, op.contiguousRun));
+        double waste =
+            std::sqrt(elems_per_txn / std::min(run, elems_per_txn));
+        waste = std::min(waste, 4.0);
+        total += bytes * waste;
+    }
+    return total;
+}
+
+} // namespace
+
+std::string
+SimResult::toString() const
+{
+    std::string out = "sim{cycles=" + fmtDouble(cycles, 0);
+    out += ", ms=" + fmtDouble(milliseconds, 4);
+    out += ", blocks/core=" + std::to_string(activeBlocksPerCore);
+    out += ", waves=" + std::to_string(fullWaves) +
+           (tailWave ? "+tail" : "");
+    out += ", peak=" + fmtDouble(peakFraction * 100.0, 1) + "%}";
+    return out;
+}
+
+SimResult
+simulateKernel(const KernelProfile &prof, const HardwareSpec &hw)
+{
+    SimResult res;
+    if (!prof.valid()) {
+        res.schedulable = false;
+        res.cycles = std::numeric_limits<double>::infinity();
+        res.milliseconds = res.cycles;
+        return res;
+    }
+
+    // ---- Occupancy: how many blocks are resident per core. ----
+    int blocks_by_shared =
+        prof.sharedBytesPerBlock > 0
+            ? static_cast<int>(hw.shared.capacityBytes /
+                               prof.sharedBytesPerBlock)
+            : hw.maxBlocksPerCore;
+    int blocks_by_warps = static_cast<int>(std::max<std::int64_t>(
+        1, (4LL * hw.subcoresPerCore) / prof.warpsPerBlock));
+    res.activeBlocksPerCore = std::max(
+        1, std::min({hw.maxBlocksPerCore, blocks_by_shared,
+                     blocks_by_warps}));
+    // Never more resident blocks than exist.
+    res.activeBlocksPerCore = static_cast<int>(std::min<std::int64_t>(
+        res.activeBlocksPerCore,
+        std::max<std::int64_t>(1,
+                               ceilDiv(prof.numBlocks, hw.numCores))));
+
+    std::int64_t concurrent_blocks = std::min<std::int64_t>(
+        prof.numBlocks,
+        static_cast<std::int64_t>(res.activeBlocksPerCore) *
+            hw.numCores);
+
+    // ---- One block's pipeline stages. ----
+    // Compute: warps time-share the sub-cores; unrolling slightly
+    // improves issue efficiency (fewer loop-control bubbles).
+    double issue_eff = 0.85 + 0.05 * std::min(prof.unrollDepth, 3);
+    double call_rate = prof.intrinsicLatencyCycles /
+                       prof.intrinsicUnitsPerSubcore;
+    // Fused iteration groups pay div/mod address generation on the
+    // scalar pipe for every staged tile (the Fig. 3h chains); the
+    // analytic model ignores this, the hardware does not.
+    double addr_cost = 0.7 * prof.addressTerms;
+    double warp_compute = prof.serialCallsPerWarp *
+                          (call_rate / issue_eff + addr_cost);
+    // Shared->register traffic per warp, derated when the transfer
+    // vector width underuses the banks.
+    double vec_eff = 0.5 + 0.5 * std::min(prof.vectorLanes, 4) / 4.0;
+    double shared_bw_per_subcore =
+        hw.shared.readBytesPerCycle / hw.subcoresPerCore * vec_eff;
+    double warp_shared_read =
+        prof.sharedLoadBytesPerWarp / shared_bw_per_subcore;
+
+    double warp_batches = static_cast<double>(
+        ceilDiv(prof.warpsPerBlock, hw.subcoresPerCore));
+    res.blockComputeCycles =
+        warp_batches * std::max(warp_compute, warp_shared_read);
+
+    // Loads: global bandwidth is shared by every concurrently
+    // resident block on the chip, and strided staging wastes
+    // transactions.
+    double load_bytes = effectiveGlobalLoadBytes(prof);
+    double global_bw_per_block =
+        hw.global.readBytesPerCycle /
+        static_cast<double>(std::max<std::int64_t>(1,
+                                                   concurrent_blocks));
+    res.blockLoadCycles = load_bytes / global_bw_per_block;
+
+    double store_bw_per_block =
+        hw.global.writeBytesPerCycle /
+        static_cast<double>(std::max<std::int64_t>(1,
+                                                   concurrent_blocks));
+    res.blockStoreCycles =
+        prof.globalStoreBytesPerBlock / store_bw_per_block;
+
+    // Pipelined block latency: the slowest stage dominates, the other
+    // stages are hidden — but only as well as the staging depth
+    // allows (single buffering exposes half of the load time).
+    double overlap = prof.stageDepth >= 2 ? 1.0 : 0.6;
+    double hidden = std::max({res.blockComputeCycles,
+                              res.blockLoadCycles,
+                              res.blockStoreCycles});
+    double exposed = (res.blockComputeCycles + res.blockLoadCycles +
+                      res.blockStoreCycles - hidden) *
+                     (1.0 - overlap);
+    double block_cycles = hidden + exposed;
+
+    // Ramp-up: the first serial iteration pays the full latency chain.
+    res.rampCycles = prof.intrinsicLatencyCycles * 4.0 +
+                     (prof.sharedBytesPerBlock > 0
+                          ? prof.sharedBytesPerBlock /
+                                hw.shared.writeBytesPerCycle
+                          : 0.0);
+    block_cycles += res.rampCycles;
+
+    // ---- Wave scheduling over cores. ----
+    res.fullWaves = prof.numBlocks / concurrent_blocks;
+    res.tailWave = prof.numBlocks % concurrent_blocks != 0;
+    // The tail wave has fewer blocks but still costs a (cheaper)
+    // pass: approximate by its occupancy fraction.
+    double tail_fraction = 0.0;
+    if (res.tailWave) {
+        std::int64_t tail_blocks = prof.numBlocks % concurrent_blocks;
+        tail_fraction = 0.5 + 0.5 * static_cast<double>(tail_blocks) /
+                                  static_cast<double>(
+                                      concurrent_blocks);
+    }
+    double wave_count = static_cast<double>(res.fullWaves) +
+                        tail_fraction;
+    wave_count = std::max(wave_count, 1.0);
+
+    res.cycles = wave_count * block_cycles + hw.launchOverheadCycles;
+    res.milliseconds = cyclesToMs(res.cycles, hw);
+
+    res.opsPerCycle = static_cast<double>(prof.usefulOps) / res.cycles;
+    res.peakFraction = res.opsPerCycle / hw.peakOpsPerCycle();
+    return res;
+}
+
+SimResult
+simulateScalar(double flops, double bytes, const HardwareSpec &hw,
+               double efficiency)
+{
+    require(efficiency > 0.0 && efficiency <= 1.0,
+            "simulateScalar: efficiency must be in (0, 1], got ",
+            efficiency);
+    SimResult res;
+    // 2 ops (mul+add) per lane per cycle at perfect efficiency; the
+    // code-quality factor applies to achieved bandwidth as well
+    // (uncoalesced or unvectorised code misses the roofline on both
+    // axes).
+    double peak_ops =
+        2.0 * hw.scalarLanesPerCore * hw.numCores * efficiency;
+    double compute_cycles = flops / peak_ops;
+    double mem_cycles =
+        bytes / (hw.global.readBytesPerCycle * efficiency);
+    res.cycles = std::max(compute_cycles, mem_cycles) +
+                 hw.launchOverheadCycles;
+    res.milliseconds = cyclesToMs(res.cycles, hw);
+    res.opsPerCycle = flops / res.cycles;
+    res.peakFraction = res.opsPerCycle / hw.peakOpsPerCycle();
+    res.activeBlocksPerCore = 1;
+    res.fullWaves = 1;
+    return res;
+}
+
+double
+cyclesToMs(double cycles, const HardwareSpec &hw)
+{
+    return cycles / (hw.clockGhz * 1e6);
+}
+
+} // namespace amos

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Timing simulator for the 3-level spatial accelerator of Fig. 1a.
+ *
+ * This is the reproduction's stand-in for running on real silicon:
+ * the "ground truth" the tuner measures against and the performance
+ * model is validated against (Fig. 5). It is deterministic and
+ * deliberately richer than the analytic model:
+ *
+ *  - occupancy: resident blocks per core limited by shared-memory
+ *    footprint, the block cap, and warp slots;
+ *  - integer wave quantisation with a partial tail wave;
+ *  - pipeline ramp-up (stage latencies paid once per block);
+ *  - global-memory coalescing: strided staging reads waste bus
+ *    transactions proportionally to the operand's fast stride;
+ *  - shared-memory bank pressure from vectorisation and unrolling;
+ *  - kernel-launch overhead.
+ *
+ * None of these effects exist in the analytic model, which is what
+ * makes the model-validation experiment meaningful.
+ */
+
+#ifndef AMOS_SIM_SIMULATOR_HH
+#define AMOS_SIM_SIMULATOR_HH
+
+#include <string>
+
+#include "hw/hardware.hh"
+#include "schedule/profile.hh"
+
+namespace amos {
+
+/** Outcome of simulating one kernel. */
+struct SimResult
+{
+    double cycles = 0.0;
+    double milliseconds = 0.0;
+
+    /// @name Breakdown (per representative block/wave)
+    /// @{
+    double blockComputeCycles = 0.0;
+    double blockLoadCycles = 0.0;
+    double blockStoreCycles = 0.0;
+    double rampCycles = 0.0;
+    /// @}
+
+    int activeBlocksPerCore = 0;
+    std::int64_t fullWaves = 0;
+    bool tailWave = false;
+
+    /// Achieved useful throughput in scalar ops per cycle.
+    double opsPerCycle = 0.0;
+    /// Fraction of the accelerator's tensorized peak achieved.
+    double peakFraction = 0.0;
+
+    bool schedulable = true;
+
+    std::string toString() const;
+};
+
+/** Simulate a lowered kernel on an accelerator. */
+SimResult simulateKernel(const KernelProfile &prof,
+                         const HardwareSpec &hw);
+
+/**
+ * Simulate an operator executed on the general-purpose scalar lanes
+ * (the fallback compilers take when tensorization fails): a roofline
+ * over scalar multiply-accumulate throughput and global bandwidth.
+ *
+ * @param flops Scalar operation count of the operator.
+ * @param bytes Total global traffic (inputs + output, cold).
+ * @param efficiency Fraction of scalar peak the generated code
+ *        reaches (library-quality code ~0.6, naive ~0.25).
+ */
+SimResult simulateScalar(double flops, double bytes,
+                         const HardwareSpec &hw,
+                         double efficiency = 0.5);
+
+/** Convenience: cycles -> milliseconds on this accelerator. */
+double cyclesToMs(double cycles, const HardwareSpec &hw);
+
+} // namespace amos
+
+#endif // AMOS_SIM_SIMULATOR_HH

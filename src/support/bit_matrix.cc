@@ -1,0 +1,145 @@
+#include "bit_matrix.hh"
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace amos {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : _rows(rows), _cols(cols), _data(rows * cols, 0)
+{
+}
+
+BitMatrix
+BitMatrix::fromRows(const std::vector<std::vector<int>> &rows)
+{
+    std::size_t n_rows = rows.size();
+    std::size_t n_cols = n_rows == 0 ? 0 : rows.front().size();
+    BitMatrix m(n_rows, n_cols);
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        require(rows[r].size() == n_cols,
+                "BitMatrix::fromRows: ragged row ", r);
+        for (std::size_t c = 0; c < n_cols; ++c)
+            m.set(r, c, rows[r][c] != 0);
+    }
+    return m;
+}
+
+BitMatrix
+BitMatrix::identity(std::size_t n)
+{
+    BitMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.set(i, i, true);
+    return m;
+}
+
+bool
+BitMatrix::at(std::size_t r, std::size_t c) const
+{
+    require(r < _rows && c < _cols,
+            "BitMatrix::at out of range: (", r, ",", c, ") in ",
+            _rows, "x", _cols);
+    return _data[index(r, c)] != 0;
+}
+
+void
+BitMatrix::set(std::size_t r, std::size_t c, bool value)
+{
+    require(r < _rows && c < _cols,
+            "BitMatrix::set out of range: (", r, ",", c, ") in ",
+            _rows, "x", _cols);
+    _data[index(r, c)] = value ? 1 : 0;
+}
+
+BitMatrix
+BitMatrix::star(const BitMatrix &other) const
+{
+    require(_cols == other._rows,
+            "BitMatrix::star shape mismatch: ", _rows, "x", _cols,
+            " * ", other._rows, "x", other._cols);
+    BitMatrix out(_rows, other._cols);
+    for (std::size_t r = 0; r < _rows; ++r) {
+        for (std::size_t k = 0; k < _cols; ++k) {
+            if (!at(r, k))
+                continue;
+            for (std::size_t c = 0; c < other._cols; ++c) {
+                if (other.at(k, c))
+                    out.set(r, c, true);
+            }
+        }
+    }
+    return out;
+}
+
+BitMatrix
+BitMatrix::transposed() const
+{
+    BitMatrix out(_cols, _rows);
+    for (std::size_t r = 0; r < _rows; ++r)
+        for (std::size_t c = 0; c < _cols; ++c)
+            out.set(c, r, at(r, c));
+    return out;
+}
+
+std::vector<bool>
+BitMatrix::column(std::size_t c) const
+{
+    std::vector<bool> out(_rows);
+    for (std::size_t r = 0; r < _rows; ++r)
+        out[r] = at(r, c);
+    return out;
+}
+
+std::vector<bool>
+BitMatrix::row(std::size_t r) const
+{
+    std::vector<bool> out(_cols);
+    for (std::size_t c = 0; c < _cols; ++c)
+        out[c] = at(r, c);
+    return out;
+}
+
+bool
+BitMatrix::columnIsZero(std::size_t c) const
+{
+    for (std::size_t r = 0; r < _rows; ++r)
+        if (at(r, c))
+            return false;
+    return true;
+}
+
+std::size_t
+BitMatrix::popcount() const
+{
+    std::size_t n = 0;
+    for (auto v : _data)
+        n += v != 0;
+    return n;
+}
+
+bool
+BitMatrix::operator==(const BitMatrix &other) const
+{
+    return _rows == other._rows && _cols == other._cols &&
+           _data == other._data;
+}
+
+std::string
+BitMatrix::toString() const
+{
+    std::string out;
+    out.reserve(_rows * (_cols * 2 + 1));
+    for (std::size_t r = 0; r < _rows; ++r) {
+        for (std::size_t c = 0; c < _cols; ++c) {
+            out += at(r, c) ? '1' : '0';
+            if (c + 1 < _cols)
+                out += ' ';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace amos

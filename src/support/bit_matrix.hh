@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dense binary (0/1) matrix with the boolean matrix product used by
+ * the AMOS mapping-validation algorithm (Algorithm 1 of the paper).
+ *
+ * The paper writes the product as a star operator: (A ★ B)[i][j] is
+ * the logical OR over k of A[i][k] AND B[k][j].
+ */
+
+#ifndef AMOS_SUPPORT_BIT_MATRIX_HH
+#define AMOS_SUPPORT_BIT_MATRIX_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace amos {
+
+/**
+ * A small dense boolean matrix.
+ *
+ * Sizes in AMOS are tiny (tensors x iterations, typically < 16 each),
+ * so a vector<uint8_t> representation is simple and fast enough.
+ */
+class BitMatrix
+{
+  public:
+    BitMatrix() = default;
+
+    /** Create a rows x cols matrix of zeros. */
+    BitMatrix(std::size_t rows, std::size_t cols);
+
+    /**
+     * Create from a row-major initializer, e.g.
+     * BitMatrix::fromRows({{1,0,1},{0,1,0}}).
+     */
+    static BitMatrix fromRows(
+        const std::vector<std::vector<int>> &rows);
+
+    /** Identity matrix of size n. */
+    static BitMatrix identity(std::size_t n);
+
+    std::size_t rows() const { return _rows; }
+    std::size_t cols() const { return _cols; }
+
+    /** Read entry (r, c). */
+    bool at(std::size_t r, std::size_t c) const;
+
+    /** Write entry (r, c). */
+    void set(std::size_t r, std::size_t c, bool value);
+
+    /** Boolean matrix product (the paper's star operator). */
+    BitMatrix star(const BitMatrix &other) const;
+
+    /** Matrix transpose. */
+    BitMatrix transposed() const;
+
+    /** Extract a column as a bit vector. */
+    std::vector<bool> column(std::size_t c) const;
+
+    /** Extract a row as a bit vector. */
+    std::vector<bool> row(std::size_t r) const;
+
+    /** True iff every entry of column c is zero. */
+    bool columnIsZero(std::size_t c) const;
+
+    /** Number of set bits in the whole matrix. */
+    std::size_t popcount() const;
+
+    bool operator==(const BitMatrix &other) const;
+    bool operator!=(const BitMatrix &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Render as a multi-line 0/1 grid for diagnostics. */
+    std::string toString() const;
+
+  private:
+    std::size_t _rows = 0;
+    std::size_t _cols = 0;
+    std::vector<std::uint8_t> _data;
+
+    std::size_t index(std::size_t r, std::size_t c) const
+    {
+        return r * _cols + c;
+    }
+};
+
+} // namespace amos
+
+#endif // AMOS_SUPPORT_BIT_MATRIX_HH

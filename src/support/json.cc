@@ -1,0 +1,367 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace amos {
+
+Json
+Json::array()
+{
+    Json j;
+    j._kind = Kind::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j._kind = Kind::Object;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    require(_kind == Kind::Bool, "Json::asBool on non-bool");
+    return _bool;
+}
+
+double
+Json::asNumber() const
+{
+    require(_kind == Kind::Number, "Json::asNumber on non-number");
+    return _number;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    return static_cast<std::int64_t>(std::llround(asNumber()));
+}
+
+const std::string &
+Json::asString() const
+{
+    require(_kind == Kind::String, "Json::asString on non-string");
+    return _string;
+}
+
+void
+Json::push(Json value)
+{
+    require(_kind == Kind::Array, "Json::push on non-array");
+    _array.push_back(std::move(value));
+}
+
+std::size_t
+Json::size() const
+{
+    require(_kind == Kind::Array, "Json::size on non-array");
+    return _array.size();
+}
+
+const Json &
+Json::at(std::size_t index) const
+{
+    require(_kind == Kind::Array, "Json::at on non-array");
+    require(index < _array.size(), "Json::at out of range: ", index,
+            " of ", _array.size());
+    return _array[index];
+}
+
+void
+Json::set(const std::string &key, Json value)
+{
+    require(_kind == Kind::Object, "Json::set on non-object");
+    _object[key] = std::move(value);
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    require(_kind == Kind::Object, "Json::has on non-object");
+    return _object.count(key) > 0;
+}
+
+const Json &
+Json::get(const std::string &key) const
+{
+    require(_kind == Kind::Object, "Json::get on non-object");
+    auto it = _object.find(key);
+    require(it != _object.end(), "Json::get: missing key '", key,
+            "'");
+    return it->second;
+}
+
+const std::map<std::string, Json> &
+Json::entries() const
+{
+    require(_kind == Kind::Object, "Json::entries on non-object");
+    return _object;
+}
+
+namespace {
+
+void
+dumpString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default: out += c;
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    switch (_kind) {
+      case Kind::Null:
+        out = "null";
+        break;
+      case Kind::Bool:
+        out = _bool ? "true" : "false";
+        break;
+      case Kind::Number: {
+        // Integers print without a fraction for stable round-trips.
+        if (_number == std::floor(_number) &&
+            std::fabs(_number) < 1e15) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(_number));
+            out = buf;
+        } else {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%.17g", _number);
+            out = buf;
+        }
+        break;
+      }
+      case Kind::String:
+        dumpString(out, _string);
+        break;
+      case Kind::Array: {
+        out = "[";
+        for (std::size_t i = 0; i < _array.size(); ++i) {
+            if (i)
+                out += ",";
+            out += _array[i].dump();
+        }
+        out += "]";
+        break;
+      }
+      case Kind::Object: {
+        out = "{";
+        bool first = true;
+        for (const auto &[key, value] : _object) {
+            if (!first)
+                out += ",";
+            first = false;
+            dumpString(out, key);
+            out += ":";
+            out += value.dump();
+        }
+        out += "}";
+        break;
+      }
+    }
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string view. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _text(text) {}
+
+    Json
+    parseDocument()
+    {
+        Json value = parseValue();
+        skipSpace();
+        expect(_pos == _text.size(),
+               "json: trailing characters at offset ", _pos);
+        return value;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        expect(_pos < _text.size(), "json: unexpected end of input");
+        return _text[_pos];
+    }
+
+    void
+    consume(char c)
+    {
+        expect(peek() == c, "json: expected '", c, "' at offset ",
+               _pos);
+        ++_pos;
+    }
+
+    bool
+    tryConsume(char c)
+    {
+        if (_pos < _text.size() && peek() == c) {
+            ++_pos;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    parseValue()
+    {
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Json(parseString());
+          case 't':
+            literal("true");
+            return Json(true);
+          case 'f':
+            literal("false");
+            return Json(false);
+          case 'n':
+            literal("null");
+            return Json();
+          default: return parseNumber();
+        }
+    }
+
+    void
+    literal(const char *word)
+    {
+        skipSpace();
+        std::size_t len = std::string(word).size();
+        expect(_text.compare(_pos, len, word) == 0,
+               "json: bad literal at offset ", _pos);
+        _pos += len;
+    }
+
+    std::string
+    parseString()
+    {
+        consume('"');
+        std::string out;
+        while (true) {
+            expect(_pos < _text.size(),
+                   "json: unterminated string");
+            char c = _text[_pos++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                expect(_pos < _text.size(),
+                       "json: dangling escape");
+                char esc = _text[_pos++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  default:
+                    fatal("json: unsupported escape '\\", esc, "'");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    Json
+    parseNumber()
+    {
+        skipSpace();
+        std::size_t start = _pos;
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    _text[_pos])) ||
+                _text[_pos] == '-' || _text[_pos] == '+' ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E'))
+            ++_pos;
+        expect(_pos > start, "json: expected a number at offset ",
+               start);
+        try {
+            return Json(std::stod(_text.substr(start, _pos - start)));
+        } catch (const std::exception &) {
+            fatal("json: malformed number at offset ", start);
+        }
+    }
+
+    Json
+    parseArray()
+    {
+        consume('[');
+        Json out = Json::array();
+        if (tryConsume(']'))
+            return out;
+        while (true) {
+            out.push(parseValue());
+            if (tryConsume(']'))
+                return out;
+            consume(',');
+        }
+    }
+
+    Json
+    parseObject()
+    {
+        consume('{');
+        Json out = Json::object();
+        if (tryConsume('}'))
+            return out;
+        while (true) {
+            std::string key = parseString();
+            consume(':');
+            out.set(key, parseValue());
+            if (tryConsume('}'))
+                return out;
+            consume(',');
+        }
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace amos

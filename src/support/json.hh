@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal JSON value type with a writer and a recursive-descent
+ * parser — enough to persist tuning caches and tool output without
+ * an external dependency. Supports null, bool, number (double),
+ * string, array, and object.
+ */
+
+#ifndef AMOS_SUPPORT_JSON_HH
+#define AMOS_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace amos {
+
+/** A JSON value (tree-owning). */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() : _kind(Kind::Null) {}
+    Json(bool b) : _kind(Kind::Bool), _bool(b) {}
+    Json(double n) : _kind(Kind::Number), _number(n) {}
+    Json(std::int64_t n)
+        : _kind(Kind::Number), _number(static_cast<double>(n))
+    {}
+    Json(int n) : Json(static_cast<std::int64_t>(n)) {}
+    Json(const char *s) : _kind(Kind::String), _string(s) {}
+    Json(std::string s) : _kind(Kind::String), _string(std::move(s))
+    {}
+
+    /** Build an empty array / object. */
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+
+    /// @name Typed accessors (panic on kind mismatch).
+    /// @{
+    bool asBool() const;
+    double asNumber() const;
+    std::int64_t asInt() const;
+    const std::string &asString() const;
+    /// @}
+
+    /// @name Array operations.
+    /// @{
+    void push(Json value);
+    std::size_t size() const;
+    const Json &at(std::size_t index) const;
+    /// @}
+
+    /// @name Object operations.
+    /// @{
+    void set(const std::string &key, Json value);
+    bool has(const std::string &key) const;
+    /** Panics when the key is absent. */
+    const Json &get(const std::string &key) const;
+    const std::map<std::string, Json> &entries() const;
+    /// @}
+
+    /** Serialise (stable key order, no insignificant whitespace). */
+    std::string dump() const;
+
+    /**
+     * Parse a JSON document. Raises fatal() on malformed input
+     * (user-supplied files).
+     */
+    static Json parse(const std::string &text);
+
+  private:
+    Kind _kind;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    std::vector<Json> _array;
+    std::map<std::string, Json> _object;
+};
+
+} // namespace amos
+
+#endif // AMOS_SUPPORT_JSON_HH

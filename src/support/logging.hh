@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (framework bugs), fatal() is for user errors (bad
+ * configurations, invalid arguments), warn()/inform() report
+ * conditions without stopping the program.
+ */
+
+#ifndef AMOS_SUPPORT_LOGGING_HH
+#define AMOS_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace amos {
+
+/** Exception thrown by fatal() for user-caused errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception thrown by panic() for internal framework bugs. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail {
+
+/** Concatenate a pack of stream-printable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable user error (bad input, impossible config).
+ *
+ * Throws FatalError so that library users (and tests) can catch it;
+ * command-line tools let it propagate to main().
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat("fatal: ",
+                                    std::forward<Args>(args)...));
+}
+
+/**
+ * Report an internal invariant violation (a framework bug).
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat("panic: ",
+                                    std::forward<Args>(args)...));
+}
+
+/** Emit a non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Emit an informational status message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/**
+ * Assert a framework invariant with a formatted message.
+ *
+ * Unlike assert(), stays active in release builds: mapping validity
+ * and address arithmetic must never silently go wrong.
+ */
+template <typename... Args>
+void
+require(bool cond, Args &&...args)
+{
+    if (!cond)
+        panic(std::forward<Args>(args)...);
+}
+
+/** Validate a user-supplied condition, raising fatal() on failure. */
+template <typename... Args>
+void
+expect(bool cond, Args &&...args)
+{
+    if (!cond)
+        fatal(std::forward<Args>(args)...);
+}
+
+} // namespace amos
+
+#endif // AMOS_SUPPORT_LOGGING_HH

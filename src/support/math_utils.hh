@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small integer/floating-point math helpers shared across modules:
+ * ceiling division, divisor enumeration, tiling-factor enumeration,
+ * and geometric means for benchmark reporting.
+ */
+
+#ifndef AMOS_SUPPORT_MATH_UTILS_HH
+#define AMOS_SUPPORT_MATH_UTILS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace amos {
+
+/** Ceiling division for positive integers. */
+inline std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round a up to the next multiple of b (b > 0). */
+inline std::int64_t
+roundUp(std::int64_t a, std::int64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** All positive divisors of n, ascending. */
+std::vector<std::int64_t> divisorsOf(std::int64_t n);
+
+/**
+ * Candidate tile sizes for a loop of the given extent.
+ *
+ * Returns the divisors of the extent augmented with nearby powers of
+ * two (tiles need not divide the extent; the remainder becomes a
+ * partial tile), clipped to [1, extent].
+ */
+std::vector<std::int64_t> tileCandidates(std::int64_t extent);
+
+/**
+ * Enumerate all ways to split `extent` into `parts` factors whose
+ * product covers the extent (each factor drawn from tileCandidates).
+ * Used by exhaustive schedule sweeps in tests; the tuner samples
+ * instead.
+ */
+std::vector<std::vector<std::int64_t>> factorSplits(std::int64_t extent,
+                                                    int parts);
+
+/** Geometric mean of positive values; 0 if empty. */
+double geometricMean(const std::vector<double> &values);
+
+/** Product of a vector of extents. */
+std::int64_t product(const std::vector<std::int64_t> &values);
+
+} // namespace amos
+
+#endif // AMOS_SUPPORT_MATH_UTILS_HH

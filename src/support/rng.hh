@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic seeded random-number generator wrapper.
+ *
+ * Everything in this repository must be reproducible run-to-run, so
+ * all randomised components (tuner mutation, schedule sampling) draw
+ * from an explicitly seeded Rng instance rather than global state.
+ */
+
+#ifndef AMOS_SUPPORT_RNG_HH
+#define AMOS_SUPPORT_RNG_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "logging.hh"
+
+namespace amos {
+
+/** Seeded mt19937-based generator with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5EED) : _engine(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        require(lo <= hi, "Rng::uniformInt: empty range [", lo, ",",
+                hi, "]");
+        std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+        return dist(_engine);
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    uniformReal()
+    {
+        std::uniform_real_distribution<double> dist(0.0, 1.0);
+        return dist(_engine);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    flip(double p)
+    {
+        return uniformReal() < p;
+    }
+
+    /** Pick a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    choice(const std::vector<T> &items)
+    {
+        require(!items.empty(), "Rng::choice on empty vector");
+        auto idx = uniformInt(0,
+            static_cast<std::int64_t>(items.size()) - 1);
+        return items[static_cast<std::size_t>(idx)];
+    }
+
+    /** In-place Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        std::shuffle(items.begin(), items.end(), _engine);
+    }
+
+    std::mt19937_64 &engine() { return _engine; }
+
+  private:
+    std::mt19937_64 _engine;
+};
+
+} // namespace amos
+
+#endif // AMOS_SUPPORT_RNG_HH

@@ -1,0 +1,183 @@
+#include "computation.hh"
+
+#include "ir/affine.hh"
+#include "support/logging.hh"
+#include "support/str_utils.hh"
+
+namespace amos {
+
+TensorComputation::TensorComputation(
+    std::string name, std::vector<IterVar> iters, TensorDecl output,
+    std::vector<Expr> output_indices, std::vector<TensorAccess> inputs,
+    CombineKind combine)
+    : _name(std::move(name)), _iters(std::move(iters)),
+      _output(std::move(output)),
+      _outputIndices(std::move(output_indices)),
+      _inputs(std::move(inputs)), _combine(combine)
+{
+    validate();
+}
+
+void
+TensorComputation::validate() const
+{
+    expect(!_iters.empty(), _name, ": computation with no iterators");
+    expect(_outputIndices.size() == _output.ndim(), _name,
+           ": output index rank ", _outputIndices.size(),
+           " vs tensor rank ", _output.ndim());
+    switch (_combine) {
+      case CombineKind::MultiplyAdd:
+        expect(_inputs.size() == 2, _name,
+               ": MultiplyAdd needs exactly 2 inputs, got ",
+               _inputs.size());
+        break;
+      case CombineKind::SumReduce:
+        expect(_inputs.size() == 1, _name,
+               ": SumReduce needs exactly 1 input, got ",
+               _inputs.size());
+        break;
+    }
+    for (const auto &in : _inputs)
+        expect(in.indices.size() == in.decl.ndim(), _name,
+               ": access rank mismatch on input ", in.decl.name());
+
+    // Output indices reference spatial iterators only and are affine.
+    for (const auto &idx : _outputIndices) {
+        auto form = tryToAffine(idx);
+        expect(form.has_value(), _name,
+               ": non-affine output index ", exprToString(idx));
+        for (const auto &term : form->terms()) {
+            bool spatial = false;
+            for (const auto &iv : _iters) {
+                if (iv.var.node() == term.var) {
+                    spatial = iv.kind == IterKind::Spatial;
+                    break;
+                }
+            }
+            expect(spatial, _name, ": output index uses iterator ",
+                   term.var->name,
+                   " that is not a spatial iterator");
+        }
+    }
+
+    // All input indices are affine in declared iterators.
+    for (const auto &in : _inputs) {
+        for (const auto &idx : in.indices) {
+            auto form = tryToAffine(idx);
+            expect(form.has_value(), _name,
+                   ": non-affine input index ", exprToString(idx),
+                   " on ", in.decl.name());
+            for (const auto &term : form->terms()) {
+                bool known = false;
+                for (const auto &iv : _iters)
+                    known |= iv.var.node() == term.var;
+                expect(known, _name, ": input index on ",
+                       in.decl.name(), " uses undeclared variable ",
+                       term.var->name);
+            }
+        }
+    }
+
+    // Every iterator must be used somewhere.
+    for (const auto &iv : _iters) {
+        bool used = false;
+        for (const auto &idx : _outputIndices)
+            used |= usesVar(idx, iv.var.node());
+        for (const auto &in : _inputs)
+            for (const auto &idx : in.indices)
+                used |= usesVar(idx, iv.var.node());
+        expect(used, _name, ": iterator ", iv.name(),
+               " is never used in any access");
+        expect(iv.extent > 0, _name, ": iterator ", iv.name(),
+               " has non-positive extent ", iv.extent);
+    }
+}
+
+void
+TensorComputation::addTensorizeBarrier(const VarNode *var)
+{
+    iterIndex(var); // validates the variable belongs to this nest
+    _tensorizeBarriers.push_back(var);
+}
+
+bool
+TensorComputation::isTensorizeBarrier(const VarNode *var) const
+{
+    for (auto *v : _tensorizeBarriers)
+        if (v == var)
+            return true;
+    return false;
+}
+
+std::size_t
+TensorComputation::iterIndex(const VarNode *var) const
+{
+    for (std::size_t i = 0; i < _iters.size(); ++i)
+        if (_iters[i].var.node() == var)
+            return i;
+    panic(_name, ": unknown iterator variable ", var->name);
+}
+
+std::int64_t
+TensorComputation::iterExtent(const VarNode *var) const
+{
+    return _iters[iterIndex(var)].extent;
+}
+
+std::int64_t
+TensorComputation::totalIterations() const
+{
+    std::int64_t n = 1;
+    for (const auto &iv : _iters)
+        n *= iv.extent;
+    return n;
+}
+
+std::int64_t
+TensorComputation::flopCount() const
+{
+    std::int64_t per_update =
+        _combine == CombineKind::MultiplyAdd ? 2 : 1;
+    return totalIterations() * per_update;
+}
+
+std::vector<const VarNode *>
+TensorComputation::itersOfKind(IterKind kind) const
+{
+    std::vector<const VarNode *> out;
+    for (const auto &iv : _iters)
+        if (iv.kind == kind)
+            out.push_back(iv.var.node());
+    return out;
+}
+
+std::string
+TensorComputation::toString() const
+{
+    std::string out = _name + ":\n";
+    for (const auto &iv : _iters) {
+        out += "  for " + iv.name() + " in [0, " +
+               std::to_string(iv.extent) + ")" +
+               (iv.kind == IterKind::Reduction ? " (reduce)" : "") +
+               "\n";
+    }
+    auto render_access = [](const TensorDecl &decl,
+                            const std::vector<Expr> &indices) {
+        return decl.name() + "[" +
+               joinMapped(indices, ", ",
+                          [](const Expr &e) {
+                              return exprToString(e);
+                          }) +
+               "]";
+    };
+    out += "    " + render_access(_output, _outputIndices);
+    out += _combine == CombineKind::MultiplyAdd ? " += " : " += ";
+    std::vector<std::string> rhs;
+    for (const auto &in : _inputs)
+        rhs.push_back(render_access(in.decl, in.indices));
+    out += join(rhs, _combine == CombineKind::MultiplyAdd ? " * " : "");
+    out += "\n";
+    return out;
+}
+
+} // namespace amos

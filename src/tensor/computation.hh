@@ -1,0 +1,139 @@
+/**
+ * @file
+ * TensorComputation: the "software definition" of Sec. 4.3 of the
+ * AMOS paper — a perfectly nested loop over iteration variables with
+ * a single reduction statement
+ *     out[outIdx...] (+)= combine(in_1[idx_1...], in_2[idx_2...])
+ * where every index is an affine expression of the iterators.
+ *
+ * All evaluation workloads (GEMM, convolutions, scan, ...) are
+ * instances of this class; the mapping machinery consumes it to build
+ * software iterations and access matrices.
+ */
+
+#ifndef AMOS_TENSOR_COMPUTATION_HH
+#define AMOS_TENSOR_COMPUTATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hh"
+#include "tensor/tensor.hh"
+
+namespace amos {
+
+/** Classification of a loop iterator. */
+enum class IterKind
+{
+    Spatial,   ///< appears in the output index (parallelisable)
+    Reduction, ///< reduced over (appears only in inputs)
+};
+
+/** A loop iterator: variable handle, extent, and classification. */
+struct IterVar
+{
+    Var var;
+    std::int64_t extent = 0;
+    IterKind kind = IterKind::Spatial;
+
+    const std::string &name() const { return var.node()->name; }
+};
+
+/** How input operands combine into the reduction update. */
+enum class CombineKind
+{
+    MultiplyAdd, ///< out += in1 * in2 (two inputs)
+    SumReduce,   ///< out += in1      (one input)
+};
+
+/** A read access of one input tensor. */
+struct TensorAccess
+{
+    TensorDecl decl;
+    std::vector<Expr> indices;
+};
+
+/**
+ * A single-statement tensor computation over a perfect loop nest.
+ *
+ * Invariants (checked on construction):
+ *  - output indices reference spatial iterators only;
+ *  - every iterator is referenced by at least one access;
+ *  - all access indices are affine in the iterators;
+ *  - operand count matches the combine kind.
+ */
+class TensorComputation
+{
+  public:
+    TensorComputation(std::string name, std::vector<IterVar> iters,
+                      TensorDecl output,
+                      std::vector<Expr> output_indices,
+                      std::vector<TensorAccess> inputs,
+                      CombineKind combine = CombineKind::MultiplyAdd);
+
+    const std::string &name() const { return _name; }
+    const std::vector<IterVar> &iters() const { return _iters; }
+    const TensorDecl &output() const { return _output; }
+    const std::vector<Expr> &outputIndices() const
+    {
+        return _outputIndices;
+    }
+    const std::vector<TensorAccess> &inputs() const { return _inputs; }
+    CombineKind combine() const { return _combine; }
+
+    /** Number of iterators. */
+    std::size_t numIters() const { return _iters.size(); }
+
+    /** Position of an iterator variable; panics if absent. */
+    std::size_t iterIndex(const VarNode *var) const;
+
+    /** Extent of an iterator variable. */
+    std::int64_t iterExtent(const VarNode *var) const;
+
+    /** Product of all iterator extents (= scalar-update count). */
+    std::int64_t totalIterations() const;
+
+    /**
+     * Floating-point operation count: 2 ops per multiply-add update,
+     * 1 per sum update.
+     */
+    std::int64_t flopCount() const;
+
+    /** Iterators of a given kind, in loop order. */
+    std::vector<const VarNode *> itersOfKind(IterKind kind) const;
+
+    /** Human-readable rendering of the loop nest and statement. */
+    std::string toString() const;
+
+    /**
+     * Mark an iterator as a tensorize barrier: it may never be mapped
+     * to an intrinsic iteration and always stays an outer loop.
+     *
+     * Used for iterators whose access arithmetic only becomes affine
+     * after a data-layout transformation that intrinsics cannot see
+     * through — e.g. the output spatial dims of a transposed
+     * convolution, where adjacent output pixels draw from different
+     * sub-pixel weight phases.
+     */
+    void addTensorizeBarrier(const VarNode *var);
+
+    /** True iff the iterator is barred from intrinsic mapping. */
+    bool isTensorizeBarrier(const VarNode *var) const;
+
+  private:
+    void validate() const;
+
+    std::vector<const VarNode *> _tensorizeBarriers;
+
+    std::string _name;
+    std::vector<IterVar> _iters;
+    TensorDecl _output;
+    std::vector<Expr> _outputIndices;
+    std::vector<TensorAccess> _inputs;
+    CombineKind _combine;
+};
+
+} // namespace amos
+
+#endif // AMOS_TENSOR_COMPUTATION_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Element data types.
+ *
+ * Only byte width and a name matter to the framework: numeric
+ * execution is done in float regardless (the functional executor
+ * checks mapping semantics, not rounding behaviour), while byte
+ * widths drive memory-footprint and bandwidth calculations.
+ */
+
+#ifndef AMOS_TENSOR_DTYPE_HH
+#define AMOS_TENSOR_DTYPE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace amos {
+
+/** Supported element types across the modelled accelerators. */
+enum class DataType
+{
+    F16,
+    F32,
+    I8,
+    I32,
+    U8,
+};
+
+/** Byte width of a data type. */
+inline std::int64_t
+dtypeBytes(DataType t)
+{
+    switch (t) {
+      case DataType::F16: return 2;
+      case DataType::F32: return 4;
+      case DataType::I8: return 1;
+      case DataType::I32: return 4;
+      case DataType::U8: return 1;
+    }
+    return 0;
+}
+
+/** Printable name of a data type. */
+inline std::string
+dtypeName(DataType t)
+{
+    switch (t) {
+      case DataType::F16: return "f16";
+      case DataType::F32: return "f32";
+      case DataType::I8: return "i8";
+      case DataType::I32: return "i32";
+      case DataType::U8: return "u8";
+    }
+    return "?";
+}
+
+} // namespace amos
+
+#endif // AMOS_TENSOR_DTYPE_HH

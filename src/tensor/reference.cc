@@ -1,0 +1,105 @@
+#include "reference.hh"
+
+#include "support/logging.hh"
+
+namespace amos {
+
+namespace {
+
+/** Evaluate a multi-index access and read/accumulate a buffer. */
+std::int64_t
+flatIndex(const Buffer &buf, const std::vector<Expr> &indices,
+          const VarBinding &binding)
+{
+    std::vector<std::int64_t> idx(indices.size());
+    for (std::size_t d = 0; d < indices.size(); ++d)
+        idx[d] = evalExpr(indices[d], binding);
+    return buf.flatten(idx);
+}
+
+} // namespace
+
+void
+referenceExecute(const TensorComputation &comp,
+                 const std::vector<const Buffer *> &inputs,
+                 Buffer &output)
+{
+    require(inputs.size() == comp.inputs().size(),
+            "referenceExecute: expected ", comp.inputs().size(),
+            " inputs, got ", inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        require(inputs[i]->decl().numElements() ==
+                comp.inputs()[i].decl.numElements(),
+                "referenceExecute: input ", i, " size mismatch");
+    }
+
+    const auto &iters = comp.iters();
+    std::vector<std::int64_t> idx(iters.size(), 0);
+    VarBinding binding;
+    for (const auto &iv : iters)
+        binding[iv.var.node()] = 0;
+
+    // Odometer-style traversal of the full iteration domain.
+    bool done = iters.empty();
+    while (!done) {
+        for (std::size_t i = 0; i < iters.size(); ++i)
+            binding[iters[i].var.node()] = idx[i];
+
+        std::int64_t out_flat =
+            flatIndex(output, comp.outputIndices(), binding);
+        float update = 0.0f;
+        switch (comp.combine()) {
+          case CombineKind::MultiplyAdd: {
+            float a = inputs[0]->at(flatIndex(
+                *inputs[0], comp.inputs()[0].indices, binding));
+            float b = inputs[1]->at(flatIndex(
+                *inputs[1], comp.inputs()[1].indices, binding));
+            update = a * b;
+            break;
+          }
+          case CombineKind::SumReduce: {
+            update = inputs[0]->at(flatIndex(
+                *inputs[0], comp.inputs()[0].indices, binding));
+            break;
+          }
+        }
+        output.accumulate(out_flat, update);
+
+        // Advance the odometer (last iterator is innermost).
+        std::size_t d = iters.size();
+        while (d > 0) {
+            --d;
+            if (++idx[d] < iters[d].extent)
+                break;
+            idx[d] = 0;
+            if (d == 0)
+                done = true;
+        }
+    }
+}
+
+std::vector<Buffer>
+makePatternInputs(const TensorComputation &comp, std::uint64_t seed)
+{
+    std::vector<Buffer> bufs;
+    bufs.reserve(comp.inputs().size());
+    for (std::size_t i = 0; i < comp.inputs().size(); ++i) {
+        bufs.emplace_back(comp.inputs()[i].decl);
+        bufs.back().fillPattern(seed + i * 1315423911ULL);
+    }
+    return bufs;
+}
+
+Buffer
+referenceRun(const TensorComputation &comp, std::uint64_t seed)
+{
+    auto inputs = makePatternInputs(comp, seed);
+    Buffer out(comp.output());
+    std::vector<const Buffer *> ptrs;
+    for (const auto &b : inputs)
+        ptrs.push_back(&b);
+    referenceExecute(comp, ptrs, out);
+    return out;
+}
+
+} // namespace amos

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reference interpreter: executes a TensorComputation directly as the
+ * nested scalar loop it denotes. This is the semantic ground truth
+ * that mapped/tiled executions are checked against.
+ */
+
+#ifndef AMOS_TENSOR_REFERENCE_HH
+#define AMOS_TENSOR_REFERENCE_HH
+
+#include <vector>
+
+#include "tensor/computation.hh"
+#include "tensor/tensor.hh"
+
+namespace amos {
+
+/**
+ * Execute the computation over the given input buffers, accumulating
+ * into (pre-zeroed or pre-initialised) output.
+ *
+ * @param comp The computation to interpret.
+ * @param inputs One buffer per computation input, in order.
+ * @param output Buffer matching the computation's output declaration.
+ */
+void referenceExecute(const TensorComputation &comp,
+                      const std::vector<const Buffer *> &inputs,
+                      Buffer &output);
+
+/**
+ * Allocate pattern-filled inputs and a zeroed output for a
+ * computation, run the reference interpreter, and return the output.
+ * Convenience for tests.
+ */
+Buffer referenceRun(const TensorComputation &comp,
+                    std::uint64_t seed = 7);
+
+/** Allocate and pattern-fill input buffers for a computation. */
+std::vector<Buffer> makePatternInputs(const TensorComputation &comp,
+                                      std::uint64_t seed = 7);
+
+} // namespace amos
+
+#endif // AMOS_TENSOR_REFERENCE_HH

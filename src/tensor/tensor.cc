@@ -1,0 +1,70 @@
+#include "tensor.hh"
+
+#include <cmath>
+
+#include "support/str_utils.hh"
+
+namespace amos {
+
+std::string
+TensorDecl::toString() const
+{
+    std::string dims = joinMapped(_shape, ", ",
+        [](std::int64_t s) { return std::to_string(s); });
+    return _name + "[" + dims + "]:" + dtypeName(_dtype);
+}
+
+std::int64_t
+Buffer::flatten(const std::vector<std::int64_t> &idx) const
+{
+    const auto &shape = _decl.shape();
+    require(idx.size() == shape.size(), "Buffer ", _decl.name(),
+            ": index rank ", idx.size(), " vs tensor rank ",
+            shape.size());
+    std::int64_t flat = 0;
+    for (std::size_t d = 0; d < idx.size(); ++d) {
+        require(idx[d] >= 0 && idx[d] < shape[d], "Buffer ",
+                _decl.name(), ": index ", idx[d],
+                " out of range for dim ", d, " of extent ", shape[d]);
+        flat = flat * shape[d] + idx[d];
+    }
+    return flat;
+}
+
+void
+Buffer::fill(float value)
+{
+    for (auto &v : _data)
+        v = value;
+}
+
+void
+Buffer::fillPattern(std::uint64_t seed)
+{
+    // SplitMix64-derived values scaled into [-1, 1): deterministic,
+    // cheap, and free of accidental structure.
+    std::uint64_t state = seed + 0x9E3779B97F4A7C15ULL;
+    for (auto &v : _data) {
+        std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        z = z ^ (z >> 31);
+        v = static_cast<float>(
+                static_cast<double>(z >> 11) /
+                static_cast<double>(1ULL << 53)) * 2.0f - 1.0f;
+    }
+}
+
+float
+Buffer::maxAbsDiff(const Buffer &other) const
+{
+    require(size() == other.size(),
+            "Buffer::maxAbsDiff: size mismatch ", size(), " vs ",
+            other.size());
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        worst = std::max(worst, std::fabs(_data[i] - other._data[i]));
+    return worst;
+}
+
+} // namespace amos

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tensor declarations and numeric buffers.
+ *
+ * A TensorDecl is a typed, shaped, named symbol (the compile-time
+ * view); a Buffer is the runtime storage used by the functional
+ * executor and reference interpreter.
+ */
+
+#ifndef AMOS_TENSOR_TENSOR_HH
+#define AMOS_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+#include "tensor/dtype.hh"
+
+namespace amos {
+
+/** Compile-time tensor symbol: name, shape, element type. */
+class TensorDecl
+{
+  public:
+    TensorDecl() = default;
+
+    TensorDecl(std::string name, std::vector<std::int64_t> shape,
+               DataType dtype = DataType::F16)
+        : _name(std::move(name)), _shape(std::move(shape)),
+          _dtype(dtype)
+    {
+        for (auto s : _shape)
+            expect(s > 0, "tensor ", _name,
+                   " has non-positive dimension ", s);
+    }
+
+    const std::string &name() const { return _name; }
+    const std::vector<std::int64_t> &shape() const { return _shape; }
+    DataType dtype() const { return _dtype; }
+
+    std::size_t ndim() const { return _shape.size(); }
+
+    /** Total element count. */
+    std::int64_t
+    numElements() const
+    {
+        std::int64_t n = 1;
+        for (auto s : _shape)
+            n *= s;
+        return n;
+    }
+
+    /** Total storage in bytes. */
+    std::int64_t
+    numBytes() const
+    {
+        return numElements() * dtypeBytes(_dtype);
+    }
+
+    /**
+     * Row-major strides: stride of dim d is the product of all
+     * extents after d.
+     */
+    std::vector<std::int64_t>
+    strides() const
+    {
+        std::vector<std::int64_t> out(_shape.size(), 1);
+        for (std::size_t d = _shape.size(); d-- > 1;)
+            out[d - 1] = out[d] * _shape[d];
+        return out;
+    }
+
+    /** "name[s0, s1, ...]:dtype" for diagnostics. */
+    std::string toString() const;
+
+  private:
+    std::string _name;
+    std::vector<std::int64_t> _shape;
+    DataType _dtype = DataType::F16;
+};
+
+/**
+ * Runtime storage for a tensor: flat row-major float data.
+ *
+ * Stored as float regardless of the declared element type; the
+ * functional path checks mapping semantics, not rounding.
+ */
+class Buffer
+{
+  public:
+    explicit Buffer(TensorDecl decl)
+        : _decl(std::move(decl)),
+          _data(static_cast<std::size_t>(_decl.numElements()), 0.0f)
+    {}
+
+    const TensorDecl &decl() const { return _decl; }
+
+    float *data() { return _data.data(); }
+    const float *data() const { return _data.data(); }
+
+    std::size_t size() const { return _data.size(); }
+
+    float
+    at(std::int64_t flat_index) const
+    {
+        require(flat_index >= 0 &&
+                flat_index < static_cast<std::int64_t>(_data.size()),
+                "Buffer ", _decl.name(), " read out of range: ",
+                flat_index, " of ", _data.size());
+        return _data[static_cast<std::size_t>(flat_index)];
+    }
+
+    void
+    set(std::int64_t flat_index, float value)
+    {
+        require(flat_index >= 0 &&
+                flat_index < static_cast<std::int64_t>(_data.size()),
+                "Buffer ", _decl.name(), " write out of range: ",
+                flat_index, " of ", _data.size());
+        _data[static_cast<std::size_t>(flat_index)] = value;
+    }
+
+    void
+    accumulate(std::int64_t flat_index, float value)
+    {
+        set(flat_index, at(flat_index) + value);
+    }
+
+    /** Flatten a multi-dimensional index (bounds-checked). */
+    std::int64_t flatten(const std::vector<std::int64_t> &idx) const;
+
+    /** Reset all elements to a value. */
+    void fill(float value);
+
+    /** Fill with a deterministic pseudo-random pattern. */
+    void fillPattern(std::uint64_t seed);
+
+    /** Largest absolute element-wise difference to another buffer. */
+    float maxAbsDiff(const Buffer &other) const;
+
+  private:
+    TensorDecl _decl;
+    std::vector<float> _data;
+};
+
+} // namespace amos
+
+#endif // AMOS_TENSOR_TENSOR_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Integration tests of the public Compiler facade: the full Fig. 2
+ * flow from software definition to simulated implementation, across
+ * operators and hardware targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "amos/amos.hh"
+#include "ops/conv_layers.hh"
+
+namespace amos {
+namespace {
+
+TuneOptions
+fastTuning()
+{
+    TuneOptions options;
+    options.population = 10;
+    options.generations = 4;
+    options.measureTopK = 4;
+    return options;
+}
+
+TEST(Compiler, CompilesConvEndToEnd)
+{
+    Compiler compiler(hw::v100(), fastTuning());
+    auto conv = ops::resnet18ConvLayers(16)[5].build();
+    auto result = compiler.compile(conv);
+    ASSERT_TRUE(result.tensorized);
+    EXPECT_GT(result.gflops, 0.0);
+    // 35 mappings per WMMA problem shape, three shapes exposed.
+    EXPECT_EQ(result.mappingsExplored, 3 * 35u);
+    EXPECT_NE(result.computeMapping.find("i1"), std::string::npos);
+    EXPECT_NE(result.memoryMapping.find("addr_Src1"),
+              std::string::npos);
+    EXPECT_NE(result.pseudoCode.find("wmma"), std::string::npos);
+    auto report = result.report();
+    EXPECT_NE(report.find("tensorized"), std::string::npos);
+    EXPECT_NE(report.find("GFLOPS"), std::string::npos);
+}
+
+TEST(Compiler, ScalarFallbackForUnsupportedShape)
+{
+    Compiler compiler(hw::v100(), fastTuning());
+    IterVar i{Var("i"), 1024, IterKind::Spatial};
+    TensorDecl a("A", {1024});
+    TensorDecl out("out", {1024});
+    TensorComputation sum("rowsum", {i}, out, {i.var},
+                          {{a, {i.var}}}, CombineKind::SumReduce);
+    auto result = compiler.compile(sum);
+    EXPECT_FALSE(result.tensorized);
+    EXPECT_GT(result.milliseconds, 0.0);
+    EXPECT_NE(result.report().find("scalar fallback"),
+              std::string::npos);
+}
+
+TEST(Compiler, CountMappingsMatchesTable6OnAllTargets)
+{
+    auto conv = ops::resnet18ConvLayers(16)[5].build();
+    Compiler v100(hw::v100());
+    EXPECT_EQ(v100.countMappings(conv), 35u);
+    // VNNI: k -> lanes, 7 reduction subsets.
+    Compiler cpu(hw::xeonSilver4110());
+    EXPECT_EQ(cpu.countMappings(conv), 7u);
+    // Mali dot: 7 reduction subsets.
+    Compiler mali(hw::maliG76());
+    EXPECT_EQ(mali.countMappings(conv), 7u);
+}
+
+TEST(Compiler, WorksOnEveryHardwarePreset)
+{
+    auto conv = ops::resnet18ConvLayers(4)[8].build();
+    for (const auto &spec :
+         {hw::v100(), hw::a100(), hw::xeonSilver4110(),
+          hw::maliG76()}) {
+        SCOPED_TRACE(spec.name);
+        Compiler compiler(spec, fastTuning());
+        auto result = compiler.compile(conv);
+        EXPECT_TRUE(result.tensorized);
+        EXPECT_TRUE(std::isfinite(result.milliseconds));
+        EXPECT_GT(result.milliseconds, 0.0);
+    }
+}
+
+TEST(Compiler, A100FasterThanV100OnBigConv)
+{
+    // Deterministic comparison: identical mapping and schedule rule
+    // on both chips (the library proxy), so only the hardware
+    // differs.
+    auto conv = ops::resnet18ConvLayers(16)[1].build();
+    auto rv = baselines::libraryProxy(conv, hw::v100());
+    auto ra = baselines::libraryProxy(conv, hw::a100());
+    ASSERT_TRUE(rv.tensorized && ra.tensorized);
+    EXPECT_LT(ra.milliseconds, rv.milliseconds);
+}
+
+TEST(Compiler, VirtualAcceleratorsCompileC3D)
+{
+    // Sec. 7.5: the AXPY/GEMV/CONV virtual accelerators all accept
+    // C3D through their own intrinsics.
+    ops::ConvParams pr;
+    pr.batch = 2;
+    pr.in_channels = 16;
+    pr.out_channels = 16;
+    pr.out_h = 8;
+    pr.out_w = 8;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    auto c3d = ops::makeConv3d(pr, 4, 3);
+    for (const auto &spec :
+         {hw::virtualAxpyAccel(), hw::virtualGemvAccel(),
+          hw::virtualConvAccel()}) {
+        SCOPED_TRACE(spec.name);
+        Compiler compiler(spec, fastTuning());
+        EXPECT_GT(compiler.countMappings(c3d), 0u);
+        auto result = compiler.compile(c3d);
+        EXPECT_TRUE(result.tensorized);
+    }
+}
+
+TEST(Compiler, NetworkFacadeDelegates)
+{
+    Compiler compiler(hw::v100(), fastTuning());
+    auto result = compiler.compileNetwork(miLstm(1));
+    EXPECT_EQ(result.compiler, NetworkCompiler::Amos);
+    EXPECT_EQ(result.mappedOps, 9);
+}
+
+} // namespace
+} // namespace amos

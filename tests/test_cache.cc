@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the tuning cache: mapping/schedule serialisation
+ * round-trips, entry instantiation, file persistence, and the
+ * compile-with-cache fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "amos/amos.hh"
+#include "ops/conv_layers.hh"
+
+namespace amos {
+namespace {
+
+TensorComputation
+benchConv()
+{
+    return ops::resnet18ConvLayers(16)[5].build();
+}
+
+TEST(CacheSerialise, MappingRoundTrip)
+{
+    ComputeMapping mapping;
+    mapping.groups = {{0, 2, 3}, {}, {4, 6}};
+    auto round = mappingFromJson(
+        Json::parse(mappingToJson(mapping).dump()));
+    EXPECT_EQ(round.groups, mapping.groups);
+}
+
+TEST(CacheSerialise, ScheduleRoundTrip)
+{
+    Schedule sched;
+    sched.axes = {{4, 2}, {1, 1}, {8, 1}};
+    sched.stageDepth = 2;
+    sched.vectorLanes = 8;
+    sched.unrollDepth = 4;
+    auto round = scheduleFromJson(
+        Json::parse(scheduleToJson(sched).dump()));
+    EXPECT_EQ(round.toString(), sched.toString());
+}
+
+TEST(CacheSerialise, RejectsCorruptEntries)
+{
+    EXPECT_THROW(mappingFromJson(Json::parse("{}")), PanicError);
+    EXPECT_THROW(
+        scheduleFromJson(Json::parse(
+            R"({"axes":[{"block":0,"warp":1}],"stage":1,)"
+            R"("vector":1,"unroll":1})")),
+        FatalError);
+}
+
+TEST(CacheEntryTest, InstantiateRebuildsValidPlan)
+{
+    auto conv = benchConv();
+    auto hw = hw::v100();
+    CacheEntry entry;
+    entry.intrinsicName = hw.primaryIntrinsic().name();
+    entry.mapping.groups = {{0, 3}, {1}, {4, 5}};
+    entry.schedule = Schedule{};
+
+    auto plan = entry.instantiate(conv, hw);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_TRUE(plan->valid());
+    EXPECT_EQ(plan->mapping().signature(conv), "[n,q | k | c,r]");
+}
+
+TEST(CacheEntryTest, InstantiateRejectsForeignEntries)
+{
+    auto conv = benchConv();
+    auto hw = hw::v100();
+    CacheEntry entry;
+    entry.intrinsicName = "no_such_intrinsic";
+    entry.mapping.groups = {{0}, {1}, {4}};
+    EXPECT_FALSE(entry.instantiate(conv, hw).has_value());
+
+    // Out-of-range iterator index (entry from another operator).
+    entry.intrinsicName = hw.primaryIntrinsic().name();
+    entry.mapping.groups = {{99}, {1}, {4}};
+    EXPECT_FALSE(entry.instantiate(conv, hw).has_value());
+
+    // Structurally invalid mapping (n and k fused).
+    entry.mapping.groups = {{0, 1}, {}, {4}};
+    EXPECT_FALSE(entry.instantiate(conv, hw).has_value());
+}
+
+TEST(TuningCacheTest, KeyEncodesShapeAndHardware)
+{
+    auto conv16 = ops::resnet18ConvLayers(16)[5].build();
+    auto conv32 = ops::resnet18ConvLayers(32)[5].build();
+    auto v = hw::v100();
+    auto a = hw::a100();
+    EXPECT_NE(TuningCache::keyFor(conv16, v),
+              TuningCache::keyFor(conv32, v));
+    EXPECT_NE(TuningCache::keyFor(conv16, v),
+              TuningCache::keyFor(conv16, a));
+    EXPECT_EQ(TuningCache::keyFor(conv16, v),
+              TuningCache::keyFor(benchConv(), v));
+}
+
+TEST(TuningCacheTest, FileRoundTrip)
+{
+    TuningCache cache;
+    CacheEntry entry;
+    entry.intrinsicName = "wmma_16x16x16";
+    entry.mapping.groups = {{0, 3}, {1}, {4, 5}};
+    entry.schedule.axes = {{2, 2}, {1, 1}, {4, 1}, {1, 1}, {1, 1}};
+    entry.cycles = 12345.0;
+    cache.insert("k1", entry);
+
+    std::string path = "/tmp/amos_cache_test.json";
+    cache.saveFile(path);
+    auto loaded = TuningCache::loadFile(path);
+    std::remove(path.c_str());
+
+    ASSERT_TRUE(loaded.contains("k1"));
+    const auto &round = loaded.lookup("k1");
+    EXPECT_EQ(round.intrinsicName, "wmma_16x16x16");
+    EXPECT_EQ(round.mapping.groups, entry.mapping.groups);
+    EXPECT_DOUBLE_EQ(round.cycles, 12345.0);
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_THROW(loaded.lookup("absent"), PanicError);
+    EXPECT_THROW(TuningCache::loadFile("/no/such/file.json"),
+                 FatalError);
+}
+
+TEST(CompileWithCache, MissTunesAndPopulates)
+{
+    auto conv = benchConv();
+    TuneOptions options;
+    options.generations = 4;
+    Compiler compiler(hw::v100(), options);
+    TuningCache cache;
+    auto result = compiler.compileWithCache(conv, cache);
+    EXPECT_TRUE(result.tensorized);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_TRUE(
+        cache.contains(TuningCache::keyFor(conv, hw::v100())));
+}
+
+TEST(CompileWithCache, HitReproducesTunedLatency)
+{
+    auto conv = benchConv();
+    TuneOptions options;
+    options.generations = 4;
+    Compiler compiler(hw::v100(), options);
+    TuningCache cache;
+    auto miss = compiler.compileWithCache(conv, cache);
+    auto hit = compiler.compileWithCache(conv, cache);
+    EXPECT_TRUE(hit.tensorized);
+    // The cached replay simulates the same (mapping, schedule).
+    EXPECT_DOUBLE_EQ(hit.cycles, miss.cycles);
+    EXPECT_EQ(hit.mappingSignature, miss.mappingSignature);
+    // The hit performs no tuner measurements.
+    EXPECT_EQ(hit.measurements, 0);
+    EXPECT_GT(miss.measurements, 0);
+}
+
+TEST(CompileWithCache, SurvivesSerialisationCycle)
+{
+    auto conv = benchConv();
+    TuneOptions options;
+    options.generations = 4;
+    Compiler compiler(hw::v100(), options);
+    TuningCache cache;
+    auto first = compiler.compileWithCache(conv, cache);
+
+    std::string path = "/tmp/amos_cache_cycle.json";
+    cache.saveFile(path);
+    auto restored = TuningCache::loadFile(path);
+    std::remove(path.c_str());
+
+    auto replay = compiler.compileWithCache(conv, restored);
+    EXPECT_DOUBLE_EQ(replay.cycles, first.cycles);
+}
+
+} // namespace
+} // namespace amos

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Code-generation tests: structural checks of the emitted C and full
+ * end-to-end verification — the generated source is compiled with
+ * the host C compiler, loaded with dlopen, executed on pattern
+ * inputs, and compared against the reference interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <dlfcn.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "codegen/codegen.hh"
+#include "isa/intrinsics.hh"
+#include "mapping/generate.hh"
+#include "ops/operators.hh"
+#include "tensor/reference.hh"
+
+namespace amos {
+namespace {
+
+using KernelFn = void (*)(const float **, float *);
+
+/** Compile a generated source with the host cc and load the symbol. */
+class CompiledKernel
+{
+  public:
+    CompiledKernel(const std::string &source,
+                   const std::string &symbol)
+    {
+        char src_path[] = "/tmp/amos_codegen_XXXXXX";
+        int fd = mkstemp(src_path);
+        if (fd < 0)
+            return;
+        close(fd);
+        _src = std::string(src_path) + ".c";
+        std::rename(src_path, _src.c_str());
+        {
+            std::ofstream out(_src);
+            out << source;
+        }
+        _lib = _src + ".so";
+        std::string cmd = "cc -shared -fPIC -O1 -o " + _lib + " " +
+                          _src + " 2>/tmp/amos_codegen_err.txt";
+        if (std::system(cmd.c_str()) != 0)
+            return;
+        _handle = dlopen(_lib.c_str(), RTLD_NOW);
+        if (!_handle)
+            return;
+        _fn = reinterpret_cast<KernelFn>(
+            dlsym(_handle, symbol.c_str()));
+    }
+
+    ~CompiledKernel()
+    {
+        if (_handle)
+            dlclose(_handle);
+        if (!_src.empty()) {
+            std::remove(_src.c_str());
+            std::remove(_lib.c_str());
+        }
+    }
+
+    bool ok() const { return _fn != nullptr; }
+    KernelFn fn() const { return _fn; }
+
+  private:
+    std::string _src, _lib;
+    void *_handle = nullptr;
+    KernelFn _fn = nullptr;
+};
+
+/**
+ * Generate, compile, run, and return the max deviation from the
+ * reference interpreter.
+ */
+float
+codegenError(const MappingPlan &plan, const Schedule &sched)
+{
+    CodegenOptions options;
+    options.kernelName = "amos_test_kernel";
+    auto source = generateC(plan, sched, options);
+
+    CompiledKernel kernel(source, options.kernelName);
+    EXPECT_TRUE(kernel.ok()) << "host compilation failed:\n"
+                             << source.substr(0, 2000);
+    if (!kernel.ok())
+        return 1e9f;
+
+    const auto &comp = plan.computation();
+    auto inputs = makePatternInputs(comp, 21);
+    std::vector<const float *> ptrs;
+    for (const auto &b : inputs)
+        ptrs.push_back(b.data());
+    Buffer out(comp.output());
+    kernel.fn()(ptrs.data(), out.data());
+
+    std::vector<const Buffer *> bufs;
+    for (const auto &b : inputs)
+        bufs.push_back(&b);
+    Buffer ref(comp.output());
+    referenceExecute(comp, bufs, ref);
+    return ref.maxAbsDiff(out);
+}
+
+ops::ConvParams
+tinyConv()
+{
+    ops::ConvParams pr;
+    pr.batch = 2;
+    pr.in_channels = 2;
+    pr.out_channels = 4;
+    pr.out_h = 3;
+    pr.out_w = 3;
+    pr.kernel_h = 2;
+    pr.kernel_w = 2;
+    return pr;
+}
+
+TEST(Codegen, EmitsStructuredSource)
+{
+    auto conv = ops::makeConv2d(tinyConv());
+    ComputeMapping m;
+    m.groups = {{0, 2, 3}, {1}, {4, 5, 6}};
+    MappingPlan plan(conv, isa::wmmaTiny(), m);
+    auto source = generateC(plan, defaultSchedule(plan), {});
+    EXPECT_NE(source.find("void amos_kernel"), std::string::npos);
+    EXPECT_NE(source.find("intrinsic_tile"), std::string::npos);
+    EXPECT_NE(source.find("calloc"), std::string::npos);
+    EXPECT_NE(source.find("free(packed"), std::string::npos);
+    // The mapping signature appears in the header comment.
+    EXPECT_NE(source.find("[n,p,q | k | c,r,s]"), std::string::npos);
+    // Schedule bindings appear when factors exceed 1.
+    auto sched = defaultSchedule(plan);
+    sched.axes[0].blockFactor = 2;
+    auto bound = generateC(plan, sched, {});
+    EXPECT_NE(bound.find("bind blockIdx"), std::string::npos);
+}
+
+TEST(Codegen, CommentsCanBeDisabled)
+{
+    auto gemm = ops::makeGemm(4, 4, 4);
+    ComputeMapping m;
+    m.groups = {{0}, {1}, {2}};
+    MappingPlan plan(gemm, isa::wmmaTiny(), m);
+    CodegenOptions options;
+    options.comments = false;
+    auto source = generateC(plan, defaultSchedule(plan), options);
+    EXPECT_EQ(source.find("/*"), std::string::npos);
+}
+
+TEST(Codegen, RejectsInvalidPlan)
+{
+    auto conv = ops::makeConv2d(tinyConv());
+    ComputeMapping m;
+    m.groups = {{0, 1}, {}, {4, 5, 6}};
+    MappingPlan plan(conv, isa::wmmaTiny(), m);
+    ASSERT_FALSE(plan.valid());
+    EXPECT_THROW(generateC(plan, defaultSchedule(plan), {}),
+                 PanicError);
+}
+
+TEST(Codegen, CompiledGemmMatchesReference)
+{
+    auto gemm = ops::makeGemm(5, 6, 7); // padding in every dim
+    ComputeMapping m;
+    m.groups = {{0}, {1}, {2}};
+    MappingPlan plan(gemm, isa::wmmaTiny(), m);
+    EXPECT_LE(codegenError(plan, defaultSchedule(plan)), 1e-4f);
+}
+
+TEST(Codegen, CompiledConvMappingsMatchReference)
+{
+    // Every addressable C2D mapping must produce working C code.
+    auto conv = ops::makeConv2d(tinyConv());
+    auto plans = enumeratePlans(conv, isa::wmmaTiny(), {});
+    ASSERT_EQ(plans.size(), 35u);
+    // Compiling 35 shared objects is slow; verify a spread sample.
+    for (std::size_t i = 0; i < plans.size(); i += 6) {
+        SCOPED_TRACE(plans[i].mapping().signature(conv));
+        EXPECT_LE(codegenError(plans[i],
+                               defaultSchedule(plans[i])),
+                  1e-4f);
+    }
+}
+
+TEST(Codegen, CompiledDepthwiseAndGemvMatchReference)
+{
+    // Degenerate groups (empty i2) and unmapped channel loops.
+    auto gemv = ops::makeGemv(5, 9);
+    auto gemv_plans = enumeratePlans(gemv, isa::wmmaTiny(), {});
+    ASSERT_EQ(gemv_plans.size(), 1u);
+    EXPECT_LE(codegenError(gemv_plans[0],
+                           defaultSchedule(gemv_plans[0])),
+              1e-4f);
+
+    auto dep = ops::makeDepthwiseConv2d(tinyConv(), 2);
+    auto dep_plans = enumeratePlans(dep, isa::wmmaTiny(), {});
+    ASSERT_GT(dep_plans.size(), 0u);
+    EXPECT_LE(codegenError(dep_plans.front(),
+                           defaultSchedule(dep_plans.front())),
+              1e-4f);
+}
+
+TEST(Codegen, SumReduceIntrinsicCode)
+{
+    // A SumReduce computation on a SumReduce intrinsic.
+    IterVar i{Var("i"), 6, IterKind::Spatial};
+    IterVar r{Var("k"), 5, IterKind::Reduction};
+    TensorDecl a("A", {6, 5});
+    TensorDecl out("out", {6});
+    TensorComputation rowsum("rowsum", {i, r}, out, {i.var},
+                             {{a, {i.var, r.var}}},
+                             CombineKind::SumReduce);
+    ComputeAbstraction acc("vacc", {{"i1", 4, false}},
+                           {{"Src1", {0}, DataType::F32}},
+                           {"Dst", {0}, DataType::F32},
+                           CombineKind::SumReduce);
+    MemoryAbstraction mem({{"Src1", MemScope::Reg, MemScope::Shared},
+                           {"Dst", MemScope::Global, MemScope::Reg}});
+    Intrinsic intr{std::move(acc), std::move(mem)};
+    auto plans = enumeratePlans(rowsum, intr, {});
+    ASSERT_GT(plans.size(), 0u);
+    EXPECT_LE(codegenError(plans.front(),
+                           defaultSchedule(plans.front())),
+              1e-4f);
+}
+
+} // namespace
+} // namespace amos

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the 113-configuration evaluation suite: size and
+ * composition, buildability at several batch sizes, tensorizability
+ * on the Tensor Core target, and a spot-compile sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "amos/amos.hh"
+#include "isa/intrinsics.hh"
+#include "mapping/generate.hh"
+#include "ops/config_suite.hh"
+
+namespace amos {
+namespace {
+
+TEST(ConfigSuite, HasThePapersShape)
+{
+    const auto &suite = ops::configSuite();
+    EXPECT_EQ(suite.size(), 113u); // Sec. 7.3: 113 configurations
+    for (auto kind : ops::allOpKinds()) {
+        auto family = ops::configsOf(kind);
+        EXPECT_GE(family.size(), 7u) << ops::opKindName(kind);
+        EXPECT_LE(family.size(), 8u) << ops::opKindName(kind);
+    }
+}
+
+TEST(ConfigSuite, LabelsAreUniqueAndPrefixed)
+{
+    std::set<std::string> labels;
+    for (const auto &entry : ops::configSuite()) {
+        EXPECT_TRUE(labels.insert(entry.label).second)
+            << "duplicate " << entry.label;
+        std::string prefix =
+            std::string(ops::opKindName(entry.kind)) + "/";
+        EXPECT_EQ(entry.label.rfind(prefix, 0), 0u) << entry.label;
+    }
+}
+
+TEST(ConfigSuite, EveryEntryBuildsAtSeveralBatchSizes)
+{
+    for (const auto &entry : ops::configSuite()) {
+        SCOPED_TRACE(entry.label);
+        for (std::int64_t batch : {1, 4}) {
+            auto comp = entry.build(batch);
+            EXPECT_GT(comp.flopCount(), 0);
+            EXPECT_GT(comp.numIters(), 0u);
+        }
+    }
+}
+
+TEST(ConfigSuite, EveryEntryTensorizesOnTensorCore)
+{
+    auto intr = isa::wmma(16, 16, 16);
+    for (const auto &entry : ops::configSuite()) {
+        SCOPED_TRACE(entry.label);
+        EXPECT_TRUE(isTensorizable(entry.build(1), intr));
+    }
+}
+
+TEST(ConfigSuite, SpotCompileSweep)
+{
+    TuneOptions options;
+    options.population = 8;
+    options.generations = 2;
+    options.measureTopK = 2;
+    options.maxMappings = 6;
+    options.exploitSteps = 4;
+    Compiler compiler(hw::v100(), options);
+    const auto &suite = ops::configSuite();
+    for (std::size_t i = 0; i < suite.size(); i += 9) {
+        SCOPED_TRACE(suite[i].label);
+        auto result = compiler.compile(suite[i].build(1));
+        EXPECT_TRUE(result.tensorized);
+        EXPECT_TRUE(std::isfinite(result.milliseconds));
+    }
+}
+
+} // namespace
+} // namespace amos

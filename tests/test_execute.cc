@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Functional-equivalence tests: every valid mapping, executed both
+ * via index remapping and via the packed base/stride address path,
+ * must reproduce the reference interpreter exactly. These are the
+ * semantic-preservation guarantees of Sec. 5.2 put to work.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/intrinsics.hh"
+#include "mapping/execute.hh"
+#include "mapping/generate.hh"
+#include "ops/operators.hh"
+#include "support/logging.hh"
+#include "tensor/reference.hh"
+
+namespace amos {
+namespace {
+
+using ops::ConvParams;
+
+constexpr float kTol = 1e-4f;
+
+ConvParams
+tinyConvParams()
+{
+    ConvParams pr;
+    pr.batch = 2;
+    pr.in_channels = 2;
+    pr.out_channels = 4;
+    pr.out_h = 2;
+    pr.out_w = 3;
+    pr.kernel_h = 2;
+    pr.kernel_w = 2;
+    return pr;
+}
+
+TEST(Execute, Fig3MappingReproducesReference)
+{
+    ConvParams pr;
+    pr.batch = 1;
+    pr.in_channels = 1;
+    pr.out_channels = 4;
+    pr.out_h = 2;
+    pr.out_w = 2;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    auto conv = ops::makeConv2d(pr);
+    ComputeMapping m;
+    m.groups = {{0, 2, 3}, {1}, {4, 5, 6}};
+    MappingPlan plan(conv, isa::wmmaTiny(), m);
+    ASSERT_TRUE(plan.valid());
+    EXPECT_LE(mappedVsReferenceError(plan), kTol);
+}
+
+TEST(Execute, AllConv2dMappingsPreserveSemantics)
+{
+    // The central property test: all 35 addressable C2D mappings are
+    // functionally exact, trailing padding and empty groups included.
+    auto conv = ops::makeConv2d(tinyConvParams());
+    auto plans = enumeratePlans(conv, isa::wmmaTiny(), {});
+    ASSERT_EQ(plans.size(), 35u);
+    for (const auto &plan : plans) {
+        SCOPED_TRACE(plan.mapping().signature(conv));
+        EXPECT_LE(mappedVsReferenceError(plan), kTol);
+    }
+}
+
+TEST(Execute, PermissiveMappingsAlsoPreserveSemantics)
+{
+    // Addressability is a performance property, not a correctness
+    // one: permissive-only mappings are exact too.
+    auto conv = ops::makeConv2d(tinyConvParams());
+    auto plans = enumeratePlans(conv, isa::wmmaTiny(),
+                                {LegalityPolicy::Permissive, 0});
+    ASSERT_EQ(plans.size(), 49u);
+    for (const auto &plan : plans) {
+        SCOPED_TRACE(plan.mapping().signature(conv));
+        EXPECT_LE(mappedVsReferenceError(plan), kTol);
+    }
+}
+
+class OperatorExecution
+    : public ::testing::TestWithParam<ops::OpKind>
+{
+};
+
+TEST_P(OperatorExecution, EveryMappingOfEveryOperatorIsExact)
+{
+    // Small instance of each operator kind; every addressable mapping
+    // on the tiny Tensor Core must be exact.
+    ConvParams pr = tinyConvParams();
+    TensorComputation comp = [&]() -> TensorComputation {
+        switch (GetParam()) {
+          case ops::OpKind::GMV: return ops::makeGemv(5, 7);
+          case ops::OpKind::GMM: return ops::makeGemm(3, 5, 7);
+          case ops::OpKind::C1D:
+            return ops::makeConv1d(2, 3, 4, 5, 3);
+          case ops::OpKind::C2D: return ops::makeConv2d(pr);
+          case ops::OpKind::C3D: return ops::makeConv3d(pr, 2, 2);
+          case ops::OpKind::T2D: {
+            ConvParams t2 = pr;
+            t2.stride = 2;
+            return ops::makeTransposedConv2d(t2);
+          }
+          case ops::OpKind::GRP:
+            return ops::makeGroupConv2d(pr, 2);
+          case ops::OpKind::DIL: {
+            ConvParams dil = pr;
+            dil.dilation = 2;
+            return ops::makeDilatedConv2d(dil);
+          }
+          case ops::OpKind::DEP:
+            return ops::makeDepthwiseConv2d(pr, 2);
+          case ops::OpKind::CAP: {
+            ConvParams cap = pr;
+            cap.out_h = 2;
+            cap.out_w = 2;
+            cap.out_channels = 2;
+            return ops::makeCapsuleConv2d(cap, 2);
+          }
+          case ops::OpKind::BCV:
+            return ops::makeBatchedConv2d(pr);
+          case ops::OpKind::GFC:
+            return ops::makeGroupedFC(2, 3, 4, 5);
+          case ops::OpKind::MEN: return ops::makeMean(5, 6);
+          case ops::OpKind::VAR: return ops::makeVariance(5, 6);
+          case ops::OpKind::SCN: return ops::makeScan(3, 5);
+        }
+        panic("unreachable");
+    }();
+
+    auto plans = enumeratePlans(comp, isa::wmmaTiny(), {});
+    ASSERT_GT(plans.size(), 0u)
+        << ops::opKindName(GetParam()) << " has no valid mapping";
+    for (const auto &plan : plans) {
+        SCOPED_TRACE(plan.mapping().signature(comp));
+        EXPECT_LE(mappedVsReferenceError(plan), kTol);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, OperatorExecution,
+    ::testing::ValuesIn(ops::allOpKinds()),
+    [](const ::testing::TestParamInfo<ops::OpKind> &info) {
+        return ops::opKindName(info.param);
+    });
+
+TEST(Execute, OtherIntrinsicsPreserveSemantics)
+{
+    // Same property on structurally different intrinsics: VNNI
+    // (matrix-vector), Mali dot (scalar output), and the virtual
+    // 4-iteration CONV accelerator.
+    auto conv = ops::makeConv2d(tinyConvParams());
+    for (const auto &intr :
+         {isa::avx512Vnni(), isa::maliDot(),
+          isa::virtualConv(2, 2, 2, 2), isa::virtualGemv(2, 4),
+          isa::virtualAxpy(4)}) {
+        auto plans = enumeratePlans(conv, intr, {});
+        ASSERT_GT(plans.size(), 0u) << intr.name();
+        for (const auto &plan : plans) {
+            SCOPED_TRACE(intr.name() + " " +
+                         plan.mapping().signature(conv));
+            EXPECT_LE(mappedVsReferenceError(plan), kTol);
+        }
+    }
+}
+
+TEST(Execute, LargeIntrinsicPaddingIsExact)
+{
+    // Extents far below the intrinsic problem size: everything is
+    // padding-dominated, results must still be exact.
+    auto gemm = ops::makeGemm(3, 2, 5);
+    auto plans = enumeratePlans(gemm, isa::wmma(16, 16, 16), {});
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_GT(plans[0].paddingWasteFactor(), 10.0);
+    EXPECT_LE(mappedVsReferenceError(plans[0]), kTol);
+}
+
+TEST(Execute, RejectsInvalidPlan)
+{
+    auto conv = ops::makeConv2d(tinyConvParams());
+    ComputeMapping m;
+    m.groups = {{0, 1}, {}, {4, 5, 6}};
+    MappingPlan plan(conv, isa::wmmaTiny(), m);
+    ASSERT_FALSE(plan.valid());
+    auto inputs = makePatternInputs(conv, 3);
+    std::vector<const Buffer *> ptrs = {&inputs[0], &inputs[1]};
+    Buffer out(conv.output());
+    EXPECT_THROW(executeMappedDirect(plan, ptrs, out), PanicError);
+    EXPECT_THROW(executeMappedPacked(plan, ptrs, out), PanicError);
+}
+
+TEST(Execute, SeedVariationStaysExact)
+{
+    auto gemm = ops::makeGemm(4, 4, 4);
+    auto plans = enumeratePlans(gemm, isa::wmmaTiny(), {});
+    ASSERT_EQ(plans.size(), 1u);
+    for (std::uint64_t seed : {1ULL, 42ULL, 1234567ULL})
+        EXPECT_LE(mappedVsReferenceError(plans[0], seed), kTol);
+}
+
+} // namespace
+} // namespace amos

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Coverage for facade and registry paths not exercised elsewhere:
+ * intrinsic variants, the scalar-code escape hatch, pseudo-code on
+ * non-WMMA targets, intrinsic-name reporting, and report wording.
+ */
+
+#include <gtest/gtest.h>
+
+#include "amos/amos.hh"
+#include "isa/intrinsics.hh"
+#include "mapping/generate.hh"
+#include "ops/operators.hh"
+
+namespace amos {
+namespace {
+
+TEST(Variants, ThreeWmmaShapesWithEqualThroughput)
+{
+    auto variants = isa::wmmaVariants();
+    ASSERT_EQ(variants.size(), 3u);
+    std::int64_t ops0 = variants[0].compute.scalarOps();
+    for (const auto &intr : variants) {
+        EXPECT_EQ(intr.compute.scalarOps(), ops0);
+        EXPECT_EQ(intr.compute.numIters(), 3u);
+    }
+    EXPECT_EQ(variants[0].compute.problemSize(),
+              (std::vector<std::int64_t>{16, 16, 16}));
+    EXPECT_EQ(variants[1].compute.problemSize(),
+              (std::vector<std::int64_t>{32, 8, 16}));
+    EXPECT_EQ(variants[2].compute.problemSize(),
+              (std::vector<std::int64_t>{8, 32, 16}));
+}
+
+TEST(Variants, GpuPresetsExposeAllShapes)
+{
+    EXPECT_EQ(hw::v100().intrinsics.size(), 3u);
+    EXPECT_EQ(hw::a100().intrinsics.size(), 3u);
+    // A100's third-generation units run every shape at the faster
+    // rate.
+    for (const auto &intr : hw::a100().intrinsics)
+        EXPECT_DOUBLE_EQ(intr.latencyCycles, 4.0);
+}
+
+TEST(Variants, TunerReportsWinningShape)
+{
+    TuneOptions options;
+    options.generations = 4;
+    auto res = tune(ops::makeGemm(64, 256, 64), hw::a100(), options);
+    ASSERT_TRUE(res.tensorizable);
+    EXPECT_EQ(res.intrinsicName.rfind("wmma_", 0), 0u);
+}
+
+TEST(Facade, ScalarEscapeHatchOnDegenerateMapping)
+{
+    // T2D at batch 1: the only mappable spatial iterator is the
+    // batch (extent 1), so tensorized code wastes almost the whole
+    // problem size and AMOS ships its scalar code instead — while
+    // still reporting the operator as mappable.
+    ops::ConvParams pr;
+    pr.batch = 1;
+    pr.in_channels = 128;
+    pr.out_channels = 64;
+    pr.out_h = 28;
+    pr.out_w = 28;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    pr.stride = 2;
+    auto t2d = ops::makeTransposedConv2d(pr);
+    TuneOptions options;
+    options.generations = 4;
+    Compiler compiler(hw::v100(), options);
+    auto result = compiler.compile(t2d);
+    EXPECT_TRUE(result.tensorized);
+    EXPECT_TRUE(result.usedScalarCode);
+    EXPECT_LE(result.cycles, result.tuning.bestCycles);
+}
+
+TEST(Facade, BigGemmNeverTakesTheScalarHatch)
+{
+    TuneOptions options;
+    options.generations = 6;
+    Compiler compiler(hw::v100(), options);
+    auto result = compiler.compile(ops::makeGemm(512, 512, 512));
+    EXPECT_TRUE(result.tensorized);
+    EXPECT_FALSE(result.usedScalarCode);
+}
+
+TEST(Facade, PseudoCodeOnNonWmmaTargets)
+{
+    auto conv = ops::buildRepresentative(ops::OpKind::C2D, 1);
+    for (const auto &spec : {hw::xeonSilver4110(), hw::maliG76()}) {
+        SCOPED_TRACE(spec.name);
+        TuneOptions options;
+        options.generations = 3;
+        Compiler compiler(spec, options);
+        auto result = compiler.compile(conv);
+        ASSERT_TRUE(result.tensorized);
+        EXPECT_NE(result.pseudoCode.find(
+                      spec.primaryIntrinsic().name()),
+                  std::string::npos);
+        EXPECT_NE(result.pseudoCode.find("for "),
+                  std::string::npos);
+    }
+}
+
+TEST(Facade, ReportWordsMatchOutcome)
+{
+    TuneOptions options;
+    options.generations = 3;
+    Compiler compiler(hw::v100(), options);
+    auto good = compiler.compile(ops::makeGemm(128, 128, 128));
+    EXPECT_NE(good.report().find("tensorized"), std::string::npos);
+    EXPECT_EQ(good.report().find("scalar fallback"),
+              std::string::npos);
+
+    IterVar i{Var("i"), 128, IterKind::Spatial};
+    TensorDecl a("A", {128});
+    TensorDecl out("out", {128});
+    TensorComputation sum("sum", {i}, out, {i.var}, {{a, {i.var}}},
+                          CombineKind::SumReduce);
+    auto bad = compiler.compile(sum);
+    EXPECT_NE(bad.report().find("scalar fallback"),
+              std::string::npos);
+}
+
+TEST(Facade, MappingCountAdditiveAcrossShapes)
+{
+    // countMappings uses the primary intrinsic; tune() explores all
+    // shapes. The pool sizes relate 1:3 for shape-symmetric
+    // operators.
+    auto conv = ops::buildRepresentative(ops::OpKind::C2D, 1);
+    Compiler compiler(hw::v100(), TuneOptions{});
+    auto per_shape = compiler.countMappings(conv);
+    auto res = tune(conv, hw::v100(), TuneOptions{});
+    EXPECT_EQ(res.numMappings, 3 * per_shape);
+}
+
+TEST(Facade, HardwareWithoutIntrinsicsIsAUserError)
+{
+    HardwareSpec empty;
+    empty.name = "empty";
+    EXPECT_THROW(empty.primaryIntrinsic(), FatalError);
+}
+
+} // namespace
+} // namespace amos

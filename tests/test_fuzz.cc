@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Property-based fuzzing of the whole pipeline: randomly generated
+ * tensor computations (random loop structures, operand roles, and
+ * convolution-style compound accesses) are pushed through mapping
+ * enumeration, Algorithm-1 validation, functional execution, and
+ * schedule lowering / simulation, asserting the invariants that no
+ * hand-picked example can cover:
+ *
+ *  - every enumerated mapping passes Algorithm 1;
+ *  - every mapping executes exactly (both executor paths);
+ *  - the permissive space contains the addressable space;
+ *  - random legal schedules lower to internally consistent profiles
+ *    and finite simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/intrinsics.hh"
+#include "mapping/execute.hh"
+#include "mapping/generate.hh"
+#include "model/perf_model.hh"
+#include "sim/simulator.hh"
+#include "support/rng.hh"
+
+namespace amos {
+namespace {
+
+/** Randomly generated single-statement tensor computation. */
+TensorComputation
+randomComputation(Rng &rng)
+{
+    int n_spatial = static_cast<int>(rng.uniformInt(1, 3));
+    int n_reduce = static_cast<int>(rng.uniformInt(1, 2));
+
+    struct Axis
+    {
+        IterVar iv;
+        int role; // bit0: in0, bit1: in1 (output implied for spatial)
+        int conv_partner = -1; // reduction iter fused additively
+    };
+    std::vector<Axis> spatial, reduce;
+    for (int i = 0; i < n_spatial; ++i) {
+        Axis axis{{Var("p" + std::to_string(i)),
+                   rng.uniformInt(1, 4), IterKind::Spatial},
+                  0};
+        // Spatial roles: in0-only, in1-only, both, or neither
+        // (output-only iterators are rejected by the computation
+        // validator unless they appear in an input, so force one).
+        axis.role = static_cast<int>(rng.uniformInt(1, 3));
+        spatial.push_back(axis);
+    }
+    for (int i = 0; i < n_reduce; ++i) {
+        Axis axis{{Var("r" + std::to_string(i)),
+                   rng.uniformInt(1, 3), IterKind::Reduction},
+                  0};
+        axis.role = static_cast<int>(rng.uniformInt(1, 3));
+        reduce.push_back(axis);
+    }
+    // Convolution-style compound access: with probability, a spatial
+    // iterator that reads in0 shares an input dimension with a
+    // reduction iterator that reads in0 (index p + r).
+    for (auto &sp : spatial) {
+        if (!(sp.role & 1))
+            continue;
+        if (!rng.flip(0.4))
+            continue;
+        for (int j = 0; j < n_reduce; ++j) {
+            if ((reduce[j].role & 1) && reduce[j].conv_partner < 0) {
+                sp.conv_partner = j;
+                reduce[j].conv_partner = 1; // taken
+                break;
+            }
+        }
+    }
+
+    // Assemble accesses.
+    std::vector<IterVar> iters;
+    for (const auto &a : spatial)
+        iters.push_back(a.iv);
+    for (const auto &a : reduce)
+        iters.push_back(a.iv);
+
+    std::vector<Expr> in0_idx, in1_idx, out_idx;
+    std::vector<std::int64_t> in0_shape, in1_shape, out_shape;
+    for (const auto &a : spatial) {
+        out_idx.push_back(a.iv.var);
+        out_shape.push_back(a.iv.extent);
+        if (a.role & 1) {
+            if (a.conv_partner >= 0) {
+                const auto &r = reduce[a.conv_partner].iv;
+                in0_idx.push_back(a.iv.var + r.var);
+                in0_shape.push_back(a.iv.extent + r.extent - 1);
+            } else {
+                in0_idx.push_back(a.iv.var);
+                in0_shape.push_back(a.iv.extent);
+            }
+        }
+        if (a.role & 2) {
+            in1_idx.push_back(a.iv.var);
+            in1_shape.push_back(a.iv.extent);
+        }
+    }
+    for (std::size_t j = 0; j < reduce.size(); ++j) {
+        const auto &a = reduce[j];
+        bool fused_into_spatial = false;
+        for (const auto &sp : spatial)
+            fused_into_spatial |=
+                sp.conv_partner == static_cast<int>(j);
+        if ((a.role & 1) && !fused_into_spatial) {
+            in0_idx.push_back(a.iv.var);
+            in0_shape.push_back(a.iv.extent);
+        }
+        if (a.role & 2) {
+            in1_idx.push_back(a.iv.var);
+            in1_shape.push_back(a.iv.extent);
+        }
+        if ((a.role & 1) && fused_into_spatial && !(a.role & 2)) {
+            // Already used via the compound access: fine.
+            continue;
+        }
+    }
+    // Guarantee non-empty inputs: fall back to indexing the first
+    // iterator.
+    if (in0_idx.empty()) {
+        in0_idx.push_back(iters.front().var);
+        in0_shape.push_back(iters.front().extent);
+    }
+    if (in1_idx.empty()) {
+        in1_idx.push_back(iters.back().var);
+        in1_shape.push_back(iters.back().extent);
+    }
+
+    TensorDecl in0("A", in0_shape);
+    TensorDecl in1("B", in1_shape);
+    TensorDecl out("out", out_shape);
+    return TensorComputation("fuzz", iters, out, out_idx,
+                             {{in0, in0_idx}, {in1, in1_idx}});
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PipelineFuzz, EnumerationValidationExecution)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    auto comp = randomComputation(rng);
+    SCOPED_TRACE(comp.toString());
+
+    for (const auto &intr :
+         {isa::wmmaTiny(), isa::virtualConv(2, 2, 2, 2),
+          isa::virtualGemv(2, 2)}) {
+        SCOPED_TRACE(intr.name());
+        GeneratorOptions addressable;
+        GeneratorOptions permissive;
+        permissive.policy = LegalityPolicy::Permissive;
+        auto strict = enumerateMappings(comp, intr, addressable);
+        auto loose = enumerateMappings(comp, intr, permissive);
+
+        // Containment: addressable subset of permissive.
+        std::set<std::string> loose_sigs;
+        for (const auto &m : loose)
+            loose_sigs.insert(m.signature(comp));
+        EXPECT_GE(loose.size(), strict.size());
+        for (const auto &m : strict)
+            EXPECT_TRUE(loose_sigs.count(m.signature(comp)))
+                << m.signature(comp);
+
+        // Every mapping validates and executes exactly.
+        for (const auto &m : loose) {
+            MappingPlan plan(comp, intr, m);
+            ASSERT_TRUE(plan.valid())
+                << m.signature(comp) << ": "
+                << plan.validation().failure;
+            EXPECT_LE(mappedVsReferenceError(plan), 1e-4f)
+                << m.signature(comp);
+        }
+    }
+}
+
+TEST_P(PipelineFuzz, SchedulesLowerConsistently)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+    auto comp = randomComputation(rng);
+    auto hw = hw::v100();
+    auto plans =
+        enumeratePlans(comp, isa::wmma(4, 4, 4), {});
+    if (plans.empty())
+        return; // nothing to schedule; other fuzz cases cover it
+    SCOPED_TRACE(comp.toString());
+
+    for (int i = 0; i < 8; ++i) {
+        const auto &plan = plans[static_cast<std::size_t>(
+            rng.uniformInt(0,
+                           static_cast<std::int64_t>(plans.size()) -
+                               1))];
+        auto sched = sampleSchedule(plan, rng);
+        auto prof = lowerKernel(plan, sched, hw);
+
+        // Grid covers the iteration space.
+        EXPECT_GE(prof.numBlocks * prof.warpsPerBlock *
+                      prof.serialCallsPerWarp,
+                  prof.totalCalls);
+        // Padding inflation is at least one.
+        EXPECT_GE(prof.paddingWaste, 1.0 - 1e-9);
+        // Traffic and footprints are non-negative and finite.
+        EXPECT_GE(prof.globalLoadBytesPerBlock, 0);
+        EXPECT_GE(prof.globalStoreBytesPerBlock, 0);
+        EXPECT_GE(prof.sharedBytesPerBlock, 0);
+
+        if (prof.valid()) {
+            auto est = modelEstimate(prof, hw);
+            auto sim = simulateKernel(prof, hw);
+            EXPECT_TRUE(std::isfinite(est.totalCycles));
+            EXPECT_TRUE(std::isfinite(sim.cycles));
+            EXPECT_GT(sim.cycles, 0.0);
+            EXPECT_LE(sim.peakFraction, 1.0 + 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Range(0, 24));
+
+} // namespace
+} // namespace amos

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests for mapping enumeration: counts per operator (Table 6
+ * reproduction), legality policies, barriers, and structural
+ * invariants of every generated mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/intrinsics.hh"
+#include "mapping/generate.hh"
+#include "ops/operators.hh"
+
+namespace amos {
+namespace {
+
+using ops::ConvParams;
+
+ConvParams
+smallConvParams()
+{
+    ConvParams pr;
+    pr.batch = 2;
+    pr.in_channels = 2;
+    pr.out_channels = 4;
+    pr.out_h = 2;
+    pr.out_w = 2;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    return pr;
+}
+
+std::size_t
+countMappings(const TensorComputation &comp, const Intrinsic &intr,
+              LegalityPolicy policy)
+{
+    GeneratorOptions options;
+    options.policy = policy;
+    return enumerateMappings(comp, intr, options).size();
+}
+
+TEST(Generate, Conv2dAddressableCountMatchesPaper)
+{
+    // Table 6: C2D has 35 feasible mappings on Tensor Core.
+    auto conv = ops::makeConv2d(smallConvParams());
+    EXPECT_EQ(countMappings(conv, isa::wmmaTiny(),
+                            LegalityPolicy::Addressable),
+              35u);
+}
+
+TEST(Generate, Conv2dPermissiveCountIsSubsetProduct)
+{
+    // Permissive: nonempty subsets of {n,p,q} x {k} x {c,r,s}.
+    auto conv = ops::makeConv2d(smallConvParams());
+    EXPECT_EQ(countMappings(conv, isa::wmmaTiny(),
+                            LegalityPolicy::Permissive),
+              7u * 1u * 7u);
+}
+
+TEST(Generate, GemmAndGemvHaveUniqueMapping)
+{
+    // Table 6: GMM = 1 and GMV = 1.
+    auto gemm = ops::makeGemm(8, 8, 8);
+    EXPECT_EQ(countMappings(gemm, isa::wmmaTiny(),
+                            LegalityPolicy::Addressable),
+              1u);
+    auto gemv = ops::makeGemv(8, 8);
+    EXPECT_EQ(countMappings(gemv, isa::wmmaTiny(),
+                            LegalityPolicy::Addressable),
+              1u);
+}
+
+TEST(Generate, GroupedAndDilatedMatchConv2d)
+{
+    // Table 6: GRP = DIL = 35 (the group iterator must stay outer).
+    auto grp = ops::makeGroupConv2d(smallConvParams(), 2);
+    EXPECT_EQ(countMappings(grp, isa::wmmaTiny(),
+                            LegalityPolicy::Addressable),
+              35u);
+    ConvParams dil = smallConvParams();
+    dil.dilation = 2;
+    EXPECT_EQ(countMappings(ops::makeDilatedConv2d(dil),
+                            isa::wmmaTiny(),
+                            LegalityPolicy::Addressable),
+              35u);
+}
+
+TEST(Generate, TransposedConvBarrierReducesTo7)
+{
+    // Table 6: T2D = 7. With p,q barred, i1 can only take {n} and
+    // r1 ranges over the 7 nonempty subsets of {c,r,s}.
+    ConvParams pr = smallConvParams();
+    pr.stride = 2;
+    auto t2d = ops::makeTransposedConv2d(pr);
+    EXPECT_EQ(countMappings(t2d, isa::wmmaTiny(),
+                            LegalityPolicy::Addressable),
+              7u);
+}
+
+TEST(Generate, ScalarReductionsHaveUniqueMapping)
+{
+    // Table 6: GFC / MEN / VAR / SCN all have exactly 1 mapping.
+    EXPECT_EQ(countMappings(ops::makeGroupedFC(2, 2, 4, 4),
+                            isa::wmmaTiny(),
+                            LegalityPolicy::Addressable),
+              1u);
+    EXPECT_EQ(countMappings(ops::makeMean(4, 4), isa::wmmaTiny(),
+                            LegalityPolicy::Addressable),
+              1u);
+    EXPECT_EQ(countMappings(ops::makeVariance(4, 4), isa::wmmaTiny(),
+                            LegalityPolicy::Addressable),
+              1u);
+    EXPECT_EQ(countMappings(ops::makeScan(4, 4), isa::wmmaTiny(),
+                            LegalityPolicy::Addressable),
+              1u);
+}
+
+TEST(Generate, EveryEnumeratedMappingPassesAlgorithm1)
+{
+    auto conv = ops::makeConv2d(smallConvParams());
+    for (const auto &plan :
+         enumeratePlans(conv, isa::wmmaTiny(), {})) {
+        EXPECT_TRUE(plan.valid()) << plan.validation().failure;
+    }
+}
+
+TEST(Generate, MappingsAreDistinct)
+{
+    auto conv = ops::makeConv2d(smallConvParams());
+    auto mappings = enumerateMappings(conv, isa::wmmaTiny(), {});
+    std::set<std::string> signatures;
+    for (const auto &m : mappings)
+        signatures.insert(m.signature(conv));
+    EXPECT_EQ(signatures.size(), mappings.size());
+}
+
+TEST(Generate, AddressableSpatialGroupsAreRunSuffixes)
+{
+    // In every addressable C2D mapping, p may appear in i1 only
+    // together with q (the run-suffix rule the paper's Table 5
+    // mappings obey).
+    auto conv = ops::makeConv2d(smallConvParams());
+    for (const auto &m : enumerateMappings(conv, isa::wmmaTiny(), {})) {
+        const auto &i1 = m.groups[0];
+        bool has_p = false, has_q = false;
+        for (auto s : i1) {
+            has_p |= conv.iters()[s].name() == "p";
+            has_q |= conv.iters()[s].name() == "q";
+        }
+        EXPECT_TRUE(!has_p || has_q) << m.signature(conv);
+    }
+}
+
+TEST(Generate, PermissiveIsSupersetOfAddressable)
+{
+    auto conv = ops::makeConv2d(smallConvParams());
+    auto permissive = enumerateMappings(
+        conv, isa::wmmaTiny(), {LegalityPolicy::Permissive, 0});
+    auto addressable = enumerateMappings(
+        conv, isa::wmmaTiny(), {LegalityPolicy::Addressable, 0});
+    std::set<std::string> perm_sigs;
+    for (const auto &m : permissive)
+        perm_sigs.insert(m.signature(conv));
+    for (const auto &m : addressable)
+        EXPECT_TRUE(perm_sigs.count(m.signature(conv)))
+            << m.signature(conv);
+}
+
+TEST(Generate, MaxCandidatesCapRespected)
+{
+    auto conv = ops::makeConv2d(smallConvParams());
+    GeneratorOptions options;
+    options.maxCandidates = 3;
+    EXPECT_EQ(enumerateMappings(conv, isa::wmmaTiny(), options).size(),
+              3u);
+}
+
+TEST(Generate, VnniConvMapsChannelToLanes)
+{
+    // On the VNNI intrinsic, k maps to the lane dimension and
+    // reductions to the depth-4 dot; spatial dims stay outer.
+    auto conv = ops::makeConv2d(smallConvParams());
+    auto mappings =
+        enumerateMappings(conv, isa::avx512Vnni(), {});
+    EXPECT_GT(mappings.size(), 0u);
+    for (const auto &m : mappings) {
+        ASSERT_EQ(m.groups.size(), 2u);
+        // i1 group must be exactly {k}.
+        ASSERT_EQ(m.groups[0].size(), 1u);
+        EXPECT_EQ(conv.iters()[m.groups[0][0]].name(), "k");
+    }
+}
+
+TEST(Generate, MaliDotMapsOnlyReductions)
+{
+    auto conv = ops::makeConv2d(smallConvParams());
+    auto mappings = enumerateMappings(conv, isa::maliDot(), {});
+    EXPECT_EQ(mappings.size(), 7u); // nonempty subsets of {c,r,s}
+    for (const auto &m : mappings)
+        for (auto s : m.groups[0])
+            EXPECT_EQ(conv.iters()[s].kind, IterKind::Reduction);
+}
+
+TEST(Generate, DepthwiseChannelStaysOuter)
+{
+    // The depthwise channel c touches all three tensors, so no
+    // intrinsic iteration is compatible: it must stay outer in every
+    // mapping (this is what defeats XLA-style GEMM pattern matching).
+    ConvParams pr = smallConvParams();
+    auto dep = ops::makeDepthwiseConv2d(pr, 2);
+    auto mappings = enumerateMappings(dep, isa::wmmaTiny(), {});
+    EXPECT_GT(mappings.size(), 0u);
+    std::size_t c_pos = 1; // iteration order n,c,m,p,q,r,s
+    for (const auto &m : mappings)
+        EXPECT_FALSE(m.isMapped(c_pos));
+}
+
+TEST(Generate, IsTensorizableFastPath)
+{
+    auto conv = ops::makeConv2d(smallConvParams());
+    EXPECT_TRUE(isTensorizable(conv, isa::wmmaTiny()));
+
+    // A SumReduce computation is not tensorizable on a MultiplyAdd
+    // intrinsic (operand/combine mismatch short-circuits).
+    IterVar i{Var("i"), 2, IterKind::Spatial};
+    TensorDecl a("A", {2});
+    TensorDecl out("out", {2});
+    TensorComputation sum("sum", {i}, out, {i.var}, {{a, {i.var}}},
+                          CombineKind::SumReduce);
+    EXPECT_FALSE(isTensorizable(sum, isa::wmmaTiny()));
+}
+
+TEST(Generate, Table6CountsAcrossOperators)
+{
+    // The full Table 6 sweep at small extents. Paper values noted;
+    // values marked ~ differ because the artifact's enumeration
+    // rules are under-specified (see EXPERIMENTS.md).
+    struct Row
+    {
+        const char *name;
+        TensorComputation comp;
+        std::size_t expected;
+    };
+    ConvParams pr = smallConvParams();
+    ConvParams dil = pr;
+    dil.dilation = 2;
+    ConvParams t2 = pr;
+    t2.stride = 2;
+
+    std::vector<Row> rows;
+    rows.push_back({"GMV", ops::makeGemv(8, 8), 1});
+    rows.push_back({"GMM", ops::makeGemm(4, 4, 4), 1});
+    rows.push_back({"C1D", ops::makeConv1d(2, 2, 4, 4, 3), 9}); // ~6
+    rows.push_back({"C2D", ops::makeConv2d(pr), 35});
+    rows.push_back(
+        {"C3D", ops::makeConv3d(pr, 2, 3), 105}); // ~180
+    rows.push_back({"T2D", ops::makeTransposedConv2d(t2), 7});
+    rows.push_back({"GRP", ops::makeGroupConv2d(pr, 2), 35});
+    rows.push_back({"DIL", ops::makeDilatedConv2d(dil), 35});
+    rows.push_back(
+        {"DEP", ops::makeDepthwiseConv2d(pr, 2), 15}); // ~11
+    rows.push_back(
+        {"BCV", ops::makeBatchedConv2d(pr), 14}); // ~11
+    rows.push_back({"GFC", ops::makeGroupedFC(2, 2, 4, 4), 1});
+    rows.push_back({"MEN", ops::makeMean(4, 4), 1});
+    rows.push_back({"VAR", ops::makeVariance(4, 4), 1});
+    rows.push_back({"SCN", ops::makeScan(4, 4), 1});
+
+    for (const auto &row : rows) {
+        SCOPED_TRACE(row.name);
+        EXPECT_EQ(countMappings(row.comp, isa::wmmaTiny(),
+                                LegalityPolicy::Addressable),
+                  row.expected);
+    }
+}
+
+TEST(Generate, MappingCountIndependentOfExtents)
+{
+    // The feasible-mapping count is a structural property: scaling
+    // the extents must not change it.
+    ConvParams small = smallConvParams();
+    ConvParams large = small;
+    large.batch = 4;
+    large.in_channels = 8;
+    large.out_channels = 16;
+    large.out_h = 7;
+    large.out_w = 7;
+    EXPECT_EQ(countMappings(ops::makeConv2d(small), isa::wmmaTiny(),
+                            LegalityPolicy::Addressable),
+              countMappings(ops::makeConv2d(large),
+                            isa::wmma(16, 16, 16),
+                            LegalityPolicy::Addressable));
+}
+
+} // namespace
+} // namespace amos

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for interval arithmetic and the static bounds verifier:
+ * exactness on the arithmetic, soundness against brute-force
+ * evaluation, and in-bounds proofs for every enumerated mapping of
+ * several operators (plus the full 113-configuration suite).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/interval.hh"
+#include "isa/intrinsics.hh"
+#include "mapping/generate.hh"
+#include "mapping/verify_bounds.hh"
+#include "ops/config_suite.hh"
+#include "ops/operators.hh"
+#include "support/rng.hh"
+
+namespace amos {
+namespace {
+
+TEST(Interval, ScalarArithmetic)
+{
+    Var x("x"), y("y");
+    IntervalEnv env{{x.node(), {2, 5}}, {y.node(), {-1, 3}}};
+
+    auto check = [&](const Expr &e, std::int64_t lo,
+                     std::int64_t hi) {
+        auto iv = evalInterval(e, env);
+        EXPECT_EQ(iv.lo, lo) << exprToString(e);
+        EXPECT_EQ(iv.hi, hi) << exprToString(e);
+    };
+    check(x + y, 1, 8);
+    check(x - y, -1, 6);
+    check(x * y, -5, 15);
+    check(x * Expr(-2), -10, -4);
+    check(floorDiv(x, Expr(2)), 1, 2);
+    check(min(x, y), -1, 3);
+    check(max(x, y), 2, 5);
+}
+
+TEST(Interval, FloorModExactWithinOneQuotient)
+{
+    Var x("x");
+    // x in [4, 6]: one quotient of 8 -> exact [4, 6].
+    IntervalEnv env{{x.node(), {4, 6}}};
+    auto iv = evalInterval(floorMod(x, Expr(8)), env);
+    EXPECT_EQ(iv.lo, 4);
+    EXPECT_EQ(iv.hi, 6);
+    // x in [4, 11]: crosses a boundary -> conservative [0, 7].
+    env[x.node()] = {4, 11};
+    iv = evalInterval(floorMod(x, Expr(8)), env);
+    EXPECT_EQ(iv.lo, 0);
+    EXPECT_EQ(iv.hi, 7);
+}
+
+TEST(Interval, RejectsUnsupportedShapes)
+{
+    Var x("x"), y("y");
+    IntervalEnv env{{x.node(), {0, 4}}, {y.node(), {1, 2}}};
+    EXPECT_THROW(evalInterval(floorDiv(x, y), env), PanicError);
+    EXPECT_THROW(evalInterval(floorMod(x, Expr(0)), env),
+                 PanicError);
+    Var unbound("z");
+    EXPECT_THROW(evalInterval(unbound + Expr(1), env), PanicError);
+}
+
+TEST(Interval, SoundAgainstBruteForce)
+{
+    // Property: for random expressions over small ranges, every
+    // concrete value lies inside the computed interval.
+    Rng rng(17);
+    Var a("a"), b("b");
+    for (int trial = 0; trial < 200; ++trial) {
+        std::int64_t ea = rng.uniformInt(1, 6);
+        std::int64_t eb = rng.uniformInt(1, 6);
+        // Random-ish expression built from the mapping vocabulary.
+        Expr e = a * Expr(rng.uniformInt(1, 5)) +
+                 b * Expr(rng.uniformInt(1, 5));
+        if (rng.flip(0.5))
+            e = floorMod(e, Expr(rng.uniformInt(2, 7)));
+        if (rng.flip(0.5))
+            e = floorDiv(e, Expr(rng.uniformInt(2, 5)));
+        e = e + Expr(rng.uniformInt(-3, 3));
+
+        IntervalEnv env{{a.node(), {0, ea - 1}},
+                        {b.node(), {0, eb - 1}}};
+        auto iv = evalInterval(e, env);
+        for (std::int64_t va = 0; va < ea; ++va) {
+            for (std::int64_t vb = 0; vb < eb; ++vb) {
+                VarBinding binding{{a.node(), va}, {b.node(), vb}};
+                auto v = evalExpr(e, binding);
+                EXPECT_GE(v, iv.lo) << exprToString(e);
+                EXPECT_LE(v, iv.hi) << exprToString(e);
+            }
+        }
+    }
+}
+
+TEST(Bounds, EveryC2DMappingProvablyInBounds)
+{
+    ops::ConvParams pr;
+    pr.batch = 2;
+    pr.in_channels = 2;
+    pr.out_channels = 4;
+    pr.out_h = 2;
+    pr.out_w = 3;
+    pr.kernel_h = 2;
+    pr.kernel_w = 2;
+    auto conv = ops::makeConv2d(pr);
+    for (const auto &plan :
+         enumeratePlans(conv, isa::wmmaTiny(),
+                        {LegalityPolicy::Permissive, 0})) {
+        auto report = verifyPlanBounds(plan);
+        EXPECT_TRUE(report.ok)
+            << plan.mapping().signature(conv) << ": "
+            << report.failure;
+    }
+}
+
+TEST(Bounds, FullConfigSuiteProvablyInBounds)
+{
+    // The static verifier covers the whole iteration domain, so the
+    // real-size 113-configuration suite is cheap to prove (no
+    // execution involved). One mapping per configuration.
+    auto intr = isa::wmma(16, 16, 16);
+    for (const auto &entry : ops::configSuite()) {
+        auto comp = entry.build(1);
+        GeneratorOptions one;
+        one.maxCandidates = 1;
+        auto mappings = enumerateMappings(comp, intr, one);
+        ASSERT_FALSE(mappings.empty()) << entry.label;
+        MappingPlan plan(comp, intr, mappings.front());
+        ASSERT_TRUE(plan.valid()) << entry.label;
+        auto report = verifyPlanBounds(plan);
+        EXPECT_TRUE(report.ok) << entry.label << ": "
+                               << report.failure;
+    }
+}
+
+TEST(Bounds, RejectsInvalidPlans)
+{
+    auto gemm = ops::makeGemm(4, 4, 4);
+    ComputeMapping m;
+    m.groups = {{0, 1}, {}, {2}};
+    MappingPlan plan(gemm, isa::wmmaTiny(), m);
+    ASSERT_FALSE(plan.valid());
+    EXPECT_THROW(verifyPlanBounds(plan), PanicError);
+}
+
+TEST(Bounds, IterationIntervalsMatchExtents)
+{
+    auto gemm = ops::makeGemm(3, 5, 7);
+    auto env = iterationIntervals(gemm);
+    EXPECT_EQ(env.size(), 3u);
+    EXPECT_EQ(env[gemm.iters()[0].var.node()].hi, 2);
+    EXPECT_EQ(env[gemm.iters()[2].var.node()].hi, 6);
+}
+
+} // namespace
+} // namespace amos

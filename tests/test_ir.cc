@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the expression IR: builders, constant folding,
+ * evaluation, variable collection, substitution, printing, and the
+ * affine-form analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/affine.hh"
+#include "ir/expr.hh"
+#include "support/logging.hh"
+
+namespace amos {
+namespace {
+
+TEST(Expr, LiteralsFold)
+{
+    Expr e = Expr(2) + Expr(3) * Expr(4);
+    ASSERT_EQ(e->kind(), ExprKind::IntImm);
+    EXPECT_EQ(evalExpr(e, {}), 14);
+}
+
+TEST(Expr, AlgebraicIdentities)
+{
+    Var x("x");
+    EXPECT_TRUE((x + Expr(0)).sameAs(x));
+    EXPECT_TRUE((x * Expr(1)).sameAs(x));
+    Expr zero = x * Expr(0);
+    ASSERT_EQ(zero->kind(), ExprKind::IntImm);
+    EXPECT_EQ(evalExpr(zero, {}), 0);
+    EXPECT_TRUE(floorDiv(x, Expr(1)).sameAs(x));
+    Expr mod1 = floorMod(x, Expr(1));
+    EXPECT_EQ(evalExpr(mod1, {}), 0);
+}
+
+TEST(Expr, EvaluationBindsVariables)
+{
+    Var n("n"), q("q");
+    Expr e = n * Expr(112) + q;
+    VarBinding binding{{n.node(), 3}, {q.node(), 5}};
+    EXPECT_EQ(evalExpr(e, binding), 3 * 112 + 5);
+}
+
+TEST(Expr, UnboundVariablePanics)
+{
+    Var n("n");
+    Expr e = n + Expr(1);
+    EXPECT_THROW(evalExpr(e, {}), PanicError);
+}
+
+TEST(Expr, FloorDivModSemantics)
+{
+    Var x("x");
+    Expr div = floorDiv(x, Expr(4));
+    Expr mod = floorMod(x, Expr(4));
+    for (std::int64_t v : {0, 1, 3, 4, 7, 13}) {
+        VarBinding b{{x.node(), v}};
+        EXPECT_EQ(evalExpr(div, b), v / 4);
+        EXPECT_EQ(evalExpr(mod, b), v % 4);
+        // reconstruction identity
+        EXPECT_EQ(evalExpr(div, b) * 4 + evalExpr(mod, b), v);
+    }
+}
+
+TEST(Expr, MinMaxFoldAndEvaluate)
+{
+    Var x("x");
+    EXPECT_EQ(evalExpr(min(Expr(3), Expr(7)), {}), 3);
+    EXPECT_EQ(evalExpr(max(Expr(3), Expr(7)), {}), 7);
+    VarBinding b{{x.node(), 5}};
+    EXPECT_EQ(evalExpr(min(x, Expr(3)), b), 3);
+    EXPECT_EQ(evalExpr(max(x, Expr(3)), b), 5);
+}
+
+TEST(Expr, CollectVarsDeduplicates)
+{
+    Var n("n"), q("q");
+    Expr e = n * Expr(4) + q + n;
+    auto vars = collectVars(e);
+    EXPECT_EQ(vars.size(), 2u);
+    EXPECT_TRUE(usesVar(e, n.node()));
+    EXPECT_TRUE(usesVar(e, q.node()));
+    Var other("z");
+    EXPECT_FALSE(usesVar(e, other.node()));
+}
+
+TEST(Expr, DistinctVarsWithSameNameAreDistinct)
+{
+    Var a("x"), b("x");
+    Expr e = a + b;
+    EXPECT_EQ(collectVars(e).size(), 2u);
+    EXPECT_NE(a.node(), b.node());
+    EXPECT_NE(a.node()->id, b.node()->id);
+}
+
+TEST(Expr, SubstitutionRewrites)
+{
+    Var n("n"), q("q"), t("t");
+    Expr e = n * Expr(4) + q;
+    Expr replaced = substitute(e, {{n.node(), Expr(t) + Expr(1)}});
+    VarBinding b{{t.node(), 2}, {q.node(), 1}};
+    EXPECT_EQ(evalExpr(replaced, b), (2 + 1) * 4 + 1);
+    // untouched expression is returned as-is
+    Expr same = substitute(e, {});
+    EXPECT_TRUE(same.sameAs(e));
+}
+
+TEST(Expr, PrintingIsReadable)
+{
+    Var n("n"), q("q");
+    Expr e = floorMod(n * Expr(112) + q, Expr(16));
+    EXPECT_EQ(exprToString(e), "(((n * 112) + q) % 16)");
+}
+
+TEST(Affine, LinearFormExtraction)
+{
+    Var p("p"), r("r");
+    Expr e = p * Expr(2) + r * Expr(3) + Expr(5);
+    auto form = tryToAffine(e);
+    ASSERT_TRUE(form.has_value());
+    EXPECT_EQ(form->coeffOf(p.node()), 2);
+    EXPECT_EQ(form->coeffOf(r.node()), 3);
+    EXPECT_EQ(form->constant(), 5);
+}
+
+TEST(Affine, HandlesSubtractionAndNesting)
+{
+    Var p("p"), r("r");
+    Expr e = (p - r) * Expr(4) - Expr(2);
+    auto form = tryToAffine(e);
+    ASSERT_TRUE(form.has_value());
+    EXPECT_EQ(form->coeffOf(p.node()), 4);
+    EXPECT_EQ(form->coeffOf(r.node()), -4);
+    EXPECT_EQ(form->constant(), -2);
+}
+
+TEST(Affine, CancellationRemovesTerms)
+{
+    Var p("p");
+    Expr e = p - p;
+    auto form = tryToAffine(e);
+    ASSERT_TRUE(form.has_value());
+    EXPECT_TRUE(form->terms().empty());
+    EXPECT_EQ(form->constant(), 0);
+}
+
+TEST(Affine, RejectsNonAffine)
+{
+    Var p("p"), r("r");
+    EXPECT_FALSE(tryToAffine(p * r).has_value());
+    EXPECT_FALSE(tryToAffine(floorDiv(p, Expr(2))).has_value());
+    EXPECT_FALSE(tryToAffine(floorMod(p, Expr(2))).has_value());
+    EXPECT_FALSE(tryToAffine(min(p, r)).has_value());
+}
+
+TEST(Affine, ScaleAndAccumulate)
+{
+    Var p("p");
+    AffineForm a;
+    a.addTerm(p.node(), 2);
+    a.addConstant(1);
+    AffineForm b;
+    b.addTerm(p.node(), 3);
+    a.accumulate(b);
+    EXPECT_EQ(a.coeffOf(p.node()), 5);
+    a.scale(2);
+    EXPECT_EQ(a.coeffOf(p.node()), 10);
+    EXPECT_EQ(a.constant(), 2);
+    a.scale(0);
+    EXPECT_TRUE(a.terms().empty());
+}
+
+} // namespace
+} // namespace amos

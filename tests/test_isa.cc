@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the hardware abstraction: compute/memory
+ * abstractions, access matrices, range constraints, the intrinsic
+ * registry, and the hardware presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/hardware.hh"
+#include "isa/abstraction.hh"
+#include "isa/intrinsics.hh"
+#include "support/logging.hh"
+
+namespace amos {
+namespace {
+
+TEST(ComputeAbstraction, WmmaAccessMatrixMatchesFig4)
+{
+    auto intr = isa::wmma(16, 16, 16);
+    auto z = intr.compute.accessMatrix();
+    // rows Src1, Src2, Dst; columns i1, i2, r1 (the paper's Fig. 4).
+    auto expected = BitMatrix::fromRows({
+        {1, 0, 1},
+        {0, 1, 1},
+        {1, 1, 0},
+    });
+    EXPECT_EQ(z, expected);
+}
+
+TEST(ComputeAbstraction, ProblemSizeAndOps)
+{
+    auto intr = isa::wmma(32, 8, 16);
+    std::vector<std::int64_t> expected = {32, 8, 16};
+    EXPECT_EQ(intr.compute.problemSize(), expected);
+    EXPECT_EQ(intr.compute.scalarOps(), 32 * 8 * 16);
+}
+
+TEST(ComputeAbstraction, OperandTileSizes)
+{
+    auto intr = isa::wmma(16, 16, 16);
+    const auto &c = intr.compute;
+    EXPECT_EQ(c.operandTileElems(c.srcs()[0]), 256);
+    EXPECT_EQ(c.operandTileBytes(c.srcs()[0]), 512); // f16
+    EXPECT_EQ(c.operandTileElems(c.dst()), 256);
+}
+
+TEST(ComputeAbstraction, RangeConstraintEncodesExtents)
+{
+    // The paper's Eq. 1 example shape 32x8x16: every row must say
+    // iter_k - extent_k < 0.
+    auto intr = isa::wmma(32, 8, 16);
+    auto rc = intr.compute.rangeConstraint();
+    ASSERT_EQ(rc.rows.size(), 3u);
+    EXPECT_EQ(rc.rows[0],
+              (std::vector<std::int64_t>{1, 0, 0, -32}));
+    EXPECT_EQ(rc.rows[1],
+              (std::vector<std::int64_t>{0, 1, 0, -8}));
+    EXPECT_EQ(rc.rows[2],
+              (std::vector<std::int64_t>{0, 0, 1, -16}));
+}
+
+TEST(ComputeAbstraction, ReductionFlagMustMatchDst)
+{
+    // i1 marked reduction but used by Dst: inconsistent.
+    EXPECT_THROW(
+        ComputeAbstraction(
+            "bad", {{"i1", 4, true}},
+            {{"Src1", {0}, DataType::F16},
+             {"Src2", {0}, DataType::F16}},
+            {"Dst", {0}, DataType::F16}),
+        FatalError);
+}
+
+TEST(ComputeAbstraction, ToStringShowsScalarForm)
+{
+    auto s = isa::wmma(16, 16, 16).compute.toString();
+    EXPECT_NE(s.find("Dst[i1, i2]"), std::string::npos);
+    EXPECT_NE(s.find("Src1[i1, r1]"), std::string::npos);
+    EXPECT_NE(s.find("r1 < 16"), std::string::npos);
+}
+
+TEST(MemoryAbstraction, ScopesPerOperand)
+{
+    auto intr = isa::wmma(16, 16, 16);
+    const auto &mem = intr.memory;
+    EXPECT_EQ(mem.forOperand("Src1").srcScope, MemScope::Shared);
+    EXPECT_EQ(mem.forOperand("Src1").dstScope, MemScope::Reg);
+    EXPECT_EQ(mem.forOperand("Dst").dstScope, MemScope::Global);
+    EXPECT_THROW(mem.forOperand("nope"), PanicError);
+    EXPECT_NE(mem.toString().find("reg.Src1 = shared.Src1"),
+              std::string::npos);
+}
+
+TEST(Intrinsics, TinyWmmaMatchesRunningExample)
+{
+    auto intr = isa::wmmaTiny();
+    std::vector<std::int64_t> expected = {2, 2, 2};
+    EXPECT_EQ(intr.compute.problemSize(), expected);
+}
+
+TEST(Intrinsics, VnniIsMatrixVectorShaped)
+{
+    auto intr = isa::avx512Vnni();
+    const auto &c = intr.compute;
+    ASSERT_EQ(c.numIters(), 2u);
+    EXPECT_FALSE(c.iters()[0].reduction); // i1 lanes
+    EXPECT_TRUE(c.iters()[1].reduction);  // r1 depth-4 dot
+    // Src1 is the broadcast activation: indexed by r1 only.
+    EXPECT_EQ(c.srcs()[0].iterIndices,
+              (std::vector<std::size_t>{1}));
+    EXPECT_EQ(c.srcs()[1].iterIndices,
+              (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Intrinsics, MaliDotIsScalarOutput)
+{
+    auto intr = isa::maliDot();
+    EXPECT_TRUE(intr.compute.dst().iterIndices.empty());
+    EXPECT_EQ(intr.compute.scalarOps(), 4);
+}
+
+TEST(Intrinsics, VirtualTrioShapes)
+{
+    EXPECT_EQ(isa::virtualAxpy(64).compute.numIters(), 1u);
+    EXPECT_EQ(isa::virtualGemv(32, 32).compute.numIters(), 2u);
+    EXPECT_EQ(isa::virtualConv(8, 4, 4, 8).compute.numIters(), 4u);
+    // CONV: Dst indexed by the three spatial iterations.
+    auto conv = isa::virtualConv();
+    EXPECT_EQ(conv.compute.dst().iterIndices.size(), 3u);
+}
+
+TEST(Hardware, PresetsAreSane)
+{
+    for (const auto &spec :
+         {hw::v100(), hw::a100(), hw::xeonSilver4110(), hw::maliG76(),
+          hw::virtualAxpyAccel(), hw::virtualGemvAccel(),
+          hw::virtualConvAccel()}) {
+        SCOPED_TRACE(spec.name);
+        EXPECT_GT(spec.numCores, 0);
+        EXPECT_GT(spec.subcoresPerCore, 0);
+        EXPECT_GT(spec.clockGhz, 0.0);
+        EXPECT_GT(spec.global.readBytesPerCycle, 0.0);
+        EXPECT_GT(spec.shared.capacityBytes, 0);
+        EXPECT_FALSE(spec.intrinsics.empty());
+        EXPECT_GT(spec.peakOpsPerCycle(), 0.0);
+        EXPECT_FALSE(spec.toString().empty());
+    }
+}
+
+TEST(Hardware, A100OutclassesV100)
+{
+    auto v = hw::v100();
+    auto a = hw::a100();
+    EXPECT_GT(a.peakOpsPerCycle(), v.peakOpsPerCycle());
+    EXPECT_GT(a.global.readBytesPerCycle, v.global.readBytesPerCycle);
+}
+
+TEST(Hardware, PeakOpsComposesHierarchy)
+{
+    auto v = hw::v100();
+    const auto &intr = v.primaryIntrinsic();
+    double per_subcore = intr.compute.scalarOps() *
+                         intr.unitsPerSubcore / intr.latencyCycles;
+    EXPECT_DOUBLE_EQ(v.peakOpsPerCycle(),
+                     per_subcore * v.subcoresPerCore * v.numCores);
+}
+
+} // namespace
+} // namespace amos

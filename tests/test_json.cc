@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the JSON utility: construction, typed access,
+ * serialisation stability, parsing, round-trips, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace amos {
+namespace {
+
+TEST(Json, ScalarKindsAndAccessors)
+{
+    EXPECT_TRUE(Json().isNull());
+    EXPECT_TRUE(Json(true).asBool());
+    EXPECT_DOUBLE_EQ(Json(3.5).asNumber(), 3.5);
+    EXPECT_EQ(Json(std::int64_t{42}).asInt(), 42);
+    EXPECT_EQ(Json("hello").asString(), "hello");
+}
+
+TEST(Json, AccessorKindMismatchPanics)
+{
+    EXPECT_THROW(Json(1.0).asString(), PanicError);
+    EXPECT_THROW(Json("x").asNumber(), PanicError);
+    EXPECT_THROW(Json().asBool(), PanicError);
+    EXPECT_THROW(Json(1.0).push(Json()), PanicError);
+    EXPECT_THROW(Json(1.0).set("k", Json()), PanicError);
+}
+
+TEST(Json, ArrayOperations)
+{
+    Json arr = Json::array();
+    arr.push(Json(1));
+    arr.push(Json("two"));
+    ASSERT_EQ(arr.size(), 2u);
+    EXPECT_EQ(arr.at(0).asInt(), 1);
+    EXPECT_EQ(arr.at(1).asString(), "two");
+    EXPECT_THROW(arr.at(2), PanicError);
+}
+
+TEST(Json, ObjectOperations)
+{
+    Json obj = Json::object();
+    obj.set("a", Json(1));
+    obj.set("b", Json::array());
+    EXPECT_TRUE(obj.has("a"));
+    EXPECT_FALSE(obj.has("c"));
+    EXPECT_EQ(obj.get("a").asInt(), 1);
+    EXPECT_THROW(obj.get("c"), PanicError);
+    EXPECT_EQ(obj.entries().size(), 2u);
+}
+
+TEST(Json, DumpIsCompactAndStable)
+{
+    Json obj = Json::object();
+    obj.set("z", Json(1));
+    obj.set("a", Json(2));
+    // Keys serialise sorted for reproducible files.
+    EXPECT_EQ(obj.dump(), "{\"a\":2,\"z\":1}");
+    Json arr = Json::array();
+    arr.push(Json(true));
+    arr.push(Json());
+    EXPECT_EQ(arr.dump(), "[true,null]");
+}
+
+TEST(Json, NumbersRoundTripIntegers)
+{
+    EXPECT_EQ(Json(std::int64_t{123456789}).dump(), "123456789");
+    EXPECT_EQ(Json(-7).dump(), "-7");
+    // Fractions survive a dump/parse cycle.
+    auto parsed = Json::parse(Json(0.125).dump());
+    EXPECT_DOUBLE_EQ(parsed.asNumber(), 0.125);
+}
+
+TEST(Json, StringEscapes)
+{
+    Json s("line\n\"quoted\"\\slash\t");
+    auto round = Json::parse(s.dump());
+    EXPECT_EQ(round.asString(), s.asString());
+}
+
+TEST(Json, ParsesNestedDocuments)
+{
+    auto doc = Json::parse(
+        R"({"name":"amos","nums":[1,2.5,-3],"nested":{"ok":true},)"
+        R"("none":null})");
+    EXPECT_EQ(doc.get("name").asString(), "amos");
+    EXPECT_EQ(doc.get("nums").size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.get("nums").at(1).asNumber(), 2.5);
+    EXPECT_TRUE(doc.get("nested").get("ok").asBool());
+    EXPECT_TRUE(doc.get("none").isNull());
+}
+
+TEST(Json, ParsesWhitespaceTolerant)
+{
+    auto doc = Json::parse("  { \"a\" : [ 1 , 2 ] }  ");
+    EXPECT_EQ(doc.get("a").size(), 2u);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(Json::parse(""), FatalError);
+    EXPECT_THROW(Json::parse("{"), FatalError);
+    EXPECT_THROW(Json::parse("[1,]2"), FatalError);
+    EXPECT_THROW(Json::parse("{\"a\":}"), FatalError);
+    EXPECT_THROW(Json::parse("tru"), FatalError);
+    EXPECT_THROW(Json::parse("[1] extra"), FatalError);
+    EXPECT_THROW(Json::parse("\"unterminated"), FatalError);
+}
+
+TEST(Json, DeepRoundTrip)
+{
+    Json root = Json::object();
+    Json layers = Json::array();
+    for (int i = 0; i < 5; ++i) {
+        Json layer = Json::object();
+        layer.set("id", Json(i));
+        layer.set("label", Json("L" + std::to_string(i)));
+        Json factors = Json::array();
+        for (int f = 1; f <= i + 1; ++f)
+            factors.push(Json(f));
+        layer.set("factors", std::move(factors));
+        layers.push(std::move(layer));
+    }
+    root.set("layers", std::move(layers));
+    auto round = Json::parse(root.dump());
+    EXPECT_EQ(round.dump(), root.dump());
+    EXPECT_EQ(round.get("layers").at(3).get("factors").size(), 4u);
+}
+
+} // namespace
+} // namespace amos

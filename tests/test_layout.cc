@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Layout-sensitivity tests (the Sec. 7.3 NHWC story): the NHWC
+ * convolution variant computes the same mathematics as NCHW, the
+ * AutoTVM proxy's templates only fire on channels-last operators,
+ * and AMOS maps both layouts without caring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "amos/amos.hh"
+#include "baselines/baselines.hh"
+#include "isa/intrinsics.hh"
+#include "mapping/execute.hh"
+#include "mapping/generate.hh"
+#include "ops/operators.hh"
+#include "tensor/reference.hh"
+
+namespace amos {
+namespace {
+
+ops::ConvParams
+smallConv()
+{
+    ops::ConvParams pr;
+    pr.batch = 2;
+    pr.in_channels = 3;
+    pr.out_channels = 4;
+    pr.out_h = 3;
+    pr.out_w = 3;
+    pr.kernel_h = 2;
+    pr.kernel_w = 2;
+    return pr;
+}
+
+TEST(Layout, NhwcComputesTheSameConvolution)
+{
+    auto pr = smallConv();
+    auto nchw = ops::makeConv2d(pr);
+    auto nhwc = ops::makeConv2dNHWC(pr);
+
+    // Fill NCHW inputs, transpose them into the NHWC layouts, run
+    // both references, compare element-wise through the transpose.
+    auto nchw_in = makePatternInputs(nchw, 31);
+    Buffer nhwc_img(nhwc.inputs()[0].decl);
+    Buffer nhwc_w(nhwc.inputs()[1].decl);
+    std::int64_t C = pr.in_channels, K = pr.out_channels;
+    std::int64_t H = 4, W = 4; // implied input spatial extent
+    for (std::int64_t n = 0; n < pr.batch; ++n)
+        for (std::int64_t c = 0; c < C; ++c)
+            for (std::int64_t h = 0; h < H; ++h)
+                for (std::int64_t w = 0; w < W; ++w)
+                    nhwc_img.set(
+                        nhwc_img.flatten({n, h, w, c}),
+                        nchw_in[0].at(nchw_in[0].flatten(
+                            {n, c, h, w})));
+    for (std::int64_t k = 0; k < K; ++k)
+        for (std::int64_t c = 0; c < C; ++c)
+            for (std::int64_t r = 0; r < pr.kernel_h; ++r)
+                for (std::int64_t s = 0; s < pr.kernel_w; ++s)
+                    nhwc_w.set(nhwc_w.flatten({r, s, c, k}),
+                               nchw_in[1].at(nchw_in[1].flatten(
+                                   {k, c, r, s})));
+
+    Buffer out_nchw(nchw.output());
+    referenceExecute(nchw, {&nchw_in[0], &nchw_in[1]}, out_nchw);
+    Buffer out_nhwc(nhwc.output());
+    referenceExecute(nhwc, {&nhwc_img, &nhwc_w}, out_nhwc);
+
+    for (std::int64_t n = 0; n < pr.batch; ++n)
+        for (std::int64_t k = 0; k < K; ++k)
+            for (std::int64_t p = 0; p < pr.out_h; ++p)
+                for (std::int64_t q = 0; q < pr.out_w; ++q)
+                    EXPECT_NEAR(
+                        out_nchw.at(
+                            out_nchw.flatten({n, k, p, q})),
+                        out_nhwc.at(
+                            out_nhwc.flatten({n, p, q, k})),
+                        1e-5f);
+}
+
+TEST(Layout, ChannelsLastDetector)
+{
+    auto pr = smallConv();
+    EXPECT_TRUE(
+        baselines::isChannelsLast(ops::makeConv2dNHWC(pr)));
+    EXPECT_FALSE(baselines::isChannelsLast(ops::makeConv2d(pr)));
+    EXPECT_FALSE(
+        baselines::isChannelsLast(ops::makeGemm(8, 8, 8)));
+    EXPECT_FALSE(baselines::isChannelsLast(
+        ops::makeDepthwiseConv2d(pr, 1)));
+}
+
+TEST(Layout, NhwcMappingsAreExact)
+{
+    auto nhwc = ops::makeConv2dNHWC(smallConv());
+    auto plans = enumeratePlans(nhwc, isa::wmmaTiny(), {});
+    ASSERT_GT(plans.size(), 0u);
+    for (const auto &plan : plans) {
+        SCOPED_TRACE(plan.mapping().signature(nhwc));
+        EXPECT_LE(mappedVsReferenceError(plan), 1e-4f);
+    }
+}
+
+TEST(Layout, AddressableCountDependsOnLayout)
+{
+    // Addressability is a property of the output layout: NCHW's
+    // interleaved k splits {n} from {p,q} (5 spatial choices = 35
+    // mappings), NHWC's contiguous n,p,q run only allows suffixes
+    // (3 choices = 21). The permissive space is layout-independent.
+    auto pr = smallConv();
+    pr.kernel_h = pr.kernel_w = 3;
+    auto nchw = ops::makeConv2d(pr);
+    auto nhwc = ops::makeConv2dNHWC(pr);
+    EXPECT_EQ(enumerateMappings(nchw, isa::wmmaTiny(), {}).size(),
+              35u);
+    EXPECT_EQ(enumerateMappings(nhwc, isa::wmmaTiny(), {}).size(),
+              21u);
+    GeneratorOptions permissive;
+    permissive.policy = LegalityPolicy::Permissive;
+    EXPECT_EQ(
+        enumerateMappings(nchw, isa::wmmaTiny(), permissive).size(),
+        enumerateMappings(nhwc, isa::wmmaTiny(), permissive)
+            .size());
+}
+
+TEST(Layout, AutoTvmTemplatesAreLayoutGated)
+{
+    ops::ConvParams pr;
+    pr.batch = 16;
+    pr.in_channels = 64;
+    pr.out_channels = 64;
+    pr.out_h = 14;
+    pr.out_w = 14;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    auto hw = hw::v100();
+    auto nchw_res =
+        baselines::autoTvmProxy(ops::makeConv2d(pr), hw);
+    auto nhwc_res =
+        baselines::autoTvmProxy(ops::makeConv2dNHWC(pr), hw);
+    EXPECT_FALSE(nchw_res.tensorized);
+    EXPECT_TRUE(nhwc_res.tensorized);
+    EXPECT_LT(nhwc_res.milliseconds, nchw_res.milliseconds);
+}
+
+TEST(Layout, AmosIsLayoutAgnostic)
+{
+    // The Sec. 7.3 punchline: AMOS tensorizes both layouts; its
+    // speedup over stock AutoTVM is dramatic on the unsupported
+    // layout and modest on the supported one.
+    ops::ConvParams pr;
+    pr.batch = 16;
+    pr.in_channels = 64;
+    pr.out_channels = 64;
+    pr.out_h = 14;
+    pr.out_w = 14;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    auto hw = hw::v100();
+    TuneOptions options;
+    options.generations = 6;
+    Compiler compiler(hw, options);
+
+    auto amos_nchw = compiler.compile(ops::makeConv2d(pr));
+    auto amos_nhwc = compiler.compile(ops::makeConv2dNHWC(pr));
+    ASSERT_TRUE(amos_nchw.tensorized && amos_nhwc.tensorized);
+    // AMOS's two layouts land in the same performance ballpark.
+    double ratio = amos_nchw.milliseconds / amos_nhwc.milliseconds;
+    EXPECT_GT(ratio, 0.4);
+    EXPECT_LT(ratio, 2.5);
+
+    double speedup_nchw =
+        baselines::autoTvmProxy(ops::makeConv2d(pr), hw)
+            .milliseconds /
+        amos_nchw.milliseconds;
+    double speedup_nhwc =
+        baselines::autoTvmProxy(ops::makeConv2dNHWC(pr), hw)
+            .milliseconds /
+        amos_nhwc.milliseconds;
+    EXPECT_GT(speedup_nchw, speedup_nhwc);
+    EXPECT_GE(speedup_nhwc, 0.8); // never materially slower
+}
+
+} // namespace
+} // namespace amos

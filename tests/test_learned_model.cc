@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the learned cost model: feature extraction, fitting
+ * behaviour, prediction quality on its own training archive, and
+ * integration with the tuner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "explore/learned_model.hh"
+#include "explore/stats.hh"
+#include "explore/tuner.hh"
+#include "hw/hardware.hh"
+#include "mapping/generate.hh"
+#include "ops/conv_layers.hh"
+#include "sim/simulator.hh"
+
+namespace amos {
+namespace {
+
+/** Sampled (profile, measured) archive for one conv layer. */
+struct Archive
+{
+    std::vector<KernelProfile> profiles;
+    std::vector<double> cycles;
+};
+
+Archive
+sampleArchive(int count, std::uint64_t seed)
+{
+    auto conv = ops::resnet18ConvLayers(16)[5].build();
+    auto hw = hw::v100();
+    auto plans = enumeratePlans(conv, hw.primaryIntrinsic(), {});
+    Rng rng(seed);
+    Archive archive;
+    while (static_cast<int>(archive.profiles.size()) < count) {
+        const auto &plan = plans[static_cast<std::size_t>(
+            rng.uniformInt(0,
+                           static_cast<std::int64_t>(plans.size()) -
+                               1))];
+        auto sched = sampleSchedule(plan, rng);
+        auto prof = lowerKernel(plan, sched, hw);
+        auto sim = simulateKernel(prof, hw);
+        if (!sim.schedulable)
+            continue;
+        archive.profiles.push_back(prof);
+        archive.cycles.push_back(sim.cycles);
+    }
+    return archive;
+}
+
+TEST(LearnedModel, FeatureVectorShape)
+{
+    auto archive = sampleArchive(1, 3);
+    auto hw = hw::v100();
+    auto f = LearnedModel::features(archive.profiles[0], hw);
+    EXPECT_EQ(f.size(), LearnedModel::featureCount());
+    EXPECT_DOUBLE_EQ(f[0], 1.0); // bias term
+    for (double v : f)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(LearnedModel, UntrainedFallsBackToAnalytic)
+{
+    auto archive = sampleArchive(1, 4);
+    auto hw = hw::v100();
+    LearnedModel model;
+    EXPECT_FALSE(model.trained());
+    EXPECT_DOUBLE_EQ(model.predictCycles(archive.profiles[0], hw),
+                     modelCycles(archive.profiles[0], hw));
+}
+
+TEST(LearnedModel, FitRequiresMinimumSamples)
+{
+    auto archive = sampleArchive(
+        static_cast<int>(LearnedModel::kMinSamples) - 1, 5);
+    auto hw = hw::v100();
+    LearnedModel model;
+    for (std::size_t i = 0; i < archive.profiles.size(); ++i)
+        model.addSample(archive.profiles[i], hw, archive.cycles[i]);
+    model.fit();
+    EXPECT_FALSE(model.trained());
+}
+
+TEST(LearnedModel, IgnoresUnusableSamples)
+{
+    auto archive = sampleArchive(1, 6);
+    auto hw = hw::v100();
+    LearnedModel model;
+    model.addSample(archive.profiles[0], hw, -1.0);
+    model.addSample(archive.profiles[0], hw,
+                    std::numeric_limits<double>::infinity());
+    EXPECT_EQ(model.sampleCount(), 0u);
+}
+
+TEST(LearnedModel, FitsItsTrainingArchive)
+{
+    auto archive = sampleArchive(60, 7);
+    auto hw = hw::v100();
+    LearnedModel model;
+    for (std::size_t i = 0; i < archive.profiles.size(); ++i)
+        model.addSample(archive.profiles[i], hw, archive.cycles[i]);
+    model.fit();
+    ASSERT_TRUE(model.trained());
+
+    // Geometric-mean relative error on the training set must beat
+    // the analytic model's (the regression corrects its bias).
+    double learned_err = 0.0, analytic_err = 0.0;
+    for (std::size_t i = 0; i < archive.profiles.size(); ++i) {
+        double truth = archive.cycles[i];
+        double lp = model.predictCycles(archive.profiles[i], hw);
+        double ap = modelCycles(archive.profiles[i], hw);
+        learned_err += std::fabs(std::log(lp / truth));
+        analytic_err += std::fabs(std::log(ap / truth));
+    }
+    EXPECT_LT(learned_err, analytic_err);
+}
+
+TEST(LearnedModel, GeneralisesToHeldOutSamples)
+{
+    auto train = sampleArchive(80, 11);
+    auto test = sampleArchive(30, 99);
+    auto hw = hw::v100();
+    LearnedModel model;
+    for (std::size_t i = 0; i < train.profiles.size(); ++i)
+        model.addSample(train.profiles[i], hw, train.cycles[i]);
+    model.fit();
+    ASSERT_TRUE(model.trained());
+
+    // Rank quality on held-out data: pairwise accuracy above chance.
+    std::vector<ExplorationStep> steps;
+    for (std::size_t i = 0; i < test.profiles.size(); ++i)
+        steps.push_back(
+            {static_cast<int>(i), 0,
+             model.predictCycles(test.profiles[i], hw),
+             test.cycles[i], 0.0});
+    EXPECT_GT(pairwiseAccuracy(steps), 0.7);
+}
+
+TEST(LearnedModel, InvalidProfilePredictsInfinity)
+{
+    auto gemm = ops::makeGemm(4096, 4096, 64);
+    ComputeMapping m;
+    m.groups = {{0}, {1}, {2}};
+    MappingPlan plan(gemm, isa::wmma(16, 16, 16), m);
+    auto hw = hw::v100();
+    auto prof = lowerKernel(plan, defaultSchedule(plan), hw);
+    LearnedModel model;
+    EXPECT_TRUE(std::isinf(model.predictCycles(prof, hw)));
+}
+
+TEST(LearnedModel, TunerIntegrationFindsComparableResults)
+{
+    auto conv = ops::resnet18ConvLayers(16)[8].build();
+    auto hw = hw::v100();
+    TuneOptions analytic;
+    analytic.generations = 6;
+    TuneOptions learned = analytic;
+    learned.useLearnedModel = true;
+    auto a = tune(conv, hw, analytic);
+    auto l = tune(conv, hw, learned);
+    ASSERT_TRUE(a.tensorizable && l.tensorizable);
+    // The learned screening must stay within 25% of the analytic
+    // pipeline's result (it typically matches or beats it).
+    EXPECT_LT(l.bestCycles, a.bestCycles * 1.25);
+    EXPECT_TRUE(std::isfinite(l.bestCycles));
+}
+
+} // namespace
+} // namespace amos

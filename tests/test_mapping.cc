@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for MappingPlan: access matrices, fused groups,
+ * quotients, padding, virtual vs physical expressions, memory
+ * mapping, and the paper's Fig. 3 running example (2D convolution on
+ * a 2x2x2 Tensor Core).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/intrinsics.hh"
+#include "mapping/mapping.hh"
+#include "ops/operators.hh"
+#include "support/logging.hh"
+
+namespace amos {
+namespace {
+
+using ops::ConvParams;
+
+/** The paper's Fig. 3 convolution: n=1,c=1,k=4,p=q=2,r=s=3. */
+TensorComputation
+fig3Conv()
+{
+    ConvParams pr;
+    pr.batch = 1;
+    pr.in_channels = 1;
+    pr.out_channels = 4;
+    pr.out_h = 2;
+    pr.out_w = 2;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    return ops::makeConv2d(pr);
+}
+
+/** Fig. 3 part d: n,p,q -> i1; k -> i2; c,r,s -> r1. */
+ComputeMapping
+fig3Mapping()
+{
+    // Iteration order of makeConv2d: n,k,p,q,c,r,s.
+    ComputeMapping m;
+    m.groups = {{0, 2, 3}, {1}, {4, 5, 6}};
+    return m;
+}
+
+TEST(SoftwareAccess, Conv2dMatchesFig4)
+{
+    auto conv = fig3Conv();
+    auto x = softwareAccessMatrix(conv);
+    auto expected = BitMatrix::fromRows({
+        {1, 0, 1, 1, 1, 1, 1}, // image
+        {0, 1, 0, 0, 1, 1, 1}, // weight
+        {1, 1, 1, 1, 0, 0, 0}, // out
+    });
+    EXPECT_EQ(x, expected);
+}
+
+TEST(Compatibility, Conv2dOnTensorCore)
+{
+    auto conv = fig3Conv();
+    auto intr = isa::wmmaTiny();
+    auto compat = compatibilityMatrix(conv, intr.compute);
+    // i1 is compatible with n, p, q.
+    auto expected = BitMatrix::fromRows({
+        {1, 0, 1, 1, 0, 0, 0},
+        {0, 1, 0, 0, 0, 0, 0},
+        {0, 0, 0, 0, 1, 1, 1},
+    });
+    EXPECT_EQ(compat, expected);
+}
+
+TEST(Compatibility, BarrierIterationsExcluded)
+{
+    auto conv = fig3Conv();
+    // Bar p from tensorization.
+    conv.addTensorizeBarrier(conv.iters()[2].var.node());
+    auto compat = compatibilityMatrix(conv, isa::wmmaTiny().compute);
+    EXPECT_FALSE(compat.at(0, 2));
+    EXPECT_TRUE(compat.at(0, 3));
+}
+
+TEST(Compatibility, RejectsOperandCountMismatch)
+{
+    auto mean = ops::makeMean(4, 4);
+    auto dot = isa::maliDot(); // 2 sources, fine
+    EXPECT_NO_THROW(compatibilityMatrix(mean, dot.compute));
+    // A SumReduce computation cannot match a MultiplyAdd intrinsic.
+    IterVar i{Var("i"), 2, IterKind::Spatial};
+    TensorDecl a("A", {2});
+    TensorDecl out("out", {2});
+    TensorComputation sum("sum", {i}, out, {i.var}, {{a, {i.var}}},
+                          CombineKind::SumReduce);
+    EXPECT_THROW(compatibilityMatrix(sum, dot.compute), FatalError);
+}
+
+TEST(MappingPlan, Fig3GroupsAndQuotients)
+{
+    auto conv = fig3Conv();
+    auto intr = isa::wmmaTiny();
+    MappingPlan plan(conv, intr, fig3Mapping());
+    ASSERT_TRUE(plan.valid()) << plan.validation().failure;
+
+    const auto &groups = plan.groups();
+    ASSERT_EQ(groups.size(), 3u);
+    // i1 fuses n,p,q: extent 1*2*2 = 4 over intrinsic extent 2.
+    EXPECT_EQ(groups[0].fusedExtent, 4);
+    EXPECT_EQ(groups[0].quotient, 2);
+    EXPECT_FALSE(groups[0].padded);
+    // i2 fuses k: extent 4 over 2.
+    EXPECT_EQ(groups[1].fusedExtent, 4);
+    EXPECT_EQ(groups[1].quotient, 2);
+    // r1 fuses c,r,s: extent 9 over 2 -> quotient 5 with padding.
+    EXPECT_EQ(groups[2].fusedExtent, 9);
+    EXPECT_EQ(groups[2].quotient, 5);
+    EXPECT_TRUE(groups[2].padded);
+
+    // The paper's Fig. 3: 2 x 2 x 5 small multiplications.
+    EXPECT_EQ(plan.intrinsicCallCount(), 2 * 2 * 5);
+    // Waste: (2*2)*(2*2)*(5*2) / (4*4*9) = 160/144.
+    EXPECT_NEAR(plan.paddingWasteFactor(), 160.0 / 144.0, 1e-9);
+}
+
+TEST(MappingPlan, Fig3PhysicalExpressions)
+{
+    auto conv = fig3Conv();
+    MappingPlan plan(conv, isa::wmmaTiny(), fig3Mapping());
+    auto phys = plan.physicalComputeExprs();
+    ASSERT_EQ(phys.size(), 3u);
+    // Fig. 3 part g: i1 <- (n*4 + p*2 + q) mod 2, etc.
+    EXPECT_EQ(exprToString(phys[0]), "((((n * 4) + (p * 2)) + q) % 2)");
+    EXPECT_EQ(exprToString(phys[1]), "(k % 2)");
+    EXPECT_EQ(exprToString(phys[2]),
+              "((((c * 9) + (r * 3)) + s) % 2)");
+
+    auto virt = plan.virtualComputeExprs();
+    // Fig. 3 part e: the virtual mapping has no mod restriction.
+    EXPECT_EQ(exprToString(virt[0]), "(((n * 4) + (p * 2)) + q)");
+}
+
+TEST(MappingPlan, Fig3MemoryMapping)
+{
+    auto conv = fig3Conv();
+    MappingPlan plan(conv, isa::wmmaTiny(), fig3Mapping());
+    const auto &ops = plan.operands();
+    ASSERT_EQ(ops.size(), 3u);
+
+    // Src1 (image): tiles of 2x2 = 4 elements, 2x5 = 10 tiles,
+    // row stride 2 — the paper's Fig. 3 part h.
+    EXPECT_EQ(ops[0].tileElems, 4);
+    EXPECT_EQ(ops[0].tileStride, 2);
+    EXPECT_EQ(ops[0].numTiles, 10);
+    // Base address: (fused_i1 / 2) * 20 + (fused_r1 / 2) * 4.
+    VarBinding binding;
+    for (const auto &iv : conv.iters())
+        binding[iv.var.node()] = 0;
+    // n=0,p=1,q=1 -> fused_i1 = 3 -> tile 1; c=0,r=2,s=2 -> 8 -> 4.
+    binding[conv.iters()[2].var.node()] = 1;
+    binding[conv.iters()[3].var.node()] = 1;
+    binding[conv.iters()[5].var.node()] = 2;
+    binding[conv.iters()[6].var.node()] = 2;
+    EXPECT_EQ(evalExpr(ops[0].baseAddress, binding), 1 * 20 + 4 * 4);
+
+    // Src2 (weight): 5x2 tiles.
+    EXPECT_EQ(ops[1].numTiles, 10);
+    // Dst: 2x2 tiles, independent of the reduction quotient.
+    EXPECT_EQ(ops[2].numTiles, 4);
+    EXPECT_EQ(evalExpr(ops[2].baseAddress, binding), 1 * 8);
+}
+
+TEST(MappingPlan, UnmappedIterationsBecomeOuterAxes)
+{
+    auto conv = fig3Conv();
+    // Map only q -> i1, k -> i2, c -> r1.
+    ComputeMapping m;
+    m.groups = {{3}, {1}, {4}};
+    MappingPlan plan(conv, isa::wmmaTiny(), m);
+    ASSERT_TRUE(plan.valid());
+    // Unmapped: n, p, r, s.
+    EXPECT_EQ(plan.unmappedIters().size(), 4u);
+    // q extent 2 == intrinsic extent: quotient 1, axis dropped;
+    // k: 4/2 = 2; c extent 1: quotient 1 dropped but padded.
+    int quotient_axes = 0;
+    for (const auto &axis : plan.outerAxes())
+        quotient_axes +=
+            axis.kind == MappingPlan::OuterAxis::Kind::GroupQuotient;
+    EXPECT_EQ(quotient_axes, 1);
+    EXPECT_TRUE(plan.groups()[2].padded); // c extent 1 < 2
+    // Padding waste: i1 exact, k exact, r1 pads 1 -> 2.
+    EXPECT_NEAR(plan.paddingWasteFactor(), 2.0, 1e-9);
+}
+
+TEST(MappingPlan, UncoveredIntrinsicIterationPadsToOne)
+{
+    auto gemv = ops::makeGemv(8, 8);
+    ComputeMapping m;
+    m.groups = {{0}, {}, {1}}; // nothing on i2
+    MappingPlan plan(gemv, isa::wmmaTiny(), m);
+    ASSERT_TRUE(plan.valid());
+    EXPECT_EQ(plan.groups()[1].fusedExtent, 1);
+    EXPECT_EQ(plan.groups()[1].quotient, 1);
+    EXPECT_TRUE(plan.groups()[1].padded);
+    EXPECT_NEAR(plan.paddingWasteFactor(), 2.0, 1e-9);
+}
+
+TEST(MappingPlan, DoubleAssignmentRejected)
+{
+    auto conv = fig3Conv();
+    ComputeMapping m;
+    m.groups = {{0, 0}, {1}, {4}};
+    EXPECT_THROW(MappingPlan(conv, isa::wmmaTiny(), m), FatalError);
+}
+
+TEST(MappingPlan, WrongGroupCountRejected)
+{
+    auto conv = fig3Conv();
+    ComputeMapping m;
+    m.groups = {{0}, {1}};
+    EXPECT_THROW(MappingPlan(conv, isa::wmmaTiny(), m), FatalError);
+}
+
+TEST(MappingPlan, InvalidMappingDetectedNotThrown)
+{
+    auto conv = fig3Conv();
+    ComputeMapping m;
+    m.groups = {{0, 1}, {}, {4, 5, 6}}; // n,k share i1: invalid
+    MappingPlan plan(conv, isa::wmmaTiny(), m);
+    EXPECT_FALSE(plan.valid());
+    EXPECT_FALSE(plan.validation().failure.empty());
+}
+
+TEST(MappingPlan, SignatureAndStrings)
+{
+    auto conv = fig3Conv();
+    MappingPlan plan(conv, isa::wmmaTiny(), fig3Mapping());
+    EXPECT_EQ(plan.mapping().signature(conv), "[n,p,q | k | c,r,s]");
+    auto cm = plan.computeMappingString();
+    EXPECT_NE(cm.find("[i1, i2, r1] <- ["), std::string::npos);
+    auto mm = plan.memoryMappingString();
+    EXPECT_NE(mm.find("addr_Src1"), std::string::npos);
+    EXPECT_NE(mm.find("stride_Src1 <- 2"), std::string::npos);
+}
+
+TEST(MappingPlan, Table5StyleMappingOnRealLayer)
+{
+    // C1 of ResNet-18 with the mapping the paper reports:
+    // i1 <- (n*56 + q) mod 16, i2 <- k mod 16, r1 <- (c*3+r) mod 16.
+    ConvParams pr;
+    pr.batch = 16;
+    pr.in_channels = 64;
+    pr.out_channels = 64;
+    pr.out_h = 56;
+    pr.out_w = 56;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    auto conv = ops::makeConv2d(pr);
+    ComputeMapping m;
+    m.groups = {{0, 3}, {1}, {4, 5}}; // n,q | k | c,r
+    MappingPlan plan(conv, isa::wmma(16, 16, 16), m);
+    ASSERT_TRUE(plan.valid());
+    auto phys = plan.physicalComputeExprs();
+    EXPECT_EQ(exprToString(phys[0]), "(((n * 56) + q) % 16)");
+    EXPECT_EQ(exprToString(phys[1]), "(k % 16)");
+    EXPECT_EQ(exprToString(phys[2]), "(((c * 3) + r) % 16)");
+}
+
+} // namespace
+} // namespace amos

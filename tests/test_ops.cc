@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Unit tests for the operator library: shapes, iteration structure,
+ * flop counts, reference semantics of representative operators, and
+ * the layer-configuration suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ops/conv_layers.hh"
+#include "ops/operators.hh"
+#include "tensor/reference.hh"
+
+namespace amos {
+namespace {
+
+using namespace ops;
+
+TEST(Ops, GemvStructure)
+{
+    auto gemv = makeGemv(8, 16);
+    EXPECT_EQ(gemv.numIters(), 2u);
+    EXPECT_EQ(gemv.itersOfKind(IterKind::Reduction).size(), 1u);
+    EXPECT_EQ(gemv.flopCount(), 2 * 8 * 16);
+    EXPECT_EQ(gemv.output().shape(),
+              (std::vector<std::int64_t>{8}));
+}
+
+TEST(Ops, GemmReferenceIsCorrect)
+{
+    auto gemm = makeGemm(4, 3, 5);
+    auto inputs = makePatternInputs(gemm, 2);
+    Buffer out(gemm.output());
+    referenceExecute(gemm, {&inputs[0], &inputs[1]}, out);
+    for (std::int64_t i = 0; i < 4; ++i)
+        for (std::int64_t j = 0; j < 3; ++j) {
+            float acc = 0.0f;
+            for (std::int64_t k = 0; k < 5; ++k)
+                acc += inputs[0].at(i * 5 + k) *
+                       inputs[1].at(k * 3 + j);
+            EXPECT_NEAR(out.at(i * 3 + j), acc, 1e-5f);
+        }
+}
+
+TEST(Ops, Conv2dImpliedInputExtent)
+{
+    ConvParams pr;
+    pr.batch = 1;
+    pr.in_channels = 2;
+    pr.out_channels = 3;
+    pr.out_h = 4;
+    pr.out_w = 4;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    pr.stride = 2;
+    auto conv = makeConv2d(pr);
+    // (4-1)*2 + (3-1)*1 + 1 = 9
+    EXPECT_EQ(conv.inputs()[0].decl.shape(),
+              (std::vector<std::int64_t>{1, 2, 9, 9}));
+    EXPECT_EQ(conv.numIters(), 7u);
+}
+
+TEST(Ops, Conv2dMatchesNaiveConvolution)
+{
+    ConvParams pr;
+    pr.batch = 1;
+    pr.in_channels = 2;
+    pr.out_channels = 2;
+    pr.out_h = 3;
+    pr.out_w = 3;
+    pr.kernel_h = 2;
+    pr.kernel_w = 2;
+    auto conv = makeConv2d(pr);
+    auto inputs = makePatternInputs(conv, 9);
+    Buffer out(conv.output());
+    referenceExecute(conv, {&inputs[0], &inputs[1]}, out);
+
+    const auto &in = inputs[0];
+    const auto &w = inputs[1];
+    // Input is 1x2x4x4, weight 2x2x2x2, output 1x2x3x3.
+    for (std::int64_t k = 0; k < 2; ++k)
+        for (std::int64_t p = 0; p < 3; ++p)
+            for (std::int64_t q = 0; q < 3; ++q) {
+                float acc = 0.0f;
+                for (std::int64_t c = 0; c < 2; ++c)
+                    for (std::int64_t r = 0; r < 2; ++r)
+                        for (std::int64_t s = 0; s < 2; ++s)
+                            acc += in.at(c * 16 + (p + r) * 4 +
+                                         (q + s)) *
+                                   w.at(k * 8 + c * 4 + r * 2 + s);
+                EXPECT_NEAR(out.at(k * 9 + p * 3 + q), acc, 1e-5f);
+            }
+}
+
+TEST(Ops, DilatedConvUsesDilatedTaps)
+{
+    ConvParams pr;
+    pr.batch = 1;
+    pr.in_channels = 1;
+    pr.out_channels = 1;
+    pr.out_h = 2;
+    pr.out_w = 2;
+    pr.kernel_h = 2;
+    pr.kernel_w = 2;
+    pr.dilation = 2;
+    auto conv = makeDilatedConv2d(pr);
+    // input extent: (2-1)*1 + (2-1)*2 + 1 = 4
+    EXPECT_EQ(conv.inputs()[0].decl.shape(),
+              (std::vector<std::int64_t>{1, 1, 4, 4}));
+
+    Buffer in(conv.inputs()[0].decl);
+    Buffer w(conv.inputs()[1].decl);
+    for (std::int64_t f = 0; f < 16; ++f)
+        in.set(f, static_cast<float>(f));
+    w.fill(1.0f);
+    Buffer out(conv.output());
+    referenceExecute(conv, {&in, &w}, out);
+    // out(0,0) = in(0,0)+in(0,2)+in(2,0)+in(2,2) = 0+2+8+10
+    EXPECT_FLOAT_EQ(out.at(0), 20.0f);
+}
+
+TEST(Ops, DilatedConvRequiresDilationAboveOne)
+{
+    ConvParams pr;
+    pr.out_h = 2;
+    pr.out_w = 2;
+    EXPECT_THROW(makeDilatedConv2d(pr), FatalError);
+}
+
+TEST(Ops, DepthwiseKeepsChannelsSeparate)
+{
+    ConvParams pr;
+    pr.batch = 1;
+    pr.in_channels = 2;
+    pr.out_h = 2;
+    pr.out_w = 2;
+    pr.kernel_h = 1;
+    pr.kernel_w = 1;
+    auto dep = makeDepthwiseConv2d(pr, 1);
+    Buffer in(dep.inputs()[0].decl);
+    Buffer w(dep.inputs()[1].decl);
+    in.fill(1.0f);
+    // weight of channel 0 is 2, channel 1 is 5
+    w.set(0, 2.0f);
+    w.set(1, 5.0f);
+    Buffer out(dep.output());
+    referenceExecute(dep, {&in, &w}, out);
+    EXPECT_FLOAT_EQ(out.at(0), 2.0f); // channel 0
+    EXPECT_FLOAT_EQ(out.at(4), 5.0f); // channel 1
+}
+
+TEST(Ops, TransposedConvCarriesBarriers)
+{
+    ConvParams pr;
+    pr.batch = 1;
+    pr.in_channels = 2;
+    pr.out_channels = 2;
+    pr.out_h = 4;
+    pr.out_w = 4;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    pr.stride = 2;
+    auto t2d = makeTransposedConv2d(pr);
+    int barred = 0;
+    for (const auto &iv : t2d.iters())
+        barred += t2d.isTensorizeBarrier(iv.var.node());
+    EXPECT_EQ(barred, 2); // p and q
+}
+
+TEST(Ops, GroupConvSeparatesGroups)
+{
+    ConvParams pr;
+    pr.batch = 1;
+    pr.in_channels = 2;  // per group
+    pr.out_channels = 2; // per group
+    pr.out_h = 2;
+    pr.out_w = 2;
+    pr.kernel_h = 1;
+    pr.kernel_w = 1;
+    auto grp = makeGroupConv2d(pr, 3);
+    EXPECT_EQ(grp.numIters(), 8u);
+    EXPECT_EQ(grp.output().shape(),
+              (std::vector<std::int64_t>{1, 3, 2, 2, 2}));
+    // g appears in all three tensors.
+    const VarNode *g = grp.iters()[1].var.node();
+    EXPECT_TRUE(usesVar(grp.inputs()[0].indices[1], g));
+    EXPECT_TRUE(usesVar(grp.inputs()[1].indices[0], g));
+    EXPECT_TRUE(usesVar(grp.outputIndices()[1], g));
+}
+
+TEST(Ops, CapsuleConvHasPoseContraction)
+{
+    ConvParams pr;
+    pr.batch = 1;
+    pr.in_channels = 2;
+    pr.out_channels = 2;
+    pr.out_h = 2;
+    pr.out_w = 2;
+    pr.kernel_h = 1;
+    pr.kernel_w = 1;
+    auto cap = makeCapsuleConv2d(pr, 4);
+    EXPECT_EQ(cap.numIters(), 10u);
+    EXPECT_EQ(cap.itersOfKind(IterKind::Reduction).size(), 4u);
+    EXPECT_EQ(cap.output().ndim(), 6u);
+}
+
+TEST(Ops, BatchedConvUsesPerSampleWeights)
+{
+    ConvParams pr;
+    pr.batch = 2;
+    pr.in_channels = 1;
+    pr.out_channels = 1;
+    pr.out_h = 1;
+    pr.out_w = 1;
+    pr.kernel_h = 1;
+    pr.kernel_w = 1;
+    auto bcv = makeBatchedConv2d(pr);
+    Buffer in(bcv.inputs()[0].decl);
+    Buffer w(bcv.inputs()[1].decl);
+    in.fill(1.0f);
+    w.set(0, 3.0f); // sample 0's kernel
+    w.set(1, 7.0f); // sample 1's kernel
+    Buffer out(bcv.output());
+    referenceExecute(bcv, {&in, &w}, out);
+    EXPECT_FLOAT_EQ(out.at(0), 3.0f);
+    EXPECT_FLOAT_EQ(out.at(1), 7.0f);
+}
+
+TEST(Ops, MeanComputesRowAverageWithConstVector)
+{
+    auto mean = makeMean(2, 4);
+    Buffer in(mean.inputs()[0].decl);
+    Buffer inv(mean.inputs()[1].decl);
+    for (std::int64_t f = 0; f < 8; ++f)
+        in.set(f, static_cast<float>(f));
+    inv.fill(0.25f);
+    Buffer out(mean.output());
+    referenceExecute(mean, {&in, &inv}, out);
+    EXPECT_FLOAT_EQ(out.at(0), (0 + 1 + 2 + 3) / 4.0f);
+    EXPECT_FLOAT_EQ(out.at(1), (4 + 5 + 6 + 7) / 4.0f);
+}
+
+TEST(Ops, VarianceIsSelfProduct)
+{
+    auto var = makeVariance(1, 3);
+    EXPECT_EQ(var.inputs()[0].decl.name(),
+              var.inputs()[1].decl.name());
+    Buffer in(var.inputs()[0].decl);
+    in.set(0, 1.0f);
+    in.set(1, 2.0f);
+    in.set(2, 3.0f);
+    Buffer out(var.output());
+    referenceExecute(var, {&in, &in}, out);
+    EXPECT_FLOAT_EQ(out.at(0), 1 + 4 + 9);
+}
+
+TEST(Ops, ScanViaTriangularMatrix)
+{
+    auto scan = makeScan(1, 4);
+    Buffer in(scan.inputs()[0].decl);
+    Buffer tri(scan.inputs()[1].decl);
+    for (std::int64_t f = 0; f < 4; ++f)
+        in.set(f, static_cast<float>(f + 1));
+    // lower_tri[k][j] = 1 iff k <= j
+    for (std::int64_t k = 0; k < 4; ++k)
+        for (std::int64_t j = 0; j < 4; ++j)
+            tri.set(k * 4 + j, k <= j ? 1.0f : 0.0f);
+    Buffer out(scan.output());
+    referenceExecute(scan, {&in, &tri}, out);
+    EXPECT_FLOAT_EQ(out.at(0), 1);
+    EXPECT_FLOAT_EQ(out.at(1), 3);
+    EXPECT_FLOAT_EQ(out.at(2), 6);
+    EXPECT_FLOAT_EQ(out.at(3), 10);
+}
+
+TEST(Ops, SuiteCoversAllKindsAndBuilds)
+{
+    const auto &suite = operatorSuite();
+    EXPECT_EQ(suite.size(), allOpKinds().size());
+    for (const auto &cfg : suite) {
+        SCOPED_TRACE(cfg.label);
+        auto comp = cfg.build(1);
+        EXPECT_GT(comp.flopCount(), 0);
+        EXPECT_STREQ(opKindName(cfg.kind), cfg.label.c_str());
+    }
+}
+
+TEST(Ops, RepresentativeBatchScalesIterations)
+{
+    auto b1 = buildRepresentative(OpKind::C2D, 1);
+    auto b4 = buildRepresentative(OpKind::C2D, 4);
+    EXPECT_EQ(b4.totalIterations(), 4 * b1.totalIterations());
+}
+
+TEST(ConvLayers, ResNet18TableMatchesPaper)
+{
+    auto layers = resnet18ConvLayers(16);
+    ASSERT_EQ(layers.size(), 12u);
+    EXPECT_EQ(layers[0].label, "C0");
+    EXPECT_EQ(layers[0].in_channels, 3);
+    EXPECT_EQ(layers[0].kernel, 7);
+    EXPECT_EQ(layers[0].stride, 2);
+    EXPECT_EQ(layers[11].out_channels, 512);
+    for (const auto &layer : layers) {
+        SCOPED_TRACE(layer.label);
+        auto comp = layer.build();
+        EXPECT_EQ(comp.numIters(), 7u);
+        EXPECT_EQ(comp.iters()[0].extent, 16);
+    }
+}
+
+TEST(ConvLayers, MobileNetV2SuiteBuildsDepthwise)
+{
+    auto layers = mobilenetV2Layers(1);
+    ASSERT_EQ(layers.size(), 7u);
+    for (const auto &layer : layers) {
+        SCOPED_TRACE(layer.label);
+        auto dep = layer.buildDepthwise();
+        EXPECT_EQ(dep.name(), "depthwise_conv2d");
+        EXPECT_GT(dep.flopCount(), 0);
+    }
+}
+
+} // namespace
+} // namespace amos

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the support library: bit matrices, math helpers,
+ * logging, string utilities, and the seeded RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bit_matrix.hh"
+#include "support/logging.hh"
+#include "support/math_utils.hh"
+#include "support/rng.hh"
+#include "support/str_utils.hh"
+
+namespace amos {
+namespace {
+
+TEST(BitMatrix, ConstructsZeroed)
+{
+    BitMatrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.popcount(), 0u);
+}
+
+TEST(BitMatrix, FromRowsRoundTrips)
+{
+    auto m = BitMatrix::fromRows({{1, 0, 1}, {0, 1, 0}});
+    EXPECT_TRUE(m.at(0, 0));
+    EXPECT_FALSE(m.at(0, 1));
+    EXPECT_TRUE(m.at(0, 2));
+    EXPECT_TRUE(m.at(1, 1));
+    EXPECT_EQ(m.popcount(), 3u);
+}
+
+TEST(BitMatrix, FromRowsRejectsRagged)
+{
+    EXPECT_THROW(BitMatrix::fromRows({{1, 0}, {1}}), PanicError);
+}
+
+TEST(BitMatrix, IdentityActsAsStarIdentity)
+{
+    auto m = BitMatrix::fromRows({{1, 0, 1}, {0, 1, 1}});
+    auto id = BitMatrix::identity(3);
+    EXPECT_EQ(m.star(id), m);
+    EXPECT_EQ(BitMatrix::identity(2).star(m), m);
+}
+
+TEST(BitMatrix, StarIsBooleanOrOfAnds)
+{
+    // The paper's example structure: Z (3x3) star Y (3x7).
+    auto z = BitMatrix::fromRows({{1, 0, 1}, {0, 1, 1}, {1, 1, 0}});
+    auto y = BitMatrix::fromRows({
+        {1, 0, 1, 1, 0, 0, 0},
+        {0, 1, 0, 0, 0, 0, 0},
+        {0, 0, 0, 0, 1, 1, 1},
+    });
+    auto x = z.star(y);
+    // Row 0 of Z selects Y rows 0 and 2 (i1, r1).
+    auto expected = BitMatrix::fromRows({
+        {1, 0, 1, 1, 1, 1, 1},
+        {0, 1, 0, 0, 1, 1, 1},
+        {1, 1, 1, 1, 0, 0, 0},
+    });
+    EXPECT_EQ(x, expected);
+}
+
+TEST(BitMatrix, StarShapeMismatchPanics)
+{
+    BitMatrix a(2, 3), b(4, 2);
+    EXPECT_THROW(a.star(b), PanicError);
+}
+
+TEST(BitMatrix, TransposeInvolution)
+{
+    auto m = BitMatrix::fromRows({{1, 0, 1}, {0, 1, 1}});
+    EXPECT_EQ(m.transposed().transposed(), m);
+    EXPECT_TRUE(m.transposed().at(2, 1));
+}
+
+TEST(BitMatrix, ColumnExtraction)
+{
+    auto m = BitMatrix::fromRows({{1, 0}, {0, 1}, {1, 1}});
+    std::vector<bool> col0 = {true, false, true};
+    EXPECT_EQ(m.column(0), col0);
+    EXPECT_FALSE(m.columnIsZero(0));
+    BitMatrix zero(2, 2);
+    EXPECT_TRUE(zero.columnIsZero(1));
+}
+
+TEST(MathUtils, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(9, 2), 5);
+    EXPECT_EQ(ceilDiv(8, 2), 4);
+    EXPECT_EQ(ceilDiv(1, 16), 1);
+}
+
+TEST(MathUtils, RoundUp)
+{
+    EXPECT_EQ(roundUp(9, 4), 12);
+    EXPECT_EQ(roundUp(8, 4), 8);
+}
+
+TEST(MathUtils, DivisorsSortedAndComplete)
+{
+    auto d = divisorsOf(12);
+    std::vector<std::int64_t> expected = {1, 2, 3, 4, 6, 12};
+    EXPECT_EQ(d, expected);
+    EXPECT_EQ(divisorsOf(1), std::vector<std::int64_t>{1});
+    EXPECT_THROW(divisorsOf(0), PanicError);
+}
+
+TEST(MathUtils, TileCandidatesIncludePowersOfTwoAndDivisors)
+{
+    auto c = tileCandidates(12);
+    for (std::int64_t v : {1, 2, 3, 4, 6, 8, 12})
+        EXPECT_NE(std::find(c.begin(), c.end(), v), c.end())
+            << "missing " << v;
+    for (auto v : c) {
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 12);
+    }
+}
+
+TEST(MathUtils, FactorSplitsCoverExtent)
+{
+    for (const auto &split : factorSplits(12, 3)) {
+        ASSERT_EQ(split.size(), 3u);
+        std::int64_t covered = split[0] * split[1] * split[2];
+        EXPECT_GE(covered, 12);
+    }
+}
+
+TEST(MathUtils, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+    EXPECT_THROW(geometricMean({1.0, -1.0}), PanicError);
+}
+
+TEST(Logging, FatalAndPanicThrowDistinctTypes)
+{
+    EXPECT_THROW(fatal("user error ", 42), FatalError);
+    EXPECT_THROW(panic("bug ", 42), PanicError);
+    EXPECT_NO_THROW(require(true, "fine"));
+    EXPECT_THROW(require(false, "broken"), PanicError);
+    EXPECT_THROW(expect(false, "bad input"), FatalError);
+}
+
+TEST(Logging, MessagesCarryFormattedContent)
+{
+    try {
+        fatal("value was ", 7, " not ", 8);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value was 7 not 8"),
+                  std::string::npos);
+    }
+}
+
+TEST(StrUtils, JoinAndPad)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(padLeft("7", 3), "  7");
+    EXPECT_EQ(padRight("7", 3), "7  ");
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+}
+
+TEST(StrUtils, TextTableAlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", "10"});
+    t.addRow({"longer", "2"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_THROW(t.addRow({"only-one-cell"}), PanicError);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(99), b(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.uniformInt(3, 9);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 9);
+    }
+    EXPECT_THROW(rng.uniformInt(5, 4), PanicError);
+}
+
+TEST(Rng, ChoicePicksExistingElements)
+{
+    Rng rng(11);
+    std::vector<int> items = {1, 2, 3};
+    for (int i = 0; i < 50; ++i) {
+        int v = rng.choice(items);
+        EXPECT_TRUE(v >= 1 && v <= 3);
+    }
+    std::vector<int> empty;
+    EXPECT_THROW(rng.choice(empty), PanicError);
+}
+
+} // namespace
+} // namespace amos

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Parameterised sweeps: compile sanity for every operator family on
+ * every commercial hardware preset, determinism, and monotonicity
+ * properties of the simulator with respect to hardware resources.
+ */
+
+#include <gtest/gtest.h>
+
+#include "amos/amos.hh"
+#include "isa/intrinsics.hh"
+#include "mapping/generate.hh"
+#include "ops/operators.hh"
+
+namespace amos {
+namespace {
+
+TuneOptions
+sweepTuning()
+{
+    TuneOptions options;
+    options.population = 8;
+    options.generations = 3;
+    options.measureTopK = 3;
+    options.maxMappings = 12;
+    options.exploitSteps = 8;
+    return options;
+}
+
+// ---------------------------------------------------------------
+// Operator x hardware compile sweep.
+// ---------------------------------------------------------------
+
+using SweepParam = std::tuple<ops::OpKind, int>;
+
+class CompileSweep : public ::testing::TestWithParam<SweepParam>
+{
+  public:
+    static HardwareSpec
+    hardwareFor(int index)
+    {
+        switch (index) {
+          case 0: return hw::v100();
+          case 1: return hw::xeonSilver4110();
+          default: return hw::maliG76();
+        }
+    }
+};
+
+TEST_P(CompileSweep, CompilesToFiniteLatencyEverywhere)
+{
+    auto [kind, hw_index] = GetParam();
+    auto hw = hardwareFor(hw_index);
+    auto comp = ops::buildRepresentative(kind, 1);
+    Compiler compiler(hw, sweepTuning());
+    auto result = compiler.compile(comp);
+    EXPECT_TRUE(std::isfinite(result.milliseconds));
+    EXPECT_GT(result.milliseconds, 0.0);
+    EXPECT_GT(result.gflops, 0.0);
+    // Everything multiply-add shaped is tensorizable on all three
+    // presets (their intrinsics are MultiplyAdd).
+    EXPECT_TRUE(result.tensorized) << ops::opKindName(kind);
+}
+
+TEST_P(CompileSweep, DeterministicAcrossRuns)
+{
+    auto [kind, hw_index] = GetParam();
+    auto hw = hardwareFor(hw_index);
+    auto comp = ops::buildRepresentative(kind, 1);
+    Compiler compiler(hw, sweepTuning());
+    auto a = compiler.compile(comp);
+    auto b = compiler.compile(comp);
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.mappingSignature, b.mappingSignature);
+}
+
+std::string
+sweepName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    static const char *hw_names[] = {"V100", "Xeon", "Mali"};
+    return std::string(ops::opKindName(std::get<0>(info.param))) +
+           "_" + hw_names[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsByHardware, CompileSweep,
+    ::testing::Combine(::testing::ValuesIn(ops::allOpKinds()),
+                       ::testing::Values(0, 1, 2)),
+    sweepName);
+
+// ---------------------------------------------------------------
+// Simulator monotonicity in hardware resources.
+// ---------------------------------------------------------------
+
+KernelProfile
+referenceProfile(const HardwareSpec &hw)
+{
+    auto gemm = ops::makeGemm(512, 512, 256);
+    ComputeMapping m;
+    m.groups = {{0}, {1}, {2}};
+    MappingPlan plan(gemm, hw.primaryIntrinsic(), m);
+    auto sched = defaultSchedule(plan);
+    sched.axes[0].blockFactor = 8;
+    sched.axes[1].blockFactor = 8;
+    sched.axes[0].warpFactor = 2;
+    sched.axes[1].warpFactor = 2;
+    sched.stageDepth = 2;
+    return lowerKernel(plan, sched, hw);
+}
+
+TEST(SimMonotonic, MoreGlobalBandwidthNeverHurts)
+{
+    auto hw = hw::v100();
+    auto base = simulateKernel(referenceProfile(hw), hw).cycles;
+    for (double scale : {1.5, 2.0, 4.0}) {
+        auto faster = hw;
+        faster.global.readBytesPerCycle *= scale;
+        faster.global.writeBytesPerCycle *= scale;
+        EXPECT_LE(simulateKernel(referenceProfile(faster), faster)
+                      .cycles,
+                  base + 1e-9)
+            << "scale " << scale;
+    }
+}
+
+TEST(SimMonotonic, MoreSharedBandwidthNeverHurts)
+{
+    auto hw = hw::v100();
+    auto base = simulateKernel(referenceProfile(hw), hw).cycles;
+    auto faster = hw;
+    faster.shared.readBytesPerCycle *= 2.0;
+    EXPECT_LE(
+        simulateKernel(referenceProfile(faster), faster).cycles,
+        base + 1e-9);
+}
+
+TEST(SimMonotonic, SlowerIntrinsicNeverHelps)
+{
+    auto hw = hw::v100();
+    auto base = simulateKernel(referenceProfile(hw), hw).cycles;
+    auto slower = hw;
+    for (auto &intr : slower.intrinsics)
+        intr.latencyCycles *= 4.0;
+    EXPECT_GE(
+        simulateKernel(referenceProfile(slower), slower).cycles,
+        base - 1e-9);
+}
+
+TEST(SimMonotonic, LaunchOverheadAddsDirectly)
+{
+    auto hw = hw::v100();
+    auto base = simulateKernel(referenceProfile(hw), hw).cycles;
+    auto heavy = hw;
+    heavy.launchOverheadCycles += 5000.0;
+    EXPECT_NEAR(
+        simulateKernel(referenceProfile(heavy), heavy).cycles,
+        base + 5000.0, 1e-6);
+}
+
+TEST(SimMonotonic, HigherClockOnlyChangesWallTime)
+{
+    auto hw = hw::v100();
+    auto prof = referenceProfile(hw);
+    auto base = simulateKernel(prof, hw);
+    auto fast = hw;
+    fast.clockGhz *= 2.0;
+    auto quick = simulateKernel(referenceProfile(fast), fast);
+    EXPECT_DOUBLE_EQ(quick.cycles, base.cycles);
+    EXPECT_NEAR(quick.milliseconds, base.milliseconds / 2.0, 1e-9);
+}
+
+// ---------------------------------------------------------------
+// Mapping-count structural sweep across intrinsic shapes.
+// ---------------------------------------------------------------
+
+class ShapeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ShapeSweep, MappingCountIndependentOfIntrinsicExtent)
+{
+    // Table 6's counts are structural: any matmul-shaped intrinsic
+    // extent yields the same 35 addressable C2D mappings.
+    int extent = GetParam();
+    ops::ConvParams pr;
+    pr.batch = 2;
+    pr.in_channels = 2;
+    pr.out_channels = 4;
+    pr.out_h = 2;
+    pr.out_w = 2;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    auto conv = ops::makeConv2d(pr);
+    auto intr = isa::wmma(extent, extent, extent);
+    EXPECT_EQ(enumerateMappings(conv, intr, {}).size(), 35u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Extents, ShapeSweep,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+} // namespace
+} // namespace amos

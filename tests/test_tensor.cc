@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for tensors, buffers, computations, and the reference
+ * interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "tensor/computation.hh"
+#include "tensor/reference.hh"
+#include "tensor/tensor.hh"
+
+namespace amos {
+namespace {
+
+TEST(TensorDecl, ShapeQueries)
+{
+    TensorDecl t("a", {2, 3, 4}, DataType::F16);
+    EXPECT_EQ(t.numElements(), 24);
+    EXPECT_EQ(t.numBytes(), 48);
+    std::vector<std::int64_t> strides = {12, 4, 1};
+    EXPECT_EQ(t.strides(), strides);
+    EXPECT_EQ(t.toString(), "a[2, 3, 4]:f16");
+}
+
+TEST(TensorDecl, RejectsNonPositiveDims)
+{
+    EXPECT_THROW(TensorDecl("bad", {2, 0}), FatalError);
+}
+
+TEST(DataTypes, ByteWidths)
+{
+    EXPECT_EQ(dtypeBytes(DataType::F16), 2);
+    EXPECT_EQ(dtypeBytes(DataType::F32), 4);
+    EXPECT_EQ(dtypeBytes(DataType::I8), 1);
+    EXPECT_EQ(dtypeBytes(DataType::I32), 4);
+    EXPECT_EQ(dtypeName(DataType::F16), "f16");
+}
+
+TEST(Buffer, FlattenAndAccess)
+{
+    Buffer b(TensorDecl("t", {2, 3}));
+    EXPECT_EQ(b.flatten({1, 2}), 5);
+    b.set(5, 2.5f);
+    EXPECT_FLOAT_EQ(b.at(5), 2.5f);
+    b.accumulate(5, 1.5f);
+    EXPECT_FLOAT_EQ(b.at(5), 4.0f);
+    EXPECT_THROW(b.flatten({2, 0}), PanicError);
+    EXPECT_THROW(b.at(6), PanicError);
+}
+
+TEST(Buffer, PatternFillIsDeterministicAndBounded)
+{
+    Buffer a(TensorDecl("t", {64}));
+    Buffer b(TensorDecl("t", {64}));
+    a.fillPattern(3);
+    b.fillPattern(3);
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 0.0f);
+    b.fillPattern(4);
+    EXPECT_GT(a.maxAbsDiff(b), 0.0f);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_LE(a.data()[i], 1.0f);
+        EXPECT_GE(a.data()[i], -1.0f);
+    }
+}
+
+/** Small GEMM built by hand to exercise TensorComputation. */
+TensorComputation
+tinyGemm(std::int64_t m = 2, std::int64_t n = 3, std::int64_t k = 4)
+{
+    IterVar i{Var("i"), m, IterKind::Spatial};
+    IterVar j{Var("j"), n, IterKind::Spatial};
+    IterVar r{Var("k"), k, IterKind::Reduction};
+    TensorDecl a("A", {m, k});
+    TensorDecl b("B", {k, n});
+    TensorDecl out("out", {m, n});
+    return TensorComputation("gemm", {i, j, r}, out, {i.var, j.var},
+                             {{a, {i.var, r.var}},
+                              {b, {r.var, j.var}}});
+}
+
+TEST(TensorComputation, CountsAndKinds)
+{
+    auto gemm = tinyGemm(2, 3, 4);
+    EXPECT_EQ(gemm.totalIterations(), 24);
+    EXPECT_EQ(gemm.flopCount(), 48);
+    EXPECT_EQ(gemm.itersOfKind(IterKind::Spatial).size(), 2u);
+    EXPECT_EQ(gemm.itersOfKind(IterKind::Reduction).size(), 1u);
+    EXPECT_EQ(gemm.iterExtent(gemm.iters()[2].var.node()), 4);
+}
+
+TEST(TensorComputation, RejectsReductionInOutput)
+{
+    IterVar i{Var("i"), 2, IterKind::Spatial};
+    IterVar r{Var("k"), 4, IterKind::Reduction};
+    TensorDecl a("A", {2, 4});
+    TensorDecl out("out", {4});
+    EXPECT_THROW(TensorComputation("bad", {i, r}, out, {r.var},
+                                   {{a, {i.var, r.var}},
+                                    {a, {i.var, r.var}}}),
+                 FatalError);
+}
+
+TEST(TensorComputation, RejectsUnusedIterator)
+{
+    IterVar i{Var("i"), 2, IterKind::Spatial};
+    IterVar z{Var("z"), 3, IterKind::Spatial};
+    TensorDecl a("A", {2});
+    TensorDecl out("out", {2, 3});
+    // z is used in the output, i in input and output: both used.
+    EXPECT_NO_THROW(TensorComputation(
+        "ok", {i, z}, out, {i.var, z.var},
+        {{a, {i.var}}, {a, {i.var}}}));
+    // An iterator used nowhere must be rejected.
+    TensorDecl out1("out", {2});
+    EXPECT_THROW(TensorComputation("bad", {i, z}, out1, {i.var},
+                                   {{a, {i.var}}, {a, {i.var}}}),
+                 FatalError);
+}
+
+TEST(TensorComputation, RejectsWrongOperandCount)
+{
+    IterVar i{Var("i"), 2, IterKind::Spatial};
+    TensorDecl a("A", {2});
+    TensorDecl out("out", {2});
+    EXPECT_THROW(TensorComputation("bad", {i}, out, {i.var},
+                                   {{a, {i.var}}},
+                                   CombineKind::MultiplyAdd),
+                 FatalError);
+    EXPECT_NO_THROW(TensorComputation("ok", {i}, out, {i.var},
+                                      {{a, {i.var}}},
+                                      CombineKind::SumReduce));
+}
+
+TEST(TensorComputation, TensorizeBarrierRoundTrip)
+{
+    auto gemm = tinyGemm();
+    const VarNode *i = gemm.iters()[0].var.node();
+    EXPECT_FALSE(gemm.isTensorizeBarrier(i));
+    gemm.addTensorizeBarrier(i);
+    EXPECT_TRUE(gemm.isTensorizeBarrier(i));
+    Var foreign("w");
+    EXPECT_THROW(gemm.addTensorizeBarrier(foreign.node()),
+                 PanicError);
+}
+
+TEST(Reference, GemmMatchesManualLoop)
+{
+    auto gemm = tinyGemm(3, 2, 5);
+    auto inputs = makePatternInputs(gemm, 11);
+    Buffer out(gemm.output());
+    std::vector<const Buffer *> ptrs = {&inputs[0], &inputs[1]};
+    referenceExecute(gemm, ptrs, out);
+
+    for (std::int64_t i = 0; i < 3; ++i) {
+        for (std::int64_t j = 0; j < 2; ++j) {
+            float acc = 0.0f;
+            for (std::int64_t k = 0; k < 5; ++k)
+                acc += inputs[0].at(i * 5 + k) *
+                       inputs[1].at(k * 2 + j);
+            EXPECT_NEAR(out.at(i * 2 + j), acc, 1e-5f);
+        }
+    }
+}
+
+TEST(Reference, SumReduceSemantics)
+{
+    IterVar i{Var("i"), 2, IterKind::Spatial};
+    IterVar r{Var("k"), 3, IterKind::Reduction};
+    TensorDecl a("A", {2, 3});
+    TensorDecl out("out", {2});
+    TensorComputation rowsum("rowsum", {i, r}, out, {i.var},
+                             {{a, {i.var, r.var}}},
+                             CombineKind::SumReduce);
+    Buffer in(a);
+    for (std::int64_t f = 0; f < 6; ++f)
+        in.set(f, static_cast<float>(f));
+    Buffer result(out);
+    referenceExecute(rowsum, {&in}, result);
+    EXPECT_FLOAT_EQ(result.at(0), 0 + 1 + 2);
+    EXPECT_FLOAT_EQ(result.at(1), 3 + 4 + 5);
+}
+
+TEST(Reference, AccumulatesOntoExistingOutput)
+{
+    auto gemm = tinyGemm(2, 2, 2);
+    auto inputs = makePatternInputs(gemm, 5);
+    std::vector<const Buffer *> ptrs = {&inputs[0], &inputs[1]};
+    Buffer once(gemm.output());
+    referenceExecute(gemm, ptrs, once);
+    Buffer twice(gemm.output());
+    referenceExecute(gemm, ptrs, twice);
+    referenceExecute(gemm, ptrs, twice);
+    for (std::int64_t f = 0; f < 4; ++f)
+        EXPECT_NEAR(twice.at(f), 2.0f * once.at(f), 1e-5f);
+}
+
+TEST(Reference, InputCountMismatchPanics)
+{
+    auto gemm = tinyGemm();
+    Buffer out(gemm.output());
+    EXPECT_THROW(referenceExecute(gemm, {}, out), PanicError);
+}
+
+} // namespace
+} // namespace amos

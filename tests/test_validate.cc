@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for Algorithm 1 (mapping validation), built directly on
+ * the paper's Fig. 4 matrices for 2D convolution on Tensor Core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mapping/validate.hh"
+#include "support/logging.hh"
+
+namespace amos {
+namespace {
+
+// Software access matrix X for 2D convolution over iterations
+// (n, k, p, q, c, r, s); rows are (image, weight, out) as in Fig. 4.
+BitMatrix
+convX()
+{
+    return BitMatrix::fromRows({
+        {1, 0, 1, 1, 1, 1, 1}, // image
+        {0, 1, 0, 0, 1, 1, 1}, // weight
+        {1, 1, 1, 1, 0, 0, 0}, // out
+    });
+}
+
+// Intrinsic access matrix Z for Tensor Core over (i1, i2, r1).
+BitMatrix
+tensorCoreZ()
+{
+    return BitMatrix::fromRows({
+        {1, 0, 1}, // Src1
+        {0, 1, 1}, // Src2
+        {1, 1, 0}, // Dst
+    });
+}
+
+// The paper's matching matrix: n,p,q -> i1; k -> i2; c,r,s -> r1.
+BitMatrix
+fig4Y()
+{
+    return BitMatrix::fromRows({
+        {1, 0, 1, 1, 0, 0, 0},
+        {0, 1, 0, 0, 0, 0, 0},
+        {0, 0, 0, 0, 1, 1, 1},
+    });
+}
+
+TEST(Validate, PaperExampleIsValid)
+{
+    auto res = validateMatching(convX(), fig4Y(), tensorCoreZ());
+    EXPECT_TRUE(res.valid) << res.failure;
+    // For a full mapping, X' and Z' reproduce X and Z exactly.
+    EXPECT_EQ(res.softwareAccess, convX());
+    EXPECT_EQ(res.hardwareAccess, tensorCoreZ());
+}
+
+TEST(Validate, MappingNAndKTogetherIsInvalid)
+{
+    // The paper's Sec. 5.2 counterexample: n and k may not share i1,
+    // because n never appears in weight while k never appears in
+    // image.
+    auto y = BitMatrix::fromRows({
+        {1, 1, 1, 1, 0, 0, 0}, // n,k,p,q -> i1
+        {0, 0, 0, 0, 0, 0, 0},
+        {0, 0, 0, 0, 1, 1, 1},
+    });
+    auto res = validateMatching(convX(), y, tensorCoreZ());
+    EXPECT_FALSE(res.valid);
+    EXPECT_FALSE(res.failure.empty());
+}
+
+TEST(Validate, ReductionIterOnSpatialDimIsInvalid)
+{
+    // c (reduction) mapped to i1 (spatial): access patterns disagree.
+    auto y = BitMatrix::fromRows({
+        {0, 0, 0, 0, 1, 0, 0}, // c -> i1
+        {0, 1, 0, 0, 0, 0, 0},
+        {0, 0, 0, 0, 0, 1, 1},
+    });
+    EXPECT_FALSE(validateMatching(convX(), y, tensorCoreZ()).valid);
+}
+
+TEST(Validate, PartialMappingLeavesOuterLoops)
+{
+    // Only q -> i1, k -> i2, c -> r1; n,p,r,s stay outer. Valid under
+    // the partial-mapping semantics.
+    auto y = BitMatrix::fromRows({
+        {0, 0, 0, 1, 0, 0, 0},
+        {0, 1, 0, 0, 0, 0, 0},
+        {0, 0, 0, 0, 1, 0, 0},
+    });
+    EXPECT_TRUE(validateMatching(convX(), y, tensorCoreZ()).valid);
+    // Strict mode rejects it: unmapped columns fail X' = X.
+    EXPECT_FALSE(
+        validateMatching(convX(), y, tensorCoreZ(), false).valid);
+}
+
+TEST(Validate, UncoveredIntrinsicIterationToleratedWhenPartial)
+{
+    // GEMV-style: nothing maps to i2.
+    auto x = BitMatrix::fromRows({
+        {1, 1}, // A[i,k]
+        {0, 1}, // x[k]
+        {1, 0}, // out[i]
+    });
+    auto y = BitMatrix::fromRows({
+        {1, 0}, // i -> i1
+        {0, 0}, // i2 uncovered
+        {0, 1}, // k -> r1
+    });
+    EXPECT_TRUE(validateMatching(x, y, tensorCoreZ()).valid);
+    EXPECT_FALSE(validateMatching(x, y, tensorCoreZ(), false).valid);
+}
+
+TEST(Validate, EmptyMappingIsTriviallyValidOnlyWhenPartial)
+{
+    BitMatrix y(3, 7);
+    EXPECT_TRUE(validateMatching(convX(), y, tensorCoreZ()).valid);
+    EXPECT_FALSE(
+        validateMatching(convX(), y, tensorCoreZ(), false).valid);
+}
+
+TEST(Validate, ShapeMismatchesPanic)
+{
+    BitMatrix y(2, 7); // wrong number of intrinsic iterations
+    EXPECT_THROW(validateMatching(convX(), y, tensorCoreZ()),
+                 PanicError);
+    BitMatrix y2(3, 6); // wrong number of software iterations
+    EXPECT_THROW(validateMatching(convX(), y2, tensorCoreZ()),
+                 PanicError);
+    BitMatrix z(2, 3); // wrong operand count
+    EXPECT_THROW(validateMatching(convX(), fig4Y(), z), PanicError);
+}
+
+TEST(Validate, DerivedMatricesExposedForDiagnostics)
+{
+    auto res = validateMatching(convX(), fig4Y(), tensorCoreZ());
+    EXPECT_EQ(res.softwareAccess.rows(), 3u);
+    EXPECT_EQ(res.softwareAccess.cols(), 7u);
+    EXPECT_EQ(res.hardwareAccess.rows(), 3u);
+    EXPECT_EQ(res.hardwareAccess.cols(), 3u);
+}
+
+TEST(Validate, SwappingROperandsBreaksValidity)
+{
+    // Mapping k -> i1 and n,p,q -> i2 flips which operand each
+    // iteration addresses; Algorithm 1 must reject it.
+    auto y = BitMatrix::fromRows({
+        {0, 1, 0, 0, 0, 0, 0}, // k -> i1
+        {1, 0, 1, 1, 0, 0, 0}, // n,p,q -> i2
+        {0, 0, 0, 0, 1, 1, 1},
+    });
+    EXPECT_FALSE(validateMatching(convX(), y, tensorCoreZ()).valid);
+}
+
+} // namespace
+} // namespace amos
