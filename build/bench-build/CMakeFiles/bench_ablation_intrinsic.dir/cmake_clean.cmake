@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_intrinsic"
+  "../bench/bench_ablation_intrinsic.pdb"
+  "CMakeFiles/bench_ablation_intrinsic.dir/bench_ablation_intrinsic.cc.o"
+  "CMakeFiles/bench_ablation_intrinsic.dir/bench_ablation_intrinsic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intrinsic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

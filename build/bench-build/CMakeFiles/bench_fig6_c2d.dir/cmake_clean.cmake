@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_c2d"
+  "../bench/bench_fig6_c2d.pdb"
+  "CMakeFiles/bench_fig6_c2d.dir/bench_fig6_c2d.cc.o"
+  "CMakeFiles/bench_fig6_c2d.dir/bench_fig6_c2d.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_c2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_compilers"
+  "../bench/bench_fig7_compilers.pdb"
+  "CMakeFiles/bench_fig7_compilers.dir/bench_fig7_compilers.cc.o"
+  "CMakeFiles/bench_fig7_compilers.dir/bench_fig7_compilers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_networks"
+  "../bench/bench_fig7_networks.pdb"
+  "CMakeFiles/bench_fig7_networks.dir/bench_fig7_networks.cc.o"
+  "CMakeFiles/bench_fig7_networks.dir/bench_fig7_networks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

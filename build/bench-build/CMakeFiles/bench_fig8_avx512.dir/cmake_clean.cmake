@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_avx512"
+  "../bench/bench_fig8_avx512.pdb"
+  "CMakeFiles/bench_fig8_avx512.dir/bench_fig8_avx512.cc.o"
+  "CMakeFiles/bench_fig8_avx512.dir/bench_fig8_avx512.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_avx512.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

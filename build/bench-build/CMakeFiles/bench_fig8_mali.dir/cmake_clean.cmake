@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_mali"
+  "../bench/bench_fig8_mali.pdb"
+  "CMakeFiles/bench_fig8_mali.dir/bench_fig8_mali.cc.o"
+  "CMakeFiles/bench_fig8_mali.dir/bench_fig8_mali.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mali.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_fixed"
+  "../bench/bench_fig9_fixed.pdb"
+  "CMakeFiles/bench_fig9_fixed.dir/bench_fig9_fixed.cc.o"
+  "CMakeFiles/bench_fig9_fixed.dir/bench_fig9_fixed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

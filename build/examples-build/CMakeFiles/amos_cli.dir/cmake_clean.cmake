@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/amos_cli"
+  "../examples/amos_cli.pdb"
+  "CMakeFiles/amos_cli.dir/amos_cli.cpp.o"
+  "CMakeFiles/amos_cli.dir/amos_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

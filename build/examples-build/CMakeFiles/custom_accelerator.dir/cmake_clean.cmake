@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_accelerator"
+  "../examples/custom_accelerator.pdb"
+  "CMakeFiles/custom_accelerator.dir/custom_accelerator.cpp.o"
+  "CMakeFiles/custom_accelerator.dir/custom_accelerator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

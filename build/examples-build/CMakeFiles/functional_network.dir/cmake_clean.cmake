@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/functional_network"
+  "../examples/functional_network.pdb"
+  "CMakeFiles/functional_network.dir/functional_network.cpp.o"
+  "CMakeFiles/functional_network.dir/functional_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

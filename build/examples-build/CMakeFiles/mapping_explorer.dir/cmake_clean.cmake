@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/mapping_explorer"
+  "../examples/mapping_explorer.pdb"
+  "CMakeFiles/mapping_explorer.dir/mapping_explorer.cpp.o"
+  "CMakeFiles/mapping_explorer.dir/mapping_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

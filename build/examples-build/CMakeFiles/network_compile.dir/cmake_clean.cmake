@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/network_compile"
+  "../examples/network_compile.pdb"
+  "CMakeFiles/network_compile.dir/network_compile.cpp.o"
+  "CMakeFiles/network_compile.dir/network_compile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

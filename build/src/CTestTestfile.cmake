@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("tensor")
+subdirs("ops")
+subdirs("isa")
+subdirs("hw")
+subdirs("mapping")
+subdirs("model")
+subdirs("schedule")
+subdirs("codegen")
+subdirs("sim")
+subdirs("explore")
+subdirs("baselines")
+subdirs("graph")
+subdirs("amos")

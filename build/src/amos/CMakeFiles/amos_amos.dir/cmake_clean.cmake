@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_amos.dir/amos.cc.o"
+  "CMakeFiles/amos_amos.dir/amos.cc.o.d"
+  "CMakeFiles/amos_amos.dir/cache.cc.o"
+  "CMakeFiles/amos_amos.dir/cache.cc.o.d"
+  "libamos_amos.a"
+  "libamos_amos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_amos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

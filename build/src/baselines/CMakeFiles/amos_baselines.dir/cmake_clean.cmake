@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_baselines.dir/baselines.cc.o"
+  "CMakeFiles/amos_baselines.dir/baselines.cc.o.d"
+  "libamos_baselines.a"
+  "libamos_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

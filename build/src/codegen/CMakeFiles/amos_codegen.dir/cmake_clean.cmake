@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_codegen.dir/codegen.cc.o"
+  "CMakeFiles/amos_codegen.dir/codegen.cc.o.d"
+  "libamos_codegen.a"
+  "libamos_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_explore.dir/learned_model.cc.o"
+  "CMakeFiles/amos_explore.dir/learned_model.cc.o.d"
+  "CMakeFiles/amos_explore.dir/stats.cc.o"
+  "CMakeFiles/amos_explore.dir/stats.cc.o.d"
+  "CMakeFiles/amos_explore.dir/trace_io.cc.o"
+  "CMakeFiles/amos_explore.dir/trace_io.cc.o.d"
+  "CMakeFiles/amos_explore.dir/tuner.cc.o"
+  "CMakeFiles/amos_explore.dir/tuner.cc.o.d"
+  "libamos_explore.a"
+  "libamos_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_graph.dir/network.cc.o"
+  "CMakeFiles/amos_graph.dir/network.cc.o.d"
+  "CMakeFiles/amos_graph.dir/networks.cc.o"
+  "CMakeFiles/amos_graph.dir/networks.cc.o.d"
+  "libamos_graph.a"
+  "libamos_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

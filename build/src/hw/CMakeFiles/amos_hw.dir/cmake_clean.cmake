@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_hw.dir/hardware.cc.o"
+  "CMakeFiles/amos_hw.dir/hardware.cc.o.d"
+  "libamos_hw.a"
+  "libamos_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

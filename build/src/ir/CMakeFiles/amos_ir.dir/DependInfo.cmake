@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/affine.cc" "src/ir/CMakeFiles/amos_ir.dir/affine.cc.o" "gcc" "src/ir/CMakeFiles/amos_ir.dir/affine.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/ir/CMakeFiles/amos_ir.dir/expr.cc.o" "gcc" "src/ir/CMakeFiles/amos_ir.dir/expr.cc.o.d"
+  "/root/repo/src/ir/interval.cc" "src/ir/CMakeFiles/amos_ir.dir/interval.cc.o" "gcc" "src/ir/CMakeFiles/amos_ir.dir/interval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/amos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_ir.dir/affine.cc.o"
+  "CMakeFiles/amos_ir.dir/affine.cc.o.d"
+  "CMakeFiles/amos_ir.dir/expr.cc.o"
+  "CMakeFiles/amos_ir.dir/expr.cc.o.d"
+  "CMakeFiles/amos_ir.dir/interval.cc.o"
+  "CMakeFiles/amos_ir.dir/interval.cc.o.d"
+  "libamos_ir.a"
+  "libamos_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

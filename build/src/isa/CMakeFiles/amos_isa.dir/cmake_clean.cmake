@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_isa.dir/abstraction.cc.o"
+  "CMakeFiles/amos_isa.dir/abstraction.cc.o.d"
+  "CMakeFiles/amos_isa.dir/intrinsics.cc.o"
+  "CMakeFiles/amos_isa.dir/intrinsics.cc.o.d"
+  "libamos_isa.a"
+  "libamos_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/execute.cc" "src/mapping/CMakeFiles/amos_mapping.dir/execute.cc.o" "gcc" "src/mapping/CMakeFiles/amos_mapping.dir/execute.cc.o.d"
+  "/root/repo/src/mapping/generate.cc" "src/mapping/CMakeFiles/amos_mapping.dir/generate.cc.o" "gcc" "src/mapping/CMakeFiles/amos_mapping.dir/generate.cc.o.d"
+  "/root/repo/src/mapping/mapping.cc" "src/mapping/CMakeFiles/amos_mapping.dir/mapping.cc.o" "gcc" "src/mapping/CMakeFiles/amos_mapping.dir/mapping.cc.o.d"
+  "/root/repo/src/mapping/validate.cc" "src/mapping/CMakeFiles/amos_mapping.dir/validate.cc.o" "gcc" "src/mapping/CMakeFiles/amos_mapping.dir/validate.cc.o.d"
+  "/root/repo/src/mapping/verify_bounds.cc" "src/mapping/CMakeFiles/amos_mapping.dir/verify_bounds.cc.o" "gcc" "src/mapping/CMakeFiles/amos_mapping.dir/verify_bounds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/amos_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/amos_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/amos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/amos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_mapping.dir/execute.cc.o"
+  "CMakeFiles/amos_mapping.dir/execute.cc.o.d"
+  "CMakeFiles/amos_mapping.dir/generate.cc.o"
+  "CMakeFiles/amos_mapping.dir/generate.cc.o.d"
+  "CMakeFiles/amos_mapping.dir/mapping.cc.o"
+  "CMakeFiles/amos_mapping.dir/mapping.cc.o.d"
+  "CMakeFiles/amos_mapping.dir/validate.cc.o"
+  "CMakeFiles/amos_mapping.dir/validate.cc.o.d"
+  "CMakeFiles/amos_mapping.dir/verify_bounds.cc.o"
+  "CMakeFiles/amos_mapping.dir/verify_bounds.cc.o.d"
+  "libamos_mapping.a"
+  "libamos_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_model.dir/perf_model.cc.o"
+  "CMakeFiles/amos_model.dir/perf_model.cc.o.d"
+  "libamos_model.a"
+  "libamos_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_ops.dir/config_suite.cc.o"
+  "CMakeFiles/amos_ops.dir/config_suite.cc.o.d"
+  "CMakeFiles/amos_ops.dir/conv_layers.cc.o"
+  "CMakeFiles/amos_ops.dir/conv_layers.cc.o.d"
+  "CMakeFiles/amos_ops.dir/operators.cc.o"
+  "CMakeFiles/amos_ops.dir/operators.cc.o.d"
+  "libamos_ops.a"
+  "libamos_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

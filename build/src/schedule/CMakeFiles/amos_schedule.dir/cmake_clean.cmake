@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_schedule.dir/profile.cc.o"
+  "CMakeFiles/amos_schedule.dir/profile.cc.o.d"
+  "CMakeFiles/amos_schedule.dir/schedule.cc.o"
+  "CMakeFiles/amos_schedule.dir/schedule.cc.o.d"
+  "libamos_schedule.a"
+  "libamos_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

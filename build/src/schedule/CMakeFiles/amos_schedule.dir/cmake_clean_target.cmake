@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamos_schedule.a"
+)

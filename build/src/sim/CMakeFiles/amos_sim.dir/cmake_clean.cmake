@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_sim.dir/simulator.cc.o"
+  "CMakeFiles/amos_sim.dir/simulator.cc.o.d"
+  "libamos_sim.a"
+  "libamos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

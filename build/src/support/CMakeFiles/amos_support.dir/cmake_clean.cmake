@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_support.dir/bit_matrix.cc.o"
+  "CMakeFiles/amos_support.dir/bit_matrix.cc.o.d"
+  "CMakeFiles/amos_support.dir/json.cc.o"
+  "CMakeFiles/amos_support.dir/json.cc.o.d"
+  "CMakeFiles/amos_support.dir/math_utils.cc.o"
+  "CMakeFiles/amos_support.dir/math_utils.cc.o.d"
+  "CMakeFiles/amos_support.dir/str_utils.cc.o"
+  "CMakeFiles/amos_support.dir/str_utils.cc.o.d"
+  "libamos_support.a"
+  "libamos_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

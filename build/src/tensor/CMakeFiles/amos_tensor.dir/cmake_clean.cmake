@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amos_tensor.dir/computation.cc.o"
+  "CMakeFiles/amos_tensor.dir/computation.cc.o.d"
+  "CMakeFiles/amos_tensor.dir/reference.cc.o"
+  "CMakeFiles/amos_tensor.dir/reference.cc.o.d"
+  "CMakeFiles/amos_tensor.dir/tensor.cc.o"
+  "CMakeFiles/amos_tensor.dir/tensor.cc.o.d"
+  "libamos_tensor.a"
+  "libamos_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amos_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amos.dir/test_amos.cc.o"
+  "CMakeFiles/test_amos.dir/test_amos.cc.o.d"
+  "test_amos"
+  "test_amos.pdb"
+  "test_amos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

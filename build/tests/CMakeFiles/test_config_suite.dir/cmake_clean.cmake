@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_suite.dir/test_config_suite.cc.o"
+  "CMakeFiles/test_config_suite.dir/test_config_suite.cc.o.d"
+  "test_config_suite"
+  "test_config_suite.pdb"
+  "test_config_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_execute.dir/test_execute.cc.o"
+  "CMakeFiles/test_execute.dir/test_execute.cc.o.d"
+  "test_execute"
+  "test_execute.pdb"
+  "test_execute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_execute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

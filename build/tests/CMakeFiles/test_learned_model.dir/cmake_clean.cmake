@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_learned_model.dir/test_learned_model.cc.o"
+  "CMakeFiles/test_learned_model.dir/test_learned_model.cc.o.d"
+  "test_learned_model"
+  "test_learned_model.pdb"
+  "test_learned_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_learned_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

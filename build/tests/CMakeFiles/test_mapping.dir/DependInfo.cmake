@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mapping.cc" "tests/CMakeFiles/test_mapping.dir/test_mapping.cc.o" "gcc" "tests/CMakeFiles/test_mapping.dir/test_mapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amos/CMakeFiles/amos_amos.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/amos_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/amos_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/amos_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/amos_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/amos_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/amos_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/amos_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/amos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/amos_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/amos_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/amos_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/amos_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/amos_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
