@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "explore/tuner.hh"
 #include "hw/hardware.hh"
 #include "isa/intrinsics.hh"
@@ -120,12 +122,61 @@ BM_TuneConv(benchmark::State &state)
     options.population = 16;
     options.generations = static_cast<int>(state.range(0));
     options.measureTopK = 4;
+    options.numThreads = 1;
     for (auto _ : state) {
         auto result = tune(conv, hw, options);
         benchmark::DoNotOptimize(result);
     }
 }
 BENCHMARK(BM_TuneConv)->Arg(2)->Arg(8);
+
+/**
+ * Parallel-tuner scaling: the same fixed-seed search (population 64)
+ * at increasing worker counts. The tuned result is bit-identical
+ * across rows (per-candidate RNG streams + ordered reductions), so
+ * the real-time column directly reads as wall-clock speedup over the
+ * numThreads=1 row. Counters report the speedup explicitly.
+ */
+void
+BM_TuneConvThreads(benchmark::State &state)
+{
+    auto conv = benchConv();
+    auto hw = hw::v100();
+    TuneOptions options;
+    options.population = 64;
+    options.generations = 4;
+    options.measureTopK = 8;
+    options.numThreads = static_cast<int>(state.range(0));
+
+    static double serial_seconds = 0.0;
+    double best_cycles = 0.0;
+    auto start = std::chrono::steady_clock::now();
+    for (auto _ : state) {
+        auto result = tune(conv, hw, options);
+        best_cycles = result.bestCycles;
+        benchmark::DoNotOptimize(result);
+    }
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    double mean_seconds =
+        state.iterations() > 0
+            ? elapsed.count() /
+                  static_cast<double>(state.iterations())
+            : 0.0;
+    if (options.numThreads == 1 && mean_seconds > 0.0)
+        serial_seconds = mean_seconds;
+    if (serial_seconds > 0.0 && mean_seconds > 0.0)
+        state.counters["speedup_vs_1t"] =
+            serial_seconds / mean_seconds;
+    state.counters["best_cycles"] = best_cycles;
+}
+BENCHMARK(BM_TuneConvThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 } // namespace amos

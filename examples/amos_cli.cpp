@@ -10,7 +10,7 @@
  *   amos_cli --op conv2d --batch 16 --cin 128 --cout 128 \
  *            --size 28 --kernel 3 --hw v100
  *   amos_cli --op gemm --m 512 --n 512 --k 512 --hw a100 \
- *            --cache /tmp/tuning.json
+ *            --cache /tmp/tuning.json --threads 8
  *   amos_cli --op depthwise --batch 1 --cin 128 --size 28 \
  *            --kernel 3 --hw mali --list-mappings
  *   amos_cli --op conv2d --batch 2 --cin 4 --cout 8 --size 4 \
@@ -131,6 +131,10 @@ runCli(const Args &args)
         static_cast<int>(args.num("generations", 8));
     options.seed =
         static_cast<std::uint64_t>(args.num("seed", 2022));
+    // Exploration worker threads; the tuned result is identical for
+    // every value (0 = one per hardware thread).
+    options.numThreads =
+        static_cast<int>(args.num("threads", 0));
     Compiler compiler(hw, options);
 
     if (args.flag("list-mappings")) {

@@ -86,13 +86,14 @@ Compiler::compileWithCache(const TensorComputation &comp,
                            TuningCache &cache) const
 {
     auto key = TuningCache::keyFor(comp, _hw);
-    if (cache.contains(key)) {
-        const auto &entry = cache.lookup(key);
-        auto plan = entry.instantiate(comp, _hw);
+    // tryGet copies the entry under the cache lock, so concurrent
+    // compilers inserting the same key cannot tear the read.
+    if (auto entry = cache.tryGet(key)) {
+        auto plan = entry->instantiate(comp, _hw);
         if (plan) {
             CompileResult result;
             result.tensorized = true;
-            auto prof = lowerKernel(*plan, entry.schedule, _hw);
+            auto prof = lowerKernel(*plan, entry->schedule, _hw);
             auto sim = simulateKernel(prof, _hw);
             result.cycles = sim.cycles;
             auto scalar = baselines::scalarExecution(
@@ -110,7 +111,7 @@ Compiler::compileWithCache(const TensorComputation &comp,
             result.computeMapping = plan->computeMappingString();
             result.memoryMapping = plan->memoryMappingString();
             result.pseudoCode =
-                renderPseudoCode(*plan, entry.schedule, _hw);
+                renderPseudoCode(*plan, entry->schedule, _hw);
             return result;
         }
         // A stale or foreign entry: fall through to a fresh tune.

@@ -119,6 +119,38 @@ CacheEntry::instantiate(const TensorComputation &comp,
     return std::nullopt;
 }
 
+TuningCache::TuningCache(const TuningCache &other)
+{
+    std::lock_guard<std::mutex> lock(other._mutex);
+    _entries = other._entries;
+}
+
+TuningCache &
+TuningCache::operator=(const TuningCache &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(_mutex, other._mutex);
+    _entries = other._entries;
+    return *this;
+}
+
+TuningCache::TuningCache(TuningCache &&other) noexcept
+{
+    std::lock_guard<std::mutex> lock(other._mutex);
+    _entries = std::move(other._entries);
+}
+
+TuningCache &
+TuningCache::operator=(TuningCache &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(_mutex, other._mutex);
+    _entries = std::move(other._entries);
+    return *this;
+}
+
 std::string
 TuningCache::keyFor(const TensorComputation &comp,
                     const HardwareSpec &hw)
@@ -133,26 +165,50 @@ TuningCache::keyFor(const TensorComputation &comp,
 bool
 TuningCache::contains(const std::string &key) const
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     return _entries.count(key) > 0;
 }
 
 const CacheEntry &
 TuningCache::lookup(const std::string &key) const
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     auto it = _entries.find(key);
     require(it != _entries.end(), "TuningCache: missing key ", key);
+    // std::map node references stay valid across later inserts (the
+    // mapped *value* may still be rewritten by a same-key insert —
+    // see the class comment; tryGet() is the concurrent-safe read).
+    return it->second;
+}
+
+std::optional<CacheEntry>
+TuningCache::tryGet(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return std::nullopt;
     return it->second;
 }
 
 void
 TuningCache::insert(const std::string &key, CacheEntry entry)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     _entries[key] = std::move(entry);
+}
+
+std::size_t
+TuningCache::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.size();
 }
 
 Json
 TuningCache::toJson() const
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     Json out = Json::object();
     for (const auto &[key, entry] : _entries)
         out.set(key, entry.toJson());

@@ -11,6 +11,7 @@
 #define AMOS_AMOS_CACHE_HH
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -48,10 +49,25 @@ struct CacheEntry
         const TensorComputation &comp, const HardwareSpec &hw) const;
 };
 
-/** File-backed map from workload keys to cache entries. */
+/**
+ * File-backed map from workload keys to cache entries.
+ *
+ * All member functions are safe to call from multiple threads
+ * concurrently (a production deployment tunes many operators at
+ * once against one shared cache). lookup() hands out a reference
+ * whose mapped value may be rewritten by a concurrent insert() of
+ * the same key — concurrent readers should prefer tryGet(), which
+ * copies the entry under the lock.
+ */
 class TuningCache
 {
   public:
+    TuningCache() = default;
+    TuningCache(const TuningCache &other);
+    TuningCache &operator=(const TuningCache &other);
+    TuningCache(TuningCache &&other) noexcept;
+    TuningCache &operator=(TuningCache &&other) noexcept;
+
     /**
      * Cache key of a workload: operator name, iterator extents, and
      * hardware name (structure beyond extents is implied by the
@@ -62,8 +78,10 @@ class TuningCache
 
     bool contains(const std::string &key) const;
     const CacheEntry &lookup(const std::string &key) const;
+    /** Copy of the entry under the cache lock; nullopt on miss. */
+    std::optional<CacheEntry> tryGet(const std::string &key) const;
     void insert(const std::string &key, CacheEntry entry);
-    std::size_t size() const { return _entries.size(); }
+    std::size_t size() const;
 
     Json toJson() const;
     static TuningCache fromJson(const Json &json);
@@ -73,6 +91,7 @@ class TuningCache
     static TuningCache loadFile(const std::string &path);
 
   private:
+    mutable std::mutex _mutex;
     std::map<std::string, CacheEntry> _entries;
 };
 

@@ -2,6 +2,7 @@
 
 #include "explore/learned_model.hh"
 #include "schedule/profile.hh"
+#include "support/thread_pool.hh"
 
 #include <algorithm>
 #include <cmath>
@@ -32,6 +33,42 @@ struct Candidate
     }
 };
 
+/**
+ * Per-candidate RNG stream. Every random draw of the tuner depends
+ * only on (seed, candidate index, generation) — never on a shared
+ * generator whose state would depend on evaluation order — so the
+ * search trajectory is bit-identical for every thread count.
+ */
+Rng
+candidateRng(const TuneOptions &options, std::size_t index,
+             int generation)
+{
+    return Rng(mixSeed(options.seed, index,
+                       static_cast<std::uint64_t>(generation)));
+}
+
+/**
+ * Indices 0..n-1 ordered by ascending key, ties broken by index:
+ * a total order, so the ranking is unambiguous regardless of the
+ * sort algorithm or how the keys were produced.
+ */
+template <typename Key>
+std::vector<std::size_t>
+sortedOrder(std::size_t n, Key key)
+{
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  double ka = key(a), kb = key(b);
+                  if (ka != kb)
+                      return ka < kb;
+                  return a < b;
+              });
+    return order;
+}
+
 } // namespace
 
 TuneResult
@@ -44,27 +81,35 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
     result.tensorizable = true;
     result.numMappings = plans.size();
 
-    Rng rng(options.seed);
+    const int num_threads = options.numThreads;
 
     // --- Stage 0 (the paper's Sec. 5.3 flow): enumerate every
     // mapping, pair each with the expert schedule heuristic, and let
     // the performance model screen the whole pool; random samples
     // add schedule diversity. The best-predicted candidates are
     // measured and the population is trimmed by fitness.
-    std::vector<Candidate> population;
-    for (std::size_t i = 0; i < plans.size(); ++i) {
-        Candidate c;
-        c.mappingIndex = i;
-        c.schedule = expertSchedule(plans[i], hw);
-        population.push_back(std::move(c));
-    }
-    for (int i = 0; i < options.population; ++i) {
-        Candidate c;
-        c.mappingIndex = static_cast<std::size_t>(rng.uniformInt(
-            0, static_cast<std::int64_t>(plans.size()) - 1));
-        c.schedule = sampleSchedule(plans[c.mappingIndex], rng);
-        population.push_back(std::move(c));
-    }
+    std::size_t pool_size =
+        plans.size() +
+        static_cast<std::size_t>(std::max(0, options.population));
+    std::vector<Candidate> population(pool_size);
+    parallelFor(
+        pool_size,
+        [&](std::size_t i) {
+            Candidate &c = population[i];
+            if (i < plans.size()) {
+                c.mappingIndex = i;
+                c.schedule = expertSchedule(plans[i], hw);
+            } else {
+                Rng rng = candidateRng(options, i, 0);
+                c.mappingIndex = static_cast<std::size_t>(
+                    rng.uniformInt(
+                        0,
+                        static_cast<std::int64_t>(plans.size()) - 1));
+                c.schedule = sampleSchedule(plans[c.mappingIndex],
+                                            rng);
+            }
+        },
+        num_threads);
 
     double best_cycles = std::numeric_limits<double>::infinity();
     Candidate best;
@@ -72,55 +117,84 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
     int step = 0;
 
     LearnedModel learned;
-    auto evaluate_model = [&](Candidate &c) {
-        auto prof = lowerKernel(plans[c.mappingIndex], c.schedule, hw);
-        c.modelCycles = options.useLearnedModel && learned.trained()
-                            ? learned.predictCycles(prof, hw)
-                            : modelCycles(prof, hw);
+
+    // Model screening of the whole population. lowerKernel and both
+    // cost models are pure functions of (plan, schedule, hw), and
+    // each body writes only its own candidate, so the fan-out is
+    // race-free and order-independent.
+    auto evaluate_population = [&]() {
+        parallelFor(
+            population.size(),
+            [&](std::size_t i) {
+                Candidate &c = population[i];
+                auto prof =
+                    lowerKernel(plans[c.mappingIndex], c.schedule, hw);
+                c.modelCycles =
+                    options.useLearnedModel && learned.trained()
+                        ? learned.predictCycles(prof, hw)
+                        : modelCycles(prof, hw);
+            },
+            num_threads);
     };
 
     std::unordered_map<std::size_t, double> mapping_best;
-    auto measure = [&](Candidate &c) {
-        auto prof = lowerKernel(plans[c.mappingIndex], c.schedule, hw);
-        auto sim = simulateKernel(prof, hw);
-        c.simCycles = sim.cycles;
-        ++result.measurements;
-        if (options.useLearnedModel && sim.schedulable)
-            learned.addSample(prof, hw, sim.cycles);
-        if (sim.schedulable) {
-            auto it = mapping_best.find(c.mappingIndex);
-            if (it == mapping_best.end() || sim.cycles < it->second)
-                mapping_best[c.mappingIndex] = sim.cycles;
-        }
-        if (sim.schedulable && sim.cycles < best_cycles) {
-            best_cycles = sim.cycles;
-            best = c;
-            best_sim = sim;
-        }
-        if (std::isfinite(c.modelCycles) &&
-            std::isfinite(sim.cycles)) {
-            result.trace.push_back({++step, c.mappingIndex,
-                                    c.modelCycles, sim.cycles,
-                                    best_cycles});
+
+    // Measure a batch: simulate every selected candidate in parallel,
+    // then fold the outcomes into the archive serially in selection
+    // order, so the trace, the incumbent, and the learned-model
+    // sample set are identical to a one-at-a-time run.
+    auto measure_batch = [&](const std::vector<std::size_t>
+                                 &selected) {
+        std::vector<KernelProfile> profs(selected.size());
+        std::vector<SimResult> sims(selected.size());
+        parallelFor(
+            selected.size(),
+            [&](std::size_t k) {
+                const Candidate &c = population[selected[k]];
+                profs[k] =
+                    lowerKernel(plans[c.mappingIndex], c.schedule, hw);
+                sims[k] = simulateKernel(profs[k], hw);
+            },
+            num_threads);
+        for (std::size_t k = 0; k < selected.size(); ++k) {
+            Candidate &c = population[selected[k]];
+            const SimResult &sim = sims[k];
+            c.simCycles = sim.cycles;
+            ++result.measurements;
+            if (options.useLearnedModel && sim.schedulable)
+                learned.addSample(profs[k], hw, sim.cycles);
+            if (sim.schedulable) {
+                auto it = mapping_best.find(c.mappingIndex);
+                if (it == mapping_best.end() ||
+                    sim.cycles < it->second)
+                    mapping_best[c.mappingIndex] = sim.cycles;
+            }
+            // Strict < keeps the earliest candidate on ties: the
+            // winner is reduced by (cycles, selection order).
+            if (sim.schedulable && sim.cycles < best_cycles) {
+                best_cycles = sim.cycles;
+                best = c;
+                best_sim = sim;
+            }
+            if (std::isfinite(c.modelCycles) &&
+                std::isfinite(sim.cycles)) {
+                result.trace.push_back({++step, c.mappingIndex,
+                                        c.modelCycles, sim.cycles,
+                                        best_cycles});
+            }
         }
     };
 
     // The oversized stage-0 pool shrinks through selection until the
     // working population size is reached.
     for (int gen = 0; gen < options.generations; ++gen) {
-        for (auto &c : population)
-            evaluate_model(c);
+        evaluate_population();
 
         // Model screening: measure the best-predicted unmeasured
         // candidates on the simulator.
-        std::vector<std::size_t> order(population.size());
-        for (std::size_t i = 0; i < order.size(); ++i)
-            order[i] = i;
-        std::sort(order.begin(), order.end(),
-                  [&](std::size_t a, std::size_t b) {
-                      return population[a].modelCycles <
-                             population[b].modelCycles;
-                  });
+        auto order = sortedOrder(population.size(), [&](std::size_t i) {
+            return population[i].modelCycles;
+        });
         // The screening generation measures every mapping once (the
         // paper enumerates all valid mappings and evaluates each):
         // AMOS's total budget scales with the pool size, while the
@@ -129,70 +203,82 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
             gen == 0 ? static_cast<int>(plans.size()) +
                            options.measureTopK
                      : options.measureTopK;
-        int measured = 0;
+        std::vector<std::size_t> selected;
         for (auto idx : order) {
-            if (measured >= budget)
+            if (static_cast<int>(selected.size()) >= budget)
                 break;
-            if (!population[idx].measured()) {
-                measure(population[idx]);
-                ++measured;
-            }
+            if (!population[idx].measured())
+                selected.push_back(idx);
         }
+        measure_batch(selected);
 
         if (options.useLearnedModel)
             learned.fit();
 
-        // Selection: keep the better half by fitness.
-        std::sort(population.begin(), population.end(),
-                  [](const Candidate &a, const Candidate &b) {
-                      return a.fitness() < b.fitness();
-                  });
-        std::size_t survivors =
-            std::max<std::size_t>(2, population.size() / 2);
-        population.resize(survivors);
+        // Selection: keep the better half by (fitness, index).
+        auto rank = sortedOrder(population.size(), [&](std::size_t i) {
+            return population[i].fitness();
+        });
+        std::size_t survivors = std::min(
+            population.size(),
+            std::max<std::size_t>(2, population.size() / 2));
+        std::vector<Candidate> kept;
+        kept.reserve(survivors);
+        for (std::size_t r = 0; r < survivors; ++r)
+            kept.push_back(std::move(population[rank[r]]));
+        population = std::move(kept);
 
         // Reproduction: crossover within a mapping, mutation, the
-        // occasional mapping hop, and fresh immigrants.
-        std::vector<Candidate> next = population;
-        while (next.size() <
-               static_cast<std::size_t>(options.population)) {
-            double roll = rng.uniformReal();
-            if (roll < 0.4 && population.size() >= 2) {
-                // Crossover between two parents; schedules are only
-                // compatible within the same mapping.
-                const Candidate &a = rng.choice(population);
-                const Candidate &b = rng.choice(population);
-                Candidate child = a;
-                child.simCycles =
-                    std::numeric_limits<double>::quiet_NaN();
-                if (a.mappingIndex == b.mappingIndex) {
-                    child.schedule = crossoverSchedules(
-                        a.schedule, b.schedule, rng);
-                } else {
+        // occasional mapping hop, and fresh immigrants. Each child
+        // draws from its own (seed, slot, generation) stream and
+        // reads only the const parent pool, so children can be
+        // produced concurrently.
+        std::size_t target = std::max(
+            population.size(),
+            static_cast<std::size_t>(std::max(0, options.population)));
+        std::vector<Candidate> next(target);
+        std::copy(population.begin(), population.end(), next.begin());
+        parallelFor(
+            target - population.size(),
+            [&](std::size_t offset) {
+                std::size_t slot = population.size() + offset;
+                Rng rng = candidateRng(options, slot, gen + 1);
+                Candidate &child = next[slot];
+                double roll = rng.uniformReal();
+                if (roll < 0.4 && population.size() >= 2) {
+                    // Crossover between two parents; schedules are
+                    // only compatible within the same mapping.
+                    const Candidate &a = rng.choice(population);
+                    const Candidate &b = rng.choice(population);
+                    child = a;
+                    child.simCycles =
+                        std::numeric_limits<double>::quiet_NaN();
+                    if (a.mappingIndex == b.mappingIndex) {
+                        child.schedule = crossoverSchedules(
+                            a.schedule, b.schedule, rng);
+                    } else {
+                        child.schedule = mutateSchedule(
+                            plans[child.mappingIndex], child.schedule,
+                            rng);
+                    }
+                } else if (roll < 0.8) {
+                    child = rng.choice(population);
+                    child.simCycles =
+                        std::numeric_limits<double>::quiet_NaN();
                     child.schedule = mutateSchedule(
                         plans[child.mappingIndex], child.schedule,
                         rng);
+                } else {
+                    // Immigrant: possibly a different mapping.
+                    child.mappingIndex = static_cast<std::size_t>(
+                        rng.uniformInt(
+                            0, static_cast<std::int64_t>(
+                                   plans.size()) - 1));
+                    child.schedule = sampleSchedule(
+                        plans[child.mappingIndex], rng);
                 }
-                next.push_back(std::move(child));
-            } else if (roll < 0.8) {
-                Candidate child = rng.choice(population);
-                child.simCycles =
-                    std::numeric_limits<double>::quiet_NaN();
-                child.schedule = mutateSchedule(
-                    plans[child.mappingIndex], child.schedule, rng);
-                next.push_back(std::move(child));
-            } else {
-                // Immigrant: possibly a different mapping.
-                Candidate c;
-                c.mappingIndex = static_cast<std::size_t>(
-                    rng.uniformInt(
-                        0,
-                        static_cast<std::int64_t>(plans.size()) - 1));
-                c.schedule = sampleSchedule(plans[c.mappingIndex],
-                                            rng);
-                next.push_back(std::move(c));
-            }
-        }
+            },
+            num_threads);
         population = std::move(next);
     }
 
@@ -203,8 +289,12 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
         Candidate c;
         c.mappingIndex = 0;
         c.schedule = defaultSchedule(plans[0]);
-        evaluate_model(c);
-        measure(c);
+        auto prof = lowerKernel(plans[0], c.schedule, hw);
+        c.modelCycles = options.useLearnedModel && learned.trained()
+                            ? learned.predictCycles(prof, hw)
+                            : modelCycles(prof, hw);
+        population.push_back(std::move(c));
+        measure_batch({population.size() - 1});
     }
 
     // --- Exploitation: rerun the full schedule search restricted to
@@ -214,7 +304,8 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
     // of the space it explores.)
     if (options.exploitSteps > 0 && std::isfinite(best_cycles) &&
         plans.size() > 1) {
-        // Top three distinct mappings by their best measured cycles.
+        // Top three distinct mappings by their best measured cycles;
+        // sorting (cycles, index) pairs makes the ranking total.
         std::vector<std::pair<double, std::size_t>> ranked;
         for (const auto &[idx, cycles] : mapping_best)
             ranked.push_back({cycles, idx});

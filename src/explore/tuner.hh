@@ -46,6 +46,12 @@ struct TuneOptions
     GeneratorOptions mappingOptions{};
     /// Cap on the mapping pool entering exploration (0 = all).
     std::size_t maxMappings = 0;
+    /// Worker threads fanning out candidate evaluation, schedule
+    /// sampling, and simulator measurements (0 = one per hardware
+    /// thread, 1 = fully serial). The search trajectory is
+    /// bit-identical for every value: random draws come from
+    /// per-candidate streams and all reductions are ordered.
+    int numThreads = 0;
 };
 
 /** One predicted/measured pair from the exploration trace. */

@@ -19,6 +19,28 @@
 
 namespace amos {
 
+/**
+ * Mix a base seed with a stream id and a step counter into one
+ * well-scrambled 64-bit seed (iterated splitmix64 finalisers).
+ *
+ * The parallel tuner derives an independent Rng per candidate from
+ * (options.seed, candidate index, generation): every random draw
+ * then depends only on *which* candidate is being produced, never on
+ * the order threads reach it, which is what makes the search
+ * trajectory bit-identical for every thread count.
+ */
+inline std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t stream, std::uint64_t step)
+{
+    auto scramble = [](std::uint64_t z) {
+        z += 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    };
+    return scramble(scramble(scramble(seed) ^ stream) ^ step);
+}
+
 /** Seeded mt19937-based generator with convenience draws. */
 class Rng
 {

@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "amos/amos.hh"
 #include "ops/conv_layers.hh"
@@ -174,6 +178,109 @@ TEST(CompileWithCache, SurvivesSerialisationCycle)
 
     auto replay = compiler.compileWithCache(conv, restored);
     EXPECT_DOUBLE_EQ(replay.cycles, first.cycles);
+}
+
+TEST(TuningCacheTest, TryGetCopiesUnderLock)
+{
+    TuningCache cache;
+    EXPECT_FALSE(cache.tryGet("absent").has_value());
+    CacheEntry entry;
+    entry.intrinsicName = "wmma_16x16x16";
+    entry.mapping.groups = {{0}, {1}, {4}};
+    entry.cycles = 7.0;
+    cache.insert("k", entry);
+    auto got = cache.tryGet("k");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->intrinsicName, "wmma_16x16x16");
+    EXPECT_DOUBLE_EQ(got->cycles, 7.0);
+}
+
+TEST(TuningCacheTest, ConcurrentInsertLookupSameKey)
+{
+    // 8 threads hammer the same key with insert + tryGet; every read
+    // must observe one of the written entries in full (intrinsic
+    // name, mapping, and cycles from the same writer), never a torn
+    // mix. Run under TSan in CI.
+    TuningCache cache;
+    const int threads = 8, iters = 400;
+    std::atomic<bool> corrupt{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            for (int i = 0; i < iters; ++i) {
+                CacheEntry entry;
+                entry.intrinsicName = "intr_" + std::to_string(t);
+                entry.mapping.groups = {
+                    {static_cast<std::size_t>(t)}};
+                entry.schedule.stageDepth = t + 1;
+                entry.cycles = static_cast<double>(t);
+                cache.insert("shared", std::move(entry));
+                auto got = cache.tryGet("shared");
+                if (!got) {
+                    corrupt = true;
+                    continue;
+                }
+                // Whole-entry consistency: all fields must come
+                // from the same writer thread.
+                int writer = static_cast<int>(got->cycles);
+                if (got->intrinsicName !=
+                        "intr_" + std::to_string(writer) ||
+                    got->mapping.groups.size() != 1 ||
+                    got->mapping.groups[0] !=
+                        std::vector<std::size_t>{
+                            static_cast<std::size_t>(writer)} ||
+                    got->schedule.stageDepth != writer + 1)
+                    corrupt = true;
+                // Distinct keys must coexist untouched.
+                cache.insert("own_" + std::to_string(t),
+                             std::move(*got));
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_FALSE(corrupt.load());
+    EXPECT_EQ(cache.size(), 1u + threads);
+
+    // Round-trip the hammered cache through disk: no corruption.
+    std::string path = "/tmp/amos_cache_concurrent.json";
+    cache.saveFile(path);
+    auto loaded = TuningCache::loadFile(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(loaded.size(), cache.size());
+    auto shared = loaded.tryGet("shared");
+    ASSERT_TRUE(shared.has_value());
+    int writer = static_cast<int>(shared->cycles);
+    EXPECT_EQ(shared->intrinsicName,
+              "intr_" + std::to_string(writer));
+    EXPECT_EQ(shared->schedule.stageDepth, writer + 1);
+}
+
+TEST(CompileWithCache, ConcurrentCompilersShareOneCache)
+{
+    // Several compiler threads resolve the same workload through one
+    // cache; every result must be usable and the cache ends with one
+    // entry for the workload.
+    auto conv = benchConv();
+    TuneOptions options;
+    options.generations = 2;
+    options.numThreads = 1; // threads come from the outer fan-out
+    Compiler compiler(hw::v100(), options);
+    TuningCache cache;
+    const int threads = 4;
+    std::vector<CompileResult> results(threads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t)
+        workers.emplace_back([&, t] {
+            results[t] = compiler.compileWithCache(conv, cache);
+        });
+    for (auto &w : workers)
+        w.join();
+    for (const auto &result : results) {
+        EXPECT_TRUE(result.tensorized);
+        EXPECT_GT(result.cycles, 0.0);
+    }
+    EXPECT_EQ(cache.size(), 1u);
 }
 
 } // namespace

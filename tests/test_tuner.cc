@@ -69,6 +69,88 @@ TEST(Tuner, DeterministicForFixedSeed)
     EXPECT_EQ(a.trace.size(), b.trace.size());
 }
 
+/**
+ * The parallel engine's core guarantee: the tuned result is
+ * bit-identical for every thread count (per-candidate RNG streams,
+ * ordered reductions). Checked field-by-field including the full
+ * exploration trace.
+ */
+void
+expectIdenticalResults(const TuneResult &a, const TuneResult &b)
+{
+    EXPECT_EQ(a.bestCycles, b.bestCycles);
+    EXPECT_EQ(a.bestModelCycles, b.bestModelCycles);
+    EXPECT_EQ(a.bestMappingIndex, b.bestMappingIndex);
+    EXPECT_EQ(a.mappingSignature, b.mappingSignature);
+    EXPECT_EQ(a.computeMapping, b.computeMapping);
+    EXPECT_EQ(a.intrinsicName, b.intrinsicName);
+    EXPECT_EQ(a.measurements, b.measurements);
+    EXPECT_EQ(a.bestSchedule.toString(), b.bestSchedule.toString());
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].step, b.trace[i].step);
+        EXPECT_EQ(a.trace[i].mappingIndex, b.trace[i].mappingIndex);
+        EXPECT_EQ(a.trace[i].predictedCycles,
+                  b.trace[i].predictedCycles);
+        EXPECT_EQ(a.trace[i].measuredCycles,
+                  b.trace[i].measuredCycles);
+        EXPECT_EQ(a.trace[i].bestSoFarCycles,
+                  b.trace[i].bestSoFarCycles);
+    }
+}
+
+TEST(Tuner, ThreadCountInvariantForConv)
+{
+    auto conv = ops::makeConv2d(mediumConv());
+    auto hw = hw::v100();
+    TuneOptions base;
+    base.generations = 3;
+    base.seed = 77;
+    base.numThreads = 1;
+    auto serial = tune(conv, hw, base);
+    ASSERT_TRUE(serial.tensorizable);
+    for (int threads : {2, 8}) {
+        TuneOptions options = base;
+        options.numThreads = threads;
+        auto res = tune(conv, hw, options);
+        expectIdenticalResults(serial, res);
+    }
+}
+
+TEST(Tuner, ThreadCountInvariantForGemm)
+{
+    auto gemm = ops::makeGemm(256, 256, 256);
+    auto hw = hw::v100();
+    TuneOptions base;
+    base.generations = 3;
+    base.seed = 2022;
+    base.numThreads = 1;
+    auto serial = tune(gemm, hw, base);
+    ASSERT_TRUE(serial.tensorizable);
+    for (int threads : {2, 8}) {
+        TuneOptions options = base;
+        options.numThreads = threads;
+        auto res = tune(gemm, hw, options);
+        expectIdenticalResults(serial, res);
+    }
+}
+
+TEST(Tuner, ThreadCountInvariantWithLearnedModel)
+{
+    // The learned model trains on measured samples; sample order is
+    // part of the determinism contract too.
+    auto conv = ops::makeConv2d(mediumConv());
+    auto hw = hw::v100();
+    TuneOptions base;
+    base.generations = 3;
+    base.useLearnedModel = true;
+    base.numThreads = 1;
+    auto serial = tune(conv, hw, base);
+    TuneOptions par = base;
+    par.numThreads = 4;
+    expectIdenticalResults(serial, tune(conv, hw, par));
+}
+
 TEST(Tuner, MoreSearchNeverHurts)
 {
     auto conv = ops::makeConv2d(mediumConv());
