@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Throughput/latency benchmark for the compilation service.
+ *
+ * For 1, 4, and 16 concurrent clients, replays a fixed workload of
+ * distinct small GEMM compilations against a CompileService twice:
+ *
+ *   cold — a fresh service with an empty cache: every request runs a
+ *          full mapping exploration (or coalesces onto one).
+ *   warm — a second service started on the cold run's disk tier with
+ *          warm-on-start: every request is a memory-tier replay.
+ *
+ * Prints a human table to stderr and a machine-readable JSON
+ * document to stdout (checked in as bench/BENCH_serve.json). Run
+ * from the build tree:
+ *
+ *   bench/bench_serve_throughput > ../bench/BENCH_serve.json
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hh"
+#include "support/str_utils.hh"
+
+namespace {
+
+using namespace amos;
+using Clock = std::chrono::steady_clock;
+
+/** Distinct small GEMMs: enough work to explore, fast to replay. */
+std::vector<serve::CompileRequest>
+workload()
+{
+    std::vector<serve::CompileRequest> requests;
+    for (std::int64_t m : {32, 64, 128})
+        for (std::int64_t n : {32, 64})
+            for (std::int64_t k : {32, 64}) {
+                serve::CompileRequest req;
+                req.op = "gemm";
+                req.dims = {{"m", m}, {"n", n}, {"k", k}};
+                req.hw = "v100";
+                req.generations = 4;
+                requests.push_back(std::move(req));
+            }
+    return requests;
+}
+
+struct PhaseResult
+{
+    std::string phase;
+    int clients = 0;
+    std::size_t requests = 0;
+    std::size_t failures = 0;
+    double wallMs = 0.0;
+    double reqPerSec = 0.0;
+    serve::ServeStats stats;
+};
+
+/**
+ * Each client walks the whole workload once, starting at its own
+ * offset so concurrent clients mix distinct and identical requests
+ * the way a shared service would see them.
+ */
+PhaseResult
+runPhase(serve::CompileService &service, const std::string &phase,
+         int clients, int rounds)
+{
+    auto requests = workload();
+    PhaseResult result;
+    result.phase = phase;
+    result.clients = clients;
+    std::vector<std::size_t> failures(clients, 0);
+
+    auto start = Clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c)
+        threads.emplace_back([&, c] {
+            for (int round = 0; round < rounds; ++round)
+                for (std::size_t i = 0; i < requests.size(); ++i) {
+                    const auto &req =
+                        requests[(i + c * 3) % requests.size()];
+                    if (!service.serve(req).ok)
+                        ++failures[c];
+                }
+        });
+    for (auto &t : threads)
+        t.join();
+    result.wallMs = std::chrono::duration<double, std::milli>(
+                        Clock::now() - start)
+                        .count();
+    result.requests = requests.size() *
+                      static_cast<std::size_t>(clients) *
+                      static_cast<std::size_t>(rounds);
+    for (auto f : failures)
+        result.failures += f;
+    result.reqPerSec =
+        1000.0 * static_cast<double>(result.requests) /
+        result.wallMs;
+    result.stats = service.stats();
+    return result;
+}
+
+Json
+toJson(const PhaseResult &r)
+{
+    Json out = Json::object();
+    out.set("phase", Json(r.phase));
+    out.set("clients", Json(static_cast<std::int64_t>(r.clients)));
+    out.set("requests",
+            Json(static_cast<std::int64_t>(r.requests)));
+    out.set("failures",
+            Json(static_cast<std::int64_t>(r.failures)));
+    out.set("wall_ms", Json(r.wallMs));
+    out.set("req_per_s", Json(r.reqPerSec));
+    out.set("compiles", Json(static_cast<std::int64_t>(
+                            r.stats.compiles)));
+    out.set("coalesced", Json(static_cast<std::int64_t>(
+                             r.stats.coalesced)));
+    out.set("memory_hits", Json(static_cast<std::int64_t>(
+                               r.stats.memoryHits)));
+    out.set("p50_ms", Json(r.stats.p50Ms));
+    out.set("p95_ms", Json(r.stats.p95Ms));
+    out.set("p99_ms", Json(r.stats.p99Ms));
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    auto dir = std::filesystem::temp_directory_path() /
+               ("amos_bench_serve_" + std::to_string(::getpid()));
+    std::vector<PhaseResult> results;
+
+    std::fprintf(stderr,
+                 "%-6s %-8s %10s %10s %10s %10s\n", "phase",
+                 "clients", "req/s", "p50 ms", "p95 ms", "p99 ms");
+    for (int clients : {1, 4, 16}) {
+        auto shard_dir =
+            (dir / std::to_string(clients)).string();
+        std::filesystem::remove_all(shard_dir);
+
+        serve::ServeOptions options;
+        options.workers = 4;
+        options.cache.diskDir = shard_dir;
+
+        PhaseResult cold, warm;
+        {
+            serve::CompileService service(options);
+            cold = runPhase(service, "cold", clients, 1);
+            service.drain();
+        }
+        {
+            // Restart on the persisted disk tier: the warm phase
+            // never explores, it replays cached plans.
+            serve::CompileService service(options);
+            warm = runPhase(service, "warm", clients, 4);
+        }
+        for (const auto &r : {cold, warm})
+            std::fprintf(stderr,
+                         "%-6s %-8d %10.1f %10.3f %10.3f %10.3f\n",
+                         r.phase.c_str(), r.clients, r.reqPerSec,
+                         r.stats.p50Ms, r.stats.p95Ms,
+                         r.stats.p99Ms);
+        results.push_back(cold);
+        results.push_back(warm);
+    }
+    std::filesystem::remove_all(dir);
+
+    Json doc = Json::object();
+    doc.set("bench", Json("serve_throughput"));
+    doc.set("workload",
+            Json("12 distinct gemm configs, v100, generations=4"));
+    doc.set("workers", Json(static_cast<std::int64_t>(4)));
+    Json arr = Json::array();
+    for (const auto &r : results)
+        arr.push(toJson(r));
+    doc.set("results", std::move(arr));
+    std::printf("%s\n", doc.dump().c_str());
+
+    std::size_t failed = 0;
+    for (const auto &r : results)
+        failed += r.failures;
+    return failed == 0 ? 0 : 1;
+}

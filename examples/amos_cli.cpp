@@ -11,10 +11,19 @@
  *            --size 28 --kernel 3 --hw v100
  *   amos_cli --op gemm --m 512 --n 512 --k 512 --hw a100 \
  *            --cache /tmp/tuning.json --threads 8
+ *   amos_cli --op gemm --m 256 --n 256 --k 256 --hw v100 --json \
+ *       | jq .result.gflops
  *   amos_cli --op depthwise --batch 1 --cin 128 --size 28 \
  *            --kernel 3 --hw mali --list-mappings
  *   amos_cli --op conv2d --batch 2 --cin 4 --cout 8 --size 4 \
  *            --kernel 3 --hw v100 --emit-c /tmp/kernel.c
+ *
+ * Scripting contract:
+ *   --json writes a single machine-readable object to stdout (the
+ *   same schema as one amos_served response line); human chatter
+ *   goes to stderr. Exit codes: 0 success, 1 compile/config error,
+ *   2 bad usage, 3 the operator could not be tensorized and
+ *   --require-tensorized was given.
  */
 
 #include <cstdio>
@@ -25,6 +34,7 @@
 #include "amos/amos.hh"
 #include "codegen/codegen.hh"
 #include "mapping/generate.hh"
+#include "serve/protocol.hh"
 
 namespace {
 
@@ -56,86 +66,48 @@ struct Args
     }
 };
 
-HardwareSpec
-pickHardware(const std::string &name)
+/**
+ * The CLI describes the same compilations as the serve protocol;
+ * building a CompileRequest keeps operator construction and dim
+ * defaults in one place (serve::computationFromRequest).
+ */
+serve::CompileRequest
+requestFromArgs(const Args &args)
 {
-    if (name == "v100")
-        return hw::v100();
-    if (name == "a100")
-        return hw::a100();
-    if (name == "xeon")
-        return hw::xeonSilver4110();
-    if (name == "mali")
-        return hw::maliG76();
-    if (name == "vaxpy")
-        return hw::virtualAxpyAccel();
-    if (name == "vgemv")
-        return hw::virtualGemvAccel();
-    if (name == "vconv")
-        return hw::virtualConvAccel();
-    fatal("unknown --hw '", name,
-          "' (v100|a100|xeon|mali|vaxpy|vgemv|vconv)");
-}
-
-TensorComputation
-pickOperator(const Args &args)
-{
-    std::string op = args.str("op", "conv2d");
-    ops::ConvParams pr;
-    pr.batch = args.num("batch", 1);
-    pr.in_channels = args.num("cin", 64);
-    pr.out_channels = args.num("cout", 64);
-    pr.out_h = pr.out_w = args.num("size", 14);
-    pr.kernel_h = pr.kernel_w = args.num("kernel", 3);
-    pr.stride = args.num("stride", 1);
-    pr.dilation = args.num("dilation", 1);
-
-    if (op == "gemm")
-        return ops::makeGemm(args.num("m", 256), args.num("n", 256),
-                             args.num("k", 256));
-    if (op == "gemv")
-        return ops::makeGemv(args.num("m", 1024),
-                             args.num("k", 1024));
-    if (op == "conv1d")
-        return ops::makeConv1d(pr.batch, pr.in_channels,
-                               pr.out_channels, args.num("size", 64),
-                               pr.kernel_h, pr.stride);
-    if (op == "conv2d")
-        return ops::makeConv2d(pr);
-    if (op == "conv3d")
-        return ops::makeConv3d(pr, args.num("depth", 8),
-                               args.num("kdepth", 3));
-    if (op == "depthwise")
-        return ops::makeDepthwiseConv2d(pr,
-                                        args.num("multiplier", 1));
-    if (op == "group")
-        return ops::makeGroupConv2d(pr, args.num("groups", 4));
-    if (op == "dilated")
-        return ops::makeDilatedConv2d(pr);
-    if (op == "transposed")
-        return ops::makeTransposedConv2d(pr);
-    fatal("unknown --op '", op, "'");
+    serve::CompileRequest req;
+    req.op = args.str("op", "conv2d");
+    req.hw = args.str("hw", "v100");
+    for (const char *key :
+         {"batch", "cin", "cout", "size", "kernel", "stride",
+          "dilation", "m", "n", "k", "depth", "kdepth",
+          "multiplier", "groups"}) {
+        auto it = args.values.find(key);
+        if (it != args.values.end())
+            req.dims[key] = std::stoll(it->second);
+    }
+    req.generations =
+        static_cast<int>(args.num("generations", 8));
+    req.seed = static_cast<std::uint64_t>(args.num("seed", 2022));
+    // Exploration worker threads; the tuned result is identical for
+    // every value (0 = one per hardware thread).
+    req.numThreads = static_cast<int>(args.num("threads", 0));
+    return req;
 }
 
 int
 runCli(const Args &args)
 {
-    auto hw = pickHardware(args.str("hw", "v100"));
-    auto comp = pickOperator(args);
+    auto req = requestFromArgs(args);
+    auto hw = serve::hardwareFromRequest(req);
+    auto comp = serve::computationFromRequest(req);
+    bool json = args.flag("json");
 
-    std::printf("%s", comp.toString().c_str());
-    std::printf("target: %s\n\n", hw.name.c_str());
+    if (!json) {
+        std::printf("%s", comp.toString().c_str());
+        std::printf("target: %s\n\n", hw.name.c_str());
+    }
 
-    TuneOptions options;
-    options.generations =
-        static_cast<int>(args.num("generations", 8));
-    options.seed =
-        static_cast<std::uint64_t>(args.num("seed", 2022));
-    // Exploration worker threads; the tuned result is identical for
-    // every value (0 = one per hardware thread).
-    options.numThreads =
-        static_cast<int>(args.num("threads", 0));
-    Compiler compiler(hw, options);
+    Compiler compiler(hw, serve::tuneOptionsFromRequest(req));
 
     if (args.flag("list-mappings")) {
         for (const auto &intr : hw.intrinsics) {
@@ -157,19 +129,23 @@ runCli(const Args &args)
     CompileResult result;
     std::string cache_path = args.str("cache", "");
     if (!cache_path.empty()) {
-        TuningCache cache;
-        std::ifstream probe(cache_path);
-        if (probe.good())
-            cache = TuningCache::loadFile(cache_path);
+        auto cache = TuningCache::loadFileIfExists(cache_path);
         result = compiler.compileWithCache(comp, cache);
         cache.saveFile(cache_path);
-        std::printf("tuning cache: %s (%zu entries)\n\n",
-                    cache_path.c_str(), cache.size());
+        std::fprintf(stderr, "tuning cache: %s (%zu entries)\n",
+                     cache_path.c_str(), cache.size());
     } else {
         result = compiler.compile(comp);
     }
 
-    std::printf("%s", result.report().c_str());
+    if (json) {
+        Json out = Json::object();
+        out.set("ok", Json(true));
+        out.set("result", serve::compileResultToJson(result));
+        std::printf("%s\n", out.dump().c_str());
+    } else {
+        std::printf("%s", result.report().c_str());
+    }
 
     std::string emit_path = args.str("emit-c", "");
     if (!emit_path.empty()) {
@@ -180,8 +156,12 @@ runCli(const Args &args)
         std::ofstream out(emit_path);
         out << generateC(*result.tuning.bestPlan,
                          result.tuning.bestSchedule, cg);
-        std::printf("\nwrote C kernel to %s\n", emit_path.c_str());
+        std::fprintf(stderr, "wrote C kernel to %s\n",
+                     emit_path.c_str());
     }
+
+    if (args.flag("require-tensorized") && !result.tensorized)
+        return 3;
     return 0;
 }
 
@@ -206,6 +186,17 @@ main(int argc, char **argv)
     try {
         return runCli(args);
     } catch (const std::exception &e) {
+        if (args.flag("json")) {
+            // Machine-readable failure on stdout, matching the
+            // serve protocol's error envelope.
+            amos::Json err = amos::Json::object();
+            err.set("code", amos::Json("bad_request"));
+            err.set("message", amos::Json(e.what()));
+            amos::Json out = amos::Json::object();
+            out.set("ok", amos::Json(false));
+            out.set("error", std::move(err));
+            std::printf("%s\n", out.dump().c_str());
+        }
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
     }

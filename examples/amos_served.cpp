@@ -1,0 +1,130 @@
+/**
+ * @file
+ * amos_served — the long-lived compilation server.
+ *
+ * Speaks newline-delimited JSON over stdin/stdout (one request per
+ * line, one response per line, correlated by "id"); see
+ * docs/serving.md for the schema. SIGTERM/SIGINT trigger a graceful
+ * drain: in-flight explorations finish, their responses are
+ * written, the disk cache tier stays consistent.
+ *
+ * Examples:
+ *   echo '{"type":"compile","id":"r1","op":"gemm","m":256,
+ *          "n":256,"k":256,"hw":"v100","generations":4}' \
+ *     | amos_served --cache-dir /var/cache/amos
+ *   amos_served --replay trace.ndjson --cache-dir /tmp/amos \
+ *               --workers 4
+ *
+ * Flags:
+ *   --workers N          compilation workers (default 2, 0 = #cpus)
+ *   --queue N            admission bound on in-flight explorations
+ *   --cache-dir PATH     enable the on-disk cache tier
+ *   --shards N           disk-tier shard files (default 8)
+ *   --mem-capacity N     memory-tier LRU entries (default 256)
+ *   --stats-period-ms N  periodic stats log line to stderr
+ *   --no-warm            skip preloading the disk tier on start
+ *   --replay FILE        batch mode: serve a request trace, print
+ *                        responses + final stats, exit
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "serve/server.hh"
+
+namespace {
+
+using namespace amos;
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+/**
+ * Install without SA_RESTART so a signal interrupts the blocking
+ * stdin read and the server loop observes g_stop promptly.
+ */
+void
+installSignalHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::map<std::string, std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--", 2) != 0) {
+            std::fprintf(stderr, "unexpected argument '%s'\n", arg);
+            return 2;
+        }
+        std::string key = arg + 2;
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+            args[key] = argv[++i];
+        else
+            args[key] = "1";
+    }
+    auto num = [&](const std::string &key, long fallback) {
+        auto it = args.find(key);
+        return it == args.end() ? fallback : std::stol(it->second);
+    };
+    auto str = [&](const std::string &key) {
+        auto it = args.find(key);
+        return it == args.end() ? std::string() : it->second;
+    };
+
+    serve::ServeOptions options;
+    options.workers =
+        static_cast<std::size_t>(num("workers", 2));
+    options.maxQueue = static_cast<std::size_t>(num("queue", 64));
+    options.cache.diskDir = str("cache-dir");
+    options.cache.diskShards =
+        static_cast<std::size_t>(num("shards", 8));
+    options.cache.memoryCapacity =
+        static_cast<std::size_t>(num("mem-capacity", 256));
+    options.warmOnStart = args.count("no-warm") == 0;
+    options.statsLogPeriodMs =
+        static_cast<double>(num("stats-period-ms", 0));
+
+    try {
+        serve::CompileService service(options);
+        if (args.count("replay"))
+            return serve::replayTrace(service, str("replay"),
+                                      std::cout) == 0
+                       ? 0
+                       : 1;
+
+        installSignalHandlers();
+        inform("amos_served: ready (workers=", options.workers,
+               ", queue=", options.maxQueue, ", cache=",
+               options.cache.diskDir.empty()
+                   ? "memory-only"
+                   : options.cache.diskDir,
+               ")");
+        serve::serveStream(service, std::cin, std::cout, &g_stop);
+        inform("amos_served: drained; ", service.stats().summary());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

@@ -81,6 +81,35 @@ Compiler::countMappings(const TensorComputation &comp) const
         .size();
 }
 
+std::optional<CompileResult>
+replayCacheEntry(const CacheEntry &entry,
+                 const TensorComputation &comp,
+                 const HardwareSpec &hw)
+{
+    auto plan = entry.instantiate(comp, hw);
+    if (!plan)
+        return std::nullopt;
+    CompileResult result;
+    result.tensorized = true;
+    auto prof = lowerKernel(*plan, entry.schedule, hw);
+    auto sim = simulateKernel(prof, hw);
+    result.cycles = sim.cycles;
+    auto scalar =
+        baselines::scalarExecution(comp, hw, 0.6, "amos-scalar");
+    if (scalar.cycles < result.cycles) {
+        result.cycles = scalar.cycles;
+        result.usedScalarCode = true;
+    }
+    result.milliseconds = cyclesToMs(result.cycles, hw);
+    result.gflops = static_cast<double>(comp.flopCount()) /
+                    (result.milliseconds * 1e6);
+    result.mappingSignature = plan->mapping().signature(comp);
+    result.computeMapping = plan->computeMappingString();
+    result.memoryMapping = plan->memoryMappingString();
+    result.pseudoCode = renderPseudoCode(*plan, entry.schedule, hw);
+    return result;
+}
+
 CompileResult
 Compiler::compileWithCache(const TensorComputation &comp,
                            TuningCache &cache) const
@@ -89,31 +118,8 @@ Compiler::compileWithCache(const TensorComputation &comp,
     // tryGet copies the entry under the cache lock, so concurrent
     // compilers inserting the same key cannot tear the read.
     if (auto entry = cache.tryGet(key)) {
-        auto plan = entry->instantiate(comp, _hw);
-        if (plan) {
-            CompileResult result;
-            result.tensorized = true;
-            auto prof = lowerKernel(*plan, entry->schedule, _hw);
-            auto sim = simulateKernel(prof, _hw);
-            result.cycles = sim.cycles;
-            auto scalar = baselines::scalarExecution(
-                comp, _hw, 0.6, "amos-scalar");
-            if (scalar.cycles < result.cycles) {
-                result.cycles = scalar.cycles;
-                result.usedScalarCode = true;
-            }
-            result.milliseconds = cyclesToMs(result.cycles, _hw);
-            result.gflops =
-                static_cast<double>(comp.flopCount()) /
-                (result.milliseconds * 1e6);
-            result.mappingSignature =
-                plan->mapping().signature(comp);
-            result.computeMapping = plan->computeMappingString();
-            result.memoryMapping = plan->memoryMappingString();
-            result.pseudoCode =
-                renderPseudoCode(*plan, entry->schedule, _hw);
-            return result;
-        }
+        if (auto result = replayCacheEntry(*entry, comp, _hw))
+            return *result;
         // A stale or foreign entry: fall through to a fresh tune.
     }
 

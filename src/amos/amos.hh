@@ -22,6 +22,7 @@
 #ifndef AMOS_AMOS_AMOS_HH
 #define AMOS_AMOS_AMOS_HH
 
+#include <optional>
 #include <string>
 
 #include "amos/cache.hh"
@@ -62,6 +63,19 @@ struct CompileResult
     /** Multi-line human-readable summary. */
     std::string report() const;
 };
+
+/**
+ * Re-execute a persisted tuning outcome: instantiate the entry's
+ * mapping on the hardware, lower and simulate the cached schedule,
+ * and package a CompileResult — no exploration, so the whole replay
+ * costs a single simulator run. nullopt when the entry is stale
+ * (intrinsic absent or mapping no longer valid). Both the
+ * compile-with-cache fast path and the serve layer's cache tiers
+ * funnel through here.
+ */
+std::optional<CompileResult> replayCacheEntry(
+    const CacheEntry &entry, const TensorComputation &comp,
+    const HardwareSpec &hw);
 
 /** The AMOS compiler for a fixed hardware target. */
 class Compiler

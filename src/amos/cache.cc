@@ -1,5 +1,6 @@
 #include "cache.hh"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -205,6 +206,17 @@ TuningCache::size() const
     return _entries.size();
 }
 
+std::vector<std::pair<std::string, CacheEntry>>
+TuningCache::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<std::pair<std::string, CacheEntry>> out;
+    out.reserve(_entries.size());
+    for (const auto &[key, entry] : _entries)
+        out.emplace_back(key, entry);
+    return out;
+}
+
 Json
 TuningCache::toJson() const
 {
@@ -219,17 +231,38 @@ TuningCache
 TuningCache::fromJson(const Json &json)
 {
     TuningCache cache;
-    for (const auto &[key, value] : json.entries())
-        cache._entries[key] = CacheEntry::fromJson(value);
+    if (json.kind() != Json::Kind::Object) {
+        warn("TuningCache: document root is not an object; "
+             "starting empty");
+        return cache;
+    }
+    for (const auto &[key, value] : json.entries()) {
+        try {
+            cache._entries[key] = CacheEntry::fromJson(value);
+        } catch (const std::exception &e) {
+            warn("TuningCache: skipping corrupt entry '", key,
+                 "': ", e.what());
+        }
+    }
     return cache;
 }
 
 void
 TuningCache::saveFile(const std::string &path) const
 {
-    std::ofstream out(path);
-    expect(out.good(), "TuningCache: cannot write ", path);
-    out << toJson().dump() << "\n";
+    // Write-temp-then-rename: a crash mid-write leaves the previous
+    // file intact, and rename() within a directory is atomic, so a
+    // concurrent loadFile sees either the old or the new document.
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        expect(out.good(), "TuningCache: cannot write ", tmp);
+        out << toJson().dump() << "\n";
+        out.flush();
+        expect(out.good(), "TuningCache: short write to ", tmp);
+    }
+    expect(std::rename(tmp.c_str(), path.c_str()) == 0,
+           "TuningCache: cannot rename ", tmp, " to ", path);
 }
 
 TuningCache
@@ -239,7 +272,26 @@ TuningCache::loadFile(const std::string &path)
     expect(in.good(), "TuningCache: cannot read ", path);
     std::stringstream buffer;
     buffer << in.rdbuf();
-    return fromJson(Json::parse(buffer.str()));
+    try {
+        return fromJson(Json::parse(buffer.str()));
+    } catch (const std::exception &e) {
+        // A truncated or corrupt file (crash mid-write predating the
+        // atomic rename, disk fault) costs the cached entries, never
+        // the process.
+        warn("TuningCache: cannot parse ", path, " (", e.what(),
+             "); starting empty");
+        return TuningCache();
+    }
+}
+
+TuningCache
+TuningCache::loadFileIfExists(const std::string &path)
+{
+    std::ifstream probe(path);
+    if (!probe.good())
+        return TuningCache();
+    probe.close();
+    return loadFile(path);
 }
 
 } // namespace amos

@@ -14,6 +14,8 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "hw/hardware.hh"
 #include "mapping/mapping.hh"
@@ -83,12 +85,29 @@ class TuningCache
     void insert(const std::string &key, CacheEntry entry);
     std::size_t size() const;
 
+    /** Copy of every (key, entry) pair under one lock acquisition. */
+    std::vector<std::pair<std::string, CacheEntry>> snapshot() const;
+
     Json toJson() const;
+    /**
+     * Rebuild from JSON, skipping (with a warning) entries that do
+     * not deserialise — a partially corrupt cache degrades into a
+     * smaller cache, never into an aborted load.
+     */
     static TuningCache fromJson(const Json &json);
 
-    /** Persist to / restore from a file (JSON document). */
+    /**
+     * Persist to / restore from a file (JSON document). saveFile is
+     * crash-safe: it writes a sibling temp file and rename()s it
+     * into place, so readers never observe a torn document.
+     * loadFile raises fatal() only when the file cannot be opened;
+     * unparseable content yields an empty cache with a warning.
+     */
     void saveFile(const std::string &path) const;
     static TuningCache loadFile(const std::string &path);
+
+    /** loadFile when the file exists, else an empty cache. */
+    static TuningCache loadFileIfExists(const std::string &path);
 
   private:
     mutable std::mutex _mutex;

@@ -145,6 +145,8 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
     // sample set are identical to a one-at-a-time run.
     auto measure_batch = [&](const std::vector<std::size_t>
                                  &selected) {
+        if (options.cancel)
+            options.cancel->checkpoint("mapping exploration");
         std::vector<KernelProfile> profs(selected.size());
         std::vector<SimResult> sims(selected.size());
         parallelFor(
@@ -188,6 +190,8 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
     // The oversized stage-0 pool shrinks through selection until the
     // working population size is reached.
     for (int gen = 0; gen < options.generations; ++gen) {
+        if (options.cancel)
+            options.cancel->checkpoint("mapping exploration");
         evaluate_population();
 
         // Model screening: measure the best-predicted unmeasured
@@ -316,6 +320,8 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
         TuneOptions sub = options;
         sub.exploitSteps = 0; // recursion base case
         for (const auto &[cycles, idx] : ranked) {
+            if (options.cancel)
+                options.cancel->checkpoint("mapping exploitation");
             std::vector<MappingPlan> one = {plans[idx]};
             auto subres = tuneWithPlans(one, hw, sub);
             result.measurements += subres.measurements;

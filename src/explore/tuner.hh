@@ -23,6 +23,7 @@
 #include "model/perf_model.hh"
 #include "schedule/schedule.hh"
 #include "sim/simulator.hh"
+#include "support/cancellation.hh"
 
 namespace amos {
 
@@ -52,6 +53,12 @@ struct TuneOptions
     /// bit-identical for every value: random draws come from
     /// per-candidate streams and all reductions are ordered.
     int numThreads = 0;
+    /// Cooperative cancellation: when set, the tuner polls the token
+    /// at generation boundaries and before each measurement batch,
+    /// throwing CancelledError once it fires. The serve layer uses
+    /// this for per-request deadlines and abandoned explorations;
+    /// not part of the tuning-cache key.
+    CancelToken *cancel = nullptr;
 };
 
 /** One predicted/measured pair from the exploration trace. */

@@ -162,5 +162,34 @@ virtualConvAccel()
     return s;
 }
 
+const std::vector<std::string> &
+knownNames()
+{
+    static const std::vector<std::string> names = {
+        "v100", "a100", "xeon", "mali", "vaxpy", "vgemv", "vconv"};
+    return names;
+}
+
+HardwareSpec
+byName(const std::string &name)
+{
+    if (name == "v100")
+        return v100();
+    if (name == "a100")
+        return a100();
+    if (name == "xeon")
+        return xeonSilver4110();
+    if (name == "mali")
+        return maliG76();
+    if (name == "vaxpy")
+        return virtualAxpyAccel();
+    if (name == "vgemv")
+        return virtualGemvAccel();
+    if (name == "vconv")
+        return virtualConvAccel();
+    fatal("unknown hardware '", name, "' (", join(knownNames(), "|"),
+          ")");
+}
+
 } // namespace hw
 } // namespace amos

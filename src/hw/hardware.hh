@@ -109,6 +109,16 @@ HardwareSpec virtualGemvAccel();
 /** Virtual accelerator built around the CONV intrinsic. */
 HardwareSpec virtualConvAccel();
 
+/**
+ * Look a spec up by its CLI/protocol name
+ * (v100|a100|xeon|mali|vaxpy|vgemv|vconv); raises fatal() on an
+ * unknown name, listing the alternatives.
+ */
+HardwareSpec byName(const std::string &name);
+
+/** The names byName() accepts, in presentation order. */
+const std::vector<std::string> &knownNames();
+
 } // namespace hw
 } // namespace amos
 

@@ -1,0 +1,190 @@
+#include "protocol.hh"
+
+#include <sstream>
+
+#include "ops/operators.hh"
+#include "support/logging.hh"
+
+namespace amos {
+namespace serve {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::BadRequest:
+        return "bad_request";
+    case ErrorCode::QueueFull:
+        return "queue_full";
+    case ErrorCode::DeadlineExceeded:
+        return "deadline_exceeded";
+    case ErrorCode::Cancelled:
+        return "cancelled";
+    case ErrorCode::ShuttingDown:
+        return "shutting_down";
+    case ErrorCode::Internal:
+        return "internal";
+    }
+    return "internal";
+}
+
+std::int64_t
+CompileRequest::dim(const std::string &key,
+                    std::int64_t fallback) const
+{
+    auto it = dims.find(key);
+    return it == dims.end() ? fallback : it->second;
+}
+
+std::string
+CompileRequest::cacheKey() const
+{
+    // Operator shape + hardware (the TuningCache key) extended with
+    // the search knobs: a deeper search is a different artifact.
+    auto comp = computationFromRequest(*this);
+    auto spec = hardwareFromRequest(*this);
+    std::ostringstream key;
+    key << TuningCache::keyFor(comp, spec) << "/g" << generations
+        << "_s" << seed;
+    return key.str();
+}
+
+Json
+CompileRequest::toJson() const
+{
+    Json out = Json::object();
+    out.set("type", Json("compile"));
+    if (!id.empty())
+        out.set("id", Json(id));
+    out.set("op", Json(op));
+    for (const auto &[key, value] : dims)
+        out.set(key, Json(value));
+    out.set("hw", Json(hw));
+    out.set("generations", Json(generations));
+    out.set("seed", Json(static_cast<std::int64_t>(seed)));
+    out.set("threads", Json(numThreads));
+    if (deadlineMs > 0)
+        out.set("deadline_ms", Json(deadlineMs));
+    return out;
+}
+
+CompileRequest
+CompileRequest::fromJson(const Json &json)
+{
+    expect(json.kind() == Json::Kind::Object,
+           "request: expected a JSON object");
+    CompileRequest req;
+    for (const auto &[key, value] : json.entries()) {
+        if (key == "type") {
+            expect(value.asString() == "compile",
+                   "request: type must be 'compile', got '",
+                   value.asString(), "'");
+        } else if (key == "id") {
+            req.id = value.kind() == Json::Kind::String
+                         ? value.asString()
+                         : value.dump();
+        } else if (key == "op") {
+            req.op = value.asString();
+        } else if (key == "hw") {
+            req.hw = value.asString();
+        } else if (key == "generations") {
+            req.generations = static_cast<int>(value.asInt());
+            expect(req.generations >= 1,
+                   "request: generations must be >= 1");
+        } else if (key == "seed") {
+            req.seed = static_cast<std::uint64_t>(value.asInt());
+        } else if (key == "threads") {
+            req.numThreads = static_cast<int>(value.asInt());
+        } else if (key == "deadline_ms") {
+            req.deadlineMs = value.asNumber();
+            expect(req.deadlineMs >= 0,
+                   "request: deadline_ms must be >= 0");
+        } else {
+            expect(value.kind() == Json::Kind::Number,
+                   "request: unknown non-numeric field '", key, "'");
+            req.dims[key] = value.asInt();
+        }
+    }
+    return req;
+}
+
+TensorComputation
+computationFromRequest(const CompileRequest &req)
+{
+    ops::ConvParams pr;
+    pr.batch = req.dim("batch", 1);
+    pr.in_channels = req.dim("cin", 64);
+    pr.out_channels = req.dim("cout", 64);
+    pr.out_h = pr.out_w = req.dim("size", 14);
+    pr.kernel_h = pr.kernel_w = req.dim("kernel", 3);
+    pr.stride = req.dim("stride", 1);
+    pr.dilation = req.dim("dilation", 1);
+
+    if (req.op == "gemm")
+        return ops::makeGemm(req.dim("m", 256), req.dim("n", 256),
+                             req.dim("k", 256));
+    if (req.op == "gemv")
+        return ops::makeGemv(req.dim("m", 1024), req.dim("k", 1024));
+    if (req.op == "conv1d")
+        return ops::makeConv1d(pr.batch, pr.in_channels,
+                               pr.out_channels, req.dim("size", 64),
+                               pr.kernel_h, pr.stride);
+    if (req.op == "conv2d")
+        return ops::makeConv2d(pr);
+    if (req.op == "conv3d")
+        return ops::makeConv3d(pr, req.dim("depth", 8),
+                               req.dim("kdepth", 3));
+    if (req.op == "depthwise")
+        return ops::makeDepthwiseConv2d(pr,
+                                        req.dim("multiplier", 1));
+    if (req.op == "group")
+        return ops::makeGroupConv2d(pr, req.dim("groups", 4));
+    if (req.op == "dilated")
+        return ops::makeDilatedConv2d(pr);
+    if (req.op == "transposed")
+        return ops::makeTransposedConv2d(pr);
+    fatal("unknown op '", req.op,
+          "' (gemm|gemv|conv1d|conv2d|conv3d|depthwise|group|"
+          "dilated|transposed)");
+}
+
+HardwareSpec
+hardwareFromRequest(const CompileRequest &req)
+{
+    return hw::byName(req.hw);
+}
+
+TuneOptions
+tuneOptionsFromRequest(const CompileRequest &req)
+{
+    TuneOptions options;
+    options.generations = req.generations;
+    options.seed = req.seed;
+    options.numThreads = req.numThreads;
+    return options;
+}
+
+Json
+compileResultToJson(const CompileResult &result,
+                    bool includePseudoCode)
+{
+    Json out = Json::object();
+    out.set("tensorized", Json(result.tensorized));
+    out.set("used_scalar_code", Json(result.usedScalarCode));
+    out.set("cycles", Json(result.cycles));
+    out.set("milliseconds", Json(result.milliseconds));
+    out.set("gflops", Json(result.gflops));
+    out.set("mappings_explored",
+            Json(static_cast<std::int64_t>(
+                result.mappingsExplored)));
+    out.set("measurements", Json(result.measurements));
+    out.set("mapping_signature", Json(result.mappingSignature));
+    out.set("compute_mapping", Json(result.computeMapping));
+    out.set("memory_mapping", Json(result.memoryMapping));
+    if (includePseudoCode)
+        out.set("pseudo_code", Json(result.pseudoCode));
+    return out;
+}
+
+} // namespace serve
+} // namespace amos

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Wire protocol of the compilation service: newline-delimited JSON
+ * request and response objects, plus the translation from a request
+ * to the compiler inputs (TensorComputation, HardwareSpec,
+ * TuneOptions) it describes.
+ *
+ * Request (one JSON object per line):
+ *
+ *   {"type":"compile","id":"r1","op":"gemm","m":256,"n":256,
+ *    "k":256,"hw":"v100","generations":4,"seed":2022,
+ *    "deadline_ms":5000}
+ *   {"type":"stats"}
+ *   {"type":"shutdown"}
+ *
+ * Response (one JSON object per line, correlated by "id"):
+ *
+ *   {"id":"r1","ok":true,"served_by":"compile","latency_ms":812.4,
+ *    "result":{...}}
+ *   {"id":"r1","ok":false,
+ *    "error":{"code":"queue_full","message":"..."}}
+ *
+ * The same CompileResult serialiser backs `amos_cli --json`, so a
+ * script can switch between the one-shot CLI and the server without
+ * changing its parser. See docs/serving.md for the full schema.
+ */
+
+#ifndef AMOS_SERVE_PROTOCOL_HH
+#define AMOS_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "amos/amos.hh"
+#include "support/json.hh"
+
+namespace amos {
+namespace serve {
+
+/** Typed rejection reasons a request can be answered with. */
+enum class ErrorCode
+{
+    BadRequest,       ///< malformed JSON or unknown op/hw
+    QueueFull,        ///< admission bound hit (load shedding)
+    DeadlineExceeded, ///< per-request deadline fired
+    Cancelled,        ///< exploration abandoned by all waiters
+    ShuttingDown,     ///< submitted during/after drain
+    Internal,         ///< unexpected failure inside the compiler
+};
+
+/** Wire name of an error code ("queue_full", ...). */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * One compilation request: an operator family plus its dimensions,
+ * a hardware target, and the tuning knobs that shape the search.
+ */
+struct CompileRequest
+{
+    /// Echoed verbatim in the response for correlation.
+    std::string id;
+
+    /// Operator family: gemm|gemv|conv1d|conv2d|conv3d|depthwise|
+    /// group|dilated|transposed.
+    std::string op = "conv2d";
+
+    /// Dimension knobs (m/n/k, batch/cin/cout/size/kernel/stride/
+    /// dilation/depth/kdepth/multiplier/groups); absent keys take
+    /// the same defaults as amos_cli.
+    std::map<std::string, std::int64_t> dims;
+
+    std::string hw = "v100";
+
+    int generations = 8;
+    std::uint64_t seed = 2022;
+    /// Tuner-internal threads; the service defaults to 1 because its
+    /// parallelism comes from serving many requests at once.
+    int numThreads = 1;
+
+    /// Wall-clock budget in milliseconds (0 = none). Covers queue
+    /// wait and exploration; an expired request is answered with
+    /// deadline_exceeded.
+    double deadlineMs = 0.0;
+
+    /** Dimension value with an amos_cli-compatible default. */
+    std::int64_t dim(const std::string &key,
+                     std::int64_t fallback) const;
+
+    /**
+     * Identity of the exploration this request names: hardware,
+     * operator shape, and the tune options that change the search
+     * outcome. Two requests with equal keys coalesce and share
+     * cache entries.
+     */
+    std::string cacheKey() const;
+
+    Json toJson() const;
+    /** Raises fatal() on malformed input. */
+    static CompileRequest fromJson(const Json &json);
+};
+
+/** Build the computation a request describes (fatal on bad op). */
+TensorComputation computationFromRequest(const CompileRequest &req);
+
+/** Resolve the hardware target (fatal on bad name). */
+HardwareSpec hardwareFromRequest(const CompileRequest &req);
+
+/** Tune options carrying the request's search knobs. */
+TuneOptions tuneOptionsFromRequest(const CompileRequest &req);
+
+/**
+ * Machine-readable CompileResult (shared between the serve protocol
+ * and `amos_cli --json`). Omits the pseudo-code listing unless
+ * includePseudoCode is set.
+ */
+Json compileResultToJson(const CompileResult &result,
+                         bool includePseudoCode = false);
+
+} // namespace serve
+} // namespace amos
+
+#endif // AMOS_SERVE_PROTOCOL_HH

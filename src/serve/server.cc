@@ -1,0 +1,176 @@
+#include "server.hh"
+
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace amos {
+namespace serve {
+
+namespace {
+
+/** Serialised writer: one response line per call, flushed. */
+class LineWriter
+{
+  public:
+    explicit LineWriter(std::ostream &out) : _out(out) {}
+
+    void
+    write(const Json &json)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _out << json.dump() << "\n";
+        _out.flush();
+    }
+
+  private:
+    std::ostream &_out;
+    std::mutex _mutex;
+};
+
+Json
+protocolError(const std::string &id, const std::string &message)
+{
+    Json err = Json::object();
+    err.set("code", Json(errorCodeName(ErrorCode::BadRequest)));
+    err.set("message", Json(message));
+    Json out = Json::object();
+    if (!id.empty())
+        out.set("id", Json(id));
+    out.set("ok", Json(false));
+    out.set("error", std::move(err));
+    return out;
+}
+
+} // namespace
+
+int
+serveStream(CompileService &service, std::istream &in,
+            std::ostream &out, const std::atomic<bool> *stop)
+{
+    LineWriter writer(out);
+    // Responders block in wait(); size them past the service's
+    // workers so finished explorations never queue behind waits.
+    ThreadPool responders(ThreadPool::resolveThreads(0) + 2);
+    std::vector<std::future<void>> pending;
+    int protocol_errors = 0;
+
+    std::string line;
+    while (!(stop && stop->load(std::memory_order_relaxed)) &&
+           std::getline(in, line)) {
+        if (line.empty())
+            continue;
+
+        Json request;
+        std::string type;
+        std::string id;
+        try {
+            request = Json::parse(line);
+            expect(request.kind() == Json::Kind::Object,
+                   "request: expected a JSON object");
+            if (request.has("id"))
+                id = request.get("id").kind() ==
+                             Json::Kind::String
+                         ? request.get("id").asString()
+                         : request.get("id").dump();
+            type = request.has("type")
+                       ? request.get("type").asString()
+                       : "compile";
+        } catch (const std::exception &e) {
+            ++protocol_errors;
+            writer.write(protocolError(id, e.what()));
+            continue;
+        }
+
+        if (type == "shutdown")
+            break;
+        if (type == "stats") {
+            Json response = Json::object();
+            response.set("ok", Json(true));
+            response.set("stats", service.stats().toJson());
+            writer.write(response);
+            continue;
+        }
+        if (type != "compile") {
+            ++protocol_errors;
+            writer.write(protocolError(
+                id, "unknown request type '" + type + "'"));
+            continue;
+        }
+
+        CompileRequest req;
+        try {
+            req = CompileRequest::fromJson(request);
+        } catch (const std::exception &e) {
+            ++protocol_errors;
+            writer.write(protocolError(id, e.what()));
+            continue;
+        }
+
+        auto ticket = service.submit(req);
+        pending.push_back(responders.submit(
+            [&service, &writer, ticket, req]() mutable {
+                auto outcome = service.wait(ticket);
+                writer.write(outcome.toJson(req.id));
+            }));
+
+        // Prune finished responders so a long-lived server's
+        // bookkeeping stays bounded.
+        if (pending.size() >= 64) {
+            std::vector<std::future<void>> alive;
+            for (auto &f : pending) {
+                if (f.wait_for(std::chrono::seconds(0)) !=
+                    std::future_status::ready)
+                    alive.push_back(std::move(f));
+                else
+                    f.get();
+            }
+            pending = std::move(alive);
+        }
+    }
+
+    for (auto &f : pending)
+        f.get();
+    service.drain();
+    return protocol_errors;
+}
+
+int
+replayTrace(CompileService &service, const std::string &path,
+            std::ostream &out)
+{
+    std::ifstream trace(path);
+    expect(trace.good(), "replay: cannot read trace file ", path);
+
+    LineWriter writer(out);
+    int failed = 0;
+    std::string line;
+    while (std::getline(trace, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        CompileRequest req;
+        try {
+            req = CompileRequest::fromJson(Json::parse(line));
+        } catch (const std::exception &e) {
+            ++failed;
+            writer.write(protocolError("", e.what()));
+            continue;
+        }
+        auto outcome = service.serve(req);
+        if (!outcome.ok)
+            ++failed;
+        writer.write(outcome.toJson(req.id));
+    }
+
+    Json final_stats = Json::object();
+    final_stats.set("ok", Json(true));
+    final_stats.set("stats", service.stats().toJson());
+    writer.write(final_stats);
+    return failed;
+}
+
+} // namespace serve
+} // namespace amos

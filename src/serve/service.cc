@@ -1,0 +1,415 @@
+#include "service.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/str_utils.hh"
+
+namespace amos {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     since)
+        .count();
+}
+
+} // namespace
+
+Json
+ServeStats::toJson() const
+{
+    Json out = Json::object();
+    auto u64 = [](std::uint64_t v) {
+        return Json(static_cast<std::int64_t>(v));
+    };
+    out.set("requests", u64(requests));
+    out.set("memory_hits", u64(memoryHits));
+    out.set("disk_hits", u64(diskHits));
+    out.set("compiles", u64(compiles));
+    out.set("coalesced", u64(coalesced));
+    out.set("rejected_queue_full", u64(rejectedQueueFull));
+    out.set("deadline_exceeded", u64(deadlineExceeded));
+    out.set("cancelled", u64(cancelled));
+    out.set("failures", u64(failures));
+    out.set("warmed_entries", u64(warmedEntries));
+    Json latency = Json::object();
+    latency.set("count", u64(latencyCount));
+    latency.set("mean_ms", Json(meanMs));
+    latency.set("p50_ms", Json(p50Ms));
+    latency.set("p95_ms", Json(p95Ms));
+    latency.set("p99_ms", Json(p99Ms));
+    out.set("latency", std::move(latency));
+    return out;
+}
+
+std::string
+ServeStats::summary() const
+{
+    std::ostringstream out;
+    out << "serve: req=" << requests << " hit_mem=" << memoryHits
+        << " hit_disk=" << diskHits << " compiled=" << compiles
+        << " coalesced=" << coalesced
+        << " shed=" << rejectedQueueFull
+        << " deadline=" << deadlineExceeded << " p50="
+        << fmtDouble(p50Ms, 2) << "ms p95=" << fmtDouble(p95Ms, 2)
+        << "ms p99=" << fmtDouble(p99Ms, 2) << "ms";
+    return out.str();
+}
+
+Json
+ServeOutcome::toJson(const std::string &id) const
+{
+    Json out = Json::object();
+    if (!id.empty())
+        out.set("id", Json(id));
+    out.set("ok", Json(ok));
+    out.set("latency_ms", Json(latencyMs));
+    if (ok) {
+        out.set("served_by", Json(servedBy));
+        out.set("result", compileResultToJson(result));
+    } else {
+        Json err = Json::object();
+        err.set("code", Json(errorCodeName(error)));
+        err.set("message", Json(message));
+        out.set("error", std::move(err));
+    }
+    return out;
+}
+
+/** One in-flight exploration shared by every coalesced waiter. */
+struct CompileService::Job
+{
+    Job(std::string key_, CompileRequest request_,
+        TensorComputation comp_, HardwareSpec hw_)
+        : key(std::move(key_)), request(std::move(request_)),
+          comp(std::move(comp_)), hw(std::move(hw_)),
+          future(promise.get_future().share())
+    {}
+
+    std::string key;
+    CompileRequest request;
+    TensorComputation comp;
+    HardwareSpec hw;
+
+    CancelToken token;
+    /// Waiters still interested; the last one to abandon cancels.
+    std::atomic<int> waiters{1};
+
+    std::promise<ServeOutcome> promise;
+    std::shared_future<ServeOutcome> future;
+};
+
+CompileService::CompileService(ServeOptions options)
+    : _options(options), _cache(options.cache),
+      _pool(std::make_unique<ThreadPool>(
+          ThreadPool::resolveThreads(
+              static_cast<int>(options.workers))))
+{
+    if (_options.warmOnStart && _cache.hasDisk())
+        _warmedEntries = _cache.warm();
+    if (_options.statsLogPeriodMs > 0)
+        _statsLogger = std::thread([this] { statsLoggerLoop(); });
+}
+
+CompileService::~CompileService()
+{
+    drain();
+}
+
+void
+CompileService::recordLatency(double ms)
+{
+    _latency.record(ms);
+}
+
+CompileService::Ticket
+CompileService::submit(const CompileRequest &req)
+{
+    Ticket ticket;
+    ticket._start = Clock::now();
+    _requests.fetch_add(1, std::memory_order_relaxed);
+
+    auto immediate = [&](ServeOutcome outcome) {
+        outcome.latencyMs = elapsedMs(ticket._start);
+        recordLatency(outcome.latencyMs);
+        ticket._immediate = std::move(outcome);
+        ticket._isImmediate = true;
+        return ticket;
+    };
+
+    // A draining service rejects everything, cache hits included:
+    // "shutting_down" must be the unambiguous answer once drain()
+    // was called, so clients fail over instead of lingering.
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_draining) {
+            ServeOutcome outcome;
+            outcome.error = ErrorCode::ShuttingDown;
+            outcome.message = "service is draining";
+            return immediate(std::move(outcome));
+        }
+    }
+
+    // Resolve the request to compiler inputs; a bad op/hw/knob is a
+    // typed rejection, not an exception escaping the server loop.
+    std::optional<TensorComputation> comp;
+    HardwareSpec spec;
+    std::string key;
+    try {
+        comp = computationFromRequest(req);
+        spec = hardwareFromRequest(req);
+        std::ostringstream k;
+        k << TuningCache::keyFor(*comp, spec) << "/g"
+          << req.generations << "_s" << req.seed;
+        key = k.str();
+    } catch (const std::exception &e) {
+        ServeOutcome outcome;
+        outcome.error = ErrorCode::BadRequest;
+        outcome.message = e.what();
+        return immediate(std::move(outcome));
+    }
+
+    if (req.deadlineMs > 0)
+        ticket._deadline =
+            ticket._start +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    req.deadlineMs));
+
+    // Tier 1/2 fast path: replay the persisted plan — one simulator
+    // run instead of an exploration.
+    TieredCache::Tier tier;
+    if (auto entry = _cache.get(key, &tier)) {
+        if (auto result = replayCacheEntry(*entry, *comp, spec)) {
+            ServeOutcome outcome;
+            outcome.ok = true;
+            outcome.result = std::move(*result);
+            outcome.servedBy =
+                tier == TieredCache::Tier::Memory ? "memory"
+                                                  : "disk";
+            (tier == TieredCache::Tier::Memory ? _memoryHits
+                                               : _diskHits)
+                .fetch_add(1, std::memory_order_relaxed);
+            return immediate(std::move(outcome));
+        }
+        // Stale entry (e.g. hardware spec evolved): re-explore.
+    }
+
+    std::shared_ptr<Job> job;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_draining) {
+            ServeOutcome outcome;
+            outcome.error = ErrorCode::ShuttingDown;
+            outcome.message = "service is draining";
+            return immediate(std::move(outcome));
+        }
+        auto it = _inflight.find(key);
+        if (it != _inflight.end()) {
+            // Coalesce: attach to the in-flight exploration. The
+            // join may only ever extend the job's deadline.
+            job = it->second;
+            job->waiters.fetch_add(1, std::memory_order_relaxed);
+            job->token.extendDeadline(ticket._deadline);
+            _coalesced.fetch_add(1, std::memory_order_relaxed);
+            ticket._job = std::move(job);
+            ticket._joiner = true;
+            return ticket;
+        }
+        if (_inflight.size() >= _options.maxQueue) {
+            _rejectedQueueFull.fetch_add(1,
+                                         std::memory_order_relaxed);
+            ServeOutcome outcome;
+            outcome.error = ErrorCode::QueueFull;
+            outcome.message =
+                "admission bound of " +
+                std::to_string(_options.maxQueue) +
+                " in-flight explorations reached";
+            return immediate(std::move(outcome));
+        }
+        job = std::make_shared<Job>(key, req, std::move(*comp),
+                                    std::move(spec));
+        job->token.setDeadline(ticket._deadline);
+        _inflight[key] = job;
+    }
+    _pool->submit([this, job] { runJob(job); });
+    ticket._job = std::move(job);
+    return ticket;
+}
+
+void
+CompileService::runJob(std::shared_ptr<Job> job)
+{
+    ServeOutcome outcome;
+    try {
+        // A request whose deadline fired while queued never starts.
+        job->token.checkpoint("queued request");
+        TuneOptions options = tuneOptionsFromRequest(job->request);
+        options.cancel = &job->token;
+        Compiler compiler(job->hw, options);
+        _compiles.fetch_add(1, std::memory_order_relaxed);
+        auto result = compiler.compile(job->comp);
+        if (result.tensorized && result.tuning.bestPlan) {
+            CacheEntry entry;
+            entry.intrinsicName =
+                result.tuning.bestPlan->intrinsic().name();
+            entry.mapping = result.tuning.bestPlan->mapping();
+            entry.schedule = result.tuning.bestSchedule;
+            entry.cycles = result.tuning.bestCycles;
+            _cache.put(job->key, entry);
+        }
+        outcome.ok = true;
+        outcome.result = std::move(result);
+        outcome.servedBy = "compile";
+    } catch (const CancelledError &e) {
+        outcome.error = job->token.deadlineExpired()
+                            ? ErrorCode::DeadlineExceeded
+                            : ErrorCode::Cancelled;
+        outcome.message = e.what();
+    } catch (const std::exception &e) {
+        outcome.error = ErrorCode::Internal;
+        outcome.message = e.what();
+    }
+    // Publish to the cache *before* leaving the in-flight map (done
+    // above), then deregister, then resolve the waiters: a racing
+    // submit always finds the result either in flight or cached.
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _inflight.erase(job->key);
+    }
+    job->promise.set_value(std::move(outcome));
+    _idle.notify_all();
+}
+
+ServeOutcome
+CompileService::wait(Ticket &ticket)
+{
+    if (ticket._isImmediate)
+        return ticket._immediate;
+    require(static_cast<bool>(ticket._job),
+            "CompileService::wait on an empty ticket");
+    auto job = ticket._job;
+
+    if (ticket._deadline != Clock::time_point::max() &&
+        job->future.wait_until(ticket._deadline) ==
+            std::future_status::timeout) {
+        if (!ticket._abandoned) {
+            ticket._abandoned = true;
+            // Last waiter out turns off the lights: cancel the
+            // exploration nobody is listening to any more.
+            if (job->waiters.fetch_sub(
+                    1, std::memory_order_acq_rel) == 1)
+                job->token.cancel();
+        }
+        _deadlineExceeded.fetch_add(1, std::memory_order_relaxed);
+        ServeOutcome outcome;
+        outcome.error = ErrorCode::DeadlineExceeded;
+        outcome.message = "deadline of " +
+                          fmtDouble(job->request.deadlineMs, 1) +
+                          " ms exceeded";
+        outcome.latencyMs = elapsedMs(ticket._start);
+        recordLatency(outcome.latencyMs);
+        return outcome;
+    }
+
+    ServeOutcome outcome = job->future.get();
+    if (outcome.ok && ticket._joiner)
+        outcome.servedBy = "coalesced";
+    if (!outcome.ok) {
+        switch (outcome.error) {
+        case ErrorCode::DeadlineExceeded:
+            _deadlineExceeded.fetch_add(1,
+                                        std::memory_order_relaxed);
+            break;
+        case ErrorCode::Cancelled:
+            _cancelled.fetch_add(1, std::memory_order_relaxed);
+            break;
+        default:
+            _failures.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+    }
+    outcome.latencyMs = elapsedMs(ticket._start);
+    recordLatency(outcome.latencyMs);
+    return outcome;
+}
+
+ServeOutcome
+CompileService::serve(const CompileRequest &req)
+{
+    auto ticket = submit(req);
+    return wait(ticket);
+}
+
+ServeStats
+CompileService::stats() const
+{
+    ServeStats out;
+    out.requests = _requests.load(std::memory_order_relaxed);
+    out.memoryHits = _memoryHits.load(std::memory_order_relaxed);
+    out.diskHits = _diskHits.load(std::memory_order_relaxed);
+    out.compiles = _compiles.load(std::memory_order_relaxed);
+    out.coalesced = _coalesced.load(std::memory_order_relaxed);
+    out.rejectedQueueFull =
+        _rejectedQueueFull.load(std::memory_order_relaxed);
+    out.deadlineExceeded =
+        _deadlineExceeded.load(std::memory_order_relaxed);
+    out.cancelled = _cancelled.load(std::memory_order_relaxed);
+    out.failures = _failures.load(std::memory_order_relaxed);
+    out.warmedEntries =
+        _warmedEntries.load(std::memory_order_relaxed);
+    out.latencyCount = _latency.count();
+    out.meanMs = _latency.meanMs();
+    out.p50Ms = _latency.quantileMs(0.50);
+    out.p95Ms = _latency.quantileMs(0.95);
+    out.p99Ms = _latency.quantileMs(0.99);
+    return out;
+}
+
+void
+CompileService::drain()
+{
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _draining = true;
+        _idle.wait(lock, [this] { return _inflight.empty(); });
+    }
+    {
+        std::lock_guard<std::mutex> lock(_loggerMutex);
+        _loggerStop = true;
+    }
+    _loggerCv.notify_all();
+    if (_statsLogger.joinable())
+        _statsLogger.join();
+    // Joining the pool here (not in ~CompileService) means drain()
+    // returns only after every worker ran to completion.
+    _pool.reset();
+}
+
+void
+CompileService::statsLoggerLoop()
+{
+    auto period = std::chrono::duration<double, std::milli>(
+        _options.statsLogPeriodMs);
+    std::unique_lock<std::mutex> lock(_loggerMutex);
+    for (;;) {
+        if (_loggerCv.wait_for(
+                lock,
+                std::chrono::duration_cast<Clock::duration>(period),
+                [this] { return _loggerStop; }))
+            return;
+        lock.unlock();
+        inform(stats().summary());
+        lock.lock();
+    }
+}
+
+} // namespace serve
+} // namespace amos

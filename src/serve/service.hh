@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The long-lived compilation service: an admission-bounded
+ * asynchronous request queue drained by a worker pool, with
+ * in-flight coalescing, a tiered tuning cache, per-request
+ * deadlines, and built-in counters/latency histograms.
+ *
+ * Request life cycle:
+ *
+ *   submit() ── cache hit ──────────────▶ ready ticket (memory/disk)
+ *      │
+ *      ├── identical exploration in flight ─▶ joins it (coalesced)
+ *      │
+ *      ├── admission bound hit ──────────▶ ready ticket (queue_full)
+ *      │
+ *      └── miss ─▶ job enqueued ─▶ worker explores ─▶ cache put
+ *                                         └─▶ all waiters resolved
+ *
+ * wait() applies the per-request deadline: a waiter whose deadline
+ * fires before the shared exploration finishes is answered with
+ * deadline_exceeded, and once the *last* waiter abandons a job its
+ * cancel token fires so the tuner unwinds instead of burning cycles
+ * for nobody. Deadlines also bound queue wait: workers poll the
+ * token before starting.
+ *
+ * Thread safety: every public member may be called from any thread.
+ */
+
+#ifndef AMOS_SERVE_SERVICE_HH
+#define AMOS_SERVE_SERVICE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "amos/amos.hh"
+#include "serve/protocol.hh"
+#include "serve/tiered_cache.hh"
+#include "support/cancellation.hh"
+#include "support/histogram.hh"
+#include "support/thread_pool.hh"
+
+namespace amos {
+namespace serve {
+
+/** Service configuration. */
+struct ServeOptions
+{
+    /// Compilation workers (0 = one per hardware thread).
+    std::size_t workers = 2;
+    /// Admission bound: distinct explorations queued or running
+    /// before submits are shed with queue_full. Coalesced joins and
+    /// cache hits never count against it.
+    std::size_t maxQueue = 64;
+    /// Cache tiers (memory capacity, disk directory, shards).
+    TieredCache::Options cache;
+    /// Preload the disk tier into memory at construction.
+    bool warmOnStart = true;
+    /// Period of the stats log line in ms (0 = disabled).
+    double statsLogPeriodMs = 0.0;
+};
+
+/** Monotonic counters + latency summary, readable at any time. */
+struct ServeStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t memoryHits = 0;
+    std::uint64_t diskHits = 0;
+    std::uint64_t compiles = 0;     ///< explorations actually run
+    std::uint64_t coalesced = 0;    ///< joins onto in-flight jobs
+    std::uint64_t rejectedQueueFull = 0;
+    std::uint64_t deadlineExceeded = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t warmedEntries = 0; ///< disk entries preloaded
+
+    std::uint64_t latencyCount = 0;
+    double meanMs = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+
+    Json toJson() const;
+    /** One-line summary for the periodic log. */
+    std::string summary() const;
+};
+
+/** Outcome of one served request. */
+struct ServeOutcome
+{
+    bool ok = false;
+    ErrorCode error = ErrorCode::Internal;
+    std::string message;
+    CompileResult result;
+    /// "memory" | "disk" | "compile" | "coalesced".
+    std::string servedBy;
+    double latencyMs = 0.0;
+
+    /** Response line ({"id":..,"ok":..,...}). */
+    Json toJson(const std::string &id) const;
+};
+
+/** The compilation service. */
+class CompileService
+{
+  public:
+    explicit CompileService(ServeOptions options);
+    /** Drains before destruction. */
+    ~CompileService();
+
+    CompileService(const CompileService &) = delete;
+    CompileService &operator=(const CompileService &) = delete;
+
+    class Ticket;
+
+    /**
+     * Admit a request. Never blocks on compilation: cache hits and
+     * rejections come back as already-resolved tickets; misses
+     * enqueue (or join) an exploration the returned ticket waits on.
+     */
+    Ticket submit(const CompileRequest &req);
+
+    /**
+     * Block until the ticket's outcome is ready or its request
+     * deadline fires, whichever is first.
+     */
+    ServeOutcome wait(Ticket &ticket);
+
+    /** submit() + wait() in one call. */
+    ServeOutcome serve(const CompileRequest &req);
+
+    ServeStats stats() const;
+
+    /**
+     * Graceful shutdown: stop admitting (subsequent submits are
+     * answered shutting_down), wait for every in-flight exploration
+     * to resolve, and stop the stats logger. Idempotent.
+     */
+    void drain();
+
+  private:
+    struct Job;
+
+    void runJob(std::shared_ptr<Job> job);
+    void recordLatency(double ms);
+    void statsLoggerLoop();
+
+    ServeOptions _options;
+    TieredCache _cache;
+    std::unique_ptr<ThreadPool> _pool;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _idle;
+    std::map<std::string, std::shared_ptr<Job>> _inflight;
+    bool _draining = false;
+
+    /// Counters (relaxed: read for reporting only).
+    std::atomic<std::uint64_t> _requests{0};
+    std::atomic<std::uint64_t> _memoryHits{0};
+    std::atomic<std::uint64_t> _diskHits{0};
+    std::atomic<std::uint64_t> _compiles{0};
+    std::atomic<std::uint64_t> _coalesced{0};
+    std::atomic<std::uint64_t> _rejectedQueueFull{0};
+    std::atomic<std::uint64_t> _deadlineExceeded{0};
+    std::atomic<std::uint64_t> _cancelled{0};
+    std::atomic<std::uint64_t> _failures{0};
+    std::atomic<std::uint64_t> _warmedEntries{0};
+
+    LatencyHistogram _latency;
+
+    std::thread _statsLogger;
+    std::mutex _loggerMutex;
+    std::condition_variable _loggerCv;
+    bool _loggerStop = false;
+};
+
+/** Handle to one submitted request (copyable; wait on any copy). */
+class CompileService::Ticket
+{
+    friend class CompileService;
+
+  public:
+    Ticket() = default;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /// Resolved-at-submit outcome (hits, rejections); _job empty.
+    ServeOutcome _immediate;
+    bool _isImmediate = false;
+
+    std::shared_ptr<Job> _job;
+    bool _joiner = false;
+    /// Set once this ticket was answered deadline_exceeded (wait
+    /// must not decrement the job's waiter count twice).
+    bool _abandoned = false;
+
+    Clock::time_point _start{};
+    Clock::time_point _deadline = Clock::time_point::max();
+};
+
+} // namespace serve
+} // namespace amos
+
+#endif // AMOS_SERVE_SERVICE_HH

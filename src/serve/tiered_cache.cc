@@ -1,0 +1,131 @@
+#include "tiered_cache.hh"
+
+#include <filesystem>
+#include <functional>
+
+#include "support/logging.hh"
+
+namespace amos {
+namespace serve {
+
+TieredCache::TieredCache(Options options)
+    : _options(std::move(options)),
+      _memory(_options.memoryCapacity)
+{
+    if (_options.diskShards == 0)
+        _options.diskShards = 1;
+    if (hasDisk()) {
+        std::filesystem::create_directories(_options.diskDir);
+        for (std::size_t s = 0; s < _options.diskShards; ++s)
+            _shardMutexes.push_back(std::make_unique<std::mutex>());
+    }
+}
+
+std::size_t
+TieredCache::memorySize() const
+{
+    std::lock_guard<std::mutex> lock(_memMutex);
+    return _memory.size();
+}
+
+std::size_t
+TieredCache::shardOf(const std::string &key) const
+{
+    return std::hash<std::string>{}(key) % _options.diskShards;
+}
+
+std::string
+TieredCache::shardPath(std::size_t shard) const
+{
+    return _options.diskDir + "/shard-" + std::to_string(shard) +
+           ".json";
+}
+
+std::optional<CacheEntry>
+TieredCache::get(const std::string &key, Tier *tier)
+{
+    if (tier)
+        *tier = Tier::None;
+    {
+        std::lock_guard<std::mutex> lock(_memMutex);
+        if (auto hit = _memory.get(key)) {
+            if (tier)
+                *tier = Tier::Memory;
+            return hit;
+        }
+    }
+    if (!hasDisk())
+        return std::nullopt;
+
+    std::size_t shard = shardOf(key);
+    std::optional<CacheEntry> found;
+    {
+        std::lock_guard<std::mutex> lock(*_shardMutexes[shard]);
+        auto store = TuningCache::loadFileIfExists(shardPath(shard));
+        found = store.tryGet(key);
+    }
+    if (!found)
+        return std::nullopt;
+    if (tier)
+        *tier = Tier::Disk;
+    std::lock_guard<std::mutex> lock(_memMutex);
+    _memory.put(key, *found);
+    return found;
+}
+
+void
+TieredCache::put(const std::string &key, const CacheEntry &entry)
+{
+    {
+        std::lock_guard<std::mutex> lock(_memMutex);
+        _memory.put(key, entry);
+    }
+    if (!hasDisk())
+        return;
+    std::size_t shard = shardOf(key);
+    std::lock_guard<std::mutex> lock(*_shardMutexes[shard]);
+    // Read-modify-write of one shard under its mutex; saveFile's
+    // temp+rename keeps concurrent processes from seeing torn files.
+    auto store = TuningCache::loadFileIfExists(shardPath(shard));
+    store.insert(key, entry);
+    store.saveFile(shardPath(shard));
+}
+
+std::size_t
+TieredCache::warm()
+{
+    if (!hasDisk())
+        return 0;
+    std::size_t loaded = 0;
+    for (std::size_t s = 0; s < _options.diskShards; ++s) {
+        std::vector<std::pair<std::string, CacheEntry>> entries;
+        {
+            std::lock_guard<std::mutex> lock(*_shardMutexes[s]);
+            entries = TuningCache::loadFileIfExists(shardPath(s))
+                          .snapshot();
+        }
+        std::lock_guard<std::mutex> lock(_memMutex);
+        for (auto &[key, entry] : entries) {
+            _memory.put(key, std::move(entry));
+            ++loaded;
+        }
+    }
+    return loaded;
+}
+
+std::size_t
+TieredCache::diskSize() const
+{
+    if (!hasDisk())
+        return 0;
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < _options.diskShards; ++s) {
+        std::lock_guard<std::mutex> lock(*_shardMutexes[s]);
+        total +=
+            TuningCache::loadFileIfExists(shardPath(s)).size();
+    }
+    return total;
+}
+
+} // namespace serve
+} // namespace amos

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Two-tier tuning cache for the compilation service.
+ *
+ * Tier 1 is a bounded in-memory LRU of CacheEntry values (hot
+ * working set, lock-free of I/O). Tier 2 is a sharded on-disk store:
+ * keys hash across N shard files, each an ordinary TuningCache JSON
+ * document written with the crash-safe temp+rename protocol, so a
+ * restarted server warms its memory tier from whatever the previous
+ * process persisted. A disk hit is promoted into the memory tier.
+ *
+ * Sharding keeps both the write amplification (one insert rewrites
+ * one shard, not the whole store) and the lock granularity (per
+ * shard) proportional to 1/N.
+ */
+
+#ifndef AMOS_SERVE_TIERED_CACHE_HH
+#define AMOS_SERVE_TIERED_CACHE_HH
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "amos/cache.hh"
+#include "support/lru.hh"
+
+namespace amos {
+namespace serve {
+
+/** In-memory LRU over a sharded on-disk TuningCache store. */
+class TieredCache
+{
+  public:
+    struct Options
+    {
+        /// Memory-tier entry bound (0 = unbounded).
+        std::size_t memoryCapacity = 256;
+        /// Disk-tier directory; empty disables the disk tier.
+        std::string diskDir;
+        /// Shard-file count of the disk tier.
+        std::size_t diskShards = 8;
+    };
+
+    /** Which tier answered a get(). */
+    enum class Tier
+    {
+        None,
+        Memory,
+        Disk,
+    };
+
+    explicit TieredCache(Options options);
+
+    bool hasDisk() const { return !_options.diskDir.empty(); }
+    std::size_t memorySize() const;
+
+    /**
+     * Look a key up, memory tier first; a disk hit is promoted into
+     * memory. `tier` (when given) reports which tier answered.
+     */
+    std::optional<CacheEntry> get(const std::string &key,
+                                  Tier *tier = nullptr);
+
+    /** Insert into the memory tier and persist to the disk shard. */
+    void put(const std::string &key, const CacheEntry &entry);
+
+    /**
+     * Preload every disk shard into the memory tier (up to its
+     * capacity); returns the number of entries loaded. Called once
+     * at server start.
+     */
+    std::size_t warm();
+
+    /** Total entries across all disk shards (0 without a disk). */
+    std::size_t diskSize() const;
+
+  private:
+    std::size_t shardOf(const std::string &key) const;
+    std::string shardPath(std::size_t shard) const;
+
+    Options _options;
+
+    mutable std::mutex _memMutex;
+    LruMap<std::string, CacheEntry> _memory;
+
+    /// One lock per shard file serialises its read-modify-write.
+    std::vector<std::unique_ptr<std::mutex>> _shardMutexes;
+};
+
+} // namespace serve
+} // namespace amos
+
+#endif // AMOS_SERVE_TIERED_CACHE_HH

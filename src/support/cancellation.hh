@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Cooperative cancellation: a token that long-running work (the
+ * mapping tuner, a queued serve request) polls at safe points.
+ *
+ * A token is cancelled either explicitly (cancel()) or implicitly by
+ * an attached deadline. checkpoint() turns a cancelled token into a
+ * CancelledError, which unwinds out of the tuner's generation loop
+ * and is mapped to a typed serve error by the caller.
+ *
+ * Deadlines only ever move *later*: extendDeadline() takes the max,
+ * so a coalesced request joining an in-flight exploration can keep
+ * it alive past the original requester's deadline but can never
+ * shorten someone else's budget.
+ */
+
+#ifndef AMOS_SUPPORT_CANCELLATION_HH
+#define AMOS_SUPPORT_CANCELLATION_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace amos {
+
+/** Exception thrown by CancelToken::checkpoint(). */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Thread-safe cancellation flag with an optional monotonic deadline.
+ * All members are lock-free; a token may be polled from many worker
+ * threads while another thread cancels or extends the deadline.
+ */
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Request cancellation (idempotent). */
+    void
+    cancel()
+    {
+        _cancelled.store(true, std::memory_order_relaxed);
+    }
+
+    /** Replace the deadline (kNoDeadline clears it). */
+    void
+    setDeadline(Clock::time_point tp)
+    {
+        _deadlineNs.store(tp.time_since_epoch().count(),
+                          std::memory_order_relaxed);
+    }
+
+    /**
+     * Move the deadline later (to the max of the current and given
+     * values); passing Clock::time_point::max() clears it entirely.
+     */
+    void
+    extendDeadline(Clock::time_point tp)
+    {
+        std::int64_t want = tp.time_since_epoch().count();
+        std::int64_t cur =
+            _deadlineNs.load(std::memory_order_relaxed);
+        while (cur < want &&
+               !_deadlineNs.compare_exchange_weak(
+                   cur, want, std::memory_order_relaxed)) {
+        }
+    }
+
+    bool
+    hasDeadline() const
+    {
+        return _deadlineNs.load(std::memory_order_relaxed) !=
+               kNoDeadline;
+    }
+
+    /** The deadline (time_point::max() when none is set). */
+    Clock::time_point
+    deadline() const
+    {
+        return Clock::time_point(Clock::duration(
+            _deadlineNs.load(std::memory_order_relaxed)));
+    }
+
+    /** True once the deadline (if any) has passed. */
+    bool
+    deadlineExpired() const
+    {
+        std::int64_t ns =
+            _deadlineNs.load(std::memory_order_relaxed);
+        return ns != kNoDeadline &&
+               Clock::now().time_since_epoch().count() >= ns;
+    }
+
+    /** True when cancelled explicitly or via the deadline. */
+    bool
+    cancelled() const
+    {
+        return _cancelled.load(std::memory_order_relaxed) ||
+               deadlineExpired();
+    }
+
+    /** Throw CancelledError when cancelled (the polling point). */
+    void
+    checkpoint(const char *what = "operation") const
+    {
+        if (!cancelled())
+            return;
+        throw CancelledError(
+            std::string(what) +
+            (deadlineExpired() ? ": deadline exceeded"
+                               : ": cancelled"));
+    }
+
+  private:
+    static constexpr std::int64_t kNoDeadline =
+        std::numeric_limits<std::int64_t>::max();
+
+    std::atomic<bool> _cancelled{false};
+    std::atomic<std::int64_t> _deadlineNs{kNoDeadline};
+};
+
+} // namespace amos
+
+#endif // AMOS_SUPPORT_CANCELLATION_HH

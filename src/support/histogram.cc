@@ -1,0 +1,108 @@
+#include "histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amos {
+
+namespace {
+
+// Buckets span [kLoMs, kLoMs * kGrowth^kBuckets): 1us .. ~128s with
+// a 1.25x growth factor needs ceil(log(1.28e8)/log(1.25)) = 84.
+constexpr double kLoMs = 1e-3;
+constexpr double kGrowth = 1.25;
+constexpr std::size_t kBuckets = 84;
+
+std::size_t
+bucketFor(double ms)
+{
+    if (ms <= kLoMs)
+        return 0;
+    auto idx = static_cast<std::size_t>(
+        std::log(ms / kLoMs) / std::log(kGrowth));
+    return std::min(idx, kBuckets - 1);
+}
+
+/** Geometric midpoint of a bucket. */
+double
+bucketMid(std::size_t idx)
+{
+    double lo = kLoMs * std::pow(kGrowth, static_cast<double>(idx));
+    return lo * std::sqrt(kGrowth);
+}
+
+} // namespace
+
+LatencyHistogram::LatencyHistogram() : _buckets(kBuckets, 0) {}
+
+void
+LatencyHistogram::record(double ms)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_buckets[bucketFor(ms)];
+    if (_count == 0) {
+        _min = _max = ms;
+    } else {
+        _min = std::min(_min, ms);
+        _max = std::max(_max, ms);
+    }
+    ++_count;
+    _sum += ms;
+}
+
+std::uint64_t
+LatencyHistogram::count() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _count;
+}
+
+double
+LatencyHistogram::meanMs() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _count == 0 ? 0.0 : _sum / static_cast<double>(_count);
+}
+
+double
+LatencyHistogram::quantileLocked(double q) const
+{
+    if (_count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th sample, 1-based, ceil for the usual "at least
+    // a fraction q of samples are <= the answer" reading.
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(_count)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        seen += _buckets[i];
+        if (seen >= rank)
+            return std::clamp(bucketMid(i), _min, _max);
+    }
+    return _max;
+}
+
+double
+LatencyHistogram::quantileMs(double q) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return quantileLocked(q);
+}
+
+Json
+LatencyHistogram::summaryJson() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Json out = Json::object();
+    out.set("count", Json(static_cast<std::int64_t>(_count)));
+    out.set("mean_ms",
+            Json(_count ? _sum / static_cast<double>(_count) : 0.0));
+    out.set("p50_ms", Json(quantileLocked(0.50)));
+    out.set("p95_ms", Json(quantileLocked(0.95)));
+    out.set("p99_ms", Json(quantileLocked(0.99)));
+    return out;
+}
+
+} // namespace amos

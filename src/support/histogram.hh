@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Log-bucketed latency histogram for the serve layer's p50/p95/p99
+ * reporting. Buckets grow geometrically from 1 microsecond to ~100
+ * seconds, so the relative quantile error is bounded by the bucket
+ * growth factor (~12%) at every scale; exact min/max are tracked on
+ * the side and clamp the interpolated estimates.
+ */
+
+#ifndef AMOS_SUPPORT_HISTOGRAM_HH
+#define AMOS_SUPPORT_HISTOGRAM_HH
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace amos {
+
+/** Thread-safe histogram of latencies in milliseconds. */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram();
+
+    /** Record one sample (values <= 0 land in the first bucket). */
+    void record(double ms);
+
+    std::uint64_t count() const;
+
+    /** Mean of all recorded samples (0 when empty). */
+    double meanMs() const;
+
+    /**
+     * Quantile estimate for q in [0, 1] (0 when empty): the
+     * geometric midpoint of the bucket holding the q-th sample,
+     * clamped to the observed [min, max].
+     */
+    double quantileMs(double q) const;
+
+    /** {"count":..,"mean_ms":..,"p50_ms":..,"p95_ms":..,"p99_ms":..} */
+    Json summaryJson() const;
+
+  private:
+    double quantileLocked(double q) const;
+
+    mutable std::mutex _mutex;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+} // namespace amos
+
+#endif // AMOS_SUPPORT_HISTOGRAM_HH

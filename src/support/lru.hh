@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Intrusive-list LRU map: O(1) get/put with eviction of the least
+ * recently used entry once capacity is exceeded. The serve layer's
+ * in-memory cache tier wraps one of these behind its own mutex; the
+ * container itself is deliberately not synchronised so callers can
+ * batch several operations under one lock.
+ */
+
+#ifndef AMOS_SUPPORT_LRU_HH
+#define AMOS_SUPPORT_LRU_HH
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace amos {
+
+/** Bounded map with least-recently-used eviction (0 = unbounded). */
+template <typename Key, typename Value>
+class LruMap
+{
+  public:
+    explicit LruMap(std::size_t capacity = 0) : _capacity(capacity)
+    {}
+
+    std::size_t size() const { return _index.size(); }
+    std::size_t capacity() const { return _capacity; }
+
+    /** Copy of the value, refreshing recency; nullopt on miss. */
+    std::optional<Value>
+    get(const Key &key)
+    {
+        auto it = _index.find(key);
+        if (it == _index.end())
+            return std::nullopt;
+        _order.splice(_order.begin(), _order, it->second);
+        return it->second->second;
+    }
+
+    /** True without refreshing recency (read-only probe). */
+    bool
+    contains(const Key &key) const
+    {
+        return _index.count(key) > 0;
+    }
+
+    /**
+     * Insert or overwrite; the entry becomes most recent. Returns
+     * the evicted key when the insert pushed one out.
+     */
+    std::optional<Key>
+    put(const Key &key, Value value)
+    {
+        auto it = _index.find(key);
+        if (it != _index.end()) {
+            it->second->second = std::move(value);
+            _order.splice(_order.begin(), _order, it->second);
+            return std::nullopt;
+        }
+        _order.emplace_front(key, std::move(value));
+        _index[key] = _order.begin();
+        if (_capacity == 0 || _index.size() <= _capacity)
+            return std::nullopt;
+        Key evicted = _order.back().first;
+        _index.erase(evicted);
+        _order.pop_back();
+        return evicted;
+    }
+
+    void
+    clear()
+    {
+        _order.clear();
+        _index.clear();
+    }
+
+  private:
+    std::size_t _capacity;
+    /// Most recent at the front.
+    std::list<std::pair<Key, Value>> _order;
+    std::unordered_map<
+        Key, typename std::list<std::pair<Key, Value>>::iterator>
+        _index;
+};
+
+} // namespace amos
+
+#endif // AMOS_SUPPORT_LRU_HH

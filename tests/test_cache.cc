@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -128,6 +129,84 @@ TEST(TuningCacheTest, FileRoundTrip)
     EXPECT_THROW(loaded.lookup("absent"), PanicError);
     EXPECT_THROW(TuningCache::loadFile("/no/such/file.json"),
                  FatalError);
+}
+
+TEST(TuningCacheTest, SaveIsAtomicAndLeavesNoTempFile)
+{
+    TuningCache cache;
+    CacheEntry entry;
+    entry.intrinsicName = "wmma_16x16x16";
+    entry.mapping.groups = {{0}, {1}, {4}};
+    entry.cycles = 3.0;
+    cache.insert("k", entry);
+
+    std::string path = "/tmp/amos_cache_atomic.json";
+    // Overwrite an existing (stale) file: the temp-then-rename
+    // protocol must replace it wholesale and clean up the temp.
+    {
+        std::ofstream stale(path);
+        stale << "stale garbage";
+    }
+    cache.saveFile(path);
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    auto loaded = TuningCache::loadFile(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_TRUE(loaded.contains("k"));
+}
+
+TEST(TuningCacheTest, LoadToleratesTruncatedFile)
+{
+    // A crash mid-write before the rename never corrupts the real
+    // file; but a file truncated by other means must not take the
+    // process down — it degrades to an empty cache.
+    std::string path = "/tmp/amos_cache_truncated.json";
+    {
+        std::ofstream out(path);
+        out << R"({"k1":{"intrinsic":"wmma_16x16x16","mapping")";
+    }
+    auto loaded = TuningCache::loadFile(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST(TuningCacheTest, LoadSkipsCorruptEntriesKeepsGoodOnes)
+{
+    TuningCache cache;
+    CacheEntry entry;
+    entry.intrinsicName = "wmma_16x16x16";
+    entry.mapping.groups = {{0}, {1}, {4}};
+    entry.cycles = 9.0;
+    cache.insert("good", entry);
+    auto doc = cache.toJson();
+    // A structurally broken sibling entry: mapping is a string.
+    auto bad = Json::parse(R"({"intrinsic":"x","mapping":"?"})");
+    doc.set("bad", std::move(bad));
+
+    auto loaded = TuningCache::fromJson(doc);
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_TRUE(loaded.contains("good"));
+    EXPECT_FALSE(loaded.contains("bad"));
+    EXPECT_DOUBLE_EQ(loaded.lookup("good").cycles, 9.0);
+}
+
+TEST(TuningCacheTest, LoadFileIfExistsHandlesMissingFile)
+{
+    auto cache =
+        TuningCache::loadFileIfExists("/no/such/amos_cache.json");
+    EXPECT_EQ(cache.size(), 0u);
+
+    // And loads a real file when present.
+    TuningCache source;
+    CacheEntry entry;
+    entry.intrinsicName = "wmma_16x16x16";
+    entry.mapping.groups = {{0}, {1}, {4}};
+    source.insert("k", entry);
+    std::string path = "/tmp/amos_cache_ifexists.json";
+    source.saveFile(path);
+    auto loaded = TuningCache::loadFileIfExists(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(loaded.size(), 1u);
 }
 
 TEST(CompileWithCache, MissTunesAndPopulates)

@@ -1,0 +1,477 @@
+/**
+ * @file
+ * Tests for the compilation service: protocol round-trips, cache
+ * tiering (memory hit, disk hit, restart warm-up), in-flight
+ * coalescing under a concurrent-client hammer, deadline and
+ * queue-full error paths, graceful drain, and the NDJSON server
+ * loop. The hammer and drain tests run under TSan in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hh"
+#include "serve/service.hh"
+
+namespace amos {
+namespace serve {
+namespace {
+
+/** A cheap exploration: small gemm, two generations. */
+CompileRequest
+fastRequest()
+{
+    CompileRequest req;
+    req.op = "gemm";
+    req.dims = {{"m", 64}, {"n", 64}, {"k", 64}};
+    req.hw = "v100";
+    req.generations = 2;
+    return req;
+}
+
+/** An exploration slow enough to still be running mid-test. */
+CompileRequest
+slowRequest(int variant = 0)
+{
+    CompileRequest req;
+    req.op = "conv2d";
+    req.dims = {{"batch", 8 + variant}, {"cin", 128},
+                {"cout", 128},          {"size", 28},
+                {"kernel", 3}};
+    req.hw = "v100";
+    req.generations = 120;
+    return req;
+}
+
+/** Unique scratch directory for disk-tier tests. */
+std::string
+freshDiskDir(const std::string &tag)
+{
+    auto dir = std::filesystem::temp_directory_path() /
+               ("amos_serve_" + tag + "_" +
+                std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+TEST(Protocol, RequestRoundTrip)
+{
+    CompileRequest req;
+    req.id = "r42";
+    req.op = "gemm";
+    req.dims = {{"m", 128}, {"n", 64}, {"k", 32}};
+    req.hw = "a100";
+    req.generations = 5;
+    req.seed = 7;
+    req.deadlineMs = 250.0;
+    auto round = CompileRequest::fromJson(
+        Json::parse(req.toJson().dump()));
+    EXPECT_EQ(round.id, "r42");
+    EXPECT_EQ(round.op, "gemm");
+    EXPECT_EQ(round.hw, "a100");
+    EXPECT_EQ(round.dims, req.dims);
+    EXPECT_EQ(round.generations, 5);
+    EXPECT_EQ(round.seed, 7u);
+    EXPECT_DOUBLE_EQ(round.deadlineMs, 250.0);
+    EXPECT_EQ(round.cacheKey(), req.cacheKey());
+}
+
+TEST(Protocol, CacheKeySeparatesSearchKnobs)
+{
+    auto a = fastRequest();
+    auto b = fastRequest();
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+    b.generations = 3;
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+    b = fastRequest();
+    b.seed = 1;
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+    b = fastRequest();
+    b.hw = "a100";
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+    // Deadlines and threads do not change the artifact.
+    b = fastRequest();
+    b.deadlineMs = 9.0;
+    b.numThreads = 4;
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+}
+
+TEST(Protocol, RejectsMalformedRequests)
+{
+    EXPECT_THROW(CompileRequest::fromJson(Json::parse("[1,2]")),
+                 FatalError);
+    EXPECT_THROW(CompileRequest::fromJson(Json::parse(
+                     R"({"type":"stats"})")),
+                 FatalError);
+    EXPECT_THROW(CompileRequest::fromJson(Json::parse(
+                     R"({"op":"gemm","m":"wide"})")),
+                 FatalError);
+    EXPECT_THROW(CompileRequest::fromJson(Json::parse(
+                     R"({"generations":0})")),
+                 FatalError);
+}
+
+TEST(Protocol, ResultJsonCarriesTheReportFields)
+{
+    CompileResult result;
+    result.tensorized = true;
+    result.cycles = 123.0;
+    result.milliseconds = 0.5;
+    result.gflops = 9.0;
+    result.mappingsExplored = 4;
+    result.measurements = 17;
+    result.mappingSignature = "[n | k | c]";
+    auto json = compileResultToJson(result);
+    EXPECT_TRUE(json.get("tensorized").asBool());
+    EXPECT_DOUBLE_EQ(json.get("cycles").asNumber(), 123.0);
+    EXPECT_EQ(json.get("mappings_explored").asInt(), 4);
+    EXPECT_EQ(json.get("measurements").asInt(), 17);
+    EXPECT_EQ(json.get("mapping_signature").asString(),
+              "[n | k | c]");
+    EXPECT_FALSE(json.has("pseudo_code"));
+}
+
+TEST(Service, BadRequestsAreTypedErrors)
+{
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+    auto bad_op = fastRequest();
+    bad_op.op = "fft";
+    auto outcome = service.serve(bad_op);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.error, ErrorCode::BadRequest);
+
+    auto bad_hw = fastRequest();
+    bad_hw.hw = "tpu";
+    outcome = service.serve(bad_hw);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.error, ErrorCode::BadRequest);
+    EXPECT_EQ(service.stats().compiles, 0u);
+}
+
+TEST(Service, RepeatHitsMemoryTierWithoutExploring)
+{
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+
+    auto miss = service.serve(fastRequest());
+    ASSERT_TRUE(miss.ok);
+    EXPECT_EQ(miss.servedBy, "compile");
+    EXPECT_GT(miss.result.measurements, 0);
+
+    auto hit = service.serve(fastRequest());
+    ASSERT_TRUE(hit.ok);
+    EXPECT_EQ(hit.servedBy, "memory");
+    // The replay performs zero tuner measurements and reproduces
+    // the tuned latency bit-for-bit.
+    EXPECT_EQ(hit.result.measurements, 0);
+    EXPECT_DOUBLE_EQ(hit.result.cycles, miss.result.cycles);
+
+    auto stats = service.stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.compiles, 1u);
+    EXPECT_EQ(stats.memoryHits, 1u);
+    EXPECT_EQ(stats.latencyCount, 2u);
+}
+
+TEST(Service, HammerCoalescesIdenticalRequests)
+{
+    // N concurrent identical requests must trigger exactly ONE
+    // exploration: whoever arrives while it runs joins it, whoever
+    // arrives after it finished hits the memory tier.
+    const int clients = 16;
+    ServeOptions options;
+    options.workers = 2;
+    CompileService service(options);
+
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<ServeOutcome> outcomes(clients);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c)
+        threads.emplace_back([&, c] {
+            ready.fetch_add(1);
+            while (!go.load(std::memory_order_relaxed))
+                std::this_thread::yield();
+            outcomes[c] = service.serve(fastRequest());
+        });
+    while (ready.load() < clients)
+        std::this_thread::yield();
+    go.store(true);
+    for (auto &t : threads)
+        t.join();
+
+    for (const auto &outcome : outcomes) {
+        ASSERT_TRUE(outcome.ok) << outcome.message;
+        EXPECT_TRUE(outcome.servedBy == "compile" ||
+                    outcome.servedBy == "coalesced" ||
+                    outcome.servedBy == "memory")
+            << outcome.servedBy;
+        EXPECT_GT(outcome.result.cycles, 0.0);
+    }
+    auto stats = service.stats();
+    EXPECT_EQ(stats.compiles, 1u);
+    EXPECT_EQ(stats.coalesced + stats.memoryHits,
+              static_cast<std::uint64_t>(clients - 1));
+    EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(clients));
+}
+
+TEST(Service, DeadlineExceededCancelsTheExploration)
+{
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+
+    auto req = slowRequest();
+    req.deadlineMs = 30.0;
+    auto outcome = service.serve(req);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.error, ErrorCode::DeadlineExceeded);
+    EXPECT_GE(service.stats().deadlineExceeded, 1u);
+
+    // The cancelled exploration must not have poisoned the cache:
+    // a follow-up with no deadline compiles cleanly.
+    auto retry = slowRequest();
+    retry.generations = 1;
+    auto ok = service.serve(retry);
+    EXPECT_TRUE(ok.ok);
+}
+
+TEST(Service, QueueFullShedsLoad)
+{
+    ServeOptions options;
+    options.workers = 1;
+    options.maxQueue = 1;
+    CompileService service(options);
+
+    auto first = service.submit(slowRequest(0));
+    // Distinct workload while the only slot is occupied: shed.
+    auto shed = service.submit(slowRequest(1));
+    auto shed_outcome = service.wait(shed);
+    EXPECT_FALSE(shed_outcome.ok);
+    EXPECT_EQ(shed_outcome.error, ErrorCode::QueueFull);
+
+    // An identical request coalesces instead of being shed.
+    auto joined = service.submit(slowRequest(0));
+    auto first_outcome = service.wait(first);
+    auto joined_outcome = service.wait(joined);
+    EXPECT_TRUE(first_outcome.ok);
+    EXPECT_TRUE(joined_outcome.ok);
+    EXPECT_EQ(joined_outcome.servedBy, "coalesced");
+
+    auto stats = service.stats();
+    EXPECT_EQ(stats.rejectedQueueFull, 1u);
+    EXPECT_EQ(stats.coalesced, 1u);
+    EXPECT_EQ(stats.compiles, 1u);
+}
+
+TEST(Service, RestartWarmsFromDiskTier)
+{
+    auto dir = freshDiskDir("warm");
+    auto req = fastRequest();
+
+    {
+        ServeOptions options;
+        options.workers = 1;
+        options.cache.diskDir = dir;
+        options.cache.diskShards = 4;
+        CompileService service(options);
+        auto cold = service.serve(req);
+        ASSERT_TRUE(cold.ok);
+        EXPECT_EQ(cold.servedBy, "compile");
+        service.drain(); // clean shutdown persists the disk tier
+    }
+
+    {
+        // A fresh process image: the disk tier warms the memory
+        // tier, so the repeated request never re-explores.
+        ServeOptions options;
+        options.workers = 1;
+        options.cache.diskDir = dir;
+        options.cache.diskShards = 4;
+        CompileService service(options);
+        EXPECT_GE(service.stats().warmedEntries, 1u);
+        auto warm = service.serve(req);
+        ASSERT_TRUE(warm.ok);
+        EXPECT_EQ(warm.servedBy, "memory");
+        EXPECT_EQ(service.stats().compiles, 0u);
+    }
+
+    {
+        // Without warm-up the first hit is served by the disk tier
+        // and promoted; the second comes from memory.
+        ServeOptions options;
+        options.workers = 1;
+        options.cache.diskDir = dir;
+        options.cache.diskShards = 4;
+        options.warmOnStart = false;
+        CompileService service(options);
+        auto disk = service.serve(req);
+        ASSERT_TRUE(disk.ok);
+        EXPECT_EQ(disk.servedBy, "disk");
+        auto mem = service.serve(req);
+        ASSERT_TRUE(mem.ok);
+        EXPECT_EQ(mem.servedBy, "memory");
+        auto stats = service.stats();
+        EXPECT_EQ(stats.diskHits, 1u);
+        EXPECT_EQ(stats.memoryHits, 1u);
+        EXPECT_EQ(stats.compiles, 0u);
+    }
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Service, DrainFinishesInflightAndRejectsNewWork)
+{
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+
+    auto ticket = service.submit(fastRequest());
+    service.drain(); // must block until the exploration resolves
+
+    auto outcome = service.wait(ticket);
+    EXPECT_TRUE(outcome.ok);
+
+    auto late = service.serve(fastRequest());
+    EXPECT_FALSE(late.ok);
+    EXPECT_EQ(late.error, ErrorCode::ShuttingDown);
+}
+
+TEST(TieredCacheTest, LruBoundHoldsAndDiskBacksEvictions)
+{
+    auto dir = freshDiskDir("lru");
+    TieredCache::Options options;
+    options.memoryCapacity = 2;
+    options.diskDir = dir;
+    options.diskShards = 2;
+    TieredCache cache(options);
+
+    CacheEntry entry;
+    entry.intrinsicName = "wmma_16x16x16";
+    entry.mapping.groups = {{0}, {1}, {4}};
+    entry.cycles = 1.0;
+    cache.put("a", entry);
+    cache.put("b", entry);
+    cache.put("c", entry); // evicts "a" from memory, not from disk
+    EXPECT_EQ(cache.memorySize(), 2u);
+    EXPECT_EQ(cache.diskSize(), 3u);
+
+    TieredCache::Tier tier;
+    auto got = cache.get("a", &tier);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(tier, TieredCache::Tier::Disk);
+    // The disk hit was promoted.
+    got = cache.get("a", &tier);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(tier, TieredCache::Tier::Memory);
+
+    EXPECT_FALSE(cache.get("absent", &tier).has_value());
+    EXPECT_EQ(tier, TieredCache::Tier::None);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Server, StreamServesAndCoalescesOverNdjson)
+{
+    ServeOptions options;
+    options.workers = 2;
+    CompileService service(options);
+
+    std::string gemm =
+        R"("op":"gemm","m":64,"n":64,"k":64,"hw":"v100",)"
+        R"("generations":2)";
+    std::istringstream in(
+        "{\"type\":\"compile\",\"id\":\"a\"," + gemm + "}\n" +
+        "{\"type\":\"compile\",\"id\":\"b\"," + gemm + "}\n" +
+        "not json\n"
+        "{\"type\":\"stats\",\"id\":\"s\"}\n"
+        "{\"type\":\"shutdown\"}\n");
+    std::ostringstream out;
+    int errors = serveStream(service, in, out);
+    EXPECT_EQ(errors, 1); // the "not json" line
+
+    // Responses may interleave: index them by id.
+    std::map<std::string, Json> by_id;
+    Json stats_line;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        auto json = Json::parse(line);
+        if (json.has("stats"))
+            stats_line = json;
+        else if (json.has("id"))
+            by_id[json.get("id").asString()] = json;
+        else
+            EXPECT_FALSE(json.get("ok").asBool());
+    }
+    ASSERT_TRUE(by_id.count("a"));
+    ASSERT_TRUE(by_id.count("b"));
+    EXPECT_TRUE(by_id["a"].get("ok").asBool());
+    EXPECT_TRUE(by_id["b"].get("ok").asBool());
+    // One of the two identical requests compiled; the other was
+    // coalesced onto it or found it in the memory tier.
+    std::string sa = by_id["a"].get("served_by").asString();
+    std::string sb = by_id["b"].get("served_by").asString();
+    EXPECT_TRUE((sa == "compile") != (sb == "compile"))
+        << sa << " / " << sb;
+    EXPECT_EQ(service.stats().compiles, 1u);
+    ASSERT_FALSE(stats_line.isNull());
+    EXPECT_GE(stats_line.get("stats")
+                  .get("requests")
+                  .asInt(),
+              2);
+}
+
+TEST(Server, ReplayTraceIsDeterministic)
+{
+    auto dir = freshDiskDir("replay");
+    std::string trace_path = dir + "/trace.ndjson";
+    {
+        std::ofstream trace(trace_path);
+        std::string gemm =
+            R"({"type":"compile","op":"gemm","m":64,"n":64,)"
+            R"("k":64,"hw":"v100","generations":2,"id":)";
+        trace << "# cold, then repeated (must hit), then distinct\n";
+        trace << gemm << "\"t1\"}\n";
+        trace << gemm << "\"t2\"}\n";
+        trace << R"({"type":"compile","op":"gemv","m":256,)"
+              << R"("k":256,"hw":"vgemv","generations":2,)"
+              << R"("id":"t3"})" << "\n";
+    }
+
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+    std::ostringstream out;
+    int failed = replayTrace(service, trace_path, out);
+    EXPECT_EQ(failed, 0);
+
+    std::vector<Json> lines;
+    std::istringstream parsed(out.str());
+    std::string line;
+    while (std::getline(parsed, line))
+        lines.push_back(Json::parse(line));
+    ASSERT_EQ(lines.size(), 4u); // 3 responses + final stats
+    EXPECT_EQ(lines[0].get("served_by").asString(), "compile");
+    EXPECT_EQ(lines[1].get("served_by").asString(), "memory");
+    EXPECT_EQ(lines[2].get("served_by").asString(), "compile");
+    EXPECT_EQ(lines[3].get("stats").get("memory_hits").asInt(), 1);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace serve
+} // namespace amos

@@ -1,13 +1,21 @@
 /**
  * @file
  * Unit tests for the support library: bit matrices, math helpers,
- * logging, string utilities, and the seeded RNG.
+ * logging, string utilities, the seeded RNG, the LRU map, the
+ * latency histogram, and the cancellation token.
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <string>
+#include <vector>
+
 #include "support/bit_matrix.hh"
+#include "support/cancellation.hh"
+#include "support/histogram.hh"
 #include "support/logging.hh"
+#include "support/lru.hh"
 #include "support/math_utils.hh"
 #include "support/rng.hh"
 #include "support/str_utils.hh"
@@ -206,6 +214,109 @@ TEST(Rng, ChoicePicksExistingElements)
     }
     std::vector<int> empty;
     EXPECT_THROW(rng.choice(empty), PanicError);
+}
+
+TEST(LruMap, EvictsLeastRecentlyUsed)
+{
+    LruMap<std::string, int> lru(2);
+    EXPECT_FALSE(lru.put("a", 1).has_value());
+    EXPECT_FALSE(lru.put("b", 2).has_value());
+    // Touch "a" so "b" becomes the eviction victim.
+    EXPECT_EQ(lru.get("a").value(), 1);
+    auto evicted = lru.put("c", 3);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, "b");
+    EXPECT_FALSE(lru.get("b").has_value());
+    EXPECT_TRUE(lru.contains("a"));
+    EXPECT_TRUE(lru.contains("c"));
+    EXPECT_EQ(lru.size(), 2u);
+}
+
+TEST(LruMap, PutOverwritesWithoutEvicting)
+{
+    LruMap<std::string, int> lru(2);
+    lru.put("a", 1);
+    lru.put("b", 2);
+    EXPECT_FALSE(lru.put("a", 10).has_value());
+    EXPECT_EQ(lru.get("a").value(), 10);
+    EXPECT_EQ(lru.size(), 2u);
+}
+
+TEST(LruMap, ZeroCapacityIsUnbounded)
+{
+    LruMap<int, int> lru(0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(lru.put(i, i).has_value());
+    EXPECT_EQ(lru.size(), 100u);
+}
+
+TEST(LatencyHistogram, QuantilesBracketTheSamples)
+{
+    LatencyHistogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_DOUBLE_EQ(hist.quantileMs(0.5), 0.0);
+    for (int i = 1; i <= 100; ++i)
+        hist.record(static_cast<double>(i)); // 1..100 ms
+    EXPECT_EQ(hist.count(), 100u);
+    EXPECT_NEAR(hist.meanMs(), 50.5, 1e-9);
+    // Log-bucketed estimates: within the ~25% bucket growth.
+    EXPECT_NEAR(hist.quantileMs(0.50), 50.0, 15.0);
+    EXPECT_NEAR(hist.quantileMs(0.95), 95.0, 25.0);
+    EXPECT_LE(hist.quantileMs(0.99), 100.0);
+    EXPECT_GE(hist.quantileMs(0.99), hist.quantileMs(0.50));
+    auto json = hist.summaryJson();
+    EXPECT_EQ(json.get("count").asInt(), 100);
+    EXPECT_GT(json.get("p95_ms").asNumber(),
+              json.get("p50_ms").asNumber());
+}
+
+TEST(LatencyHistogram, ClampsToObservedRange)
+{
+    LatencyHistogram hist;
+    hist.record(3.0);
+    hist.record(3.0);
+    EXPECT_DOUBLE_EQ(hist.quantileMs(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(hist.quantileMs(0.99), 3.0);
+}
+
+TEST(CancelToken, ExplicitCancel)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    token.checkpoint("work"); // no-op while live
+    token.cancel();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_FALSE(token.deadlineExpired());
+    EXPECT_THROW(token.checkpoint("work"), CancelledError);
+}
+
+TEST(CancelToken, DeadlineFires)
+{
+    CancelToken token;
+    token.setDeadline(CancelToken::Clock::now() -
+                      std::chrono::milliseconds(1));
+    EXPECT_TRUE(token.deadlineExpired());
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_THROW(token.checkpoint("work"), CancelledError);
+}
+
+TEST(CancelToken, ExtendOnlyMovesLater)
+{
+    CancelToken token;
+    auto past =
+        CancelToken::Clock::now() - std::chrono::milliseconds(1);
+    auto future =
+        CancelToken::Clock::now() + std::chrono::hours(1);
+    token.setDeadline(past);
+    token.extendDeadline(future);
+    EXPECT_FALSE(token.cancelled());
+    // Extending backwards is a no-op.
+    token.extendDeadline(past);
+    EXPECT_FALSE(token.cancelled());
+    // A no-deadline joiner clears the deadline entirely.
+    token.setDeadline(past);
+    token.extendDeadline(CancelToken::Clock::time_point::max());
+    EXPECT_FALSE(token.hasDeadline());
 }
 
 } // namespace
