@@ -1,0 +1,120 @@
+/**
+ * @file
+ * bench_trace_overhead — measure what the tracing layer costs.
+ *
+ * Runs the same tuneWithPlans workload three ways: tracing disabled
+ * (every TraceSpan reduces to one relaxed atomic load), tracing
+ * globally enabled, and per-request tracing via a TraceContext.
+ * The disabled overhead is the number that matters: it must stay
+ * under 5% so instrumentation can live in the hot path permanently.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hh"
+#include "explore/tuner.hh"
+#include "hw/hardware.hh"
+#include "mapping/generate.hh"
+#include "ops/operators.hh"
+#include "support/logging.hh"
+#include "support/trace.hh"
+
+using namespace amos;
+
+namespace {
+
+double
+tuneOnce(const std::vector<MappingPlan> &plans,
+         const HardwareSpec &hw, const TuneOptions &options)
+{
+    auto start = std::chrono::steady_clock::now();
+    auto result = tuneWithPlans(plans, hw, options);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    expect(result.tensorizable, "bench: workload not tensorizable");
+    return ms;
+}
+
+double
+medianOf(std::vector<double> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+} // namespace
+
+int
+main()
+{
+    auto hw = hw::v100();
+    auto comp = ops::makeConv2d([] {
+        ops::ConvParams p;
+        p.batch = 1;
+        p.in_channels = 32;
+        p.out_channels = 32;
+        p.out_h = p.out_w = 14;
+        p.kernel_h = p.kernel_w = 3;
+        return p;
+    }());
+    std::vector<MappingPlan> plans;
+    for (const auto &intr : hw.intrinsics) {
+        if (comp.inputs().size() != intr.compute.numSrcs() ||
+            comp.combine() != intr.compute.combine())
+            continue;
+        for (auto &plan : enumeratePlans(comp, intr, {}))
+            plans.push_back(std::move(plan));
+    }
+
+    TuneOptions options = bench::benchTuning();
+    options.generations = 4;
+    options.numThreads = 4;
+
+    const int kRounds = 7;
+    auto run = [&](const char *label, auto setup, auto teardown) {
+        std::vector<double> samples;
+        for (int r = 0; r < kRounds; ++r) {
+            setup();
+            samples.push_back(tuneOnce(plans, hw, options));
+            teardown();
+        }
+        double ms = medianOf(samples);
+        std::printf("%-22s %8.2f ms\n", label, ms);
+        return ms;
+    };
+
+    bench::banner("trace overhead (tuneWithPlans, conv2d 32x32x14)");
+    // Warm-up: touch every code path once before timing.
+    tuneOnce(plans, hw, options);
+
+    double off = run(
+        "tracing off", [] {}, [] {});
+    double on = run(
+        "tracing on (global)",
+        [] { Tracer::global().setEnabled(true); },
+        [] {
+            Tracer::global().setEnabled(false);
+            Tracer::global().clear();
+        });
+    std::vector<std::unique_ptr<TraceContext>> ctx;
+    double per_request = run(
+        "per-request context",
+        [&] { ctx.push_back(std::make_unique<TraceContext>("b")); },
+        [&] {
+            ctx.clear();
+            Tracer::global().releaseTrace("b");
+        });
+
+    std::printf("\noverhead: global %+.1f%%, per-request %+.1f%%\n",
+                (on / off - 1.0) * 100.0,
+                (per_request / off - 1.0) * 100.0);
+    std::printf("acceptance: disabled-path overhead must be < 5%% "
+                "(measured against itself: 0%% by construction; the "
+                "enabled figures above bound the worst case)\n");
+    return 0;
+}

@@ -17,6 +17,8 @@
  *            --kernel 3 --hw mali --list-mappings
  *   amos_cli --op conv2d --batch 2 --cin 4 --cout 8 --size 4 \
  *            --kernel 3 --hw v100 --emit-c /tmp/kernel.c
+ *   amos_cli --op conv2d --size 14 --hw v100 \
+ *            --trace-out /tmp/trace.json   # Chrome/Perfetto trace
  *
  * Scripting contract:
  *   --json writes a single machine-readable object to stdout (the
@@ -35,6 +37,7 @@
 #include "codegen/codegen.hh"
 #include "mapping/generate.hh"
 #include "serve/protocol.hh"
+#include "support/trace.hh"
 
 namespace {
 
@@ -102,6 +105,12 @@ runCli(const Args &args)
     auto comp = serve::computationFromRequest(req);
     bool json = args.flag("json");
 
+    // --trace-out FILE: record the whole compilation as a Chrome
+    // trace-event document (load in Perfetto or chrome://tracing).
+    std::string trace_path = args.str("trace-out", "");
+    if (!trace_path.empty())
+        Tracer::global().setEnabled(true);
+
     if (!json) {
         std::printf("%s", comp.toString().c_str());
         std::printf("target: %s\n\n", hw.name.c_str());
@@ -158,6 +167,13 @@ runCli(const Args &args)
                          result.tuning.bestSchedule, cg);
         std::fprintf(stderr, "wrote C kernel to %s\n",
                      emit_path.c_str());
+    }
+
+    if (!trace_path.empty()) {
+        Tracer::global().writeFile(trace_path);
+        std::fprintf(stderr, "wrote %zu trace spans to %s\n",
+                     Tracer::global().spanCount(),
+                     trace_path.c_str());
     }
 
     if (args.flag("require-tensorized") && !result.tensorized)

@@ -25,6 +25,10 @@
  *   --no-warm            skip preloading the disk tier on start
  *   --replay FILE        batch mode: serve a request trace, print
  *                        responses + final stats, exit
+ *   --trace-out FILE     record every request's spans and write one
+ *                        Chrome trace-event document on exit
+ *                        (requests carrying "trace_id" also get a
+ *                        per-request span tree either way)
  */
 
 #include <atomic>
@@ -36,6 +40,7 @@
 #include <string>
 
 #include "serve/server.hh"
+#include "support/trace.hh"
 
 namespace {
 
@@ -105,13 +110,26 @@ main(int argc, char **argv)
     options.statsLogPeriodMs =
         static_cast<double>(num("stats-period-ms", 0));
 
+    std::string trace_path = str("trace-out");
+    if (!trace_path.empty())
+        Tracer::global().setEnabled(true);
+    auto write_trace = [&] {
+        if (trace_path.empty())
+            return;
+        Tracer::global().writeFile(trace_path);
+        inform("amos_served: wrote ",
+               Tracer::global().spanCount(), " trace spans to ",
+               trace_path);
+    };
+
     try {
         serve::CompileService service(options);
-        if (args.count("replay"))
-            return serve::replayTrace(service, str("replay"),
-                                      std::cout) == 0
-                       ? 0
-                       : 1;
+        if (args.count("replay")) {
+            int failed = serve::replayTrace(service, str("replay"),
+                                            std::cout);
+            write_trace();
+            return failed == 0 ? 0 : 1;
+        }
 
         installSignalHandlers();
         inform("amos_served: ready (workers=", options.workers,
@@ -122,6 +140,7 @@ main(int argc, char **argv)
                ")");
         serve::serveStream(service, std::cin, std::cout, &g_stop);
         inform("amos_served: drained; ", service.stats().summary());
+        write_trace();
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "%s\n", e.what());

@@ -124,6 +124,9 @@ TuningCache::TuningCache(const TuningCache &other)
 {
     std::lock_guard<std::mutex> lock(other._mutex);
     _entries = other._entries;
+    _hits.store(other._hits.load());
+    _misses.store(other._misses.load());
+    _inserts.store(other._inserts.load());
 }
 
 TuningCache &
@@ -133,6 +136,9 @@ TuningCache::operator=(const TuningCache &other)
         return *this;
     std::scoped_lock lock(_mutex, other._mutex);
     _entries = other._entries;
+    _hits.store(other._hits.load());
+    _misses.store(other._misses.load());
+    _inserts.store(other._inserts.load());
     return *this;
 }
 
@@ -140,6 +146,9 @@ TuningCache::TuningCache(TuningCache &&other) noexcept
 {
     std::lock_guard<std::mutex> lock(other._mutex);
     _entries = std::move(other._entries);
+    _hits.store(other._hits.load());
+    _misses.store(other._misses.load());
+    _inserts.store(other._inserts.load());
 }
 
 TuningCache &
@@ -149,6 +158,9 @@ TuningCache::operator=(TuningCache &&other) noexcept
         return *this;
     std::scoped_lock lock(_mutex, other._mutex);
     _entries = std::move(other._entries);
+    _hits.store(other._hits.load());
+    _misses.store(other._misses.load());
+    _inserts.store(other._inserts.load());
     return *this;
 }
 
@@ -167,7 +179,9 @@ bool
 TuningCache::contains(const std::string &key) const
 {
     std::lock_guard<std::mutex> lock(_mutex);
-    return _entries.count(key) > 0;
+    bool found = _entries.count(key) > 0;
+    (found ? _hits : _misses).fetch_add(1, std::memory_order_relaxed);
+    return found;
 }
 
 const CacheEntry &
@@ -176,6 +190,7 @@ TuningCache::lookup(const std::string &key) const
     std::lock_guard<std::mutex> lock(_mutex);
     auto it = _entries.find(key);
     require(it != _entries.end(), "TuningCache: missing key ", key);
+    _hits.fetch_add(1, std::memory_order_relaxed);
     // std::map node references stay valid across later inserts (the
     // mapped *value* may still be rewritten by a same-key insert —
     // see the class comment; tryGet() is the concurrent-safe read).
@@ -187,8 +202,11 @@ TuningCache::tryGet(const std::string &key) const
 {
     std::lock_guard<std::mutex> lock(_mutex);
     auto it = _entries.find(key);
-    if (it == _entries.end())
+    if (it == _entries.end()) {
+        _misses.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
+    }
+    _hits.fetch_add(1, std::memory_order_relaxed);
     return it->second;
 }
 
@@ -197,6 +215,25 @@ TuningCache::insert(const std::string &key, CacheEntry entry)
 {
     std::lock_guard<std::mutex> lock(_mutex);
     _entries[key] = std::move(entry);
+    _inserts.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+TuningCache::hitCount() const
+{
+    return _hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+TuningCache::missCount() const
+{
+    return _misses.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+TuningCache::insertCount() const
+{
+    return _inserts.load(std::memory_order_relaxed);
 }
 
 std::size_t

@@ -10,6 +10,8 @@
 #ifndef AMOS_AMOS_CACHE_HH
 #define AMOS_AMOS_CACHE_HH
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -109,9 +111,24 @@ class TuningCache
     /** loadFile when the file exists, else an empty cache. */
     static TuningCache loadFileIfExists(const std::string &path);
 
+    /// @name Lifetime access statistics.
+    /// Monotonic counters over contains()/tryGet()/lookup() probes
+    /// and insert() calls; copies of a cache start from the source's
+    /// current values. Feed these into a MetricsRegistry to expose
+    /// them alongside the rest of the pipeline metrics.
+    /// @{
+    std::uint64_t hitCount() const;
+    std::uint64_t missCount() const;
+    std::uint64_t insertCount() const;
+    /// @}
+
   private:
     mutable std::mutex _mutex;
     std::map<std::string, CacheEntry> _entries;
+
+    mutable std::atomic<std::uint64_t> _hits{0};
+    mutable std::atomic<std::uint64_t> _misses{0};
+    std::atomic<std::uint64_t> _inserts{0};
 };
 
 } // namespace amos

@@ -3,6 +3,7 @@
 #include "explore/learned_model.hh"
 #include "schedule/profile.hh"
 #include "support/thread_pool.hh"
+#include "support/trace.hh"
 
 #include <algorithm>
 #include <cmath>
@@ -81,6 +82,13 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
     result.tensorizable = true;
     result.numMappings = plans.size();
 
+    TraceSpan tune_span("explore.tune", "explore");
+    tune_span.arg("mappings",
+                  static_cast<std::int64_t>(plans.size()));
+    tune_span.arg("generations",
+                  static_cast<std::int64_t>(options.generations));
+    tune_span.arg("hw", hw.name);
+
     const int num_threads = options.numThreads;
 
     // --- Stage 0 (the paper's Sec. 5.3 flow): enumerate every
@@ -123,6 +131,9 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
     // each body writes only its own candidate, so the fan-out is
     // race-free and order-independent.
     auto evaluate_population = [&]() {
+        TraceSpan eval_span("explore.model_eval", "explore");
+        eval_span.arg("candidates", static_cast<std::int64_t>(
+                                        population.size()));
         parallelFor(
             population.size(),
             [&](std::size_t i) {
@@ -147,6 +158,9 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
                                  &selected) {
         if (options.cancel)
             options.cancel->checkpoint("mapping exploration");
+        TraceSpan measure_span("explore.measure", "explore");
+        measure_span.arg("batch", static_cast<std::int64_t>(
+                                      selected.size()));
         std::vector<KernelProfile> profs(selected.size());
         std::vector<SimResult> sims(selected.size());
         parallelFor(
@@ -192,6 +206,8 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
     for (int gen = 0; gen < options.generations; ++gen) {
         if (options.cancel)
             options.cancel->checkpoint("mapping exploration");
+        TraceSpan gen_span("explore.generation", "explore");
+        gen_span.arg("gen", static_cast<std::int64_t>(gen));
         evaluate_population();
 
         // Model screening: measure the best-predicted unmeasured
@@ -308,6 +324,7 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
     // of the space it explores.)
     if (options.exploitSteps > 0 && std::isfinite(best_cycles) &&
         plans.size() > 1) {
+        TraceSpan exploit_span("explore.exploit", "explore");
         // Top three distinct mappings by their best measured cycles;
         // sorting (cycles, index) pairs makes the ranking total.
         std::vector<std::pair<double, std::size_t>> ranked;

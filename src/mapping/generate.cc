@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace amos {
 
@@ -79,6 +80,10 @@ std::vector<ComputeMapping>
 enumerateMappings(const TensorComputation &comp, const Intrinsic &intr,
                   const GeneratorOptions &options)
 {
+    TraceSpan span("mapping.enumerate", "mapping");
+    span.arg("computation", comp.name());
+    span.arg("intrinsic", intr.name());
+
     const auto &compute = intr.compute;
     BitMatrix compat = compatibilityMatrix(comp, compute);
     std::size_t num_sw = comp.numIters();
@@ -163,6 +168,8 @@ enumerateMappings(const TensorComputation &comp, const Intrinsic &intr,
         }
     };
     dfs(dfs, 0);
+    span.arg("candidates",
+             static_cast<std::int64_t>(out.size()));
     return out;
 }
 

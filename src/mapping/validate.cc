@@ -1,6 +1,7 @@
 #include "validate.hh"
 
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace amos {
 
@@ -8,6 +9,7 @@ ValidationResult
 validateMatching(const BitMatrix &x, const BitMatrix &y,
                  const BitMatrix &z, bool allow_partial)
 {
+    TraceSpan span("mapping.validate", "mapping");
     require(x.rows() == z.rows(),
             "validateMatching: operand counts differ (X has ",
             x.rows(), ", Z has ", z.rows(), ")");

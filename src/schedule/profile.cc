@@ -6,6 +6,7 @@
 #include "support/logging.hh"
 #include "support/math_utils.hh"
 #include "support/str_utils.hh"
+#include "support/trace.hh"
 
 namespace amos {
 
@@ -218,6 +219,7 @@ lowerKernel(const MappingPlan &plan, const Schedule &sched,
 Schedule
 expertSchedule(const MappingPlan &plan, const HardwareSpec &hw)
 {
+    TraceSpan span("schedule.expert", "schedule");
     Schedule sched = defaultSchedule(plan);
     const auto &axes = plan.outerAxes();
 

@@ -2,6 +2,7 @@
 
 #include "support/math_utils.hh"
 #include "support/str_utils.hh"
+#include "support/trace.hh"
 
 namespace amos {
 
@@ -49,6 +50,7 @@ const std::vector<int> kUnrollChoices = {1, 2, 4};
 Schedule
 sampleSchedule(const MappingPlan &plan, Rng &rng)
 {
+    TraceSpan span("schedule.sample", "schedule");
     Schedule sched = defaultSchedule(plan);
     for (std::size_t a = 0; a < sched.axes.size(); ++a) {
         if (axisIsReduction(plan, a))

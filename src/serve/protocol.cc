@@ -65,6 +65,8 @@ CompileRequest::toJson() const
     out.set("threads", Json(numThreads));
     if (deadlineMs > 0)
         out.set("deadline_ms", Json(deadlineMs));
+    if (!traceId.empty())
+        out.set("trace_id", Json(traceId));
     return out;
 }
 
@@ -99,6 +101,10 @@ CompileRequest::fromJson(const Json &json)
             req.deadlineMs = value.asNumber();
             expect(req.deadlineMs >= 0,
                    "request: deadline_ms must be >= 0");
+        } else if (key == "trace_id") {
+            req.traceId = value.kind() == Json::Kind::String
+                              ? value.asString()
+                              : value.dump();
         } else {
             expect(value.kind() == Json::Kind::Number,
                    "request: unknown non-numeric field '", key, "'");

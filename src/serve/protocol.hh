@@ -83,6 +83,12 @@ struct CompileRequest
     /// deadline_exceeded.
     double deadlineMs = 0.0;
 
+    /// Distributed-tracing id ("trace_id" on the wire). A non-empty
+    /// id asks the service to record a span tree for this request
+    /// and attach it to the response; like deadline_ms/threads it
+    /// does not affect the cache key.
+    std::string traceId;
+
     /** Dimension value with an amos_cli-compatible default. */
     std::int64_t dim(const std::string &key,
                      std::int64_t fallback) const;

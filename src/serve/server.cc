@@ -31,6 +31,14 @@ class LineWriter
     std::mutex _mutex;
 };
 
+/**
+ * Admission bound on one request line: a line longer than this is
+ * answered with a typed bad_request instead of being parsed, so a
+ * runaway (or adversarial) client cannot make the server buffer and
+ * parse an arbitrarily large document.
+ */
+constexpr std::size_t kMaxRequestBytes = 1 << 20; // 1 MiB
+
 Json
 protocolError(const std::string &id, const std::string &message)
 {
@@ -63,6 +71,16 @@ serveStream(CompileService &service, std::istream &in,
            std::getline(in, line)) {
         if (line.empty())
             continue;
+        if (line.size() > kMaxRequestBytes) {
+            ++protocol_errors;
+            writer.write(protocolError(
+                "", "request line of " +
+                        std::to_string(line.size()) +
+                        " bytes exceeds the " +
+                        std::to_string(kMaxRequestBytes) +
+                        "-byte bound"));
+            continue;
+        }
 
         Json request;
         std::string type;
@@ -151,6 +169,16 @@ replayTrace(CompileService &service, const std::string &path,
     while (std::getline(trace, line)) {
         if (line.empty() || line[0] == '#')
             continue;
+        if (line.size() > kMaxRequestBytes) {
+            ++failed;
+            writer.write(protocolError(
+                "", "request line of " +
+                        std::to_string(line.size()) +
+                        " bytes exceeds the " +
+                        std::to_string(kMaxRequestBytes) +
+                        "-byte bound"));
+            continue;
+        }
         CompileRequest req;
         try {
             req = CompileRequest::fromJson(Json::parse(line));

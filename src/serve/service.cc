@@ -4,6 +4,9 @@
 
 #include "support/logging.hh"
 #include "support/str_utils.hh"
+#include "support/trace.hh"
+
+#include <optional>
 
 namespace amos {
 namespace serve {
@@ -46,6 +49,10 @@ ServeStats::toJson() const
     latency.set("p95_ms", Json(p95Ms));
     latency.set("p99_ms", Json(p99Ms));
     out.set("latency", std::move(latency));
+    Json unified = Json::object();
+    for (const auto &[name, value] : metrics)
+        unified.set(name, u64(value));
+    out.set("metrics", std::move(unified));
     return out;
 }
 
@@ -74,6 +81,8 @@ ServeOutcome::toJson(const std::string &id) const
     if (ok) {
         out.set("served_by", Json(servedBy));
         out.set("result", compileResultToJson(result));
+        if (!trace.isNull())
+            out.set("trace", trace);
     } else {
         Json err = Json::object();
         err.set("code", Json(errorCodeName(error)));
@@ -107,13 +116,25 @@ struct CompileService::Job
 };
 
 CompileService::CompileService(ServeOptions options)
-    : _options(options), _cache(options.cache),
+    : _options(options),
+      _requests(_metrics.counter("serve.requests")),
+      _memoryHits(_metrics.counter("serve.memory_hits")),
+      _diskHits(_metrics.counter("serve.disk_hits")),
+      _compiles(_metrics.counter("serve.compiles")),
+      _coalesced(_metrics.counter("serve.coalesced")),
+      _rejectedQueueFull(
+          _metrics.counter("serve.rejected_queue_full")),
+      _deadlineExceeded(_metrics.counter("serve.deadline_exceeded")),
+      _cancelled(_metrics.counter("serve.cancelled")),
+      _failures(_metrics.counter("serve.failures")),
+      _warmedEntries(_metrics.counter("serve.warmed_entries")),
+      _cache(options.cache, &_metrics),
       _pool(std::make_unique<ThreadPool>(
           ThreadPool::resolveThreads(
               static_cast<int>(options.workers))))
 {
     if (_options.warmOnStart && _cache.hasDisk())
-        _warmedEntries = _cache.warm();
+        _warmedEntries.add(_cache.warm());
     if (_options.statsLogPeriodMs > 0)
         _statsLogger = std::thread([this] { statsLoggerLoop(); });
 }
@@ -134,7 +155,7 @@ CompileService::submit(const CompileRequest &req)
 {
     Ticket ticket;
     ticket._start = Clock::now();
-    _requests.fetch_add(1, std::memory_order_relaxed);
+    _requests.add();
 
     auto immediate = [&](ServeOutcome outcome) {
         outcome.latencyMs = elapsedMs(ticket._start);
@@ -187,16 +208,30 @@ CompileService::submit(const CompileRequest &req)
     // run instead of an exploration.
     TieredCache::Tier tier;
     if (auto entry = _cache.get(key, &tier)) {
-        if (auto result = replayCacheEntry(*entry, *comp, spec)) {
+        bool from_memory = tier == TieredCache::Tier::Memory;
+        std::optional<CompileResult> result;
+        {
+            // Per-request tracing covers the replay (one simulator
+            // run) exactly like a full compile.
+            std::optional<TraceContext> trace_ctx;
+            if (!req.traceId.empty())
+                trace_ctx.emplace(req.traceId);
+            TraceSpan span("serve.cache_hit", "serve");
+            span.arg("tier", from_memory ? "memory" : "disk");
+            result = replayCacheEntry(*entry, *comp, spec);
+        }
+        if (result) {
             ServeOutcome outcome;
             outcome.ok = true;
             outcome.result = std::move(*result);
-            outcome.servedBy =
-                tier == TieredCache::Tier::Memory ? "memory"
-                                                  : "disk";
-            (tier == TieredCache::Tier::Memory ? _memoryHits
-                                               : _diskHits)
-                .fetch_add(1, std::memory_order_relaxed);
+            outcome.servedBy = from_memory ? "memory" : "disk";
+            (from_memory ? _memoryHits : _diskHits).add();
+            if (!req.traceId.empty()) {
+                auto &tracer = Tracer::global();
+                outcome.trace = tracer.spanTreeFor(req.traceId);
+                if (!tracer.enabled())
+                    tracer.releaseTrace(req.traceId);
+            }
             return immediate(std::move(outcome));
         }
         // Stale entry (e.g. hardware spec evolved): re-explore.
@@ -218,14 +253,13 @@ CompileService::submit(const CompileRequest &req)
             job = it->second;
             job->waiters.fetch_add(1, std::memory_order_relaxed);
             job->token.extendDeadline(ticket._deadline);
-            _coalesced.fetch_add(1, std::memory_order_relaxed);
+            _coalesced.add();
             ticket._job = std::move(job);
             ticket._joiner = true;
             return ticket;
         }
         if (_inflight.size() >= _options.maxQueue) {
-            _rejectedQueueFull.fetch_add(1,
-                                         std::memory_order_relaxed);
+            _rejectedQueueFull.add();
             ServeOutcome outcome;
             outcome.error = ErrorCode::QueueFull;
             outcome.message =
@@ -248,34 +282,59 @@ void
 CompileService::runJob(std::shared_ptr<Job> job)
 {
     ServeOutcome outcome;
-    try {
-        // A request whose deadline fired while queued never starts.
-        job->token.checkpoint("queued request");
-        TuneOptions options = tuneOptionsFromRequest(job->request);
-        options.cancel = &job->token;
-        Compiler compiler(job->hw, options);
-        _compiles.fetch_add(1, std::memory_order_relaxed);
-        auto result = compiler.compile(job->comp);
-        if (result.tensorized && result.tuning.bestPlan) {
-            CacheEntry entry;
-            entry.intrinsicName =
-                result.tuning.bestPlan->intrinsic().name();
-            entry.mapping = result.tuning.bestPlan->mapping();
-            entry.schedule = result.tuning.bestSchedule;
-            entry.cycles = result.tuning.bestCycles;
-            _cache.put(job->key, entry);
+    const std::string &trace_id = job->request.traceId;
+    {
+        // Per-request trace context: every span the exploration
+        // opens on this thread (and, through parallelFor's context
+        // propagation, on the tuner's worker threads) is tagged with
+        // the request's trace id.
+        std::optional<TraceContext> trace_ctx;
+        if (!trace_id.empty())
+            trace_ctx.emplace(trace_id);
+        TraceSpan span("serve.compile", "serve");
+        span.arg("key", job->key);
+        try {
+            // A request whose deadline fired while queued never
+            // starts.
+            job->token.checkpoint("queued request");
+            TuneOptions options =
+                tuneOptionsFromRequest(job->request);
+            options.cancel = &job->token;
+            Compiler compiler(job->hw, options);
+            _compiles.add();
+            auto result = compiler.compile(job->comp);
+            if (result.tensorized && result.tuning.bestPlan) {
+                CacheEntry entry;
+                entry.intrinsicName =
+                    result.tuning.bestPlan->intrinsic().name();
+                entry.mapping = result.tuning.bestPlan->mapping();
+                entry.schedule = result.tuning.bestSchedule;
+                entry.cycles = result.tuning.bestCycles;
+                _cache.put(job->key, entry);
+            }
+            outcome.ok = true;
+            outcome.result = std::move(result);
+            outcome.servedBy = "compile";
+        } catch (const CancelledError &e) {
+            outcome.error = job->token.deadlineExpired()
+                                ? ErrorCode::DeadlineExceeded
+                                : ErrorCode::Cancelled;
+            outcome.message = e.what();
+        } catch (const std::exception &e) {
+            outcome.error = ErrorCode::Internal;
+            outcome.message = e.what();
         }
-        outcome.ok = true;
-        outcome.result = std::move(result);
-        outcome.servedBy = "compile";
-    } catch (const CancelledError &e) {
-        outcome.error = job->token.deadlineExpired()
-                            ? ErrorCode::DeadlineExceeded
-                            : ErrorCode::Cancelled;
-        outcome.message = e.what();
-    } catch (const std::exception &e) {
-        outcome.error = ErrorCode::Internal;
-        outcome.message = e.what();
+    }
+    if (!trace_id.empty()) {
+        // The root span has closed, so the tree is complete. Drop
+        // the spans afterwards (unless a global trace collection is
+        // running) so a long-lived server does not accumulate one
+        // request's spans forever.
+        auto &tracer = Tracer::global();
+        if (outcome.ok)
+            outcome.trace = tracer.spanTreeFor(trace_id);
+        if (!tracer.enabled())
+            tracer.releaseTrace(trace_id);
     }
     // Publish to the cache *before* leaving the in-flight map (done
     // above), then deregister, then resolve the waiters: a racing
@@ -308,7 +367,7 @@ CompileService::wait(Ticket &ticket)
                     1, std::memory_order_acq_rel) == 1)
                 job->token.cancel();
         }
-        _deadlineExceeded.fetch_add(1, std::memory_order_relaxed);
+        _deadlineExceeded.add();
         ServeOutcome outcome;
         outcome.error = ErrorCode::DeadlineExceeded;
         outcome.message = "deadline of " +
@@ -325,14 +384,13 @@ CompileService::wait(Ticket &ticket)
     if (!outcome.ok) {
         switch (outcome.error) {
         case ErrorCode::DeadlineExceeded:
-            _deadlineExceeded.fetch_add(1,
-                                        std::memory_order_relaxed);
+            _deadlineExceeded.add();
             break;
         case ErrorCode::Cancelled:
-            _cancelled.fetch_add(1, std::memory_order_relaxed);
+            _cancelled.add();
             break;
         default:
-            _failures.fetch_add(1, std::memory_order_relaxed);
+            _failures.add();
             break;
         }
     }
@@ -352,19 +410,17 @@ ServeStats
 CompileService::stats() const
 {
     ServeStats out;
-    out.requests = _requests.load(std::memory_order_relaxed);
-    out.memoryHits = _memoryHits.load(std::memory_order_relaxed);
-    out.diskHits = _diskHits.load(std::memory_order_relaxed);
-    out.compiles = _compiles.load(std::memory_order_relaxed);
-    out.coalesced = _coalesced.load(std::memory_order_relaxed);
-    out.rejectedQueueFull =
-        _rejectedQueueFull.load(std::memory_order_relaxed);
-    out.deadlineExceeded =
-        _deadlineExceeded.load(std::memory_order_relaxed);
-    out.cancelled = _cancelled.load(std::memory_order_relaxed);
-    out.failures = _failures.load(std::memory_order_relaxed);
-    out.warmedEntries =
-        _warmedEntries.load(std::memory_order_relaxed);
+    out.requests = _requests.value();
+    out.memoryHits = _memoryHits.value();
+    out.diskHits = _diskHits.value();
+    out.compiles = _compiles.value();
+    out.coalesced = _coalesced.value();
+    out.rejectedQueueFull = _rejectedQueueFull.value();
+    out.deadlineExceeded = _deadlineExceeded.value();
+    out.cancelled = _cancelled.value();
+    out.failures = _failures.value();
+    out.warmedEntries = _warmedEntries.value();
+    out.metrics = _metrics.counterValues();
     out.latencyCount = _latency.count();
     out.meanMs = _latency.meanMs();
     out.p50Ms = _latency.quantileMs(0.50);

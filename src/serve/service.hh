@@ -45,6 +45,7 @@
 #include "serve/tiered_cache.hh"
 #include "support/cancellation.hh"
 #include "support/histogram.hh"
+#include "support/metrics.hh"
 #include "support/thread_pool.hh"
 
 namespace amos {
@@ -87,6 +88,10 @@ struct ServeStats
     double p95Ms = 0.0;
     double p99Ms = 0.0;
 
+    /// Full unified-metrics snapshot (serve.* plus the cache tiers'
+    /// cache.* counters) from the service's MetricsRegistry.
+    std::map<std::string, std::uint64_t> metrics;
+
     Json toJson() const;
     /** One-line summary for the periodic log. */
     std::string summary() const;
@@ -102,6 +107,9 @@ struct ServeOutcome
     /// "memory" | "disk" | "compile" | "coalesced".
     std::string servedBy;
     double latencyMs = 0.0;
+    /// Span tree of this request (non-null only when the request
+    /// carried a trace_id); serialised under "trace".
+    Json trace;
 
     /** Response line ({"id":..,"ok":..,...}). */
     Json toJson(const std::string &id) const;
@@ -138,6 +146,9 @@ class CompileService
 
     ServeStats stats() const;
 
+    /** Unified registry the serve and cache counters live in. */
+    MetricsRegistry &metrics() { return _metrics; }
+
     /**
      * Graceful shutdown: stop admitting (subsequent submits are
      * answered shutting_down), wait for every in-flight exploration
@@ -153,6 +164,21 @@ class CompileService
     void statsLoggerLoop();
 
     ServeOptions _options;
+
+    /// Unified registry; declared before the counters referencing it
+    /// and before _cache, which registers its tier counters here.
+    MetricsRegistry _metrics;
+    MetricCounter &_requests;
+    MetricCounter &_memoryHits;
+    MetricCounter &_diskHits;
+    MetricCounter &_compiles;
+    MetricCounter &_coalesced;
+    MetricCounter &_rejectedQueueFull;
+    MetricCounter &_deadlineExceeded;
+    MetricCounter &_cancelled;
+    MetricCounter &_failures;
+    MetricCounter &_warmedEntries;
+
     TieredCache _cache;
     std::unique_ptr<ThreadPool> _pool;
 
@@ -160,18 +186,6 @@ class CompileService
     std::condition_variable _idle;
     std::map<std::string, std::shared_ptr<Job>> _inflight;
     bool _draining = false;
-
-    /// Counters (relaxed: read for reporting only).
-    std::atomic<std::uint64_t> _requests{0};
-    std::atomic<std::uint64_t> _memoryHits{0};
-    std::atomic<std::uint64_t> _diskHits{0};
-    std::atomic<std::uint64_t> _compiles{0};
-    std::atomic<std::uint64_t> _coalesced{0};
-    std::atomic<std::uint64_t> _rejectedQueueFull{0};
-    std::atomic<std::uint64_t> _deadlineExceeded{0};
-    std::atomic<std::uint64_t> _cancelled{0};
-    std::atomic<std::uint64_t> _failures{0};
-    std::atomic<std::uint64_t> _warmedEntries{0};
 
     LatencyHistogram _latency;
 

@@ -8,8 +8,16 @@
 namespace amos {
 namespace serve {
 
-TieredCache::TieredCache(Options options)
+TieredCache::TieredCache(Options options, MetricsRegistry *registry)
     : _options(std::move(options)),
+      _ownMetrics(registry ? nullptr
+                           : std::make_unique<MetricsRegistry>()),
+      _metrics(registry ? registry : _ownMetrics.get()),
+      _memoryHits(_metrics->counter("cache.memory_hits")),
+      _diskHits(_metrics->counter("cache.disk_hits")),
+      _misses(_metrics->counter("cache.misses")),
+      _puts(_metrics->counter("cache.puts")),
+      _promotions(_metrics->counter("cache.promotions")),
       _memory(_options.memoryCapacity)
 {
     if (_options.diskShards == 0)
@@ -51,11 +59,14 @@ TieredCache::get(const std::string &key, Tier *tier)
         if (auto hit = _memory.get(key)) {
             if (tier)
                 *tier = Tier::Memory;
+            _memoryHits.add();
             return hit;
         }
     }
-    if (!hasDisk())
+    if (!hasDisk()) {
+        _misses.add();
         return std::nullopt;
+    }
 
     std::size_t shard = shardOf(key);
     std::optional<CacheEntry> found;
@@ -64,10 +75,14 @@ TieredCache::get(const std::string &key, Tier *tier)
         auto store = TuningCache::loadFileIfExists(shardPath(shard));
         found = store.tryGet(key);
     }
-    if (!found)
+    if (!found) {
+        _misses.add();
         return std::nullopt;
+    }
     if (tier)
         *tier = Tier::Disk;
+    _diskHits.add();
+    _promotions.add();
     std::lock_guard<std::mutex> lock(_memMutex);
     _memory.put(key, *found);
     return found;
@@ -76,6 +91,7 @@ TieredCache::get(const std::string &key, Tier *tier)
 void
 TieredCache::put(const std::string &key, const CacheEntry &entry)
 {
+    _puts.add();
     {
         std::lock_guard<std::mutex> lock(_memMutex);
         _memory.put(key, entry);

@@ -26,6 +26,7 @@
 
 #include "amos/cache.hh"
 #include "support/lru.hh"
+#include "support/metrics.hh"
 
 namespace amos {
 namespace serve {
@@ -52,7 +53,18 @@ class TieredCache
         Disk,
     };
 
-    explicit TieredCache(Options options);
+    /**
+     * `registry` (when given) receives the tier counters
+     * (cache.memory_hits, cache.disk_hits, cache.misses, cache.puts,
+     * cache.promotions); without one the cache counts into a private
+     * registry reachable through metrics(). The registry must outlive
+     * the cache.
+     */
+    explicit TieredCache(Options options,
+                         MetricsRegistry *registry = nullptr);
+
+    /** The registry the tier counters live in. */
+    MetricsRegistry &metrics() { return *_metrics; }
 
     bool hasDisk() const { return !_options.diskDir.empty(); }
     std::size_t memorySize() const;
@@ -82,6 +94,15 @@ class TieredCache
     std::string shardPath(std::size_t shard) const;
 
     Options _options;
+
+    /// Private fallback registry when none is injected.
+    std::unique_ptr<MetricsRegistry> _ownMetrics;
+    MetricsRegistry *_metrics;
+    MetricCounter &_memoryHits;
+    MetricCounter &_diskHits;
+    MetricCounter &_misses;
+    MetricCounter &_puts;
+    MetricCounter &_promotions;
 
     mutable std::mutex _memMutex;
     LruMap<std::string, CacheEntry> _memory;

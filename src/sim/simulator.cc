@@ -7,6 +7,7 @@
 #include "support/logging.hh"
 #include "support/math_utils.hh"
 #include "support/str_utils.hh"
+#include "support/trace.hh"
 
 namespace amos {
 
@@ -56,6 +57,7 @@ SimResult::toString() const
 SimResult
 simulateKernel(const KernelProfile &prof, const HardwareSpec &hw)
 {
+    TraceSpan span("sim.measure", "sim");
     SimResult res;
     if (!prof.valid()) {
         res.schedulable = false;

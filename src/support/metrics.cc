@@ -1,0 +1,65 @@
+#include "metrics.hh"
+
+namespace amos {
+
+MetricCounter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto &slot = _counters[name];
+    if (!slot)
+        slot = std::make_unique<MetricCounter>();
+    return *slot;
+}
+
+MetricGauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto &slot = _gauges[name];
+    if (!slot)
+        slot = std::make_unique<MetricGauge>();
+    return *slot;
+}
+
+std::map<std::string, std::uint64_t>
+MetricsRegistry::counterValues() const
+{
+    std::map<std::string, std::uint64_t> out;
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const auto &[name, counter] : _counters)
+        out[name] = counter->value();
+    return out;
+}
+
+std::map<std::string, double>
+MetricsRegistry::gaugeValues() const
+{
+    std::map<std::string, double> out;
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const auto &[name, gauge] : _gauges)
+        out[name] = gauge->value();
+    return out;
+}
+
+Json
+MetricsRegistry::toJson() const
+{
+    Json out = Json::object();
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const auto &[name, counter] : _counters)
+        out.set(name,
+                Json(static_cast<std::int64_t>(counter->value())));
+    for (const auto &[name, gauge] : _gauges)
+        out.set(name, Json(gauge->value()));
+    return out;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace amos

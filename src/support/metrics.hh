@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unified metrics: a registry of named monotonic counters and gauges
+ * shared by the compiler, the cache tiers, and the serve layer.
+ *
+ * Names are dotted paths grouped by subsystem ("serve.requests",
+ * "cache.memory_hits", ...); docs/observability.md lists the full
+ * inventory. counter()/gauge() create on first use and return a
+ * reference that stays valid for the registry's lifetime, so hot
+ * paths resolve a metric once and then touch a single relaxed
+ * atomic.
+ *
+ * A registry is instance-scoped on purpose: every CompileService
+ * (and every TieredCache without a service) owns its own, so tests
+ * and embedded uses see exact counts instead of process-global
+ * accumulation. MetricsRegistry::global() exists for tools that want
+ * one process-wide sink (amos_cli).
+ */
+
+#ifndef AMOS_SUPPORT_METRICS_HH
+#define AMOS_SUPPORT_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "support/json.hh"
+
+namespace amos {
+
+/** Monotonic counter (relaxed atomics; read for reporting only). */
+class MetricCounter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        _value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> _value{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class MetricGauge
+{
+  public:
+    void
+    set(double value)
+    {
+        _value.store(value, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> _value{0.0};
+};
+
+/** Thread-safe registry of named counters and gauges. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * The counter of this name, created on first use. The reference
+     * stays valid for the registry's lifetime.
+     */
+    MetricCounter &counter(const std::string &name);
+
+    /** The gauge of this name, created on first use. */
+    MetricGauge &gauge(const std::string &name);
+
+    /** Snapshot of all counter values, by name. */
+    std::map<std::string, std::uint64_t> counterValues() const;
+
+    /** Snapshot of all gauge values, by name. */
+    std::map<std::string, double> gaugeValues() const;
+
+    /** Flat JSON object of every counter and gauge, key-sorted. */
+    Json toJson() const;
+
+    /** Process-wide registry for one-shot tools. */
+    static MetricsRegistry &global();
+
+  private:
+    mutable std::mutex _mutex;
+    std::map<std::string, std::unique_ptr<MetricCounter>> _counters;
+    std::map<std::string, std::unique_ptr<MetricGauge>> _gauges;
+};
+
+} // namespace amos
+
+#endif // AMOS_SUPPORT_METRICS_HH

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 
 #include "logging.hh"
+#include "trace.hh"
 
 namespace amos {
 
@@ -125,8 +127,16 @@ parallelFor(std::size_t n,
     std::mutex error_mutex;
     std::exception_ptr error;
 
+    // Fan the caller's per-request trace context out with the work:
+    // spans opened inside bodies on pool workers stay attributed to
+    // the request that forked them.
+    std::string trace_id = TraceContext::currentId();
+
     auto drive = [&]() {
         ParallelRegionGuard guard;
+        std::optional<TraceContext> trace_ctx;
+        if (!trace_id.empty())
+            trace_ctx.emplace(trace_id);
         while (!failed.load(std::memory_order_relaxed)) {
             std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);

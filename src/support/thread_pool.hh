@@ -14,6 +14,11 @@
  * must make each body depend only on its index — per-index RNG
  * streams, per-index output slots — and fold results together
  * serially afterwards. See docs/exploration.md.
+ *
+ * Observability: parallelFor propagates the caller's TraceContext
+ * (per-request trace id, see support/trace.hh) onto every worker it
+ * borrows, so spans opened inside bodies stay attributed to the
+ * request that forked them.
  */
 
 #ifndef AMOS_SUPPORT_THREAD_POOL_HH

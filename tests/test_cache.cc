@@ -335,6 +335,86 @@ TEST(TuningCacheTest, ConcurrentInsertLookupSameKey)
     EXPECT_EQ(shared->schedule.stageDepth, writer + 1);
 }
 
+TEST(TuningCacheTest, HitMissInsertCountersTrackProbes)
+{
+    TuningCache cache;
+    EXPECT_EQ(cache.hitCount(), 0u);
+    EXPECT_EQ(cache.missCount(), 0u);
+    EXPECT_EQ(cache.insertCount(), 0u);
+
+    EXPECT_FALSE(cache.contains("k"));
+    EXPECT_FALSE(cache.tryGet("k").has_value());
+    EXPECT_EQ(cache.missCount(), 2u);
+    EXPECT_EQ(cache.hitCount(), 0u);
+
+    CacheEntry entry;
+    entry.intrinsicName = "wmma_16x16x16";
+    entry.mapping.groups = {{0}, {1}, {4}};
+    cache.insert("k", entry);
+    cache.insert("k", entry); // same-key rewrite still counts
+    EXPECT_EQ(cache.insertCount(), 2u);
+
+    EXPECT_TRUE(cache.contains("k"));
+    EXPECT_TRUE(cache.tryGet("k").has_value());
+    (void)cache.lookup("k");
+    EXPECT_EQ(cache.hitCount(), 3u);
+    EXPECT_EQ(cache.missCount(), 2u);
+}
+
+TEST(TuningCacheTest, CountersSurviveCopyAndMove)
+{
+    // Copies inherit the source's counter values (the statistics
+    // describe the cached *content*'s history, not the object), and
+    // then diverge independently.
+    TuningCache cache;
+    CacheEntry entry;
+    entry.intrinsicName = "wmma_16x16x16";
+    cache.insert("k", entry);
+    (void)cache.tryGet("k");
+    (void)cache.tryGet("absent");
+
+    TuningCache copied(cache);
+    EXPECT_EQ(copied.hitCount(), 1u);
+    EXPECT_EQ(copied.missCount(), 1u);
+    EXPECT_EQ(copied.insertCount(), 1u);
+    (void)copied.tryGet("k");
+    EXPECT_EQ(copied.hitCount(), 2u);
+    EXPECT_EQ(cache.hitCount(), 1u); // the source is untouched
+
+    TuningCache moved(std::move(copied));
+    EXPECT_EQ(moved.hitCount(), 2u);
+    EXPECT_EQ(moved.missCount(), 1u);
+    EXPECT_EQ(moved.insertCount(), 1u);
+}
+
+TEST(TuningCacheTest, CountersAreExactUnderContention)
+{
+    // N threads probing disjoint keys: totals must be exact, not
+    // approximately right. Run under TSan in CI.
+    TuningCache cache;
+    CacheEntry entry;
+    entry.intrinsicName = "wmma_16x16x16";
+    cache.insert("present", entry);
+
+    const int threads = 8, iters = 250;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&cache] {
+            for (int i = 0; i < iters; ++i) {
+                (void)cache.tryGet("present");
+                (void)cache.tryGet("absent");
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(cache.hitCount(),
+              static_cast<std::uint64_t>(threads) * iters);
+    EXPECT_EQ(cache.missCount(),
+              static_cast<std::uint64_t>(threads) * iters);
+    EXPECT_EQ(cache.insertCount(), 1u);
+}
+
 TEST(CompileWithCache, ConcurrentCompilersShareOneCache)
 {
     // Several compiler threads resolve the same workload through one

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "explore/tuner.hh"
+#include "hw/hardware.hh"
 #include "isa/intrinsics.hh"
 #include "mapping/execute.hh"
 #include "mapping/generate.hh"
@@ -142,6 +144,89 @@ TEST_P(OperatorExecution, EveryMappingOfEveryOperatorIsExact)
 
 INSTANTIATE_TEST_SUITE_P(
     AllOperators, OperatorExecution,
+    ::testing::ValuesIn(ops::allOpKinds()),
+    [](const ::testing::TestParamInfo<ops::OpKind> &info) {
+        return ops::opKindName(info.param);
+    });
+
+class TunedOperatorDifferential
+    : public ::testing::TestWithParam<ops::OpKind>
+{
+};
+
+TEST_P(TunedOperatorDifferential, BestTunedPlanMatchesReference)
+{
+    // End-to-end differential: run the whole exploration pipeline
+    // (enumerate -> validate -> GA search over schedules) and check
+    // that the *winning* plan still computes the same values as the
+    // naive scalar reference. Guards against the tuner preferring a
+    // mapping whose execution semantics drifted.
+    ConvParams pr = tinyConvParams();
+    TensorComputation comp = [&]() -> TensorComputation {
+        switch (GetParam()) {
+          case ops::OpKind::GMV: return ops::makeGemv(5, 7);
+          case ops::OpKind::GMM: return ops::makeGemm(3, 5, 7);
+          case ops::OpKind::C1D:
+            return ops::makeConv1d(2, 3, 4, 5, 3);
+          case ops::OpKind::C2D: return ops::makeConv2d(pr);
+          case ops::OpKind::C3D: return ops::makeConv3d(pr, 2, 2);
+          case ops::OpKind::T2D: {
+            ConvParams t2 = pr;
+            t2.stride = 2;
+            return ops::makeTransposedConv2d(t2);
+          }
+          case ops::OpKind::GRP:
+            return ops::makeGroupConv2d(pr, 2);
+          case ops::OpKind::DIL: {
+            ConvParams dil = pr;
+            dil.dilation = 2;
+            return ops::makeDilatedConv2d(dil);
+          }
+          case ops::OpKind::DEP:
+            return ops::makeDepthwiseConv2d(pr, 2);
+          case ops::OpKind::CAP: {
+            ConvParams cap = pr;
+            cap.out_h = 2;
+            cap.out_w = 2;
+            cap.out_channels = 2;
+            return ops::makeCapsuleConv2d(cap, 2);
+          }
+          case ops::OpKind::BCV:
+            return ops::makeBatchedConv2d(pr);
+          case ops::OpKind::GFC:
+            return ops::makeGroupedFC(2, 3, 4, 5);
+          case ops::OpKind::MEN: return ops::makeMean(5, 6);
+          case ops::OpKind::VAR: return ops::makeVariance(5, 6);
+          case ops::OpKind::SCN: return ops::makeScan(3, 5);
+        }
+        panic("unreachable");
+    }();
+
+    auto plans = enumeratePlans(comp, isa::wmmaTiny(), {});
+    ASSERT_GT(plans.size(), 0u);
+
+    TuneOptions options;
+    options.generations = 2;
+    options.population = 8;
+    options.measureTopK = 2;
+    options.exploitSteps = 0;
+    options.numThreads = 2;
+    auto result = tuneWithPlans(plans, hw::v100(), options);
+    ASSERT_TRUE(result.tensorizable);
+    ASSERT_TRUE(result.bestPlan.has_value());
+    ASSERT_LT(result.bestMappingIndex, plans.size());
+
+    SCOPED_TRACE(result.bestPlan->mapping().signature(comp));
+    EXPECT_LE(mappedVsReferenceError(*result.bestPlan), kTol);
+    // The winner must be one of the enumerated plans, bit-for-bit.
+    EXPECT_EQ(result.bestPlan->mapping().signature(comp),
+              plans[result.bestMappingIndex]
+                  .mapping()
+                  .signature(comp));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, TunedOperatorDifferential,
     ::testing::ValuesIn(ops::allOpKinds()),
     [](const ::testing::TestParamInfo<ops::OpKind> &info) {
         return ops::opKindName(info.param);

@@ -12,6 +12,11 @@
  *  - the permissive space contains the addressable space;
  *  - random legal schedules lower to internally consistent profiles
  *    and finite simulations.
+ *
+ * A second suite fuzzes Algorithm 1 directly at the matrix level:
+ * random (X, Y, Z) triples constructed to be valid must validate,
+ * single-bit perturbations of mapped columns must be rejected, and
+ * the verdict must be stable under operand relabelling.
  */
 
 #include <gtest/gtest.h>
@@ -21,8 +26,11 @@
 #include "isa/intrinsics.hh"
 #include "mapping/execute.hh"
 #include "mapping/generate.hh"
+#include "mapping/validate.hh"
 #include "model/perf_model.hh"
 #include "sim/simulator.hh"
+#include "support/bit_matrix.hh"
+#include "support/logging.hh"
 #include "support/rng.hh"
 
 namespace amos {
@@ -224,6 +232,213 @@ TEST_P(PipelineFuzz, SchedulesLowerConsistently)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
                          ::testing::Range(0, 24));
+
+/** Random rows x cols matrix with roughly `density` set bits. */
+BitMatrix
+randomBitMatrix(Rng &rng, std::size_t rows, std::size_t cols,
+                double density = 0.5)
+{
+    BitMatrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m.set(r, c, rng.flip(density));
+    return m;
+}
+
+/**
+ * Random injective matching: every intrinsic iteration k is assigned
+ * a distinct software iteration (requires n_sw >= n_intr). These are
+ * exactly the matchings Algorithm 1 is built around.
+ */
+BitMatrix
+randomInjectiveMatching(Rng &rng, std::size_t n_intr,
+                        std::size_t n_sw)
+{
+    std::vector<std::size_t> cols(n_sw);
+    for (std::size_t i = 0; i < n_sw; ++i)
+        cols[i] = i;
+    // Fisher-Yates prefix shuffle.
+    for (std::size_t i = 0; i < n_intr; ++i) {
+        auto j = static_cast<std::size_t>(rng.uniformInt(
+            static_cast<std::int64_t>(i),
+            static_cast<std::int64_t>(n_sw) - 1));
+        std::swap(cols[i], cols[j]);
+    }
+    BitMatrix y(n_intr, n_sw);
+    for (std::size_t k = 0; k < n_intr; ++k)
+        y.set(k, cols[k], true);
+    return y;
+}
+
+class Algorithm1Fuzz : public ::testing::TestWithParam<int>
+{
+  protected:
+    Rng rng{static_cast<std::uint64_t>(GetParam()) * 6151 + 101};
+};
+
+TEST_P(Algorithm1Fuzz, IdentityMatchingIsAlwaysValid)
+{
+    // Y = I, Z = X: the intrinsic is the computation. Valid even
+    // under the strict (no-relaxation) algorithm, and the derived
+    // matrices are X itself.
+    auto ops = static_cast<std::size_t>(rng.uniformInt(1, 4));
+    auto n = static_cast<std::size_t>(rng.uniformInt(1, 6));
+    auto x = randomBitMatrix(rng, ops, n);
+    auto res =
+        validateMatching(x, BitMatrix::identity(n), x, false);
+    EXPECT_TRUE(res.valid) << res.failure;
+    EXPECT_EQ(res.softwareAccess, x);
+    EXPECT_EQ(res.hardwareAccess, x);
+}
+
+TEST_P(Algorithm1Fuzz, DerivedAccessFromInjectiveMatchingValidates)
+{
+    // Construct X := Z * Y from a random Z and a random injective
+    // matching Y. Then X' = Z * Y = X by construction, and
+    // Z' = X * Yt = Z * (Y * Yt) = Z because injective matchings
+    // satisfy Y * Yt = I. Strict validity is guaranteed.
+    auto ops = static_cast<std::size_t>(rng.uniformInt(1, 4));
+    auto n_intr = static_cast<std::size_t>(rng.uniformInt(1, 4));
+    auto n_sw = n_intr + static_cast<std::size_t>(
+                             rng.uniformInt(0, 3));
+    auto z = randomBitMatrix(rng, ops, n_intr);
+    auto y = randomInjectiveMatching(rng, n_intr, n_sw);
+    auto x = z.star(y);
+
+    auto strict = validateMatching(x, y, z, false);
+    EXPECT_TRUE(strict.valid) << strict.failure;
+    auto partial = validateMatching(x, y, z, true);
+    EXPECT_TRUE(partial.valid) << partial.failure;
+    EXPECT_EQ(strict.softwareAccess, x);
+    EXPECT_EQ(strict.hardwareAccess, z);
+}
+
+TEST_P(Algorithm1Fuzz, FlippingAMappedAccessBitInvalidates)
+{
+    // Perturbing X in any software iteration column that Y actually
+    // maps breaks X' = X there: the algorithm must report a failure
+    // at exactly that (operand, iteration).
+    auto ops = static_cast<std::size_t>(rng.uniformInt(1, 4));
+    auto n_intr = static_cast<std::size_t>(rng.uniformInt(1, 4));
+    auto n_sw = n_intr + static_cast<std::size_t>(
+                             rng.uniformInt(0, 3));
+    auto z = randomBitMatrix(rng, ops, n_intr);
+    auto y = randomInjectiveMatching(rng, n_intr, n_sw);
+    auto x = z.star(y);
+
+    // Pick a mapped software column (one with a set Y bit).
+    auto k = static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(n_intr) - 1));
+    std::size_t mapped_col = 0;
+    for (std::size_t s = 0; s < n_sw; ++s)
+        if (y.at(k, s))
+            mapped_col = s;
+    auto r = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(ops) - 1));
+    x.set(r, mapped_col, !x.at(r, mapped_col));
+
+    auto res = validateMatching(x, y, z, true);
+    EXPECT_FALSE(res.valid);
+    EXPECT_FALSE(res.failure.empty());
+}
+
+TEST_P(Algorithm1Fuzz, OperandPermutationPreservesVerdict)
+{
+    // Relabelling operands (the same row permutation applied to X
+    // and Z) cannot change the verdict: the checks are row-wise.
+    auto ops = static_cast<std::size_t>(rng.uniformInt(2, 4));
+    auto n_intr = static_cast<std::size_t>(rng.uniformInt(1, 4));
+    auto n_sw = static_cast<std::size_t>(rng.uniformInt(
+        static_cast<std::int64_t>(n_intr), 6));
+    auto x = randomBitMatrix(rng, ops, n_sw);
+    auto y = randomBitMatrix(rng, n_intr, n_sw, 0.3);
+    auto z = randomBitMatrix(rng, ops, n_intr);
+    auto base = validateMatching(x, y, z, true);
+
+    // Random row permutation.
+    std::vector<std::size_t> perm(ops);
+    for (std::size_t i = 0; i < ops; ++i)
+        perm[i] = i;
+    for (std::size_t i = 0; i + 1 < ops; ++i) {
+        auto j = static_cast<std::size_t>(rng.uniformInt(
+            static_cast<std::int64_t>(i),
+            static_cast<std::int64_t>(ops) - 1));
+        std::swap(perm[i], perm[j]);
+    }
+    BitMatrix xp(ops, n_sw), zp(ops, n_intr);
+    for (std::size_t i = 0; i < ops; ++i) {
+        for (std::size_t c = 0; c < n_sw; ++c)
+            xp.set(i, c, x.at(perm[i], c));
+        for (std::size_t c = 0; c < n_intr; ++c)
+            zp.set(i, c, z.at(perm[i], c));
+    }
+    auto permuted = validateMatching(xp, y, zp, true);
+    EXPECT_EQ(base.valid, permuted.valid)
+        << base.failure << " vs " << permuted.failure;
+}
+
+TEST_P(Algorithm1Fuzz, ConflictingDoubleMatchingIsRejected)
+{
+    // Start from a valid injective matching, then additionally map
+    // an already-mapped software iteration to a second intrinsic
+    // iteration whose access column strictly adds operand bits. The
+    // union in X' = Z * Y then disagrees with X: must be invalid.
+    auto ops = static_cast<std::size_t>(rng.uniformInt(2, 4));
+    std::size_t n_intr = 2 + static_cast<std::size_t>(
+                                 rng.uniformInt(0, 2));
+    auto n_sw = n_intr + static_cast<std::size_t>(
+                             rng.uniformInt(0, 2));
+    auto z = randomBitMatrix(rng, ops, n_intr);
+    // Force intrinsic iteration 0 to access an operand iteration 1
+    // does not, so their columns conflict.
+    z.set(0, 0, true);
+    z.set(0, 1, false);
+    auto y = randomInjectiveMatching(rng, n_intr, n_sw);
+    auto x = z.star(y);
+
+    // Software column matched to intrinsic iteration 1.
+    std::size_t s1 = 0;
+    for (std::size_t s = 0; s < n_sw; ++s)
+        if (y.at(1, s))
+            s1 = s;
+    y.set(0, s1, true); // now s1 drives intrinsic iters 0 and 1
+
+    auto res = validateMatching(x, y, z, true);
+    EXPECT_FALSE(res.valid);
+    EXPECT_FALSE(res.failure.empty());
+}
+
+TEST_P(Algorithm1Fuzz, VerdictIsDeterministic)
+{
+    auto ops = static_cast<std::size_t>(rng.uniformInt(1, 4));
+    auto n_intr = static_cast<std::size_t>(rng.uniformInt(1, 4));
+    auto n_sw = static_cast<std::size_t>(rng.uniformInt(1, 6));
+    auto x = randomBitMatrix(rng, ops, n_sw);
+    auto y = randomBitMatrix(rng, n_intr, n_sw, 0.3);
+    auto z = randomBitMatrix(rng, ops, n_intr);
+    auto a = validateMatching(x, y, z, true);
+    auto b = validateMatching(x, y, z, true);
+    EXPECT_EQ(a.valid, b.valid);
+    EXPECT_EQ(a.failure, b.failure);
+    EXPECT_EQ(a.softwareAccess, b.softwareAccess);
+    EXPECT_EQ(a.hardwareAccess, b.hardwareAccess);
+}
+
+TEST(Algorithm1, DimensionMismatchesPanic)
+{
+    // Shape preconditions hold regardless of contents: operand
+    // counts must agree and Y must be (intrinsic x software).
+    BitMatrix x(2, 3), y(2, 3), z(2, 2);
+    EXPECT_THROW(validateMatching(BitMatrix(1, 3), y, z, true),
+                 PanicError);
+    EXPECT_THROW(validateMatching(x, BitMatrix(1, 3), z, true),
+                 PanicError);
+    EXPECT_THROW(validateMatching(x, BitMatrix(2, 2), z, true),
+                 PanicError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Algorithm1Fuzz,
+                         ::testing::Range(0, 48));
 
 } // namespace
 } // namespace amos

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "isa/intrinsics.hh"
 #include "mapping/generate.hh"
@@ -273,6 +275,82 @@ TEST(Generate, Table6CountsAcrossOperators)
         EXPECT_EQ(countMappings(row.comp, isa::wmmaTiny(),
                                 LegalityPolicy::Addressable),
                   row.expected);
+    }
+}
+
+TEST(Generate, GoldenCountsPerIntrinsicAndOperator)
+{
+    // Golden matrix: feasible-mapping counts for every modelled
+    // intrinsic x a representative operator set at Table 6's small
+    // extents. These are regression anchors for the enumerator: a
+    // change in any cell means the mapping space itself changed and
+    // the diff must explain why.
+    ConvParams pr = smallConvParams();
+    struct NamedIntr
+    {
+        const char *name;
+        Intrinsic intr;
+    };
+    std::vector<NamedIntr> intrs;
+    intrs.push_back({"wmmaTiny", isa::wmmaTiny()});
+    intrs.push_back({"wmma16", isa::wmma(16, 16, 16)});
+    intrs.push_back({"avx512Vnni", isa::avx512Vnni()});
+    intrs.push_back({"maliDot", isa::maliDot()});
+    intrs.push_back({"virtualGemv", isa::virtualGemv()});
+    intrs.push_back({"virtualAxpy", isa::virtualAxpy()});
+    intrs.push_back({"virtualConv", isa::virtualConv()});
+
+    struct NamedComp
+    {
+        const char *name;
+        TensorComputation comp;
+    };
+    std::vector<NamedComp> comps;
+    comps.push_back({"gemm", ops::makeGemm(4, 4, 4)});
+    comps.push_back({"gemv", ops::makeGemv(8, 8)});
+    comps.push_back({"conv1d", ops::makeConv1d(2, 2, 4, 4, 3)});
+    comps.push_back({"conv2d", ops::makeConv2d(pr)});
+    comps.push_back({"depthwise",
+                     ops::makeDepthwiseConv2d(pr, 2)});
+    comps.push_back({"group", ops::makeGroupConv2d(pr, 2)});
+
+    // golden[i][c] follows the vectors above. virtualConv's compute
+    // has a different operand structure, so gemm/gemv yield 0.
+    const std::size_t golden[7][6] = {
+        /* wmmaTiny    */ {1, 1, 9, 35, 15, 35},
+        /* wmma16      */ {1, 1, 9, 35, 15, 35},
+        /* avx512Vnni  */ {1, 1, 3, 7, 3, 7},
+        /* maliDot     */ {1, 1, 3, 7, 3, 7},
+        /* virtualGemv */ {1, 1, 9, 35, 15, 35},
+        /* virtualAxpy */ {1, 1, 3, 5, 5, 5},
+        /* virtualConv */ {0, 0, 6, 28, 12, 28},
+    };
+
+    for (std::size_t i = 0; i < intrs.size(); ++i) {
+        for (std::size_t c = 0; c < comps.size(); ++c) {
+            SCOPED_TRACE(std::string(intrs[i].name) + " x " +
+                         comps[c].name);
+            EXPECT_EQ(countMappings(comps[c].comp, intrs[i].intr,
+                                    LegalityPolicy::Addressable),
+                      golden[i][c]);
+        }
+    }
+}
+
+TEST(Generate, GoldenCountsEveryMappingValidates)
+{
+    // Every cell of the golden matrix must also survive Algorithm 1:
+    // the enumerator may never emit a mapping the validator rejects.
+    ConvParams pr = smallConvParams();
+    std::vector<Intrinsic> intrs = {
+        isa::wmmaTiny(), isa::avx512Vnni(), isa::maliDot(),
+        isa::virtualAxpy(), isa::virtualConv()};
+    auto conv = ops::makeConv2d(pr);
+    for (const auto &intr : intrs) {
+        for (const auto &plan : enumeratePlans(conv, intr, {})) {
+            EXPECT_TRUE(plan.valid())
+                << intr.name() << ": " << plan.validation().failure;
+        }
     }
 }
 

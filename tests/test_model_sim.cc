@@ -10,8 +10,10 @@
 
 #include <cmath>
 
+#include "explore/tuner.hh"
 #include "hw/hardware.hh"
 #include "isa/intrinsics.hh"
+#include "mapping/generate.hh"
 #include "model/perf_model.hh"
 #include "ops/operators.hh"
 #include "sim/simulator.hh"
@@ -241,6 +243,54 @@ TEST(Sim, CyclesToMsUsesClock)
 {
     auto hw = hw::v100();
     EXPECT_NEAR(cyclesToMs(hw.clockGhz * 1e6, hw), 1.0, 1e-12);
+}
+
+TEST(Sim, TunedWinnerIsConsistentAcrossModelAndSim)
+{
+    // Differential over the full exploration pipeline: whatever the
+    // tuner declares the winner, re-lowering that (mapping, schedule)
+    // pair from scratch must reproduce the reported simulator cycles
+    // exactly, and both the analytic model and the simulator must
+    // assign it a finite positive cost. Guards against the tuner
+    // caching a stale profile or reporting a schedule it never
+    // actually measured.
+    auto hw = hw::v100();
+    auto comp = ops::makeGemm(64, 64, 64);
+    auto plans = enumeratePlans(comp, isa::wmma(16, 16, 16), {});
+    ASSERT_GT(plans.size(), 0u);
+
+    TuneOptions options;
+    options.generations = 2;
+    options.population = 8;
+    options.measureTopK = 2;
+    options.exploitSteps = 0;
+    options.numThreads = 2;
+    auto result = tuneWithPlans(plans, hw, options);
+    ASSERT_TRUE(result.tensorizable);
+    ASSERT_TRUE(result.bestPlan.has_value());
+
+    auto prof =
+        lowerKernel(*result.bestPlan, result.bestSchedule, hw);
+    ASSERT_TRUE(prof.valid());
+
+    auto sim = simulateKernel(prof, hw);
+    EXPECT_TRUE(std::isfinite(sim.cycles));
+    EXPECT_GT(sim.cycles, 0.0);
+    EXPECT_DOUBLE_EQ(sim.cycles, result.bestCycles);
+    EXPECT_DOUBLE_EQ(sim.cycles, result.bestSim.cycles);
+
+    double model = modelCycles(prof, hw);
+    EXPECT_TRUE(std::isfinite(model));
+    EXPECT_GT(model, 0.0);
+    EXPECT_DOUBLE_EQ(model, result.bestModelCycles);
+
+    // Model and simulator disagree in structure (Fig. 5) — the model
+    // skips launch overhead and wave quantisation, so it runs well
+    // under the simulator on small kernels — but a well-formed kernel
+    // must keep them within two orders of magnitude of each other.
+    double ratio = model / sim.cycles;
+    EXPECT_GT(ratio, 0.01);
+    EXPECT_LT(ratio, 100.0);
 }
 
 TEST(Sim, TensorizedBeatsScalarOnBigGemm)

@@ -22,6 +22,7 @@
 
 #include "serve/server.hh"
 #include "serve/service.hh"
+#include "support/rng.hh"
 
 namespace amos {
 namespace serve {
@@ -469,6 +470,220 @@ TEST(Server, ReplayTraceIsDeterministic)
     EXPECT_EQ(lines[1].get("served_by").asString(), "memory");
     EXPECT_EQ(lines[2].get("served_by").asString(), "compile");
     EXPECT_EQ(lines[3].get("stats").get("memory_hits").asInt(), 1);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Protocol, TraceIdRoundTripsOutsideTheCacheKey)
+{
+    auto req = fastRequest();
+    auto untraced_key = req.cacheKey();
+    req.id = "r1";
+    req.traceId = "tr-99";
+    auto round = CompileRequest::fromJson(
+        Json::parse(req.toJson().dump()));
+    EXPECT_EQ(round.traceId, "tr-99");
+    // Tracing is observability, not semantics: it must never split
+    // the cache key.
+    EXPECT_EQ(round.cacheKey(), untraced_key);
+}
+
+TEST(Service, TraceIdAttachesSpanTreesToResponses)
+{
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+
+    auto req = fastRequest();
+    req.id = "c1";
+    req.traceId = "trace-cold";
+    auto cold = service.serve(req);
+    ASSERT_TRUE(cold.ok);
+    EXPECT_EQ(cold.servedBy, "compile");
+    ASSERT_FALSE(cold.trace.isNull());
+    EXPECT_EQ(cold.trace.get("trace_id").asString(), "trace-cold");
+    const auto &spans = cold.trace.get("spans");
+    ASSERT_GT(spans.size(), 0u);
+    // A cold compile's tree is rooted at the compile span, with the
+    // exploration pipeline nested underneath.
+    EXPECT_EQ(spans.at(0).get("name").asString(), "serve.compile");
+    std::string dumped = cold.trace.dump();
+    EXPECT_NE(dumped.find("explore.tune"), std::string::npos);
+
+    req.traceId = "trace-warm";
+    auto warm = service.serve(req);
+    ASSERT_TRUE(warm.ok);
+    EXPECT_EQ(warm.servedBy, "memory");
+    ASSERT_FALSE(warm.trace.isNull());
+    EXPECT_EQ(warm.trace.get("trace_id").asString(), "trace-warm");
+    EXPECT_EQ(warm.trace.get("spans").at(0).get("name").asString(),
+              "serve.cache_hit");
+
+    // Untraced requests pay nothing and carry no tree.
+    req.traceId.clear();
+    auto plain = service.serve(req);
+    ASSERT_TRUE(plain.ok);
+    EXPECT_TRUE(plain.trace.isNull());
+}
+
+TEST(Service, StatsExposeUnifiedMetrics)
+{
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+    ASSERT_TRUE(service.serve(fastRequest()).ok);
+    ASSERT_TRUE(service.serve(fastRequest()).ok);
+
+    auto stats = service.stats();
+    EXPECT_EQ(stats.metrics.at("serve.requests"), 2u);
+    EXPECT_EQ(stats.metrics.at("serve.compiles"), 1u);
+    EXPECT_EQ(stats.metrics.at("serve.memory_hits"), 1u);
+    EXPECT_EQ(stats.metrics.at("cache.misses"), 1u);
+    EXPECT_EQ(stats.metrics.at("cache.memory_hits"), 1u);
+    EXPECT_EQ(stats.metrics.at("cache.puts"), 1u);
+    // The legacy counters and the unified registry must agree.
+    EXPECT_EQ(stats.requests, stats.metrics.at("serve.requests"));
+    EXPECT_EQ(stats.memoryHits,
+              stats.metrics.at("serve.memory_hits"));
+
+    auto json = stats.toJson();
+    ASSERT_TRUE(json.has("metrics"));
+    EXPECT_EQ(json.get("metrics").get("serve.requests").asInt(), 2);
+    EXPECT_EQ(json.get("metrics").get("serve.compiles").asInt(), 1);
+}
+
+TEST(Server, OversizedLinesAreShedWithTypedErrors)
+{
+    // A line past the 1 MiB admission bound is answered with a typed
+    // bad_request *without being parsed*; the stream then keeps
+    // serving.
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+
+    std::string huge = R"({"type":"compile","op":"gemm","id":")" +
+                       std::string((1 << 20), 'x') + "\"}";
+    std::istringstream in(huge + "\n" +
+                          "{\"type\":\"stats\",\"id\":\"s\"}\n"
+                          "{\"type\":\"shutdown\"}\n");
+    std::ostringstream out;
+    int errors = serveStream(service, in, out);
+    EXPECT_EQ(errors, 1);
+
+    bool saw_reject = false, saw_stats = false;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        auto json = Json::parse(line);
+        if (json.has("stats")) {
+            saw_stats = true;
+        } else {
+            EXPECT_FALSE(json.get("ok").asBool());
+            EXPECT_EQ(json.get("error").get("code").asString(),
+                      "bad_request");
+            EXPECT_NE(json.get("error")
+                          .get("message")
+                          .asString()
+                          .find("exceeds"),
+                      std::string::npos);
+            saw_reject = true;
+        }
+    }
+    EXPECT_TRUE(saw_reject);
+    EXPECT_TRUE(saw_stats);
+    EXPECT_EQ(service.stats().requests, 0u);
+}
+
+TEST(Server, MalformedInputNeverCrashesTheStream)
+{
+    // NDJSON robustness fuzz: random garbage, truncated requests,
+    // well-formed JSON of the wrong shape, and unknown types must
+    // each produce exactly one typed error response — never a crash,
+    // never a dropped stream.
+    const std::string valid =
+        R"({"type":"compile","op":"gemm","m":64,"n":64,"k":64,)"
+        R"("hw":"v100","generations":2,"id":"ok"})";
+
+    std::vector<std::string> bad;
+    // Every proper prefix of a JSON object is invalid JSON.
+    for (std::size_t n = 1; n < valid.size(); n += 9)
+        bad.push_back(valid.substr(0, n));
+    // Deterministic printable garbage (newline-free).
+    Rng rng(20260806);
+    const std::string charset =
+        "{}[]\",:abcdefghijklmnopqrstuvwxyz0123456789 .+-\\/";
+    for (int i = 0; i < 32; ++i) {
+        auto len =
+            static_cast<std::size_t>(rng.uniformInt(1, 80));
+        std::string junk;
+        for (std::size_t j = 0; j < len; ++j)
+            junk += charset[static_cast<std::size_t>(rng.uniformInt(
+                0,
+                static_cast<std::int64_t>(charset.size()) - 1))];
+        bad.push_back(junk);
+    }
+    // Well-formed JSON, wrong shape or content.
+    bad.push_back("[1,2,3]");
+    bad.push_back("42");
+    bad.push_back("\"compile\"");
+    bad.push_back(R"({"type":"warp_speed"})");
+    bad.push_back(R"({"type":"compile","op":"gemm","m":"wide"})");
+    bad.push_back(R"({"type":"compile","generations":0})");
+
+    std::string stream;
+    for (const auto &line : bad)
+        stream += line + "\n";
+    stream += "{\"type\":\"stats\",\"id\":\"s\"}\n";
+    stream += "{\"type\":\"shutdown\"}\n";
+
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+    std::istringstream in(stream);
+    std::ostringstream out;
+    int errors = serveStream(service, in, out);
+    EXPECT_EQ(errors, static_cast<int>(bad.size()));
+
+    std::size_t rejects = 0, stats_lines = 0;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        auto json = Json::parse(line); // responses are valid JSON
+        if (json.has("stats")) {
+            ++stats_lines;
+            continue;
+        }
+        EXPECT_FALSE(json.get("ok").asBool());
+        EXPECT_EQ(json.get("error").get("code").asString(),
+                  "bad_request");
+        ++rejects;
+    }
+    EXPECT_EQ(rejects, bad.size());
+    EXPECT_EQ(stats_lines, 1u);
+    // Nothing malformed ever reached the service.
+    EXPECT_EQ(service.stats().requests, 0u);
+}
+
+TEST(Server, ReplayTraceRejectsOversizedAndMalformedLines)
+{
+    auto dir = freshDiskDir("replay_fuzz");
+    std::string trace_path = dir + "/trace.ndjson";
+    {
+        std::ofstream trace(trace_path);
+        trace << "# comment survives\n";
+        trace << std::string((1 << 20) + 7, 'z') << "\n";
+        trace << "still not json\n";
+        trace << R"({"type":"compile","op":"gemm","m":64,"n":64,)"
+              << R"("k":64,"hw":"v100","generations":2,"id":"g"})"
+              << "\n";
+    }
+
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+    std::ostringstream out;
+    int failed = replayTrace(service, trace_path, out);
+    EXPECT_EQ(failed, 2); // oversized + malformed; the compile ran
+    EXPECT_EQ(service.stats().compiles, 1u);
     std::filesystem::remove_all(dir);
 }
 

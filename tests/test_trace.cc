@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Tests for the tracing + metrics subsystem: span recording and
+ * nesting, Chrome trace-event export, per-request trace contexts
+ * (including propagation through parallelFor), concurrency under a
+ * 16-thread hammer (run under TSan in CI), and the MetricsRegistry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "explore/tuner.hh"
+#include "hw/hardware.hh"
+#include "mapping/generate.hh"
+#include "ops/operators.hh"
+#include "support/metrics.hh"
+#include "support/thread_pool.hh"
+#include "support/trace.hh"
+
+using namespace amos;
+
+namespace {
+
+/** RAII guard: global tracing on for the test, clean slate around. */
+struct GlobalTracing
+{
+    GlobalTracing()
+    {
+        Tracer::global().clear();
+        Tracer::global().setEnabled(true);
+    }
+    ~GlobalTracing()
+    {
+        Tracer::global().setEnabled(false);
+        Tracer::global().clear();
+    }
+};
+
+SpanRecord
+findSpan(const std::vector<SpanRecord> &spans, const std::string &name)
+{
+    for (const auto &span : spans)
+        if (span.name == name)
+            return span;
+    ADD_FAILURE() << "span '" << name << "' not recorded";
+    return {};
+}
+
+} // namespace
+
+TEST(Trace, DisabledSpanRecordsNothing)
+{
+    Tracer::global().clear();
+    ASSERT_FALSE(Tracer::global().enabled());
+    {
+        TraceSpan span("test.disabled", "test");
+        EXPECT_FALSE(span.active());
+        span.arg("ignored", std::string("value"));
+    }
+    EXPECT_EQ(Tracer::global().spanCount(), 0u);
+}
+
+TEST(Trace, GlobalEnableRecordsSpansWithArgs)
+{
+    GlobalTracing guard;
+    {
+        TraceSpan span("test.outer", "test");
+        EXPECT_TRUE(span.active());
+        span.arg("key", std::string("value"));
+        span.arg("count", static_cast<std::int64_t>(42));
+    }
+    auto spans = Tracer::global().collect();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "test.outer");
+    EXPECT_EQ(spans[0].category, "test");
+    ASSERT_EQ(spans[0].args.size(), 2u);
+    EXPECT_EQ(spans[0].args[0].first, "key");
+    EXPECT_EQ(spans[0].args[0].second, "value");
+    EXPECT_EQ(spans[0].args[1].second, "42");
+    EXPECT_GE(spans[0].durUs, 0.0);
+}
+
+TEST(Trace, NestedSpansAreTimeContained)
+{
+    GlobalTracing guard;
+    {
+        TraceSpan outer("test.outer", "test");
+        {
+            TraceSpan inner("test.inner", "test");
+        }
+    }
+    auto spans = Tracer::global().collect();
+    ASSERT_EQ(spans.size(), 2u);
+    auto outer = findSpan(spans, "test.outer");
+    auto inner = findSpan(spans, "test.inner");
+    EXPECT_GE(inner.startUs, outer.startUs);
+    EXPECT_LE(inner.startUs + inner.durUs,
+              outer.startUs + outer.durUs + 1e-3);
+}
+
+TEST(Trace, ChromeJsonShape)
+{
+    GlobalTracing guard;
+    {
+        TraceSpan span("test.event", "test");
+        span.arg("k", std::string("v"));
+    }
+    Json doc = Tracer::global().toChromeJson();
+    EXPECT_EQ(doc.get("displayTimeUnit").asString(), "ms");
+    const Json &events = doc.get("traceEvents");
+    ASSERT_EQ(events.size(), 1u);
+    const Json &event = events.at(0);
+    EXPECT_EQ(event.get("name").asString(), "test.event");
+    EXPECT_EQ(event.get("cat").asString(), "test");
+    EXPECT_EQ(event.get("ph").asString(), "X");
+    EXPECT_TRUE(event.has("ts"));
+    EXPECT_TRUE(event.has("dur"));
+    EXPECT_TRUE(event.has("pid"));
+    EXPECT_TRUE(event.has("tid"));
+    EXPECT_EQ(event.get("args").get("k").asString(), "v");
+}
+
+TEST(Trace, ContextRecordsWhileGlobalOff)
+{
+    Tracer::global().clear();
+    ASSERT_FALSE(Tracer::global().enabled());
+    {
+        TraceContext ctx("req-1");
+        TraceSpan span("test.tagged", "test");
+        EXPECT_TRUE(span.active());
+    }
+    {
+        // Context gone: back to the disabled fast path.
+        TraceSpan span("test.untagged", "test");
+        EXPECT_FALSE(span.active());
+    }
+    auto spans = Tracer::global().collect();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].traceId, "req-1");
+    Tracer::global().releaseTrace("req-1");
+    EXPECT_EQ(Tracer::global().spanCount(), 0u);
+}
+
+TEST(Trace, ContextsNestInnermostWins)
+{
+    Tracer::global().clear();
+    TraceContext outer("outer-id");
+    EXPECT_EQ(TraceContext::currentId(), "outer-id");
+    {
+        TraceContext inner("inner-id");
+        EXPECT_EQ(TraceContext::currentId(), "inner-id");
+        TraceSpan span("test.inner", "test");
+    }
+    EXPECT_EQ(TraceContext::currentId(), "outer-id");
+    auto spans = Tracer::global().collect();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].traceId, "inner-id");
+    Tracer::global().releaseTrace("inner-id");
+}
+
+TEST(Trace, ContextPropagatesThroughParallelFor)
+{
+    Tracer::global().clear();
+    {
+        TraceContext ctx("fanout");
+        parallelFor(
+            16,
+            [](std::size_t) {
+                TraceSpan span("test.worker", "test");
+            },
+            4);
+    }
+    auto spans = Tracer::global().collect();
+    ASSERT_EQ(spans.size(), 16u);
+    for (const auto &span : spans)
+        EXPECT_EQ(span.traceId, "fanout");
+    Tracer::global().releaseTrace("fanout");
+}
+
+TEST(Trace, SpanTreeNestsByTimeContainment)
+{
+    Tracer::global().clear();
+    {
+        TraceContext ctx("tree");
+        TraceSpan root("test.root", "test");
+        {
+            TraceSpan childA("test.child_a", "test");
+            {
+                TraceSpan grand("test.grandchild", "test");
+            }
+        }
+        {
+            TraceSpan childB("test.child_b", "test");
+        }
+    }
+    Json tree = Tracer::global().spanTreeFor("tree");
+    EXPECT_EQ(tree.get("trace_id").asString(), "tree");
+    const Json &roots = tree.get("spans");
+    ASSERT_EQ(roots.size(), 1u);
+    const Json &root = roots.at(0);
+    EXPECT_EQ(root.get("name").asString(), "test.root");
+    const Json &children = root.get("children");
+    ASSERT_EQ(children.size(), 2u);
+    EXPECT_EQ(children.at(0).get("name").asString(), "test.child_a");
+    EXPECT_EQ(children.at(1).get("name").asString(), "test.child_b");
+    const Json &grandchildren = children.at(0).get("children");
+    ASSERT_EQ(grandchildren.size(), 1u);
+    EXPECT_EQ(grandchildren.at(0).get("name").asString(),
+              "test.grandchild");
+    Tracer::global().releaseTrace("tree");
+}
+
+TEST(Trace, ReleaseTraceDropsOnlyThatId)
+{
+    Tracer::global().clear();
+    {
+        TraceContext ctx("keep");
+        TraceSpan span("test.keep", "test");
+    }
+    {
+        TraceContext ctx("drop");
+        TraceSpan span("test.drop", "test");
+    }
+    EXPECT_EQ(Tracer::global().releaseTrace("drop"), 1u);
+    auto spans = Tracer::global().collect();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].traceId, "keep");
+    Tracer::global().releaseTrace("keep");
+}
+
+/**
+ * 16 threads hammering span creation, context switches, and
+ * concurrent exports; run under TSan in CI. Assertions are minimal
+ * on purpose — the test exists to surface races, not behaviour.
+ */
+TEST(Trace, ConcurrentSpanHammer)
+{
+    GlobalTracing guard;
+    const int kThreads = 16;
+    const int kSpansPerThread = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            TraceContext ctx("hammer-" + std::to_string(t % 4));
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                TraceSpan span("test.hammer", "test");
+                span.arg("i", static_cast<std::int64_t>(i));
+                if (i % 50 == 0) {
+                    // Concurrent export while writers are active.
+                    Tracer::global().collect();
+                    Tracer::global().spanCount();
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(Tracer::global().spanCount(),
+              static_cast<std::size_t>(kThreads * kSpansPerThread));
+    // Thread ids must be distinct per thread.
+    std::set<std::uint32_t> tids;
+    for (const auto &span : Tracer::global().collect())
+        tids.insert(span.tid);
+    EXPECT_GE(tids.size(), 2u);
+}
+
+/**
+ * Acceptance: a traced tune emits the full pipeline span taxonomy
+ * with enumerate/validate/sample/model-eval/measure correctly nested
+ * under the tune root.
+ */
+TEST(Trace, TracedTuneEmitsPipelineSpans)
+{
+    Tracer::global().clear();
+    auto hw = hw::v100();
+    auto comp = ops::makeGemm(64, 64, 64);
+    std::vector<MappingPlan> plans;
+    for (const auto &intr : hw.intrinsics) {
+        if (comp.inputs().size() != intr.compute.numSrcs() ||
+            comp.combine() != intr.compute.combine())
+            continue;
+        for (auto &plan : enumeratePlans(comp, intr, {}))
+            plans.push_back(std::move(plan));
+    }
+    ASSERT_FALSE(plans.empty());
+    TuneOptions options;
+    options.generations = 2;
+    options.population = 8;
+    options.measureTopK = 2;
+    options.numThreads = 4;
+    {
+        TraceContext ctx("tune-req");
+        auto result = tuneWithPlans(plans, hw, options);
+        ASSERT_TRUE(result.tensorizable);
+    }
+    auto spans = Tracer::global().collect();
+    std::set<std::string> names;
+    for (const auto &span : spans) {
+        EXPECT_EQ(span.traceId, "tune-req");
+        names.insert(span.name);
+    }
+    for (const char *expected :
+         {"explore.tune", "explore.generation", "explore.model_eval",
+          "explore.measure", "schedule.sample", "schedule.expert",
+          "sim.measure"})
+        EXPECT_TRUE(names.count(expected))
+            << "missing span " << expected;
+
+    // The tree roots at explore.tune and contains a generation span
+    // which in turn contains the model evaluation.
+    Json tree = Tracer::global().spanTreeFor("tune-req");
+    const Json &roots = tree.get("spans");
+    ASSERT_GE(roots.size(), 1u);
+    EXPECT_EQ(roots.at(0).get("name").asString(), "explore.tune");
+    bool found_gen = false;
+    const Json &children = roots.at(0).get("children");
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        if (children.at(i).get("name").asString() ==
+            "explore.generation")
+            found_gen = true;
+    }
+    EXPECT_TRUE(found_gen);
+    Tracer::global().releaseTrace("tune-req");
+}
+
+// ---------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------
+
+TEST(Metrics, CounterCreateOnFirstUseAndStableReference)
+{
+    MetricsRegistry registry;
+    MetricCounter &c1 = registry.counter("test.counter");
+    EXPECT_EQ(c1.value(), 0u);
+    c1.add();
+    c1.add(10);
+    MetricCounter &c2 = registry.counter("test.counter");
+    EXPECT_EQ(&c1, &c2);
+    EXPECT_EQ(c2.value(), 11u);
+}
+
+TEST(Metrics, GaugeLastWriteWins)
+{
+    MetricsRegistry registry;
+    MetricGauge &g = registry.gauge("test.gauge");
+    g.set(1.5);
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(registry.gauge("test.gauge").value(), 2.5);
+}
+
+TEST(Metrics, SnapshotsAndJson)
+{
+    MetricsRegistry registry;
+    registry.counter("a.count").add(3);
+    registry.counter("b.count").add(7);
+    registry.gauge("c.gauge").set(0.25);
+
+    auto counters = registry.counterValues();
+    ASSERT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters.at("a.count"), 3u);
+    EXPECT_EQ(counters.at("b.count"), 7u);
+    auto gauges = registry.gaugeValues();
+    ASSERT_EQ(gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(gauges.at("c.gauge"), 0.25);
+
+    Json doc = registry.toJson();
+    EXPECT_EQ(doc.get("a.count").asInt(), 3);
+    EXPECT_EQ(doc.get("b.count").asInt(), 7);
+    EXPECT_DOUBLE_EQ(doc.get("c.gauge").asNumber(), 0.25);
+}
+
+TEST(Metrics, ConcurrentCountersAreExact)
+{
+    MetricsRegistry registry;
+    const int kThreads = 16;
+    const int kAdds = 1000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&registry] {
+            // Mix creation races and hot-path increments.
+            auto &counter = registry.counter("contended");
+            for (int i = 0; i < kAdds; ++i)
+                counter.add();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(registry.counter("contended").value(),
+              static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Metrics, InstanceRegistriesAreIndependent)
+{
+    MetricsRegistry a;
+    MetricsRegistry b;
+    a.counter("x").add(5);
+    EXPECT_EQ(b.counter("x").value(), 0u);
+}
