@@ -10,12 +10,16 @@
 #define AMOS_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "amos/amos.hh"
 #include "baselines/baselines.hh"
 #include "ops/conv_layers.hh"
+#include "support/json.hh"
 #include "support/math_utils.hh"
 #include "support/str_utils.hh"
 
@@ -66,6 +70,72 @@ class GeoMean
 
   private:
     std::vector<double> _values;
+};
+
+/**
+ * Standard machine-readable benchmark artifact. Every bench binary
+ * collects its numbers into one of these and calls write(), which
+ * produces BENCH_<name>.json — in $AMOS_BENCH_DIR when set, else
+ * the working directory — with a uniform envelope:
+ *
+ *   {"name":..., "repetitions":..., "config":{...}, "metrics":{...}}
+ *
+ * so a results harness can sweep BENCH_*.json without per-bench
+ * parsers.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name, int repetitions = 1)
+        : _name(std::move(name)), _repetitions(repetitions),
+          _config(Json::object()), _metrics(Json::object())
+    {}
+
+    /** Record one workload/configuration knob. */
+    void
+    setConfig(const std::string &key, Json value)
+    {
+        _config.set(key, std::move(value));
+    }
+
+    /** Record one measured metric (scalar, array, or object). */
+    void
+    setMetric(const std::string &key, Json value)
+    {
+        _metrics.set(key, std::move(value));
+    }
+
+    Json
+    toJson() const
+    {
+        Json out = Json::object();
+        out.set("name", Json(_name));
+        out.set("repetitions", Json(_repetitions));
+        out.set("config", _config);
+        out.set("metrics", _metrics);
+        return out;
+    }
+
+    /** Write BENCH_<name>.json; returns the path written. */
+    std::string
+    write() const
+    {
+        const char *dir = std::getenv("AMOS_BENCH_DIR");
+        std::string path = std::string(dir ? dir : ".") +
+                           "/BENCH_" + _name + ".json";
+        std::ofstream out(path);
+        out << toJson().dump() << "\n";
+        out.flush();
+        expect(out.good(), "bench: cannot write ", path);
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+        return path;
+    }
+
+  private:
+    std::string _name;
+    int _repetitions;
+    Json _config;
+    Json _metrics;
 };
 
 } // namespace bench

@@ -10,11 +10,9 @@
  *   warm — a second service started on the cold run's disk tier with
  *          warm-on-start: every request is a memory-tier replay.
  *
- * Prints a human table to stderr and a machine-readable JSON
- * document to stdout (checked in as bench/BENCH_serve.json). Run
- * from the build tree:
- *
- *   bench/bench_serve_throughput > ../bench/BENCH_serve.json
+ * Prints a human table to stderr, the standard envelope to stdout,
+ * and writes BENCH_serve.json ($AMOS_BENCH_DIR or the working
+ * directory).
  */
 
 #include <unistd.h>
@@ -26,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hh"
 #include "serve/service.hh"
 #include "support/str_utils.hh"
 
@@ -175,16 +174,18 @@ main()
     }
     std::filesystem::remove_all(dir);
 
-    Json doc = Json::object();
-    doc.set("bench", Json("serve_throughput"));
-    doc.set("workload",
-            Json("12 distinct gemm configs, v100, generations=4"));
-    doc.set("workers", Json(static_cast<std::int64_t>(4)));
+    bench::BenchReport report("serve");
+    report.setConfig(
+        "workload",
+        Json("12 distinct gemm configs, v100, generations=4"));
+    report.setConfig("workers", Json(static_cast<std::int64_t>(4)));
+    report.setConfig("clients", Json("1,4,16"));
     Json arr = Json::array();
     for (const auto &r : results)
         arr.push(toJson(r));
-    doc.set("results", std::move(arr));
-    std::printf("%s\n", doc.dump().c_str());
+    report.setMetric("results", std::move(arr));
+    std::printf("%s\n", report.toJson().dump().c_str());
+    report.write();
 
     std::size_t failed = 0;
     for (const auto &r : results)

@@ -116,5 +116,19 @@ main()
     std::printf("acceptance: disabled-path overhead must be < 5%% "
                 "(measured against itself: 0%% by construction; the "
                 "enabled figures above bound the worst case)\n");
+
+    bench::BenchReport report("trace_overhead", kRounds);
+    report.setConfig("workload",
+                     Json("tuneWithPlans conv2d 32x32x14, v100"));
+    report.setConfig("generations", Json(4));
+    report.setConfig("threads", Json(4));
+    report.setMetric("off_ms", Json(off));
+    report.setMetric("global_ms", Json(on));
+    report.setMetric("per_request_ms", Json(per_request));
+    report.setMetric("global_overhead_pct",
+                     Json((on / off - 1.0) * 100.0));
+    report.setMetric("per_request_overhead_pct",
+                     Json((per_request / off - 1.0) * 100.0));
+    report.write();
     return 0;
 }

@@ -19,29 +19,73 @@
  *            --kernel 3 --hw v100 --emit-c /tmp/kernel.c
  *   amos_cli --op conv2d --size 14 --hw v100 \
  *            --trace-out /tmp/trace.json   # Chrome/Perfetto trace
+ *   amos_cli --op conv2d --size 14 --hw v100 \
+ *            --explain-out /tmp/explain.json   # bottleneck report
+ *   amos_cli --op gemv --m 1024 --k 1024 --hw v100 --explain
  *
  * Scripting contract:
  *   --json writes a single machine-readable object to stdout (the
  *   same schema as one amos_served response line); human chatter
  *   goes to stderr. Exit codes: 0 success, 1 compile/config error,
  *   2 bad usage, 3 the operator could not be tensorized and
- *   --require-tensorized was given.
+ *   --require-tensorized was given, 4 an output path (--trace-out,
+ *   --explain-out, --telemetry-out, --emit-c) is not writable.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 
 #include "amos/amos.hh"
 #include "codegen/codegen.hh"
+#include "explore/trace_io.hh"
 #include "mapping/generate.hh"
+#include "report/explain.hh"
 #include "serve/protocol.hh"
 #include "support/trace.hh"
 
 namespace {
 
 using namespace amos;
+
+/** An output file the user named cannot be written (exit code 4). */
+class IoError : public std::runtime_error
+{
+  public:
+    explicit IoError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Fail fast on an unwritable output path *before* spending the
+ * exploration: probing in append mode creates missing files without
+ * truncating existing ones.
+ */
+void
+requireWritable(const std::string &path, const char *flagName)
+{
+    if (path.empty())
+        return;
+    std::ofstream probe(path, std::ios::app);
+    if (!probe.good())
+        throw IoError(std::string(flagName) + ": cannot open '" +
+                      path + "' for writing");
+}
+
+void
+writeFileOrThrow(const std::string &path,
+                 const std::string &content, const char *flagName)
+{
+    std::ofstream out(path);
+    out << content;
+    out.flush();
+    if (!out.good())
+        throw IoError(std::string(flagName) + ": failed writing '" +
+                      path + "'");
+}
 
 struct Args
 {
@@ -111,6 +155,16 @@ runCli(const Args &args)
     if (!trace_path.empty())
         Tracer::global().setEnabled(true);
 
+    // Output paths are probed before the exploration runs: a typo'd
+    // directory should cost milliseconds, not the whole tune.
+    std::string explain_path = args.str("explain-out", "");
+    std::string telemetry_path = args.str("telemetry-out", "");
+    std::string emit_path = args.str("emit-c", "");
+    requireWritable(trace_path, "--trace-out");
+    requireWritable(explain_path, "--explain-out");
+    requireWritable(telemetry_path, "--telemetry-out");
+    requireWritable(emit_path, "--emit-c");
+
     if (!json) {
         std::printf("%s", comp.toString().c_str());
         std::printf("target: %s\n\n", hw.name.c_str());
@@ -147,16 +201,41 @@ runCli(const Args &args)
         result = compiler.compile(comp);
     }
 
+    bool want_explain =
+        args.flag("explain") || !explain_path.empty();
+    std::optional<report::ExplainReport> explain;
+    if (want_explain)
+        explain = report::explainResult(result, comp, hw);
+
     if (json) {
         Json out = Json::object();
         out.set("ok", Json(true));
         out.set("result", serve::compileResultToJson(result));
+        if (explain)
+            out.set("explain", report::explainToJson(*explain));
         std::printf("%s\n", out.dump().c_str());
     } else {
         std::printf("%s", result.report().c_str());
+        if (args.flag("explain"))
+            std::printf("\n%s",
+                        report::explainToText(*explain).c_str());
     }
 
-    std::string emit_path = args.str("emit-c", "");
+    if (!explain_path.empty()) {
+        writeFileOrThrow(explain_path,
+                         report::explainToJson(*explain).dump(),
+                         "--explain-out");
+        std::fprintf(stderr, "wrote explain report to %s\n",
+                     explain_path.c_str());
+    }
+    if (!telemetry_path.empty()) {
+        writeFileOrThrow(telemetry_path,
+                         telemetryToCsv(result.tuning.telemetry),
+                         "--telemetry-out");
+        std::fprintf(stderr, "wrote search telemetry to %s\n",
+                     telemetry_path.c_str());
+    }
+
     if (!emit_path.empty()) {
         expect(result.tensorized && result.tuning.bestPlan,
                "--emit-c requires a tensorized result");
@@ -199,20 +278,27 @@ main(int argc, char **argv)
         else
             args.values[key] = "1";
     }
+    auto jsonError = [&args](const char *code, const char *what) {
+        if (!args.flag("json"))
+            return;
+        // Machine-readable failure on stdout, matching the serve
+        // protocol's error envelope.
+        amos::Json err = amos::Json::object();
+        err.set("code", amos::Json(code));
+        err.set("message", amos::Json(what));
+        amos::Json out = amos::Json::object();
+        out.set("ok", amos::Json(false));
+        out.set("error", std::move(err));
+        std::printf("%s\n", out.dump().c_str());
+    };
     try {
         return runCli(args);
+    } catch (const IoError &e) {
+        jsonError("io_error", e.what());
+        std::fprintf(stderr, "%s\n", e.what());
+        return 4;
     } catch (const std::exception &e) {
-        if (args.flag("json")) {
-            // Machine-readable failure on stdout, matching the
-            // serve protocol's error envelope.
-            amos::Json err = amos::Json::object();
-            err.set("code", amos::Json("bad_request"));
-            err.set("message", amos::Json(e.what()));
-            amos::Json out = amos::Json::object();
-            out.set("ok", amos::Json(false));
-            out.set("error", std::move(err));
-            std::printf("%s\n", out.dump().c_str());
-        }
+        jsonError("bad_request", e.what());
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
     }

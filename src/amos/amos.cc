@@ -107,6 +107,21 @@ replayCacheEntry(const CacheEntry &entry,
     result.computeMapping = plan->computeMappingString();
     result.memoryMapping = plan->memoryMappingString();
     result.pseudoCode = renderPseudoCode(*plan, entry.schedule, hw);
+
+    // Re-materialise enough of the tuner outcome that downstream
+    // consumers (explain reports, --emit-c) treat a cache replay
+    // like a fresh compile. The trace and telemetry stay empty: no
+    // search happened.
+    result.tuning.tensorizable = true;
+    result.tuning.bestPlan = *plan;
+    result.tuning.bestSchedule = entry.schedule;
+    result.tuning.bestCycles = sim.cycles;
+    result.tuning.bestModelCycles =
+        modelEstimate(prof, hw).totalCycles;
+    result.tuning.bestSim = sim;
+    result.tuning.mappingSignature = result.mappingSignature;
+    result.tuning.computeMapping = result.computeMapping;
+    result.tuning.intrinsicName = plan->intrinsic().name();
     return result;
 }
 

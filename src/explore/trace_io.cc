@@ -21,6 +21,27 @@ traceToCsv(const std::vector<ExplorationStep> &trace)
     return out.str();
 }
 
+std::string
+telemetryToCsv(const std::vector<GenerationTelemetry> &telemetry)
+{
+    std::ostringstream out;
+    out << "generation,phase,population,distinct_mappings,"
+           "distinct_genomes,measured_new,measured_reused,"
+           "best_predicted,mean_predicted,best_measured,"
+           "mean_measured\n";
+    for (const auto &row : telemetry) {
+        out << row.generation << "," << row.phase << ","
+            << row.populationSize << "," << row.distinctMappings
+            << "," << row.distinctGenomes << "," << row.measuredNew
+            << "," << row.measuredReused << ","
+            << row.bestPredictedCycles << ","
+            << row.meanPredictedCycles << ","
+            << row.bestMeasuredCycles << ","
+            << row.meanMeasuredCycles << "\n";
+    }
+    return out.str();
+}
+
 void
 writeTextFile(const std::string &path, const std::string &content)
 {

@@ -21,6 +21,15 @@ namespace amos {
  */
 std::string traceToCsv(const std::vector<ExplorationStep> &trace);
 
+/**
+ * Render per-generation search telemetry as CSV with a header row:
+ * generation,phase,population,distinct_mappings,distinct_genomes,
+ * measured_new,measured_reused,best_predicted,mean_predicted,
+ * best_measured,mean_measured
+ */
+std::string telemetryToCsv(
+    const std::vector<GenerationTelemetry> &telemetry);
+
 /** Write a text file, raising fatal() on I/O failure. */
 void writeTextFile(const std::string &path,
                    const std::string &content);

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
 #include <unordered_map>
 
 #include "support/logging.hh"
@@ -148,7 +149,9 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
             num_threads);
     };
 
-    std::unordered_map<std::size_t, double> mapping_best;
+    /// Best measured candidate per mapping: drives the exploitation
+    /// ranking and the runners-up reported for explainability.
+    std::unordered_map<std::size_t, Candidate> mapping_best;
 
     // Measure a batch: simulate every selected candidate in parallel,
     // then fold the outcomes into the archive serially in selection
@@ -182,8 +185,8 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
             if (sim.schedulable) {
                 auto it = mapping_best.find(c.mappingIndex);
                 if (it == mapping_best.end() ||
-                    sim.cycles < it->second)
-                    mapping_best[c.mappingIndex] = sim.cycles;
+                    sim.cycles < it->second.simCycles)
+                    mapping_best[c.mappingIndex] = c;
             }
             // Strict < keeps the earliest candidate on ties: the
             // winner is reduced by (cycles, selection order).
@@ -230,10 +233,66 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
             if (!population[idx].measured())
                 selected.push_back(idx);
         }
+        // Archive hits: candidates that carried an earlier
+        // measurement into this generation, so screening them again
+        // cost nothing (the tuner's measurement cache at work).
+        int reused = static_cast<int>(std::count_if(
+            population.begin(), population.end(),
+            [](const Candidate &c) { return c.measured(); }));
         measure_batch(selected);
 
         if (options.useLearnedModel)
             learned.fit();
+
+        // Telemetry row for this generation. Everything here is
+        // derived from the ordered serial state, so the rows are
+        // bit-identical for every thread count.
+        {
+            GenerationTelemetry row;
+            row.generation = gen;
+            row.populationSize =
+                static_cast<int>(population.size());
+            std::set<std::size_t> mappings;
+            std::set<std::string> genomes;
+            double pred_best =
+                std::numeric_limits<double>::infinity();
+            double pred_sum = 0.0;
+            std::size_t pred_n = 0;
+            for (const auto &c : population) {
+                mappings.insert(c.mappingIndex);
+                genomes.insert(std::to_string(c.mappingIndex) +
+                               "/" + c.schedule.toString());
+                if (std::isfinite(c.modelCycles)) {
+                    pred_best = std::min(pred_best, c.modelCycles);
+                    pred_sum += c.modelCycles;
+                    ++pred_n;
+                }
+            }
+            row.distinctMappings = mappings.size();
+            row.distinctGenomes = genomes.size();
+            row.measuredNew = static_cast<int>(selected.size());
+            row.measuredReused = reused;
+            row.bestPredictedCycles =
+                std::isfinite(pred_best) ? pred_best : 0.0;
+            row.meanPredictedCycles =
+                pred_n ? pred_sum / static_cast<double>(pred_n)
+                       : 0.0;
+            row.bestMeasuredCycles =
+                std::isfinite(best_cycles) ? best_cycles : 0.0;
+            double meas_sum = 0.0;
+            std::size_t meas_n = 0;
+            for (auto idx : selected) {
+                double cycles = population[idx].simCycles;
+                if (std::isfinite(cycles)) {
+                    meas_sum += cycles;
+                    ++meas_n;
+                }
+            }
+            row.meanMeasuredCycles =
+                meas_n ? meas_sum / static_cast<double>(meas_n)
+                       : 0.0;
+            result.telemetry.push_back(std::move(row));
+        }
 
         // Selection: keep the better half by (fitness, index).
         auto rank = sortedOrder(population.size(), [&](std::size_t i) {
@@ -328,8 +387,8 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
         // Top three distinct mappings by their best measured cycles;
         // sorting (cycles, index) pairs makes the ranking total.
         std::vector<std::pair<double, std::size_t>> ranked;
-        for (const auto &[idx, cycles] : mapping_best)
-            ranked.push_back({cycles, idx});
+        for (const auto &[idx, cand] : mapping_best)
+            ranked.push_back({cand.simCycles, idx});
         std::sort(ranked.begin(), ranked.end());
         if (ranked.size() > 3)
             ranked.resize(3);
@@ -349,6 +408,22 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
                     sub_step.bestSoFarCycles, best_cycles);
                 result.trace.push_back(sub_step);
             }
+            for (auto row : subres.telemetry) {
+                row.phase = "exploit";
+                result.telemetry.push_back(std::move(row));
+            }
+            if (subres.tensorizable) {
+                // The exploit sub-search may have improved this
+                // mapping's archive entry; the runners-up report
+                // should reflect it.
+                auto &cand = mapping_best[idx];
+                if (subres.bestCycles < cand.simCycles) {
+                    cand.mappingIndex = idx;
+                    cand.schedule = subres.bestSchedule;
+                    cand.simCycles = subres.bestCycles;
+                    cand.modelCycles = subres.bestModelCycles;
+                }
+            }
             if (subres.tensorizable &&
                 subres.bestCycles < best_cycles) {
                 best_cycles = subres.bestCycles;
@@ -363,6 +438,29 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
     require(std::isfinite(best_cycles),
             "tune: no schedulable candidate found for ",
             plans[0].computation().name(), " on ", hw.name);
+
+    // Runners-up: the best measured candidate of each non-winning
+    // mapping, ranked by (cycles, index) so the list is total-ordered
+    // and thread-count invariant.
+    {
+        std::vector<std::pair<double, std::size_t>> ranked;
+        for (const auto &[idx, cand] : mapping_best)
+            if (idx != best.mappingIndex)
+                ranked.push_back({cand.simCycles, idx});
+        std::sort(ranked.begin(), ranked.end());
+        if (ranked.size() > 3)
+            ranked.resize(3);
+        for (const auto &[cycles, idx] : ranked) {
+            const Candidate &cand = mapping_best.at(idx);
+            RunnerUp up;
+            up.mappingIndex = idx;
+            up.plan = plans[idx];
+            up.schedule = cand.schedule;
+            up.measuredCycles = cand.simCycles;
+            up.modelCycles = cand.modelCycles;
+            result.runnersUp.push_back(std::move(up));
+        }
+    }
 
     result.bestMappingIndex = best.mappingIndex;
     result.bestSchedule = best.schedule;

@@ -71,6 +71,54 @@ struct ExplorationStep
     double bestSoFarCycles = 0.0;
 };
 
+/**
+ * Search telemetry: one row per GA generation, recorded alongside
+ * the exploration trace. Convergence (best/mean series), population
+ * diversity, and measurement-archive reuse are what an explain
+ * report needs to answer "did the search actually converge, and did
+ * it keep exploring or just re-measure the same candidates?".
+ */
+struct GenerationTelemetry
+{
+    int generation = 0;
+    /// "search" for the main GA loop, "exploit" for the
+    /// exploit-after-explore sub-searches.
+    std::string phase = "search";
+
+    int populationSize = 0;
+    /// Distinct mappings represented in the population (diversity
+    /// across the mapping dimension).
+    std::size_t distinctMappings = 0;
+    /// Distinct (mapping, schedule) genomes in the population.
+    std::size_t distinctGenomes = 0;
+
+    /// Fresh simulator measurements spent this generation.
+    int measuredNew = 0;
+    /// Candidates whose fitness reused an archived measurement
+    /// instead of a new simulator run (measurement-cache hits).
+    int measuredReused = 0;
+
+    double bestPredictedCycles = 0.0; ///< best model score, this gen
+    double meanPredictedCycles = 0.0; ///< mean finite model score
+    double bestMeasuredCycles = 0.0;  ///< incumbent after this gen
+    /// Mean of this generation's schedulable measurements (0 when
+    /// nothing new was measured).
+    double meanMeasuredCycles = 0.0;
+};
+
+/**
+ * A non-winning mapping's best measured candidate, kept so reports
+ * can attribute the runners-up, not just the winner.
+ */
+struct RunnerUp
+{
+    std::size_t mappingIndex = 0;
+    std::optional<MappingPlan> plan;
+    Schedule schedule;
+    double measuredCycles = 0.0;
+    double modelCycles = 0.0;
+};
+
 /** Outcome of tuning one operator on one accelerator. */
 struct TuneResult
 {
@@ -93,6 +141,11 @@ struct TuneResult
     std::string intrinsicName; ///< the winning intrinsic (shape)
 
     std::vector<ExplorationStep> trace;
+    /// One row per GA generation (main loop first, then exploit
+    /// sub-search rows), identical for every thread count.
+    std::vector<GenerationTelemetry> telemetry;
+    /// Up to three non-winning mappings, best first.
+    std::vector<RunnerUp> runnersUp;
 };
 
 /**

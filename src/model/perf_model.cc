@@ -36,6 +36,7 @@ modelEstimate(const KernelProfile &prof, const HardwareSpec &hw)
     double warp_batches = static_cast<double>(
         ceilDiv(prof.warpsPerBlock, hw.subcoresPerCore));
     double compute_block = warp_batches * warp_cycles;
+    est.computeBlock = compute_block;
 
     // Idealised concurrency: the occupancy cap is reached whenever
     // enough blocks exist (the simulator additionally limits it by
@@ -64,6 +65,7 @@ modelEstimate(const KernelProfile &prof, const HardwareSpec &hw)
     double waves =
         static_cast<double>(prof.numBlocks) / concurrent;
     waves = std::max(waves, 1.0);
+    est.waves = waves;
     est.totalCycles = waves * est.blockCycles;
     return est;
 }

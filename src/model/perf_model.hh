@@ -27,14 +27,16 @@ namespace amos {
 /** Per-level breakdown of the analytic estimate. */
 struct ModelEstimate
 {
-    double computeWarp = 0.0;  ///< L_1: warp-serial compute, cycles
-    double readShared = 0.0;   ///< R_1: shared-level load, cycles
-    double readGlobal = 0.0;   ///< R_2: global-level load, cycles
-    double writeGlobal = 0.0;  ///< W_2: global store, cycles
-    double blockCycles = 0.0;  ///< L_2
-    double totalCycles = 0.0;  ///< Perf
+    double computeWarp = 0.0;   ///< L_1: warp-serial compute, cycles
+    double readShared = 0.0;    ///< R_1: shared-level load, cycles
+    double readGlobal = 0.0;    ///< R_2: global-level load, cycles
+    double writeGlobal = 0.0;   ///< W_2: global store, cycles
+    double computeBlock = 0.0;  ///< warp batches x max(L_1, R_1)
+    double blockCycles = 0.0;   ///< L_2
+    double waves = 1.0;         ///< fractional grid waves
+    double totalCycles = 0.0;   ///< Perf
 
-    bool schedulable = true;   ///< false when the profile is invalid
+    bool schedulable = true;    ///< false when the profile is invalid
 };
 
 /** Evaluate the model on a lowered kernel profile. */

@@ -1,0 +1,493 @@
+#include "explain.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "explore/stats.hh"
+#include "support/str_utils.hh"
+
+namespace amos {
+namespace report {
+
+namespace {
+
+/** Hyphenated form for prose ("global-read-bound"). */
+std::string
+proseName(Bottleneck b)
+{
+    std::string name = bottleneckName(b);
+    std::replace(name.begin(), name.end(), '_', '-');
+    return name + "-bound";
+}
+
+std::vector<LevelVerdict>
+levelVerdicts(const ModelEstimate &est)
+{
+    std::vector<LevelVerdict> levels;
+
+    LevelVerdict warp;
+    warp.level = "warp";
+    warp.computeCycles = est.computeWarp;
+    warp.readCycles = est.readShared;
+    warp.levelCycles = std::max(est.computeWarp, est.readShared);
+    warp.bound = est.readShared > est.computeWarp
+                     ? Bottleneck::SharedRead
+                     : Bottleneck::Compute;
+    levels.push_back(std::move(warp));
+
+    LevelVerdict block;
+    block.level = "block";
+    block.computeCycles = est.computeBlock;
+    block.readCycles = est.readGlobal;
+    block.writeCycles = est.writeGlobal;
+    block.levelCycles = est.blockCycles;
+    block.bound = Bottleneck::Compute;
+    if (est.readGlobal > est.computeBlock &&
+        est.readGlobal >= est.writeGlobal)
+        block.bound = Bottleneck::GlobalRead;
+    else if (est.writeGlobal > est.computeBlock &&
+             est.writeGlobal > est.readGlobal)
+        block.bound = Bottleneck::GlobalWrite;
+    levels.push_back(std::move(block));
+    return levels;
+}
+
+CandidateExplain
+explainCandidate(const MappingPlan &plan, const Schedule &sched,
+                 const TensorComputation &comp,
+                 const HardwareSpec &hw, double measuredCycles)
+{
+    CandidateExplain cand;
+    cand.mappingSignature = plan.mapping().signature(comp);
+    cand.intrinsicName = plan.intrinsic().name();
+    cand.schedule = sched.toString();
+    auto prof = lowerKernel(plan, sched, hw);
+    auto est = modelEstimate(prof, hw);
+    cand.predictedCycles = est.totalCycles;
+    cand.measuredCycles = measuredCycles;
+    if (est.schedulable) {
+        cand.attribution = attributeCycles(est);
+        cand.levels = levelVerdicts(est);
+    }
+    cand.roofline = rooflinePoint(
+        prof, hw,
+        measuredCycles > 0 ? measuredCycles : est.totalCycles);
+    return cand;
+}
+
+Json
+attributionToJson(const CycleAttribution &a)
+{
+    Json out = Json::object();
+    out.set("bottleneck", Json(bottleneckName(a.bottleneck)));
+    out.set("dominance", Json(a.dominance));
+    out.set("total_cycles", Json(a.totalCycles));
+    out.set("compute_cycles", Json(a.computeCycles));
+    out.set("shared_read_cycles", Json(a.sharedReadCycles));
+    out.set("global_read_cycles", Json(a.globalReadCycles));
+    out.set("global_write_cycles", Json(a.globalWriteCycles));
+    return out;
+}
+
+Json
+rooflineToJson(const RooflinePoint &r)
+{
+    Json out = Json::object();
+    out.set("operational_intensity", Json(r.operationalIntensity));
+    out.set("attained_ops_per_cycle", Json(r.attainedOpsPerCycle));
+    out.set("peak_ops_per_cycle", Json(r.peakOpsPerCycle));
+    out.set("bandwidth_ops_per_cycle",
+            Json(r.bandwidthOpsPerCycle));
+    out.set("ridge_intensity", Json(r.ridgeIntensity));
+    out.set("memory_bound", Json(r.memoryBound));
+    return out;
+}
+
+Json
+candidateToJson(const CandidateExplain &c)
+{
+    Json out = Json::object();
+    out.set("mapping_index",
+            Json(static_cast<std::int64_t>(c.mappingIndex)));
+    out.set("mapping_signature", Json(c.mappingSignature));
+    out.set("intrinsic", Json(c.intrinsicName));
+    out.set("schedule", Json(c.schedule));
+    out.set("predicted_cycles", Json(c.predictedCycles));
+    out.set("measured_cycles", Json(c.measuredCycles));
+    out.set("slowdown_vs_winner", Json(c.slowdownVsWinner));
+    out.set("attribution", attributionToJson(c.attribution));
+    Json levels = Json::array();
+    for (const auto &lv : c.levels) {
+        Json level = Json::object();
+        level.set("level", Json(lv.level));
+        level.set("bound", Json(bottleneckName(lv.bound)));
+        level.set("compute_cycles", Json(lv.computeCycles));
+        level.set("read_cycles", Json(lv.readCycles));
+        level.set("write_cycles", Json(lv.writeCycles));
+        level.set("level_cycles", Json(lv.levelCycles));
+        levels.push(std::move(level));
+    }
+    out.set("levels", std::move(levels));
+    out.set("roofline", rooflineToJson(c.roofline));
+    return out;
+}
+
+Json
+telemetryRowToJson(const GenerationTelemetry &row)
+{
+    Json out = Json::object();
+    out.set("generation", Json(row.generation));
+    out.set("phase", Json(row.phase));
+    out.set("population", Json(row.populationSize));
+    out.set("distinct_mappings",
+            Json(static_cast<std::int64_t>(row.distinctMappings)));
+    out.set("distinct_genomes",
+            Json(static_cast<std::int64_t>(row.distinctGenomes)));
+    out.set("measured_new", Json(row.measuredNew));
+    out.set("measured_reused", Json(row.measuredReused));
+    out.set("best_predicted_cycles",
+            Json(row.bestPredictedCycles));
+    out.set("mean_predicted_cycles",
+            Json(row.meanPredictedCycles));
+    out.set("best_measured_cycles", Json(row.bestMeasuredCycles));
+    out.set("mean_measured_cycles", Json(row.meanMeasuredCycles));
+    return out;
+}
+
+} // namespace
+
+const char *
+bottleneckName(Bottleneck b)
+{
+    switch (b) {
+    case Bottleneck::Compute:
+        return "compute";
+    case Bottleneck::SharedRead:
+        return "shared_read";
+    case Bottleneck::GlobalRead:
+        return "global_read";
+    case Bottleneck::GlobalWrite:
+        return "global_write";
+    }
+    return "compute";
+}
+
+CycleAttribution
+attributeCycles(const ModelEstimate &est)
+{
+    CycleAttribution a;
+    a.totalCycles = est.totalCycles;
+
+    // Block-level shares: compute (which carries the whole warp
+    // level) vs global read vs global write.
+    double tc = est.computeBlock;
+    double tr = est.readGlobal;
+    double tw = est.writeGlobal;
+    double block_sum = tc + tr + tw;
+    double compute_share = block_sum > 0 ? tc / block_sum : 1.0;
+
+    // Warp-level split of the compute share: intrinsic issue vs
+    // shared-memory loads.
+    double warp_sum = est.computeWarp + est.readShared;
+    double warp_compute =
+        warp_sum > 0 ? est.computeWarp / warp_sum : 1.0;
+
+    a.computeCycles = a.totalCycles * compute_share * warp_compute;
+    a.sharedReadCycles =
+        a.totalCycles * compute_share * (1.0 - warp_compute);
+    a.globalReadCycles =
+        block_sum > 0 ? a.totalCycles * tr / block_sum : 0.0;
+    a.globalWriteCycles =
+        block_sum > 0 ? a.totalCycles * tw / block_sum : 0.0;
+
+    // Dominant bucket; ties resolve to the earlier bucket so the
+    // verdict is always unique.
+    std::array<std::pair<Bottleneck, double>, 4> buckets = {{
+        {Bottleneck::Compute, a.computeCycles},
+        {Bottleneck::SharedRead, a.sharedReadCycles},
+        {Bottleneck::GlobalRead, a.globalReadCycles},
+        {Bottleneck::GlobalWrite, a.globalWriteCycles},
+    }};
+    a.bottleneck = buckets[0].first;
+    double top = buckets[0].second;
+    for (const auto &[name, cycles] : buckets) {
+        if (cycles > top) {
+            top = cycles;
+            a.bottleneck = name;
+        }
+    }
+    a.dominance = a.totalCycles > 0 ? top / a.totalCycles : 1.0;
+    return a;
+}
+
+RooflinePoint
+rooflinePoint(const KernelProfile &prof, const HardwareSpec &hw,
+              double measuredCycles)
+{
+    RooflinePoint r;
+    double bytes =
+        static_cast<double>(prof.numBlocks) *
+        static_cast<double>(prof.globalLoadBytesPerBlock +
+                            prof.globalStoreBytesPerBlock);
+    double ops = static_cast<double>(prof.usefulOps);
+    r.operationalIntensity = bytes > 0 ? ops / bytes : 0.0;
+    r.attainedOpsPerCycle =
+        measuredCycles > 0 ? ops / measuredCycles : 0.0;
+    r.peakOpsPerCycle = hw.peakOpsPerCycle();
+    double bw = hw.global.readBytesPerCycle;
+    r.bandwidthOpsPerCycle = r.operationalIntensity * bw;
+    r.ridgeIntensity = bw > 0 ? r.peakOpsPerCycle / bw : 0.0;
+    r.memoryBound = r.operationalIntensity < r.ridgeIntensity;
+    return r;
+}
+
+ExplainReport
+explainResult(const CompileResult &result,
+              const TensorComputation &comp, const HardwareSpec &hw)
+{
+    ExplainReport rep;
+    rep.workload = comp.name();
+    rep.hardware = hw.name;
+    rep.flops = static_cast<double>(comp.flopCount());
+    rep.tensorized = result.tensorized;
+    rep.usedScalarCode = result.usedScalarCode;
+    rep.cycles = result.cycles;
+    rep.milliseconds = result.milliseconds;
+    rep.gflops = result.gflops;
+    rep.mappingsExplored = result.mappingsExplored;
+    rep.measurements = result.measurements;
+    rep.telemetry = result.tuning.telemetry;
+
+    const TuneResult &tuned = result.tuning;
+    if (result.tensorized && tuned.bestPlan) {
+        auto winner = explainCandidate(*tuned.bestPlan,
+                                       tuned.bestSchedule, comp, hw,
+                                       tuned.bestCycles);
+        winner.role = "winner";
+        winner.mappingIndex = tuned.bestMappingIndex;
+        winner.slowdownVsWinner = 1.0;
+        rep.candidates.push_back(std::move(winner));
+
+        for (const auto &up : tuned.runnersUp) {
+            if (!up.plan)
+                continue;
+            auto cand = explainCandidate(*up.plan, up.schedule,
+                                         comp, hw,
+                                         up.measuredCycles);
+            cand.role = "runner_up";
+            cand.mappingIndex = up.mappingIndex;
+            cand.slowdownVsWinner =
+                tuned.bestCycles > 0
+                    ? up.measuredCycles / tuned.bestCycles
+                    : 1.0;
+            rep.candidates.push_back(std::move(cand));
+        }
+    }
+
+    rep.agreement.traceSteps =
+        static_cast<int>(tuned.trace.size());
+    rep.agreement.pairwiseAccuracy = pairwiseAccuracy(tuned.trace);
+    rep.agreement.topFractionRecall =
+        topFractionRecall(tuned.trace, 0.4);
+    rep.agreement.geoMeanRelativeError =
+        geoMeanRelativeError(tuned.trace);
+    rep.agreement.winnerPredictedCycles = tuned.bestModelCycles;
+    rep.agreement.winnerMeasuredCycles = tuned.bestCycles;
+    if (tuned.bestModelCycles > 0 && tuned.bestCycles > 0) {
+        double hi = std::max(tuned.bestModelCycles,
+                             tuned.bestCycles);
+        double lo = std::min(tuned.bestModelCycles,
+                             tuned.bestCycles);
+        rep.agreement.winnerRelativeError = hi / lo;
+    }
+    return rep;
+}
+
+Json
+explainToJson(const ExplainReport &report)
+{
+    Json out = Json::object();
+    out.set("workload", Json(report.workload));
+    out.set("hardware", Json(report.hardware));
+    out.set("flops", Json(report.flops));
+    out.set("tensorized", Json(report.tensorized));
+    out.set("used_scalar_code", Json(report.usedScalarCode));
+    out.set("cycles", Json(report.cycles));
+    out.set("milliseconds", Json(report.milliseconds));
+    out.set("gflops", Json(report.gflops));
+    out.set("mappings_explored",
+            Json(static_cast<std::int64_t>(
+                report.mappingsExplored)));
+    out.set("measurements", Json(report.measurements));
+
+    Json runners = Json::array();
+    for (const auto &cand : report.candidates) {
+        if (cand.role == "winner")
+            out.set("winner", candidateToJson(cand));
+        else
+            runners.push(candidateToJson(cand));
+    }
+    out.set("runners_up", std::move(runners));
+
+    Json agreement = Json::object();
+    agreement.set("trace_steps",
+                  Json(report.agreement.traceSteps));
+    agreement.set("pairwise_accuracy",
+                  Json(report.agreement.pairwiseAccuracy));
+    agreement.set("top_40pct_recall",
+                  Json(report.agreement.topFractionRecall));
+    agreement.set("geo_mean_relative_error",
+                  Json(report.agreement.geoMeanRelativeError));
+    agreement.set("winner_predicted_cycles",
+                  Json(report.agreement.winnerPredictedCycles));
+    agreement.set("winner_measured_cycles",
+                  Json(report.agreement.winnerMeasuredCycles));
+    agreement.set("winner_relative_error",
+                  Json(report.agreement.winnerRelativeError));
+    out.set("model_agreement", std::move(agreement));
+
+    Json telemetry = Json::array();
+    for (const auto &row : report.telemetry)
+        telemetry.push(telemetryRowToJson(row));
+    out.set("telemetry", std::move(telemetry));
+    return out;
+}
+
+std::string
+explainToText(const ExplainReport &report)
+{
+    std::string out;
+    out += "# AMOS explain report: " + report.workload + " on " +
+           report.hardware + "\n\n";
+    out += "latency " + fmtDouble(report.milliseconds, 4) +
+           " ms (" + fmtDouble(report.cycles, 0) + " cycles, " +
+           fmtDouble(report.gflops, 1) + " GFLOPS), " +
+           std::to_string(report.mappingsExplored) +
+           " mappings explored, " +
+           std::to_string(report.measurements) +
+           " measurements\n\n";
+
+    if (!report.tensorized || report.candidates.empty()) {
+        out += "## Verdict\n\nThe operator was **not tensorized**: "
+               "no valid software-to-intrinsic mapping exists on "
+               "this target, so the scalar fallback shipped. There "
+               "is no mapping-level bottleneck to attribute.\n";
+        return out;
+    }
+
+    const CandidateExplain &winner = report.candidates.front();
+    const CycleAttribution &attr = winner.attribution;
+    out += "## Verdict\n\nThe tuned kernel is **" +
+           proseName(attr.bottleneck) + "**: " +
+           fmtDouble(attr.dominance * 100.0, 1) + "% of the " +
+           fmtDouble(attr.totalCycles, 0) +
+           " modelled cycles are attributed to " +
+           std::string(bottleneckName(attr.bottleneck)) + ".";
+    if (report.usedScalarCode)
+        out += " (AMOS shipped its scalar code anyway: the "
+               "tensorized kernel lost to the scalar roofline.)";
+    out += "\n\n";
+
+    out += "## Cycle attribution (winner: mapping " +
+           winner.mappingSignature + ", intrinsic " +
+           winner.intrinsicName + ")\n\n";
+    out += "| bucket | cycles | share |\n|---|---|---|\n";
+    auto attr_row = [&](const char *name, double cycles) {
+        double share =
+            attr.totalCycles > 0 ? cycles / attr.totalCycles : 0.0;
+        out += "| " + std::string(name) + " | " +
+               fmtDouble(cycles, 1) + " | " +
+               fmtDouble(share * 100.0, 1) + "% |\n";
+    };
+    attr_row("compute", attr.computeCycles);
+    attr_row("shared_read", attr.sharedReadCycles);
+    attr_row("global_read", attr.globalReadCycles);
+    attr_row("global_write", attr.globalWriteCycles);
+    out += "| total | " + fmtDouble(attr.totalCycles, 1) +
+           " | 100% |\n\n";
+
+    out += "## Per-level verdicts\n\n";
+    out += "| level | bound | compute | read | write |\n"
+           "|---|---|---|---|---|\n";
+    for (const auto &lv : winner.levels) {
+        out += "| " + lv.level + " | " +
+               bottleneckName(lv.bound) + " | " +
+               fmtDouble(lv.computeCycles, 1) + " | " +
+               fmtDouble(lv.readCycles, 1) + " | " +
+               fmtDouble(lv.writeCycles, 1) + " |\n";
+    }
+    out += "\n";
+
+    const RooflinePoint &roof = winner.roofline;
+    out += "## Roofline\n\noperational intensity " +
+           fmtDouble(roof.operationalIntensity, 3) +
+           " ops/byte (ridge at " +
+           fmtDouble(roof.ridgeIntensity, 3) + "): the kernel is " +
+           (roof.memoryBound ? "left of the ridge (memory-bound "
+                               "region)"
+                             : "right of the ridge (compute-bound "
+                               "region)") +
+           ".\nattained " +
+           fmtDouble(roof.attainedOpsPerCycle, 1) +
+           " ops/cycle of " +
+           fmtDouble(roof.peakOpsPerCycle, 1) + " peak (" +
+           fmtDouble(roof.peakOpsPerCycle > 0
+                         ? 100.0 * roof.attainedOpsPerCycle /
+                               roof.peakOpsPerCycle
+                         : 0.0,
+                     1) +
+           "%).\n\n";
+
+    const ModelAgreement &agr = report.agreement;
+    out += "## Model vs simulator\n\n";
+    out += "pairwise rank accuracy " +
+           fmtDouble(agr.pairwiseAccuracy, 3) + ", top-40% recall " +
+           fmtDouble(agr.topFractionRecall, 3) +
+           ", geo-mean relative error " +
+           fmtDouble(agr.geoMeanRelativeError, 2) + " over " +
+           std::to_string(agr.traceSteps) +
+           " trace steps.\nwinner: predicted " +
+           fmtDouble(agr.winnerPredictedCycles, 0) +
+           " vs measured " +
+           fmtDouble(agr.winnerMeasuredCycles, 0) + " cycles (" +
+           fmtDouble(agr.winnerRelativeError, 2) + "x).\n\n";
+
+    if (report.candidates.size() > 1) {
+        out += "## Runners-up\n\n";
+        out += "| mapping | measured | vs winner | bottleneck |\n"
+               "|---|---|---|---|\n";
+        for (std::size_t i = 1; i < report.candidates.size();
+             ++i) {
+            const auto &cand = report.candidates[i];
+            out += "| " + cand.mappingSignature + " | " +
+                   fmtDouble(cand.measuredCycles, 0) + " | " +
+                   fmtDouble(cand.slowdownVsWinner, 2) + "x | " +
+                   bottleneckName(cand.attribution.bottleneck) +
+                   " |\n";
+        }
+        out += "\n";
+    }
+
+    if (!report.telemetry.empty()) {
+        out += "## Search telemetry\n\n";
+        out += "| gen | phase | pop | mappings | genomes | new | "
+               "reused | best predicted | best measured |\n"
+               "|---|---|---|---|---|---|---|---|---|\n";
+        for (const auto &row : report.telemetry) {
+            out += "| " + std::to_string(row.generation) + " | " +
+                   row.phase + " | " +
+                   std::to_string(row.populationSize) + " | " +
+                   std::to_string(row.distinctMappings) + " | " +
+                   std::to_string(row.distinctGenomes) + " | " +
+                   std::to_string(row.measuredNew) + " | " +
+                   std::to_string(row.measuredReused) + " | " +
+                   fmtDouble(row.bestPredictedCycles, 0) + " | " +
+                   fmtDouble(row.bestMeasuredCycles, 0) + " |\n";
+        }
+    }
+    return out;
+}
+
+} // namespace report
+} // namespace amos

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Explainability layer: bottleneck attribution and explain reports.
+ *
+ * The analytic model (Sec. 5.3) already computes per-level L/R/W
+ * terms for every candidate; this module turns them into a verdict a
+ * human (or a dashboard) can act on: which resource bounds the tuned
+ * winner at each memory level, where the kernel sits on the target's
+ * roofline, how well the model's ranking agreed with the simulator
+ * on this workload, and whether the genetic search converged. The
+ * same "explain the schedule" surface auto-schedulers like TVM and
+ * TensorIR expose for debugging tensorized programs.
+ *
+ * An ExplainReport is exported two ways: explainToJson() for
+ * machines (amos_cli --explain-out, the serve protocol's "explain"
+ * flag) and explainToText() as a self-contained markdown report.
+ */
+
+#ifndef AMOS_REPORT_EXPLAIN_HH
+#define AMOS_REPORT_EXPLAIN_HH
+
+#include <string>
+#include <vector>
+
+#include "amos/amos.hh"
+#include "model/perf_model.hh"
+#include "support/json.hh"
+
+namespace amos {
+namespace report {
+
+/** The resource a kernel is bound by. */
+enum class Bottleneck
+{
+    Compute,     ///< intrinsic issue pipeline
+    SharedRead,  ///< shared-level load bandwidth
+    GlobalRead,  ///< global-level load bandwidth
+    GlobalWrite, ///< global store bandwidth
+};
+
+/** Wire name ("compute" | "shared_read" | ...). */
+const char *bottleneckName(Bottleneck b);
+
+/**
+ * Four-bucket decomposition of the model's total-cycle estimate.
+ *
+ * The model's recurrence takes a max at every level, so the raw
+ * L/R/W terms do not sum to anything meaningful. The attribution
+ * instead splits totalCycles proportionally to the per-level terms:
+ * block-level cycles across {compute, global read, global write},
+ * and the compute share further across {intrinsic compute, shared
+ * read} by the warp-level ratio. The four buckets sum to
+ * totalCycles exactly (up to FP rounding), and the dominant bucket
+ * is the classified bottleneck.
+ */
+struct CycleAttribution
+{
+    double computeCycles = 0.0;
+    double sharedReadCycles = 0.0;
+    double globalReadCycles = 0.0;
+    double globalWriteCycles = 0.0;
+    double totalCycles = 0.0;
+
+    Bottleneck bottleneck = Bottleneck::Compute;
+    /// Attributed share of the dominant bucket in [0, 1].
+    double dominance = 0.0;
+};
+
+/** Attribute a model estimate (est.schedulable must hold). */
+CycleAttribution attributeCycles(const ModelEstimate &est);
+
+/**
+ * One memory level's verdict: the raw competing terms of the model
+ * recurrence and which of them limits the level.
+ */
+struct LevelVerdict
+{
+    std::string level; ///< "warp" | "block"
+    Bottleneck bound = Bottleneck::Compute;
+    double computeCycles = 0.0; ///< compute term at this level
+    double readCycles = 0.0;    ///< read term at this level
+    double writeCycles = 0.0;   ///< write term (block level only)
+    double levelCycles = 0.0;   ///< max of the terms (= L_l / S_l)
+};
+
+/** Roofline coordinates of one kernel on one accelerator. */
+struct RooflinePoint
+{
+    /// Useful scalar ops per byte of global traffic.
+    double operationalIntensity = 0.0;
+    /// Useful ops per cycle at the measured latency.
+    double attainedOpsPerCycle = 0.0;
+    /// The target's tensorized peak (flat roof).
+    double peakOpsPerCycle = 0.0;
+    /// Bandwidth roof at this intensity: OI x global read B/cycle.
+    double bandwidthOpsPerCycle = 0.0;
+    /// Intensity where the two roofs cross.
+    double ridgeIntensity = 0.0;
+    /// True when the kernel sits left of the ridge.
+    bool memoryBound = false;
+};
+
+RooflinePoint rooflinePoint(const KernelProfile &prof,
+                            const HardwareSpec &hw,
+                            double measuredCycles);
+
+/** Attribution of one candidate (the winner or a runner-up). */
+struct CandidateExplain
+{
+    std::string role; ///< "winner" | "runner_up"
+    std::size_t mappingIndex = 0;
+    std::string mappingSignature;
+    std::string intrinsicName;
+    std::string schedule;
+    double predictedCycles = 0.0;
+    double measuredCycles = 0.0;
+    /// Measured cycles relative to the winner's (1.0 = the winner).
+    double slowdownVsWinner = 1.0;
+    CycleAttribution attribution;
+    std::vector<LevelVerdict> levels;
+    RooflinePoint roofline;
+};
+
+/** Model-vs-simulator agreement on this workload's trace. */
+struct ModelAgreement
+{
+    int traceSteps = 0;
+    double pairwiseAccuracy = 1.0;
+    double topFractionRecall = 1.0; ///< at the paper's 40% rate
+    double geoMeanRelativeError = 1.0;
+    double winnerPredictedCycles = 0.0;
+    double winnerMeasuredCycles = 0.0;
+    /// max(pred,meas)/min(pred,meas) on the winner alone.
+    double winnerRelativeError = 1.0;
+};
+
+/** The complete explainability report for one compilation. */
+struct ExplainReport
+{
+    std::string workload;  ///< computation name
+    std::string hardware;  ///< accelerator name
+    double flops = 0.0;    ///< useful scalar ops of the operator
+
+    bool tensorized = false;
+    bool usedScalarCode = false;
+    double cycles = 0.0;
+    double milliseconds = 0.0;
+    double gflops = 0.0;
+
+    std::size_t mappingsExplored = 0;
+    int measurements = 0;
+
+    /// Winner first, then up to three runners-up. Empty when the
+    /// operator fell back to scalar code.
+    std::vector<CandidateExplain> candidates;
+    ModelAgreement agreement;
+    std::vector<GenerationTelemetry> telemetry;
+};
+
+/**
+ * Build the explain report for a compilation outcome. Re-lowers the
+ * winner (and runners-up) through the analytic model — a few pure
+ * function evaluations, no exploration.
+ */
+ExplainReport explainResult(const CompileResult &result,
+                            const TensorComputation &comp,
+                            const HardwareSpec &hw);
+
+/** Machine-readable form (schema in docs/observability.md). */
+Json explainToJson(const ExplainReport &report);
+
+/** Self-contained human-readable markdown report. */
+std::string explainToText(const ExplainReport &report);
+
+} // namespace report
+} // namespace amos
+
+#endif // AMOS_REPORT_EXPLAIN_HH

@@ -1,0 +1,95 @@
+#include "prometheus.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace amos {
+namespace report {
+
+namespace {
+
+/** Shortest round-trip-safe rendering of a sample value. */
+std::string
+fmtValue(double v)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << v;
+    std::string wide = out.str();
+    // Prefer the shorter default rendering when it round-trips.
+    std::ostringstream narrow;
+    narrow << v;
+    if (std::stod(narrow.str()) == v)
+        return narrow.str();
+    return wide;
+}
+
+void
+emitSeries(std::string &out, const std::string &name,
+           const char *type, const std::string &help)
+{
+    out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " " + type + "\n";
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string &dotted)
+{
+    std::string name = "amos_" + dotted;
+    for (char &c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        if (!ok)
+            c = '_';
+    }
+    return name;
+}
+
+std::string
+prometheusExposition(const MetricsRegistry &registry,
+                     const std::vector<NamedHistogram> &histograms)
+{
+    std::string out;
+
+    for (const auto &[dotted, value] : registry.counterValues()) {
+        std::string name = prometheusName(dotted) + "_total";
+        emitSeries(out, name, "counter",
+                   "AMOS counter " + dotted);
+        out += name + " " + std::to_string(value) + "\n";
+    }
+
+    for (const auto &[dotted, value] : registry.gaugeValues()) {
+        std::string name = prometheusName(dotted);
+        emitSeries(out, name, "gauge", "AMOS gauge " + dotted);
+        out += name + " " + fmtValue(value) + "\n";
+    }
+
+    std::vector<NamedHistogram> sorted = histograms;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const NamedHistogram &a, const NamedHistogram &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[dotted, hist] : sorted) {
+        if (hist == nullptr)
+            continue;
+        std::string name = prometheusName(dotted);
+        emitSeries(out, name, "summary",
+                   "AMOS latency summary " + dotted);
+        for (double q : {0.5, 0.95, 0.99}) {
+            out += name + "{quantile=\"" + fmtValue(q) + "\"} " +
+                   fmtValue(hist->quantileMs(q)) + "\n";
+        }
+        double count = static_cast<double>(hist->count());
+        out += name + "_sum " + fmtValue(hist->meanMs() * count) +
+               "\n";
+        out += name + "_count " + std::to_string(hist->count()) +
+               "\n";
+    }
+    return out;
+}
+
+} // namespace report
+} // namespace amos

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Prometheus text exposition (format version 0.0.4) of the support
+ * layer's MetricsRegistry and LatencyHistograms. Counters map to the
+ * `counter` type with the conventional `_total` suffix, gauges to
+ * `gauge`, and histograms to `summary` (pre-computed quantiles, not
+ * cumulative buckets — the histogram keeps a bounded reservoir, so
+ * summaries are the honest rendering). All series carry the `amos_`
+ * namespace prefix and dotted metric names are flattened with
+ * underscores: `serve.requests` becomes `amos_serve_requests_total`.
+ */
+
+#ifndef AMOS_REPORT_PROMETHEUS_HH
+#define AMOS_REPORT_PROMETHEUS_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/histogram.hh"
+#include "support/metrics.hh"
+
+namespace amos {
+namespace report {
+
+/**
+ * Sanitise a dotted metric name into a Prometheus series name:
+ * prefix with "amos_" and replace every character outside
+ * [a-zA-Z0-9_] with '_'.
+ */
+std::string prometheusName(const std::string &dotted);
+
+/** A named latency histogram to expose as a summary. */
+using NamedHistogram =
+    std::pair<std::string, const LatencyHistogram *>;
+
+/**
+ * Render a registry snapshot (plus optional histograms) in the
+ * Prometheus text exposition format. Deterministic: series are
+ * sorted by name within each section.
+ */
+std::string prometheusExposition(
+    const MetricsRegistry &registry,
+    const std::vector<NamedHistogram> &histograms = {});
+
+} // namespace report
+} // namespace amos
+
+#endif // AMOS_REPORT_PROMETHEUS_HH

@@ -67,6 +67,8 @@ CompileRequest::toJson() const
         out.set("deadline_ms", Json(deadlineMs));
     if (!traceId.empty())
         out.set("trace_id", Json(traceId));
+    if (explain)
+        out.set("explain", Json(true));
     return out;
 }
 
@@ -105,6 +107,10 @@ CompileRequest::fromJson(const Json &json)
             req.traceId = value.kind() == Json::Kind::String
                               ? value.asString()
                               : value.dump();
+        } else if (key == "explain") {
+            req.explain = value.kind() == Json::Kind::Bool
+                              ? value.asBool()
+                              : value.asInt() != 0;
         } else {
             expect(value.kind() == Json::Kind::Number,
                    "request: unknown non-numeric field '", key, "'");

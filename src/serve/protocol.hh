@@ -89,6 +89,12 @@ struct CompileRequest
     /// does not affect the cache key.
     std::string traceId;
 
+    /// Opt-in explainability: when set, the response carries an
+    /// "explain" object (bottleneck attribution, roofline, search
+    /// telemetry — see docs/observability.md). Pure output shaping,
+    /// so it is excluded from the cache key like trace_id.
+    bool explain = false;
+
     /** Dimension value with an amos_cli-compatible default. */
     std::int64_t dim(const std::string &key,
                      std::int64_t fallback) const;

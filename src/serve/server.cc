@@ -53,6 +53,42 @@ protocolError(const std::string &id, const std::string &message)
     return out;
 }
 
+bool
+isControlVerb(const std::string &type)
+{
+    return type == "stats" || type == "metrics" ||
+           type == "healthz";
+}
+
+/**
+ * Answer one of the side-channel verbs shared by the live stream
+ * and trace replay: "stats" (JSON counters), "metrics" (Prometheus
+ * text exposition carried in "body"), "healthz" (liveness + drain
+ * state).
+ */
+Json
+controlResponse(CompileService &service, const std::string &type,
+                const std::string &id)
+{
+    Json response = Json::object();
+    if (!id.empty())
+        response.set("id", Json(id));
+    response.set("ok", Json(true));
+    if (type == "stats") {
+        response.set("stats", service.stats().toJson());
+    } else if (type == "metrics") {
+        response.set("content_type",
+                     Json("text/plain; version=0.0.4"));
+        response.set("body", Json(service.prometheusText()));
+    } else { // healthz
+        bool draining = service.draining();
+        response.set("status",
+                     Json(draining ? "draining" : "serving"));
+        response.set("draining", Json(draining));
+    }
+    return response;
+}
+
 } // namespace
 
 int
@@ -105,11 +141,8 @@ serveStream(CompileService &service, std::istream &in,
 
         if (type == "shutdown")
             break;
-        if (type == "stats") {
-            Json response = Json::object();
-            response.set("ok", Json(true));
-            response.set("stats", service.stats().toJson());
-            writer.write(response);
+        if (isControlVerb(type)) {
+            writer.write(controlResponse(service, type, id));
             continue;
         }
         if (type != "compile") {
@@ -181,7 +214,26 @@ replayTrace(CompileService &service, const std::string &path,
         }
         CompileRequest req;
         try {
-            req = CompileRequest::fromJson(Json::parse(line));
+            Json request = Json::parse(line);
+            expect(request.kind() == Json::Kind::Object,
+                   "request: expected a JSON object");
+            std::string type =
+                request.has("type")
+                    ? request.get("type").asString()
+                    : "compile";
+            if (isControlVerb(type)) {
+                std::string id;
+                if (request.has("id"))
+                    id = request.get("id").kind() ==
+                                 Json::Kind::String
+                             ? request.get("id").asString()
+                             : request.get("id").dump();
+                writer.write(controlResponse(service, type, id));
+                continue;
+            }
+            if (type == "shutdown")
+                continue; // replay drains at end-of-trace anyway
+            req = CompileRequest::fromJson(request);
         } catch (const std::exception &e) {
             ++failed;
             writer.write(protocolError("", e.what()));

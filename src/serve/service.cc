@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "report/explain.hh"
+#include "report/prometheus.hh"
 #include "support/logging.hh"
 #include "support/str_utils.hh"
 #include "support/trace.hh"
@@ -83,6 +85,8 @@ ServeOutcome::toJson(const std::string &id) const
         out.set("result", compileResultToJson(result));
         if (!trace.isNull())
             out.set("trace", trace);
+        if (!explain.isNull())
+            out.set("explain", explain);
     } else {
         Json err = Json::object();
         err.set("code", Json(errorCodeName(error)));
@@ -128,6 +132,7 @@ CompileService::CompileService(ServeOptions options)
       _cancelled(_metrics.counter("serve.cancelled")),
       _failures(_metrics.counter("serve.failures")),
       _warmedEntries(_metrics.counter("serve.warmed_entries")),
+      _inflightGauge(_metrics.gauge("serve.inflight")),
       _cache(options.cache, &_metrics),
       _pool(std::make_unique<ThreadPool>(
           ThreadPool::resolveThreads(
@@ -155,6 +160,7 @@ CompileService::submit(const CompileRequest &req)
 {
     Ticket ticket;
     ticket._start = Clock::now();
+    ticket._explain = req.explain;
     _requests.add();
 
     auto immediate = [&](ServeOutcome outcome) {
@@ -225,6 +231,10 @@ CompileService::submit(const CompileRequest &req)
             outcome.ok = true;
             outcome.result = std::move(*result);
             outcome.servedBy = from_memory ? "memory" : "disk";
+            if (req.explain)
+                outcome.explain =
+                    report::explainToJson(report::explainResult(
+                        outcome.result, *comp, spec));
             (from_memory ? _memoryHits : _diskHits).add();
             if (!req.traceId.empty()) {
                 auto &tracer = Tracer::global();
@@ -272,6 +282,7 @@ CompileService::submit(const CompileRequest &req)
                                     std::move(spec));
         job->token.setDeadline(ticket._deadline);
         _inflight[key] = job;
+        _inflightGauge.set(static_cast<double>(_inflight.size()));
     }
     _pool->submit([this, job] { runJob(job); });
     ticket._job = std::move(job);
@@ -283,6 +294,10 @@ CompileService::runJob(std::shared_ptr<Job> job)
 {
     ServeOutcome outcome;
     const std::string &trace_id = job->request.traceId;
+    // Tag every stderr line this request's compilation emits with
+    // its trace id (log <-> trace correlation).
+    LogTraceScope log_scope(trace_id);
+    AMOS_LOG(Debug) << "compile start key=" << job->key;
     {
         // Per-request trace context: every span the exploration
         // opens on this thread (and, through parallelFor's context
@@ -339,9 +354,19 @@ CompileService::runJob(std::shared_ptr<Job> job)
     // Publish to the cache *before* leaving the in-flight map (done
     // above), then deregister, then resolve the waiters: a racing
     // submit always finds the result either in flight or cached.
+    if (outcome.ok)
+        AMOS_LOG(Debug)
+            << "compile done key=" << job->key
+            << " cycles=" << outcome.result.cycles;
+    else
+        AMOS_LOG(Debug)
+            << "compile failed key=" << job->key << " code="
+            << errorCodeName(outcome.error) << ": "
+            << outcome.message;
     {
         std::lock_guard<std::mutex> lock(_mutex);
         _inflight.erase(job->key);
+        _inflightGauge.set(static_cast<double>(_inflight.size()));
     }
     job->promise.set_value(std::move(outcome));
     _idle.notify_all();
@@ -381,6 +406,13 @@ CompileService::wait(Ticket &ticket)
     ServeOutcome outcome = job->future.get();
     if (outcome.ok && ticket._joiner)
         outcome.servedBy = "coalesced";
+    // Per-ticket output shaping: explain is built on the waiter's
+    // copy, so a coalesced joiner that asked for it gets one even
+    // when the originating request did not.
+    if (outcome.ok && ticket._explain && outcome.explain.isNull())
+        outcome.explain = report::explainToJson(
+            report::explainResult(outcome.result, job->comp,
+                                  job->hw));
     if (!outcome.ok) {
         switch (outcome.error) {
         case ErrorCode::DeadlineExceeded:
@@ -427,6 +459,20 @@ CompileService::stats() const
     out.p95Ms = _latency.quantileMs(0.95);
     out.p99Ms = _latency.quantileMs(0.99);
     return out;
+}
+
+std::string
+CompileService::prometheusText() const
+{
+    return report::prometheusExposition(
+        _metrics, {{"serve.latency_ms", &_latency}});
+}
+
+bool
+CompileService::draining() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _draining;
 }
 
 void

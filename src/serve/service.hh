@@ -110,6 +110,9 @@ struct ServeOutcome
     /// Span tree of this request (non-null only when the request
     /// carried a trace_id); serialised under "trace".
     Json trace;
+    /// Explain report (non-null only when the request set
+    /// "explain"); serialised under "explain".
+    Json explain;
 
     /** Response line ({"id":..,"ok":..,...}). */
     Json toJson(const std::string &id) const;
@@ -150,6 +153,15 @@ class CompileService
     MetricsRegistry &metrics() { return _metrics; }
 
     /**
+     * Registry + request-latency summary in the Prometheus text
+     * exposition format (the served `metrics` verb's body).
+     */
+    std::string prometheusText() const;
+
+    /** True once drain() was called (the `healthz` verb's state). */
+    bool draining() const;
+
+    /**
      * Graceful shutdown: stop admitting (subsequent submits are
      * answered shutting_down), wait for every in-flight exploration
      * to resolve, and stop the stats logger. Idempotent.
@@ -178,6 +190,7 @@ class CompileService
     MetricCounter &_cancelled;
     MetricCounter &_failures;
     MetricCounter &_warmedEntries;
+    MetricGauge &_inflightGauge;
 
     TieredCache _cache;
     std::unique_ptr<ThreadPool> _pool;
@@ -212,6 +225,9 @@ class CompileService::Ticket
 
     std::shared_ptr<Job> _job;
     bool _joiner = false;
+    /// This waiter asked for an explain report; applied per ticket
+    /// in wait(), so coalesced joiners each get their own shaping.
+    bool _explain = false;
     /// Set once this ticket was answered deadline_exceeded (wait
     /// must not decrement the job's waiter count twice).
     bool _abandoned = false;

@@ -1,11 +1,24 @@
 /**
  * @file
- * Error-reporting and status-message helpers.
+ * Error-reporting and leveled logging helpers.
  *
  * Follows the gem5 convention: panic() is for internal invariant
  * violations (framework bugs), fatal() is for user errors (bad
  * configurations, invalid arguments), warn()/inform() report
  * conditions without stopping the program.
+ *
+ * Leveled logging: AMOS_LOG(Debug|Info|Warn|Error) streams one
+ * timestamped line to stderr when the level passes the threshold
+ * from the AMOS_LOG environment variable (debug|info|warn|error,
+ * default info). A thread-local trace id — installed with
+ * LogTraceScope around a request — is appended to every line, so
+ * server logs correlate with exploration traces:
+ *
+ *   AMOS_LOG(Info) << "compiled " << key << " in " << ms << " ms";
+ *   // 2026-08-06T12:31:55.104Z info: compiled gemm/... [trace=abc]
+ *
+ * The statement below the macro is skipped entirely (operands not
+ * evaluated) when the level is filtered out.
  */
 
 #ifndef AMOS_SUPPORT_LOGGING_HH
@@ -76,22 +89,117 @@ panic(Args &&...args)
                                     std::forward<Args>(args)...));
 }
 
-/** Emit a non-fatal warning to stderr. */
+/** Severity of one log line, ordered for threshold comparison. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+/** Wire name of a level ("debug" | "info" | "warn" | "error"). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * The process's log threshold: parsed once from the AMOS_LOG
+ * environment variable (debug|info|warn|error, case-insensitive);
+ * unset or unrecognised values mean Info.
+ */
+LogLevel logThreshold();
+
+/** True when lines of this level pass the threshold. */
+bool logEnabled(LogLevel level);
+
+/**
+ * Emit one timestamped line to stderr:
+ * `<ISO-8601 UTC> <level>: <message>[ [trace=<id>]]`.
+ * Emits unconditionally — callers filter with logEnabled() (the
+ * AMOS_LOG macro does this for you).
+ */
+void logMessage(LogLevel level, const std::string &message);
+
+/** The calling thread's current trace id ("" when none). */
+const std::string &logTraceContext();
+
+/**
+ * RAII scope attaching a trace id to every log line the calling
+ * thread emits; nests (the previous id is restored on exit). The
+ * serve layer wraps each request's compilation in one of these so
+ * stderr lines correlate with the request's trace_id.
+ */
+class LogTraceScope
+{
+  public:
+    explicit LogTraceScope(std::string traceId);
+    ~LogTraceScope();
+
+    LogTraceScope(const LogTraceScope &) = delete;
+    LogTraceScope &operator=(const LogTraceScope &) = delete;
+
+  private:
+    std::string _previous;
+};
+
+namespace detail {
+
+/** One in-flight log line; emits on destruction. */
+class LogLine
+{
+  public:
+    explicit LogLine(LogLevel level) : _level(level) {}
+    ~LogLine() { logMessage(_level, _oss.str()); }
+
+    LogLine(const LogLine &) = delete;
+    LogLine &operator=(const LogLine &) = delete;
+
+    template <typename T>
+    LogLine &
+    operator<<(T &&value)
+    {
+        _oss << std::forward<T>(value);
+        return *this;
+    }
+
+  private:
+    LogLevel _level;
+    std::ostringstream _oss;
+};
+
+} // namespace detail
+
+/**
+ * Stream one leveled log line:
+ *
+ *   AMOS_LOG(Debug) << "cache key " << key;
+ *
+ * When the level is filtered out the whole statement — including
+ * the operands — is skipped.
+ */
+#define AMOS_LOG(level)                                             \
+    if (!::amos::logEnabled(::amos::LogLevel::level))               \
+        ;                                                           \
+    else                                                            \
+        ::amos::detail::LogLine(::amos::LogLevel::level)
+
+/** Emit a non-fatal warning (a Warn-level log line). */
 template <typename... Args>
 void
 warn(Args &&...args)
 {
-    std::string msg = detail::concat(std::forward<Args>(args)...);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logEnabled(LogLevel::Warn))
+        logMessage(LogLevel::Warn,
+                   detail::concat(std::forward<Args>(args)...));
 }
 
-/** Emit an informational status message to stderr. */
+/** Emit an informational status message (an Info-level line). */
 template <typename... Args>
 void
 inform(Args &&...args)
 {
-    std::string msg = detail::concat(std::forward<Args>(args)...);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logEnabled(LogLevel::Info))
+        logMessage(LogLevel::Info,
+                   detail::concat(std::forward<Args>(args)...));
 }
 
 /**

@@ -687,6 +687,172 @@ TEST(Server, ReplayTraceRejectsOversizedAndMalformedLines)
     std::filesystem::remove_all(dir);
 }
 
+TEST(Protocol, ExplainFlagRoundTripsOutsideTheCacheKey)
+{
+    auto req = fastRequest();
+    auto plain_key = req.cacheKey();
+    req.explain = true;
+
+    // Explain is pure output shaping: two requests that differ only
+    // in it must land on the same cache entry (and coalesce).
+    EXPECT_EQ(req.cacheKey(), plain_key);
+
+    auto json = req.toJson();
+    EXPECT_TRUE(json.get("explain").asBool());
+    auto round =
+        CompileRequest::fromJson(Json::parse(json.dump()));
+    EXPECT_TRUE(round.explain);
+    EXPECT_EQ(round.cacheKey(), plain_key);
+
+    // Absent by default, so old clients see unchanged wire output.
+    EXPECT_FALSE(fastRequest().toJson().has("explain"));
+}
+
+TEST(Service, ExplainShapesBothCompileAndCacheHitResponses)
+{
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+
+    auto req = fastRequest();
+    req.explain = true;
+    auto compiled = service.serve(req);
+    ASSERT_TRUE(compiled.ok);
+    ASSERT_FALSE(compiled.explain.isNull());
+    auto verdict = compiled.explain.get("winner")
+                       .get("attribution")
+                       .get("bottleneck");
+    EXPECT_FALSE(verdict.asString().empty());
+    EXPECT_TRUE(compiled.toJson("c").has("explain"));
+
+    // A plain request on the warm entry stays lean...
+    auto lean = service.serve(fastRequest());
+    ASSERT_TRUE(lean.ok);
+    EXPECT_TRUE(lean.explain.isNull());
+    EXPECT_FALSE(lean.toJson("l").has("explain"));
+
+    // ...while the memory-tier replay can still explain itself.
+    auto hit = service.serve(req);
+    ASSERT_TRUE(hit.ok);
+    EXPECT_EQ(hit.servedBy, "memory");
+    ASSERT_FALSE(hit.explain.isNull());
+    EXPECT_EQ(hit.explain.get("winner")
+                  .get("attribution")
+                  .get("bottleneck")
+                  .asString(),
+              verdict.asString());
+}
+
+TEST(Server, MetricsVerbSpeaksPrometheusExposition)
+{
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+
+    std::istringstream in(
+        R"({"type":"compile","op":"gemm","m":64,"n":64,"k":64,)"
+        R"("hw":"v100","generations":2,"id":"c"})"
+        "\n"
+        R"({"type":"metrics","id":"m"})"
+        "\n"
+        R"({"type":"shutdown"})"
+        "\n");
+    std::ostringstream out;
+    int errors = serveStream(service, in, out);
+    EXPECT_EQ(errors, 0);
+
+    Json metrics;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        auto json = Json::parse(line);
+        if (json.has("id") && json.get("id").asString() == "m")
+            metrics = json;
+    }
+    ASSERT_FALSE(metrics.isNull());
+    EXPECT_TRUE(metrics.get("ok").asBool());
+    EXPECT_EQ(metrics.get("content_type").asString(),
+              "text/plain; version=0.0.4");
+    auto body = metrics.get("body").asString();
+    EXPECT_NE(body.find("# TYPE amos_serve_requests_total counter"),
+              std::string::npos)
+        << body;
+    EXPECT_NE(body.find("amos_serve_requests_total 1"),
+              std::string::npos)
+        << body;
+    EXPECT_NE(body.find("amos_serve_latency_ms_count"),
+              std::string::npos)
+        << body;
+}
+
+TEST(Server, HealthzTracksDrainState)
+{
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+
+    auto healthz = [&service] {
+        std::istringstream in("{\"type\":\"healthz\"}\n"
+                              "{\"type\":\"shutdown\"}\n");
+        std::ostringstream out;
+        EXPECT_EQ(serveStream(service, in, out), 0);
+        std::istringstream lines(out.str());
+        std::string line;
+        std::getline(lines, line);
+        return Json::parse(line);
+    };
+
+    // In-band the service is live; serveStream drains it when the
+    // stream closes, which the next scrape must report.
+    auto serving = healthz();
+    EXPECT_TRUE(serving.get("ok").asBool());
+    EXPECT_EQ(serving.get("status").asString(), "serving");
+    EXPECT_FALSE(serving.get("draining").asBool());
+
+    EXPECT_TRUE(service.draining());
+    auto drained = healthz();
+    EXPECT_EQ(drained.get("status").asString(), "draining");
+    EXPECT_TRUE(drained.get("draining").asBool());
+}
+
+TEST(Server, ReplayTraceAnswersControlVerbs)
+{
+    auto dir = freshDiskDir("replay_verbs");
+    std::string trace_path = dir + "/trace.ndjson";
+    {
+        std::ofstream trace(trace_path);
+        trace << R"({"type":"compile","op":"gemm","m":64,"n":64,)"
+              << R"("k":64,"hw":"v100","generations":2,"id":"c"})"
+              << "\n";
+        trace << R"({"type":"healthz","id":"h"})" << "\n";
+        trace << R"({"type":"metrics","id":"m"})" << "\n";
+    }
+
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+    std::ostringstream out;
+    int failed = replayTrace(service, trace_path, out);
+    EXPECT_EQ(failed, 0);
+
+    std::map<std::string, Json> by_id;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        auto json = Json::parse(line);
+        if (json.has("id"))
+            by_id[json.get("id").asString()] = json;
+    }
+    ASSERT_TRUE(by_id.count("c"));
+    ASSERT_TRUE(by_id.count("h"));
+    ASSERT_TRUE(by_id.count("m"));
+    EXPECT_EQ(by_id["h"].get("status").asString(), "serving");
+    EXPECT_NE(by_id["m"].get("body").asString().find(
+                  "amos_serve_compiles_total"),
+              std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
 } // namespace
 } // namespace serve
 } // namespace amos
