@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Functional-simulator throughput: scalar interpreter vs the compiled
+ * stride-walk engine (see docs/execution.md), on the three executors
+ * (reference, mapped-direct, mapped-packed) at 1 and 4 threads.
+ *
+ * Reports elements/s per workload x engine x thread count plus the
+ * headline single-thread speedups into BENCH_execute.json. Run with
+ * --tiny for the CI smoke (small shapes, one repetition).
+ */
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <limits>
+
+#include "bench_common.hh"
+#include "isa/intrinsics.hh"
+#include "mapping/execute.hh"
+#include "mapping/generate.hh"
+#include "ops/operators.hh"
+#include "tensor/reference.hh"
+
+namespace amos {
+namespace {
+
+/** Best-of-reps wall-clock seconds of one run of fn. */
+double
+timeBest(int reps, const std::function<void()> &fn)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+struct Workload
+{
+    std::string name;
+    TensorComputation comp;
+};
+
+int
+runBench(bool tiny)
+{
+    const int reps = tiny ? 1 : 5;
+    bench::BenchReport report("execute", reps);
+    report.setConfig("tiny", Json(tiny));
+    report.setConfig("threads_parallel", Json(std::int64_t{4}));
+
+    std::vector<Workload> workloads;
+    if (tiny) {
+        workloads.push_back({"gemm", ops::makeGemm(8, 8, 8)});
+        workloads.push_back(
+            {"conv2d",
+             ops::makeConv2d({1, 2, 4, 4, 4, 3, 3, 1, 1,
+                              DataType::F16})});
+        workloads.push_back({"gemv", ops::makeGemv(16, 16)});
+    } else {
+        workloads.push_back({"gemm", ops::makeGemm(64, 64, 64)});
+        workloads.push_back(
+            {"conv2d",
+             ops::makeConv2d({1, 8, 16, 14, 14, 3, 3, 1, 1,
+                              DataType::F16})});
+        workloads.push_back({"gemv", ops::makeGemv(256, 256)});
+    }
+
+    for (const auto &wl : workloads) {
+        const auto &comp = wl.comp;
+        auto inputs = makePatternInputs(comp, 2022);
+        std::vector<const Buffer *> ptrs;
+        for (const auto &b : inputs)
+            ptrs.push_back(&b);
+        const double elems =
+            static_cast<double>(comp.totalIterations());
+        report.setConfig(wl.name + "_elements",
+                         Json(comp.totalIterations()));
+
+        auto referenceEps = [&](const ExecOptions &opts) {
+            Buffer out(comp.output());
+            double s = timeBest(reps, [&]() {
+                out.fill(0.0f);
+                referenceExecute(comp, ptrs, out, opts);
+            });
+            return elems / s;
+        };
+        ExecOptions interp;
+        interp.forceInterpreter = true;
+        ExecOptions serial;
+        ExecOptions parallel;
+        parallel.numThreads = 4;
+
+        Json row = Json::object();
+        double eps_interp = referenceEps(interp);
+        double eps_1t = referenceEps(serial);
+        double eps_4t = referenceEps(parallel);
+        row.set("reference_interpreter_eps", Json(eps_interp));
+        row.set("reference_compiled_eps_1t", Json(eps_1t));
+        row.set("reference_compiled_eps_4t", Json(eps_4t));
+        row.set("reference_speedup_1t", Json(eps_1t / eps_interp));
+        row.set("reference_parallel_scaling_4t",
+                Json(eps_4t / eps_1t));
+
+        // Mapped executors on the first enumerated wmma-tiny plan —
+        // the same differential workload the execute tests sweep.
+        auto plans = enumeratePlans(comp, isa::wmmaTiny(), {});
+        if (!plans.empty()) {
+            const auto &plan = plans[0];
+            auto mappedEps = [&](const ExecOptions &opts,
+                                 bool packed) {
+                Buffer out(comp.output());
+                double s = timeBest(reps, [&]() {
+                    out.fill(0.0f);
+                    if (packed)
+                        executeMappedPacked(plan, ptrs, out, opts);
+                    else
+                        executeMappedDirect(plan, ptrs, out, opts);
+                });
+                return elems / s;
+            };
+            double d_interp = mappedEps(interp, false);
+            double d_1t = mappedEps(serial, false);
+            double d_4t = mappedEps(parallel, false);
+            row.set("direct_interpreter_eps", Json(d_interp));
+            row.set("direct_compiled_eps_1t", Json(d_1t));
+            row.set("direct_compiled_eps_4t", Json(d_4t));
+            row.set("direct_speedup_1t", Json(d_1t / d_interp));
+            double p_interp = mappedEps(interp, true);
+            double p_1t = mappedEps(serial, true);
+            row.set("packed_interpreter_eps", Json(p_interp));
+            row.set("packed_compiled_eps_1t", Json(p_1t));
+            row.set("packed_speedup_1t", Json(p_1t / p_interp));
+        }
+        report.setMetric(wl.name, row);
+
+        std::printf("%-8s interp %.3g e/s | compiled 1t %.3g e/s "
+                    "(%.1fx) | 4t %.3g e/s\n",
+                    wl.name.c_str(), eps_interp, eps_1t,
+                    eps_1t / eps_interp, eps_4t);
+    }
+
+    report.write();
+    return 0;
+}
+
+} // namespace
+} // namespace amos
+
+int
+main(int argc, char **argv)
+{
+    bool tiny = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--tiny") == 0)
+            tiny = true;
+    return amos::runBench(tiny);
+}

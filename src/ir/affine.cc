@@ -96,55 +96,61 @@ AffineForm::toString() const
 
 namespace {
 
-std::optional<AffineForm>
+AffineAnalysis
 affineRec(const Expr &expr)
 {
     const ExprNode *node = expr.get();
+    AffineAnalysis out;
     switch (node->kind()) {
       case ExprKind::IntImm:
-        return AffineForm(static_cast<const IntImmNode *>(node)->value);
+        out.form =
+            AffineForm(static_cast<const IntImmNode *>(node)->value);
+        return out;
       case ExprKind::Var: {
         AffineForm form;
         form.addTerm(static_cast<const VarNode *>(node), 1);
-        return form;
+        out.form = std::move(form);
+        return out;
       }
-      case ExprKind::Add: {
-        auto *bin = static_cast<const BinaryNode *>(node);
-        auto a = affineRec(bin->a);
-        auto b = affineRec(bin->b);
-        if (!a || !b)
-            return std::nullopt;
-        a->accumulate(*b);
-        return a;
-      }
+      case ExprKind::Add:
       case ExprKind::Sub: {
         auto *bin = static_cast<const BinaryNode *>(node);
         auto a = affineRec(bin->a);
+        if (!a.ok())
+            return a;
         auto b = affineRec(bin->b);
-        if (!a || !b)
-            return std::nullopt;
-        b->scale(-1);
-        a->accumulate(*b);
+        if (!b.ok())
+            return b;
+        if (node->kind() == ExprKind::Sub)
+            b.form->scale(-1);
+        a.form->accumulate(*b.form);
         return a;
       }
       case ExprKind::Mul: {
         auto *bin = static_cast<const BinaryNode *>(node);
         auto a = affineRec(bin->a);
+        if (!a.ok())
+            return a;
         auto b = affineRec(bin->b);
-        if (!a || !b)
-            return std::nullopt;
-        if (b->terms().empty()) {
-            a->scale(b->constant());
+        if (!b.ok())
+            return b;
+        if (b.form->terms().empty()) {
+            a.form->scale(b.form->constant());
             return a;
         }
-        if (a->terms().empty()) {
-            b->scale(a->constant());
+        if (a.form->terms().empty()) {
+            b.form->scale(a.form->constant());
             return b;
         }
-        return std::nullopt; // variable-by-variable product
+        out.reason = "variable-by-variable product " +
+                     exprToString(expr);
+        return out;
       }
       default:
-        return std::nullopt; // floordiv/floormod/min/max
+        out.reason = std::string(exprKindName(node->kind())) +
+                     " node " + exprToString(expr) +
+                     " is not affine";
+        return out;
     }
 }
 
@@ -154,7 +160,37 @@ std::optional<AffineForm>
 tryToAffine(const Expr &expr)
 {
     require(expr.defined(), "tryToAffine on undefined expression");
+    return affineRec(expr).form;
+}
+
+AffineAnalysis
+analyzeAffine(const Expr &expr)
+{
+    require(expr.defined(), "analyzeAffine on undefined expression");
     return affineRec(expr);
+}
+
+AffineAnalysis
+analyzeFlatAccess(const std::vector<Expr> &indices,
+                  const std::vector<std::int64_t> &strides)
+{
+    require(indices.size() == strides.size(),
+            "analyzeFlatAccess: ", indices.size(), " indices vs ",
+            strides.size(), " strides");
+    AffineAnalysis out;
+    AffineForm flat;
+    for (std::size_t d = 0; d < indices.size(); ++d) {
+        auto dim = analyzeAffine(indices[d]);
+        if (!dim.ok()) {
+            out.reason = "index dim " + std::to_string(d) + ": " +
+                         dim.reason;
+            return out;
+        }
+        dim.form->scale(strides[d]);
+        flat.accumulate(*dim.form);
+    }
+    out.form = std::move(flat);
+    return out;
 }
 
 } // namespace amos

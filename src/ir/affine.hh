@@ -78,6 +78,34 @@ class AffineForm
  */
 std::optional<AffineForm> tryToAffine(const Expr &expr);
 
+/**
+ * Affine analysis with a diagnosis: either the form, or the reason
+ * the expression is not affine (which sub-expression broke it and
+ * why). The execution-plan compiler logs the reason when it falls
+ * back to the interpreter.
+ */
+struct AffineAnalysis
+{
+    std::optional<AffineForm> form;
+    /// Human-readable failure reason; empty iff form has a value.
+    std::string reason;
+
+    bool ok() const { return form.has_value(); }
+};
+
+/** Like tryToAffine, but reports why the conversion failed. */
+AffineAnalysis analyzeAffine(const Expr &expr);
+
+/**
+ * Fold a multi-dimensional access into one affine form over the flat
+ * (row-major) address: sum_d strides[d] * indices[d]. Fails — with a
+ * reason naming the offending dimension — if any index expression is
+ * non-affine. This is the "base + sum stride_i * iter_i" form the
+ * stride-walk execution engine is compiled from.
+ */
+AffineAnalysis analyzeFlatAccess(const std::vector<Expr> &indices,
+                                 const std::vector<std::int64_t> &strides);
+
 } // namespace amos
 
 #endif // AMOS_IR_AFFINE_HH

@@ -1,6 +1,9 @@
 #include "execute.hh"
 
+#include "mapping/exec_plan.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 #include "tensor/reference.hh"
 
 namespace amos {
@@ -48,28 +51,23 @@ unflattenGroup(const TensorComputation &comp,
 
 std::int64_t
 readAccess(const Buffer &buf, const std::vector<Expr> &indices,
-           const VarBinding &binding)
+           const VarBinding &binding,
+           std::vector<std::int64_t> &scratch)
 {
-    std::vector<std::int64_t> idx(indices.size());
+    scratch.resize(indices.size());
     for (std::size_t d = 0; d < indices.size(); ++d)
-        idx[d] = evalExpr(indices[d], binding);
-    return buf.flatten(idx);
+        scratch[d] = evalExpr(indices[d], binding);
+    return buf.flatten(scratch);
 }
 
-} // namespace
-
+/** Scalar interpreter for the direct path (fallback + baseline). */
 void
-executeMappedDirect(const MappingPlan &plan,
-                    const std::vector<const Buffer *> &inputs,
-                    Buffer &output)
+interpretMappedDirect(const MappingPlan &plan,
+                      const std::vector<const Buffer *> &inputs,
+                      Buffer &output)
 {
     const auto &comp = plan.computation();
     const auto &intr = plan.intrinsic().compute;
-    require(plan.valid(),
-            "executeMappedDirect on an invalid mapping for ",
-            comp.name());
-    require(inputs.size() == comp.inputs().size(),
-            "executeMappedDirect: input count mismatch");
 
     std::vector<std::int64_t> outer_extents;
     for (const auto &axis : plan.outerAxes())
@@ -77,50 +75,66 @@ executeMappedDirect(const MappingPlan &plan,
     std::vector<std::int64_t> intr_extents = intr.problemSize();
 
     const auto &groups = plan.groups();
+    const std::size_t K = groups.size();
     std::vector<std::int64_t> sw_coords(comp.numIters(), 0);
+    std::vector<std::int64_t> scratch;
     VarBinding binding;
+    for (std::size_t s = 0; s < comp.numIters(); ++s)
+        binding[comp.iters()[s].var.node()] = 0;
 
     forEachIndex(outer_extents, [&](const std::vector<std::int64_t>
                                         &outer) {
         // Quotient per intrinsic iteration at this outer coordinate.
-        std::vector<std::int64_t> quotient(groups.size(), 0);
+        std::vector<std::int64_t> quotient(K, 0);
         for (std::size_t a = 0; a < plan.outerAxes().size(); ++a) {
             const auto &axis = plan.outerAxes()[a];
-            if (axis.kind == MappingPlan::OuterAxis::Kind::Unmapped)
+            if (axis.kind == MappingPlan::OuterAxis::Kind::Unmapped) {
                 sw_coords[axis.ref] = outer[a];
-            else
+                binding[comp.iters()[axis.ref].var.node()] = outer[a];
+            } else {
                 quotient[axis.ref] = outer[a];
+            }
         }
 
-        forEachIndex(intr_extents, [&](const std::vector<std::int64_t>
-                                           &intr_idx) {
-            // Reconstruct fused flat values; skip padding slots.
-            for (std::size_t k = 0; k < groups.size(); ++k) {
+        // Rebind only group coordinates the intrinsic odometer moved
+        // (or ones left stale by a padding skip).
+        std::size_t stale = 0;
+        forEachIndexDelta(intr_extents, [&](const std::vector<
+                                                std::int64_t> &intr_idx,
+                                            std::size_t dirty) {
+            for (std::size_t k = std::min(dirty, stale); k < K; ++k) {
                 std::int64_t flat =
                     quotient[k] * groups[k].intrinsicExtent +
                     intr_idx[k];
-                if (flat >= groups[k].fusedExtent)
+                if (flat >= groups[k].fusedExtent) {
+                    stale = k;
                     return; // trailing padding
+                }
                 unflattenGroup(comp, groups[k], flat, sw_coords);
+                for (auto s : groups[k].members)
+                    binding[comp.iters()[s].var.node()] =
+                        sw_coords[s];
             }
-            for (std::size_t s = 0; s < comp.numIters(); ++s)
-                binding[comp.iters()[s].var.node()] = sw_coords[s];
+            stale = K;
 
-            std::int64_t out_flat =
-                readAccess(output, comp.outputIndices(), binding);
+            std::int64_t out_flat = readAccess(
+                output, comp.outputIndices(), binding, scratch);
             float update = 0.0f;
             switch (comp.combine()) {
               case CombineKind::MultiplyAdd: {
-                float a = inputs[0]->at(readAccess(
-                    *inputs[0], comp.inputs()[0].indices, binding));
-                float b = inputs[1]->at(readAccess(
-                    *inputs[1], comp.inputs()[1].indices, binding));
+                float a = inputs[0]->at(
+                    readAccess(*inputs[0], comp.inputs()[0].indices,
+                               binding, scratch));
+                float b = inputs[1]->at(
+                    readAccess(*inputs[1], comp.inputs()[1].indices,
+                               binding, scratch));
                 update = a * b;
                 break;
               }
               case CombineKind::SumReduce:
-                update = inputs[0]->at(readAccess(
-                    *inputs[0], comp.inputs()[0].indices, binding));
+                update = inputs[0]->at(
+                    readAccess(*inputs[0], comp.inputs()[0].indices,
+                               binding, scratch));
                 break;
             }
             output.accumulate(out_flat, update);
@@ -128,18 +142,14 @@ executeMappedDirect(const MappingPlan &plan,
     });
 }
 
+/** Scalar interpreter for the packed path (fallback + baseline). */
 void
-executeMappedPacked(const MappingPlan &plan,
-                    const std::vector<const Buffer *> &inputs,
-                    Buffer &output)
+interpretMappedPacked(const MappingPlan &plan,
+                      const std::vector<const Buffer *> &inputs,
+                      Buffer &output)
 {
     const auto &comp = plan.computation();
     const auto &intr = plan.intrinsic().compute;
-    require(plan.valid(),
-            "executeMappedPacked on an invalid mapping for ",
-            comp.name());
-    require(inputs.size() == comp.inputs().size(),
-            "executeMappedPacked: input count mismatch");
 
     const auto &operands = plan.operands();
     auto phys_exprs = plan.physicalComputeExprs();
@@ -166,19 +176,24 @@ executeMappedPacked(const MappingPlan &plan,
         return addr + offset;
     };
 
-    // Stage 1: pack the inputs by sweeping the software domain.
+    // Stage 1: pack the inputs by sweeping the software domain,
+    // rebinding only the coordinates the odometer moved.
     std::vector<std::int64_t> sw_extents;
     for (const auto &iv : comp.iters())
         sw_extents.push_back(iv.extent);
 
     VarBinding binding;
-    forEachIndex(sw_extents, [&](const std::vector<std::int64_t> &idx) {
-        for (std::size_t s = 0; s < comp.numIters(); ++s)
+    std::vector<std::int64_t> scratch;
+    forEachIndexDelta(sw_extents, [&](const std::vector<std::int64_t>
+                                          &idx,
+                                      std::size_t dirty) {
+        for (std::size_t s = dirty; s < comp.numIters(); ++s)
             binding[comp.iters()[s].var.node()] = idx[s];
         for (std::size_t m = 0; m < inputs.size(); ++m) {
             const auto &op = operands[m];
             std::int64_t src = readAccess(
-                *inputs[m], comp.inputs()[m].indices, binding);
+                *inputs[m], comp.inputs()[m].indices, binding,
+                scratch);
             std::int64_t dst = packed_addr(op, binding);
             require(dst >= 0 &&
                     dst < static_cast<std::int64_t>(packed[m].size()),
@@ -214,13 +229,12 @@ executeMappedPacked(const MappingPlan &plan,
                                sw_coords);
             }
         }
-        VarBinding tile_binding;
         for (std::size_t s = 0; s < comp.numIters(); ++s)
-            tile_binding[comp.iters()[s].var.node()] = sw_coords[s];
+            binding[comp.iters()[s].var.node()] = sw_coords[s];
 
         std::vector<std::int64_t> bases(operands.size());
         for (std::size_t m = 0; m < operands.size(); ++m)
-            bases[m] = evalExpr(operands[m].baseAddress, tile_binding);
+            bases[m] = evalExpr(operands[m].baseAddress, binding);
 
         // One intrinsic call: the inner loops below are the scalar
         // semantics of the compute abstraction.
@@ -256,14 +270,99 @@ executeMappedPacked(const MappingPlan &plan,
     });
 
     // Stage 3: unpack the output back to the software layout.
-    forEachIndex(sw_extents, [&](const std::vector<std::int64_t> &idx) {
-        for (std::size_t s = 0; s < comp.numIters(); ++s)
+    forEachIndexDelta(sw_extents, [&](const std::vector<std::int64_t>
+                                          &idx,
+                                      std::size_t dirty) {
+        for (std::size_t s = dirty; s < comp.numIters(); ++s)
             binding[comp.iters()[s].var.node()] = idx[s];
         std::int64_t sw = readAccess(output, comp.outputIndices(),
-                                     binding);
+                                     binding, scratch);
         std::int64_t src = packed_addr(dst_op, binding);
         output.set(sw, packed.back()[static_cast<std::size_t>(src)]);
     });
+}
+
+/** Shared engine-selection logic of the two mapped executors. */
+template <typename RunCompiled, typename RunInterp>
+void
+dispatchMapped(const char *spanName, const MappingPlan &plan,
+               const std::vector<const Buffer *> &inputs,
+               const Buffer &output, const ExecOptions &opts,
+               RunCompiled &&runCompiled, RunInterp &&runInterp)
+{
+    TraceSpan span(spanName, "exec");
+    auto &metrics = MetricsRegistry::global();
+    if (!opts.forceInterpreter) {
+        ExecPlan ep(plan);
+        std::string why = ep.fallbackReason();
+        if (ep.compiled() && ep.buffersMatch(inputs, output, &why)) {
+            WalkRunStats stats = runCompiled(ep);
+            noteWalkRun(span, stats, opts.numThreads);
+            return;
+        }
+        metrics.counter("exec.fallback").add();
+        span.arg("fallback", why);
+        AMOS_LOG(Debug)
+            << spanName << " falls back to the interpreter for "
+            << plan.computation().name() << ": " << why;
+    }
+    metrics.counter("exec.interpreter_runs").add();
+    span.arg("engine", "interpreter");
+    runInterp();
+}
+
+} // namespace
+
+void
+executeMappedDirect(const MappingPlan &plan,
+                    const std::vector<const Buffer *> &inputs,
+                    Buffer &output)
+{
+    executeMappedDirect(plan, inputs, output, ExecOptions{});
+}
+
+void
+executeMappedDirect(const MappingPlan &plan,
+                    const std::vector<const Buffer *> &inputs,
+                    Buffer &output, const ExecOptions &opts)
+{
+    require(plan.valid(),
+            "executeMappedDirect on an invalid mapping for ",
+            plan.computation().name());
+    require(inputs.size() == plan.computation().inputs().size(),
+            "executeMappedDirect: input count mismatch");
+    dispatchMapped(
+        "exec.direct", plan, inputs, output, opts,
+        [&](const ExecPlan &ep) {
+            return ep.runDirect(inputs, output, opts);
+        },
+        [&]() { interpretMappedDirect(plan, inputs, output); });
+}
+
+void
+executeMappedPacked(const MappingPlan &plan,
+                    const std::vector<const Buffer *> &inputs,
+                    Buffer &output)
+{
+    executeMappedPacked(plan, inputs, output, ExecOptions{});
+}
+
+void
+executeMappedPacked(const MappingPlan &plan,
+                    const std::vector<const Buffer *> &inputs,
+                    Buffer &output, const ExecOptions &opts)
+{
+    require(plan.valid(),
+            "executeMappedPacked on an invalid mapping for ",
+            plan.computation().name());
+    require(inputs.size() == plan.computation().inputs().size(),
+            "executeMappedPacked: input count mismatch");
+    dispatchMapped(
+        "exec.packed", plan, inputs, output, opts,
+        [&](const ExecPlan &ep) {
+            return ep.runPacked(inputs, output, opts);
+        },
+        [&]() { interpretMappedPacked(plan, inputs, output); });
 }
 
 float
@@ -285,6 +384,32 @@ mappedVsReferenceError(const MappingPlan &plan, std::uint64_t seed)
     executeMappedPacked(plan, ptrs, packed);
 
     return std::max(ref.maxAbsDiff(direct), ref.maxAbsDiff(packed));
+}
+
+float
+compiledVsInterpreterError(const MappingPlan &plan,
+                           std::uint64_t seed, int numThreads)
+{
+    const auto &comp = plan.computation();
+    auto inputs = makePatternInputs(comp, seed);
+    std::vector<const Buffer *> ptrs;
+    for (const auto &b : inputs)
+        ptrs.push_back(&b);
+
+    ExecOptions interp;
+    interp.forceInterpreter = true;
+    ExecOptions compiled;
+    compiled.numThreads = numThreads;
+
+    Buffer di(comp.output()), dc(comp.output());
+    executeMappedDirect(plan, ptrs, di, interp);
+    executeMappedDirect(plan, ptrs, dc, compiled);
+
+    Buffer pi(comp.output()), pc(comp.output());
+    executeMappedPacked(plan, ptrs, pi, interp);
+    executeMappedPacked(plan, ptrs, pc, compiled);
+
+    return std::max(di.maxAbsDiff(dc), pi.maxAbsDiff(pc));
 }
 
 } // namespace amos

@@ -16,6 +16,15 @@
  *    calls purely on the packed buffers, and finally unpacks the
  *    output. Verifies the memory mapping: any error in the base
  *    address or stride arithmetic breaks the result.
+ *
+ * Both paths default to the compiled stride-walk engine (see
+ * mapping/exec_plan.hh): the mapping is lowered once into per-operand
+ * address stride tables and executed without per-element expression
+ * evaluation, bit-identical to the scalar interpreters, which remain
+ * as the transparent fallback for plans the engine cannot compile
+ * (logged via the exec.fallback metric). ExecOptions selects the
+ * engine and the thread count of the outer-tile sweep; results are
+ * identical for every thread count.
  */
 
 #ifndef AMOS_MAPPING_EXECUTE_HH
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "mapping/mapping.hh"
+#include "tensor/access_walk.hh"
 #include "tensor/tensor.hh"
 
 namespace amos {
@@ -32,11 +42,17 @@ namespace amos {
 void executeMappedDirect(const MappingPlan &plan,
                          const std::vector<const Buffer *> &inputs,
                          Buffer &output);
+void executeMappedDirect(const MappingPlan &plan,
+                         const std::vector<const Buffer *> &inputs,
+                         Buffer &output, const ExecOptions &opts);
 
 /** Execute via packed tiles (memory-mapping check). */
 void executeMappedPacked(const MappingPlan &plan,
                          const std::vector<const Buffer *> &inputs,
                          Buffer &output);
+void executeMappedPacked(const MappingPlan &plan,
+                         const std::vector<const Buffer *> &inputs,
+                         Buffer &output, const ExecOptions &opts);
 
 /**
  * Convenience used by tests: run both mapped paths on pattern inputs
@@ -44,6 +60,16 @@ void executeMappedPacked(const MappingPlan &plan,
  */
 float mappedVsReferenceError(const MappingPlan &plan,
                              std::uint64_t seed = 7);
+
+/**
+ * Differential check of the compiled engine itself: run both mapped
+ * paths with the interpreter forced and with the stride-walk engine
+ * at `numThreads`, on identical pattern inputs, and return the
+ * largest deviation. Zero iff the engine is bit-identical.
+ */
+float compiledVsInterpreterError(const MappingPlan &plan,
+                                 std::uint64_t seed = 7,
+                                 int numThreads = 1);
 
 } // namespace amos
 

@@ -109,6 +109,23 @@ TensorComputation::isTensorizeBarrier(const VarNode *var) const
     return false;
 }
 
+TensorComputation
+TensorComputation::withMutatedInputIndex(std::size_t input,
+                                         std::size_t dim,
+                                         Expr index) const
+{
+    require(input < _inputs.size(),
+            _name, ": withMutatedInputIndex input ", input,
+            " out of range");
+    require(dim < _inputs[input].indices.size(),
+            _name, ": withMutatedInputIndex dim ", dim,
+            " out of range");
+    TensorComputation mutated = *this;
+    mutated._name = _name + "_mutated";
+    mutated._inputs[input].indices[dim] = std::move(index);
+    return mutated;
+}
+
 std::size_t
 TensorComputation::iterIndex(const VarNode *var) const
 {

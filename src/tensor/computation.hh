@@ -121,6 +121,20 @@ class TensorComputation
     /** True iff the iterator is barred from intrinsic mapping. */
     bool isTensorizeBarrier(const VarNode *var) const;
 
+    /**
+     * Copy of this computation with one input access index replaced,
+     * bypassing the affine-index validation (the expression must
+     * still evaluate under the declared iterators, and every other
+     * invariant is re-checked).
+     *
+     * Test/fuzz hook only: the constructor rejects non-affine
+     * accesses, so this is the one way to build a computation that
+     * forces the stride-walk engine's interpreter fallback.
+     */
+    TensorComputation withMutatedInputIndex(std::size_t input,
+                                            std::size_t dim,
+                                            Expr index) const;
+
   private:
     void validate() const;
 

@@ -1,6 +1,8 @@
 #include "reference.hh"
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace amos {
 
@@ -9,12 +11,55 @@ namespace {
 /** Evaluate a multi-index access and read/accumulate a buffer. */
 std::int64_t
 flatIndex(const Buffer &buf, const std::vector<Expr> &indices,
-          const VarBinding &binding)
+          const VarBinding &binding,
+          std::vector<std::int64_t> &scratch)
 {
-    std::vector<std::int64_t> idx(indices.size());
+    scratch.resize(indices.size());
     for (std::size_t d = 0; d < indices.size(); ++d)
-        idx[d] = evalExpr(indices[d], binding);
-    return buf.flatten(idx);
+        scratch[d] = evalExpr(indices[d], binding);
+    return buf.flatten(scratch);
+}
+
+/**
+ * The compiled plan's strides come from the declared shapes, so the
+ * runtime buffers must match them exactly — and the whole iteration
+ * box must stay inside every buffer (checked once here instead of
+ * per element in the inner loop).
+ */
+bool
+walkFitsBuffers(const AccessWalkPlan &plan,
+                const TensorComputation &comp,
+                const std::vector<const Buffer *> &inputs,
+                const Buffer &output, std::string *why)
+{
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (inputs[i]->decl().shape() !=
+            comp.inputs()[i].decl.shape()) {
+            *why = "input " + std::to_string(i) +
+                   " shape differs from the declared shape";
+            return false;
+        }
+    }
+    if (output.decl().shape() != comp.output().shape()) {
+        *why = "output shape differs from the declared shape";
+        return false;
+    }
+    for (std::size_t m = 0; m < plan.operands.size(); ++m) {
+        std::int64_t size =
+            m < inputs.size()
+                ? static_cast<std::int64_t>(inputs[m]->size())
+                : static_cast<std::int64_t>(output.size());
+        if (plan.operands[m].minAddr < 0 ||
+            plan.operands[m].maxAddr >= size) {
+            *why = "operand " + std::to_string(m) +
+                   " address box [" +
+                   std::to_string(plan.operands[m].minAddr) + ", " +
+                   std::to_string(plan.operands[m].maxAddr) +
+                   "] exceeds buffer size " + std::to_string(size);
+            return false;
+        }
+    }
+    return true;
 }
 
 } // namespace
@@ -23,6 +68,14 @@ void
 referenceExecute(const TensorComputation &comp,
                  const std::vector<const Buffer *> &inputs,
                  Buffer &output)
+{
+    referenceExecute(comp, inputs, output, ExecOptions{});
+}
+
+void
+referenceExecute(const TensorComputation &comp,
+                 const std::vector<const Buffer *> &inputs,
+                 Buffer &output, const ExecOptions &opts)
 {
     require(inputs.size() == comp.inputs().size(),
             "referenceExecute: expected ", comp.inputs().size(),
@@ -33,49 +86,85 @@ referenceExecute(const TensorComputation &comp,
                 "referenceExecute: input ", i, " size mismatch");
     }
 
-    const auto &iters = comp.iters();
-    std::vector<std::int64_t> idx(iters.size(), 0);
-    VarBinding binding;
-    for (const auto &iv : iters)
-        binding[iv.var.node()] = 0;
+    TraceSpan span("exec.reference", "exec");
+    auto &metrics = MetricsRegistry::global();
 
-    // Odometer-style traversal of the full iteration domain.
-    bool done = iters.empty();
-    while (!done) {
-        for (std::size_t i = 0; i < iters.size(); ++i)
+    if (!opts.forceInterpreter) {
+        std::string why;
+        auto plan = compileReferenceWalk(comp, &why);
+        if (plan &&
+            walkFitsBuffers(*plan, comp, inputs, output, &why)) {
+            float *out = output.data();
+            const float *in0 = inputs[0]->data();
+            WalkRunStats stats;
+            switch (comp.combine()) {
+              case CombineKind::MultiplyAdd: {
+                const float *in1 = inputs[1]->data();
+                stats = runAccessWalkParallel(
+                    *plan, 2, plan->extents.size(), opts.numThreads,
+                    [&](const std::int64_t *a) {
+                        out[a[2]] += in0[a[0]] * in1[a[1]];
+                    });
+                break;
+              }
+              case CombineKind::SumReduce:
+                stats = runAccessWalkParallel(
+                    *plan, 1, plan->extents.size(), opts.numThreads,
+                    [&](const std::int64_t *a) {
+                        out[a[1]] += in0[a[0]];
+                    });
+                break;
+            }
+            noteWalkRun(span, stats, opts.numThreads);
+            return;
+        }
+        metrics.counter("exec.fallback").add();
+        span.arg("fallback", why);
+        AMOS_LOG(Debug)
+            << "exec.reference falls back to the interpreter for "
+            << comp.name() << ": " << why;
+    }
+
+    // Interpreter: odometer over the software domain, rebinding only
+    // the coordinates the odometer actually moved.
+    metrics.counter("exec.interpreter_runs").add();
+    span.arg("engine", "interpreter");
+    const auto &iters = comp.iters();
+    std::vector<std::int64_t> extents;
+    for (const auto &iv : iters)
+        extents.push_back(iv.extent);
+
+    VarBinding binding;
+    std::vector<std::int64_t> scratch;
+    forEachIndexDelta(extents, [&](const std::vector<std::int64_t>
+                                       &idx,
+                                   std::size_t dirty) {
+        for (std::size_t i = dirty; i < iters.size(); ++i)
             binding[iters[i].var.node()] = idx[i];
 
-        std::int64_t out_flat =
-            flatIndex(output, comp.outputIndices(), binding);
+        std::int64_t out_flat = flatIndex(
+            output, comp.outputIndices(), binding, scratch);
         float update = 0.0f;
         switch (comp.combine()) {
           case CombineKind::MultiplyAdd: {
-            float a = inputs[0]->at(flatIndex(
-                *inputs[0], comp.inputs()[0].indices, binding));
-            float b = inputs[1]->at(flatIndex(
-                *inputs[1], comp.inputs()[1].indices, binding));
+            float a = inputs[0]->at(
+                flatIndex(*inputs[0], comp.inputs()[0].indices,
+                          binding, scratch));
+            float b = inputs[1]->at(
+                flatIndex(*inputs[1], comp.inputs()[1].indices,
+                          binding, scratch));
             update = a * b;
             break;
           }
           case CombineKind::SumReduce: {
-            update = inputs[0]->at(flatIndex(
-                *inputs[0], comp.inputs()[0].indices, binding));
+            update = inputs[0]->at(
+                flatIndex(*inputs[0], comp.inputs()[0].indices,
+                          binding, scratch));
             break;
           }
         }
         output.accumulate(out_flat, update);
-
-        // Advance the odometer (last iterator is innermost).
-        std::size_t d = iters.size();
-        while (d > 0) {
-            --d;
-            if (++idx[d] < iters[d].extent)
-                break;
-            idx[d] = 0;
-            if (d == 0)
-                done = true;
-        }
-    }
+    });
 }
 
 std::vector<Buffer>

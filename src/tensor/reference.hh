@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "tensor/access_walk.hh"
 #include "tensor/computation.hh"
 #include "tensor/tensor.hh"
 
@@ -19,10 +20,21 @@ namespace amos {
  * Execute the computation over the given input buffers, accumulating
  * into (pre-zeroed or pre-initialised) output.
  *
+ * By default this lowers every access to precomputed affine stride
+ * form and runs the stride-walk engine (see tensor/access_walk.hh) —
+ * bit-identical to the scalar interpreter, which remains as the
+ * transparent fallback for non-affine accesses or mismatched buffer
+ * shapes (logged via the exec.fallback metric).
+ *
  * @param comp The computation to interpret.
  * @param inputs One buffer per computation input, in order.
  * @param output Buffer matching the computation's output declaration.
+ * @param opts Thread count for the outer sweep and engine forcing.
  */
+void referenceExecute(const TensorComputation &comp,
+                      const std::vector<const Buffer *> &inputs,
+                      Buffer &output, const ExecOptions &opts);
+
 void referenceExecute(const TensorComputation &comp,
                       const std::vector<const Buffer *> &inputs,
                       Buffer &output);

@@ -15,6 +15,7 @@
 #include "mapping/generate.hh"
 #include "ops/operators.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "tensor/reference.hh"
 
 namespace amos {
@@ -36,6 +37,45 @@ tinyConvParams()
     pr.kernel_h = 2;
     pr.kernel_w = 2;
     return pr;
+}
+
+/** Small instance of each operator kind used by the param suites. */
+TensorComputation
+makeSmallOp(ops::OpKind kind)
+{
+    ConvParams pr = tinyConvParams();
+    switch (kind) {
+      case ops::OpKind::GMV: return ops::makeGemv(5, 7);
+      case ops::OpKind::GMM: return ops::makeGemm(3, 5, 7);
+      case ops::OpKind::C1D: return ops::makeConv1d(2, 3, 4, 5, 3);
+      case ops::OpKind::C2D: return ops::makeConv2d(pr);
+      case ops::OpKind::C3D: return ops::makeConv3d(pr, 2, 2);
+      case ops::OpKind::T2D: {
+        ConvParams t2 = pr;
+        t2.stride = 2;
+        return ops::makeTransposedConv2d(t2);
+      }
+      case ops::OpKind::GRP: return ops::makeGroupConv2d(pr, 2);
+      case ops::OpKind::DIL: {
+        ConvParams dil = pr;
+        dil.dilation = 2;
+        return ops::makeDilatedConv2d(dil);
+      }
+      case ops::OpKind::DEP: return ops::makeDepthwiseConv2d(pr, 2);
+      case ops::OpKind::CAP: {
+        ConvParams cap = pr;
+        cap.out_h = 2;
+        cap.out_w = 2;
+        cap.out_channels = 2;
+        return ops::makeCapsuleConv2d(cap, 2);
+      }
+      case ops::OpKind::BCV: return ops::makeBatchedConv2d(pr);
+      case ops::OpKind::GFC: return ops::makeGroupedFC(2, 3, 4, 5);
+      case ops::OpKind::MEN: return ops::makeMean(5, 6);
+      case ops::OpKind::VAR: return ops::makeVariance(5, 6);
+      case ops::OpKind::SCN: return ops::makeScan(3, 5);
+    }
+    panic("unreachable");
 }
 
 TEST(Execute, Fig3MappingReproducesReference)
@@ -92,46 +132,7 @@ TEST_P(OperatorExecution, EveryMappingOfEveryOperatorIsExact)
 {
     // Small instance of each operator kind; every addressable mapping
     // on the tiny Tensor Core must be exact.
-    ConvParams pr = tinyConvParams();
-    TensorComputation comp = [&]() -> TensorComputation {
-        switch (GetParam()) {
-          case ops::OpKind::GMV: return ops::makeGemv(5, 7);
-          case ops::OpKind::GMM: return ops::makeGemm(3, 5, 7);
-          case ops::OpKind::C1D:
-            return ops::makeConv1d(2, 3, 4, 5, 3);
-          case ops::OpKind::C2D: return ops::makeConv2d(pr);
-          case ops::OpKind::C3D: return ops::makeConv3d(pr, 2, 2);
-          case ops::OpKind::T2D: {
-            ConvParams t2 = pr;
-            t2.stride = 2;
-            return ops::makeTransposedConv2d(t2);
-          }
-          case ops::OpKind::GRP:
-            return ops::makeGroupConv2d(pr, 2);
-          case ops::OpKind::DIL: {
-            ConvParams dil = pr;
-            dil.dilation = 2;
-            return ops::makeDilatedConv2d(dil);
-          }
-          case ops::OpKind::DEP:
-            return ops::makeDepthwiseConv2d(pr, 2);
-          case ops::OpKind::CAP: {
-            ConvParams cap = pr;
-            cap.out_h = 2;
-            cap.out_w = 2;
-            cap.out_channels = 2;
-            return ops::makeCapsuleConv2d(cap, 2);
-          }
-          case ops::OpKind::BCV:
-            return ops::makeBatchedConv2d(pr);
-          case ops::OpKind::GFC:
-            return ops::makeGroupedFC(2, 3, 4, 5);
-          case ops::OpKind::MEN: return ops::makeMean(5, 6);
-          case ops::OpKind::VAR: return ops::makeVariance(5, 6);
-          case ops::OpKind::SCN: return ops::makeScan(3, 5);
-        }
-        panic("unreachable");
-    }();
+    TensorComputation comp = makeSmallOp(GetParam());
 
     auto plans = enumeratePlans(comp, isa::wmmaTiny(), {});
     ASSERT_GT(plans.size(), 0u)
@@ -161,46 +162,7 @@ TEST_P(TunedOperatorDifferential, BestTunedPlanMatchesReference)
     // that the *winning* plan still computes the same values as the
     // naive scalar reference. Guards against the tuner preferring a
     // mapping whose execution semantics drifted.
-    ConvParams pr = tinyConvParams();
-    TensorComputation comp = [&]() -> TensorComputation {
-        switch (GetParam()) {
-          case ops::OpKind::GMV: return ops::makeGemv(5, 7);
-          case ops::OpKind::GMM: return ops::makeGemm(3, 5, 7);
-          case ops::OpKind::C1D:
-            return ops::makeConv1d(2, 3, 4, 5, 3);
-          case ops::OpKind::C2D: return ops::makeConv2d(pr);
-          case ops::OpKind::C3D: return ops::makeConv3d(pr, 2, 2);
-          case ops::OpKind::T2D: {
-            ConvParams t2 = pr;
-            t2.stride = 2;
-            return ops::makeTransposedConv2d(t2);
-          }
-          case ops::OpKind::GRP:
-            return ops::makeGroupConv2d(pr, 2);
-          case ops::OpKind::DIL: {
-            ConvParams dil = pr;
-            dil.dilation = 2;
-            return ops::makeDilatedConv2d(dil);
-          }
-          case ops::OpKind::DEP:
-            return ops::makeDepthwiseConv2d(pr, 2);
-          case ops::OpKind::CAP: {
-            ConvParams cap = pr;
-            cap.out_h = 2;
-            cap.out_w = 2;
-            cap.out_channels = 2;
-            return ops::makeCapsuleConv2d(cap, 2);
-          }
-          case ops::OpKind::BCV:
-            return ops::makeBatchedConv2d(pr);
-          case ops::OpKind::GFC:
-            return ops::makeGroupedFC(2, 3, 4, 5);
-          case ops::OpKind::MEN: return ops::makeMean(5, 6);
-          case ops::OpKind::VAR: return ops::makeVariance(5, 6);
-          case ops::OpKind::SCN: return ops::makeScan(3, 5);
-        }
-        panic("unreachable");
-    }();
+    TensorComputation comp = makeSmallOp(GetParam());
 
     auto plans = enumeratePlans(comp, isa::wmmaTiny(), {});
     ASSERT_GT(plans.size(), 0u);
@@ -231,6 +193,98 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<ops::OpKind> &info) {
         return ops::opKindName(info.param);
     });
+
+class CompiledEngineDifferential
+    : public ::testing::TestWithParam<ops::OpKind>
+{
+};
+
+TEST_P(CompiledEngineDifferential, StrideWalkIsBitIdentical)
+{
+    // The stride-walk engine must reproduce the scalar interpreters
+    // *bit for bit* — not within tolerance — on every addressable
+    // mapping of every operator kind, serial and parallel.
+    TensorComputation comp = makeSmallOp(GetParam());
+    auto plans = enumeratePlans(comp, isa::wmmaTiny(), {});
+    ASSERT_GT(plans.size(), 0u);
+    for (const auto &plan : plans) {
+        SCOPED_TRACE(plan.mapping().signature(comp));
+        EXPECT_EQ(compiledVsInterpreterError(plan, 7, 1), 0.0f);
+        EXPECT_EQ(compiledVsInterpreterError(plan, 7, 4), 0.0f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, CompiledEngineDifferential,
+    ::testing::ValuesIn(ops::allOpKinds()),
+    [](const ::testing::TestParamInfo<ops::OpKind> &info) {
+        return ops::opKindName(info.param);
+    });
+
+TEST(Execute, ThreadCountNeverChangesResults)
+{
+    // Determinism guarantee of the parallel sweep: any thread count
+    // yields the 1-thread bits, for both mapped paths.
+    auto gemm = ops::makeGemm(8, 6, 5);
+    auto plans = enumeratePlans(gemm, isa::wmmaTiny(), {});
+    ASSERT_GT(plans.size(), 0u);
+    const auto &plan = plans[0];
+
+    auto inputs = makePatternInputs(gemm, 13);
+    std::vector<const Buffer *> ptrs;
+    for (const auto &b : inputs)
+        ptrs.push_back(&b);
+
+    Buffer direct1(gemm.output()), packed1(gemm.output());
+    executeMappedDirect(plan, ptrs, direct1, ExecOptions{});
+    executeMappedPacked(plan, ptrs, packed1, ExecOptions{});
+    for (int threads : {2, 3, 4}) {
+        ExecOptions opts;
+        opts.numThreads = threads;
+        Buffer direct(gemm.output()), packed(gemm.output());
+        executeMappedDirect(plan, ptrs, direct, opts);
+        executeMappedPacked(plan, ptrs, packed, opts);
+        EXPECT_EQ(direct1.maxAbsDiff(direct), 0.0f)
+            << threads << " threads (direct)";
+        EXPECT_EQ(packed1.maxAbsDiff(packed), 0.0f)
+            << threads << " threads (packed)";
+    }
+}
+
+TEST(Execute, FuzzedNonAffineAccessForcesFallback)
+{
+    // Mutate one access expression into non-affine form (only
+    // possible via the fuzz hook — the constructor rejects it) and
+    // check the executors transparently fall back to the interpreter
+    // with identical results and a logged exec.fallback metric.
+    auto gemm = ops::makeGemm(4, 4, 4);
+    auto plans = enumeratePlans(gemm, isa::wmmaTiny(), {});
+    ASSERT_EQ(plans.size(), 1u);
+
+    auto mutated = gemm.withMutatedInputIndex(
+        1, 0, floorDiv(gemm.iters()[2].var * 2, 2));
+    MappingPlan plan(mutated, isa::wmmaTiny(), plans[0].mapping());
+    ASSERT_TRUE(plan.valid());
+
+    auto &fallback =
+        MetricsRegistry::global().counter("exec.fallback");
+    std::uint64_t before = fallback.value();
+    // floorDiv(2k, 2) evaluates like k, so the interpreter result must
+    // equal the unmutated plan's — while the engine must refuse the
+    // non-affine form rather than silently miscompiling it.
+    EXPECT_EQ(compiledVsInterpreterError(plan, 7, 1), 0.0f);
+    EXPECT_EQ(fallback.value(), before + 2); // direct + packed
+
+    Buffer viaMutated(mutated.output());
+    Buffer viaOriginal(gemm.output());
+    auto inputs = makePatternInputs(gemm, 7);
+    std::vector<const Buffer *> ptrs;
+    for (const auto &b : inputs)
+        ptrs.push_back(&b);
+    executeMappedDirect(plan, ptrs, viaMutated);
+    executeMappedDirect(plans[0], ptrs, viaOriginal);
+    EXPECT_EQ(viaMutated.maxAbsDiff(viaOriginal), 0.0f);
+}
 
 TEST(Execute, OtherIntrinsicsPreserveSemantics)
 {
