@@ -1,12 +1,17 @@
 /**
  * @file
  * Functional-simulator throughput: scalar interpreter vs the compiled
- * stride-walk engine (see docs/execution.md), on the three executors
- * (reference, mapped-direct, mapped-packed) at 1 and 4 threads.
+ * stride-walk engine vs the native-codegen JIT tier (see
+ * docs/execution.md), on the three executors (reference,
+ * mapped-direct, mapped-packed) at 1 and 4 threads.
  *
  * Reports elements/s per workload x engine x thread count plus the
- * headline single-thread speedups into BENCH_execute.json. Run with
- * --tiny for the CI smoke (small shapes, one repetition).
+ * headline single-thread speedups into BENCH_execute.json. Every
+ * engine gets one untimed warmup run first, so the JIT columns
+ * measure kernel execution, not one-off compilation. Run with --tiny
+ * for the CI smoke (small shapes, one repetition); CI diffs the
+ * resulting *_eps metrics against bench/baselines/ to gate
+ * regressions.
  */
 
 #include <chrono>
@@ -16,6 +21,7 @@
 
 #include "bench_common.hh"
 #include "isa/intrinsics.hh"
+#include "jit/jit.hh"
 #include "mapping/execute.hh"
 #include "mapping/generate.hh"
 #include "ops/operators.hh"
@@ -52,6 +58,9 @@ runBench(bool tiny)
     bench::BenchReport report("execute", reps);
     report.setConfig("tiny", Json(tiny));
     report.setConfig("threads_parallel", Json(std::int64_t{4}));
+    const bool jitAvailable =
+        JitEngine::global().compilerAvailable();
+    report.setConfig("jit_compiler_available", Json(jitAvailable));
 
     std::vector<Workload> workloads;
     if (tiny) {
@@ -83,6 +92,10 @@ runBench(bool tiny)
 
         auto referenceEps = [&](const ExecOptions &opts) {
             Buffer out(comp.output());
+            // Untimed warmup: pulls the JIT compile (and any lazy
+            // plan compilation) out of the timed region.
+            out.fill(0.0f);
+            referenceExecute(comp, ptrs, out, opts);
             double s = timeBest(reps, [&]() {
                 out.fill(0.0f);
                 referenceExecute(comp, ptrs, out, opts);
@@ -94,17 +107,23 @@ runBench(bool tiny)
         ExecOptions serial;
         ExecOptions parallel;
         parallel.numThreads = 4;
+        ExecOptions jit;
+        jit.engine = ExecEngine::Jit;
 
         Json row = Json::object();
         double eps_interp = referenceEps(interp);
         double eps_1t = referenceEps(serial);
         double eps_4t = referenceEps(parallel);
+        double eps_jit = referenceEps(jit);
         row.set("reference_interpreter_eps", Json(eps_interp));
         row.set("reference_compiled_eps_1t", Json(eps_1t));
         row.set("reference_compiled_eps_4t", Json(eps_4t));
+        row.set("reference_jit_eps", Json(eps_jit));
         row.set("reference_speedup_1t", Json(eps_1t / eps_interp));
         row.set("reference_parallel_scaling_4t",
                 Json(eps_4t / eps_1t));
+        row.set("reference_jit_speedup_vs_walk",
+                Json(eps_jit / eps_1t));
 
         // Mapped executors on the first enumerated wmma-tiny plan —
         // the same differential workload the execute tests sweep.
@@ -114,6 +133,11 @@ runBench(bool tiny)
             auto mappedEps = [&](const ExecOptions &opts,
                                  bool packed) {
                 Buffer out(comp.output());
+                out.fill(0.0f);
+                if (packed)
+                    executeMappedPacked(plan, ptrs, out, opts);
+                else
+                    executeMappedDirect(plan, ptrs, out, opts);
                 double s = timeBest(reps, [&]() {
                     out.fill(0.0f);
                     if (packed)
@@ -126,22 +150,28 @@ runBench(bool tiny)
             double d_interp = mappedEps(interp, false);
             double d_1t = mappedEps(serial, false);
             double d_4t = mappedEps(parallel, false);
+            double d_jit = mappedEps(jit, false);
             row.set("direct_interpreter_eps", Json(d_interp));
             row.set("direct_compiled_eps_1t", Json(d_1t));
             row.set("direct_compiled_eps_4t", Json(d_4t));
+            row.set("direct_jit_eps", Json(d_jit));
             row.set("direct_speedup_1t", Json(d_1t / d_interp));
             double p_interp = mappedEps(interp, true);
             double p_1t = mappedEps(serial, true);
+            double p_jit = mappedEps(jit, true);
             row.set("packed_interpreter_eps", Json(p_interp));
             row.set("packed_compiled_eps_1t", Json(p_1t));
+            row.set("packed_jit_eps", Json(p_jit));
             row.set("packed_speedup_1t", Json(p_1t / p_interp));
         }
         report.setMetric(wl.name, row);
 
         std::printf("%-8s interp %.3g e/s | compiled 1t %.3g e/s "
-                    "(%.1fx) | 4t %.3g e/s\n",
+                    "(%.1fx) | 4t %.3g e/s | jit %.3g e/s (%.1fx "
+                    "vs walk)\n",
                     wl.name.c_str(), eps_interp, eps_1t,
-                    eps_1t / eps_interp, eps_4t);
+                    eps_1t / eps_interp, eps_4t, eps_jit,
+                    eps_jit / eps_1t);
     }
 
     report.write();

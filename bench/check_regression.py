@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gate bench results against committed baselines.
+
+Compares every ``*_eps`` metric (elements/second, higher is better)
+of a freshly produced BENCH_<name>.json against the checked-in
+baseline under bench/baselines/.  A metric regresses when it drops
+more than ``--tolerance`` (default 25%) below the baseline; any
+regression fails the run with exit code 1 so CI blocks the merge.
+
+Metrics only present on one side are reported but never fail the
+gate, so adding a bench column does not require lock-step baseline
+updates.  Refresh a baseline by re-running the bench with
+``AMOS_BENCH_DIR=bench/baselines`` and committing the result; do so
+from a full (non ``--tiny``) run — the 1-repetition tiny smoke is
+microsecond-scale and far too noisy to gate on.
+
+Usage:
+    python3 bench/check_regression.py BENCH_execute.json \
+        [--baseline bench/baselines/BENCH_execute.json] \
+        [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def flatten_eps(metrics, prefix=""):
+    """Yield (dotted-key, value) for every throughput leaf.
+
+    Matches ``_eps`` anywhere in the key so suffixed variants such as
+    ``reference_compiled_eps_1t`` are gated too; ratio metrics
+    (speedups, scaling factors) are machine-relative noise and are
+    deliberately skipped.
+    """
+    for key, value in sorted(metrics.items()):
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            yield from flatten_eps(value, prefix=f"{path}.")
+        elif isinstance(value, (int, float)) and "_eps" in key:
+            yield path, float(value)
+
+
+def load_eps(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return dict(flatten_eps(doc.get("metrics", {}))), doc
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: bench/baselines/<same name>)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("AMOS_BENCH_TOLERANCE", "0.25")),
+        help="allowed fractional drop below baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        here = os.path.dirname(os.path.abspath(__file__))
+        baseline_path = os.path.join(
+            here, "baselines", os.path.basename(args.current)
+        )
+    if not os.path.exists(baseline_path):
+        print(f"check_regression: no baseline at {baseline_path}; "
+              "nothing to gate")
+        return 0
+
+    current, current_doc = load_eps(args.current)
+    baseline, _ = load_eps(baseline_path)
+
+    regressions = []
+    compared = 0
+    for key, base in sorted(baseline.items()):
+        if key not in current:
+            print(f"  [gone]    {key} (baseline only — not gated)")
+            continue
+        cur = current[key]
+        compared += 1
+        if base <= 0:
+            continue
+        ratio = cur / base
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            regressions.append((key, base, cur, ratio))
+        print(f"  [{status:>10}] {key}: {base:.3g} -> {cur:.3g} "
+              f"({ratio:.2f}x)")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  [new]     {key} = {current[key]:.3g} (not gated)")
+
+    if not compared:
+        print("check_regression: no overlapping *_eps metrics; "
+              "baseline is stale?")
+        return 1
+    if regressions:
+        print(f"\ncheck_regression: {len(regressions)} metric(s) "
+              f"regressed more than {args.tolerance:.0%} vs "
+              f"{baseline_path}:")
+        for key, base, cur, ratio in regressions:
+            print(f"  {key}: {base:.3g} -> {cur:.3g} ({ratio:.2f}x)")
+        return 1
+    print(f"\ncheck_regression: {compared} metric(s) within "
+          f"{args.tolerance:.0%} of {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -22,11 +22,16 @@
  *   amos_cli --op conv2d --size 14 --hw v100 \
  *            --explain-out /tmp/explain.json   # bottleneck report
  *   amos_cli --op gemv --m 1024 --k 1024 --hw v100 --explain
+ *   amos_cli --op gemm --m 64 --n 64 --k 64 --hw v100 \
+ *            --engine jit --json | jq .engine   # "jit"
  *
  * Scripting contract:
  *   --json writes a single machine-readable object to stdout (the
  *   same schema as one amos_served response line); human chatter
- *   goes to stderr. Exit codes: 0 success, 1 compile/config error,
+ *   goes to stderr. The envelope always carries an "engine" field:
+ *   the functional-simulator tier that verified the tuned mapping
+ *   ("jit", "walk" or "interpreter"), or "none" when verification
+ *   was skipped. Exit codes: 0 success, 1 compile/config error,
  *   2 bad usage, 3 the operator could not be tensorized and
  *   --require-tensorized was given, 4 an output path (--trace-out,
  *   --explain-out, --telemetry-out, --emit-c) is not writable.
@@ -41,6 +46,7 @@
 #include "amos/amos.hh"
 #include "codegen/codegen.hh"
 #include "explore/trace_io.hh"
+#include "mapping/execute.hh"
 #include "mapping/generate.hh"
 #include "report/explain.hh"
 #include "serve/protocol.hh"
@@ -207,15 +213,57 @@ runCli(const Args &args)
     if (want_explain)
         explain = report::explainResult(result, comp, hw);
 
+    // --engine auto|interpreter|walk|jit: differentially verify the
+    // tuned mapping on the functional simulator's requested tier.
+    // Without the flag, small operators (<= 2^25 iterations) are
+    // verified on the default tier for free; huge ones are skipped.
+    const std::string engine_name = args.str("engine", "");
+    ExecEngine engine = ExecEngine::Auto;
+    if (!engine_name.empty()) {
+        auto parsed = parseExecEngine(engine_name);
+        if (!parsed)
+            throw std::runtime_error(
+                "--engine: unknown engine '" + engine_name +
+                "' (expected auto|interpreter|walk|jit)");
+        engine = *parsed;
+    }
+    const bool verify =
+        result.tensorized && result.tuning.bestPlan &&
+        (!engine_name.empty() ||
+         comp.totalIterations() <= (std::int64_t{1} << 25));
+    std::string engine_used = "none";
+    std::string jit_fallback;
+    float exec_diff = 0.0f;
+    if (verify) {
+        ExecReport direct;
+        exec_diff = engineVsInterpreterError(
+            *result.tuning.bestPlan, engine, req.seed, &direct);
+        engine_used = direct.engine;
+        jit_fallback = direct.jitFallback;
+    }
+
     if (json) {
         Json out = Json::object();
         out.set("ok", Json(true));
+        out.set("engine", Json(engine_used));
+        if (!jit_fallback.empty())
+            out.set("jit_fallback", Json(jit_fallback));
+        if (verify)
+            out.set("exec_max_abs_diff",
+                    Json(static_cast<double>(exec_diff)));
         out.set("result", serve::compileResultToJson(result));
         if (explain)
             out.set("explain", report::explainToJson(*explain));
         std::printf("%s\n", out.dump().c_str());
     } else {
         std::printf("%s", result.report().c_str());
+        if (verify)
+            std::printf("functional check: engine=%s "
+                        "max|diff|=%g%s%s\n",
+                        engine_used.c_str(),
+                        static_cast<double>(exec_diff),
+                        jit_fallback.empty() ? "" : " — ",
+                        jit_fallback.c_str());
         if (args.flag("explain"))
             std::printf("\n%s",
                         report::explainToText(*explain).c_str());

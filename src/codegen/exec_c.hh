@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Native lowering of compiled execution plans: turn the stride-walk
+ * engine's precomputed tables (tensor/access_walk.hh,
+ * mapping/exec_plan.hh) into a self-contained C translation unit the
+ * JIT tier compiles at -O3 and dlopens.
+ *
+ * Unlike generateC (codegen.hh), which emits the *structural* kernel
+ * of a mapping for human inspection and compile-and-run verification,
+ * these emitters are an execution backend: every loop bound, stride,
+ * and base address is baked in as a constant, operand pointers are
+ * restrict-qualified, and partial flat addresses are hoisted out of
+ * inner loops — so the system compiler can strength-reduce and
+ * auto-vectorize the inner loops. Loop order is exactly the
+ * stride-walk engine's (which is the interpreter's), so accumulation
+ * order — and therefore every floating-point bit — is identical to
+ * the other two tiers.
+ *
+ * All kernels share the exported signature
+ *
+ *     void amos_exec_kernel(const float *const *inputs,
+ *                           float *output);
+ */
+
+#ifndef AMOS_CODEGEN_EXEC_C_HH
+#define AMOS_CODEGEN_EXEC_C_HH
+
+#include <string>
+
+#include "mapping/exec_plan.hh"
+#include "tensor/access_walk.hh"
+#include "tensor/computation.hh"
+
+namespace amos {
+
+/** Exported symbol of every jitted exec kernel. */
+inline constexpr const char *kExecKernelSymbol = "amos_exec_kernel";
+
+/** C function-pointer type of a jitted exec kernel. */
+using ExecKernelFn = void (*)(const float *const *, float *);
+
+/**
+ * Lower a pure affine walk nest — the reference executor's loop
+ * nest — to C. `numInputs` operands of `plan` are inputs, the last
+ * is the accumulated output. `description` becomes a header comment
+ * (and thereby part of the kernel's content hash).
+ */
+std::string generateWalkKernelC(const AccessWalkPlan &plan,
+                                CombineKind combine,
+                                std::size_t numInputs,
+                                const std::string &description);
+
+/**
+ * Lower a compiled ExecPlan's direct path (outer axes x per-group
+ * tile counters with padding clamps and digit decode). Requires
+ * plan.compiled().
+ */
+std::string generateDirectKernelC(const ExecPlan &plan,
+                                  const std::string &description);
+
+/**
+ * Lower a compiled ExecPlan's packed pipeline: calloc'd tile
+ * streams, pack loops, the pure affine compute stage, and the
+ * masked unpack — one translation unit. Requires plan.compiled().
+ */
+std::string generatePackedKernelC(const ExecPlan &plan,
+                                  const std::string &description);
+
+} // namespace amos
+
+#endif // AMOS_CODEGEN_EXEC_C_HH

@@ -136,6 +136,25 @@ class ExecPlan
     {
         return _direct;
     }
+    /** Packed-tile streams: inputs in order, then the output. */
+    const std::vector<Operand> &packedOperands() const
+    {
+        return _packed;
+    }
+    /** Element count of each packed stream, aligned to the above. */
+    const std::vector<std::int64_t> &packedSizes() const
+    {
+        return _packedSizes;
+    }
+    /** The packed compute stage's pure affine nest. */
+    const AccessWalkPlan &stageB() const { return _stageB; }
+    CombineKind combine() const { return _combine; }
+    std::size_t numInputs() const { return _numInputs; }
+    /** Software iterator extents, in declaration order. */
+    const std::vector<std::int64_t> &iterExtents() const
+    {
+        return _iterExtents;
+    }
     /// @}
 
   private:

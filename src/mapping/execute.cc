@@ -1,6 +1,7 @@
 #include "execute.hh"
 
 #include "mapping/exec_plan.hh"
+#include "mapping/jit_hook.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/trace.hh"
@@ -282,23 +283,59 @@ interpretMappedPacked(const MappingPlan &plan,
     });
 }
 
+/** The matching hook of the path being dispatched (or nullptr). */
+using MappedJitFn = bool (*)(const MappingPlan &, const ExecPlan &,
+                             const std::vector<const Buffer *> &,
+                             Buffer &, std::string *);
+
 /** Shared engine-selection logic of the two mapped executors. */
-template <typename RunCompiled, typename RunInterp>
-void
+template <typename SelectHook, typename RunCompiled,
+          typename RunInterp>
+ExecReport
 dispatchMapped(const char *spanName, const MappingPlan &plan,
                const std::vector<const Buffer *> &inputs,
-               const Buffer &output, const ExecOptions &opts,
-               RunCompiled &&runCompiled, RunInterp &&runInterp)
+               Buffer &output, const ExecOptions &opts,
+               SelectHook &&selectHook, RunCompiled &&runCompiled,
+               RunInterp &&runInterp)
 {
     TraceSpan span(spanName, "exec");
     auto &metrics = MetricsRegistry::global();
-    if (!opts.forceInterpreter) {
+    ExecReport report;
+    const ExecEngine engine = opts.resolvedEngine();
+    if (engine != ExecEngine::Interpreter) {
         ExecPlan ep(plan);
         std::string why = ep.fallbackReason();
-        if (ep.compiled() && ep.buffersMatch(inputs, output, &why)) {
+        const bool fits =
+            ep.compiled() && ep.buffersMatch(inputs, output, &why);
+
+        if (engine == ExecEngine::Jit) {
+            const MappedJitHooks *hooks = mappedJitHooks();
+            MappedJitFn fn = hooks ? selectHook(*hooks) : nullptr;
+            std::string jitWhy;
+            if (!fits)
+                jitWhy = why;
+            else if (!fn)
+                jitWhy = "jit tier not linked";
+            else if (fn(plan, ep, inputs, output, &jitWhy)) {
+                metrics.counter("exec.jit_runs").add();
+                span.arg("engine", "jit");
+                report.engine = "jit";
+                return report;
+            }
+            metrics.counter("exec.jit_fallback").add();
+            span.arg("jit_fallback", jitWhy);
+            report.jitFallback = jitWhy;
+            AMOS_LOG(Debug)
+                << spanName << " jit tier falls back for "
+                << plan.computation().name() << ": " << jitWhy;
+        }
+
+        if (fits) {
             WalkRunStats stats = runCompiled(ep);
             noteWalkRun(span, stats, opts.numThreads);
-            return;
+            report.engine = "walk";
+            report.threadsUsed = stats.threadsUsed;
+            return report;
         }
         metrics.counter("exec.fallback").add();
         span.arg("fallback", why);
@@ -309,19 +346,20 @@ dispatchMapped(const char *spanName, const MappingPlan &plan,
     metrics.counter("exec.interpreter_runs").add();
     span.arg("engine", "interpreter");
     runInterp();
+    return report;
 }
 
 } // namespace
 
-void
+ExecReport
 executeMappedDirect(const MappingPlan &plan,
                     const std::vector<const Buffer *> &inputs,
                     Buffer &output)
 {
-    executeMappedDirect(plan, inputs, output, ExecOptions{});
+    return executeMappedDirect(plan, inputs, output, ExecOptions{});
 }
 
-void
+ExecReport
 executeMappedDirect(const MappingPlan &plan,
                     const std::vector<const Buffer *> &inputs,
                     Buffer &output, const ExecOptions &opts)
@@ -331,23 +369,24 @@ executeMappedDirect(const MappingPlan &plan,
             plan.computation().name());
     require(inputs.size() == plan.computation().inputs().size(),
             "executeMappedDirect: input count mismatch");
-    dispatchMapped(
+    return dispatchMapped(
         "exec.direct", plan, inputs, output, opts,
+        [](const MappedJitHooks &h) { return h.runDirect; },
         [&](const ExecPlan &ep) {
             return ep.runDirect(inputs, output, opts);
         },
         [&]() { interpretMappedDirect(plan, inputs, output); });
 }
 
-void
+ExecReport
 executeMappedPacked(const MappingPlan &plan,
                     const std::vector<const Buffer *> &inputs,
                     Buffer &output)
 {
-    executeMappedPacked(plan, inputs, output, ExecOptions{});
+    return executeMappedPacked(plan, inputs, output, ExecOptions{});
 }
 
-void
+ExecReport
 executeMappedPacked(const MappingPlan &plan,
                     const std::vector<const Buffer *> &inputs,
                     Buffer &output, const ExecOptions &opts)
@@ -357,8 +396,9 @@ executeMappedPacked(const MappingPlan &plan,
             plan.computation().name());
     require(inputs.size() == plan.computation().inputs().size(),
             "executeMappedPacked: input count mismatch");
-    dispatchMapped(
+    return dispatchMapped(
         "exec.packed", plan, inputs, output, opts,
+        [](const MappedJitHooks &h) { return h.runPacked; },
         [&](const ExecPlan &ep) {
             return ep.runPacked(inputs, output, opts);
         },
@@ -410,6 +450,37 @@ compiledVsInterpreterError(const MappingPlan &plan,
     executeMappedPacked(plan, ptrs, pc, compiled);
 
     return std::max(di.maxAbsDiff(dc), pi.maxAbsDiff(pc));
+}
+
+float
+engineVsInterpreterError(const MappingPlan &plan, ExecEngine engine,
+                         std::uint64_t seed, ExecReport *directReport,
+                         ExecReport *packedReport)
+{
+    const auto &comp = plan.computation();
+    auto inputs = makePatternInputs(comp, seed);
+    std::vector<const Buffer *> ptrs;
+    for (const auto &b : inputs)
+        ptrs.push_back(&b);
+
+    ExecOptions interp;
+    interp.engine = ExecEngine::Interpreter;
+    ExecOptions tiered;
+    tiered.engine = engine;
+
+    Buffer di(comp.output()), dt(comp.output());
+    executeMappedDirect(plan, ptrs, di, interp);
+    ExecReport dr = executeMappedDirect(plan, ptrs, dt, tiered);
+
+    Buffer pi(comp.output()), pt(comp.output());
+    executeMappedPacked(plan, ptrs, pi, interp);
+    ExecReport pr = executeMappedPacked(plan, ptrs, pt, tiered);
+
+    if (directReport)
+        *directReport = dr;
+    if (packedReport)
+        *packedReport = pr;
+    return std::max(di.maxAbsDiff(dt), pi.maxAbsDiff(pt));
 }
 
 } // namespace amos

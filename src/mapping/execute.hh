@@ -25,6 +25,12 @@
  * (logged via the exec.fallback metric). ExecOptions selects the
  * engine and the thread count of the outer-tile sweep; results are
  * identical for every thread count.
+ *
+ * With ExecEngine::Jit each path is additionally lowered to native
+ * code through the registered JIT hooks (mapping/jit_hook.hh),
+ * falling back to the stride walk — and then the interpreter — when
+ * the tier declines (logged via exec.jit_fallback). All executors
+ * return an ExecReport naming the tier that actually ran.
  */
 
 #ifndef AMOS_MAPPING_EXECUTE_HH
@@ -39,20 +45,20 @@
 namespace amos {
 
 /** Execute via index-remapping (compute-mapping check). */
-void executeMappedDirect(const MappingPlan &plan,
-                         const std::vector<const Buffer *> &inputs,
-                         Buffer &output);
-void executeMappedDirect(const MappingPlan &plan,
-                         const std::vector<const Buffer *> &inputs,
-                         Buffer &output, const ExecOptions &opts);
+ExecReport executeMappedDirect(const MappingPlan &plan,
+                               const std::vector<const Buffer *> &inputs,
+                               Buffer &output);
+ExecReport executeMappedDirect(const MappingPlan &plan,
+                               const std::vector<const Buffer *> &inputs,
+                               Buffer &output, const ExecOptions &opts);
 
 /** Execute via packed tiles (memory-mapping check). */
-void executeMappedPacked(const MappingPlan &plan,
-                         const std::vector<const Buffer *> &inputs,
-                         Buffer &output);
-void executeMappedPacked(const MappingPlan &plan,
-                         const std::vector<const Buffer *> &inputs,
-                         Buffer &output, const ExecOptions &opts);
+ExecReport executeMappedPacked(const MappingPlan &plan,
+                               const std::vector<const Buffer *> &inputs,
+                               Buffer &output);
+ExecReport executeMappedPacked(const MappingPlan &plan,
+                               const std::vector<const Buffer *> &inputs,
+                               Buffer &output, const ExecOptions &opts);
 
 /**
  * Convenience used by tests: run both mapped paths on pattern inputs
@@ -70,6 +76,19 @@ float mappedVsReferenceError(const MappingPlan &plan,
 float compiledVsInterpreterError(const MappingPlan &plan,
                                  std::uint64_t seed = 7,
                                  int numThreads = 1);
+
+/**
+ * Differential check of an arbitrary tier: run both mapped paths
+ * with the interpreter forced and with the requested engine, on
+ * identical pattern inputs, and return the largest deviation. The
+ * optional reports record which tier each path actually used (e.g.
+ * to assert that the JIT tier really ran rather than fell back).
+ */
+float engineVsInterpreterError(const MappingPlan &plan,
+                               ExecEngine engine,
+                               std::uint64_t seed = 7,
+                               ExecReport *directReport = nullptr,
+                               ExecReport *packedReport = nullptr);
 
 } // namespace amos
 

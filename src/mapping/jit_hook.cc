@@ -1,0 +1,23 @@
+#include "jit_hook.hh"
+
+#include <atomic>
+
+namespace amos {
+
+namespace {
+std::atomic<const MappedJitHooks *> g_mappedHooks{nullptr};
+} // namespace
+
+void
+setMappedJitHooks(const MappedJitHooks *hooks)
+{
+    g_mappedHooks.store(hooks, std::memory_order_release);
+}
+
+const MappedJitHooks *
+mappedJitHooks()
+{
+    return g_mappedHooks.load(std::memory_order_acquire);
+}
+
+} // namespace amos

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Registration point for the mapped executors' JIT tier.
+ *
+ * The mapped executors (mapping/execute.hh) sit below codegen and the
+ * JIT subsystem in the library graph, so they cannot call them
+ * directly without a dependency cycle. Instead the amos_jit library
+ * installs these hooks from a static registrar (force-linked via
+ * WHOLE_ARCHIVE, or explicitly with jit::ensureLinked()); when no
+ * hook is installed — binaries that do not link amos_jit — the JIT
+ * tier transparently reports "jit tier not linked" and execution
+ * falls back to the stride walk.
+ */
+
+#ifndef AMOS_MAPPING_JIT_HOOK_HH
+#define AMOS_MAPPING_JIT_HOOK_HH
+
+#include <string>
+#include <vector>
+
+#include "mapping/exec_plan.hh"
+#include "mapping/mapping.hh"
+#include "tensor/tensor.hh"
+
+namespace amos {
+
+/**
+ * JIT entry points for the two mapped execution paths. Each returns
+ * true when the jitted kernel ran (output holds the result) and
+ * false — with `why` explaining — when the tier declines and the
+ * caller should fall back. `ep` is already compiled and checked
+ * against the buffers.
+ */
+struct MappedJitHooks
+{
+    bool (*runDirect)(const MappingPlan &plan, const ExecPlan &ep,
+                      const std::vector<const Buffer *> &inputs,
+                      Buffer &output, std::string *why) = nullptr;
+    bool (*runPacked)(const MappingPlan &plan, const ExecPlan &ep,
+                      const std::vector<const Buffer *> &inputs,
+                      Buffer &output, std::string *why) = nullptr;
+};
+
+/** Install (or clear, with nullptr) the mapped JIT hooks. */
+void setMappedJitHooks(const MappedJitHooks *hooks);
+
+/** Currently installed hooks, or nullptr. */
+const MappedJitHooks *mappedJitHooks();
+
+} // namespace amos
+
+#endif // AMOS_MAPPING_JIT_HOOK_HH

@@ -1,0 +1,84 @@
+#include "dylib.hh"
+
+#include <dlfcn.h>
+
+namespace amos {
+
+namespace {
+
+std::string
+lastDlError()
+{
+    const char *err = dlerror();
+    return err ? std::string(err) : std::string("unknown dl error");
+}
+
+} // namespace
+
+DynamicLibrary::~DynamicLibrary()
+{
+    close();
+}
+
+DynamicLibrary::DynamicLibrary(DynamicLibrary &&other) noexcept
+    : _handle(other._handle), _path(std::move(other._path))
+{
+    other._handle = nullptr;
+    other._path.clear();
+}
+
+DynamicLibrary &
+DynamicLibrary::operator=(DynamicLibrary &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        _handle = other._handle;
+        _path = std::move(other._path);
+        other._handle = nullptr;
+        other._path.clear();
+    }
+    return *this;
+}
+
+bool
+DynamicLibrary::open(const std::string &path, std::string *errText)
+{
+    close();
+    dlerror(); // clear any stale error
+    _handle = dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!_handle) {
+        if (errText)
+            *errText = lastDlError();
+        return false;
+    }
+    _path = path;
+    return true;
+}
+
+void *
+DynamicLibrary::symbol(const std::string &name,
+                       std::string *errText) const
+{
+    if (!_handle) {
+        if (errText)
+            *errText = "library is not loaded";
+        return nullptr;
+    }
+    dlerror();
+    void *sym = dlsym(_handle, name.c_str());
+    if (!sym && errText)
+        *errText = lastDlError();
+    return sym;
+}
+
+void
+DynamicLibrary::close()
+{
+    if (_handle) {
+        dlclose(_handle);
+        _handle = nullptr;
+    }
+    _path.clear();
+}
+
+} // namespace amos

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * RAII wrapper over dlopen/dlsym/dlclose. The JIT tier keeps one of
+ * these per cached kernel: the handle owns the mapped shared object,
+ * so unloading is tied to cache eviction instead of scattered
+ * dlclose calls.
+ */
+
+#ifndef AMOS_SUPPORT_DYLIB_HH
+#define AMOS_SUPPORT_DYLIB_HH
+
+#include <string>
+
+namespace amos {
+
+/** A loaded shared object; movable, closes on destruction. */
+class DynamicLibrary
+{
+  public:
+    DynamicLibrary() = default;
+    ~DynamicLibrary();
+
+    DynamicLibrary(DynamicLibrary &&other) noexcept;
+    DynamicLibrary &operator=(DynamicLibrary &&other) noexcept;
+    DynamicLibrary(const DynamicLibrary &) = delete;
+    DynamicLibrary &operator=(const DynamicLibrary &) = delete;
+
+    /**
+     * dlopen the file (RTLD_NOW | RTLD_LOCAL). Returns false and
+     * fills `errText` with the dlerror message on failure — a
+     * corrupt or truncated .so is an error string, never a crash.
+     */
+    bool open(const std::string &path, std::string *errText = nullptr);
+
+    /** Resolve a symbol; nullptr (and errText) when absent. */
+    void *symbol(const std::string &name,
+                 std::string *errText = nullptr) const;
+
+    bool valid() const { return _handle != nullptr; }
+    const std::string &path() const { return _path; }
+
+    /** Explicitly unload (also done by the destructor). */
+    void close();
+
+  private:
+    void *_handle = nullptr;
+    std::string _path;
+};
+
+} // namespace amos
+
+#endif // AMOS_SUPPORT_DYLIB_HH

@@ -9,6 +9,32 @@
 
 namespace amos {
 
+const char *
+execEngineName(ExecEngine engine)
+{
+    switch (engine) {
+      case ExecEngine::Auto: return "auto";
+      case ExecEngine::Interpreter: return "interpreter";
+      case ExecEngine::Walk: return "walk";
+      case ExecEngine::Jit: return "jit";
+    }
+    return "auto";
+}
+
+std::optional<ExecEngine>
+parseExecEngine(const std::string &name)
+{
+    if (name == "auto")
+        return ExecEngine::Auto;
+    if (name == "interpreter")
+        return ExecEngine::Interpreter;
+    if (name == "walk")
+        return ExecEngine::Walk;
+    if (name == "jit")
+        return ExecEngine::Jit;
+    return std::nullopt;
+}
+
 void
 noteWalkRun(TraceSpan &span, const WalkRunStats &stats,
             int requestedThreads)

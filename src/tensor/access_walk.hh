@@ -43,14 +43,67 @@
 
 namespace amos {
 
+/**
+ * Execution tiers of the functional simulators, fastest first when
+ * available. Every tier produces bit-identical results; lower tiers
+ * are transparent fallbacks for what an upper tier cannot run.
+ */
+enum class ExecEngine
+{
+    /// Stride-walk engine with interpreter fallback (the default).
+    Auto,
+    /// Scalar interpreter only (baseline / differential testing).
+    Interpreter,
+    /// Stride-walk engine, interpreter fallback on non-affine plans.
+    Walk,
+    /// Native-codegen JIT tier: lower the plan to C, compile with the
+    /// system compiler, dlopen, run. Falls back to the stride walk
+    /// (then the interpreter) when no compiler or kernel is
+    /// available; requires the amos_jit library to be linked.
+    Jit,
+};
+
+/** Stable lowercase name ("auto", "interpreter", "walk", "jit"). */
+const char *execEngineName(ExecEngine engine);
+
+/** Parse an engine name; nullopt on unknown names. */
+std::optional<ExecEngine> parseExecEngine(const std::string &name);
+
 /** Knobs shared by every functional executor. */
 struct ExecOptions
 {
     /// Worker count for the outer sweep: 1 = serial, 0 = one per
     /// hardware thread. Results are bit-identical for every value.
+    /// The JIT tier always runs its kernel serially.
     int numThreads = 1;
     /// Skip the compiled engine (baseline / differential testing).
+    /// Kept for source compatibility; equivalent to
+    /// engine = ExecEngine::Interpreter.
     bool forceInterpreter = false;
+    /// Requested execution tier; lower tiers are fallbacks.
+    ExecEngine engine = ExecEngine::Auto;
+
+    /** The tier actually requested once legacy flags are folded in. */
+    ExecEngine resolvedEngine() const
+    {
+        return forceInterpreter ? ExecEngine::Interpreter : engine;
+    }
+};
+
+/**
+ * How an execution actually ran: the tier that produced the result
+ * and, when the JIT tier was requested but could not run, why it
+ * fell back. Returned by every executor entry point.
+ */
+struct ExecReport
+{
+    /// "jit", "walk", or "interpreter".
+    std::string engine = "interpreter";
+    /// Why the JIT tier fell back (empty unless it was requested and
+    /// declined); also surfaced on the trace span and the
+    /// exec.jit_fallback metric.
+    std::string jitFallback;
+    int threadsUsed = 1;
 };
 
 /// Executors handle at most inputs + output operands; the packing

@@ -1,0 +1,25 @@
+#include "jit_hook.hh"
+
+#include <atomic>
+
+namespace amos {
+
+namespace {
+
+std::atomic<const ReferenceJitHook *> g_referenceHook{nullptr};
+
+} // namespace
+
+void
+setReferenceJitHook(const ReferenceJitHook *hook)
+{
+    g_referenceHook.store(hook, std::memory_order_release);
+}
+
+const ReferenceJitHook *
+referenceJitHook()
+{
+    return g_referenceHook.load(std::memory_order_acquire);
+}
+
+} // namespace amos

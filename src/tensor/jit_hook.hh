@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Registration point for the native-codegen JIT execution tier.
+ *
+ * The reference executor lives in the low-level tensor library; the
+ * JIT tier (src/jit) sits above codegen and mapping and therefore
+ * cannot be a link-time dependency here. Instead the executor calls
+ * through this hook, which the amos_jit library installs at load
+ * time (a static registrar, force-linked via WHOLE_ARCHIVE). When no
+ * hook is installed, ExecEngine::Jit degrades to the stride-walk
+ * engine with an "jit tier not linked" fallback reason.
+ */
+
+#ifndef AMOS_TENSOR_JIT_HOOK_HH
+#define AMOS_TENSOR_JIT_HOOK_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/access_walk.hh"
+#include "tensor/computation.hh"
+#include "tensor/tensor.hh"
+
+namespace amos {
+
+/** JIT entry point for the reference executor's affine nest. */
+struct ReferenceJitHook
+{
+    /**
+     * Run `comp` through a jitted native kernel built from the
+     * already-compiled walk `plan`. Returns true when the kernel ran
+     * (results written to `output`); false — with `why` — when the
+     * JIT tier declined and the caller should fall back.
+     */
+    bool (*run)(const TensorComputation &comp,
+                const AccessWalkPlan &plan,
+                const std::vector<const Buffer *> &inputs,
+                Buffer &output, std::string *why) = nullptr;
+};
+
+/** Install (or clear, with nullptr) the reference JIT hook. */
+void setReferenceJitHook(const ReferenceJitHook *hook);
+
+/** The installed hook, or nullptr when the JIT tier is not linked. */
+const ReferenceJitHook *referenceJitHook();
+
+} // namespace amos
+
+#endif // AMOS_TENSOR_JIT_HOOK_HH

@@ -3,6 +3,7 @@
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/trace.hh"
+#include "tensor/jit_hook.hh"
 
 namespace amos {
 
@@ -64,15 +65,15 @@ walkFitsBuffers(const AccessWalkPlan &plan,
 
 } // namespace
 
-void
+ExecReport
 referenceExecute(const TensorComputation &comp,
                  const std::vector<const Buffer *> &inputs,
                  Buffer &output)
 {
-    referenceExecute(comp, inputs, output, ExecOptions{});
+    return referenceExecute(comp, inputs, output, ExecOptions{});
 }
 
-void
+ExecReport
 referenceExecute(const TensorComputation &comp,
                  const std::vector<const Buffer *> &inputs,
                  Buffer &output, const ExecOptions &opts)
@@ -88,12 +89,37 @@ referenceExecute(const TensorComputation &comp,
 
     TraceSpan span("exec.reference", "exec");
     auto &metrics = MetricsRegistry::global();
+    ExecReport report;
+    const ExecEngine engine = opts.resolvedEngine();
 
-    if (!opts.forceInterpreter) {
+    if (engine != ExecEngine::Interpreter) {
         std::string why;
         auto plan = compileReferenceWalk(comp, &why);
-        if (plan &&
-            walkFitsBuffers(*plan, comp, inputs, output, &why)) {
+        bool fits = plan &&
+                    walkFitsBuffers(*plan, comp, inputs, output, &why);
+
+        if (engine == ExecEngine::Jit) {
+            const ReferenceJitHook *hook = referenceJitHook();
+            std::string jitWhy;
+            if (!fits)
+                jitWhy = why;
+            else if (!hook || !hook->run)
+                jitWhy = "jit tier not linked";
+            else if (hook->run(comp, *plan, inputs, output, &jitWhy)) {
+                metrics.counter("exec.jit_runs").add();
+                span.arg("engine", "jit");
+                report.engine = "jit";
+                return report;
+            }
+            metrics.counter("exec.jit_fallback").add();
+            span.arg("jit_fallback", jitWhy);
+            report.jitFallback = jitWhy;
+            AMOS_LOG(Debug)
+                << "exec.reference jit tier falls back for "
+                << comp.name() << ": " << jitWhy;
+        }
+
+        if (fits) {
             float *out = output.data();
             const float *in0 = inputs[0]->data();
             WalkRunStats stats;
@@ -116,7 +142,9 @@ referenceExecute(const TensorComputation &comp,
                 break;
             }
             noteWalkRun(span, stats, opts.numThreads);
-            return;
+            report.engine = "walk";
+            report.threadsUsed = stats.threadsUsed;
+            return report;
         }
         metrics.counter("exec.fallback").add();
         span.arg("fallback", why);
@@ -165,6 +193,7 @@ referenceExecute(const TensorComputation &comp,
         }
         output.accumulate(out_flat, update);
     });
+    return report;
 }
 
 std::vector<Buffer>

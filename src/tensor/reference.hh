@@ -24,20 +24,25 @@ namespace amos {
  * form and runs the stride-walk engine (see tensor/access_walk.hh) —
  * bit-identical to the scalar interpreter, which remains as the
  * transparent fallback for non-affine accesses or mismatched buffer
- * shapes (logged via the exec.fallback metric).
+ * shapes (logged via the exec.fallback metric). With
+ * ExecEngine::Jit the nest is lowered to native code through the
+ * registered JIT hook (see tensor/jit_hook.hh), falling back to the
+ * stride walk — and then the interpreter — when the tier declines
+ * (logged via exec.jit_fallback).
  *
  * @param comp The computation to interpret.
  * @param inputs One buffer per computation input, in order.
  * @param output Buffer matching the computation's output declaration.
- * @param opts Thread count for the outer sweep and engine forcing.
+ * @param opts Thread count for the outer sweep and engine selection.
+ * @return The tier that actually ran (and any JIT fallback reason).
  */
-void referenceExecute(const TensorComputation &comp,
-                      const std::vector<const Buffer *> &inputs,
-                      Buffer &output, const ExecOptions &opts);
+ExecReport referenceExecute(const TensorComputation &comp,
+                            const std::vector<const Buffer *> &inputs,
+                            Buffer &output, const ExecOptions &opts);
 
-void referenceExecute(const TensorComputation &comp,
-                      const std::vector<const Buffer *> &inputs,
-                      Buffer &output);
+ExecReport referenceExecute(const TensorComputation &comp,
+                            const std::vector<const Buffer *> &inputs,
+                            Buffer &output);
 
 /**
  * Allocate pattern-filled inputs and a zeroed output for a
