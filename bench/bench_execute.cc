@@ -6,7 +6,10 @@
  * mapped-direct, mapped-packed) at 1 and 4 threads.
  *
  * Reports elements/s per workload x engine x thread count plus the
- * headline single-thread speedups into BENCH_execute.json. Every
+ * headline single-thread speedups into BENCH_execute.json. The
+ * gemm_i8/conv2d_i8 workloads run the integer-dot discipline
+ * (u8/i8 -> i32) end to end, mapped onto the int8 intrinsics, so the
+ * quantized engines are latency-gated alongside the float ones. Every
  * engine gets one untimed warmup run first, so the JIT columns
  * measure kernel execution, not one-off compilation. Run with --tiny
  * for the CI smoke (small shapes, one repetition); CI diffs the
@@ -49,6 +52,9 @@ struct Workload
 {
     std::string name;
     TensorComputation comp;
+    /// Intrinsic the mapped executors enumerate against; must be
+    /// dtype-legal for comp (wmma for float, VNNI/Mali dot for int8).
+    Intrinsic intr;
 };
 
 int
@@ -64,19 +70,41 @@ runBench(bool tiny)
 
     std::vector<Workload> workloads;
     if (tiny) {
-        workloads.push_back({"gemm", ops::makeGemm(8, 8, 8)});
+        workloads.push_back(
+            {"gemm", ops::makeGemm(8, 8, 8), isa::wmmaTiny()});
         workloads.push_back(
             {"conv2d",
              ops::makeConv2d({1, 2, 4, 4, 4, 3, 3, 1, 1,
-                              DataType::F16})});
-        workloads.push_back({"gemv", ops::makeGemv(16, 16)});
+                              DataType::F16}),
+             isa::wmmaTiny()});
+        workloads.push_back(
+            {"gemv", ops::makeGemv(16, 16), isa::wmmaTiny()});
+        workloads.push_back({"gemm_i8",
+                             ops::makeQuantizedGemm(8, 8, 8),
+                             isa::avx512Vnni()});
+        workloads.push_back(
+            {"conv2d_i8",
+             ops::makeQuantizedConv2d({1, 2, 4, 4, 4, 3, 3, 1, 1,
+                                       DataType::F16}),
+             isa::maliDot()});
     } else {
-        workloads.push_back({"gemm", ops::makeGemm(64, 64, 64)});
+        workloads.push_back(
+            {"gemm", ops::makeGemm(64, 64, 64), isa::wmmaTiny()});
         workloads.push_back(
             {"conv2d",
              ops::makeConv2d({1, 8, 16, 14, 14, 3, 3, 1, 1,
-                              DataType::F16})});
-        workloads.push_back({"gemv", ops::makeGemv(256, 256)});
+                              DataType::F16}),
+             isa::wmmaTiny()});
+        workloads.push_back(
+            {"gemv", ops::makeGemv(256, 256), isa::wmmaTiny()});
+        workloads.push_back({"gemm_i8",
+                             ops::makeQuantizedGemm(64, 64, 64),
+                             isa::avx512Vnni()});
+        workloads.push_back(
+            {"conv2d_i8",
+             ops::makeQuantizedConv2d({1, 8, 16, 14, 14, 3, 3, 1, 1,
+                                       DataType::F16}),
+             isa::maliDot()});
     }
 
     for (const auto &wl : workloads) {
@@ -125,9 +153,10 @@ runBench(bool tiny)
         row.set("reference_jit_speedup_vs_walk",
                 Json(eps_jit / eps_1t));
 
-        // Mapped executors on the first enumerated wmma-tiny plan —
-        // the same differential workload the execute tests sweep.
-        auto plans = enumeratePlans(comp, isa::wmmaTiny(), {});
+        // Mapped executors on the first enumerated plan for the
+        // workload's dtype-legal intrinsic — the same differential
+        // workloads the execute tests sweep.
+        auto plans = enumeratePlans(comp, wl.intr, {});
         if (!plans.empty()) {
             const auto &plan = plans[0];
             auto mappedEps = [&](const ExecOptions &opts,

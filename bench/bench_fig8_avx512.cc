@@ -20,7 +20,9 @@ main()
     TextTable table({"layer", "tvm(ms)", "amos(ms)", "speedup"});
     bench::GeoMean geo;
     for (const auto &layer : ops::resnet18ConvLayers(16)) {
-        auto comp = layer.build();
+        // VNNI consumes u8 x i8: Fig. 8a runs the quantized network,
+        // so tensorization stays dtype-legal on the dot unit.
+        auto comp = ops::quantizedVariant(layer.build());
         // TVM's VNNI template: the hand-written im2col-style
         // mapping with its own tuning, as in Sec. 7.5.
         TuneOptions tvm_budget = bench::benchTuning();

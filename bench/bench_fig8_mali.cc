@@ -30,8 +30,16 @@ main()
             TensorComputation comp;
         };
         std::vector<Case> cases;
-        cases.push_back({"conv2d", layer.build()});
-        cases.push_back({"depthwise", layer.buildDepthwise()});
+        // The Mali dot units consume i8: Fig. 8b runs the quantized
+        // network, keeping tensorization dtype-legal.
+        cases.push_back({"conv2d",
+                         ops::quantizedVariant(layer.build(),
+                                               DataType::I8,
+                                               DataType::I8)});
+        cases.push_back(
+            {"depthwise",
+             ops::quantizedVariant(layer.buildDepthwise(),
+                                   DataType::I8, DataType::I8)});
         for (auto &c : cases) {
             // AutoTVM's Bifrost template: scalar-unit code; on
             // depthwise layers 2-4 the paper reports internal

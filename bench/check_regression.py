@@ -14,10 +14,17 @@ updates.  Refresh a baseline by re-running the bench with
 from a full (non ``--tiny``) run — the 1-repetition tiny smoke is
 microsecond-scale and far too noisy to gate on.
 
+``--require SUBSTR`` (repeatable) asserts that at least one *current*
+metric key contains SUBSTR.  New-side metrics are normally advisory
+("not gated"), which would let a silently dropped bench column — say
+the quantized i8 workloads failing to enumerate — pass unnoticed
+until the baseline is refreshed; a required substring turns that
+silence into a hard failure.
+
 Usage:
     python3 bench/check_regression.py BENCH_execute.json \
         [--baseline bench/baselines/BENCH_execute.json] \
-        [--tolerance 0.25]
+        [--tolerance 0.25] [--require gemm_i8 --require conv2d_i8]
 """
 
 import argparse
@@ -62,6 +69,14 @@ def main(argv):
         default=float(os.environ.get("AMOS_BENCH_TOLERANCE", "0.25")),
         help="allowed fractional drop below baseline (default 0.25)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="SUBSTR",
+        help="fail unless some current metric key contains SUBSTR "
+        "(repeatable)",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline
@@ -70,12 +85,23 @@ def main(argv):
         baseline_path = os.path.join(
             here, "baselines", os.path.basename(args.current)
         )
+    current, current_doc = load_eps(args.current)
+
+    missing = [
+        want
+        for want in args.require
+        if not any(want in key for key in current)
+    ]
+    if missing:
+        print("check_regression: required metric(s) absent from "
+              f"{args.current}: {', '.join(missing)}")
+        return 1
+
     if not os.path.exists(baseline_path):
         print(f"check_regression: no baseline at {baseline_path}; "
               "nothing to gate")
         return 0
 
-    current, current_doc = load_eps(args.current)
     baseline, _ = load_eps(baseline_path)
 
     regressions = []

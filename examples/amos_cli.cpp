@@ -24,6 +24,13 @@
  *   amos_cli --op gemv --m 1024 --k 1024 --hw v100 --explain
  *   amos_cli --op gemm --m 64 --n 64 --k 64 --hw v100 \
  *            --engine jit --json | jq .engine   # "jit"
+ *   amos_cli --op gemm --m 256 --n 256 --k 256 --hw xeon \
+ *            --dtype u8i8   # int8 GEMM on the VNNI intrinsic
+ *   amos_cli --op conv2d --size 14 --hw mali --dtype i8
+ *
+ * --dtype selects the operand typing (f16 default, f32, bf16, i8,
+ * u8i8); quantized typings accumulate exactly into i32 and only
+ * match dtype-legal intrinsics (docs/abstraction.md).
  *
  * Scripting contract:
  *   --json writes a single machine-readable object to stdout (the
@@ -130,6 +137,7 @@ requestFromArgs(const Args &args)
     serve::CompileRequest req;
     req.op = args.str("op", "conv2d");
     req.hw = args.str("hw", "v100");
+    req.dtype = args.str("dtype", "f16");
     for (const char *key :
          {"batch", "cin", "cout", "size", "kernel", "stride",
           "dilation", "m", "n", "k", "depth", "kdepth",

@@ -172,6 +172,17 @@ TuningCache::keyFor(const TensorComputation &comp,
     key << hw.name << "/" << comp.name();
     for (const auto &iv : comp.iters())
         key << "_" << iv.extent;
+    // Typed variants are distinct artifacts; the all-f16 default
+    // keeps its historical key so persisted caches stay valid.
+    bool allDefault = comp.output().dtype() == DataType::F16;
+    for (const auto &in : comp.inputs())
+        allDefault = allDefault && in.decl.dtype() == DataType::F16;
+    if (!allDefault) {
+        key << "/";
+        for (const auto &in : comp.inputs())
+            key << dtypeName(in.decl.dtype()) << "_";
+        key << dtypeName(comp.output().dtype());
+    }
     return key.str();
 }
 

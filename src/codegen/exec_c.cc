@@ -1,13 +1,77 @@
 #include "exec_c.hh"
 
+#include <cstdlib>
 #include <functional>
 #include <sstream>
 
+#include "quant/semantics.hh"
 #include "support/logging.hh"
 
 namespace amos {
 
 namespace {
+
+/** C spelling of a storage lane's element type. */
+const char *
+laneCType(StorageLane lane)
+{
+    switch (lane) {
+      case StorageLane::F32: return "float";
+      case StorageLane::BF16: return "uint16_t";
+      case StorageLane::I8: return "int8_t";
+      case StorageLane::U8: return "uint8_t";
+      case StorageLane::I32: return "int32_t";
+    }
+    std::abort(); // unreachable for in-range enumerators
+}
+
+/**
+ * Kernel semantics and per-operand lanes derived from declared
+ * dtypes (inputs..., output). An empty vector is the all-f32 legacy
+ * shape. Mirrors quant::classifyComputation, which callers have
+ * already consulted — this re-derivation only rejects combinations
+ * that could not have passed classification.
+ */
+struct EmitTypes
+{
+    quant::KernelSemantics kind = quant::KernelSemantics::F32;
+    std::vector<StorageLane> inLanes;
+    StorageLane outLane = StorageLane::F32;
+};
+
+EmitTypes
+emitTypesFor(const std::vector<DataType> &dtypes, std::size_t numInputs)
+{
+    EmitTypes t;
+    if (dtypes.empty()) {
+        t.inLanes.assign(numInputs, StorageLane::F32);
+        return t;
+    }
+    require(dtypes.size() == numInputs + 1,
+            "exec_c: operand dtype count mismatch");
+    for (std::size_t i = 0; i < numInputs; ++i)
+        t.inLanes.push_back(dtypeStorageLane(dtypes[i]));
+    t.outLane = dtypeStorageLane(dtypes.back());
+    if (t.outLane == StorageLane::I32) {
+        t.kind = quant::KernelSemantics::IntDot;
+        for (auto l : t.inLanes)
+            require(l == StorageLane::I8 || l == StorageLane::U8,
+                    "exec_c: int32 accumulator needs 8-bit inputs");
+    } else {
+        require(t.outLane == StorageLane::F32,
+                "exec_c: unsupported output lane ",
+                laneCType(t.outLane));
+        bool anyBf16 = false;
+        for (auto l : t.inLanes) {
+            require(l == StorageLane::F32 || l == StorageLane::BF16,
+                    "exec_c: unsupported input lane ", laneCType(l));
+            anyBf16 = anyBf16 || l == StorageLane::BF16;
+        }
+        if (anyBf16)
+            t.kind = quant::KernelSemantics::Bf16;
+    }
+    return t;
+}
 
 /** Tiny indented-C writer. */
 struct CWriter
@@ -351,47 +415,92 @@ emitMappedNest(CWriter &w, const ExecPlan &plan,
         w.close();
 }
 
-/** out[a_out] += in0[a0] (* in1[a1]) with the given pointer names. */
-NestBody
-accumulateBody(CombineKind combine, std::vector<std::string> ptrs)
+/**
+ * Load expression for one input operand: bf16 lanes widen through
+ * the emitted helper, IntDot lanes widen to the int64 arithmetic
+ * domain — mirroring the host loaders in quant/typed_exec.hh.
+ */
+std::string
+loadExpr(const EmitTypes &t, std::size_t m, const std::string &ptr,
+         const std::string &addr)
 {
-    return [combine, ptrs = std::move(ptrs)](
+    const std::string elem = ptr + "[" + addr + "]";
+    if (t.inLanes[m] == StorageLane::BF16)
+        return "amos_bf16_to_f32(" + elem + ")";
+    if (t.kind == quant::KernelSemantics::IntDot)
+        return "(int64_t)" + elem;
+    return elem;
+}
+
+/**
+ * out[a_out] (+)= in0[a0] (* in1[a1]) with the given pointer names.
+ * Float disciplines accumulate in place; IntDot goes through an
+ * int64 intermediate with a wrapping cast back to int32, exactly
+ * quant::intDotStep.
+ */
+NestBody
+accumulateBody(CombineKind combine, const EmitTypes &types,
+               std::vector<std::string> ptrs)
+{
+    return [combine, types, ptrs = std::move(ptrs)](
                CWriter &w, const std::vector<std::string> &a) {
+        const std::size_t oi = ptrs.size() - 1;
+        const std::string out = ptrs[oi] + "[" + a[oi] + "]";
+        std::string rhs = loadExpr(types, 0, ptrs[0], a[0]);
         if (combine == CombineKind::MultiplyAdd)
-            w.line(ptrs[2] + "[" + a[2] + "] += " + ptrs[0] + "[" +
-                   a[0] + "] * " + ptrs[1] + "[" + a[1] + "];");
+            rhs += " * " + loadExpr(types, 1, ptrs[1], a[1]);
+        if (types.kind == quant::KernelSemantics::IntDot)
+            w.line(out + " = (int32_t)((int64_t)" + out + " + " + rhs +
+                   ");");
         else
-            w.line(ptrs[1] + "[" + a[1] + "] += " + ptrs[0] + "[" +
-                   a[0] + "];");
+            w.line(out + " += " + rhs + ";");
     };
 }
 
 void
 emitPrologue(CWriter &w, const std::string &kind,
-             const std::string &description, bool needsStdlib)
+             const std::string &description, bool needsStdlib,
+             const EmitTypes &types)
 {
     w.line("/* amos jit exec kernel (" + kind + ")");
     w.line(" * " + sanitizeComment(description));
     w.line(" *");
     w.line(" * Loop order matches the stride-walk engine exactly, so");
-    w.line(" * floating-point accumulation is bit-identical to the");
-    w.line(" * interpreter. Do not compile with -ffast-math.");
+    w.line(" * accumulation — floating-point bits and wrapped int32");
+    w.line(" * alike — is bit-identical to the interpreter. Do not");
+    w.line(" * compile with -ffast-math.");
     w.line(" */");
+    w.line("#include <stdint.h>");
     if (needsStdlib)
         w.line("#include <stdlib.h>");
+    bool anyBf16 = false;
+    for (auto l : types.inLanes)
+        anyBf16 = anyBf16 || l == StorageLane::BF16;
+    if (anyBf16) {
+        w.line("");
+        w.open("static inline float amos_bf16_to_f32(uint16_t b)");
+        w.line("union { uint32_t u; float f; } v;");
+        w.line("v.u = (uint32_t)b << 16;");
+        w.line("return v.f;");
+        w.close();
+    }
     w.line("");
-    w.open("void amos_exec_kernel(const float *const *inputs, "
-           "float *output)");
+    w.open("void amos_exec_kernel(const void *const *inputs, "
+           "void *output)");
 }
 
-/** Bind restrict-qualified operand pointers in0.., out. */
+/** Bind restrict-qualified typed operand pointers in0.., out. */
 void
-emitOperandPointers(CWriter &w, std::size_t numInputs)
+emitOperandPointers(CWriter &w, const EmitTypes &types)
 {
-    for (std::size_t i = 0; i < numInputs; ++i)
-        w.line("const float *restrict in" + std::to_string(i) +
-               " = inputs[" + std::to_string(i) + "];");
-    w.line("float *restrict out = output;");
+    for (std::size_t i = 0; i < types.inLanes.size(); ++i) {
+        const std::string ty = laneCType(types.inLanes[i]);
+        w.line("const " + ty + " *restrict in" + std::to_string(i) +
+               " = (const " + ty + " *)inputs[" + std::to_string(i) +
+               "];");
+    }
+    const std::string oty = laneCType(types.outLane);
+    w.line(oty + " *restrict out = (" + oty + " *)output;");
 }
 
 std::vector<std::string>
@@ -409,15 +518,18 @@ inputPtrNames(std::size_t numInputs)
 std::string
 generateWalkKernelC(const AccessWalkPlan &plan, CombineKind combine,
                     std::size_t numInputs,
-                    const std::string &description)
+                    const std::string &description,
+                    const std::vector<DataType> &operandDtypes)
 {
     require(plan.operands.size() == numInputs + 1,
             "generateWalkKernelC: operand/input count mismatch");
+    const EmitTypes types = emitTypesFor(operandDtypes, numInputs);
     CWriter w;
-    emitPrologue(w, "affine walk", description, false);
-    emitOperandPointers(w, numInputs);
-    emitAffineNest(w, plan, "r",
-                   accumulateBody(combine, inputPtrNames(numInputs)));
+    emitPrologue(w, "affine walk", description, false, types);
+    emitOperandPointers(w, types);
+    emitAffineNest(
+        w, plan, "r",
+        accumulateBody(combine, types, inputPtrNames(numInputs)));
     w.close();
     return w.out.str();
 }
@@ -430,16 +542,18 @@ generateDirectKernelC(const ExecPlan &plan,
             "generateDirectKernelC on an uncompiled plan: ",
             plan.fallbackReason());
     const std::size_t nin = plan.numInputs();
+    const EmitTypes types = emitTypesFor(plan.operandDtypes(), nin);
     CWriter w;
-    emitPrologue(w, "mapped direct", description, false);
-    emitOperandPointers(w, nin);
+    emitPrologue(w, "mapped direct", description, false, types);
+    emitOperandPointers(w, types);
 
     std::vector<const ExecPlan::Operand *> ops;
     for (std::size_t m = 0; m < nin; ++m)
         ops.push_back(&plan.directOperands()[m]);
     ops.push_back(&plan.directOperands().back());
-    emitMappedNest(w, plan, ops, "d",
-                   accumulateBody(plan.combine(), inputPtrNames(nin)));
+    emitMappedNest(
+        w, plan, ops, "d",
+        accumulateBody(plan.combine(), types, inputPtrNames(nin)));
     w.close();
     return w.out.str();
 }
@@ -454,9 +568,23 @@ generatePackedKernelC(const ExecPlan &plan,
     const std::size_t nin = plan.numInputs();
     const auto &packed = plan.packedOperands();
     const auto &sizes = plan.packedSizes();
+    const EmitTypes types = emitTypesFor(plan.operandDtypes(), nin);
+
+    // Stream element type: int32_t for the exact quantized
+    // discipline (inputs widen on pack), float otherwise (bf16
+    // decodes on pack) — exactly the host engines' packed streams.
+    const bool intDot = types.kind == quant::KernelSemantics::IntDot;
+    const std::string streamTy = intDot ? "int32_t" : "float";
+    EmitTypes streamTypes;
+    streamTypes.kind = types.kind;
+    streamTypes.inLanes.assign(
+        nin, intDot ? StorageLane::I32 : StorageLane::F32);
+    streamTypes.outLane =
+        intDot ? StorageLane::I32 : StorageLane::F32;
+
     CWriter w;
-    emitPrologue(w, "mapped packed", description, true);
-    emitOperandPointers(w, nin);
+    emitPrologue(w, "mapped packed", description, true, types);
+    emitOperandPointers(w, types);
 
     // calloc'd packed tile streams: padding slots stay zero, exactly
     // like the interpreter's sweep.
@@ -464,14 +592,17 @@ generatePackedKernelC(const ExecPlan &plan,
     for (std::size_t m = 0; m < packed.size(); ++m) {
         const std::string name = "pk" + std::to_string(m);
         const std::int64_t sz = std::max<std::int64_t>(sizes[m], 1);
-        w.line("float *restrict " + name + " = (float *)calloc(" +
-               lit(sz) + ", sizeof(float));");
+        w.line(streamTy + " *restrict " + name + " = (" + streamTy +
+               " *)calloc(" + lit(sz) + ", sizeof(" + streamTy +
+               "));");
         w.line("if (!" + name + ") abort();");
         pk.push_back(name);
     }
 
     // Stage A: pack each input's valid software points into its tile
-    // stream. Operand pairs: [source, packed destination].
+    // stream, converting to the stream type (bf16 widens to float,
+    // 8-bit lanes widen to int32). Operand pairs: [source, packed
+    // destination].
     w.line("/* stage A: pack inputs */");
     {
         std::vector<const ExecPlan::Operand *> ops;
@@ -482,10 +613,16 @@ generatePackedKernelC(const ExecPlan &plan,
         emitMappedNest(
             w, plan, ops, "A",
             [&](CWriter &ww, const std::vector<std::string> &a) {
-                for (std::size_t m = 0; m < nin; ++m)
-                    ww.line(pk[m] + "[" + a[2 * m + 1] + "] = in" +
-                            std::to_string(m) + "[" + a[2 * m] +
-                            "];");
+                for (std::size_t m = 0; m < nin; ++m) {
+                    std::string src = "in" + std::to_string(m) + "[" +
+                                      a[2 * m] + "]";
+                    if (types.inLanes[m] == StorageLane::BF16)
+                        src = "amos_bf16_to_f32(" + src + ")";
+                    else if (intDot)
+                        src = "(int32_t)" + src;
+                    ww.line(pk[m] + "[" + a[2 * m + 1] + "] = " + src +
+                            ";");
+                }
             });
     }
 
@@ -497,8 +634,9 @@ generatePackedKernelC(const ExecPlan &plan,
                                       pk.begin() +
                                           static_cast<long>(nin));
         ptrs.push_back(pk.back());
-        emitAffineNest(w, plan.stageB(), "B",
-                       accumulateBody(plan.combine(), ptrs));
+        emitAffineNest(
+            w, plan.stageB(), "B",
+            accumulateBody(plan.combine(), streamTypes, ptrs));
     }
 
     // Stage C: unpack the output stream back to the software layout.

@@ -18,14 +18,25 @@
  *
  * All kernels share the exported signature
  *
- *     void amos_exec_kernel(const float *const *inputs,
- *                           float *output);
+ *     void amos_exec_kernel(const void *const *inputs,
+ *                           void *output);
+ *
+ * where each pointer's element type is the operand's storage lane
+ * (tensor/dtype.hh): float for f16/f32, uint16_t raw bits for bf16,
+ * int8_t/uint8_t for the 8-bit lanes, int32_t for exact quantized
+ * accumulators. Integer kernels accumulate through an int64
+ * intermediate with a wrapping cast back to int32 — the same exact
+ * discipline as quant::intDotStep — so every engine's int8 result is
+ * bit-identical. bf16 operands are widened to float on each load via
+ * an emitted helper; bf16 accumulation is never emitted (it is
+ * rejected at classification, see quant/semantics.hh).
  */
 
 #ifndef AMOS_CODEGEN_EXEC_C_HH
 #define AMOS_CODEGEN_EXEC_C_HH
 
 #include <string>
+#include <vector>
 
 #include "mapping/exec_plan.hh"
 #include "tensor/access_walk.hh"
@@ -37,18 +48,22 @@ namespace amos {
 inline constexpr const char *kExecKernelSymbol = "amos_exec_kernel";
 
 /** C function-pointer type of a jitted exec kernel. */
-using ExecKernelFn = void (*)(const float *const *, float *);
+using ExecKernelFn = void (*)(const void *const *, void *);
 
 /**
  * Lower a pure affine walk nest — the reference executor's loop
  * nest — to C. `numInputs` operands of `plan` are inputs, the last
- * is the accumulated output. `description` becomes a header comment
- * (and thereby part of the kernel's content hash).
+ * is the accumulated output. `operandDtypes` gives the declared
+ * dtype of each operand, inputs first, output last (an empty vector
+ * means all-f32); the combination must be one the classifier admits
+ * (quant/semantics.hh). `description` becomes a header comment (and
+ * thereby part of the kernel's content hash).
  */
-std::string generateWalkKernelC(const AccessWalkPlan &plan,
-                                CombineKind combine,
-                                std::size_t numInputs,
-                                const std::string &description);
+std::string
+generateWalkKernelC(const AccessWalkPlan &plan, CombineKind combine,
+                    std::size_t numInputs,
+                    const std::string &description,
+                    const std::vector<DataType> &operandDtypes = {});
 
 /**
  * Lower a compiled ExecPlan's direct path (outer axes x per-group

@@ -26,11 +26,11 @@ bool
 outputAliasesInput(const Buffer &output,
                    const std::vector<const Buffer *> &inputs)
 {
-    const float *ob = output.data();
-    const float *oe = ob + output.size();
+    const char *ob = static_cast<const char *>(output.rawData());
+    const char *oe = ob + output.storageBytes();
     for (const Buffer *in : inputs) {
-        const float *b = in->data();
-        const float *e = b + in->size();
+        const char *b = static_cast<const char *>(in->rawData());
+        const char *e = b + in->storageBytes();
         if (b < oe && ob < e)
             return true;
     }
@@ -45,10 +45,10 @@ compileAndRun(const std::string &source,
     ExecKernelFn fn = JitEngine::global().getOrCompile(source, why);
     if (!fn)
         return false;
-    const float *ptrs[kMaxWalkOperands] = {nullptr};
+    const void *ptrs[kMaxWalkOperands] = {nullptr};
     for (std::size_t i = 0; i < inputs.size(); ++i)
-        ptrs[i] = inputs[i]->data();
-    fn(ptrs, output.data());
+        ptrs[i] = inputs[i]->rawData();
+    fn(ptrs, output.rawData());
     return true;
 }
 
@@ -62,9 +62,13 @@ jitReferenceRun(const TensorComputation &comp,
         *why = "output buffer aliases an input";
         return false;
     }
+    std::vector<DataType> dtypes;
+    for (const auto &in : comp.inputs())
+        dtypes.push_back(in.decl.dtype());
+    dtypes.push_back(comp.output().dtype());
     const std::string source = generateWalkKernelC(
         plan, comp.combine(), inputs.size(),
-        "reference nest of " + comp.name());
+        "reference nest of " + comp.name(), dtypes);
     return compileAndRun(source, inputs, output, why);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ir/affine.hh"
+#include "quant/typed_exec.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
 
@@ -227,6 +228,137 @@ runMappedWalkParallel(const std::vector<std::int64_t> &iterExt,
     return stats;
 }
 
+/** Stage-B arithmetic on float staging streams. */
+struct FloatStreamOps
+{
+    using Stream = float;
+    static void
+    mulAdd(Stream *d, std::int64_t di, const Stream *x,
+           std::int64_t xi, const Stream *y, std::int64_t yi)
+    {
+        d[di] += x[xi] * y[yi];
+    }
+    static void
+    add(Stream *d, std::int64_t di, const Stream *x, std::int64_t xi)
+    {
+        d[di] += x[xi];
+    }
+};
+
+/**
+ * Stage-B arithmetic on int32 staging streams: the IntDot discipline
+ * (int64 intermediates, wrapping int32 accumulate — identical to
+ * quant::intDotStep, so packed results match the direct path bit for
+ * bit).
+ */
+struct IntStreamOps
+{
+    using Stream = std::int32_t;
+    static void
+    mulAdd(Stream *d, std::int64_t di, const Stream *x,
+           std::int64_t xi, const Stream *y, std::int64_t yi)
+    {
+        d[di] = static_cast<Stream>(
+            static_cast<std::int64_t>(d[di]) +
+            static_cast<std::int64_t>(x[xi]) * y[yi]);
+    }
+    static void
+    add(Stream *d, std::int64_t di, const Stream *x, std::int64_t xi)
+    {
+        d[di] = static_cast<Stream>(
+            static_cast<std::int64_t>(d[di]) + x[xi]);
+    }
+};
+
+/**
+ * Typed packed pipeline: pack (typed, possibly widening, loads) into
+ * StreamT staging buffers, affine compute on the streams, unpack
+ * through the output accessor. StreamT is float for the float
+ * disciplines (bf16 decodes on pack, exactly) and int32 for IntDot
+ * (8-bit values widen on pack, so stage B is the exact dot).
+ *
+ * For SumReduce `l1` is unused; callers pass `l0` twice.
+ */
+template <typename Ops, typename L0, typename L1, typename OutAcc>
+WalkRunStats
+runPackedTyped(const ExecPlan &plan, const ExecOptions &opts, L0 l0,
+               L1 l1, OutAcc outAcc)
+{
+    using StreamT = typename Ops::Stream;
+    const std::size_t nin = plan.numInputs();
+    std::vector<std::vector<StreamT>> packed;
+    for (auto sz : plan.packedSizes())
+        packed.emplace_back(static_cast<std::size_t>(sz), StreamT{});
+
+    const auto &direct = plan.directOperands();
+    const auto &pops = plan.packedOperands();
+
+    // Stage A (serial): pack each input's valid software points into
+    // its tile stream. Operand pairs: [source, packed destination].
+    {
+        const ExecPlan::Operand *ops[kMaxWalkOperands];
+        StreamT *dst[kMaxWalkOperands / 2];
+        for (std::size_t m = 0; m < nin; ++m) {
+            ops[2 * m] = &direct[m];
+            ops[2 * m + 1] = &pops[m];
+            dst[m] = packed[m].data();
+        }
+        runMappedWalkRange(
+            plan.iterExtents(), plan.axes(), plan.groups(), ops,
+            2 * nin, -1, 0, 0, [&](const std::int64_t *a) {
+                dst[0][a[1]] = static_cast<StreamT>(l0.load(a[0]));
+                if (nin > 1)
+                    dst[1][a[3]] =
+                        static_cast<StreamT>(l1.load(a[2]));
+            });
+    }
+
+    // Stage B (parallel): intrinsic calls purely on packed streams —
+    // a plain affine walk over [outer axes][intrinsic counters].
+    // Padding slots hold zeros, exactly like the interpreter's sweep.
+    WalkRunStats stats;
+    {
+        const AccessWalkPlan &stageB = plan.stageB();
+        const std::size_t splitLevels = static_cast<std::size_t>(
+            plan.packedSplitLevel() < 0 ? 0
+                                        : plan.packedSplitLevel() + 1);
+        StreamT *pdst = packed.back().data();
+        const StreamT *p0 = packed[0].data();
+        switch (plan.combine()) {
+          case CombineKind::MultiplyAdd: {
+            const StreamT *p1 = packed[1].data();
+            stats = runAccessWalkParallel(
+                stageB, stageB.operands.size() - 1, splitLevels,
+                opts.numThreads, [&](const std::int64_t *a) {
+                    Ops::mulAdd(pdst, a[2], p0, a[0], p1, a[1]);
+                });
+            break;
+          }
+          case CombineKind::SumReduce:
+            stats = runAccessWalkParallel(
+                stageB, stageB.operands.size() - 1, splitLevels,
+                opts.numThreads, [&](const std::int64_t *a) {
+                    Ops::add(pdst, a[1], p0, a[0]);
+                });
+            break;
+        }
+    }
+
+    // Stage C (serial): unpack the output stream back to the
+    // software layout. Operands: [packed source, software output].
+    {
+        const ExecPlan::Operand *ops[2] = {&pops.back(),
+                                           &direct.back()};
+        const StreamT *psrc = packed.back().data();
+        runMappedWalkRange(plan.iterExtents(), plan.axes(),
+                           plan.groups(), ops, 2, -1, 0, 0,
+                           [&](const std::int64_t *a) {
+                               outAcc.store(a[1], psrc[a[0]]);
+                           });
+    }
+    return stats;
+}
+
 } // namespace
 
 ExecPlan::ExecPlan(const MappingPlan &plan)
@@ -242,10 +374,18 @@ ExecPlan::compile(const MappingPlan &plan)
         return;
     }
     const auto &comp = plan.computation();
+    _semantics = quant::classifyComputation(comp);
+    if (!_semantics.supported) {
+        _reason = "unsupported dtype semantics: " + _semantics.reason;
+        return;
+    }
     _combine = comp.combine();
     _numInputs = comp.inputs().size();
-    for (const auto &in : comp.inputs())
+    for (const auto &in : comp.inputs()) {
         _inputShapes.push_back(in.decl.shape());
+        _operandDtypes.push_back(in.decl.dtype());
+    }
+    _operandDtypes.push_back(comp.output().dtype());
     _outputShape = comp.output().shape();
     for (const auto &iv : comp.iters())
         _iterExtents.push_back(iv.extent);
@@ -515,10 +655,23 @@ ExecPlan::buffersMatch(const std::vector<const Buffer *> &inputs,
                        " shape differs from the declared shape";
             return false;
         }
+        if (inputs[i]->storage() !=
+            dtypeStorageLane(_operandDtypes[i])) {
+            if (why)
+                *why = "input " + std::to_string(i) +
+                       " storage lane differs from the declared dtype";
+            return false;
+        }
     }
     if (output.decl().shape() != _outputShape) {
         if (why)
             *why = "output shape differs from the declared shape";
+        return false;
+    }
+    if (output.storage() != dtypeStorageLane(_operandDtypes.back())) {
+        if (why)
+            *why = "output storage lane differs from the declared "
+                   "dtype";
         return false;
     }
     return true;
@@ -539,25 +692,35 @@ ExecPlan::runDirect(const std::vector<const Buffer *> &inputs,
         ops[m] = &_direct[m];
     ops[_numInputs] = &_direct.back();
 
-    float *out = output.data();
-    const float *in0 = inputs[0]->data();
+    // The walk generates addresses; loaders/accumulator carry the
+    // numeric discipline (float MAC, exact int32 dot, bf16 widening).
+    WalkRunStats stats;
     switch (_combine) {
-      case CombineKind::MultiplyAdd: {
-        const float *in1 = inputs[1]->data();
-        return runMappedWalkParallel(
-            _iterExtents, _axes, _groups, ops, _numInputs + 1,
-            _directSplit, opts.numThreads,
-            [&](const std::int64_t *a) {
-                out[a[2]] += in0[a[0]] * in1[a[1]];
+      case CombineKind::MultiplyAdd:
+        quant::dispatchMulAdd(
+            _semantics, *inputs[0], *inputs[1], output,
+            [&](auto l0, auto l1, auto acc) {
+                stats = runMappedWalkParallel(
+                    _iterExtents, _axes, _groups, ops, _numInputs + 1,
+                    _directSplit, opts.numThreads,
+                    [&](const std::int64_t *a) {
+                        acc.add(a[2], l0.load(a[0]) * l1.load(a[1]));
+                    });
             });
-      }
+        break;
       case CombineKind::SumReduce:
-        return runMappedWalkParallel(
-            _iterExtents, _axes, _groups, ops, _numInputs + 1,
-            _directSplit, opts.numThreads,
-            [&](const std::int64_t *a) { out[a[1]] += in0[a[0]]; });
+        quant::dispatchSum(
+            _semantics, *inputs[0], output, [&](auto l0, auto acc) {
+                stats = runMappedWalkParallel(
+                    _iterExtents, _axes, _groups, ops, _numInputs + 1,
+                    _directSplit, opts.numThreads,
+                    [&](const std::int64_t *a) {
+                        acc.add(a[1], l0.load(a[0]));
+                    });
+            });
+        break;
     }
-    return WalkRunStats{};
+    return stats;
 }
 
 WalkRunStats
@@ -570,73 +733,39 @@ ExecPlan::runPacked(const std::vector<const Buffer *> &inputs,
     require(buffersMatch(inputs, output, &why),
             "ExecPlan::runPacked: ", why);
 
-    std::vector<std::vector<float>> packed;
-    for (auto sz : _packedSizes)
-        packed.emplace_back(static_cast<std::size_t>(sz), 0.0f);
-
-    // Stage A (serial): pack each input's valid software points into
-    // its tile stream. Operand pairs: [source, packed destination].
-    {
-        const Operand *ops[kMaxWalkOperands];
-        const float *src[kMaxWalkOperands / 2];
-        float *dst[kMaxWalkOperands / 2];
-        for (std::size_t m = 0; m < _numInputs; ++m) {
-            ops[2 * m] = &_direct[m];
-            ops[2 * m + 1] = &_packed[m];
-            src[m] = inputs[m]->data();
-            dst[m] = packed[m].data();
-        }
-        const std::size_t nin = _numInputs;
-        runMappedWalkRange(_iterExtents, _axes, _groups, ops, 2 * nin,
-                           -1, 0, 0, [&](const std::int64_t *a) {
-                               for (std::size_t m = 0; m < nin; ++m)
-                                   dst[m][a[2 * m + 1]] =
-                                       src[m][a[2 * m]];
-                           });
-    }
-
-    // Stage B (parallel): intrinsic calls purely on packed streams —
-    // a plain affine walk over [outer axes][intrinsic counters].
-    // Padding slots hold zeros, exactly like the interpreter's sweep.
-    WalkRunStats stats;
-    {
-        float *pdst = packed.back().data();
-        const float *p0 = packed[0].data();
-        switch (_combine) {
-          case CombineKind::MultiplyAdd: {
-            const float *p1 = packed[1].data();
-            stats = runAccessWalkParallel(
-                _stageB, _stageB.operands.size() - 1,
-                static_cast<std::size_t>(
-                    _packedSplit < 0 ? 0 : _packedSplit + 1),
-                opts.numThreads, [&](const std::int64_t *a) {
-                    pdst[a[2]] += p0[a[0]] * p1[a[1]];
+    const bool mulAdd = _combine == CombineKind::MultiplyAdd;
+    switch (_semantics.kind) {
+      case quant::KernelSemantics::F32: {
+        quant::FloatLoader l0{inputs[0]->data()};
+        quant::FloatLoader l1{mulAdd ? inputs[1]->data()
+                                     : inputs[0]->data()};
+        return runPackedTyped<FloatStreamOps>(
+            *this, opts, l0, l1, quant::FloatAccum{output.data()});
+      }
+      case quant::KernelSemantics::Bf16: {
+        quant::Bf16Loader l0{inputs[0]->bf16Data()};
+        quant::Bf16Loader l1{mulAdd ? inputs[1]->bf16Data()
+                                    : inputs[0]->bf16Data()};
+        return runPackedTyped<FloatStreamOps>(
+            *this, opts, l0, l1, quant::FloatAccum{output.data()});
+      }
+      case quant::KernelSemantics::IntDot: {
+        WalkRunStats stats;
+        quant::I32Accum acc{output.i32Data()};
+        quant::withInt8Loader(*inputs[0], [&](auto l0) {
+            if (mulAdd)
+                quant::withInt8Loader(*inputs[1], [&](auto l1) {
+                    stats = runPackedTyped<IntStreamOps>(*this, opts,
+                                                         l0, l1, acc);
                 });
-            break;
-          }
-          case CombineKind::SumReduce:
-            stats = runAccessWalkParallel(
-                _stageB, _stageB.operands.size() - 1,
-                static_cast<std::size_t>(
-                    _packedSplit < 0 ? 0 : _packedSplit + 1),
-                opts.numThreads,
-                [&](const std::int64_t *a) { pdst[a[1]] += p0[a[0]]; });
-            break;
-        }
+            else
+                stats = runPackedTyped<IntStreamOps>(*this, opts, l0,
+                                                     l0, acc);
+        });
+        return stats;
+      }
     }
-
-    // Stage C (serial): unpack the output stream back to the
-    // software layout. Operands: [packed source, software output].
-    {
-        const Operand *ops[2] = {&_packed.back(), &_direct.back()};
-        const float *psrc = packed.back().data();
-        float *out = output.data();
-        runMappedWalkRange(_iterExtents, _axes, _groups, ops, 2, -1,
-                           0, 0, [&](const std::int64_t *a) {
-                               out[a[1]] = psrc[a[0]];
-                           });
-    }
-    return stats;
+    return WalkRunStats{};
 }
 
 } // namespace amos

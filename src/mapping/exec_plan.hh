@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "mapping/mapping.hh"
+#include "quant/semantics.hh"
 #include "tensor/access_walk.hh"
 #include "tensor/tensor.hh"
 
@@ -150,6 +151,16 @@ class ExecPlan
     const AccessWalkPlan &stageB() const { return _stageB; }
     CombineKind combine() const { return _combine; }
     std::size_t numInputs() const { return _numInputs; }
+    /** Numeric discipline the plan executes under. */
+    const quant::SemanticsInfo &semantics() const
+    {
+        return _semantics;
+    }
+    /** Declared operand dtypes: inputs in order, then the output. */
+    const std::vector<DataType> &operandDtypes() const
+    {
+        return _operandDtypes;
+    }
     /** Software iterator extents, in declaration order. */
     const std::vector<std::int64_t> &iterExtents() const
     {
@@ -168,6 +179,8 @@ class ExecPlan
     std::string _reason;
     CombineKind _combine = CombineKind::MultiplyAdd;
     std::size_t _numInputs = 0;
+    quant::SemanticsInfo _semantics;
+    std::vector<DataType> _operandDtypes; ///< inputs..., output
     std::vector<std::vector<std::int64_t>> _inputShapes;
     std::vector<std::int64_t> _outputShape;
     std::vector<std::int64_t> _iterExtents;

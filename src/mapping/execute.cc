@@ -2,6 +2,7 @@
 
 #include "mapping/exec_plan.hh"
 #include "mapping/jit_hook.hh"
+#include "quant/semantics.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/trace.hh"
@@ -69,6 +70,11 @@ interpretMappedDirect(const MappingPlan &plan,
 {
     const auto &comp = plan.computation();
     const auto &intr = plan.intrinsic().compute;
+    // IntDot accumulates exactly through the integer lanes; the
+    // float disciplines use the converting view (exact widening for
+    // bf16 inputs, since their output is f32).
+    const bool intDot = quant::classifyComputation(comp).kind ==
+                        quant::KernelSemantics::IntDot;
 
     std::vector<std::int64_t> outer_extents;
     for (const auto &axis : plan.outerAxes())
@@ -120,35 +126,97 @@ interpretMappedDirect(const MappingPlan &plan,
 
             std::int64_t out_flat = readAccess(
                 output, comp.outputIndices(), binding, scratch);
-            float update = 0.0f;
-            switch (comp.combine()) {
-              case CombineKind::MultiplyAdd: {
-                float a = inputs[0]->at(
-                    readAccess(*inputs[0], comp.inputs()[0].indices,
-                               binding, scratch));
-                float b = inputs[1]->at(
-                    readAccess(*inputs[1], comp.inputs()[1].indices,
-                               binding, scratch));
-                update = a * b;
-                break;
-              }
-              case CombineKind::SumReduce:
-                update = inputs[0]->at(
-                    readAccess(*inputs[0], comp.inputs()[0].indices,
-                               binding, scratch));
-                break;
+            const bool mulAdd =
+                comp.combine() == CombineKind::MultiplyAdd;
+            std::int64_t in0_flat = readAccess(
+                *inputs[0], comp.inputs()[0].indices, binding,
+                scratch);
+            std::int64_t in1_flat =
+                mulAdd ? readAccess(*inputs[1],
+                                    comp.inputs()[1].indices, binding,
+                                    scratch)
+                       : -1;
+            if (intDot) {
+                std::int64_t update = inputs[0]->intAt(in0_flat);
+                if (mulAdd)
+                    update *= inputs[1]->intAt(in1_flat);
+                output.intAccumulate(out_flat, update);
+            } else {
+                float update = inputs[0]->at(in0_flat);
+                if (mulAdd)
+                    update *= inputs[1]->at(in1_flat);
+                output.accumulate(out_flat, update);
             }
-            output.accumulate(out_flat, update);
         });
     });
 }
 
-/** Scalar interpreter for the packed path (fallback + baseline). */
-void
-interpretMappedPacked(const MappingPlan &plan,
-                      const std::vector<const Buffer *> &inputs,
-                      Buffer &output)
+/** Interpreter staging arithmetic, float disciplines. */
+struct InterpFloatOps
 {
+    using Stream = float;
+    static Stream
+    load(const Buffer &b, std::int64_t i)
+    {
+        return b.at(i); // exact widening for bf16 lanes
+    }
+    static void
+    store(Buffer &b, std::int64_t i, Stream v)
+    {
+        b.set(i, v);
+    }
+    static void
+    mulAdd(Stream &slot, Stream a, Stream b)
+    {
+        slot += a * b;
+    }
+    static void
+    add(Stream &slot, Stream a)
+    {
+        slot += a;
+    }
+};
+
+/**
+ * Interpreter staging arithmetic, IntDot discipline: exact loads and
+ * the wrapping int32 accumulate of quant::intDotStep.
+ */
+struct InterpIntOps
+{
+    using Stream = std::int32_t;
+    static Stream
+    load(const Buffer &b, std::int64_t i)
+    {
+        return static_cast<Stream>(b.intAt(i));
+    }
+    static void
+    store(Buffer &b, std::int64_t i, Stream v)
+    {
+        b.intSet(i, v);
+    }
+    static void
+    mulAdd(Stream &slot, Stream a, Stream b)
+    {
+        slot = static_cast<Stream>(
+            static_cast<std::int64_t>(slot) +
+            static_cast<std::int64_t>(a) * b);
+    }
+    static void
+    add(Stream &slot, Stream a)
+    {
+        slot = static_cast<Stream>(static_cast<std::int64_t>(slot) +
+                                   a);
+    }
+};
+
+/** Scalar interpreter for the packed path (fallback + baseline). */
+template <typename Ops>
+void
+interpretMappedPackedT(const MappingPlan &plan,
+                       const std::vector<const Buffer *> &inputs,
+                       Buffer &output)
+{
+    using StreamT = typename Ops::Stream;
     const auto &comp = plan.computation();
     const auto &intr = plan.intrinsic().compute;
 
@@ -157,11 +225,11 @@ interpretMappedPacked(const MappingPlan &plan,
 
     // Packed storage per operand: numTiles x tileElems, zero-filled
     // so trailing-padding slots contribute nothing.
-    std::vector<std::vector<float>> packed;
+    std::vector<std::vector<StreamT>> packed;
     for (const auto &op : operands)
         packed.emplace_back(
             static_cast<std::size_t>(op.numTiles * op.tileElems),
-            0.0f);
+            StreamT{});
 
     // Packed address of an operand under a full software binding:
     // evaluated base-address expression plus the row-major physical
@@ -201,7 +269,7 @@ interpretMappedPacked(const MappingPlan &plan,
                     "packed input address out of range for ", op.name,
                     ": addr ", dst, " size ", packed[m].size());
             packed[m][static_cast<std::size_t>(dst)] =
-                inputs[m]->at(src);
+                Ops::load(*inputs[m], src);
         }
     });
 
@@ -249,24 +317,24 @@ interpretMappedPacked(const MappingPlan &plan,
                                  intr_idx[k];
                     return offset;
                 };
-            float update = 0.0f;
+            std::size_t dst_idx = operands.size() - 1;
+            StreamT &slot = packed[dst_idx][static_cast<std::size_t>(
+                bases[dst_idx] + tile_offset(dst_op))];
             switch (comp.combine()) {
               case CombineKind::MultiplyAdd: {
-                float a = packed[0][static_cast<std::size_t>(
+                StreamT a = packed[0][static_cast<std::size_t>(
                     bases[0] + tile_offset(operands[0]))];
-                float b = packed[1][static_cast<std::size_t>(
+                StreamT b = packed[1][static_cast<std::size_t>(
                     bases[1] + tile_offset(operands[1]))];
-                update = a * b;
+                Ops::mulAdd(slot, a, b);
                 break;
               }
               case CombineKind::SumReduce:
-                update = packed[0][static_cast<std::size_t>(
-                    bases[0] + tile_offset(operands[0]))];
+                Ops::add(slot, packed[0][static_cast<std::size_t>(
+                                   bases[0] +
+                                   tile_offset(operands[0]))]);
                 break;
             }
-            std::size_t dst_idx = operands.size() - 1;
-            packed[dst_idx][static_cast<std::size_t>(
-                bases[dst_idx] + tile_offset(dst_op))] += update;
         });
     });
 
@@ -279,8 +347,22 @@ interpretMappedPacked(const MappingPlan &plan,
         std::int64_t sw = readAccess(output, comp.outputIndices(),
                                      binding, scratch);
         std::int64_t src = packed_addr(dst_op, binding);
-        output.set(sw, packed.back()[static_cast<std::size_t>(src)]);
+        Ops::store(output, sw,
+                   packed.back()[static_cast<std::size_t>(src)]);
     });
+}
+
+/** Dispatch the packed interpreter on the computation's discipline. */
+void
+interpretMappedPacked(const MappingPlan &plan,
+                      const std::vector<const Buffer *> &inputs,
+                      Buffer &output)
+{
+    const auto sem = quant::classifyComputation(plan.computation());
+    if (sem.kind == quant::KernelSemantics::IntDot)
+        interpretMappedPackedT<InterpIntOps>(plan, inputs, output);
+    else
+        interpretMappedPackedT<InterpFloatOps>(plan, inputs, output);
 }
 
 /** The matching hook of the path being dispatched (or nullptr). */
@@ -369,6 +451,9 @@ executeMappedDirect(const MappingPlan &plan,
             plan.computation().name());
     require(inputs.size() == plan.computation().inputs().size(),
             "executeMappedDirect: input count mismatch");
+    const auto sem = quant::classifyComputation(plan.computation());
+    require(sem.supported, "executeMappedDirect(",
+            plan.computation().name(), "): ", sem.reason);
     return dispatchMapped(
         "exec.direct", plan, inputs, output, opts,
         [](const MappedJitHooks &h) { return h.runDirect; },
@@ -396,6 +481,9 @@ executeMappedPacked(const MappingPlan &plan,
             plan.computation().name());
     require(inputs.size() == plan.computation().inputs().size(),
             "executeMappedPacked: input count mismatch");
+    const auto sem = quant::classifyComputation(plan.computation());
+    require(sem.supported, "executeMappedPacked(",
+            plan.computation().name(), "): ", sem.reason);
     return dispatchMapped(
         "exec.packed", plan, inputs, output, opts,
         [](const MappedJitHooks &h) { return h.runPacked; },
@@ -481,6 +569,47 @@ engineVsInterpreterError(const MappingPlan &plan, ExecEngine engine,
     if (packedReport)
         *packedReport = pr;
     return std::max(di.maxAbsDiff(dt), pi.maxAbsDiff(pt));
+}
+
+quant::CompareResult
+engineVsInterpreterCompare(const MappingPlan &plan, ExecEngine engine,
+                           const quant::ToleranceSpec &spec,
+                           std::uint64_t seed, int numThreads,
+                           ExecReport *directReport,
+                           ExecReport *packedReport)
+{
+    const auto &comp = plan.computation();
+    auto inputs = makePatternInputs(comp, seed);
+    std::vector<const Buffer *> ptrs;
+    for (const auto &b : inputs)
+        ptrs.push_back(&b);
+
+    ExecOptions interp;
+    interp.engine = ExecEngine::Interpreter;
+    ExecOptions tiered;
+    tiered.engine = engine;
+    tiered.numThreads = numThreads;
+
+    Buffer di(comp.output()), dt(comp.output());
+    executeMappedDirect(plan, ptrs, di, interp);
+    ExecReport dr = executeMappedDirect(plan, ptrs, dt, tiered);
+
+    Buffer pi(comp.output()), pt(comp.output());
+    executeMappedPacked(plan, ptrs, pi, interp);
+    ExecReport pr = executeMappedPacked(plan, ptrs, pt, tiered);
+
+    if (directReport)
+        *directReport = dr;
+    if (packedReport)
+        *packedReport = pr;
+
+    // Worst of the two paths: a failing comparison wins; among two
+    // passing (or two failing) ones, the larger absolute error wins.
+    auto dcmp = quant::compareBuffers(dt, di, spec);
+    auto pcmp = quant::compareBuffers(pt, pi, spec);
+    if (dcmp.pass != pcmp.pass)
+        return dcmp.pass ? pcmp : dcmp;
+    return dcmp.maxAbsErr >= pcmp.maxAbsErr ? dcmp : pcmp;
 }
 
 } // namespace amos

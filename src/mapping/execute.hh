@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "mapping/mapping.hh"
+#include "quant/compare.hh"
 #include "tensor/access_walk.hh"
 #include "tensor/tensor.hh"
 
@@ -89,6 +90,22 @@ float engineVsInterpreterError(const MappingPlan &plan,
                                std::uint64_t seed = 7,
                                ExecReport *directReport = nullptr,
                                ExecReport *packedReport = nullptr);
+
+/**
+ * Tolerance-aware differential harness: run both mapped paths with
+ * the interpreter forced and with the requested engine at
+ * `numThreads`, on identical pattern inputs, and compare each pair
+ * of outputs under `spec` (quant/compare.hh). Integer outputs are
+ * compared bit-exactly by default; the returned result is the worst
+ * of the direct and packed comparisons. The optional reports record
+ * which tier each path actually used.
+ */
+quant::CompareResult
+engineVsInterpreterCompare(const MappingPlan &plan, ExecEngine engine,
+                           const quant::ToleranceSpec &spec,
+                           std::uint64_t seed = 7, int numThreads = 1,
+                           ExecReport *directReport = nullptr,
+                           ExecReport *packedReport = nullptr);
 
 } // namespace amos
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "quant/legality.hh"
 #include "support/logging.hh"
 #include "support/trace.hh"
 
@@ -85,6 +86,23 @@ enumerateMappings(const TensorComputation &comp, const Intrinsic &intr,
     span.arg("intrinsic", intr.name());
 
     const auto &compute = intr.compute;
+
+    // Dtype legality is part of mapping validity: when the operand
+    // shapes line up (same arity and combine kind), every candidate
+    // would bind software operands to intrinsic lanes, so incompatible
+    // dtype classes kill the whole enumeration up front. Arity or
+    // combine mismatches keep their historical behaviour (the
+    // structural machinery below rejects or scores them on its own).
+    if (comp.inputs().size() == compute.numSrcs() &&
+        comp.combine() == compute.combine()) {
+        const auto legal = quant::checkDtypeLegality(comp, compute);
+        if (!legal.legal) {
+            span.arg("dtype_illegal", legal.reason);
+            span.arg("candidates", static_cast<std::int64_t>(0));
+            return {};
+        }
+    }
+
     BitMatrix compat = compatibilityMatrix(comp, compute);
     std::size_t num_sw = comp.numIters();
     std::size_t num_hw = compute.numIters();
@@ -193,6 +211,8 @@ isTensorizable(const TensorComputation &comp, const Intrinsic &intr)
 {
     if (comp.inputs().size() != intr.compute.numSrcs() ||
         comp.combine() != intr.compute.combine())
+        return false;
+    if (!quant::checkDtypeLegality(comp, intr.compute).legal)
         return false;
     GeneratorOptions options;
     options.maxCandidates = 1;

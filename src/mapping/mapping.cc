@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "quant/legality.hh"
 #include "support/logging.hh"
 #include "support/math_utils.hh"
 #include "support/str_utils.hh"
@@ -104,6 +105,18 @@ MappingPlan::MappingPlan(TensorComputation comp, Intrinsic intr,
     }
     _validation = validateMatching(softwareAccessMatrix(_comp), _y,
                                    _intr.compute.accessMatrix());
+
+    // Dtype legality is part of validity: a structurally sound
+    // matching that binds, say, float software operands to int8
+    // intrinsic lanes is still not executable on the hardware.
+    if (_validation.valid) {
+        const auto legal =
+            quant::checkDtypeLegality(_comp, _intr.compute);
+        if (!legal.legal) {
+            _validation.valid = false;
+            _validation.failure = "dtype: " + legal.reason;
+        }
+    }
 
     buildGroups();
     buildOuterAxes();

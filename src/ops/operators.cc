@@ -413,6 +413,38 @@ makeScan(std::int64_t rows, std::int64_t cols, DataType dtype)
         {{in, {i.var, k.var}}, {tri, {k.var, j.var}}});
 }
 
+TensorComputation
+quantizedVariant(const TensorComputation &comp, DataType in0,
+                 DataType in1)
+{
+    std::vector<DataType> inputs;
+    inputs.push_back(in0);
+    if (comp.inputs().size() > 1)
+        inputs.push_back(in1);
+    return comp.withOperandDtypes(inputs, DataType::I32);
+}
+
+TensorComputation
+bf16Variant(const TensorComputation &comp)
+{
+    std::vector<DataType> inputs(comp.inputs().size(),
+                                 DataType::BF16);
+    return comp.withOperandDtypes(inputs, DataType::F32);
+}
+
+TensorComputation
+makeQuantizedGemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                  DataType a, DataType b)
+{
+    return quantizedVariant(makeGemm(m, n, k), a, b);
+}
+
+TensorComputation
+makeQuantizedConv2d(const ConvParams &params, DataType a, DataType b)
+{
+    return quantizedVariant(makeConv2d(params), a, b);
+}
+
 const char *
 opKindName(OpKind kind)
 {

@@ -146,6 +146,34 @@ TensorComputation makeVariance(std::int64_t rows, std::int64_t cols,
 TensorComputation makeScan(std::int64_t rows, std::int64_t cols,
                            DataType dtype = DataType::F16);
 
+/**
+ * Quantized variant of any computation from this library: every
+ * input is retyped to an 8-bit integer dtype and the output to i32
+ * (the exact widening-accumulate discipline — see
+ * quant/semantics.hh). The defaults follow the common asymmetric
+ * activations x symmetric weights convention (u8 data, i8 weights);
+ * single-input computations use `in0`. Shapes, accesses, and
+ * barriers are preserved verbatim, so mapping counts are directly
+ * comparable with the float variant.
+ */
+TensorComputation quantizedVariant(const TensorComputation &comp,
+                                   DataType in0 = DataType::U8,
+                                   DataType in1 = DataType::I8);
+
+/** bf16 variant: bf16 inputs, f32 accumulator output. */
+TensorComputation bf16Variant(const TensorComputation &comp);
+
+/** Quantized GEMM: u8/i8 inputs (by default), i32 accumulators. */
+TensorComputation makeQuantizedGemm(std::int64_t m, std::int64_t n,
+                                    std::int64_t k,
+                                    DataType a = DataType::U8,
+                                    DataType b = DataType::I8);
+
+/** Quantized 2D convolution (NCHW), i32 accumulators. */
+TensorComputation makeQuantizedConv2d(const ConvParams &params,
+                                      DataType a = DataType::U8,
+                                      DataType b = DataType::I8);
+
 /** Identifier of each operator family (paper's abbreviations). */
 enum class OpKind
 {

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * bfloat16 <-> float conversions.
+ *
+ * bf16 is the top 16 bits of an IEEE-754 binary32: 1 sign, 8
+ * exponent, 7 mantissa bits. Widening a bf16 to float is exact (shift
+ * the bits up); narrowing rounds to nearest, ties to even, on the
+ * discarded 16 mantissa bits — the same rule hardware bf16 units use,
+ * so the functional engines agree with real accelerators bit for bit
+ * on the conversion itself. NaNs are quieted (the canonical-NaN
+ * payload is kept non-zero so a NaN never collapses to infinity).
+ */
+
+#ifndef AMOS_QUANT_BF16_HH
+#define AMOS_QUANT_BF16_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace amos {
+namespace quant {
+
+/** Exact widening conversion: bf16 bits -> float. */
+inline float
+floatFromBf16(std::uint16_t bits)
+{
+    const std::uint32_t u = static_cast<std::uint32_t>(bits) << 16;
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+/** Round-to-nearest-even narrowing conversion: float -> bf16 bits. */
+inline std::uint16_t
+bf16FromFloat(float value)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &value, sizeof(u));
+    if ((u & 0x7F800000u) == 0x7F800000u && (u & 0x007FFFFFu) != 0u)
+        return static_cast<std::uint16_t>((u >> 16) | 0x0040u); // qNaN
+    // Round to nearest, ties to even, on the low 16 bits.
+    const std::uint32_t lsb = (u >> 16) & 1u;
+    u += 0x7FFFu + lsb;
+    return static_cast<std::uint16_t>(u >> 16);
+}
+
+/** One float -> bf16 -> float round trip (the storage quantizer). */
+inline float
+bf16Round(float value)
+{
+    return floatFromBf16(bf16FromFloat(value));
+}
+
+} // namespace quant
+} // namespace amos
+
+#endif // AMOS_QUANT_BF16_HH

@@ -1,0 +1,110 @@
+#include "compare.hh"
+
+#include <cmath>
+
+#include "quant/semantics.hh"
+#include "support/logging.hh"
+
+namespace amos {
+namespace quant {
+
+ToleranceSpec
+defaultToleranceFor(DataType outputDtype)
+{
+    switch (outputDtype) {
+      case DataType::I8:
+      case DataType::U8:
+      case DataType::I32:
+        return ToleranceSpec::exactly();
+      case DataType::BF16:
+        return ToleranceSpec::bounded(1e-2, 1e-2);
+      case DataType::F16:
+      case DataType::F32:
+        return ToleranceSpec::bounded(1e-5, 1e-4);
+    }
+    std::abort(); // unreachable for in-range enumerators
+}
+
+std::string
+CompareResult::summary() const
+{
+    if (pass)
+        return "pass (maxAbsErr " + std::to_string(maxAbsErr) + ")";
+    return std::to_string(failures) +
+           " lane(s) out of tolerance; worst at index " +
+           std::to_string(worstIndex) + ": absErr " +
+           std::to_string(maxAbsErr) + ", relErr " +
+           std::to_string(maxRelErr);
+}
+
+CompareResult
+compareBuffers(const Buffer &got, const Buffer &want,
+               const ToleranceSpec &spec)
+{
+    CompareResult result;
+    require(got.size() == want.size(),
+            "compareBuffers: size mismatch ", got.size(), " vs ",
+            want.size());
+
+    if (spec.exact) {
+        require(storageKindOf(got.decl().dtype()) ==
+                    storageKindOf(want.decl().dtype()),
+                "compareBuffers(exact): storage lanes differ (",
+                dtypeName(got.decl().dtype()), " vs ",
+                dtypeName(want.decl().dtype()), ")");
+        result.pass = got.bitEqual(want);
+        if (result.pass)
+            return result;
+        // Locate the worst lane for the failure message.
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            const auto idx = static_cast<std::int64_t>(i);
+            const double g = got.at(idx);
+            const double w = want.at(idx);
+            const double abs_err = std::fabs(g - w);
+            const bool differs =
+                abs_err > 0 || std::signbit(g) != std::signbit(w) ||
+                std::isnan(g) != std::isnan(w);
+            if (!differs)
+                continue;
+            ++result.failures;
+            if (abs_err >= result.maxAbsErr) {
+                result.maxAbsErr = abs_err;
+                result.worstIndex = idx;
+            }
+        }
+        if (result.failures == 0) {
+            // Bit difference invisible through the float view (e.g.
+            // NaN payloads): report index 0 as a placeholder.
+            result.failures = 1;
+            result.worstIndex = 0;
+        }
+        return result;
+    }
+
+    result.pass = true;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        const auto idx = static_cast<std::int64_t>(i);
+        const double g = got.at(idx);
+        const double w = want.at(idx);
+        const double abs_err = std::fabs(g - w);
+        const double rel_err =
+            w != 0.0 ? abs_err / std::fabs(w) : abs_err;
+        const bool ok =
+            abs_err <= spec.absTol + spec.relTol * std::fabs(w);
+        if (abs_err > result.maxAbsErr) {
+            result.maxAbsErr = abs_err;
+            if (!ok || result.worstIndex < 0)
+                result.worstIndex = idx;
+        }
+        result.maxRelErr = std::max(result.maxRelErr, rel_err);
+        if (!ok) {
+            result.pass = false;
+            ++result.failures;
+            result.worstIndex = idx;
+        }
+    }
+    return result;
+}
+
+} // namespace quant
+} // namespace amos

@@ -1,0 +1,79 @@
+#include "legality.hh"
+
+#include "quant/semantics.hh"
+
+namespace amos {
+namespace quant {
+
+namespace {
+
+/** Width class used for compatibility (see header). */
+enum class DtypeClass
+{
+    Float,
+    Int8,
+    Int32,
+};
+
+DtypeClass
+classOf(DataType t)
+{
+    if (dtypeIsFloatClass(t))
+        return DtypeClass::Float;
+    if (dtypeIsInt8Class(t))
+        return DtypeClass::Int8;
+    return DtypeClass::Int32;
+}
+
+} // namespace
+
+bool
+operandDtypeCompatible(DataType sw, DataType hw)
+{
+    return classOf(sw) == classOf(hw);
+}
+
+DtypeLegality
+checkDtypeLegality(const TensorComputation &comp,
+                   const ComputeAbstraction &intr)
+{
+    DtypeLegality result;
+    if (comp.inputs().size() != intr.numSrcs()) {
+        result.reason = "operand count mismatch: " +
+                        std::to_string(comp.inputs().size()) +
+                        " software inputs vs " +
+                        std::to_string(intr.numSrcs()) +
+                        " intrinsic srcs";
+        return result;
+    }
+    if (comp.combine() != intr.combine()) {
+        result.reason = "combine kind mismatch";
+        return result;
+    }
+    for (std::size_t i = 0; i < comp.inputs().size(); ++i) {
+        const DataType sw = comp.inputs()[i].decl.dtype();
+        const DataType hw = intr.srcs()[i].dtype;
+        if (!operandDtypeCompatible(sw, hw)) {
+            result.reason = "input " + std::to_string(i) + " (" +
+                            comp.inputs()[i].decl.name() + ":" +
+                            dtypeName(sw) + ") incompatible with " +
+                            intr.name() + "." + intr.srcs()[i].name +
+                            ":" + dtypeName(hw);
+            return result;
+        }
+    }
+    const DataType swOut = comp.output().dtype();
+    const DataType hwOut = intr.dst().dtype;
+    if (!operandDtypeCompatible(swOut, hwOut)) {
+        result.reason = "output (" + comp.output().name() + ":" +
+                        dtypeName(swOut) + ") incompatible with " +
+                        intr.name() + "." + intr.dst().name + ":" +
+                        dtypeName(hwOut);
+        return result;
+    }
+    result.legal = true;
+    return result;
+}
+
+} // namespace quant
+} // namespace amos

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Dtype legality of a software-to-intrinsic mapping.
+ *
+ * The compute abstraction (Sec. 4.1) declares an element type per
+ * intrinsic operand — avx512_vnni_dpbusds is u8,i8 -> i32, wmma is
+ * f16 -> f16 — and a mapping is only meaningful when the software
+ * operands live in the same numeric class: an fp32 GEMM cannot
+ * tensorize onto a VNNI dot product, an int8 GEMM cannot tensorize
+ * onto wmma. The check is by *width class*, not exact dtype:
+ *
+ *   float class  f16 | f32 | bf16   <->  f16 | f32 | bf16
+ *   int8 class   i8 | u8            <->  i8 | u8
+ *   int32        i32                <->  i32
+ *
+ * Signedness and exact float width stay software-side decisions (the
+ * functional model executes the software dtypes; the hardware
+ * declaration constrains the class the unit physically consumes).
+ * Dtype legality is enforced in two places: enumerateMappings()
+ * rejects illegal (computation, intrinsic) pairs before searching,
+ * and MappingPlan validation fails so a hand-built illegal mapping
+ * can never execute or be tuned.
+ */
+
+#ifndef AMOS_QUANT_LEGALITY_HH
+#define AMOS_QUANT_LEGALITY_HH
+
+#include <string>
+
+#include "isa/abstraction.hh"
+#include "tensor/computation.hh"
+#include "tensor/dtype.hh"
+
+namespace amos {
+namespace quant {
+
+/** True iff a software operand dtype may feed a hardware operand. */
+bool operandDtypeCompatible(DataType sw, DataType hw);
+
+/** Outcome of a dtype-legality check. */
+struct DtypeLegality
+{
+    bool legal = false;
+    std::string reason; ///< first violation (empty when legal)
+};
+
+/**
+ * Check every (software operand, intrinsic operand) pair — inputs
+ * against srcs in order, output against dst. Operand-count or
+ * combine-kind mismatches are reported as illegal rather than
+ * panicking, so callers may probe arbitrary pairs.
+ */
+DtypeLegality checkDtypeLegality(const TensorComputation &comp,
+                                 const ComputeAbstraction &intr);
+
+} // namespace quant
+} // namespace amos
+
+#endif // AMOS_QUANT_LEGALITY_HH

@@ -1,0 +1,124 @@
+#include "qparams.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/semantics.hh"
+#include "support/logging.hh"
+
+namespace amos {
+namespace quant {
+
+std::int64_t
+dtypeIntMin(DataType t)
+{
+    switch (t) {
+      case DataType::I8: return -128;
+      case DataType::U8: return 0;
+      case DataType::I32: return INT32_MIN;
+      case DataType::F16:
+      case DataType::F32:
+      case DataType::BF16:
+        break;
+    }
+    panic("dtypeIntMin on non-integer dtype ", dtypeName(t));
+}
+
+std::int64_t
+dtypeIntMax(DataType t)
+{
+    switch (t) {
+      case DataType::I8: return 127;
+      case DataType::U8: return 255;
+      case DataType::I32: return INT32_MAX;
+      case DataType::F16:
+      case DataType::F32:
+      case DataType::BF16:
+        break;
+    }
+    panic("dtypeIntMax on non-integer dtype ", dtypeName(t));
+}
+
+QuantParams
+chooseQuantParams(float minv, float maxv, DataType t)
+{
+    QuantParams qp;
+    const double lo = dtypeIntMin(t);
+    const double hi = dtypeIntMax(t);
+    if (t == DataType::I8) {
+        // Symmetric: zero point 0, scale covering the larger |bound|.
+        const double amax =
+            std::max(std::fabs(minv), std::fabs(maxv));
+        qp.scale = amax > 0 ? static_cast<float>(amax / hi) : 1.0f;
+        qp.zeroPoint = 0;
+        return qp;
+    }
+    // Asymmetric: the range must include 0 so zero is exact.
+    const double rmin = std::min(0.0, static_cast<double>(minv));
+    const double rmax = std::max(0.0, static_cast<double>(maxv));
+    const double span = rmax - rmin;
+    qp.scale = span > 0 ? static_cast<float>(span / (hi - lo)) : 1.0f;
+    const double zp = lo - rmin / qp.scale;
+    qp.zeroPoint = static_cast<std::int32_t>(std::llround(
+        std::clamp(zp, lo, hi)));
+    return qp;
+}
+
+std::int64_t
+quantizeValue(float real, const QuantParams &qp, DataType t)
+{
+    const double q =
+        static_cast<double>(real) / qp.scale + qp.zeroPoint;
+    return std::clamp<std::int64_t>(std::llround(q), dtypeIntMin(t),
+                                    dtypeIntMax(t));
+}
+
+float
+dequantizeValue(std::int64_t q, const QuantParams &qp)
+{
+    return qp.scale * static_cast<float>(q - qp.zeroPoint);
+}
+
+std::int32_t
+requantize(std::int32_t acc, float scale, std::int32_t zeroPoint)
+{
+    const double r =
+        static_cast<double>(acc) * static_cast<double>(scale) +
+        zeroPoint;
+    return static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(std::llround(r), -128, 127));
+}
+
+void
+quantizeBuffer(const Buffer &src, const QuantParams &qp, Buffer &dst)
+{
+    require(src.size() == dst.size(),
+            "quantizeBuffer: size mismatch ", src.size(), " vs ",
+            dst.size());
+    const DataType t = dst.decl().dtype();
+    require(!dtypeIsFloatClass(t),
+            "quantizeBuffer: destination must be integer, got ",
+            dtypeName(t));
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst.intSet(static_cast<std::int64_t>(i),
+                   quantizeValue(src.at(static_cast<std::int64_t>(i)),
+                                 qp, t));
+}
+
+void
+dequantizeBuffer(const Buffer &src, const QuantParams &qp,
+                 Buffer &dst)
+{
+    require(src.size() == dst.size(),
+            "dequantizeBuffer: size mismatch ", src.size(), " vs ",
+            dst.size());
+    require(dtypeIsFloatClass(dst.decl().dtype()),
+            "dequantizeBuffer: destination must be float-class");
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst.set(static_cast<std::int64_t>(i),
+                dequantizeValue(
+                    src.intAt(static_cast<std::int64_t>(i)), qp));
+}
+
+} // namespace quant
+} // namespace amos

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Affine quantization parameters and requantization.
+ *
+ * The standard uniform-affine scheme: a real value r is represented
+ * by an integer q with r = scale * (q - zeroPoint). Inputs quantize
+ * with round-to-nearest (half away from zero, like std::lround) and
+ * saturate to the dtype's range; an i32 accumulator requantizes back
+ * to int8 by rescaling with the product of the input scales over the
+ * output scale, rounding once, then saturating — the classic gemmlowp
+ * / ONNX QLinear pipeline, expressed in double precision because the
+ * functional model cares about value fidelity, not fixed-point
+ * instruction selection. The tolerance harness (quant/compare.hh)
+ * bounds the end-to-end error instead of demanding bit equality.
+ */
+
+#ifndef AMOS_QUANT_QPARAMS_HH
+#define AMOS_QUANT_QPARAMS_HH
+
+#include <cstdint>
+
+#include "tensor/dtype.hh"
+#include "tensor/tensor.hh"
+
+namespace amos {
+namespace quant {
+
+/** Uniform affine quantization: real = scale * (q - zeroPoint). */
+struct QuantParams
+{
+    float scale = 1.0f;
+    std::int32_t zeroPoint = 0;
+};
+
+/** Smallest/largest representable value of an integer dtype. */
+std::int64_t dtypeIntMin(DataType t);
+std::int64_t dtypeIntMax(DataType t);
+
+/**
+ * Symmetric (i8) or asymmetric (u8) parameters covering [minv, maxv].
+ * Degenerate ranges quantize to scale 1 so round trips stay finite.
+ */
+QuantParams chooseQuantParams(float minv, float maxv, DataType t);
+
+/** Quantize one real value: round, shift, saturate to t's range. */
+std::int64_t quantizeValue(float real, const QuantParams &qp,
+                           DataType t);
+
+/** Dequantize one integer value. */
+float dequantizeValue(std::int64_t q, const QuantParams &qp);
+
+/**
+ * Requantize an i32 accumulator to int8: acc * scale + zeroPoint,
+ * rounded to nearest (half away from zero) and saturated to
+ * [-128, 127]. `scale` is inScale0 * inScale1 / outScale.
+ */
+std::int32_t requantize(std::int32_t acc, float scale,
+                        std::int32_t zeroPoint);
+
+/**
+ * Quantize a float-lane buffer into an integer-lane buffer of the
+ * same shape (element count must match; dst's dtype picks the range).
+ */
+void quantizeBuffer(const Buffer &src, const QuantParams &qp,
+                    Buffer &dst);
+
+/** Dequantize an integer-lane buffer into a float-lane buffer. */
+void dequantizeBuffer(const Buffer &src, const QuantParams &qp,
+                      Buffer &dst);
+
+} // namespace quant
+} // namespace amos
+
+#endif // AMOS_QUANT_QPARAMS_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Execution semantics of a typed computation.
+ *
+ * The functional engines (reference interpreter, stride-walk ExecPlan,
+ * JIT) run one of three numeric disciplines, chosen once per
+ * computation from the declared operand dtypes:
+ *
+ *  - F32:    float-lane operands (f16/f32 declarations both store
+ *            host floats), float multiply-accumulate — the historical
+ *            behaviour and the default.
+ *  - IntDot: 8-bit integer inputs (i8/u8 in any mix), i32 output.
+ *            Widening multiply with exact int32 accumulation (the
+ *            arithmetic runs in int64 and wraps into int32 two's
+ *            complement, so it is sanitizer-clean even on adversarial
+ *            inputs). Bit-exact across every engine and thread count.
+ *  - Bf16:   bf16 inputs, f32 output. Inputs widen exactly, the
+ *            accumulator is f32 — the standard mixed-precision dot
+ *            product, also bit-exact across engines.
+ *
+ * Any other dtype combination is unsupported: classify() reports why,
+ * and the executors refuse it up front instead of silently computing
+ * in the wrong domain. bf16 *accumulation* (a bf16 output) is
+ * deliberately out: per-step rounding would make the packed path
+ * (which accumulates in staging buffers) diverge from the direct
+ * path, breaking the engines' bit-exactness contract.
+ *
+ * Header-only on purpose: the reference executor (amos_tensor) sits
+ * below the amos_quant library in the link graph but still needs to
+ * classify computations.
+ */
+
+#ifndef AMOS_QUANT_SEMANTICS_HH
+#define AMOS_QUANT_SEMANTICS_HH
+
+#include <string>
+
+#include "tensor/computation.hh"
+#include "tensor/dtype.hh"
+
+namespace amos {
+namespace quant {
+
+/** Host storage lane of a dtype (see tensor/tensor.hh). */
+using StorageKind = StorageLane;
+
+/** Storage lane a dtype is kept in at runtime. */
+inline StorageKind
+storageKindOf(DataType t)
+{
+    return dtypeStorageLane(t);
+}
+
+/** True iff the dtype lives in the host-float lane or bf16. */
+inline bool
+dtypeIsFloatClass(DataType t)
+{
+    return t == DataType::F16 || t == DataType::F32 ||
+           t == DataType::BF16;
+}
+
+/** True iff the dtype is an 8-bit integer (i8 or u8). */
+inline bool
+dtypeIsInt8Class(DataType t)
+{
+    return t == DataType::I8 || t == DataType::U8;
+}
+
+/** Numeric discipline of one computation (see file comment). */
+enum class KernelSemantics
+{
+    F32,
+    IntDot,
+    Bf16,
+};
+
+/** Stable lowercase name ("f32", "intdot", "bf16"). */
+inline const char *
+kernelSemanticsName(KernelSemantics k)
+{
+    switch (k) {
+      case KernelSemantics::F32: return "f32";
+      case KernelSemantics::IntDot: return "intdot";
+      case KernelSemantics::Bf16: return "bf16";
+    }
+    std::abort(); // unreachable for in-range enumerators
+}
+
+/** Outcome of classifying a computation's operand dtypes. */
+struct SemanticsInfo
+{
+    bool supported = false;
+    KernelSemantics kind = KernelSemantics::F32;
+    std::string reason; ///< why unsupported (empty when supported)
+};
+
+/**
+ * Classify a computation's operand dtypes into one of the three
+ * engine disciplines, or report why no engine can run it.
+ */
+inline SemanticsInfo
+classifyComputation(const TensorComputation &comp)
+{
+    SemanticsInfo info;
+    const DataType out = comp.output().dtype();
+
+    bool allHostFloat = storageKindOf(out) == StorageKind::F32;
+    bool allBf16In = !comp.inputs().empty();
+    bool allInt8In = !comp.inputs().empty();
+    for (const auto &in : comp.inputs()) {
+        const DataType t = in.decl.dtype();
+        allHostFloat =
+            allHostFloat && storageKindOf(t) == StorageKind::F32;
+        allBf16In = allBf16In && t == DataType::BF16;
+        allInt8In = allInt8In && dtypeIsInt8Class(t);
+    }
+
+    if (allHostFloat) {
+        info.supported = true;
+        info.kind = KernelSemantics::F32;
+        return info;
+    }
+    if (allInt8In && out == DataType::I32) {
+        info.supported = true;
+        info.kind = KernelSemantics::IntDot;
+        return info;
+    }
+    if (allBf16In && out == DataType::F32) {
+        info.supported = true;
+        info.kind = KernelSemantics::Bf16;
+        return info;
+    }
+
+    std::string types;
+    for (const auto &in : comp.inputs())
+        types += dtypeName(in.decl.dtype()) + ",";
+    types += "->" + dtypeName(out);
+    if (allBf16In && out == DataType::BF16)
+        info.reason =
+            "bf16 accumulation is unsupported (" + types +
+            "); declare an f32 output for bf16 inputs";
+    else if (allInt8In)
+        info.reason = "int8 inputs require an i32 output, got " +
+                      types;
+    else
+        info.reason =
+            "no engine discipline for operand dtypes " + types +
+            " (supported: float-lane, i8/u8->i32, bf16->f32)";
+    return info;
+}
+
+/**
+ * One exact widening multiply-accumulate step of the IntDot
+ * discipline: acc + a * b in int64, wrapped into int32 two's
+ * complement. Every engine — including the emitted C — performs
+ * exactly this operation, so integer results are bit-identical.
+ */
+inline std::int32_t
+intDotStep(std::int32_t acc, std::int64_t a, std::int64_t b)
+{
+    return static_cast<std::int32_t>(
+        static_cast<std::int64_t>(acc) + a * b);
+}
+
+} // namespace quant
+} // namespace amos
+
+#endif // AMOS_QUANT_SEMANTICS_HH

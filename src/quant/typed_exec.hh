@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Typed operand accessors + dispatch for the functional engines.
+ *
+ * The stride-walk templates (tensor/access_walk.hh) and the mapped
+ * walkers (mapping/exec_plan.cc) are address generators: they hand a
+ * body flat addresses and know nothing about element types. This
+ * header supplies the other half — tiny pointer-like accessors over a
+ * Buffer's storage lane, and a dispatcher that instantiates a generic
+ * body once per *legal* dtype combination (see semantics.hh):
+ *
+ *   F32    : FloatLoader x{1,2} -> FloatAccum      (1 combo)
+ *   Bf16   : Bf16Loader  x{1,2} -> FloatAccum      (1 combo)
+ *   IntDot : {I8,U8}Loader^n    -> I32Accum        (<= 4 combos)
+ *
+ * Loaders return the arithmetic type of their discipline (float or
+ * int64), accumulators wrap the discipline's exact add — so each
+ * engine writes one body per combine kind and gets every dtype path
+ * with identical accumulation order.
+ */
+
+#ifndef AMOS_QUANT_TYPED_EXEC_HH
+#define AMOS_QUANT_TYPED_EXEC_HH
+
+#include <cstdint>
+
+#include "quant/bf16.hh"
+#include "quant/semantics.hh"
+#include "support/logging.hh"
+#include "tensor/tensor.hh"
+
+namespace amos {
+namespace quant {
+
+/** Float-lane reader (declared f16 or f32; host floats). */
+struct FloatLoader
+{
+    const float *p;
+    float load(std::int64_t a) const { return p[a]; }
+};
+
+/** bf16-lane reader: exact widening on every load. */
+struct Bf16Loader
+{
+    const std::uint16_t *p;
+    float load(std::int64_t a) const { return floatFromBf16(p[a]); }
+};
+
+/** i8-lane reader, widened to the int64 arithmetic domain. */
+struct I8Loader
+{
+    const std::int8_t *p;
+    std::int64_t load(std::int64_t a) const { return p[a]; }
+};
+
+/** u8-lane reader, widened to the int64 arithmetic domain. */
+struct U8Loader
+{
+    const std::uint8_t *p;
+    std::int64_t load(std::int64_t a) const { return p[a]; }
+};
+
+/** Float accumulator / store target. */
+struct FloatAccum
+{
+    float *p;
+    void add(std::int64_t a, float v) const { p[a] += v; }
+    void store(std::int64_t a, float v) const { p[a] = v; }
+    float load(std::int64_t a) const { return p[a]; }
+};
+
+/** Exact int32 accumulator (int64 arithmetic, wrapping cast). */
+struct I32Accum
+{
+    std::int32_t *p;
+    void add(std::int64_t a, std::int64_t v) const
+    {
+        p[a] = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(p[a]) + v);
+    }
+    void store(std::int64_t a, std::int64_t v) const
+    {
+        p[a] = static_cast<std::int32_t>(v);
+    }
+    std::int64_t load(std::int64_t a) const { return p[a]; }
+};
+
+/**
+ * Invoke fn(loader) with the accessor matching an 8-bit input lane.
+ */
+template <typename Fn>
+void
+withInt8Loader(const Buffer &buf, Fn &&fn)
+{
+    if (buf.decl().dtype() == DataType::I8)
+        fn(I8Loader{buf.i8Data()});
+    else
+        fn(U8Loader{buf.u8Data()});
+}
+
+/**
+ * Dispatch a two-input multiply-add body over the computation's
+ * discipline: calls fn(in0, in1, out) with accessors whose load/add
+ * types match. The semantics must be supported (callers classify and
+ * reject first) and the buffers must already be lane-checked.
+ */
+template <typename Fn>
+void
+dispatchMulAdd(const SemanticsInfo &sem, const Buffer &in0,
+               const Buffer &in1, Buffer &out, Fn &&fn)
+{
+    require(sem.supported, "dispatchMulAdd: unsupported semantics: ",
+            sem.reason);
+    switch (sem.kind) {
+      case KernelSemantics::F32:
+        fn(FloatLoader{in0.data()}, FloatLoader{in1.data()},
+           FloatAccum{out.data()});
+        return;
+      case KernelSemantics::Bf16:
+        fn(Bf16Loader{in0.bf16Data()}, Bf16Loader{in1.bf16Data()},
+           FloatAccum{out.data()});
+        return;
+      case KernelSemantics::IntDot:
+        withInt8Loader(in0, [&](auto l0) {
+            withInt8Loader(in1, [&](auto l1) {
+                fn(l0, l1, I32Accum{out.i32Data()});
+            });
+        });
+        return;
+    }
+}
+
+/** Single-input (SumReduce) variant: calls fn(in0, out). */
+template <typename Fn>
+void
+dispatchSum(const SemanticsInfo &sem, const Buffer &in0, Buffer &out,
+            Fn &&fn)
+{
+    require(sem.supported, "dispatchSum: unsupported semantics: ",
+            sem.reason);
+    switch (sem.kind) {
+      case KernelSemantics::F32:
+        fn(FloatLoader{in0.data()}, FloatAccum{out.data()});
+        return;
+      case KernelSemantics::Bf16:
+        fn(Bf16Loader{in0.bf16Data()}, FloatAccum{out.data()});
+        return;
+      case KernelSemantics::IntDot:
+        withInt8Loader(in0,
+                       [&](auto l0) { fn(l0, I32Accum{out.i32Data()}); });
+        return;
+    }
+}
+
+} // namespace quant
+} // namespace amos
+
+#endif // AMOS_QUANT_TYPED_EXEC_HH

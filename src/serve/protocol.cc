@@ -60,6 +60,8 @@ CompileRequest::toJson() const
     for (const auto &[key, value] : dims)
         out.set(key, Json(value));
     out.set("hw", Json(hw));
+    if (dtype != "f16")
+        out.set("dtype", Json(dtype));
     out.set("generations", Json(generations));
     out.set("seed", Json(static_cast<std::int64_t>(seed)));
     out.set("threads", Json(numThreads));
@@ -91,6 +93,8 @@ CompileRequest::fromJson(const Json &json)
             req.op = value.asString();
         } else if (key == "hw") {
             req.hw = value.asString();
+        } else if (key == "dtype") {
+            req.dtype = value.asString();
         } else if (key == "generations") {
             req.generations = static_cast<int>(value.asInt());
             expect(req.generations >= 1,
@@ -120,8 +124,32 @@ CompileRequest::fromJson(const Json &json)
     return req;
 }
 
+namespace {
+
+/** Retype the float base computation per the request's dtype knob. */
 TensorComputation
-computationFromRequest(const CompileRequest &req)
+applyRequestDtype(TensorComputation comp, const std::string &dtype)
+{
+    if (dtype == "f16")
+        return comp;
+    if (dtype == "f32") {
+        std::vector<DataType> inputs(comp.inputs().size(),
+                                     DataType::F32);
+        return comp.withOperandDtypes(inputs, DataType::F32);
+    }
+    if (dtype == "bf16")
+        return ops::bf16Variant(comp);
+    if (dtype == "i8")
+        return ops::quantizedVariant(comp, DataType::I8,
+                                     DataType::I8);
+    if (dtype == "u8i8")
+        return ops::quantizedVariant(comp);
+    fatal("unknown dtype '", dtype, "' (f16|f32|bf16|i8|u8i8)");
+}
+
+/** The float (f16) base computation a request's shape describes. */
+TensorComputation
+floatComputationFromRequest(const CompileRequest &req)
 {
     ops::ConvParams pr;
     pr.batch = req.dim("batch", 1);
@@ -158,6 +186,15 @@ computationFromRequest(const CompileRequest &req)
     fatal("unknown op '", req.op,
           "' (gemm|gemv|conv1d|conv2d|conv3d|depthwise|group|"
           "dilated|transposed)");
+}
+
+} // namespace
+
+TensorComputation
+computationFromRequest(const CompileRequest &req)
+{
+    return applyRequestDtype(floatComputationFromRequest(req),
+                             req.dtype);
 }
 
 HardwareSpec

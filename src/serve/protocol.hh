@@ -72,6 +72,13 @@ struct CompileRequest
 
     std::string hw = "v100";
 
+    /// Operand typing: f16 (default) | f32 | bf16 (bf16 inputs, f32
+    /// accumulator) | i8 (symmetric i8xi8) | u8i8 (asymmetric
+    /// activations x symmetric weights). Quantized typings carry i32
+    /// accumulators; dtype-illegal target intrinsics are simply not
+    /// matched (docs/abstraction.md).
+    std::string dtype = "f16";
+
     int generations = 8;
     std::uint64_t seed = 2022;
     /// Tuner-internal threads; the service defaults to 1 because its

@@ -126,6 +126,22 @@ TensorComputation::withMutatedInputIndex(std::size_t input,
     return mutated;
 }
 
+TensorComputation
+TensorComputation::withOperandDtypes(
+    const std::vector<DataType> &inputDtypes,
+    DataType outputDtype) const
+{
+    require(inputDtypes.size() == _inputs.size(),
+            _name, ": withOperandDtypes got ", inputDtypes.size(),
+            " input dtypes for ", _inputs.size(), " inputs");
+    TensorComputation retyped = *this;
+    for (std::size_t i = 0; i < _inputs.size(); ++i)
+        retyped._inputs[i].decl =
+            _inputs[i].decl.withDtype(inputDtypes[i]);
+    retyped._output = _output.withDtype(outputDtype);
+    return retyped;
+}
+
 std::size_t
 TensorComputation::iterIndex(const VarNode *var) const
 {

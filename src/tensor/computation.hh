@@ -135,6 +135,17 @@ class TensorComputation
                                             std::size_t dim,
                                             Expr index) const;
 
+    /**
+     * Copy of this computation with the operand dtypes replaced:
+     * inputDtypes[i] retypes input i (size must match), outputDtype
+     * retypes the output. Shapes, accesses, and tensorize barriers
+     * are preserved — this is how the quantized op variants are built
+     * (see ops/operators.hh).
+     */
+    TensorComputation
+    withOperandDtypes(const std::vector<DataType> &inputDtypes,
+                      DataType outputDtype) const;
+
   private:
     void validate() const;
 

@@ -2,16 +2,19 @@
  * @file
  * Element data types.
  *
- * Only byte width and a name matter to the framework: numeric
- * execution is done in float regardless (the functional executor
- * checks mapping semantics, not rounding behaviour), while byte
- * widths drive memory-footprint and bandwidth calculations.
+ * Byte widths drive memory-footprint and bandwidth calculations;
+ * since the quantized execution subsystem (src/quant) the dtype also
+ * selects the runtime storage lane and the accumulation semantics of
+ * the functional engines, and participates in mapping validity (an
+ * intrinsic whose operands declare int8 does not accept float
+ * software operands — see quant/legality.hh).
  */
 
 #ifndef AMOS_TENSOR_DTYPE_HH
 #define AMOS_TENSOR_DTYPE_HH
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 namespace amos {
@@ -21,37 +24,91 @@ enum class DataType
 {
     F16,
     F32,
+    BF16,
     I8,
     I32,
     U8,
 };
 
-/** Byte width of a data type. */
+/**
+ * Byte width of a data type (the *modelled* width used for footprint
+ * and bandwidth math, not the host storage lane — see
+ * Buffer::storageBytes()). The switch is exhaustive on purpose: a new
+ * enumerator without a width is a -Wswitch warning here and an abort
+ * at runtime, never a silent zero.
+ */
 inline std::int64_t
 dtypeBytes(DataType t)
 {
     switch (t) {
       case DataType::F16: return 2;
       case DataType::F32: return 4;
+      case DataType::BF16: return 2;
       case DataType::I8: return 1;
       case DataType::I32: return 4;
       case DataType::U8: return 1;
     }
-    return 0;
+    std::abort(); // unreachable for in-range enumerators
 }
 
-/** Printable name of a data type. */
+/** Printable name of a data type (exhaustive, like dtypeBytes). */
 inline std::string
 dtypeName(DataType t)
 {
     switch (t) {
       case DataType::F16: return "f16";
       case DataType::F32: return "f32";
+      case DataType::BF16: return "bf16";
       case DataType::I8: return "i8";
       case DataType::I32: return "i32";
       case DataType::U8: return "u8";
     }
-    return "?";
+    std::abort(); // unreachable for in-range enumerators
+}
+
+/**
+ * Host storage lane of a dtype: the element type a Buffer actually
+ * holds. f16 and f32 share the host-float lane (f16 keeps its
+ * modelled 2-byte footprint but is stored widened, a deliberate
+ * simplification); bf16 is stored as its raw 16 bits so rounding is
+ * explicit; the integer dtypes are stored exactly.
+ */
+enum class StorageLane
+{
+    F32,  ///< host float (declared f16 or f32)
+    BF16, ///< uint16_t holding the bf16 bit pattern
+    I8,
+    U8,
+    I32,
+};
+
+/** Storage lane of a dtype (exhaustive, like dtypeBytes). */
+inline StorageLane
+dtypeStorageLane(DataType t)
+{
+    switch (t) {
+      case DataType::F16: return StorageLane::F32;
+      case DataType::F32: return StorageLane::F32;
+      case DataType::BF16: return StorageLane::BF16;
+      case DataType::I8: return StorageLane::I8;
+      case DataType::I32: return StorageLane::I32;
+      case DataType::U8: return StorageLane::U8;
+    }
+    std::abort(); // unreachable for in-range enumerators
+}
+
+/** Bytes per element as actually stored on the host. */
+inline std::int64_t
+storageLaneBytes(StorageLane lane)
+{
+    switch (lane) {
+      case StorageLane::F32: return 4;
+      case StorageLane::BF16: return 2;
+      case StorageLane::I8: return 1;
+      case StorageLane::U8: return 1;
+      case StorageLane::I32: return 4;
+    }
+    std::abort(); // unreachable for in-range enumerators
 }
 
 } // namespace amos

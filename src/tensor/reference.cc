@@ -1,5 +1,7 @@
 #include "reference.hh"
 
+#include "quant/semantics.hh"
+#include "quant/typed_exec.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/trace.hh"
@@ -40,9 +42,20 @@ walkFitsBuffers(const AccessWalkPlan &plan,
                    " shape differs from the declared shape";
             return false;
         }
+        if (inputs[i]->storage() !=
+            dtypeStorageLane(comp.inputs()[i].decl.dtype())) {
+            *why = "input " + std::to_string(i) +
+                   " storage lane differs from the declared dtype";
+            return false;
+        }
     }
     if (output.decl().shape() != comp.output().shape()) {
         *why = "output shape differs from the declared shape";
+        return false;
+    }
+    if (output.storage() !=
+        dtypeStorageLane(comp.output().dtype())) {
+        *why = "output storage lane differs from the declared dtype";
         return false;
     }
     for (std::size_t m = 0; m < plan.operands.size(); ++m) {
@@ -87,6 +100,10 @@ referenceExecute(const TensorComputation &comp,
                 "referenceExecute: input ", i, " size mismatch");
     }
 
+    const auto sem = quant::classifyComputation(comp);
+    require(sem.supported, "referenceExecute(", comp.name(), "): ",
+            sem.reason);
+
     TraceSpan span("exec.reference", "exec");
     auto &metrics = MetricsRegistry::global();
     ExecReport report;
@@ -120,24 +137,35 @@ referenceExecute(const TensorComputation &comp,
         }
 
         if (fits) {
-            float *out = output.data();
-            const float *in0 = inputs[0]->data();
+            // The walk is an address generator; the loaders and
+            // accumulator carry the discipline (float MAC, exact
+            // int32 dot, bf16-widened MAC) so one body per combine
+            // kind covers every dtype path.
             WalkRunStats stats;
             switch (comp.combine()) {
-              case CombineKind::MultiplyAdd: {
-                const float *in1 = inputs[1]->data();
-                stats = runAccessWalkParallel(
-                    *plan, 2, plan->extents.size(), opts.numThreads,
-                    [&](const std::int64_t *a) {
-                        out[a[2]] += in0[a[0]] * in1[a[1]];
+              case CombineKind::MultiplyAdd:
+                quant::dispatchMulAdd(
+                    sem, *inputs[0], *inputs[1], output,
+                    [&](auto l0, auto l1, auto acc) {
+                        stats = runAccessWalkParallel(
+                            *plan, 2, plan->extents.size(),
+                            opts.numThreads,
+                            [&](const std::int64_t *a) {
+                                acc.add(a[2], l0.load(a[0]) *
+                                                  l1.load(a[1]));
+                            });
                     });
                 break;
-              }
               case CombineKind::SumReduce:
-                stats = runAccessWalkParallel(
-                    *plan, 1, plan->extents.size(), opts.numThreads,
-                    [&](const std::int64_t *a) {
-                        out[a[1]] += in0[a[0]];
+                quant::dispatchSum(
+                    sem, *inputs[0], output,
+                    [&](auto l0, auto acc) {
+                        stats = runAccessWalkParallel(
+                            *plan, 1, plan->extents.size(),
+                            opts.numThreads,
+                            [&](const std::int64_t *a) {
+                                acc.add(a[1], l0.load(a[0]));
+                            });
                     });
                 break;
             }
@@ -162,6 +190,10 @@ referenceExecute(const TensorComputation &comp,
     for (const auto &iv : iters)
         extents.push_back(iv.extent);
 
+    // IntDot accumulates exactly through the integer lanes; the
+    // float disciplines go through the converting view (an exact
+    // widening for bf16 inputs, since the output is f32).
+    const bool intDot = sem.kind == quant::KernelSemantics::IntDot;
     VarBinding binding;
     std::vector<std::int64_t> scratch;
     forEachIndexDelta(extents, [&](const std::vector<std::int64_t>
@@ -172,26 +204,24 @@ referenceExecute(const TensorComputation &comp,
 
         std::int64_t out_flat = flatIndex(
             output, comp.outputIndices(), binding, scratch);
-        float update = 0.0f;
-        switch (comp.combine()) {
-          case CombineKind::MultiplyAdd: {
-            float a = inputs[0]->at(
-                flatIndex(*inputs[0], comp.inputs()[0].indices,
-                          binding, scratch));
-            float b = inputs[1]->at(
-                flatIndex(*inputs[1], comp.inputs()[1].indices,
-                          binding, scratch));
-            update = a * b;
-            break;
-          }
-          case CombineKind::SumReduce: {
-            update = inputs[0]->at(
-                flatIndex(*inputs[0], comp.inputs()[0].indices,
-                          binding, scratch));
-            break;
-          }
+        std::int64_t in0_flat = flatIndex(
+            *inputs[0], comp.inputs()[0].indices, binding, scratch);
+        std::int64_t in1_flat = -1;
+        if (comp.combine() == CombineKind::MultiplyAdd)
+            in1_flat = flatIndex(*inputs[1], comp.inputs()[1].indices,
+                                 binding, scratch);
+
+        if (intDot) {
+            std::int64_t update = inputs[0]->intAt(in0_flat);
+            if (comp.combine() == CombineKind::MultiplyAdd)
+                update *= inputs[1]->intAt(in1_flat);
+            output.intAccumulate(out_flat, update);
+        } else {
+            float update = inputs[0]->at(in0_flat);
+            if (comp.combine() == CombineKind::MultiplyAdd)
+                update *= inputs[1]->at(in1_flat);
+            output.accumulate(out_flat, update);
         }
-        output.accumulate(out_flat, update);
     });
     return report;
 }

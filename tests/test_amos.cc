@@ -61,23 +61,37 @@ TEST(Compiler, CountMappingsMatchesTable6OnAllTargets)
     auto conv = ops::resnet18ConvLayers(16)[5].build();
     Compiler v100(hw::v100());
     EXPECT_EQ(v100.countMappings(conv), 35u);
+    // The int8 targets count their Table-6 mappings on the quantized
+    // variant; the float conv is dtype-illegal there and counts zero.
+    auto qconv = ops::quantizedVariant(conv);
     // VNNI: k -> lanes, 7 reduction subsets.
     Compiler cpu(hw::xeonSilver4110());
-    EXPECT_EQ(cpu.countMappings(conv), 7u);
+    EXPECT_EQ(cpu.countMappings(qconv), 7u);
+    EXPECT_EQ(cpu.countMappings(conv), 0u);
     // Mali dot: 7 reduction subsets.
     Compiler mali(hw::maliG76());
-    EXPECT_EQ(mali.countMappings(conv), 7u);
+    EXPECT_EQ(mali.countMappings(qconv), 7u);
+    EXPECT_EQ(mali.countMappings(conv), 0u);
 }
 
 TEST(Compiler, WorksOnEveryHardwarePreset)
 {
     auto conv = ops::resnet18ConvLayers(4)[8].build();
-    for (const auto &spec :
-         {hw::v100(), hw::a100(), hw::xeonSilver4110(),
-          hw::maliG76()}) {
+    // GPU presets take the float layer, int8 presets its quantized
+    // u8xi8 variant (their intrinsics reject float operands).
+    struct Case
+    {
+        HardwareSpec spec;
+        bool quantized;
+    };
+    for (const auto &[spec, quantized] :
+         {Case{hw::v100(), false}, Case{hw::a100(), false},
+          Case{hw::xeonSilver4110(), true},
+          Case{hw::maliG76(), true}}) {
         SCOPED_TRACE(spec.name);
         Compiler compiler(spec, fastTuning());
-        auto result = compiler.compile(conv);
+        auto result = compiler.compile(
+            quantized ? ops::quantizedVariant(conv) : conv);
         EXPECT_TRUE(result.tensorized);
         EXPECT_TRUE(std::isfinite(result.milliseconds));
         EXPECT_GT(result.milliseconds, 0.0);

@@ -290,17 +290,22 @@ TEST(Execute, OtherIntrinsicsPreserveSemantics)
 {
     // Same property on structurally different intrinsics: VNNI
     // (matrix-vector), Mali dot (scalar output), and the virtual
-    // 4-iteration CONV accelerator.
+    // 4-iteration CONV accelerator. The int8 intrinsics run the
+    // quantized conv — their dtype-legal operand typing.
     auto conv = ops::makeConv2d(tinyConvParams());
+    auto qconv = ops::makeQuantizedConv2d(tinyConvParams());
     for (const auto &intr :
          {isa::avx512Vnni(), isa::maliDot(),
           isa::virtualConv(2, 2, 2, 2), isa::virtualGemv(2, 4),
           isa::virtualAxpy(4)}) {
-        auto plans = enumeratePlans(conv, intr, {});
+        const bool int8 =
+            intr.compute.dst().dtype == DataType::I32;
+        const auto &comp = int8 ? qconv : conv;
+        auto plans = enumeratePlans(comp, intr, {});
         ASSERT_GT(plans.size(), 0u) << intr.name();
         for (const auto &plan : plans) {
             SCOPED_TRACE(intr.name() + " " +
-                         plan.mapping().signature(conv));
+                         plan.mapping().signature(comp));
             EXPECT_LE(mappedVsReferenceError(plan), kTol);
         }
     }
@@ -338,6 +343,140 @@ TEST(Execute, SeedVariationStaysExact)
     ASSERT_EQ(plans.size(), 1u);
     for (std::uint64_t seed : {1ULL, 42ULL, 1234567ULL})
         EXPECT_LE(mappedVsReferenceError(plans[0], seed), kTol);
+}
+
+// ---------------------------------------------------------------
+// Quantized / mixed-precision differentials (quant/compare.hh).
+// ---------------------------------------------------------------
+
+/**
+ * Quantized operator variants at small extents, paired with an int8
+ * intrinsic whose mapping space is non-empty for that operator.
+ */
+std::vector<std::pair<TensorComputation, Intrinsic>>
+quantizedSuite()
+{
+    std::vector<std::pair<TensorComputation, Intrinsic>> suite;
+    suite.emplace_back(ops::makeQuantizedGemm(3, 5, 8),
+                       isa::avx512Vnni());
+    suite.emplace_back(ops::makeQuantizedGemm(4, 4, 8),
+                       isa::maliDot());
+    suite.emplace_back(ops::makeQuantizedConv2d(tinyConvParams()),
+                       isa::avx512Vnni());
+    suite.emplace_back(ops::makeQuantizedConv2d(tinyConvParams()),
+                       isa::maliDot());
+    // Symmetric i8 x i8 exercises the second loader combination.
+    suite.emplace_back(ops::makeQuantizedGemm(3, 5, 8, DataType::I8,
+                                              DataType::I8),
+                       isa::maliDot());
+    return suite;
+}
+
+TEST(QuantExecute, Int8EnginesBitExactAcrossThreadCounts)
+{
+    // int8 accumulation is exact int32 arithmetic, so every engine
+    // must agree with the scalar interpreter bit for bit — at every
+    // thread count, on both mapped paths.
+    for (const auto &[comp, intr] : quantizedSuite()) {
+        auto plans = enumeratePlans(comp, intr, {});
+        ASSERT_GT(plans.size(), 0u)
+            << comp.name() << " x " << intr.name();
+        for (ExecEngine engine : {ExecEngine::Walk, ExecEngine::Jit}) {
+            for (int threads : {1, 4}) {
+                SCOPED_TRACE(comp.name() + " x " + intr.name() +
+                             " engine=" + execEngineName(engine) +
+                             " threads=" + std::to_string(threads));
+                auto res = engineVsInterpreterCompare(
+                    plans[0], engine,
+                    quant::ToleranceSpec::exactly(), 7, threads);
+                EXPECT_TRUE(res.pass) << res.summary();
+            }
+        }
+    }
+}
+
+TEST(QuantExecute, Int8EveryMappingBitExact)
+{
+    // Not just the first plan: every enumerated quantized mapping
+    // must survive the exact differential on the walk engine.
+    auto conv = ops::makeQuantizedConv2d(tinyConvParams());
+    auto plans = enumeratePlans(conv, isa::avx512Vnni(), {});
+    ASSERT_GT(plans.size(), 0u);
+    for (const auto &plan : plans) {
+        SCOPED_TRACE(plan.mapping().signature(conv));
+        auto res = engineVsInterpreterCompare(
+            plan, ExecEngine::Walk, quant::ToleranceSpec::exactly());
+        EXPECT_TRUE(res.pass) << res.summary();
+    }
+}
+
+TEST(QuantExecute, Bf16WithinDocumentedBounds)
+{
+    // bf16 inputs round to an 8-bit mantissa before the exact f32
+    // accumulation; engines still agree bit-for-bit with each other,
+    // and the result tracks the f32 reference within the documented
+    // bf16 bound (docs/execution.md).
+    auto b = ops::bf16Variant(ops::makeGemm(4, 5, 8));
+    auto plans = enumeratePlans(b, isa::wmmaTiny(), {});
+    ASSERT_GT(plans.size(), 0u);
+    for (int threads : {1, 4}) {
+        auto res = engineVsInterpreterCompare(
+            plans[0], ExecEngine::Walk,
+            quant::ToleranceSpec::exactly(), 7, threads);
+        EXPECT_TRUE(res.pass) << res.summary();
+    }
+
+    // Against the float reference the comparison is bounded, not
+    // exact: run the bf16 interpreter and the f32 interpreter on the
+    // same pattern values and compare under the bf16 tolerance.
+    auto f = ops::makeGemm(4, 5, 8,
+                           DataType::F32); // same shape, f32 operands
+    auto binputs = makePatternInputs(b, 7);
+    std::vector<const Buffer *> bptrs;
+    for (const auto &buf : binputs)
+        bptrs.push_back(&buf);
+    Buffer bout(b.output());
+    referenceExecute(b, bptrs, bout);
+
+    // The f32 run sees the bf16-rounded values, dequantized: that is
+    // the reference the tolerance bound is defined against.
+    std::vector<Buffer> finputs;
+    for (const auto &buf : binputs) {
+        Buffer fb(buf.decl().withDtype(DataType::F32));
+        for (std::size_t i = 0; i < fb.size(); ++i)
+            fb.set(i, buf.at(i));
+        finputs.push_back(std::move(fb));
+    }
+    std::vector<const Buffer *> fptrs;
+    for (const auto &buf : finputs)
+        fptrs.push_back(&buf);
+    Buffer fout(f.output());
+    referenceExecute(f, fptrs, fout);
+
+    auto res = quant::compareBuffers(
+        bout, fout, quant::defaultToleranceFor(DataType::BF16));
+    EXPECT_TRUE(res.pass) << res.summary();
+}
+
+TEST(QuantExecute, DtypeIllegalPlanIsInvalid)
+{
+    // A hand-built mapping of a float conv onto the int8 VNNI
+    // intrinsic passes the structural Algorithm-1 check but fails
+    // dtype legality, so the plan is invalid with a "dtype:" reason
+    // and the executors refuse it.
+    auto conv = ops::makeConv2d(tinyConvParams());
+    auto qconv = ops::makeQuantizedConv2d(tinyConvParams());
+    auto qplans = enumeratePlans(qconv, isa::avx512Vnni(), {});
+    ASSERT_GT(qplans.size(), 0u);
+    MappingPlan plan(conv, isa::avx512Vnni(),
+                     qplans[0].mapping());
+    EXPECT_FALSE(plan.valid());
+    EXPECT_EQ(plan.validation().failure.rfind("dtype: ", 0), 0u)
+        << plan.validation().failure;
+    auto inputs = makePatternInputs(conv, 3);
+    std::vector<const Buffer *> ptrs = {&inputs[0], &inputs[1]};
+    Buffer out(conv.output());
+    EXPECT_THROW(executeMappedDirect(plan, ptrs, out), PanicError);
 }
 
 } // namespace

@@ -88,7 +88,10 @@ TEST(Facade, BigGemmNeverTakesTheScalarHatch)
 
 TEST(Facade, PseudoCodeOnNonWmmaTargets)
 {
-    auto conv = ops::buildRepresentative(ops::OpKind::C2D, 1);
+    // Both non-WMMA presets expose int8 intrinsics, so the pseudo
+    // code check runs on the quantized conv.
+    auto conv = ops::quantizedVariant(
+        ops::buildRepresentative(ops::OpKind::C2D, 1));
     for (const auto &spec : {hw::xeonSilver4110(), hw::maliG76()}) {
         SCOPED_TRACE(spec.name);
         TuneOptions options;

@@ -182,8 +182,14 @@ TEST(Generate, MaxCandidatesCapRespected)
 TEST(Generate, VnniConvMapsChannelToLanes)
 {
     // On the VNNI intrinsic, k maps to the lane dimension and
-    // reductions to the depth-4 dot; spatial dims stay outer.
-    auto conv = ops::makeConv2d(smallConvParams());
+    // reductions to the depth-4 dot; spatial dims stay outer. VNNI
+    // is u8xi8 -> i32, so the float conv is dtype-illegal and the
+    // sweep runs on the quantized variant.
+    auto conv = ops::makeQuantizedConv2d(smallConvParams());
+    EXPECT_EQ(enumerateMappings(ops::makeConv2d(smallConvParams()),
+                                isa::avx512Vnni(), {})
+                  .size(),
+              0u);
     auto mappings =
         enumerateMappings(conv, isa::avx512Vnni(), {});
     EXPECT_GT(mappings.size(), 0u);
@@ -197,7 +203,13 @@ TEST(Generate, VnniConvMapsChannelToLanes)
 
 TEST(Generate, MaliDotMapsOnlyReductions)
 {
-    auto conv = ops::makeConv2d(smallConvParams());
+    // The Mali dot product is i8xi8 -> i32: float conv counts zero,
+    // the quantized variant keeps the Table-6 count.
+    auto conv = ops::makeQuantizedConv2d(smallConvParams());
+    EXPECT_EQ(enumerateMappings(ops::makeConv2d(smallConvParams()),
+                                isa::maliDot(), {})
+                  .size(),
+              0u);
     auto mappings = enumerateMappings(conv, isa::maliDot(), {});
     EXPECT_EQ(mappings.size(), 7u); // nonempty subsets of {c,r,s}
     for (const auto &m : mappings)
@@ -290,15 +302,16 @@ TEST(Generate, GoldenCountsPerIntrinsicAndOperator)
     {
         const char *name;
         Intrinsic intr;
+        bool int8; ///< counts run on the quantized operator variant
     };
     std::vector<NamedIntr> intrs;
-    intrs.push_back({"wmmaTiny", isa::wmmaTiny()});
-    intrs.push_back({"wmma16", isa::wmma(16, 16, 16)});
-    intrs.push_back({"avx512Vnni", isa::avx512Vnni()});
-    intrs.push_back({"maliDot", isa::maliDot()});
-    intrs.push_back({"virtualGemv", isa::virtualGemv()});
-    intrs.push_back({"virtualAxpy", isa::virtualAxpy()});
-    intrs.push_back({"virtualConv", isa::virtualConv()});
+    intrs.push_back({"wmmaTiny", isa::wmmaTiny(), false});
+    intrs.push_back({"wmma16", isa::wmma(16, 16, 16), false});
+    intrs.push_back({"avx512Vnni", isa::avx512Vnni(), true});
+    intrs.push_back({"maliDot", isa::maliDot(), true});
+    intrs.push_back({"virtualGemv", isa::virtualGemv(), false});
+    intrs.push_back({"virtualAxpy", isa::virtualAxpy(), false});
+    intrs.push_back({"virtualConv", isa::virtualConv(), false});
 
     struct NamedComp
     {
@@ -315,7 +328,10 @@ TEST(Generate, GoldenCountsPerIntrinsicAndOperator)
     comps.push_back({"group", ops::makeGroupConv2d(pr, 2)});
 
     // golden[i][c] follows the vectors above. virtualConv's compute
-    // has a different operand structure, so gemm/gemv yield 0.
+    // has a different operand structure, so gemm/gemv yield 0. The
+    // int8 intrinsics count on the quantized u8xi8 variants — their
+    // mapping spaces are unchanged by the retyping, which is exactly
+    // what makes the counts comparable with the float rows.
     const std::size_t golden[7][6] = {
         /* wmmaTiny    */ {1, 1, 9, 35, 15, 35},
         /* wmma16      */ {1, 1, 9, 35, 15, 35},
@@ -330,9 +346,20 @@ TEST(Generate, GoldenCountsPerIntrinsicAndOperator)
         for (std::size_t c = 0; c < comps.size(); ++c) {
             SCOPED_TRACE(std::string(intrs[i].name) + " x " +
                          comps[c].name);
-            EXPECT_EQ(countMappings(comps[c].comp, intrs[i].intr,
+            const auto comp =
+                intrs[i].int8 ? ops::quantizedVariant(comps[c].comp)
+                              : comps[c].comp;
+            EXPECT_EQ(countMappings(comp, intrs[i].intr,
                                     LegalityPolicy::Addressable),
                       golden[i][c]);
+            // Dtype legality is part of mapping validity in both
+            // directions: the cross-typed operator counts zero.
+            const auto crossTyped =
+                intrs[i].int8 ? comps[c].comp
+                              : ops::quantizedVariant(comps[c].comp);
+            EXPECT_EQ(countMappings(crossTyped, intrs[i].intr,
+                                    LegalityPolicy::Addressable),
+                      0u);
         }
     }
 }
@@ -346,8 +373,15 @@ TEST(Generate, GoldenCountsEveryMappingValidates)
         isa::wmmaTiny(), isa::avx512Vnni(), isa::maliDot(),
         isa::virtualAxpy(), isa::virtualConv()};
     auto conv = ops::makeConv2d(pr);
+    auto qconv = ops::makeQuantizedConv2d(pr);
     for (const auto &intr : intrs) {
-        for (const auto &plan : enumeratePlans(conv, intr, {})) {
+        // Pick the dtype-legal variant per intrinsic so every cell
+        // actually enumerates a non-empty space.
+        const auto &comp =
+            intr.compute.dst().dtype == DataType::I32 ? qconv : conv;
+        auto plans = enumeratePlans(comp, intr, {});
+        EXPECT_GT(plans.size(), 0u) << intr.name();
+        for (const auto &plan : plans) {
             EXPECT_TRUE(plan.valid())
                 << intr.name() << ": " << plan.validation().failure;
         }

@@ -10,6 +10,8 @@
 #include "hw/hardware.hh"
 #include "isa/abstraction.hh"
 #include "isa/intrinsics.hh"
+#include "mapping/generate.hh"
+#include "ops/operators.hh"
 #include "support/logging.hh"
 
 namespace amos {
@@ -118,6 +120,32 @@ TEST(Intrinsics, MaliDotIsScalarOutput)
     auto intr = isa::maliDot();
     EXPECT_TRUE(intr.compute.dst().iterIndices.empty());
     EXPECT_EQ(intr.compute.scalarOps(), 4);
+}
+
+TEST(Intrinsics, Int8IntrinsicsDeclareTypedOperands)
+{
+    // VNNI is the asymmetric u8 x i8 -> i32 convention, Mali dot the
+    // symmetric i8 x i8 -> i32 one. The declared dtypes drive
+    // legality: a float GEMM matches neither, the quantized variant
+    // matches both (golden int8-semantics smoke check).
+    auto vnni = isa::avx512Vnni();
+    EXPECT_EQ(vnni.compute.srcs()[0].dtype, DataType::U8);
+    EXPECT_EQ(vnni.compute.srcs()[1].dtype, DataType::I8);
+    EXPECT_EQ(vnni.compute.dst().dtype, DataType::I32);
+    auto mali = isa::maliDot();
+    EXPECT_EQ(mali.compute.srcs()[0].dtype, DataType::I8);
+    EXPECT_EQ(mali.compute.srcs()[1].dtype, DataType::I8);
+    EXPECT_EQ(mali.compute.dst().dtype, DataType::I32);
+
+    auto fgemm = ops::makeGemm(4, 4, 8);
+    auto qgemm = ops::makeQuantizedGemm(4, 4, 8);
+    for (const auto &intr : {vnni, mali}) {
+        SCOPED_TRACE(intr.name());
+        EXPECT_EQ(enumerateMappings(fgemm, intr, {}).size(), 0u);
+        EXPECT_GT(enumerateMappings(qgemm, intr, {}).size(), 0u);
+        EXPECT_FALSE(isTensorizable(fgemm, intr));
+        EXPECT_TRUE(isTensorizable(qgemm, intr));
+    }
 }
 
 TEST(Intrinsics, VirtualTrioShapes)

@@ -55,9 +55,9 @@ std::string
 tinyKernel(const std::string &salt)
 {
     return "/* " + salt + " */\n"
-           "void amos_exec_kernel(const float *const *inputs, "
-           "float *output)\n"
-           "{ output[0] = inputs[0][0] + 1.0f; }\n";
+           "void amos_exec_kernel(const void *const *inputs, "
+           "void *output)\n"
+           "{ *(float *)output = *(const float *)inputs[0] + 1.0f; }\n";
 }
 
 /** Small instance of each operator kind used by the param suite. */
@@ -200,6 +200,99 @@ TEST(JitCodegen, KernelsAreVectorizerFriendly)
     EXPECT_NE(packed.find("stage C"), std::string::npos);
 }
 
+TEST(JitCodegen, TypedKernelsMatchStorageLanes)
+{
+    // int8 kernels must bind int8_t/uint8_t/int32_t pointers and
+    // accumulate through a wrapping int64 intermediate, with no float
+    // anywhere; the packed pipeline widens into int32_t streams.
+    auto q = ops::makeQuantizedGemm(3, 5, 8);
+    auto walk = compileReferenceWalk(q);
+    ASSERT_TRUE(walk.has_value());
+    std::vector<DataType> dts;
+    for (const auto &in : q.inputs())
+        dts.push_back(in.decl.dtype());
+    dts.push_back(q.output().dtype());
+    std::string src =
+        generateWalkKernelC(*walk, q.combine(), 2, "typed", dts);
+    EXPECT_NE(src.find("const uint8_t *restrict in0"),
+              std::string::npos);
+    EXPECT_NE(src.find("const int8_t *restrict in1"),
+              std::string::npos);
+    EXPECT_NE(src.find("int32_t *restrict out"), std::string::npos);
+    EXPECT_NE(src.find("(int64_t)"), std::string::npos);
+    // No float anywhere in the code itself (the header comment may
+    // mention floating point).
+    const std::string body = src.substr(src.find("amos_exec_kernel"));
+    EXPECT_EQ(body.find("float"), std::string::npos) << src;
+
+    auto plans = enumeratePlans(q, isa::avx512Vnni(), {});
+    ASSERT_GT(plans.size(), 0u);
+    ExecPlan ep(plans[0]);
+    ASSERT_TRUE(ep.compiled()) << ep.fallbackReason();
+    std::string packed = generatePackedKernelC(ep, "typed packed");
+    EXPECT_NE(packed.find("int32_t *restrict pk0"), std::string::npos);
+    EXPECT_NE(packed.find("sizeof(int32_t)"), std::string::npos);
+    EXPECT_EQ(packed.substr(packed.find("amos_exec_kernel"))
+                  .find("float"),
+              std::string::npos);
+
+    // bf16 kernels widen each load through the emitted helper into
+    // float accumulation.
+    auto b = ops::bf16Variant(ops::makeGemm(3, 5, 7));
+    auto bwalk = compileReferenceWalk(b);
+    ASSERT_TRUE(bwalk.has_value());
+    std::vector<DataType> bdts;
+    for (const auto &in : b.inputs())
+        bdts.push_back(in.decl.dtype());
+    bdts.push_back(b.output().dtype());
+    std::string bsrc =
+        generateWalkKernelC(*bwalk, b.combine(), 2, "bf16", bdts);
+    EXPECT_NE(bsrc.find("amos_bf16_to_f32"), std::string::npos);
+    EXPECT_NE(bsrc.find("const uint16_t *restrict in0"),
+              std::string::npos);
+    EXPECT_NE(bsrc.find("float *restrict out"), std::string::npos);
+}
+
+TEST(JitTier, QuantizedMappedPathsBitExact)
+{
+    // int8 accumulation is exact, so the JIT tier must agree with the
+    // interpreter bit for bit — no tolerance — on both mapped paths.
+    auto q = ops::makeQuantizedGemm(4, 5, 8);
+    auto plans = enumeratePlans(q, isa::avx512Vnni(), {});
+    ASSERT_GT(plans.size(), 0u);
+    ExecReport direct, packed;
+    auto res = engineVsInterpreterCompare(
+        plans[0], ExecEngine::Jit, quant::ToleranceSpec::exactly(), 7,
+        1, &direct, &packed);
+    EXPECT_TRUE(res.pass) << res.summary();
+    if (jitCompilerUsable()) {
+        EXPECT_EQ(direct.engine, "jit") << direct.jitFallback;
+        EXPECT_EQ(packed.engine, "jit") << packed.jitFallback;
+    }
+}
+
+TEST(JitTier, QuantizedReferencePathBitExact)
+{
+    auto q = ops::makeQuantizedGemm(4, 5, 8);
+    auto inputs = makePatternInputs(q, 11);
+    std::vector<const Buffer *> ptrs;
+    for (const auto &b : inputs)
+        ptrs.push_back(&b);
+
+    ExecOptions interp;
+    interp.engine = ExecEngine::Interpreter;
+    ExecOptions jit;
+    jit.engine = ExecEngine::Jit;
+
+    Buffer viaInterp(q.output()), viaJit(q.output());
+    referenceExecute(q, ptrs, viaInterp, interp);
+    ExecReport report = referenceExecute(q, ptrs, viaJit, jit);
+
+    EXPECT_TRUE(viaJit.bitEqual(viaInterp));
+    if (jitCompilerUsable())
+        EXPECT_EQ(report.engine, "jit") << report.jitFallback;
+}
+
 TEST(JitCache, MemoryHitAfterFirstCompile)
 {
     if (!jitCompilerUsable())
@@ -217,7 +310,7 @@ TEST(JitCache, MemoryHitAfterFirstCompile)
     EXPECT_EQ(engine.stats().diskHits, 0);
 
     const float one = 41.0f;
-    const float *inputs[1] = {&one};
+    const void *inputs[1] = {&one};
     float out = 0.0f;
     first(inputs, &out);
     EXPECT_EQ(out, 42.0f);

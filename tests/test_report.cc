@@ -164,7 +164,9 @@ TEST(GoldenWorkloads, GemmOnXeonIsComputeBound)
 {
     // On the AVX-512 target the FMA peak is modest relative to the
     // modelled cache bandwidth, so a square GEMM lands compute-bound.
-    auto rep = compileAndExplain(ops::makeGemm(64, 64, 64),
+    // The VNNI intrinsic is int8, so the workload is the quantized
+    // u8xi8 GEMM.
+    auto rep = compileAndExplain(ops::makeQuantizedGemm(64, 64, 64),
                                  hw::xeonSilver4110());
     ASSERT_TRUE(rep.tensorized);
     ASSERT_FALSE(rep.candidates.empty());

@@ -108,6 +108,28 @@ TEST(Protocol, CacheKeySeparatesSearchKnobs)
     EXPECT_EQ(a.cacheKey(), b.cacheKey());
 }
 
+TEST(Protocol, DtypeRoundTripsAndSplitsCacheKey)
+{
+    auto plain = fastRequest();
+    // Default dtype stays off the wire so old clients and servers
+    // interoperate unchanged.
+    EXPECT_EQ(plain.toJson().dump().find("dtype"),
+              std::string::npos);
+
+    auto quant = fastRequest();
+    quant.dtype = "u8i8";
+    auto round = CompileRequest::fromJson(
+        Json::parse(quant.toJson().dump()));
+    EXPECT_EQ(round.dtype, "u8i8");
+    // A quantized compile is a different artifact.
+    EXPECT_NE(round.cacheKey(), plain.cacheKey());
+    EXPECT_EQ(round.cacheKey(), quant.cacheKey());
+
+    auto bad = fastRequest();
+    bad.dtype = "fp64";
+    EXPECT_THROW(bad.cacheKey(), FatalError);
+}
+
 TEST(Protocol, RejectsMalformedRequests)
 {
     EXPECT_THROW(CompileRequest::fromJson(Json::parse("[1,2]")),

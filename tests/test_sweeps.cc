@@ -45,20 +45,34 @@ class CompileSweep : public ::testing::TestWithParam<SweepParam>
           default: return hw::maliG76();
         }
     }
+
+    /**
+     * Representative computation typed for the target: the Xeon and
+     * Mali presets expose int8 dot intrinsics (VNNI / dot product),
+     * so they sweep the quantized u8xi8 variants — float operands
+     * are dtype-illegal there by design.
+     */
+    static TensorComputation
+    computationFor(ops::OpKind kind, int hw_index)
+    {
+        auto comp = ops::buildRepresentative(kind, 1);
+        return hw_index == 0 ? comp : ops::quantizedVariant(comp);
+    }
 };
 
 TEST_P(CompileSweep, CompilesToFiniteLatencyEverywhere)
 {
     auto [kind, hw_index] = GetParam();
     auto hw = hardwareFor(hw_index);
-    auto comp = ops::buildRepresentative(kind, 1);
+    auto comp = computationFor(kind, hw_index);
     Compiler compiler(hw, sweepTuning());
     auto result = compiler.compile(comp);
     EXPECT_TRUE(std::isfinite(result.milliseconds));
     EXPECT_GT(result.milliseconds, 0.0);
     EXPECT_GT(result.gflops, 0.0);
     // Everything multiply-add shaped is tensorizable on all three
-    // presets (their intrinsics are MultiplyAdd).
+    // presets (their intrinsics are MultiplyAdd and, with the typing
+    // above, dtype-legal).
     EXPECT_TRUE(result.tensorized) << ops::opKindName(kind);
 }
 
@@ -66,7 +80,7 @@ TEST_P(CompileSweep, DeterministicAcrossRuns)
 {
     auto [kind, hw_index] = GetParam();
     auto hw = hardwareFor(hw_index);
-    auto comp = ops::buildRepresentative(kind, 1);
+    auto comp = computationFor(kind, hw_index);
     Compiler compiler(hw, sweepTuning());
     auto a = compiler.compile(comp);
     auto b = compiler.compile(comp);
