@@ -1,5 +1,6 @@
 #include "hardware.hh"
 
+#include "hw/spec_target.hh"
 #include "support/logging.hh"
 #include "support/str_utils.hh"
 
@@ -165,8 +166,17 @@ virtualConvAccel()
 const std::vector<std::string> &
 knownNames()
 {
-    static const std::vector<std::string> names = {
-        "v100", "a100", "xeon", "mali", "vaxpy", "vgemv", "vconv"};
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out = {"v100",  "a100",  "xeon",
+                                        "mali",  "vaxpy", "vgemv",
+                                        "vconv"};
+        // Spec-only targets: every embedded ISA spec that carries a
+        // "hardware" section is a nameable accelerator with no C++
+        // registration anywhere (e.g. "amx").
+        for (const auto &name : embeddedTargetNames())
+            out.push_back(name);
+        return out;
+    }();
     return names;
 }
 
@@ -187,8 +197,20 @@ byName(const std::string &name)
         return virtualGemvAccel();
     if (name == "vconv")
         return virtualConvAccel();
+    // "spec:<path>": load a user-supplied ISA spec file with a
+    // hardware section — target onboarding without recompiling.
+    if (name.rfind("spec:", 0) == 0) {
+        auto loaded = targetFromSpecFile(name.substr(5));
+        if (!loaded.ok())
+            fatal("spec target '", name, "' failed to load:\n",
+                  isa::diagsToString(loaded.diags));
+        return std::move(*loaded.hardware);
+    }
+    for (const auto &embedded : embeddedTargetNames())
+        if (name == embedded)
+            return embeddedTarget(name);
     fatal("unknown hardware '", name, "' (", join(knownNames(), "|"),
-          ")");
+          "|spec:<path>)");
 }
 
 } // namespace hw

@@ -111,8 +111,11 @@ HardwareSpec virtualConvAccel();
 
 /**
  * Look a spec up by its CLI/protocol name
- * (v100|a100|xeon|mali|vaxpy|vgemv|vconv); raises fatal() on an
- * unknown name, listing the alternatives.
+ * (v100|a100|xeon|mali|vaxpy|vgemv|vconv), by the name of an
+ * embedded spec-only target (a JSON ISA spec with a "hardware"
+ * section, e.g. "amx" — see hw/spec_target.hh), or as
+ * "spec:<path>" to load a user-supplied spec file; raises fatal()
+ * on an unknown name, listing the alternatives.
  */
 HardwareSpec byName(const std::string &name);
 

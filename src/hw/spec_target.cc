@@ -1,0 +1,259 @@
+#include "spec_target.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace amos {
+namespace hw {
+
+namespace {
+
+using isa::SpecDiag;
+
+const char *
+jsonKindName(Json::Kind kind)
+{
+    switch (kind) {
+      case Json::Kind::Null: return "null";
+      case Json::Kind::Bool: return "bool";
+      case Json::Kind::Number: return "number";
+      case Json::Kind::String: return "string";
+      case Json::Kind::Array: return "array";
+      case Json::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+/** Guarded field access mirroring the isa spec reader. */
+const Json *
+field(const Json &obj, const std::string &path,
+      const std::string &key, Json::Kind kind, bool required,
+      std::vector<SpecDiag> &diags)
+{
+    if (obj.kind() != Json::Kind::Object) {
+        diags.push_back({"bad-type", path,
+                         std::string("expected object, got ") +
+                             jsonKindName(obj.kind())});
+        return nullptr;
+    }
+    if (!obj.has(key)) {
+        if (required)
+            diags.push_back({"missing-field", path + "/" + key,
+                             "required field '" + key +
+                                 "' is absent"});
+        return nullptr;
+    }
+    const Json &f = obj.get(key);
+    if (f.kind() != kind) {
+        diags.push_back({"bad-type", path + "/" + key,
+                         std::string("expected ") +
+                             jsonKindName(kind) + ", got " +
+                             jsonKindName(f.kind())});
+        return nullptr;
+    }
+    return &f;
+}
+
+bool
+positiveInt(const Json &num, const std::string &path, std::int64_t min,
+            std::int64_t *out, std::vector<SpecDiag> &diags)
+{
+    double v = num.asNumber();
+    if (!(v == std::floor(v))) {
+        diags.push_back({"bad-type", path,
+                         "expected an integer, got " +
+                             std::to_string(v)});
+        return false;
+    }
+    auto n = static_cast<std::int64_t>(v);
+    if (n < min) {
+        diags.push_back({"bad-extent", path,
+                         "value must be >= " + std::to_string(min) +
+                             ", got " + std::to_string(n)});
+        return false;
+    }
+    *out = n;
+    return true;
+}
+
+MemoryLevelSpec
+parseLevel(const Json &hwNode, const std::string &path,
+           const std::string &key, std::vector<SpecDiag> &diags)
+{
+    MemoryLevelSpec level;
+    level.name = key;
+    const Json *node =
+        field(hwNode, path, key, Json::Kind::Object, true, diags);
+    if (node == nullptr)
+        return level;
+    std::string lpath = path + "/" + key;
+    if (const Json *cap = field(*node, lpath, "capacity_bytes",
+                                Json::Kind::Number, true, diags))
+        positiveInt(*cap, lpath + "/capacity_bytes", 0,
+                    &level.capacityBytes, diags);
+    if (const Json *read = field(*node, lpath, "read_bpc",
+                                 Json::Kind::Number, true, diags)) {
+        level.readBytesPerCycle = read->asNumber();
+        if (!(level.readBytesPerCycle >= 0.0))
+            diags.push_back({"bad-bandwidth", lpath + "/read_bpc",
+                             "bandwidth must be >= 0"});
+    }
+    if (const Json *write = field(*node, lpath, "write_bpc",
+                                  Json::Kind::Number, true, diags)) {
+        level.writeBytesPerCycle = write->asNumber();
+        if (!(level.writeBytesPerCycle >= 0.0))
+            diags.push_back({"bad-bandwidth", lpath + "/write_bpc",
+                             "bandwidth must be >= 0"});
+    }
+    return level;
+}
+
+} // namespace
+
+TargetLoadResult
+targetFromSpecJson(const Json &doc)
+{
+    std::vector<SpecDiag> diags;
+
+    auto parsed = isa::parseIntrinsicSpec(doc);
+    if (!parsed.ok())
+        return {std::nullopt, std::move(parsed.diags)};
+
+    if (doc.kind() != Json::Kind::Object || !doc.has("hardware")) {
+        diags.push_back({"missing-field", "/hardware",
+                         "spec-loaded targets need a 'hardware' "
+                         "section (intrinsic-only specs derive "
+                         "through isa/spec.hh instead)"});
+        return {std::nullopt, std::move(diags)};
+    }
+
+    auto variants = isa::deriveVariants(*parsed.spec);
+    if (!variants.ok())
+        return {std::nullopt, std::move(variants.diags)};
+
+    const Json &hwNode = doc.get("hardware");
+    std::string path = "/hardware";
+    HardwareSpec spec;
+
+    if (const Json *name = field(hwNode, path, "name",
+                                 Json::Kind::String, true, diags)) {
+        spec.name = name->asString();
+        if (spec.name.empty())
+            diags.push_back({"empty-name", path + "/name",
+                             "hardware name must be non-empty"});
+    }
+    std::int64_t n = 0;
+    if (const Json *cores = field(hwNode, path, "cores",
+                                  Json::Kind::Number, true, diags)) {
+        if (positiveInt(*cores, path + "/cores", 1, &n, diags))
+            spec.numCores = static_cast<int>(n);
+    }
+    if (const Json *sub = field(hwNode, path, "subcores_per_core",
+                                Json::Kind::Number, true, diags)) {
+        if (positiveInt(*sub, path + "/subcores_per_core", 1, &n,
+                        diags))
+            spec.subcoresPerCore = static_cast<int>(n);
+    }
+    if (const Json *clock = field(hwNode, path, "clock_ghz",
+                                  Json::Kind::Number, true, diags)) {
+        spec.clockGhz = clock->asNumber();
+        if (!(spec.clockGhz > 0.0))
+            diags.push_back({"bad-clock", path + "/clock_ghz",
+                             "clock must be > 0 GHz"});
+    }
+    spec.global = parseLevel(hwNode, path, "global", diags);
+    spec.shared = parseLevel(hwNode, path, "shared", diags);
+    spec.reg = parseLevel(hwNode, path, "reg", diags);
+
+    if (const Json *launch =
+            field(hwNode, path, "launch_overhead_cycles",
+                  Json::Kind::Number, false, diags))
+        spec.launchOverheadCycles = launch->asNumber();
+    if (const Json *framework =
+            field(hwNode, path, "framework_overhead_cycles",
+                  Json::Kind::Number, false, diags))
+        spec.frameworkOverheadCycles = framework->asNumber();
+    if (const Json *blocks =
+            field(hwNode, path, "max_blocks_per_core",
+                  Json::Kind::Number, false, diags)) {
+        if (positiveInt(*blocks, path + "/max_blocks_per_core", 1,
+                        &n, diags))
+            spec.maxBlocksPerCore = static_cast<int>(n);
+    }
+    if (const Json *lanes =
+            field(hwNode, path, "scalar_lanes_per_core",
+                  Json::Kind::Number, false, diags)) {
+        if (positiveInt(*lanes, path + "/scalar_lanes_per_core", 1,
+                        &n, diags))
+            spec.scalarLanesPerCore = static_cast<int>(n);
+    }
+
+    if (!diags.empty())
+        return {std::nullopt, std::move(diags)};
+
+    spec.intrinsics = std::move(variants.intrinsics);
+    return {std::move(spec), {}};
+}
+
+TargetLoadResult
+targetFromSpecText(const std::string &text)
+{
+    try {
+        return targetFromSpecJson(Json::parse(text));
+    } catch (const FatalError &err) {
+        return {std::nullopt, {{"bad-json", "", err.what()}}};
+    }
+}
+
+TargetLoadResult
+targetFromSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return {std::nullopt,
+                {{"unreadable-file", "",
+                  "cannot read spec file '" + path + "'"}}};
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return targetFromSpecText(text.str());
+}
+
+const std::vector<std::string> &
+embeddedTargetNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &name : isa::embeddedSpecNames()) {
+            const char *text = isa::embeddedSpecText(name);
+            try {
+                if (Json::parse(text).has("hardware"))
+                    out.push_back(name);
+            } catch (const FatalError &) {
+                // Unparsable embedded specs are caught by the spec
+                // test suite; never a reason to crash name listing.
+            }
+        }
+        return out;
+    }();
+    return names;
+}
+
+HardwareSpec
+embeddedTarget(const std::string &name)
+{
+    const char *text = isa::embeddedSpecText(name);
+    if (text == nullptr)
+        fatal("unknown embedded ISA spec '", name, "'");
+    auto loaded = targetFromSpecText(text);
+    if (!loaded.ok())
+        fatal("embedded spec target '", name, "' is invalid:\n",
+              isa::diagsToString(loaded.diags));
+    return std::move(*loaded.hardware);
+}
+
+} // namespace hw
+} // namespace amos

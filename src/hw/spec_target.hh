@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Spec-loaded hardware targets: a JSON ISA spec whose document also
+ * carries a "hardware" section describes a complete accelerator —
+ * the intrinsic (derived via isa/spec.hh) plus the 3-level machine
+ * organisation the performance model and simulator consume. Such
+ * targets need no C++ registration at all: hw::byName resolves them
+ * from the embedded spec registry (e.g. "amx") or, with the
+ * "spec:<path>" prefix, from a user-supplied file, so the CLI and
+ * the serve path can name them like any built-in preset.
+ *
+ * Error handling follows isa/spec.hh: malformed hardware sections
+ * produce structured diagnostics, never crashes.
+ */
+
+#ifndef AMOS_HW_SPEC_TARGET_HH
+#define AMOS_HW_SPEC_TARGET_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/hardware.hh"
+#include "isa/spec.hh"
+#include "support/json.hh"
+
+namespace amos {
+namespace hw {
+
+/** Result of loading a full hardware target from a spec document. */
+struct TargetLoadResult
+{
+    std::optional<HardwareSpec> hardware;
+    std::vector<isa::SpecDiag> diags;
+
+    bool ok() const { return hardware.has_value() && diags.empty(); }
+};
+
+/**
+ * Build a complete HardwareSpec from one spec document: the
+ * intrinsic section derives the target's intrinsics (every declared
+ * variant), the required "hardware" section supplies cores,
+ * sub-cores, clock, the three memory levels, and the overhead /
+ * occupancy knobs. A document without a "hardware" section is a
+ * diagnostic ("missing-field" at /hardware).
+ */
+TargetLoadResult targetFromSpecJson(const Json &doc);
+
+/** Parse from JSON text (malformed JSON becomes a "bad-json" diag). */
+TargetLoadResult targetFromSpecText(const std::string &text);
+
+/** Load from a file on disk (unreadable file is a diagnostic). */
+TargetLoadResult targetFromSpecFile(const std::string &path);
+
+/**
+ * Names of embedded specs that carry a "hardware" section, sorted —
+ * the spec-only targets hw::byName accepts in addition to the
+ * hand-registered presets.
+ */
+const std::vector<std::string> &embeddedTargetNames();
+
+/**
+ * Load an embedded spec-only target by name; raises fatal() on an
+ * unknown name or (impossible for shipped specs, which tests
+ * validate) a spec that fails to load.
+ */
+HardwareSpec embeddedTarget(const std::string &name);
+
+} // namespace hw
+} // namespace amos
+
+#endif // AMOS_HW_SPEC_TARGET_HH

@@ -1,31 +1,30 @@
 #include "intrinsics.hh"
 
+#include "isa/spec.hh"
+#include "support/logging.hh"
+
 namespace amos {
 namespace isa {
 
 namespace {
 
-MemoryAbstraction
-matmulStyleMemory()
+/**
+ * Derive one intrinsic from an embedded spec. The equivalence suite
+ * (tests/test_isa_spec.cc) proves every derivation bit-identical to
+ * the frozen hand-written construction, which is what lets these
+ * registrations be thin wrappers. Out-of-range problem sizes raise
+ * fatal() with the structured diagnostics, matching the abstraction
+ * constructor's historical behaviour for bad extents.
+ */
+Intrinsic
+fromSpec(const char *spec_name,
+         const std::map<std::string, std::int64_t> &bindings = {})
 {
-    return MemoryAbstraction({
-        {"Src1", MemScope::Reg, MemScope::Shared},
-        {"Src2", MemScope::Reg, MemScope::Shared},
-        {"Dst", MemScope::Global, MemScope::Reg},
-    });
-}
-
-MemoryAbstraction
-registerDirectMemory()
-{
-    // CPU/Mali style: operands come straight from the cache level the
-    // model treats as "shared"; the accumulator is written back to
-    // global memory when the tile retires.
-    return MemoryAbstraction({
-        {"Src1", MemScope::Reg, MemScope::Shared},
-        {"Src2", MemScope::Reg, MemScope::Shared},
-        {"Dst", MemScope::Global, MemScope::Reg},
-    });
+    auto derived = deriveIntrinsic(embeddedSpec(spec_name), bindings);
+    if (!derived.ok())
+        fatal("ISA spec '", spec_name, "' derivation failed:\n",
+              diagsToString(derived.diags));
+    return std::move(*derived.intrinsic);
 }
 
 } // namespace
@@ -33,20 +32,7 @@ registerDirectMemory()
 Intrinsic
 wmma(std::int64_t m, std::int64_t n, std::int64_t k)
 {
-    ComputeAbstraction compute(
-        "wmma_" + std::to_string(m) + "x" + std::to_string(n) + "x" +
-            std::to_string(k),
-        {{"i1", m, false}, {"i2", n, false}, {"r1", k, true}},
-        {{"Src1", {0, 2}, DataType::F16},
-         {"Src2", {2, 1}, DataType::F16}},
-        {"Dst", {0, 1}, DataType::F16});
-    Intrinsic out{std::move(compute), matmulStyleMemory()};
-    // One mma_sync has a ~8-cycle pipelined latency on Volta-class
-    // tensor cores; two tensor units serve each sub-core.
-    out.latencyCycles = 8.0;
-    out.unitsPerSubcore = 2;
-    out.regFileBytes = 64 * 1024;
-    return out;
+    return fromSpec("wmma", {{"m", m}, {"n", n}, {"k", k}});
 }
 
 Intrinsic
@@ -58,93 +44,45 @@ wmmaTiny()
 std::vector<Intrinsic>
 wmmaVariants()
 {
-    return {wmma(16, 16, 16), wmma(32, 8, 16), wmma(8, 32, 16)};
+    auto variants = deriveVariants(embeddedSpec("wmma"));
+    if (!variants.ok())
+        fatal("ISA spec 'wmma' variant derivation failed:\n",
+              diagsToString(variants.diags));
+    return std::move(variants.intrinsics);
 }
 
 Intrinsic
 avx512Vnni()
 {
-    ComputeAbstraction compute(
-        "avx512_vnni_dpbusds",
-        {{"i1", 16, false}, {"r1", 4, true}},
-        {{"Src1", {1}, DataType::U8},
-         {"Src2", {0, 1}, DataType::I8}},
-        {"Dst", {0}, DataType::I32});
-    Intrinsic out{std::move(compute), registerDirectMemory()};
-    // Fused into the FMA pipe: ~1 issue per cycle with 4-cycle
-    // latency, one VNNI port per core.
-    out.latencyCycles = 4.0;
-    out.unitsPerSubcore = 1;
-    out.regFileBytes = 2 * 1024; // 32 zmm registers
-    return out;
+    return fromSpec("vnni");
 }
 
 Intrinsic
 maliDot()
 {
-    ComputeAbstraction compute(
-        "arm_dot",
-        {{"r1", 4, true}},
-        {{"Src1", {0}, DataType::I8}, {"Src2", {0}, DataType::I8}},
-        {"Dst", {}, DataType::I32});
-    Intrinsic out{std::move(compute), registerDirectMemory()};
-    out.latencyCycles = 2.0;
-    out.unitsPerSubcore = 4;
-    out.regFileBytes = 1024;
-    return out;
+    return fromSpec("mali_dot");
 }
 
 Intrinsic
 virtualAxpy(std::int64_t lanes)
 {
-    ComputeAbstraction compute(
-        "vaxpy_" + std::to_string(lanes),
-        {{"i1", lanes, false}},
-        {{"Src1", {0}, DataType::F32}, {"Src2", {}, DataType::F32}},
-        {"Dst", {0}, DataType::F32});
-    Intrinsic out{std::move(compute), matmulStyleMemory()};
-    out.latencyCycles = 2.0;
-    out.unitsPerSubcore = 2;
-    out.regFileBytes = 16 * 1024;
-    return out;
+    return fromSpec("vaxpy", {{"lanes", lanes}});
 }
 
 Intrinsic
 virtualGemv(std::int64_t rows, std::int64_t depth)
 {
-    ComputeAbstraction compute(
-        "vgemv_" + std::to_string(rows) + "x" + std::to_string(depth),
-        {{"i1", rows, false}, {"r1", depth, true}},
-        {{"Src1", {0, 1}, DataType::F16},
-         {"Src2", {1}, DataType::F16}},
-        {"Dst", {0}, DataType::F32});
-    Intrinsic out{std::move(compute), matmulStyleMemory()};
-    out.latencyCycles = 6.0;
-    out.unitsPerSubcore = 1;
-    out.regFileBytes = 32 * 1024;
-    return out;
+    return fromSpec("vgemv", {{"rows", rows}, {"depth", depth}});
 }
 
 Intrinsic
 virtualConv(std::int64_t out_ch, std::int64_t height,
             std::int64_t width, std::int64_t in_ch)
 {
-    ComputeAbstraction compute(
-        "vconv_" + std::to_string(out_ch) + "x" +
-            std::to_string(height) + "x" + std::to_string(width) +
-            "x" + std::to_string(in_ch),
-        {{"i1", out_ch, false},
-         {"i2", height, false},
-         {"i3", width, false},
-         {"r1", in_ch, true}},
-        {{"Src1", {3, 1, 2}, DataType::F16},
-         {"Src2", {0, 3}, DataType::F16}},
-        {"Dst", {0, 1, 2}, DataType::F32});
-    Intrinsic out{std::move(compute), matmulStyleMemory()};
-    out.latencyCycles = 12.0;
-    out.unitsPerSubcore = 1;
-    out.regFileBytes = 64 * 1024;
-    return out;
+    return fromSpec("vconv", {{"out_ch", out_ch},
+                              {"height", height},
+                              {"width", width},
+                              {"in_ch", in_ch}});
 }
 
 } // namespace isa

@@ -9,6 +9,15 @@
  *    16-lane matrix-vector product);
  *  - Mali Bifrost arm_dot (4-wide dot product);
  *  - the three virtual accelerators of Sec. 7.5 (AXPY, GEMV, CONV).
+ *
+ * Since the declarative-spec refactor, these functions are thin
+ * wrappers over the JSON ISA specs under src/isa/specs/ (embedded at
+ * build time; see isa/spec.hh): each call derives its intrinsic from
+ * the spec of the same lineage, and tests/test_isa_spec.cc proves
+ * the derivations bit-identical to the frozen hand-written
+ * constructions. Targets with no C++ wrapper at all (the AMX-style
+ * tile unit, "amx") are reached through hw::byName, which also
+ * accepts "spec:<path>" for user-supplied spec files.
  */
 
 #ifndef AMOS_ISA_INTRINSICS_HH

@@ -1,0 +1,985 @@
+#include "spec.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <set>
+
+#include "support/logging.hh"
+#include "support/str_utils.hh"
+
+namespace amos {
+namespace isa {
+
+std::string
+SpecDiag::toString() const
+{
+    return code + " at " + (path.empty() ? "/" : path) + ": " +
+           message;
+}
+
+std::string
+diagsToString(const std::vector<SpecDiag> &diags)
+{
+    std::string out;
+    for (const auto &d : diags)
+        out += d.toString() + "\n";
+    return out;
+}
+
+namespace {
+
+/** Numeric width class for dtype-pair legality (quant/legality.hh). */
+enum class WidthClass
+{
+    Float,
+    Int8,
+    Int32,
+};
+
+WidthClass
+widthClassOf(DataType t)
+{
+    switch (t) {
+      case DataType::F16:
+      case DataType::F32:
+      case DataType::BF16:
+        return WidthClass::Float;
+      case DataType::I8:
+      case DataType::U8:
+        return WidthClass::Int8;
+      case DataType::I32:
+        return WidthClass::Int32;
+    }
+    return WidthClass::Float; // unreachable for in-range enumerators
+}
+
+const char *
+widthClassName(WidthClass c)
+{
+    switch (c) {
+      case WidthClass::Float: return "float";
+      case WidthClass::Int8: return "int8";
+      case WidthClass::Int32: return "int32";
+    }
+    return "?";
+}
+
+bool
+dtypeFromName(const std::string &name, DataType *out)
+{
+    static const std::map<std::string, DataType> table = {
+        {"f16", DataType::F16},   {"f32", DataType::F32},
+        {"bf16", DataType::BF16}, {"i8", DataType::I8},
+        {"u8", DataType::U8},     {"i32", DataType::I32},
+    };
+    auto it = table.find(name);
+    if (it == table.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+bool
+memScopeFromName(const std::string &name, MemScope *out)
+{
+    if (name == "global")
+        *out = MemScope::Global;
+    else if (name == "shared")
+        *out = MemScope::Shared;
+    else if (name == "reg")
+        *out = MemScope::Reg;
+    else
+        return false;
+    return true;
+}
+
+const char *
+jsonKindName(Json::Kind kind)
+{
+    switch (kind) {
+      case Json::Kind::Null: return "null";
+      case Json::Kind::Bool: return "bool";
+      case Json::Kind::Number: return "number";
+      case Json::Kind::String: return "string";
+      case Json::Kind::Array: return "array";
+      case Json::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+/**
+ * Diagnostic accumulator with guarded JSON access: every accessor
+ * records a structured diagnostic instead of panicking, so arbitrary
+ * mutations of a valid document degrade into error reports.
+ */
+class SpecReader
+{
+  public:
+    std::vector<SpecDiag> diags;
+
+    void addDiag(std::string code, std::string path,
+                 std::string message)
+    {
+        diags.push_back(
+            {std::move(code), std::move(path), std::move(message)});
+    }
+
+    /** Required field of an object; nullptr + diag when bad. */
+    const Json *field(const Json &obj, const std::string &path,
+                      const std::string &key, Json::Kind kind)
+    {
+        const Json *f = optField(obj, path, key, kind);
+        if (f == nullptr && obj.kind() == Json::Kind::Object &&
+            !obj.has(key))
+            addDiag("missing-field", path + "/" + key,
+                    "required field '" + key + "' is absent");
+        return f;
+    }
+
+    /** Optional field: nullptr when absent; diag on a kind clash. */
+    const Json *optField(const Json &obj, const std::string &path,
+                         const std::string &key, Json::Kind kind)
+    {
+        if (obj.kind() != Json::Kind::Object) {
+            addDiag("bad-type", path,
+                    std::string("expected object, got ") +
+                        jsonKindName(obj.kind()));
+            return nullptr;
+        }
+        if (!obj.has(key))
+            return nullptr;
+        const Json &f = obj.get(key);
+        if (f.kind() != kind) {
+            addDiag("bad-type", path + "/" + key,
+                    std::string("expected ") + jsonKindName(kind) +
+                        ", got " + jsonKindName(f.kind()));
+            return nullptr;
+        }
+        return &f;
+    }
+
+    /** Integral number; false + diag on fractional values. */
+    bool asInteger(const Json &num, const std::string &path,
+                   std::int64_t *out)
+    {
+        double v = num.asNumber();
+        if (!(v == std::floor(v)) || std::abs(v) > 1e15) {
+            addDiag("bad-type", path,
+                    "expected an integer, got " + std::to_string(v));
+            return false;
+        }
+        *out = static_cast<std::int64_t>(v);
+        return true;
+    }
+};
+
+/** Collect "{placeholder}" names out of a name template. */
+std::vector<std::string>
+templatePlaceholders(const std::string &tmpl)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while ((pos = tmpl.find('{', pos)) != std::string::npos) {
+        auto end = tmpl.find('}', pos);
+        if (end == std::string::npos)
+            break;
+        out.push_back(tmpl.substr(pos + 1, end - pos - 1));
+        pos = end + 1;
+    }
+    return out;
+}
+
+std::string
+substituteTemplate(const std::string &tmpl,
+                   const std::map<std::string, std::int64_t> &values)
+{
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < tmpl.size()) {
+        if (tmpl[pos] == '{') {
+            auto end = tmpl.find('}', pos);
+            if (end != std::string::npos) {
+                auto name = tmpl.substr(pos + 1, end - pos - 1);
+                auto it = values.find(name);
+                if (it != values.end()) {
+                    out += std::to_string(it->second);
+                    pos = end + 1;
+                    continue;
+                }
+            }
+        }
+        out += tmpl[pos++];
+    }
+    return out;
+}
+
+const SpecParam *
+findParam(const IntrinsicSpec &spec, const std::string &name)
+{
+    for (const auto &p : spec.params)
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+void
+parseParams(SpecReader &rd, const Json &intr, IntrinsicSpec &spec)
+{
+    const Json *params =
+        rd.optField(intr, "/intrinsic", "params", Json::Kind::Array);
+    if (params == nullptr)
+        return;
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < params->size(); ++i) {
+        std::string path =
+            "/intrinsic/params/" + std::to_string(i);
+        const Json &p = params->at(i);
+        SpecParam out;
+        if (const Json *name =
+                rd.field(p, path, "name", Json::Kind::String)) {
+            out.name = name->asString();
+            if (out.name.empty())
+                rd.addDiag("empty-name", path + "/name",
+                           "parameter name must be non-empty");
+            if (!seen.insert(out.name).second)
+                rd.addDiag("duplicate-name", path + "/name",
+                           "parameter '" + out.name +
+                               "' declared twice");
+        }
+        if (const Json *def =
+                rd.field(p, path, "default", Json::Kind::Number))
+            rd.asInteger(*def, path + "/default", &out.defaultValue);
+        if (const Json *range =
+                rd.field(p, path, "range", Json::Kind::Array)) {
+            if (range->size() != 2) {
+                rd.addDiag("bad-range", path + "/range",
+                           "range must be [min, max]");
+            } else if (range->at(0).kind() != Json::Kind::Number ||
+                       range->at(1).kind() != Json::Kind::Number) {
+                rd.addDiag("bad-type", path + "/range",
+                           "range bounds must be numbers");
+            } else if (rd.asInteger(range->at(0), path + "/range/0",
+                                    &out.minValue) &&
+                       rd.asInteger(range->at(1), path + "/range/1",
+                                    &out.maxValue)) {
+                if (out.minValue < 1)
+                    rd.addDiag("bad-range", path + "/range",
+                               "problem-size minimum must be >= 1");
+                if (out.minValue > out.maxValue)
+                    rd.addDiag("bad-range", path + "/range",
+                               "min exceeds max");
+                else if (out.defaultValue < out.minValue ||
+                         out.defaultValue > out.maxValue)
+                    rd.addDiag(
+                        "param-out-of-range", path + "/default",
+                        "default " +
+                            std::to_string(out.defaultValue) +
+                            " outside legal range [" +
+                            std::to_string(out.minValue) + ", " +
+                            std::to_string(out.maxValue) + "]");
+            }
+        }
+        spec.params.push_back(std::move(out));
+    }
+}
+
+void
+parseIters(SpecReader &rd, const Json &intr, IntrinsicSpec &spec)
+{
+    const Json *iters =
+        rd.field(intr, "/intrinsic", "iters", Json::Kind::Array);
+    if (iters == nullptr)
+        return;
+    if (iters->size() == 0)
+        rd.addDiag("no-iters", "/intrinsic/iters",
+                   "an intrinsic needs at least one iteration");
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < iters->size(); ++i) {
+        std::string path = "/intrinsic/iters/" + std::to_string(i);
+        const Json &it = iters->at(i);
+        IntrinsicSpec::IterSpec out;
+        if (const Json *name =
+                rd.field(it, path, "name", Json::Kind::String)) {
+            out.name = name->asString();
+            if (out.name.empty())
+                rd.addDiag("empty-name", path + "/name",
+                           "iteration name must be non-empty");
+            if (!seen.insert(out.name).second)
+                rd.addDiag("duplicate-name", path + "/name",
+                           "iteration '" + out.name +
+                               "' declared twice");
+        }
+        if (const Json *kind =
+                rd.field(it, path, "kind", Json::Kind::String)) {
+            const auto &k = kind->asString();
+            if (k == "reduction")
+                out.reduction = true;
+            else if (k != "spatial")
+                rd.addDiag("bad-kind", path + "/kind",
+                           "iteration kind must be "
+                           "'spatial' or 'reduction', got '" +
+                               k + "'");
+        }
+        if (it.kind() == Json::Kind::Object && it.has("extent")) {
+            const Json &ext = it.get("extent");
+            if (ext.kind() == Json::Kind::String) {
+                out.extentParam = ext.asString();
+                if (findParam(spec, out.extentParam) == nullptr)
+                    rd.addDiag("dangling-param", path + "/extent",
+                               "extent references undeclared "
+                               "parameter '" +
+                                   out.extentParam + "'");
+            } else if (ext.kind() == Json::Kind::Number) {
+                if (rd.asInteger(ext, path + "/extent",
+                                 &out.extentLiteral) &&
+                    out.extentLiteral < 1)
+                    rd.addDiag(
+                        "bad-extent", path + "/extent",
+                        "extent must be >= 1, got " +
+                            std::to_string(out.extentLiteral));
+            } else {
+                rd.addDiag("bad-type", path + "/extent",
+                           std::string("extent must be a number or "
+                                       "a parameter name, got ") +
+                               jsonKindName(ext.kind()));
+            }
+        } else {
+            rd.addDiag("missing-field", path + "/extent",
+                       "required field 'extent' is absent");
+        }
+        spec.iters.push_back(std::move(out));
+    }
+}
+
+bool
+specHasIter(const IntrinsicSpec &spec, const std::string &name)
+{
+    for (const auto &it : spec.iters)
+        if (it.name == name)
+            return true;
+    return false;
+}
+
+IntrinsicSpec::OperandSpec
+parseOperand(SpecReader &rd, const Json &op, const std::string &path,
+             const IntrinsicSpec &spec,
+             std::set<std::string> &operandNames)
+{
+    IntrinsicSpec::OperandSpec out;
+    if (const Json *name =
+            rd.field(op, path, "name", Json::Kind::String)) {
+        out.name = name->asString();
+        if (out.name.empty())
+            rd.addDiag("empty-name", path + "/name",
+                       "operand name must be non-empty");
+        if (!operandNames.insert(out.name).second)
+            rd.addDiag("duplicate-name", path + "/name",
+                       "operand '" + out.name + "' declared twice");
+    }
+    if (const Json *indices =
+            rd.field(op, path, "indices", Json::Kind::Array)) {
+        std::set<std::string> seen;
+        for (std::size_t i = 0; i < indices->size(); ++i) {
+            std::string ipath =
+                path + "/indices/" + std::to_string(i);
+            const Json &idx = indices->at(i);
+            if (idx.kind() != Json::Kind::String) {
+                rd.addDiag("bad-type", ipath,
+                           std::string("expected an iteration name "
+                                       "string, got ") +
+                               jsonKindName(idx.kind()));
+                continue;
+            }
+            const auto &iname = idx.asString();
+            if (!specHasIter(spec, iname)) {
+                rd.addDiag("dangling-index", ipath,
+                           "operand indexes unknown iteration '" +
+                               iname + "'");
+                continue;
+            }
+            if (!seen.insert(iname).second)
+                rd.addDiag("duplicate-index", ipath,
+                           "iteration '" + iname +
+                               "' indexes the operand twice");
+            out.indices.push_back(iname);
+        }
+    }
+    if (const Json *dtype =
+            rd.field(op, path, "dtype", Json::Kind::String)) {
+        if (!dtypeFromName(dtype->asString(), &out.dtype))
+            rd.addDiag("bad-dtype", path + "/dtype",
+                       "unknown dtype '" + dtype->asString() +
+                           "' (f16|f32|bf16|i8|u8|i32)");
+    }
+    return out;
+}
+
+void
+validateSemantics(SpecReader &rd, const IntrinsicSpec &spec)
+{
+    // Operand count must match the combine kind.
+    std::size_t want =
+        spec.combine == CombineKind::MultiplyAdd ? 2 : 1;
+    if (spec.srcs.size() != want)
+        rd.addDiag(
+            "operand-count", "/intrinsic/srcs",
+            (spec.combine == CombineKind::MultiplyAdd
+                 ? std::string("multiply-add")
+                 : std::string("sum-reduce")) +
+                " needs " + std::to_string(want) + " sources, got " +
+                std::to_string(spec.srcs.size()));
+
+    // An iteration is a reduction iff Dst does not use it.
+    for (const auto &it : spec.iters) {
+        bool in_dst =
+            std::find(spec.dst.indices.begin(),
+                      spec.dst.indices.end(),
+                      it.name) != spec.dst.indices.end();
+        if (in_dst == it.reduction)
+            rd.addDiag("reduction-mismatch", "/intrinsic/dst/indices",
+                       "iteration '" + it.name + "' is " +
+                           (it.reduction ? "a reduction"
+                                         : "spatial") +
+                           " but " + (in_dst ? "" : "not ") +
+                           "indexed by Dst");
+    }
+
+    // Dtype-pair legality: sources must share a numeric width class
+    // and the accumulator class follows it (float -> float,
+    // int8 -> i32, i32 -> i32), mirroring quant/legality.hh.
+    if (!spec.srcs.empty()) {
+        WidthClass src_class = widthClassOf(spec.srcs[0].dtype);
+        for (std::size_t m = 1; m < spec.srcs.size(); ++m) {
+            WidthClass c = widthClassOf(spec.srcs[m].dtype);
+            if (c != src_class)
+                rd.addDiag(
+                    "illegal-dtype-pair",
+                    "/intrinsic/srcs/" + std::to_string(m) +
+                        "/dtype",
+                    std::string("source width classes differ (") +
+                        widthClassName(src_class) + " vs " +
+                        widthClassName(c) + ")");
+        }
+        WidthClass dst_class = widthClassOf(spec.dst.dtype);
+        WidthClass want_dst = src_class == WidthClass::Float
+                                  ? WidthClass::Float
+                                  : WidthClass::Int32;
+        if (dst_class != want_dst)
+            rd.addDiag("illegal-dtype-pair", "/intrinsic/dst/dtype",
+                       std::string(widthClassName(src_class)) +
+                           " sources must accumulate into a " +
+                           widthClassName(want_dst) +
+                           " destination, got " +
+                           dtypeName(spec.dst.dtype));
+    }
+
+    // The name template may only reference declared parameters.
+    for (const auto &ph : templatePlaceholders(spec.nameTemplate))
+        if (findParam(spec, ph) == nullptr)
+            rd.addDiag("dangling-param", "/intrinsic/name",
+                       "name template references undeclared "
+                       "parameter '" +
+                           ph + "'");
+
+    // Every operand needs exactly one staging statement.
+    std::set<std::string> staged;
+    for (std::size_t i = 0; i < spec.memory.size(); ++i) {
+        const auto &stmt = spec.memory[i];
+        std::string path =
+            "/intrinsic/memory/" + std::to_string(i);
+        bool known = stmt.operand == spec.dst.name;
+        for (const auto &src : spec.srcs)
+            known |= stmt.operand == src.name;
+        if (!known)
+            rd.addDiag("unknown-operand", path + "/operand",
+                       "staging statement names unknown operand '" +
+                           stmt.operand + "'");
+        else if (!staged.insert(stmt.operand).second)
+            rd.addDiag("duplicate-staging", path + "/operand",
+                       "operand '" + stmt.operand +
+                           "' staged twice");
+    }
+    for (const auto &src : spec.srcs)
+        if (!src.name.empty() && !staged.count(src.name))
+            rd.addDiag("missing-staging", "/intrinsic/memory",
+                       "no staging statement for operand '" +
+                           src.name + "'");
+    if (!spec.dst.name.empty() && !staged.count(spec.dst.name))
+        rd.addDiag("missing-staging", "/intrinsic/memory",
+                   "no staging statement for operand '" +
+                       spec.dst.name + "'");
+
+    // Timing attributes must be physical.
+    if (!(spec.latencyCycles > 0.0))
+        rd.addDiag("bad-timing", "/intrinsic/timing/latency_cycles",
+                   "latency must be > 0");
+    if (spec.unitsPerSubcore < 1)
+        rd.addDiag("bad-timing",
+                   "/intrinsic/timing/units_per_subcore",
+                   "units per sub-core must be >= 1");
+    if (spec.regFileBytes < 0)
+        rd.addDiag("bad-timing",
+                   "/intrinsic/timing/reg_file_bytes",
+                   "register-file bytes must be >= 0");
+
+    // Variants must bind known parameters to in-range values.
+    for (std::size_t v = 0; v < spec.variants.size(); ++v) {
+        std::string path = "/variants/" + std::to_string(v);
+        for (const auto &[name, value] : spec.variants[v]) {
+            const SpecParam *p = findParam(spec, name);
+            if (p == nullptr) {
+                rd.addDiag("dangling-param", path + "/" + name,
+                           "variant binds undeclared parameter '" +
+                               name + "'");
+            } else if (value < p->minValue || value > p->maxValue) {
+                rd.addDiag("param-out-of-range", path + "/" + name,
+                           std::to_string(value) +
+                               " outside legal range [" +
+                               std::to_string(p->minValue) + ", " +
+                               std::to_string(p->maxValue) + "]");
+            }
+        }
+    }
+}
+
+} // namespace
+
+SpecParseResult
+parseIntrinsicSpec(const Json &doc)
+{
+    SpecReader rd;
+    IntrinsicSpec spec;
+
+    if (doc.kind() != Json::Kind::Object) {
+        rd.addDiag("bad-type", "",
+                   std::string("spec document must be an object, "
+                               "got ") +
+                       jsonKindName(doc.kind()));
+        return {std::nullopt, std::move(rd.diags)};
+    }
+
+    if (const Json *schema =
+            rd.optField(doc, "", "schema", Json::Kind::String)) {
+        if (schema->asString() != "amos-isa-spec-v1")
+            rd.addDiag("bad-schema", "/schema",
+                       "unsupported schema '" + schema->asString() +
+                           "' (expected amos-isa-spec-v1)");
+    }
+    if (const Json *name =
+            rd.field(doc, "", "name", Json::Kind::String)) {
+        spec.specName = name->asString();
+        if (spec.specName.empty())
+            rd.addDiag("empty-name", "/name",
+                       "spec name must be non-empty");
+    }
+    if (const Json *desc =
+            rd.optField(doc, "", "description", Json::Kind::String))
+        spec.description = desc->asString();
+
+    const Json *intr =
+        rd.field(doc, "", "intrinsic", Json::Kind::Object);
+    if (intr == nullptr)
+        return {std::nullopt, std::move(rd.diags)};
+
+    if (const Json *name = rd.field(*intr, "/intrinsic", "name",
+                                    Json::Kind::String)) {
+        spec.nameTemplate = name->asString();
+        if (spec.nameTemplate.empty())
+            rd.addDiag("empty-name", "/intrinsic/name",
+                       "intrinsic name must be non-empty");
+    }
+    if (const Json *combine = rd.optField(
+            *intr, "/intrinsic", "combine", Json::Kind::String)) {
+        const auto &c = combine->asString();
+        if (c == "sum-reduce")
+            spec.combine = CombineKind::SumReduce;
+        else if (c != "multiply-add")
+            rd.addDiag("bad-combine", "/intrinsic/combine",
+                       "combine must be 'multiply-add' or "
+                       "'sum-reduce', got '" +
+                           c + "'");
+    }
+
+    parseParams(rd, *intr, spec);
+    parseIters(rd, *intr, spec);
+
+    if (const Json *srcs = rd.field(*intr, "/intrinsic", "srcs",
+                                    Json::Kind::Array)) {
+        std::set<std::string> operandNames;
+        for (std::size_t i = 0; i < srcs->size(); ++i) {
+            std::string path =
+                "/intrinsic/srcs/" + std::to_string(i);
+            if (srcs->at(i).kind() != Json::Kind::Object) {
+                rd.addDiag("bad-type", path,
+                           std::string("expected object, got ") +
+                               jsonKindName(srcs->at(i).kind()));
+                continue;
+            }
+            spec.srcs.push_back(parseOperand(rd, srcs->at(i), path,
+                                             spec, operandNames));
+        }
+        if (const Json *dst = rd.field(*intr, "/intrinsic", "dst",
+                                       Json::Kind::Object))
+            spec.dst = parseOperand(rd, *dst, "/intrinsic/dst",
+                                    spec, operandNames);
+    } else {
+        rd.field(*intr, "/intrinsic", "dst", Json::Kind::Object);
+    }
+
+    if (const Json *memory = rd.field(*intr, "/intrinsic", "memory",
+                                      Json::Kind::Array)) {
+        for (std::size_t i = 0; i < memory->size(); ++i) {
+            std::string path =
+                "/intrinsic/memory/" + std::to_string(i);
+            const Json &stmt = memory->at(i);
+            IntrinsicSpec::StageSpec out;
+            if (const Json *op = rd.field(stmt, path, "operand",
+                                          Json::Kind::String))
+                out.operand = op->asString();
+            if (const Json *from = rd.field(stmt, path, "from",
+                                            Json::Kind::String)) {
+                if (!memScopeFromName(from->asString(), &out.from))
+                    rd.addDiag("bad-scope", path + "/from",
+                               "unknown scope '" +
+                                   from->asString() +
+                                   "' (global|shared|reg)");
+            }
+            if (const Json *to = rd.field(stmt, path, "to",
+                                          Json::Kind::String)) {
+                if (!memScopeFromName(to->asString(), &out.to))
+                    rd.addDiag("bad-scope", path + "/to",
+                               "unknown scope '" + to->asString() +
+                                   "' (global|shared|reg)");
+            }
+            spec.memory.push_back(std::move(out));
+        }
+    }
+
+    if (const Json *timing = rd.optField(*intr, "/intrinsic",
+                                         "timing",
+                                         Json::Kind::Object)) {
+        std::string path = "/intrinsic/timing";
+        if (const Json *lat = rd.optField(
+                *timing, path, "latency_cycles", Json::Kind::Number))
+            spec.latencyCycles = lat->asNumber();
+        if (const Json *units =
+                rd.optField(*timing, path, "units_per_subcore",
+                            Json::Kind::Number)) {
+            std::int64_t v = 0;
+            if (rd.asInteger(*units, path + "/units_per_subcore",
+                             &v))
+                spec.unitsPerSubcore = static_cast<int>(v);
+        }
+        if (const Json *reg =
+                rd.optField(*timing, path, "reg_file_bytes",
+                            Json::Kind::Number))
+            rd.asInteger(*reg, path + "/reg_file_bytes",
+                         &spec.regFileBytes);
+    }
+
+    if (const Json *variants =
+            rd.optField(doc, "", "variants", Json::Kind::Array)) {
+        for (std::size_t v = 0; v < variants->size(); ++v) {
+            std::string path = "/variants/" + std::to_string(v);
+            const Json &var = variants->at(v);
+            if (var.kind() != Json::Kind::Object) {
+                rd.addDiag("bad-type", path,
+                           std::string("expected object, got ") +
+                               jsonKindName(var.kind()));
+                continue;
+            }
+            std::map<std::string, std::int64_t> binds;
+            for (const auto &[key, value] : var.entries()) {
+                if (value.kind() != Json::Kind::Number) {
+                    rd.addDiag("bad-type", path + "/" + key,
+                               std::string(
+                                   "expected number, got ") +
+                                   jsonKindName(value.kind()));
+                    continue;
+                }
+                std::int64_t n = 0;
+                if (rd.asInteger(value, path + "/" + key, &n))
+                    binds[key] = n;
+            }
+            spec.variants.push_back(std::move(binds));
+        }
+    }
+
+    validateSemantics(rd, spec);
+
+    if (!rd.diags.empty())
+        return {std::nullopt, std::move(rd.diags)};
+    return {std::move(spec), {}};
+}
+
+SpecParseResult
+parseIntrinsicSpecText(const std::string &text)
+{
+    try {
+        return parseIntrinsicSpec(Json::parse(text));
+    } catch (const FatalError &err) {
+        return {std::nullopt,
+                {{"bad-json", "", err.what()}}};
+    }
+}
+
+SpecDeriveResult
+deriveIntrinsic(const IntrinsicSpec &spec,
+                const std::map<std::string, std::int64_t> &bindings)
+{
+    std::vector<SpecDiag> diags;
+
+    // Resolve the parameter environment: defaults, then overrides.
+    std::map<std::string, std::int64_t> env;
+    for (const auto &p : spec.params)
+        env[p.name] = p.defaultValue;
+    for (const auto &[name, value] : bindings) {
+        const SpecParam *p = findParam(spec, name);
+        if (p == nullptr) {
+            diags.push_back({"dangling-param", "/params",
+                             "binding names undeclared parameter '" +
+                                 name + "'"});
+            continue;
+        }
+        if (value < p->minValue || value > p->maxValue) {
+            diags.push_back(
+                {"param-out-of-range", "/params/" + name,
+                 std::to_string(value) +
+                     " outside legal range [" +
+                     std::to_string(p->minValue) + ", " +
+                     std::to_string(p->maxValue) + "]"});
+            continue;
+        }
+        env[name] = value;
+    }
+    if (!diags.empty())
+        return {std::nullopt, std::move(diags)};
+
+    std::vector<IntrinsicIter> iters;
+    std::map<std::string, std::size_t> iterPos;
+    for (const auto &it : spec.iters) {
+        std::int64_t extent = it.extentParam.empty()
+                                  ? it.extentLiteral
+                                  : env.at(it.extentParam);
+        iterPos[it.name] = iters.size();
+        iters.push_back({it.name, extent, it.reduction});
+    }
+
+    auto resolveOperand =
+        [&](const IntrinsicSpec::OperandSpec &op) {
+            IntrinsicOperand out;
+            out.name = op.name;
+            out.dtype = op.dtype;
+            for (const auto &iname : op.indices)
+                out.iterIndices.push_back(iterPos.at(iname));
+            return out;
+        };
+
+    std::vector<IntrinsicOperand> srcs;
+    for (const auto &src : spec.srcs)
+        srcs.push_back(resolveOperand(src));
+
+    try {
+        ComputeAbstraction compute(
+            substituteTemplate(spec.nameTemplate, env),
+            std::move(iters), std::move(srcs),
+            resolveOperand(spec.dst), spec.combine);
+        std::vector<MemoryAbstraction::Statement> statements;
+        for (const auto &stmt : spec.memory)
+            statements.push_back(
+                {stmt.operand, stmt.to, stmt.from});
+        Intrinsic out{std::move(compute),
+                      MemoryAbstraction(std::move(statements))};
+        out.latencyCycles = spec.latencyCycles;
+        out.unitsPerSubcore = spec.unitsPerSubcore;
+        out.regFileBytes = spec.regFileBytes;
+        return {std::move(out), {}};
+    } catch (const FatalError &err) {
+        // Defence in depth: parse-time validation should have caught
+        // everything the abstraction constructor checks.
+        return {std::nullopt,
+                {{"derive-failed", "/intrinsic", err.what()}}};
+    }
+}
+
+SpecVariantsResult
+deriveVariants(const IntrinsicSpec &spec)
+{
+    SpecVariantsResult out;
+    std::vector<std::map<std::string, std::int64_t>> variants =
+        spec.variants;
+    if (variants.empty())
+        variants.push_back({});
+    for (const auto &binds : variants) {
+        auto derived = deriveIntrinsic(spec, binds);
+        if (!derived.ok()) {
+            out.intrinsics.clear();
+            out.diags = std::move(derived.diags);
+            return out;
+        }
+        out.intrinsics.push_back(std::move(*derived.intrinsic));
+    }
+    return out;
+}
+
+Json
+intrinsicToSpecJson(const Intrinsic &intr)
+{
+    const auto &c = intr.compute;
+
+    Json iters = Json::array();
+    for (const auto &it : c.iters()) {
+        Json j = Json::object();
+        j.set("name", Json(it.name));
+        j.set("extent", Json(it.extent));
+        j.set("kind",
+              Json(it.reduction ? "reduction" : "spatial"));
+        iters.push(std::move(j));
+    }
+
+    auto operandJson = [&](const IntrinsicOperand &op) {
+        Json j = Json::object();
+        j.set("name", Json(op.name));
+        Json indices = Json::array();
+        for (auto idx : op.iterIndices)
+            indices.push(Json(c.iters()[idx].name));
+        j.set("indices", std::move(indices));
+        j.set("dtype", Json(dtypeName(op.dtype)));
+        return j;
+    };
+
+    Json srcs = Json::array();
+    for (const auto &src : c.srcs())
+        srcs.push(operandJson(src));
+
+    Json memory = Json::array();
+    for (const auto &stmt : intr.memory.statements()) {
+        Json j = Json::object();
+        j.set("operand", Json(stmt.operand));
+        j.set("from", Json(memScopeName(stmt.srcScope)));
+        j.set("to", Json(memScopeName(stmt.dstScope)));
+        memory.push(std::move(j));
+    }
+
+    Json timing = Json::object();
+    timing.set("latency_cycles", Json(intr.latencyCycles));
+    timing.set("units_per_subcore", Json(intr.unitsPerSubcore));
+    timing.set("reg_file_bytes", Json(intr.regFileBytes));
+
+    Json spec = Json::object();
+    spec.set("name", Json(c.name()));
+    spec.set("combine",
+             Json(c.combine() == CombineKind::MultiplyAdd
+                      ? "multiply-add"
+                      : "sum-reduce"));
+    spec.set("iters", std::move(iters));
+    spec.set("srcs", std::move(srcs));
+    spec.set("dst", operandJson(c.dst()));
+    spec.set("memory", std::move(memory));
+    spec.set("timing", std::move(timing));
+
+    Json doc = Json::object();
+    doc.set("schema", Json("amos-isa-spec-v1"));
+    doc.set("name", Json(c.name()));
+    doc.set("intrinsic", std::move(spec));
+    return doc;
+}
+
+bool
+intrinsicEquivalent(const Intrinsic &a, const Intrinsic &b,
+                    std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why != nullptr)
+            *why = msg;
+        return false;
+    };
+
+    const auto &ca = a.compute;
+    const auto &cb = b.compute;
+    if (ca.name() != cb.name())
+        return fail("name: '" + ca.name() + "' vs '" + cb.name() +
+                    "'");
+    if (ca.combine() != cb.combine())
+        return fail("combine kind differs");
+    if (ca.numIters() != cb.numIters())
+        return fail("iteration count differs");
+    for (std::size_t k = 0; k < ca.numIters(); ++k) {
+        const auto &ia = ca.iters()[k];
+        const auto &ib = cb.iters()[k];
+        if (ia.name != ib.name || ia.extent != ib.extent ||
+            ia.reduction != ib.reduction)
+            return fail("iteration #" + std::to_string(k) +
+                        " differs: " + ia.name + "/" +
+                        std::to_string(ia.extent) + " vs " +
+                        ib.name + "/" + std::to_string(ib.extent));
+    }
+    auto operandsEqual = [&](const IntrinsicOperand &oa,
+                             const IntrinsicOperand &ob,
+                             const std::string &label) {
+        if (oa.name != ob.name)
+            return fail(label + " name differs: " + oa.name +
+                        " vs " + ob.name);
+        if (oa.iterIndices != ob.iterIndices)
+            return fail(label + " index list differs");
+        if (oa.dtype != ob.dtype)
+            return fail(label + " dtype differs: " +
+                        dtypeName(oa.dtype) + " vs " +
+                        dtypeName(ob.dtype));
+        return true;
+    };
+    if (ca.numSrcs() != cb.numSrcs())
+        return fail("source count differs");
+    for (std::size_t m = 0; m < ca.numSrcs(); ++m)
+        if (!operandsEqual(ca.srcs()[m], cb.srcs()[m],
+                           "src #" + std::to_string(m)))
+            return false;
+    if (!operandsEqual(ca.dst(), cb.dst(), "dst"))
+        return false;
+    if (!(ca.accessMatrix() == cb.accessMatrix()))
+        return fail("access matrices differ");
+
+    const auto &ma = a.memory.statements();
+    const auto &mb = b.memory.statements();
+    if (ma.size() != mb.size())
+        return fail("memory statement count differs");
+    for (std::size_t i = 0; i < ma.size(); ++i)
+        if (ma[i].operand != mb[i].operand ||
+            ma[i].srcScope != mb[i].srcScope ||
+            ma[i].dstScope != mb[i].dstScope)
+            return fail("memory statement #" + std::to_string(i) +
+                        " differs");
+
+    if (a.latencyCycles != b.latencyCycles)
+        return fail("latency differs");
+    if (a.unitsPerSubcore != b.unitsPerSubcore)
+        return fail("units per sub-core differ");
+    if (a.regFileBytes != b.regFileBytes)
+        return fail("register-file bytes differ");
+    return true;
+}
+
+const IntrinsicSpec &
+embeddedSpec(const std::string &name)
+{
+    static std::mutex mutex;
+    static std::map<std::string, IntrinsicSpec> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(name);
+    if (it != cache.end())
+        return it->second;
+    const char *text = embeddedSpecText(name);
+    if (text == nullptr)
+        fatal("unknown embedded ISA spec '", name, "' (",
+              join(embeddedSpecNames(), "|"), ")");
+    auto parsed = parseIntrinsicSpecText(text);
+    if (!parsed.ok())
+        fatal("embedded ISA spec '", name, "' is invalid:\n",
+              diagsToString(parsed.diags));
+    return cache.emplace(name, std::move(*parsed.spec))
+        .first->second;
+}
+
+} // namespace isa
+} // namespace amos

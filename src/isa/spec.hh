@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Declarative ISA specifications (JSON) and the loader that derives
+ * full hardware intrinsics from them.
+ *
+ * Every intrinsic this repository models can be described without
+ * C++: a spec names the intrinsic iterations and their extents
+ * (einsum-style indexed access patterns), the operand element types,
+ * the memory staging level of each operand, and the problem-size
+ * parameters with their legal ranges. From one spec the loader
+ * derives everything `Intrinsic` carries — the compute abstraction
+ * (and therefore the access matrix Z, range constraints, and
+ * matching-matrix machinery), the memory abstraction, and the timing
+ * attributes — so onboarding a new spatial accelerator is writing a
+ * JSON file, not recompiling the compiler (docs/abstraction.md walks
+ * the schema).
+ *
+ * Error handling is diagnostics-first: malformed specs never crash
+ * and never yield a silently-wrong intrinsic. Every failure mode —
+ * missing fields, wrong JSON kinds, out-of-range extents, dangling
+ * iteration or parameter names, operand/combine mismatches, illegal
+ * dtype pairs — produces a structured SpecDiag with a stable code
+ * and a JSON-pointer-style path, and the partial result is dropped.
+ * tests/test_isa_spec.cc fuzzes mutated specs against this contract
+ * and proves every built-in spec bit-identical to its hand-written
+ * twin.
+ *
+ * The spec files under src/isa/specs/ are embedded into the library
+ * at build time (see specs/embed_specs.cmake); embeddedSpecNames()/
+ * embeddedSpecText() expose them, and intrinsics.cc derives the
+ * whole registry from them.
+ */
+
+#ifndef AMOS_ISA_SPEC_HH
+#define AMOS_ISA_SPEC_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/abstraction.hh"
+#include "support/json.hh"
+
+namespace amos {
+namespace isa {
+
+/**
+ * One structured diagnostic from spec parsing, validation, or
+ * derivation. `code` is a stable kebab-case identifier suitable for
+ * programmatic matching; `path` locates the offending node in the
+ * spec document (JSON-pointer style, e.g. "/intrinsic/iters/1/extent");
+ * `message` is the human explanation.
+ */
+struct SpecDiag
+{
+    std::string code;
+    std::string path;
+    std::string message;
+
+    /** "code at path: message" one-liner for logs and test output. */
+    std::string toString() const;
+};
+
+/** Render a diagnostic list, one per line (empty string when none). */
+std::string diagsToString(const std::vector<SpecDiag> &diags);
+
+/** A problem-size parameter and its legal (inclusive) range. */
+struct SpecParam
+{
+    std::string name;
+    std::int64_t defaultValue = 1;
+    std::int64_t minValue = 1;
+    std::int64_t maxValue = 1;
+};
+
+/**
+ * Parsed, validated form of one ISA spec document. Still declarative
+ * — extents may reference parameters — so one spec can derive a
+ * family of intrinsics (e.g. the three WMMA shapes).
+ */
+struct IntrinsicSpec
+{
+    /** Registry name of the spec (the document's "name" field). */
+    std::string specName;
+    std::string description;
+
+    std::vector<SpecParam> params;
+
+    /**
+     * Intrinsic-name template; "{param}" placeholders are substituted
+     * with the bound value at derive time (e.g. "wmma_{m}x{n}x{k}").
+     */
+    std::string nameTemplate;
+
+    CombineKind combine = CombineKind::MultiplyAdd;
+
+    /** One intrinsic iteration: literal extent or a parameter ref. */
+    struct IterSpec
+    {
+        std::string name;
+        bool reduction = false;
+        /** When extentParam is empty the literal extent applies. */
+        std::string extentParam;
+        std::int64_t extentLiteral = 0;
+    };
+    std::vector<IterSpec> iters;
+
+    /** One operand: einsum-style index list of iteration names. */
+    struct OperandSpec
+    {
+        std::string name;
+        std::vector<std::string> indices;
+        DataType dtype = DataType::F16;
+    };
+    std::vector<OperandSpec> srcs;
+    OperandSpec dst;
+
+    /** One staging statement: operand moves `to` <- `from`. */
+    struct StageSpec
+    {
+        std::string operand;
+        MemScope from = MemScope::Shared;
+        MemScope to = MemScope::Reg;
+    };
+    std::vector<StageSpec> memory;
+
+    double latencyCycles = 1.0;
+    int unitsPerSubcore = 1;
+    std::int64_t regFileBytes = 64 * 1024;
+
+    /**
+     * Named problem-size bindings the target ships (the document's
+     * "variants" list); empty means "defaults only".
+     */
+    std::vector<std::map<std::string, std::int64_t>> variants;
+};
+
+/** Result of parsing a spec document. */
+struct SpecParseResult
+{
+    std::optional<IntrinsicSpec> spec;
+    std::vector<SpecDiag> diags;
+
+    bool ok() const { return spec.has_value() && diags.empty(); }
+};
+
+/**
+ * Parse and validate one spec document. Never throws: every failure
+ * mode lands in `diags` and leaves `spec` empty. A returned spec has
+ * passed full structural validation (unique names, resolvable
+ * references, legal dtype pairing, covered staging, ranges).
+ */
+SpecParseResult parseIntrinsicSpec(const Json &doc);
+
+/** Parse from JSON text (malformed JSON becomes a "bad-json" diag). */
+SpecParseResult parseIntrinsicSpecText(const std::string &text);
+
+/** Result of deriving a concrete intrinsic from a spec. */
+struct SpecDeriveResult
+{
+    std::optional<Intrinsic> intrinsic;
+    std::vector<SpecDiag> diags;
+
+    bool ok() const { return intrinsic.has_value() && diags.empty(); }
+};
+
+/**
+ * Derive a concrete Intrinsic from a validated spec. `bindings`
+ * overrides parameter defaults; unknown parameter names and values
+ * outside the declared legal range are diagnostics, not crashes.
+ */
+SpecDeriveResult
+deriveIntrinsic(const IntrinsicSpec &spec,
+                const std::map<std::string, std::int64_t> &bindings = {});
+
+/**
+ * Derive every shipped variant (the spec's "variants" list, or the
+ * parameter defaults when none are declared), in document order.
+ * Diagnostics from any variant abort the whole derivation.
+ */
+struct SpecVariantsResult
+{
+    std::vector<Intrinsic> intrinsics;
+    std::vector<SpecDiag> diags;
+
+    bool ok() const { return !intrinsics.empty() && diags.empty(); }
+};
+SpecVariantsResult deriveVariants(const IntrinsicSpec &spec);
+
+/**
+ * Serialize a concrete intrinsic back to a spec document that
+ * re-derives it exactly (extents become literals, the name template
+ * the literal name). The round-trip property — derive(serialize(i))
+ * equivalent to i — is pinned by tests/test_isa_spec.cc.
+ */
+Json intrinsicToSpecJson(const Intrinsic &intr);
+
+/**
+ * Deep structural equivalence of two intrinsics: name, iterations
+ * (names, extents, reduction flags), operands (names, index lists,
+ * dtypes), combine kind, access matrices, memory statements, and
+ * timing attributes. On mismatch returns false and, when `why` is
+ * non-null, a human-readable description of the first difference.
+ */
+bool intrinsicEquivalent(const Intrinsic &a, const Intrinsic &b,
+                         std::string *why = nullptr);
+
+/// @name Embedded spec registry.
+/// The JSON files under src/isa/specs/ are compiled into the library
+/// (generated embedded_specs.cc). Names are the file stems.
+/// @{
+
+/** Names of all embedded specs, sorted. */
+const std::vector<std::string> &embeddedSpecNames();
+
+/** Raw JSON text of an embedded spec; nullptr when unknown. */
+const char *embeddedSpecText(const std::string &name);
+
+/**
+ * Parsed embedded spec by name (cached; parsed once per process).
+ * Raises fatal() on an unknown name or — impossible for shipped
+ * specs, which tests validate — a spec that fails to parse.
+ */
+const IntrinsicSpec &embeddedSpec(const std::string &name);
+
+/// @}
+
+} // namespace isa
+} // namespace amos
+
+#endif // AMOS_ISA_SPEC_HH

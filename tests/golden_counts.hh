@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared golden-count fixture: the feasible-mapping-count matrix for
+ * every modelled intrinsic x a representative operator set at Table
+ * 6's small extents. One definition drives both test_generate.cc
+ * (regression anchor for the enumerator) and test_isa_spec.cc (the
+ * spec-derived registry must reproduce the same counts), so the two
+ * suites can never drift apart on what "golden" means.
+ */
+
+#ifndef AMOS_TESTS_GOLDEN_COUNTS_HH
+#define AMOS_TESTS_GOLDEN_COUNTS_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "hw/hardware.hh"
+#include "isa/intrinsics.hh"
+#include "mapping/generate.hh"
+#include "ops/operators.hh"
+
+namespace amos {
+namespace golden {
+
+inline ops::ConvParams
+smallConvParams()
+{
+    ops::ConvParams pr;
+    pr.batch = 2;
+    pr.in_channels = 2;
+    pr.out_channels = 4;
+    pr.out_h = 2;
+    pr.out_w = 2;
+    pr.kernel_h = 3;
+    pr.kernel_w = 3;
+    return pr;
+}
+
+constexpr std::size_t kNumOperators = 6;
+
+struct OperatorCol
+{
+    const char *name;
+    TensorComputation comp;
+};
+
+/** The representative operator set, in golden-matrix column order. */
+inline std::vector<OperatorCol>
+operatorColumns()
+{
+    ops::ConvParams pr = smallConvParams();
+    std::vector<OperatorCol> cols;
+    cols.push_back({"gemm", ops::makeGemm(4, 4, 4)});
+    cols.push_back({"gemv", ops::makeGemv(8, 8)});
+    cols.push_back({"conv1d", ops::makeConv1d(2, 2, 4, 4, 3)});
+    cols.push_back({"conv2d", ops::makeConv2d(pr)});
+    cols.push_back({"depthwise", ops::makeDepthwiseConv2d(pr, 2)});
+    cols.push_back({"group", ops::makeGroupConv2d(pr, 2)});
+    return cols;
+}
+
+struct IntrinsicRow
+{
+    const char *name;
+    Intrinsic intr;
+    bool int8; ///< counts run on the quantized operator variant
+    std::array<std::size_t, kNumOperators> counts;
+};
+
+/**
+ * The golden matrix: one row per modelled intrinsic, column order as
+ * operatorColumns(). virtualConv's compute has a different operand
+ * structure, so gemm/gemv yield 0. The int8 intrinsics (including
+ * the spec-only AMX tile unit) count on the quantized u8xi8 variants
+ * — their mapping spaces are unchanged by the retyping, which is
+ * exactly what makes the counts comparable with the float rows.
+ */
+inline std::vector<IntrinsicRow>
+intrinsicRows()
+{
+    std::vector<IntrinsicRow> rows;
+    rows.push_back(
+        {"wmmaTiny", isa::wmmaTiny(), false, {1, 1, 9, 35, 15, 35}});
+    rows.push_back({"wmma16", isa::wmma(16, 16, 16), false,
+                    {1, 1, 9, 35, 15, 35}});
+    rows.push_back(
+        {"avx512Vnni", isa::avx512Vnni(), true, {1, 1, 3, 7, 3, 7}});
+    rows.push_back(
+        {"maliDot", isa::maliDot(), true, {1, 1, 3, 7, 3, 7}});
+    rows.push_back({"virtualGemv", isa::virtualGemv(), false,
+                    {1, 1, 9, 35, 15, 35}});
+    rows.push_back({"virtualAxpy", isa::virtualAxpy(), false,
+                    {1, 1, 3, 5, 5, 5}});
+    rows.push_back({"virtualConv", isa::virtualConv(), false,
+                    {0, 0, 6, 28, 12, 28}});
+    // The spec-only target: same wmma-shaped compute at int8 types,
+    // reached exclusively through the embedded-spec registry.
+    rows.push_back({"amx", hw::byName("amx").primaryIntrinsic(), true,
+                    {1, 1, 9, 35, 15, 35}});
+    return rows;
+}
+
+/** Addressable-policy mapping count, the golden matrix's metric. */
+inline std::size_t
+countAddressable(const TensorComputation &comp, const Intrinsic &intr)
+{
+    GeneratorOptions options;
+    options.policy = LegalityPolicy::Addressable;
+    return enumerateMappings(comp, intr, options).size();
+}
+
+} // namespace golden
+} // namespace amos
+
+#endif // AMOS_TESTS_GOLDEN_COUNTS_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Frozen copies of the hand-written intrinsic constructions that
+ * predate the declarative-spec refactor (git history: the original
+ * src/isa/intrinsics.cc). These are the golden reference for the
+ * equivalence suite in test_isa_spec.cc: the spec-derived registry in
+ * isa/intrinsics.hh must stay bit-identical to what these build.
+ *
+ * Deliberately NOT kept in sync with src/ — if an intrinsic's
+ * definition ever needs to change, change the JSON spec, then update
+ * this freeze in the same commit with the reason in the diff.
+ */
+
+#ifndef AMOS_TESTS_HAND_BUILT_INTRINSICS_HH
+#define AMOS_TESTS_HAND_BUILT_INTRINSICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/abstraction.hh"
+
+namespace amos {
+namespace handbuilt {
+
+inline MemoryAbstraction
+matmulStyleMemory()
+{
+    return MemoryAbstraction({
+        {"Src1", MemScope::Reg, MemScope::Shared},
+        {"Src2", MemScope::Reg, MemScope::Shared},
+        {"Dst", MemScope::Global, MemScope::Reg},
+    });
+}
+
+inline Intrinsic
+wmma(std::int64_t m, std::int64_t n, std::int64_t k)
+{
+    ComputeAbstraction compute(
+        "wmma_" + std::to_string(m) + "x" + std::to_string(n) + "x" +
+            std::to_string(k),
+        {{"i1", m, false}, {"i2", n, false}, {"r1", k, true}},
+        {{"Src1", {0, 2}, DataType::F16},
+         {"Src2", {2, 1}, DataType::F16}},
+        {"Dst", {0, 1}, DataType::F16});
+    Intrinsic out{std::move(compute), matmulStyleMemory()};
+    out.latencyCycles = 8.0;
+    out.unitsPerSubcore = 2;
+    out.regFileBytes = 64 * 1024;
+    return out;
+}
+
+inline Intrinsic
+wmmaTiny()
+{
+    return wmma(2, 2, 2);
+}
+
+inline std::vector<Intrinsic>
+wmmaVariants()
+{
+    return {wmma(16, 16, 16), wmma(32, 8, 16), wmma(8, 32, 16)};
+}
+
+inline Intrinsic
+avx512Vnni()
+{
+    ComputeAbstraction compute(
+        "avx512_vnni_dpbusds",
+        {{"i1", 16, false}, {"r1", 4, true}},
+        {{"Src1", {1}, DataType::U8},
+         {"Src2", {0, 1}, DataType::I8}},
+        {"Dst", {0}, DataType::I32});
+    Intrinsic out{std::move(compute), matmulStyleMemory()};
+    out.latencyCycles = 4.0;
+    out.unitsPerSubcore = 1;
+    out.regFileBytes = 2 * 1024;
+    return out;
+}
+
+inline Intrinsic
+maliDot()
+{
+    ComputeAbstraction compute(
+        "arm_dot",
+        {{"r1", 4, true}},
+        {{"Src1", {0}, DataType::I8}, {"Src2", {0}, DataType::I8}},
+        {"Dst", {}, DataType::I32});
+    Intrinsic out{std::move(compute), matmulStyleMemory()};
+    out.latencyCycles = 2.0;
+    out.unitsPerSubcore = 4;
+    out.regFileBytes = 1024;
+    return out;
+}
+
+inline Intrinsic
+virtualAxpy(std::int64_t lanes = 64)
+{
+    ComputeAbstraction compute(
+        "vaxpy_" + std::to_string(lanes),
+        {{"i1", lanes, false}},
+        {{"Src1", {0}, DataType::F32}, {"Src2", {}, DataType::F32}},
+        {"Dst", {0}, DataType::F32});
+    Intrinsic out{std::move(compute), matmulStyleMemory()};
+    out.latencyCycles = 2.0;
+    out.unitsPerSubcore = 2;
+    out.regFileBytes = 16 * 1024;
+    return out;
+}
+
+inline Intrinsic
+virtualGemv(std::int64_t rows = 32, std::int64_t depth = 32)
+{
+    ComputeAbstraction compute(
+        "vgemv_" + std::to_string(rows) + "x" + std::to_string(depth),
+        {{"i1", rows, false}, {"r1", depth, true}},
+        {{"Src1", {0, 1}, DataType::F16},
+         {"Src2", {1}, DataType::F16}},
+        {"Dst", {0}, DataType::F32});
+    Intrinsic out{std::move(compute), matmulStyleMemory()};
+    out.latencyCycles = 6.0;
+    out.unitsPerSubcore = 1;
+    out.regFileBytes = 32 * 1024;
+    return out;
+}
+
+inline Intrinsic
+virtualConv(std::int64_t out_ch = 8, std::int64_t height = 4,
+            std::int64_t width = 4, std::int64_t in_ch = 8)
+{
+    ComputeAbstraction compute(
+        "vconv_" + std::to_string(out_ch) + "x" +
+            std::to_string(height) + "x" + std::to_string(width) +
+            "x" + std::to_string(in_ch),
+        {{"i1", out_ch, false},
+         {"i2", height, false},
+         {"i3", width, false},
+         {"r1", in_ch, true}},
+        {{"Src1", {3, 1, 2}, DataType::F16},
+         {"Src2", {0, 3}, DataType::F16}},
+        {"Dst", {0, 1, 2}, DataType::F32});
+    Intrinsic out{std::move(compute), matmulStyleMemory()};
+    out.latencyCycles = 12.0;
+    out.unitsPerSubcore = 1;
+    out.regFileBytes = 64 * 1024;
+    return out;
+}
+
+} // namespace handbuilt
+} // namespace amos
+
+#endif // AMOS_TESTS_HAND_BUILT_INTRINSICS_HH

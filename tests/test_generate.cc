@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "golden_counts.hh"
 #include "isa/intrinsics.hh"
 #include "mapping/generate.hh"
 #include "ops/operators.hh"
@@ -19,20 +20,7 @@ namespace amos {
 namespace {
 
 using ops::ConvParams;
-
-ConvParams
-smallConvParams()
-{
-    ConvParams pr;
-    pr.batch = 2;
-    pr.in_channels = 2;
-    pr.out_channels = 4;
-    pr.out_h = 2;
-    pr.out_w = 2;
-    pr.kernel_h = 3;
-    pr.kernel_w = 3;
-    return pr;
-}
+using golden::smallConvParams;
 
 std::size_t
 countMappings(const TensorComputation &comp, const Intrinsic &intr,
@@ -293,71 +281,29 @@ TEST(Generate, Table6CountsAcrossOperators)
 TEST(Generate, GoldenCountsPerIntrinsicAndOperator)
 {
     // Golden matrix: feasible-mapping counts for every modelled
-    // intrinsic x a representative operator set at Table 6's small
-    // extents. These are regression anchors for the enumerator: a
-    // change in any cell means the mapping space itself changed and
-    // the diff must explain why.
-    ConvParams pr = smallConvParams();
-    struct NamedIntr
-    {
-        const char *name;
-        Intrinsic intr;
-        bool int8; ///< counts run on the quantized operator variant
-    };
-    std::vector<NamedIntr> intrs;
-    intrs.push_back({"wmmaTiny", isa::wmmaTiny(), false});
-    intrs.push_back({"wmma16", isa::wmma(16, 16, 16), false});
-    intrs.push_back({"avx512Vnni", isa::avx512Vnni(), true});
-    intrs.push_back({"maliDot", isa::maliDot(), true});
-    intrs.push_back({"virtualGemv", isa::virtualGemv(), false});
-    intrs.push_back({"virtualAxpy", isa::virtualAxpy(), false});
-    intrs.push_back({"virtualConv", isa::virtualConv(), false});
-
-    struct NamedComp
-    {
-        const char *name;
-        TensorComputation comp;
-    };
-    std::vector<NamedComp> comps;
-    comps.push_back({"gemm", ops::makeGemm(4, 4, 4)});
-    comps.push_back({"gemv", ops::makeGemv(8, 8)});
-    comps.push_back({"conv1d", ops::makeConv1d(2, 2, 4, 4, 3)});
-    comps.push_back({"conv2d", ops::makeConv2d(pr)});
-    comps.push_back({"depthwise",
-                     ops::makeDepthwiseConv2d(pr, 2)});
-    comps.push_back({"group", ops::makeGroupConv2d(pr, 2)});
-
-    // golden[i][c] follows the vectors above. virtualConv's compute
-    // has a different operand structure, so gemm/gemv yield 0. The
-    // int8 intrinsics count on the quantized u8xi8 variants — their
-    // mapping spaces are unchanged by the retyping, which is exactly
-    // what makes the counts comparable with the float rows.
-    const std::size_t golden[7][6] = {
-        /* wmmaTiny    */ {1, 1, 9, 35, 15, 35},
-        /* wmma16      */ {1, 1, 9, 35, 15, 35},
-        /* avx512Vnni  */ {1, 1, 3, 7, 3, 7},
-        /* maliDot     */ {1, 1, 3, 7, 3, 7},
-        /* virtualGemv */ {1, 1, 9, 35, 15, 35},
-        /* virtualAxpy */ {1, 1, 3, 5, 5, 5},
-        /* virtualConv */ {0, 0, 6, 28, 12, 28},
-    };
-
-    for (std::size_t i = 0; i < intrs.size(); ++i) {
+    // intrinsic (including the spec-only amx target) x a
+    // representative operator set at Table 6's small extents. The
+    // matrix itself lives in tests/golden_counts.hh, shared with
+    // test_isa_spec.cc so the spec-equivalence suite pins the same
+    // numbers. A change in any cell means the mapping space itself
+    // changed and the diff must explain why.
+    auto comps = golden::operatorColumns();
+    for (const auto &row : golden::intrinsicRows()) {
         for (std::size_t c = 0; c < comps.size(); ++c) {
-            SCOPED_TRACE(std::string(intrs[i].name) + " x " +
+            SCOPED_TRACE(std::string(row.name) + " x " +
                          comps[c].name);
             const auto comp =
-                intrs[i].int8 ? ops::quantizedVariant(comps[c].comp)
-                              : comps[c].comp;
-            EXPECT_EQ(countMappings(comp, intrs[i].intr,
+                row.int8 ? ops::quantizedVariant(comps[c].comp)
+                         : comps[c].comp;
+            EXPECT_EQ(countMappings(comp, row.intr,
                                     LegalityPolicy::Addressable),
-                      golden[i][c]);
+                      row.counts[c]);
             // Dtype legality is part of mapping validity in both
             // directions: the cross-typed operator counts zero.
             const auto crossTyped =
-                intrs[i].int8 ? comps[c].comp
-                              : ops::quantizedVariant(comps[c].comp);
-            EXPECT_EQ(countMappings(crossTyped, intrs[i].intr,
+                row.int8 ? comps[c].comp
+                         : ops::quantizedVariant(comps[c].comp);
+            EXPECT_EQ(countMappings(crossTyped, row.intr,
                                     LegalityPolicy::Addressable),
                       0u);
         }
