@@ -20,6 +20,8 @@
  *   amos_cli --op conv2d --size 14 --hw v100 \
  *            --trace-out /tmp/trace.json   # Chrome/Perfetto trace
  *   amos_cli --op conv2d --size 14 --hw v100 \
+ *            --flight-dump /tmp/flight.json  # flight-recorder dump
+ *   amos_cli --op conv2d --size 14 --hw v100 \
  *            --explain-out /tmp/explain.json   # bottleneck report
  *   amos_cli --op gemv --m 1024 --k 1024 --hw v100 --explain
  *   amos_cli --op gemm --m 64 --n 64 --k 64 --hw v100 \
@@ -41,7 +43,8 @@
  *   was skipped. Exit codes: 0 success, 1 compile/config error,
  *   2 bad usage, 3 the operator could not be tensorized and
  *   --require-tensorized was given, 4 an output path (--trace-out,
- *   --explain-out, --telemetry-out, --emit-c) is not writable.
+ *   --flight-dump, --explain-out, --telemetry-out, --emit-c) is
+ *   not writable.
  */
 
 #include <cstdio>
@@ -57,6 +60,7 @@
 #include "mapping/generate.hh"
 #include "report/explain.hh"
 #include "serve/protocol.hh"
+#include "support/flight_recorder.hh"
 #include "support/trace.hh"
 
 namespace {
@@ -174,10 +178,20 @@ runCli(const Args &args)
     std::string explain_path = args.str("explain-out", "");
     std::string telemetry_path = args.str("telemetry-out", "");
     std::string emit_path = args.str("emit-c", "");
+    std::string flight_path = args.str("flight-dump", "");
     requireWritable(trace_path, "--trace-out");
     requireWritable(explain_path, "--explain-out");
     requireWritable(telemetry_path, "--telemetry-out");
     requireWritable(emit_path, "--emit-c");
+    requireWritable(flight_path, "--flight-dump");
+
+    // --flight-dump FILE: run the compilation under a flight-
+    // recorder scope (exactly what the serve layer does per
+    // request) and dump the rings afterwards.
+    std::optional<FlightScope> flight_scope;
+    if (!flight_path.empty())
+        flight_scope.emplace(
+            FlightRecorder::global().beginRequest());
 
     if (!json) {
         std::printf("%s", comp.toString().c_str());
@@ -309,6 +323,17 @@ runCli(const Args &args)
         std::fprintf(stderr, "wrote %zu trace spans to %s\n",
                      Tracer::global().spanCount(),
                      trace_path.c_str());
+    }
+
+    if (!flight_path.empty()) {
+        writeFileOrThrow(
+            flight_path,
+            FlightRecorder::global().dumpJson().dump() + "\n",
+            "--flight-dump");
+        std::fprintf(stderr,
+                     "wrote %zu flight records to %s\n",
+                     FlightRecorder::global().recordCount(),
+                     flight_path.c_str());
     }
 
     if (args.flag("require-tensorized") && !result.tensorized)

@@ -29,7 +29,17 @@
  *                        Chrome trace-event document on exit
  *                        (requests carrying "trace_id" also get a
  *                        per-request span tree either way)
+ *   --slow-ms N          slow-request postmortem threshold in ms
+ *                        (default: adaptive, 2x windowed p99)
+ *   --slowlog-size N     retained postmortems (default 32); read
+ *                        them back with the "slowlog" verb
+ *   --flight-dump FILE   also dump the flight-recorder rings to
+ *                        FILE on SIGSEGV/SIGABRT (crash postmortem;
+ *                        the "flightdump" verb dumps on demand)
  */
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <csignal>
@@ -40,6 +50,7 @@
 #include <string>
 
 #include "serve/server.hh"
+#include "support/flight_recorder.hh"
 #include "support/trace.hh"
 
 namespace {
@@ -48,10 +59,29 @@ using namespace amos;
 
 std::atomic<bool> g_stop{false};
 
+/// Crash-dump fd, opened at handler-install time: open(2) is not
+/// async-signal-unsafe, but allocating the path string inside the
+/// handler would be.
+int g_crash_fd = -1;
+
 void
 onSignal(int)
 {
     g_stop.store(true, std::memory_order_relaxed);
+}
+
+void
+onCrash(int sig)
+{
+    // Async-signal-safe by construction: crashDump only write(2)s.
+    if (g_crash_fd >= 0) {
+        FlightRecorder::global().crashDump(g_crash_fd);
+        ::fsync(g_crash_fd);
+    }
+    // Restore and re-raise so the default action (core dump, exit
+    // status) still happens.
+    std::signal(sig, SIG_DFL);
+    ::raise(sig);
 }
 
 /**
@@ -68,6 +98,27 @@ installSignalHandlers()
     sa.sa_flags = 0;
     sigaction(SIGTERM, &sa, nullptr);
     sigaction(SIGINT, &sa, nullptr);
+}
+
+/** Last-moments flight dump on abnormal termination. */
+void
+installCrashHandlers(const std::string &path)
+{
+    g_crash_fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (g_crash_fd < 0) {
+        std::fprintf(stderr,
+                     "amos_served: cannot open flight dump %s\n",
+                     path.c_str());
+        return;
+    }
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onCrash;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGSEGV, &sa, nullptr);
+    sigaction(SIGABRT, &sa, nullptr);
 }
 
 } // namespace
@@ -109,6 +160,14 @@ main(int argc, char **argv)
     options.warmOnStart = args.count("no-warm") == 0;
     options.statsLogPeriodMs =
         static_cast<double>(num("stats-period-ms", 0));
+    if (args.count("slow-ms"))
+        options.slowMs = std::stod(args["slow-ms"]);
+    options.slowlogSize =
+        static_cast<std::size_t>(num("slowlog-size", 32));
+
+    std::string flight_dump = str("flight-dump");
+    if (!flight_dump.empty())
+        installCrashHandlers(flight_dump);
 
     std::string trace_path = str("trace-out");
     if (!trace_path.empty())

@@ -11,6 +11,7 @@
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/subprocess.hh"
+#include "support/trace.hh"
 
 namespace amos {
 
@@ -163,12 +164,15 @@ JitEngine::build(std::uint64_t key, const std::string &source)
     // Warm start: a previous process may have installed the object.
     // A corrupt or truncated file is deleted and rebuilt.
     if (std::filesystem::exists(soPath, ec) && !ec) {
+        TraceSpan span("jit.cache_probe", "jit");
+        span.arg("key", hexKey(key));
         std::string loadErr;
         if (e->lib.open(soPath, &loadErr)) {
             e->fn = reinterpret_cast<ExecKernelFn>(
                 e->lib.symbol(kExecKernelSymbol, &loadErr));
             if (e->fn) {
                 e->fromDisk = true;
+                span.arg("hit", "disk");
                 return e;
             }
         }
@@ -179,6 +183,7 @@ JitEngine::build(std::uint64_t key, const std::string &source)
         MetricsRegistry::global()
             .counter("jit.corrupt_cache_evictions")
             .add();
+        span.arg("hit", "evicted");
     }
 
     std::string why;
@@ -201,7 +206,13 @@ JitEngine::build(std::uint64_t key, const std::string &source)
     job.sourcePath = srcPath;
     job.outputPath = tmpSo;
     std::string errText;
-    const bool compiled = compileSharedObject(job, &errText);
+    bool compiled;
+    {
+        TraceSpan span("jit.compile", "jit");
+        span.arg("key", hexKey(key));
+        compiled = compileSharedObject(job, &errText);
+        span.arg("ok", compiled ? "true" : "false");
+    }
     std::filesystem::remove(srcPath, ec);
     if (!compiled)
         return fail("jit compile failed: " + errText);
@@ -213,6 +224,8 @@ JitEngine::build(std::uint64_t key, const std::string &source)
     }
 
     std::string loadErr;
+    TraceSpan span("jit.dlopen", "jit");
+    span.arg("key", hexKey(key));
     if (!e->lib.open(soPath, &loadErr))
         return fail("cannot load jit object: " + loadErr);
     e->fn = reinterpret_cast<ExecKernelFn>(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <map>
 #include <sstream>
 
 namespace amos {
@@ -50,21 +51,41 @@ prometheusName(const std::string &dotted)
 
 std::string
 prometheusExposition(const MetricsRegistry &registry,
-                     const std::vector<NamedHistogram> &histograms)
+                     const std::vector<NamedHistogram> &histograms,
+                     const std::vector<NamedWindow> &windows)
 {
     std::string out;
 
+    // Merge counters whose dotted names sanitise to the same series
+    // name ("a.b" and "a_b" both become amos_a_b): emitting the
+    // family twice would be invalid exposition, so colliding
+    // counters sum and HELP names every source. std::map keys are
+    // sorted, so the merge (and the output order) is deterministic.
+    std::map<std::string, std::pair<std::string, std::uint64_t>>
+        counters;
     for (const auto &[dotted, value] : registry.counterValues()) {
-        std::string name = prometheusName(dotted) + "_total";
-        emitSeries(out, name, "counter",
-                   "AMOS counter " + dotted);
-        out += name + " " + std::to_string(value) + "\n";
+        auto [it, inserted] = counters.emplace(
+            prometheusName(dotted) + "_total",
+            std::make_pair(dotted, value));
+        if (!inserted) {
+            it->second.first += " + " + dotted;
+            it->second.second += value;
+        }
+    }
+    for (const auto &[name, src] : counters) {
+        emitSeries(out, name, "counter", "AMOS counter " + src.first);
+        out += name + " " + std::to_string(src.second) + "\n";
     }
 
-    for (const auto &[dotted, value] : registry.gaugeValues()) {
-        std::string name = prometheusName(dotted);
-        emitSeries(out, name, "gauge", "AMOS gauge " + dotted);
-        out += name + " " + fmtValue(value) + "\n";
+    // Gauges cannot be meaningfully summed; on collision the
+    // lexicographically-last dotted name wins (map iteration order
+    // makes the overwrite deterministic).
+    std::map<std::string, std::pair<std::string, double>> gauges;
+    for (const auto &[dotted, value] : registry.gaugeValues())
+        gauges[prometheusName(dotted)] = {dotted, value};
+    for (const auto &[name, src] : gauges) {
+        emitSeries(out, name, "gauge", "AMOS gauge " + src.first);
+        out += name + " " + fmtValue(src.second) + "\n";
     }
 
     std::vector<NamedHistogram> sorted = histograms;
@@ -87,6 +108,33 @@ prometheusExposition(const MetricsRegistry &registry,
                "\n";
         out += name + "_count " + std::to_string(hist->count()) +
                "\n";
+    }
+
+    // Windowed histograms: quantiles over the last windowSeconds,
+    // typed as gauges because the values move with the window (a
+    // summary's implied process-lifetime monotonicity would lie).
+    std::vector<NamedWindow> sortedWindows = windows;
+    std::sort(sortedWindows.begin(), sortedWindows.end(),
+              [](const NamedWindow &a, const NamedWindow &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[dotted, window] : sortedWindows) {
+        if (window == nullptr)
+            continue;
+        std::string name = prometheusName(dotted);
+        std::string span = fmtValue(window->windowSeconds());
+        emitSeries(out, name, "gauge",
+                   "AMOS windowed latency quantiles " + dotted +
+                       " (last " + span + "s)");
+        for (double q : {0.5, 0.95, 0.99}) {
+            out += name + "{quantile=\"" + fmtValue(q) + "\"} " +
+                   fmtValue(window->windowQuantileMs(q)) + "\n";
+        }
+        emitSeries(out, name + "_count", "gauge",
+                   "AMOS windowed sample count " + dotted +
+                       " (last " + span + "s)");
+        out += name + "_count " +
+               std::to_string(window->windowCount()) + "\n";
     }
     return out;
 }

@@ -34,14 +34,28 @@ std::string prometheusName(const std::string &dotted);
 using NamedHistogram =
     std::pair<std::string, const LatencyHistogram *>;
 
+/** A named sliding-window histogram to expose as gauge quantiles. */
+using NamedWindow =
+    std::pair<std::string, const SlidingWindowHistogram *>;
+
 /**
  * Render a registry snapshot (plus optional histograms) in the
  * Prometheus text exposition format. Deterministic: series are
  * sorted by name within each section.
+ *
+ * Sanitisation can collide distinct dotted names (`a.b` and `a_b`
+ * both become `amos_a_b`); the output stays valid exposition by
+ * merging per family: colliding counters sum into one series (HELP
+ * lists every source name) and for colliding gauges the
+ * lexicographically-last dotted name wins. Windowed histograms are
+ * exposed as *gauge*-typed quantile series (their values move with
+ * the window, so the monotonic summary contract does not hold), plus
+ * a companion `_count` gauge of windowed samples.
  */
 std::string prometheusExposition(
     const MetricsRegistry &registry,
-    const std::vector<NamedHistogram> &histograms = {});
+    const std::vector<NamedHistogram> &histograms = {},
+    const std::vector<NamedWindow> &windows = {});
 
 } // namespace report
 } // namespace amos

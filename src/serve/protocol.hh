@@ -11,7 +11,14 @@
  *    "k":256,"hw":"v100","generations":4,"seed":2022,
  *    "deadline_ms":5000}
  *   {"type":"stats"}
+ *   {"type":"slowlog","limit":5}
+ *   {"type":"flightdump","path":"/tmp/flight.json"}
  *   {"type":"shutdown"}
+ *
+ * Control verbs: "stats" (counters + windowed latency), "metrics"
+ * (Prometheus exposition), "healthz", "slowlog" (retained
+ * slow-request postmortems, most recent first), "flightdump"
+ * (write the flight-recorder rings to a file on the server).
  *
  * Response (one JSON object per line, correlated by "id"):
  *

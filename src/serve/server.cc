@@ -1,5 +1,6 @@
 #include "server.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <future>
 #include <mutex>
@@ -57,18 +58,21 @@ bool
 isControlVerb(const std::string &type)
 {
     return type == "stats" || type == "metrics" ||
-           type == "healthz";
+           type == "healthz" || type == "slowlog" ||
+           type == "flightdump";
 }
 
 /**
  * Answer one of the side-channel verbs shared by the live stream
  * and trace replay: "stats" (JSON counters), "metrics" (Prometheus
  * text exposition carried in "body"), "healthz" (liveness + drain
- * state).
+ * state), "slowlog" (retained postmortems, optional "limit"
+ * parameter), "flightdump" (write the flight rings to "path").
+ * `request` is the parsed request line, for verb parameters.
  */
 Json
 controlResponse(CompileService &service, const std::string &type,
-                const std::string &id)
+                const std::string &id, const Json &request)
 {
     Json response = Json::object();
     if (!id.empty())
@@ -80,6 +84,22 @@ controlResponse(CompileService &service, const std::string &type,
         response.set("content_type",
                      Json("text/plain; version=0.0.4"));
         response.set("body", Json(service.prometheusText()));
+    } else if (type == "slowlog") {
+        std::size_t limit = 0;
+        if (request.has("limit"))
+            limit = static_cast<std::size_t>(
+                std::max<std::int64_t>(
+                    0, request.get("limit").asInt()));
+        response.set("slowlog", service.slowlogJson(limit));
+    } else if (type == "flightdump") {
+        if (!request.has("path"))
+            return protocolError(
+                id, "flightdump requires a \"path\" parameter");
+        Json result =
+            service.flightDump(request.get("path").asString());
+        bool ok = result.has("ok") && result.get("ok").asBool();
+        response.set("ok", Json(ok));
+        response.set("flightdump", std::move(result));
     } else { // healthz
         bool draining = service.draining();
         response.set("status",
@@ -142,7 +162,8 @@ serveStream(CompileService &service, std::istream &in,
         if (type == "shutdown")
             break;
         if (isControlVerb(type)) {
-            writer.write(controlResponse(service, type, id));
+            writer.write(
+                controlResponse(service, type, id, request));
             continue;
         }
         if (type != "compile") {
@@ -228,7 +249,8 @@ replayTrace(CompileService &service, const std::string &path,
                                  Json::Kind::String
                              ? request.get("id").asString()
                              : request.get("id").dump();
-                writer.write(controlResponse(service, type, id));
+                writer.write(
+                    controlResponse(service, type, id, request));
                 continue;
             }
             if (type == "shutdown")

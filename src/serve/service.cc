@@ -1,9 +1,13 @@
 #include "service.hh"
 
+#include <algorithm>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "report/explain.hh"
 #include "report/prometheus.hh"
+#include "support/flight_recorder.hh"
 #include "support/logging.hh"
 #include "support/str_utils.hh"
 #include "support/trace.hh"
@@ -44,6 +48,8 @@ ServeStats::toJson() const
     out.set("cancelled", u64(cancelled));
     out.set("failures", u64(failures));
     out.set("warmed_entries", u64(warmedEntries));
+    out.set("slow_requests", u64(slowRequests));
+    out.set("slowlog_recorded", u64(slowlogRecorded));
     Json latency = Json::object();
     latency.set("count", u64(latencyCount));
     latency.set("mean_ms", Json(meanMs));
@@ -51,6 +57,16 @@ ServeStats::toJson() const
     latency.set("p95_ms", Json(p95Ms));
     latency.set("p99_ms", Json(p99Ms));
     out.set("latency", std::move(latency));
+    Json window = Json::object();
+    window.set("count", u64(windowCount));
+    window.set("p50_ms", Json(windowP50Ms));
+    window.set("p95_ms", Json(windowP95Ms));
+    window.set("p99_ms", Json(windowP99Ms));
+    out.set("window", std::move(window));
+    Json slo = Json::object();
+    slo.set("slow_threshold_ms", Json(slowThresholdMs));
+    slo.set("burn_rate", Json(sloBurnRate));
+    out.set("slo", std::move(slo));
     Json unified = Json::object();
     for (const auto &[name, value] : metrics)
         unified.set(name, u64(value));
@@ -68,7 +84,9 @@ ServeStats::summary() const
         << " shed=" << rejectedQueueFull
         << " deadline=" << deadlineExceeded << " p50="
         << fmtDouble(p50Ms, 2) << "ms p95=" << fmtDouble(p95Ms, 2)
-        << "ms p99=" << fmtDouble(p99Ms, 2) << "ms";
+        << "ms p99=" << fmtDouble(p99Ms, 2) << "ms w_p99="
+        << fmtDouble(windowP99Ms, 2) << "ms burn="
+        << fmtDouble(sloBurnRate, 2) << " slow=" << slowRequests;
     return out.str();
 }
 
@@ -80,6 +98,7 @@ ServeOutcome::toJson(const std::string &id) const
         out.set("id", Json(id));
     out.set("ok", Json(ok));
     out.set("latency_ms", Json(latencyMs));
+    out.set("queue_wait_ms", Json(queueWaitMs));
     if (ok) {
         out.set("served_by", Json(servedBy));
         out.set("result", compileResultToJson(result));
@@ -111,6 +130,16 @@ struct CompileService::Job
     TensorComputation comp;
     HardwareSpec hw;
 
+    /// Flight-recorder sequence of the request that created the job;
+    /// runJob re-installs it so the exploration's spans land in the
+    /// rings under it.
+    std::uint64_t flightSeq = 0;
+    /// When the job entered the pool queue (queue-wait measurement).
+    std::chrono::steady_clock::time_point enqueued{};
+    /// Written by the worker before the promise resolves; readable
+    /// by waiters afterwards (promise/future synchronises).
+    double queueWaitMs = 0.0;
+
     CancelToken token;
     /// Waiters still interested; the last one to abandon cancels.
     std::atomic<int> waiters{1};
@@ -132,7 +161,13 @@ CompileService::CompileService(ServeOptions options)
       _cancelled(_metrics.counter("serve.cancelled")),
       _failures(_metrics.counter("serve.failures")),
       _warmedEntries(_metrics.counter("serve.warmed_entries")),
+      _slowRequests(_metrics.counter("serve.slow_requests")),
+      _slowlogRecorded(_metrics.counter("serve.slowlog_recorded")),
       _inflightGauge(_metrics.gauge("serve.inflight")),
+      _windowP99Gauge(_metrics.gauge("serve.window_p99_ms")),
+      _slowThresholdGauge(
+          _metrics.gauge("serve.slow_threshold_ms")),
+      _sloBurnGauge(_metrics.gauge("serve.slo_burn_rate")),
       _cache(options.cache, &_metrics),
       _pool(std::make_unique<ThreadPool>(
           ThreadPool::resolveThreads(
@@ -142,6 +177,9 @@ CompileService::CompileService(ServeOptions options)
         _warmedEntries.add(_cache.warm());
     if (_options.statsLogPeriodMs > 0)
         _statsLogger = std::thread([this] { statsLoggerLoop(); });
+    // Every serve.* and cache.* counter is registered by now; the
+    // admission snapshot reads this fixed list with relaxed loads.
+    _counterRefs = _metrics.counterRefs();
 }
 
 CompileService::~CompileService()
@@ -153,6 +191,119 @@ void
 CompileService::recordLatency(double ms)
 {
     _latency.record(ms);
+    _window.record(ms);
+    // Keep the windowed SLO gauges fresh on the request path (not
+    // at scrape time) so prometheusText() stays const and cheap.
+    double threshold = slowThresholdMs();
+    _windowP99Gauge.set(_window.windowQuantileMs(0.99));
+    _slowThresholdGauge.set(threshold);
+    _sloBurnGauge.set(
+        threshold > 0
+            ? _window.burnRate(threshold, _options.sloErrorBudget)
+            : 0.0);
+}
+
+double
+CompileService::slowThresholdMs() const
+{
+    if (_options.slowMs > 0)
+        return _options.slowMs;
+    // Adaptive: flag the outliers relative to recent behaviour, but
+    // only once the window has enough samples that its p99 means
+    // something; a floor keeps microsecond-scale replay jitter from
+    // flooding the slowlog.
+    if (_window.windowCount() < 50)
+        return 0.0;
+    return std::max(5.0, 2.0 * _window.windowQuantileMs(0.99));
+}
+
+void
+CompileService::maybeRetain(const Ticket &ticket,
+                            const ServeOutcome &outcome)
+{
+    double threshold = slowThresholdMs();
+    const char *reason = nullptr;
+    if (!outcome.ok) {
+        switch (outcome.error) {
+        case ErrorCode::QueueFull:
+            reason = "shed";
+            break;
+        case ErrorCode::DeadlineExceeded:
+            reason = "deadline";
+            break;
+        case ErrorCode::ShuttingDown:
+            // The server is going away with the slowlog; a drain
+            // rejection is not a request-level anomaly.
+            return;
+        default:
+            reason = "error";
+            break;
+        }
+    } else if (threshold > 0 && outcome.latencyMs > threshold) {
+        reason = "slow";
+    }
+    if (reason == nullptr)
+        return;
+
+    if (std::strcmp(reason, "slow") == 0)
+        _slowRequests.add();
+
+    Json pm = Json::object();
+    pm.set("flight_seq",
+           Json(static_cast<std::int64_t>(ticket._flightSeq)));
+    pm.set("id", Json(ticket._id));
+    pm.set("reason", Json(reason));
+    pm.set("latency_ms", Json(outcome.latencyMs));
+    pm.set("queue_wait_ms", Json(outcome.queueWaitMs));
+    pm.set("served_by", Json(outcome.servedBy));
+    pm.set("slow_threshold_ms", Json(threshold));
+    if (!outcome.ok) {
+        Json err = Json::object();
+        err.set("code", Json(errorCodeName(outcome.error)));
+        err.set("message", Json(outcome.message));
+        pm.set("error", std::move(err));
+    }
+
+    Json admission = Json::object();
+    admission.set("inflight", Json(ticket._admission.inflight));
+    admission.set("queue_depth",
+                  Json(static_cast<std::int64_t>(
+                      ticket._admission.queueDepth)));
+    pm.set("admission", std::move(admission));
+
+    // What the whole service did while this request was in it:
+    // counters that moved between admission and now. A saturated
+    // server shows up here as a big serve.requests delta; a cold
+    // cache as cache.*_misses.
+    Json delta = Json::object();
+    for (std::size_t i = 0;
+         i < _counterRefs.size() &&
+         i < ticket._admission.counters.size();
+         ++i) {
+        std::uint64_t now = _counterRefs[i].second->value();
+        std::uint64_t then = ticket._admission.counters[i];
+        if (now > then)
+            delta.set(_counterRefs[i].first,
+                      Json(static_cast<std::int64_t>(now - then)));
+    }
+    pm.set("metrics_delta", std::move(delta));
+
+    // The span tree is harvested *now*, after the outcome: that is
+    // the tail-based part — every request was speculatively
+    // recorded, only this one's records get promoted out of the
+    // rings before they are overwritten.
+    pm.set("trace",
+           FlightRecorder::global().spanTreeFor(ticket._flightSeq));
+
+    {
+        std::lock_guard<std::mutex> lock(_slowlogMutex);
+        _slowlog.push_back(std::move(pm));
+        ++_slowlogTotal;
+        while (_slowlog.size() > _options.slowlogSize &&
+               !_slowlog.empty())
+            _slowlog.pop_front();
+    }
+    _slowlogRecorded.add();
 }
 
 CompileService::Ticket
@@ -161,6 +312,7 @@ CompileService::submit(const CompileRequest &req)
     Ticket ticket;
     ticket._start = Clock::now();
     ticket._explain = req.explain;
+    ticket._id = req.id;
     _requests.add();
 
     auto immediate = [&](ServeOutcome outcome) {
@@ -168,12 +320,15 @@ CompileService::submit(const CompileRequest &req)
         recordLatency(outcome.latencyMs);
         ticket._immediate = std::move(outcome);
         ticket._isImmediate = true;
+        maybeRetain(ticket, ticket._immediate);
         return ticket;
     };
 
     // A draining service rejects everything, cache hits included:
     // "shutting_down" must be the unambiguous answer once drain()
-    // was called, so clients fail over instead of lingering.
+    // was called, so clients fail over instead of lingering. This
+    // check must precede the admission snapshot: after drain() the
+    // worker pool is gone.
     {
         std::lock_guard<std::mutex> lock(_mutex);
         if (_draining) {
@@ -182,7 +337,27 @@ CompileService::submit(const CompileRequest &req)
             outcome.message = "service is draining";
             return immediate(std::move(outcome));
         }
+        // Gauges at admission, for the postmortem: what the
+        // request walked into. Read under the same critical section
+        // as the draining check — once drain() completes the worker
+        // pool is gone, and _draining turning true under this lock
+        // is the only way that can happen.
+        ticket._admission.inflight = _inflightGauge.value();
+        ticket._admission.queueDepth = _pool->queueDepth();
     }
+
+    // Speculative flight recording: every request gets a sequence
+    // number and a scope covering its submit path (cache-hit replay
+    // included); whether the records are kept is decided after the
+    // outcome is known (maybeRetain).
+    FlightRecorder &flight = FlightRecorder::global();
+    ticket._flightSeq =
+        flight.enabled() ? flight.beginRequest() : 0;
+    FlightScope flight_scope(ticket._flightSeq);
+
+    ticket._admission.counters.reserve(_counterRefs.size());
+    for (const auto &[name, counter] : _counterRefs)
+        ticket._admission.counters.push_back(counter->value());
 
     // Resolve the request to compiler inputs; a bad op/hw/knob is a
     // typed rejection, not an exception escaping the server loop.
@@ -264,6 +439,10 @@ CompileService::submit(const CompileRequest &req)
             job->waiters.fetch_add(1, std::memory_order_relaxed);
             job->token.extendDeadline(ticket._deadline);
             _coalesced.add();
+            // The joiner's postmortem should show the exploration
+            // it actually waited on, not its own (span-free)
+            // submit path.
+            ticket._flightSeq = job->flightSeq;
             ticket._job = std::move(job);
             ticket._joiner = true;
             return ticket;
@@ -281,6 +460,8 @@ CompileService::submit(const CompileRequest &req)
         job = std::make_shared<Job>(key, req, std::move(*comp),
                                     std::move(spec));
         job->token.setDeadline(ticket._deadline);
+        job->flightSeq = ticket._flightSeq;
+        job->enqueued = Clock::now();
         _inflight[key] = job;
         _inflightGauge.set(static_cast<double>(_inflight.size()));
     }
@@ -294,6 +475,11 @@ CompileService::runJob(std::shared_ptr<Job> job)
 {
     ServeOutcome outcome;
     const std::string &trace_id = job->request.traceId;
+    // Satellite measurement: admission -> worker start. Everything
+    // between is time the request spent waiting for a free worker.
+    double queue_wait = elapsedMs(job->enqueued);
+    _queueWait.record(queue_wait);
+    outcome.queueWaitMs = queue_wait;
     // Tag every stderr line this request's compilation emits with
     // its trace id (log <-> trace correlation).
     LogTraceScope log_scope(trace_id);
@@ -302,12 +488,18 @@ CompileService::runJob(std::shared_ptr<Job> job)
         // Per-request trace context: every span the exploration
         // opens on this thread (and, through parallelFor's context
         // propagation, on the tuner's worker threads) is tagged with
-        // the request's trace id.
+        // the request's trace id. The flight scope is re-installed
+        // the same way so the rings attribute the exploration to
+        // the originating request's sequence.
         std::optional<TraceContext> trace_ctx;
         if (!trace_id.empty())
             trace_ctx.emplace(trace_id);
+        std::optional<FlightScope> flight_scope;
+        if (job->flightSeq != 0)
+            flight_scope.emplace(job->flightSeq);
         TraceSpan span("serve.compile", "serve");
         span.arg("key", job->key);
+        span.arg("queue_wait_ms", fmtDouble(queue_wait, 3));
         try {
             // A request whose deadline fired while queued never
             // starts.
@@ -400,6 +592,10 @@ CompileService::wait(Ticket &ticket)
                           " ms exceeded";
         outcome.latencyMs = elapsedMs(ticket._start);
         recordLatency(outcome.latencyMs);
+        // The exploration is still running; its spans recorded so
+        // far are in the rings and the postmortem shows where the
+        // deadline caught it.
+        maybeRetain(ticket, outcome);
         return outcome;
     }
 
@@ -428,6 +624,7 @@ CompileService::wait(Ticket &ticket)
     }
     outcome.latencyMs = elapsedMs(ticket._start);
     recordLatency(outcome.latencyMs);
+    maybeRetain(ticket, outcome);
     return outcome;
 }
 
@@ -452,12 +649,24 @@ CompileService::stats() const
     out.cancelled = _cancelled.value();
     out.failures = _failures.value();
     out.warmedEntries = _warmedEntries.value();
+    out.slowRequests = _slowRequests.value();
+    out.slowlogRecorded = _slowlogRecorded.value();
     out.metrics = _metrics.counterValues();
     out.latencyCount = _latency.count();
     out.meanMs = _latency.meanMs();
     out.p50Ms = _latency.quantileMs(0.50);
     out.p95Ms = _latency.quantileMs(0.95);
     out.p99Ms = _latency.quantileMs(0.99);
+    out.windowCount = _window.windowCount();
+    out.windowP50Ms = _window.windowQuantileMs(0.50);
+    out.windowP95Ms = _window.windowQuantileMs(0.95);
+    out.windowP99Ms = _window.windowQuantileMs(0.99);
+    out.slowThresholdMs = slowThresholdMs();
+    out.sloBurnRate =
+        out.slowThresholdMs > 0
+            ? _window.burnRate(out.slowThresholdMs,
+                               _options.sloErrorBudget)
+            : 0.0;
     return out;
 }
 
@@ -465,7 +674,53 @@ std::string
 CompileService::prometheusText() const
 {
     return report::prometheusExposition(
-        _metrics, {{"serve.latency_ms", &_latency}});
+        _metrics,
+        {{"serve.latency_ms", &_latency},
+         {"serve.queue_wait_ms", &_queueWait}},
+        {{"serve.latency_ms_window", &_window}});
+}
+
+Json
+CompileService::slowlogJson(std::size_t limit) const
+{
+    Json entries = Json::array();
+    std::uint64_t total = 0;
+    {
+        std::lock_guard<std::mutex> lock(_slowlogMutex);
+        total = _slowlogTotal;
+        std::size_t want = limit == 0 ? _slowlog.size()
+                                      : std::min(limit,
+                                                 _slowlog.size());
+        // Most recent first: the entry you want after "the server
+        // just got slow" is at the top.
+        for (std::size_t i = 0; i < want; ++i)
+            entries.push(_slowlog[_slowlog.size() - 1 - i]);
+    }
+    Json out = Json::object();
+    out.set("count", Json(static_cast<std::int64_t>(total)));
+    out.set("postmortems", std::move(entries));
+    return out;
+}
+
+Json
+CompileService::flightDump(const std::string &path) const
+{
+    Json dump = FlightRecorder::global().dumpJson();
+    auto records = static_cast<std::int64_t>(
+        FlightRecorder::global().recordCount());
+    Json out = Json::object();
+    std::ofstream file(path);
+    if (!file.good()) {
+        out.set("ok", Json(false));
+        out.set("error", Json("cannot open " + path));
+        return out;
+    }
+    file << dump.dump() << "\n";
+    file.flush();
+    out.set("ok", Json(file.good()));
+    out.set("path", Json(path));
+    out.set("records", Json(records));
+    return out;
 }
 
 bool

@@ -33,12 +33,15 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "amos/amos.hh"
 #include "serve/protocol.hh"
@@ -66,6 +69,16 @@ struct ServeOptions
     bool warmOnStart = true;
     /// Period of the stats log line in ms (0 = disabled).
     double statsLogPeriodMs = 0.0;
+    /// Slow-request threshold for tail-based retention, ms. A
+    /// request slower than this gets a postmortem in the slowlog.
+    /// <= 0 selects the adaptive default: 2x the windowed p99 (floor
+    /// 5 ms) once the window holds enough samples to mean anything.
+    double slowMs = 0.0;
+    /// Bounded postmortem capacity; the oldest entry is evicted.
+    std::size_t slowlogSize = 32;
+    /// SLO error budget: tolerated fraction of windowed requests
+    /// slower than the slow threshold. Burn rate = fraction/budget.
+    double sloErrorBudget = 0.01;
 };
 
 /** Monotonic counters + latency summary, readable at any time. */
@@ -81,12 +94,22 @@ struct ServeStats
     std::uint64_t cancelled = 0;
     std::uint64_t failures = 0;
     std::uint64_t warmedEntries = 0; ///< disk entries preloaded
+    std::uint64_t slowRequests = 0;  ///< breached the slow threshold
+    std::uint64_t slowlogRecorded = 0; ///< postmortems ever recorded
 
     std::uint64_t latencyCount = 0;
     double meanMs = 0.0;
     double p50Ms = 0.0;
     double p95Ms = 0.0;
     double p99Ms = 0.0;
+
+    /// Sliding-window (last ~60 s) view + SLO state.
+    std::uint64_t windowCount = 0;
+    double windowP50Ms = 0.0;
+    double windowP95Ms = 0.0;
+    double windowP99Ms = 0.0;
+    double slowThresholdMs = 0.0; ///< effective (fixed or adaptive)
+    double sloBurnRate = 0.0;
 
     /// Full unified-metrics snapshot (serve.* plus the cache tiers'
     /// cache.* counters) from the service's MetricsRegistry.
@@ -107,6 +130,9 @@ struct ServeOutcome
     /// "memory" | "disk" | "compile" | "coalesced".
     std::string servedBy;
     double latencyMs = 0.0;
+    /// Admission-to-worker-start wait of the exploration that served
+    /// this request (0 for cache hits and rejections).
+    double queueWaitMs = 0.0;
     /// Span tree of this request (non-null only when the request
     /// carried a trace_id); serialised under "trace".
     Json trace;
@@ -154,9 +180,34 @@ class CompileService
 
     /**
      * Registry + request-latency summary in the Prometheus text
-     * exposition format (the served `metrics` verb's body).
+     * exposition format (the served `metrics` verb's body). Includes
+     * the queue-wait summary and the windowed latency quantiles.
      */
     std::string prometheusText() const;
+
+    /**
+     * The effective slow threshold in ms: options.slowMs when
+     * positive, otherwise 2x the windowed p99 (floor 5 ms) once the
+     * window holds >= 50 samples, otherwise 0 (latency-based
+     * retention off; errors and sheds are still retained).
+     */
+    double slowThresholdMs() const;
+
+    /**
+     * The bounded postmortem slowlog (the `slowlog` verb's body),
+     * most recent first: {"count":<recorded ever>,"postmortems":
+     * [{flight_seq,id,reason,latency_ms,queue_wait_ms,served_by,
+     * slow_threshold_ms,admission:{inflight,queue_depth},
+     * metrics_delta:{..},trace:{flight_seq,spans:[..]}},..]}.
+     * `limit` caps the entries returned (0 = all retained).
+     */
+    Json slowlogJson(std::size_t limit = 0) const;
+
+    /**
+     * Write the flight recorder's full ring contents to `path` (the
+     * `flightdump` verb); returns {"ok":..,"path":..,"records":N}.
+     */
+    Json flightDump(const std::string &path) const;
 
     /** True once drain() was called (the `healthz` verb's state). */
     bool draining() const;
@@ -171,8 +222,26 @@ class CompileService
   private:
     struct Job;
 
+    /// Gauges and counter values captured when a request was
+    /// admitted; a postmortem reports them plus the counter delta
+    /// accumulated while the request was in the system.
+    struct Admission
+    {
+        double inflight = 0.0;
+        std::size_t queueDepth = 0;
+        std::vector<std::uint64_t> counters; // parallel _counterRefs
+    };
+
     void runJob(std::shared_ptr<Job> job);
     void recordLatency(double ms);
+    /**
+     * Tail-based retention: decide *after* the outcome is known
+     * whether this request deserves a postmortem (slow / error /
+     * shed / deadline) and, if so, harvest its flight records into
+     * the slowlog.
+     */
+    void maybeRetain(const Ticket &ticket,
+                     const ServeOutcome &outcome);
     void statsLoggerLoop();
 
     ServeOptions _options;
@@ -190,7 +259,12 @@ class CompileService
     MetricCounter &_cancelled;
     MetricCounter &_failures;
     MetricCounter &_warmedEntries;
+    MetricCounter &_slowRequests;
+    MetricCounter &_slowlogRecorded;
     MetricGauge &_inflightGauge;
+    MetricGauge &_windowP99Gauge;
+    MetricGauge &_slowThresholdGauge;
+    MetricGauge &_sloBurnGauge;
 
     TieredCache _cache;
     std::unique_ptr<ThreadPool> _pool;
@@ -201,6 +275,19 @@ class CompileService
     bool _draining = false;
 
     LatencyHistogram _latency;
+    LatencyHistogram _queueWait;
+    SlidingWindowHistogram _window;
+
+    /// (name, counter) list resolved once at the end of the
+    /// constructor — every serve.* and cache.* counter exists by
+    /// then — so admission snapshots are a vector of relaxed loads
+    /// instead of a map allocation per request.
+    std::vector<std::pair<std::string, const MetricCounter *>>
+        _counterRefs;
+
+    mutable std::mutex _slowlogMutex;
+    std::deque<Json> _slowlog;
+    std::uint64_t _slowlogTotal = 0; ///< recorded ever (not evicted)
 
     std::thread _statsLogger;
     std::mutex _loggerMutex;
@@ -231,6 +318,15 @@ class CompileService::Ticket
     /// Set once this ticket was answered deadline_exceeded (wait
     /// must not decrement the job's waiter count twice).
     bool _abandoned = false;
+
+    /// Request id echoed into the postmortem.
+    std::string _id;
+    /// Flight-recorder sequence whose records describe this request
+    /// (the shared job's sequence for coalesced joiners, so their
+    /// postmortems carry the exploration they actually waited on).
+    std::uint64_t _flightSeq = 0;
+    /// Gauges + counter values at admission (postmortem context).
+    Admission _admission;
 
     Clock::time_point _start{};
     Clock::time_point _deadline = Clock::time_point::max();

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Always-on flight recorder: fixed-capacity per-thread ring buffers
+ * of compact span records, fed by the existing TraceSpan
+ * instrumentation points (no new call sites anywhere in the
+ * pipeline).
+ *
+ * The recorder answers the question full tracing cannot: "what was
+ * this request doing?" for requests nobody thought to trace. The
+ * serve layer opens a FlightScope per request (a numeric sequence
+ * number, propagated across parallelFor like a TraceContext); every
+ * TraceSpan closing under the scope appends one ~128-byte record to
+ * the current thread's ring. Rings overwrite their oldest records
+ * when full, so memory is bounded by `threads x capacity` forever —
+ * the tail-based retention in src/serve decides *after* a request
+ * finished whether to harvest its records into a postmortem.
+ *
+ * Cost model: when no scope is active a TraceSpan pays one
+ * thread-local read extra. Under a scope, closing a span is one
+ * uncontended per-thread mutex plus a small fixed-size copy — no
+ * allocation, no string construction (names/categories are string
+ * literals and stored as pointers, args are snprintf'd into an
+ * inline buffer). bench_trace_overhead gates the enabled-recorder
+ * overhead at < 5%.
+ *
+ * Crash path: crashDump(fd) walks the rings without taking locks
+ * and writes one line per record using only async-signal-safe
+ * primitives (write(2), manual integer formatting), so a
+ * SIGSEGV/SIGABRT handler can preserve the last moments of every
+ * thread.
+ */
+
+#ifndef AMOS_SUPPORT_FLIGHT_RECORDER_HH
+#define AMOS_SUPPORT_FLIGHT_RECORDER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+
+namespace amos {
+
+/** One recorded span, compact enough to live in a preallocated ring. */
+struct FlightRecord
+{
+    /// Span name/category — string literals owned by the program
+    /// image (TraceSpan takes `const char *`), never freed.
+    const char *name = nullptr;
+    const char *category = nullptr;
+    /// Request sequence number the span was recorded under (from
+    /// FlightRecorder::beginRequest); 0 = no request scope.
+    std::uint64_t seq = 0;
+    /// Start offset from the recorder epoch / duration, microseconds.
+    double startUs = 0.0;
+    double durUs = 0.0;
+    /// Dense per-process thread index (stable per thread).
+    std::uint32_t tid = 0;
+    /// Inline "k=v k=v" annotations, truncated, NUL-terminated.
+    char args[56] = {0};
+};
+
+/**
+ * Process-wide recorder of FlightRecords. Enabled by default —
+ * "always on" is the point — but can be toggled for A/B overhead
+ * measurement (bench_trace_overhead) and tests.
+ */
+class FlightRecorder
+{
+  public:
+    FlightRecorder();
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    bool
+    enabled() const
+    {
+        return _enabled.load(std::memory_order_relaxed);
+    }
+    void setEnabled(bool enabled);
+
+    /**
+     * Allocate a request sequence number (monotonic, never 0).
+     * Install it on the serving thread with a FlightScope so the
+     * request's spans are attributed to it.
+     */
+    std::uint64_t beginRequest();
+
+    /** The active sequence number on this thread (0 when none). */
+    static std::uint64_t currentSeq();
+
+    /** Append one record to the calling thread's ring. */
+    void push(const FlightRecord &record);
+
+    /**
+     * Snapshot every record of one request across all rings,
+     * sorted by start time (parents before children).
+     */
+    std::vector<FlightRecord> harvest(std::uint64_t seq) const;
+
+    /**
+     * Span tree of one request, nested by time containment —
+     * the same shape Tracer::spanTreeFor produces, built from the
+     * rings instead of the (possibly disabled) tracer:
+     * {"flight_seq":N,"spans":[{name,cat,start_us,dur_us,args,
+     * children:[...]}]}.
+     */
+    Json spanTreeFor(std::uint64_t seq) const;
+
+    /**
+     * Everything currently held in the rings (all requests mixed),
+     * as a JSON array sorted by start time. The `flightdump` verb
+     * and `--flight-dump` write this to disk.
+     */
+    Json dumpJson() const;
+
+    /** Records currently resident across all rings. */
+    std::size_t recordCount() const;
+
+    /** Total records ever overwritten by ring wrap-around. */
+    std::uint64_t overwrittenCount() const;
+
+    /** Drop every resident record (rings stay registered). */
+    void clear();
+
+    /**
+     * Async-signal-safe dump of every ring to a file descriptor:
+     * one `flight tid=<t> seq=<s> start_us=<..> dur_us=<..>
+     * <name> [args]` line per record. Walks the rings WITHOUT
+     * locking — a crashed thread may hold a ring mutex — so a
+     * record being written concurrently can read torn; acceptable
+     * for a best-effort postmortem. Only write(2) and stack
+     * formatting, callable from SIGSEGV/SIGABRT handlers.
+     */
+    void crashDump(int fd) const noexcept;
+
+    /**
+     * Per-thread ring capacity for subsequently *registered*
+     * threads (existing rings keep their size). Tests shrink it to
+     * exercise wrap-around without millions of spans.
+     */
+    void setCapacityPerThread(std::size_t capacity);
+    std::size_t capacityPerThread() const;
+
+    /** The process-wide recorder every TraceSpan records into. */
+    static FlightRecorder &global();
+
+  private:
+    friend class FlightScope;
+
+    struct Ring
+    {
+        mutable std::mutex mutex;
+        std::vector<FlightRecord> slots; // preallocated, fixed size
+        std::size_t next = 0;            // next write position
+        std::size_t used = 0;            // live records (<= size)
+        std::uint32_t tid = 0;
+    };
+
+    Ring &threadRing();
+    template <typename Fn> void forEachRecord(Fn &&fn) const;
+
+    std::atomic<bool> _enabled{true};
+    std::atomic<std::uint64_t> _nextSeq{1};
+    std::atomic<std::uint64_t> _overwritten{0};
+    std::atomic<std::size_t> _capacity;
+
+    mutable std::mutex _registryMutex;
+    std::vector<std::shared_ptr<Ring>> _rings;
+    std::uint32_t _nextTid = 0;
+
+    std::chrono::steady_clock::time_point _epoch;
+
+  public:
+    /// @name Internals shared with TraceSpan (not for direct use).
+    /// @{
+    double
+    sinceEpochUs(std::chrono::steady_clock::time_point tp) const
+    {
+        return std::chrono::duration<double, std::micro>(tp - _epoch)
+            .count();
+    }
+    /// @}
+};
+
+/**
+ * RAII request scope: while alive, spans closing on this thread
+ * (and on parallelFor workers the thread fans out to) are recorded
+ * into the flight rings under the given sequence number. Scopes
+ * nest; the innermost wins.
+ */
+class FlightScope
+{
+  public:
+    explicit FlightScope(std::uint64_t seq);
+    ~FlightScope();
+
+    FlightScope(const FlightScope &) = delete;
+    FlightScope &operator=(const FlightScope &) = delete;
+
+  private:
+    std::uint64_t _previous;
+};
+
+} // namespace amos
+
+#endif // AMOS_SUPPORT_FLIGHT_RECORDER_HH

@@ -105,4 +105,211 @@ LatencyHistogram::summaryJson() const
     return out;
 }
 
+SlidingWindowHistogram::SlidingWindowHistogram(double windowSeconds,
+                                               std::size_t numEpochs)
+    : _windowSeconds(windowSeconds),
+      _epochSeconds(windowSeconds /
+                    static_cast<double>(numEpochs ? numEpochs : 1)),
+      _epochs(numEpochs ? numEpochs : 1),
+      _origin(std::chrono::steady_clock::now())
+{
+    for (auto &epoch : _epochs)
+        epoch.buckets.assign(kBuckets, 0);
+}
+
+double
+SlidingWindowHistogram::nowSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - _origin)
+        .count();
+}
+
+void
+SlidingWindowHistogram::record(double ms)
+{
+    recordAt(ms, nowSeconds());
+}
+
+void
+SlidingWindowHistogram::recordAt(double ms, double atSeconds)
+{
+    if (atSeconds < 0)
+        atSeconds = 0;
+    auto index = static_cast<std::int64_t>(atSeconds / _epochSeconds);
+    std::lock_guard<std::mutex> lock(_mutex);
+    Epoch &epoch =
+        _epochs[static_cast<std::size_t>(index) % _epochs.size()];
+    if (epoch.index != index) {
+        // The slot last held an expired epoch — recycle it.
+        epoch.index = index;
+        std::fill(epoch.buckets.begin(), epoch.buckets.end(), 0);
+        epoch.count = 0;
+        epoch.sum = 0.0;
+    }
+    ++epoch.buckets[bucketFor(ms)];
+    if (epoch.count == 0) {
+        epoch.min = epoch.max = ms;
+    } else {
+        epoch.min = std::min(epoch.min, ms);
+        epoch.max = std::max(epoch.max, ms);
+    }
+    ++epoch.count;
+    epoch.sum += ms;
+}
+
+SlidingWindowHistogram::Merged
+SlidingWindowHistogram::mergedLocked(double atSeconds) const
+{
+    Merged merged;
+    merged.buckets.assign(kBuckets, 0);
+    if (atSeconds < 0)
+        atSeconds = 0;
+    auto current =
+        static_cast<std::int64_t>(atSeconds / _epochSeconds);
+    auto oldest =
+        current - static_cast<std::int64_t>(_epochs.size()) + 1;
+    for (const auto &epoch : _epochs) {
+        if (epoch.index < oldest || epoch.index > current ||
+            epoch.count == 0)
+            continue;
+        for (std::size_t i = 0; i < kBuckets; ++i)
+            merged.buckets[i] += epoch.buckets[i];
+        if (merged.count == 0) {
+            merged.min = epoch.min;
+            merged.max = epoch.max;
+        } else {
+            merged.min = std::min(merged.min, epoch.min);
+            merged.max = std::max(merged.max, epoch.max);
+        }
+        merged.count += epoch.count;
+        merged.sum += epoch.sum;
+    }
+    return merged;
+}
+
+double
+SlidingWindowHistogram::quantileOf(const Merged &merged, double q)
+{
+    if (merged.count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(merged.count)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < merged.buckets.size(); ++i) {
+        seen += merged.buckets[i];
+        if (seen >= rank)
+            return std::clamp(bucketMid(i), merged.min, merged.max);
+    }
+    return merged.max;
+}
+
+std::uint64_t
+SlidingWindowHistogram::windowCount() const
+{
+    return windowCountAt(nowSeconds());
+}
+
+std::uint64_t
+SlidingWindowHistogram::windowCountAt(double atSeconds) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return mergedLocked(atSeconds).count;
+}
+
+double
+SlidingWindowHistogram::windowMeanMs() const
+{
+    return windowMeanMsAt(nowSeconds());
+}
+
+double
+SlidingWindowHistogram::windowMeanMsAt(double atSeconds) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Merged merged = mergedLocked(atSeconds);
+    return merged.count == 0
+               ? 0.0
+               : merged.sum / static_cast<double>(merged.count);
+}
+
+double
+SlidingWindowHistogram::windowQuantileMs(double q) const
+{
+    return windowQuantileMsAt(q, nowSeconds());
+}
+
+double
+SlidingWindowHistogram::windowQuantileMsAt(double q,
+                                           double atSeconds) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return quantileOf(mergedLocked(atSeconds), q);
+}
+
+double
+SlidingWindowHistogram::breachFraction(double thresholdMs) const
+{
+    return breachFractionAt(thresholdMs, nowSeconds());
+}
+
+double
+SlidingWindowHistogram::breachFractionAt(double thresholdMs,
+                                         double atSeconds) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Merged merged = mergedLocked(atSeconds);
+    if (merged.count == 0)
+        return 0.0;
+    std::uint64_t breaching = 0;
+    for (std::size_t i = 0; i < merged.buckets.size(); ++i)
+        if (bucketMid(i) > thresholdMs)
+            breaching += merged.buckets[i];
+    return static_cast<double>(breaching) /
+           static_cast<double>(merged.count);
+}
+
+double
+SlidingWindowHistogram::burnRate(double thresholdMs,
+                                 double errorBudget) const
+{
+    return burnRateAt(thresholdMs, errorBudget, nowSeconds());
+}
+
+double
+SlidingWindowHistogram::burnRateAt(double thresholdMs,
+                                   double errorBudget,
+                                   double atSeconds) const
+{
+    if (errorBudget <= 0.0)
+        return 0.0;
+    return breachFractionAt(thresholdMs, atSeconds) / errorBudget;
+}
+
+Json
+SlidingWindowHistogram::summaryJson() const
+{
+    return summaryJsonAt(nowSeconds());
+}
+
+Json
+SlidingWindowHistogram::summaryJsonAt(double atSeconds) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Merged merged = mergedLocked(atSeconds);
+    Json out = Json::object();
+    out.set("window_s", Json(_windowSeconds));
+    out.set("count", Json(static_cast<std::int64_t>(merged.count)));
+    out.set("mean_ms",
+            Json(merged.count
+                     ? merged.sum / static_cast<double>(merged.count)
+                     : 0.0));
+    out.set("p50_ms", Json(quantileOf(merged, 0.50)));
+    out.set("p95_ms", Json(quantileOf(merged, 0.95)));
+    out.set("p99_ms", Json(quantileOf(merged, 0.99)));
+    return out;
+}
+
 } // namespace amos

@@ -32,6 +32,17 @@ MetricsRegistry::counterValues() const
     return out;
 }
 
+std::vector<std::pair<std::string, const MetricCounter *>>
+MetricsRegistry::counterRefs() const
+{
+    std::vector<std::pair<std::string, const MetricCounter *>> out;
+    std::lock_guard<std::mutex> lock(_mutex);
+    out.reserve(_counters.size());
+    for (const auto &[name, counter] : _counters)
+        out.emplace_back(name, counter.get());
+    return out;
+}
+
 std::map<std::string, double>
 MetricsRegistry::gaugeValues() const
 {

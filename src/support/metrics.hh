@@ -26,6 +26,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/json.hh"
 
@@ -91,6 +93,16 @@ class MetricsRegistry
 
     /** Snapshot of all counter values, by name. */
     std::map<std::string, std::uint64_t> counterValues() const;
+
+    /**
+     * Stable (name, counter) references for every counter currently
+     * registered, in name order. The serve layer resolves this list
+     * once and then snapshots values with relaxed loads per request
+     * — cheaper than allocating a fresh map on a hot path. Counters
+     * registered later are not in the list until it is re-fetched.
+     */
+    std::vector<std::pair<std::string, const MetricCounter *>>
+    counterRefs() const;
 
     /** Snapshot of all gauge values, by name. */
     std::map<std::string, double> gaugeValues() const;

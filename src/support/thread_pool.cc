@@ -4,6 +4,7 @@
 #include <atomic>
 #include <optional>
 
+#include "flight_recorder.hh"
 #include "logging.hh"
 #include "trace.hh"
 
@@ -51,6 +52,13 @@ ThreadPool::~ThreadPool()
     _cv.notify_all();
     for (auto &worker : _workers)
         worker.join();
+}
+
+std::size_t
+ThreadPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _queue.size();
 }
 
 std::future<void>
@@ -127,16 +135,20 @@ parallelFor(std::size_t n,
     std::mutex error_mutex;
     std::exception_ptr error;
 
-    // Fan the caller's per-request trace context out with the work:
-    // spans opened inside bodies on pool workers stay attributed to
-    // the request that forked them.
+    // Fan the caller's per-request trace context and flight scope
+    // out with the work: spans opened inside bodies on pool workers
+    // stay attributed to the request that forked them.
     std::string trace_id = TraceContext::currentId();
+    std::uint64_t flight_seq = FlightRecorder::currentSeq();
 
     auto drive = [&]() {
         ParallelRegionGuard guard;
         std::optional<TraceContext> trace_ctx;
         if (!trace_id.empty())
             trace_ctx.emplace(trace_id);
+        std::optional<FlightScope> flight_scope;
+        if (flight_seq != 0)
+            flight_scope.emplace(flight_seq);
         while (!failed.load(std::memory_order_relaxed)) {
             std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);

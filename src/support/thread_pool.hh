@@ -48,6 +48,9 @@ class ThreadPool
 
     std::size_t size() const { return _workers.size(); }
 
+    /** Tasks enqueued and not yet picked up by a worker. */
+    std::size_t queueDepth() const;
+
     /**
      * Enqueue a task. The returned future completes when the task
      * ran; an exception thrown by the task is captured and rethrown
@@ -69,7 +72,7 @@ class ThreadPool
 
     std::vector<std::thread> _workers;
     std::deque<std::packaged_task<void()>> _queue;
-    std::mutex _mutex;
+    mutable std::mutex _mutex;
     std::condition_variable _cv;
     bool _stopping = false;
 };

@@ -1,13 +1,21 @@
 #include "trace.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 
+#include "support/flight_recorder.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace amos {
 
 namespace {
+
+/// Default per-thread span cap: ~64k spans x ~200 B is a bounded
+/// ~13 MB/thread worst case for a long-lived --trace-out server.
+constexpr std::size_t kDefaultSpanCap = 1 << 16;
 
 thread_local std::string tls_trace_id;
 
@@ -25,7 +33,12 @@ thread_local TlsBufferCache tls_buffer_cache;
 
 } // namespace
 
-Tracer::Tracer() : _epoch(Clock::now()) {}
+Tracer::Tracer()
+    : _spanCap(kDefaultSpanCap),
+      _dropCounter(
+          &MetricsRegistry::global().counter("trace.dropped_spans")),
+      _epoch(Clock::now())
+{}
 
 void
 Tracer::setEnabled(bool enabled)
@@ -58,7 +71,31 @@ Tracer::record(SpanRecord record)
     ThreadBuffer &buffer = threadBuffer();
     record.tid = buffer.tid;
     std::lock_guard<std::mutex> lock(buffer.mutex);
+    if (buffer.spans.size() >=
+        _spanCap.load(std::memory_order_relaxed)) {
+        _dropped.fetch_add(1, std::memory_order_relaxed);
+        _dropCounter->add();
+        return;
+    }
     buffer.spans.push_back(std::move(record));
+}
+
+void
+Tracer::setSpanCapPerThread(std::size_t cap)
+{
+    _spanCap.store(cap, std::memory_order_relaxed);
+}
+
+std::size_t
+Tracer::spanCapPerThread() const
+{
+    return _spanCap.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Tracer::droppedSpans() const
+{
+    return _dropped.load(std::memory_order_relaxed);
 }
 
 void
@@ -269,24 +306,60 @@ TraceContext::currentId()
 
 TraceSpan::TraceSpan(const char *name, const char *category)
     : _active(Tracer::global().enabled() || !tls_trace_id.empty()),
+      _flight(FlightRecorder::currentSeq() != 0 &&
+              FlightRecorder::global().enabled()),
       _name(name), _category(category)
 {
-    if (_active)
+    if (_flight) {
+        _flightSeq = FlightRecorder::currentSeq();
+        _flightArgs[0] = '\0';
+    }
+    if (_active || _flight)
         _start = Tracer::Clock::now();
 }
 
 void
 TraceSpan::arg(const char *key, std::string value)
 {
+    if (_flight) {
+        // Append "key=value" to the fixed inline buffer; silently
+        // truncated — flight records trade fidelity for zero
+        // allocation on the speculative path.
+        int n = std::snprintf(
+            _flightArgs + _flightArgsLen,
+            sizeof(_flightArgs) - _flightArgsLen, "%s%s=%s",
+            _flightArgsLen > 0 ? " " : "", key, value.c_str());
+        if (n > 0)
+            _flightArgsLen = std::min(
+                _flightArgsLen + static_cast<std::size_t>(n),
+                sizeof(_flightArgs) - 1);
+    }
     if (_active)
         _args.emplace_back(key, std::move(value));
 }
 
 TraceSpan::~TraceSpan()
 {
-    if (!_active)
+    if (!_active && !_flight)
         return;
     auto end = Tracer::Clock::now();
+    if (_flight) {
+        FlightRecorder &recorder = FlightRecorder::global();
+        FlightRecord record;
+        record.name = _name;
+        record.category = _category;
+        record.seq = _flightSeq;
+        record.startUs = recorder.sinceEpochUs(_start);
+        record.durUs =
+            std::chrono::duration<double, std::micro>(end - _start)
+                .count();
+        static_assert(sizeof(record.args) == sizeof(_flightArgs),
+                      "inline arg buffers must match");
+        std::memcpy(record.args, _flightArgs, sizeof(_flightArgs));
+        recorder.push(record);
+    }
+    if (!_active)
+        return;
     Tracer &tracer = Tracer::global();
     SpanRecord record;
     record.name = _name;

@@ -116,6 +116,20 @@ class Tracer
      */
     std::size_t releaseTrace(const std::string &traceId);
 
+    /**
+     * Per-thread buffer cap: once a thread holds this many spans,
+     * further records on it are dropped (counted in droppedSpans()
+     * and the global `trace.dropped_spans` metric) instead of
+     * growing without bound — a long-lived `--trace-out` server
+     * stays at bounded memory. Per-request traces are released
+     * after each response, so they never hit the cap in practice.
+     */
+    void setSpanCapPerThread(std::size_t cap);
+    std::size_t spanCapPerThread() const;
+
+    /** Spans dropped by the per-thread cap since process start. */
+    std::uint64_t droppedSpans() const;
+
     /** The process-wide tracer every TraceSpan records into. */
     static Tracer &global();
 
@@ -142,6 +156,11 @@ class Tracer
     ThreadBuffer &threadBuffer();
 
     std::atomic<bool> _enabled{false};
+    std::atomic<std::size_t> _spanCap;
+    std::atomic<std::uint64_t> _dropped{0};
+    /// Global `trace.dropped_spans` counter, resolved once in the
+    /// constructor so the drop path never takes the registry lock.
+    class MetricCounter *_dropCounter;
     Clock::time_point _epoch;
 
     mutable std::mutex _registryMutex;
@@ -196,15 +215,23 @@ class TraceSpan
         arg(key, std::to_string(value));
     }
 
-    /** True when this span will be recorded. */
-    bool active() const { return _active; }
+    /** True when this span will be recorded (tracer or flight). */
+    bool active() const { return _active || _flight; }
 
   private:
+    /// Recording into the Tracer (global tracing or TraceContext).
     bool _active;
+    /// Recording into the flight-recorder ring (a FlightScope is
+    /// installed and the recorder is enabled).
+    bool _flight;
     const char *_name;
     const char *_category;
+    std::uint64_t _flightSeq = 0;
     Tracer::Clock::time_point _start;
     std::vector<std::pair<std::string, std::string>> _args;
+    /// Inline args for the flight record ("k=v k=v", truncated).
+    char _flightArgs[56];
+    std::size_t _flightArgsLen = 0;
 };
 
 } // namespace amos

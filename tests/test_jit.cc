@@ -28,6 +28,7 @@
 #include "ops/operators.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
+#include "support/trace.hh"
 #include "tensor/jit_hook.hh"
 #include "tensor/reference.hh"
 
@@ -493,6 +494,41 @@ TEST(JitTier, EngineNamesRoundTrip)
         EXPECT_EQ(*parsed, e);
     }
     EXPECT_FALSE(parseExecEngine("turbo").has_value());
+}
+
+TEST(JitCache, PipelineStagesEmitTraceSpans)
+{
+    if (!jitCompilerUsable())
+        GTEST_SKIP() << "no jit compiler in this environment";
+    JitEngine engine(scratchOptions("spans"));
+    const std::string src = tinyKernel("spans");
+    const std::string key = engine.cachePathFor(src);
+
+    Tracer::global().clear();
+    Tracer::global().setEnabled(true);
+    std::string why;
+    ExecKernelFn fn = engine.getOrCompile(src, &why);
+    Tracer::global().setEnabled(false);
+    ASSERT_NE(fn, nullptr) << why;
+
+    auto spans = Tracer::global().collect();
+    Tracer::global().clear();
+    bool compiled = false, opened = false;
+    for (const auto &span : spans) {
+        if (span.name == "jit.compile") {
+            compiled = true;
+            // Carries the content-hash cache key for correlation
+            // with the on-disk object name.
+            ASSERT_FALSE(span.args.empty());
+            EXPECT_EQ(span.args[0].first, "key");
+            EXPECT_NE(key.find(span.args[0].second),
+                      std::string::npos);
+        }
+        if (span.name == "jit.dlopen")
+            opened = true;
+    }
+    EXPECT_TRUE(compiled);
+    EXPECT_TRUE(opened);
 }
 
 } // namespace

@@ -427,6 +427,74 @@ TEST(Prometheus, ExpositionCarriesTypedSeries)
     }
 }
 
+TEST(Prometheus, EmptyRegistryRendersNothing)
+{
+    MetricsRegistry registry;
+    EXPECT_EQ(report::prometheusExposition(registry), "");
+}
+
+TEST(Prometheus, CollidingCounterNamesMergeIntoOneFamily)
+{
+    // "a.b" and "a_b" both sanitise to amos_a_b_total; emitting the
+    // family twice would be invalid exposition, so the values sum
+    // and the HELP line names every source.
+    MetricsRegistry registry;
+    registry.counter("a.b").add(3);
+    registry.counter("a_b").add(4);
+    EXPECT_EQ(report::prometheusExposition(registry),
+              "# HELP amos_a_b_total AMOS counter a.b + a_b\n"
+              "# TYPE amos_a_b_total counter\n"
+              "amos_a_b_total 7\n");
+}
+
+TEST(Prometheus, CollidingGaugeNamesLastWins)
+{
+    // Gauges cannot be summed; the lexicographically-last dotted
+    // name deterministically wins.
+    MetricsRegistry registry;
+    registry.gauge("g.x").set(1.0);
+    registry.gauge("g_x").set(2.0);
+    EXPECT_EQ(report::prometheusExposition(registry),
+              "# HELP amos_g_x AMOS gauge g_x\n"
+              "# TYPE amos_g_x gauge\n"
+              "amos_g_x 2\n");
+}
+
+TEST(Prometheus, ZeroSampleHistogramRendersZeroSummary)
+{
+    MetricsRegistry registry;
+    LatencyHistogram idle;
+    EXPECT_EQ(
+        report::prometheusExposition(registry,
+                                     {{"idle.ms", &idle}}),
+        "# HELP amos_idle_ms AMOS latency summary idle.ms\n"
+        "# TYPE amos_idle_ms summary\n"
+        "amos_idle_ms{quantile=\"0.5\"} 0\n"
+        "amos_idle_ms{quantile=\"0.95\"} 0\n"
+        "amos_idle_ms{quantile=\"0.99\"} 0\n"
+        "amos_idle_ms_sum 0\n"
+        "amos_idle_ms_count 0\n");
+}
+
+TEST(Prometheus, WindowedHistogramRendersGaugeQuantiles)
+{
+    MetricsRegistry registry;
+    SlidingWindowHistogram window(30.0, 6);
+    EXPECT_EQ(
+        report::prometheusExposition(registry, {},
+                                     {{"w.ms", &window}}),
+        "# HELP amos_w_ms AMOS windowed latency quantiles w.ms "
+        "(last 30s)\n"
+        "# TYPE amos_w_ms gauge\n"
+        "amos_w_ms{quantile=\"0.5\"} 0\n"
+        "amos_w_ms{quantile=\"0.95\"} 0\n"
+        "amos_w_ms{quantile=\"0.99\"} 0\n"
+        "# HELP amos_w_ms_count AMOS windowed sample count w.ms "
+        "(last 30s)\n"
+        "# TYPE amos_w_ms_count gauge\n"
+        "amos_w_ms_count 0\n");
+}
+
 TEST(Prometheus, CountersAreMonotonicAcrossScrapes)
 {
     MetricsRegistry registry;

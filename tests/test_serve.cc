@@ -23,6 +23,7 @@
 #include "serve/server.hh"
 #include "serve/service.hh"
 #include "support/rng.hh"
+#include "support/trace.hh"
 
 namespace amos {
 namespace serve {
@@ -872,6 +873,232 @@ TEST(Server, ReplayTraceAnswersControlVerbs)
     EXPECT_NE(by_id["m"].get("body").asString().find(
                   "amos_serve_compiles_total"),
               std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Service, SlowRequestYieldsPostmortemWithoutTraceId)
+{
+    ServeOptions options;
+    options.workers = 1;
+    options.slowMs = 0.001; // everything is "slow"
+    CompileService service(options);
+
+    // Nobody passed a trace_id and global tracing is off: the
+    // flight recorder alone must reconstruct the request.
+    ASSERT_FALSE(Tracer::global().enabled());
+    auto outcome = service.serve(fastRequest());
+    ASSERT_TRUE(outcome.ok);
+    EXPECT_GE(outcome.queueWaitMs, 0.0);
+
+    auto stats = service.stats();
+    EXPECT_GE(stats.slowRequests, 1u);
+    EXPECT_GE(stats.slowlogRecorded, 1u);
+
+    Json slowlog = service.slowlogJson();
+    ASSERT_GE(slowlog.get("count").asInt(), 1);
+    const Json &pm = slowlog.get("postmortems").at(0);
+    EXPECT_EQ(pm.get("reason").asString(), "slow");
+    EXPECT_EQ(pm.get("served_by").asString(), "compile");
+    EXPECT_GT(pm.get("latency_ms").asNumber(), 0.0);
+    EXPECT_GE(pm.get("queue_wait_ms").asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(pm.get("slow_threshold_ms").asNumber(), 0.001);
+
+    // What the request walked into at admission.
+    const Json &admission = pm.get("admission");
+    EXPECT_TRUE(admission.has("inflight"));
+    EXPECT_TRUE(admission.has("queue_depth"));
+
+    // What the service did while it was in flight.
+    const Json &delta = pm.get("metrics_delta");
+    EXPECT_GE(delta.get("serve.compiles").asInt(), 1);
+
+    // The full span tree, straight from the flight rings: rooted at
+    // serve.compile with the exploration nested inside.
+    const Json &trace = pm.get("trace");
+    EXPECT_GT(trace.get("flight_seq").asInt(), 0);
+    const Json &spans = trace.get("spans");
+    ASSERT_GE(spans.size(), 1u);
+    EXPECT_EQ(spans.at(0).get("name").asString(), "serve.compile");
+    const Json &children = spans.at(0).get("children");
+    ASSERT_GE(children.size(), 1u);
+    bool tuned = false;
+    for (std::size_t i = 0; i < children.size(); ++i)
+        tuned |= children.at(i).get("name").asString() ==
+                 "explore.tune";
+    EXPECT_TRUE(tuned);
+}
+
+TEST(Service, ShedRequestsAreRetainedWithAdmissionState)
+{
+    ServeOptions options;
+    options.workers = 1;
+    options.maxQueue = 1;
+    CompileService service(options);
+
+    auto first = service.submit(slowRequest(0));
+    auto shed = service.submit(slowRequest(1));
+    auto shed_outcome = service.wait(shed);
+    ASSERT_FALSE(shed_outcome.ok);
+    ASSERT_EQ(shed_outcome.error, ErrorCode::QueueFull);
+
+    Json slowlog = service.slowlogJson();
+    ASSERT_GE(slowlog.get("count").asInt(), 1);
+    const Json &pm = slowlog.get("postmortems").at(0);
+    EXPECT_EQ(pm.get("reason").asString(), "shed");
+    EXPECT_EQ(pm.get("error").get("code").asString(), "queue_full");
+    // The shed request saw the saturated admission state.
+    EXPECT_GE(pm.get("admission").get("inflight").asNumber(), 1.0);
+
+    EXPECT_TRUE(service.wait(first).ok);
+}
+
+TEST(Service, SlowlogIsBoundedMostRecentFirst)
+{
+    ServeOptions options;
+    options.workers = 1;
+    options.slowMs = 0.001;
+    options.slowlogSize = 2;
+    CompileService service(options);
+
+    for (int i = 0; i < 4; ++i) {
+        auto req = fastRequest();
+        req.dims["m"] = 64 + 16 * i; // distinct: no cache hits
+        ASSERT_TRUE(service.serve(req).ok);
+    }
+    Json slowlog = service.slowlogJson();
+    EXPECT_EQ(slowlog.get("count").asInt(), 4);
+    EXPECT_EQ(slowlog.get("postmortems").size(), 2u);
+    // limit=1 trims further, keeping the most recent entry.
+    EXPECT_EQ(service.slowlogJson(1).get("postmortems").size(), 1u);
+    EXPECT_EQ(service.stats().slowlogRecorded, 4u);
+}
+
+TEST(Service, StatsCarryWindowedSloFields)
+{
+    ServeOptions options;
+    options.workers = 1;
+    options.slowMs = 1e6; // nothing is slow; window still fills
+    CompileService service(options);
+    ASSERT_TRUE(service.serve(fastRequest()).ok);
+
+    auto stats = service.stats();
+    EXPECT_GE(stats.windowCount, 1u);
+    EXPECT_GT(stats.windowP99Ms, 0.0);
+    EXPECT_DOUBLE_EQ(stats.slowThresholdMs, 1e6);
+    EXPECT_GE(stats.windowP99Ms, stats.windowP50Ms);
+    EXPECT_DOUBLE_EQ(stats.sloBurnRate, 0.0);
+
+    Json doc = stats.toJson();
+    EXPECT_TRUE(doc.has("window"));
+    EXPECT_TRUE(doc.has("slo"));
+
+    auto text = service.prometheusText();
+    EXPECT_NE(text.find("amos_serve_queue_wait_ms_count"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find("# TYPE amos_serve_latency_ms_window gauge"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(
+        text.find("amos_serve_latency_ms_window{quantile=\"0.99\"}"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("amos_serve_window_p99_ms"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("amos_serve_slo_burn_rate"),
+              std::string::npos)
+        << text;
+}
+
+TEST(Server, SlowlogVerbReturnsPostmortemsOverNdjson)
+{
+    // replayTrace serves synchronously, so the slowlog line is
+    // guaranteed to observe the finished compile (over serveStream
+    // a control verb can overtake an in-flight request).
+    auto dir = freshDiskDir("slowlogverb");
+    auto trace_path = dir + "/trace.ndjson";
+    {
+        std::ofstream trace(trace_path);
+        trace << R"({"type":"compile","op":"gemm","m":64,"n":64,)"
+              << R"("k":64,"hw":"v100","generations":2,"id":"c"})"
+              << "\n"
+              << R"({"type":"slowlog","id":"s","limit":1})" << "\n";
+    }
+
+    ServeOptions options;
+    options.workers = 1;
+    options.slowMs = 0.001;
+    CompileService service(options);
+    std::ostringstream out;
+    int failed = replayTrace(service, trace_path, out);
+    EXPECT_EQ(failed, 0);
+
+    Json reply;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        auto json = Json::parse(line);
+        if (json.has("id") && json.get("id").asString() == "s")
+            reply = json;
+    }
+    ASSERT_FALSE(reply.isNull());
+    EXPECT_TRUE(reply.get("ok").asBool());
+    const Json &slowlog = reply.get("slowlog");
+    EXPECT_GE(slowlog.get("count").asInt(), 1);
+    ASSERT_EQ(slowlog.get("postmortems").size(), 1u);
+    const Json &pm = slowlog.get("postmortems").at(0);
+    EXPECT_EQ(pm.get("reason").asString(), "slow");
+    EXPECT_TRUE(pm.get("trace").has("spans"));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Server, FlightdumpVerbWritesTheRings)
+{
+    auto dir = freshDiskDir("flightdump");
+    auto path = dir + "/flight.json";
+    auto trace_path = dir + "/trace.ndjson";
+    {
+        std::ofstream trace(trace_path);
+        trace << R"({"type":"compile","op":"gemm","m":64,"n":64,)"
+              << R"("k":64,"hw":"v100","generations":2,"id":"c"})"
+              << "\n"
+              << R"({"type":"flightdump","id":"f","path":")" << path
+              << R"("})" << "\n"
+              << R"({"type":"flightdump","id":"bad"})" << "\n";
+    }
+
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+    std::ostringstream out;
+    replayTrace(service, trace_path, out);
+
+    std::map<std::string, Json> by_id;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        auto json = Json::parse(line);
+        if (json.has("id"))
+            by_id[json.get("id").asString()] = json;
+    }
+    ASSERT_TRUE(by_id.count("f"));
+    EXPECT_TRUE(by_id["f"].get("ok").asBool());
+    const Json &dump = by_id["f"].get("flightdump");
+    EXPECT_EQ(dump.get("path").asString(), path);
+    EXPECT_GE(dump.get("records").asInt(), 1);
+
+    std::ifstream file(path);
+    std::string text((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    Json parsed = Json::parse(text);
+    EXPECT_GE(parsed.get("records").size(), 1u);
+
+    // Missing "path" is a typed protocol error, not a crash.
+    ASSERT_TRUE(by_id.count("bad"));
+    EXPECT_FALSE(by_id["bad"].get("ok").asBool());
+
     std::filesystem::remove_all(dir);
 }
 

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "support/bit_matrix.hh"
@@ -277,6 +278,101 @@ TEST(LatencyHistogram, ClampsToObservedRange)
     hist.record(3.0);
     EXPECT_DOUBLE_EQ(hist.quantileMs(0.5), 3.0);
     EXPECT_DOUBLE_EQ(hist.quantileMs(0.99), 3.0);
+}
+
+TEST(SlidingWindowHistogram, EmptyWindowReportsZeros)
+{
+    SlidingWindowHistogram hist(60.0, 12);
+    EXPECT_DOUBLE_EQ(hist.windowSeconds(), 60.0);
+    EXPECT_EQ(hist.windowCountAt(0.0), 0u);
+    EXPECT_DOUBLE_EQ(hist.windowMeanMsAt(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.windowQuantileMsAt(0.99, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.breachFractionAt(10.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.burnRateAt(10.0, 0.01, 0.0), 0.0);
+    Json json = hist.summaryJsonAt(0.0);
+    EXPECT_EQ(json.get("count").asInt(), 0);
+    EXPECT_DOUBLE_EQ(json.get("window_s").asNumber(), 60.0);
+}
+
+TEST(SlidingWindowHistogram, WindowedQuantilesBracketSamples)
+{
+    SlidingWindowHistogram hist(60.0, 12);
+    for (int i = 1; i <= 100; ++i)
+        hist.recordAt(static_cast<double>(i), 1.0); // 1..100 ms
+    EXPECT_EQ(hist.windowCountAt(1.0), 100u);
+    EXPECT_NEAR(hist.windowMeanMsAt(1.0), 50.5, 1e-9);
+    // Same log-bucket estimator (and tolerance) as LatencyHistogram.
+    EXPECT_NEAR(hist.windowQuantileMsAt(0.50, 1.0), 50.0, 15.0);
+    EXPECT_NEAR(hist.windowQuantileMsAt(0.95, 1.0), 95.0, 25.0);
+    EXPECT_LE(hist.windowQuantileMsAt(0.99, 1.0), 100.0);
+    Json json = hist.summaryJsonAt(1.0);
+    EXPECT_EQ(json.get("count").asInt(), 100);
+    EXPECT_GT(json.get("p95_ms").asNumber(),
+              json.get("p50_ms").asNumber());
+}
+
+TEST(SlidingWindowHistogram, SamplesExpireWithTheWindow)
+{
+    SlidingWindowHistogram hist(60.0, 12);
+    hist.recordAt(10.0, 0.0);
+    // Still visible just inside the window...
+    EXPECT_EQ(hist.windowCountAt(59.0), 1u);
+    // ...gone once the epoch falls out of it.
+    EXPECT_EQ(hist.windowCountAt(65.0), 0u);
+    EXPECT_DOUBLE_EQ(hist.windowQuantileMsAt(0.99, 65.0), 0.0);
+}
+
+TEST(SlidingWindowHistogram, EpochSlotsRecycleWithoutLeaking)
+{
+    SlidingWindowHistogram hist(60.0, 12);
+    hist.recordAt(5.0, 2.0);
+    // 62s maps onto the same epoch slot (12 epochs of 5s); the slot
+    // must be recycled, not merged with the stale contents.
+    hist.recordAt(7.0, 62.0);
+    EXPECT_EQ(hist.windowCountAt(62.0), 1u);
+    EXPECT_DOUBLE_EQ(hist.windowMeanMsAt(62.0), 7.0);
+}
+
+TEST(SlidingWindowHistogram, BreachFractionAndBurnRate)
+{
+    SlidingWindowHistogram hist(60.0, 12);
+    for (int i = 0; i < 90; ++i)
+        hist.recordAt(1.0, 1.0);
+    for (int i = 0; i < 10; ++i)
+        hist.recordAt(100.0, 1.0);
+    EXPECT_NEAR(hist.breachFractionAt(50.0, 1.0), 0.10, 1e-12);
+    // Burning 10% of requests against a 1% budget: burn rate 10.
+    EXPECT_NEAR(hist.burnRateAt(50.0, 0.01, 1.0), 10.0, 1e-9);
+    // Threshold above every sample: no breach.
+    EXPECT_DOUBLE_EQ(hist.breachFractionAt(1000.0, 1.0), 0.0);
+    // Non-positive budget cannot divide.
+    EXPECT_DOUBLE_EQ(hist.burnRateAt(50.0, 0.0, 1.0), 0.0);
+}
+
+TEST(SlidingWindowHistogram, ConcurrentRecordAndQueryHammer)
+{
+    SlidingWindowHistogram hist(60.0, 12);
+    const int kThreads = 16;
+    const int kSamples = 500;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&hist, t] {
+            for (int i = 0; i < kSamples; ++i) {
+                // 0..49.9s: every epoch stays inside a 60s window.
+                double at = 0.1 * static_cast<double>(i);
+                hist.recordAt(static_cast<double>(t + 1), at);
+                if (i % 64 == 0) { // readers race the writers
+                    hist.windowQuantileMsAt(0.99, at);
+                    hist.breachFractionAt(8.0, at);
+                    hist.summaryJsonAt(at);
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(hist.windowCountAt(49.9),
+              static_cast<std::uint64_t>(kThreads) * kSamples);
 }
 
 TEST(CancelToken, ExplicitCancel)

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <set>
 #include <thread>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "hw/hardware.hh"
 #include "mapping/generate.hh"
 #include "ops/operators.hh"
+#include "support/flight_recorder.hh"
 #include "support/metrics.hh"
 #include "support/thread_pool.hh"
 #include "support/trace.hh"
@@ -398,4 +401,241 @@ TEST(Metrics, InstanceRegistriesAreIndependent)
     MetricsRegistry b;
     a.counter("x").add(5);
     EXPECT_EQ(b.counter("x").value(), 0u);
+}
+
+TEST(Flight, SpansOutsideAScopeRecordNothing)
+{
+    auto &recorder = FlightRecorder::global();
+    recorder.clear();
+    ASSERT_TRUE(recorder.enabled());
+    ASSERT_EQ(FlightRecorder::currentSeq(), 0u);
+    {
+        TraceSpan span("test.unscoped", "test");
+        // Tracer off + no scope: the span is fully inert.
+        EXPECT_FALSE(span.active());
+    }
+    EXPECT_EQ(recorder.recordCount(), 0u);
+}
+
+TEST(Flight, ScopedSpansCarrySeqAndArgs)
+{
+    auto &recorder = FlightRecorder::global();
+    recorder.clear();
+    const std::uint64_t seq = recorder.beginRequest();
+    ASSERT_NE(seq, 0u);
+    {
+        FlightScope scope(seq);
+        EXPECT_EQ(FlightRecorder::currentSeq(), seq);
+        TraceSpan span("test.scoped", "test");
+        EXPECT_TRUE(span.active());
+        span.arg("key", std::string("value"));
+        span.arg("count", static_cast<std::int64_t>(7));
+    }
+    EXPECT_EQ(FlightRecorder::currentSeq(), 0u);
+
+    auto records = recorder.harvest(seq);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_STREQ(records[0].name, "test.scoped");
+    EXPECT_STREQ(records[0].category, "test");
+    EXPECT_EQ(records[0].seq, seq);
+    EXPECT_STREQ(records[0].args, "key=value count=7");
+    // A different request's harvest stays empty.
+    EXPECT_TRUE(recorder.harvest(seq + 1).empty());
+    // The tracer saw none of it (global tracing is off).
+    EXPECT_EQ(Tracer::global().spanCount(), 0u);
+}
+
+TEST(Flight, DisabledRecorderIgnoresScopedSpans)
+{
+    auto &recorder = FlightRecorder::global();
+    recorder.clear();
+    recorder.setEnabled(false);
+    const std::uint64_t seq = recorder.beginRequest();
+    {
+        FlightScope scope(seq);
+        TraceSpan span("test.dark", "test");
+        EXPECT_FALSE(span.active());
+    }
+    recorder.setEnabled(true);
+    EXPECT_TRUE(recorder.harvest(seq).empty());
+}
+
+TEST(Flight, RingOverwritesOldestWhenFull)
+{
+    auto &recorder = FlightRecorder::global();
+    recorder.clear();
+    const std::size_t prev_cap = recorder.capacityPerThread();
+    recorder.setCapacityPerThread(8);
+    const std::uint64_t before = recorder.overwrittenCount();
+    const std::uint64_t seq = recorder.beginRequest();
+
+    // Existing rings keep their size; a fresh thread registers a
+    // ring at the shrunk capacity.
+    std::thread worker([&] {
+        FlightScope scope(seq);
+        for (int i = 0; i < 20; ++i)
+            TraceSpan span("test.wrap", "test");
+    });
+    worker.join();
+    recorder.setCapacityPerThread(prev_cap);
+
+    auto records = recorder.harvest(seq);
+    EXPECT_EQ(records.size(), 8u);
+    EXPECT_EQ(recorder.overwrittenCount() - before, 12u);
+}
+
+TEST(Flight, ScopePropagatesThroughParallelFor)
+{
+    auto &recorder = FlightRecorder::global();
+    recorder.clear();
+    const std::uint64_t seq = recorder.beginRequest();
+    {
+        FlightScope scope(seq);
+        parallelFor(
+            16,
+            [](std::size_t) {
+                TraceSpan span("test.shard", "test");
+            },
+            4);
+    }
+    auto records = recorder.harvest(seq);
+    EXPECT_EQ(records.size(), 16u);
+    for (const auto &record : records)
+        EXPECT_EQ(record.seq, seq);
+}
+
+TEST(Flight, SpanTreeNestsByTimeContainment)
+{
+    auto &recorder = FlightRecorder::global();
+    recorder.clear();
+    const std::uint64_t seq = recorder.beginRequest();
+    {
+        FlightScope scope(seq);
+        TraceSpan outer("test.outer", "test");
+        {
+            TraceSpan inner("test.inner", "test");
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Json tree = recorder.spanTreeFor(seq);
+    EXPECT_EQ(tree.get("flight_seq").asInt(),
+              static_cast<std::int64_t>(seq));
+    const Json &spans = tree.get("spans");
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans.at(0).get("name").asString(), "test.outer");
+    const Json &children = spans.at(0).get("children");
+    ASSERT_EQ(children.size(), 1u);
+    EXPECT_EQ(children.at(0).get("name").asString(), "test.inner");
+    EXPECT_GE(spans.at(0).get("dur_us").asNumber(),
+              children.at(0).get("dur_us").asNumber());
+}
+
+TEST(Flight, CrashDumpIsPlainTextOverAFd)
+{
+    auto &recorder = FlightRecorder::global();
+    recorder.clear();
+    const std::uint64_t seq = recorder.beginRequest();
+    {
+        FlightScope scope(seq);
+        TraceSpan span("test.crash", "test");
+        span.arg("key", std::string("v"));
+    }
+
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    recorder.crashDump(::fileno(tmp));
+    std::fflush(tmp);
+    std::rewind(tmp);
+    std::string text;
+    char buf[256];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, tmp)) > 0)
+        text.append(buf, n);
+    std::fclose(tmp);
+
+    EXPECT_NE(text.find("=== amos flight recorder dump ==="),
+              std::string::npos);
+    EXPECT_NE(text.find("test.crash"), std::string::npos);
+    EXPECT_NE(text.find("key=v"), std::string::npos);
+    EXPECT_NE(text.find("seq="), std::string::npos);
+}
+
+TEST(Flight, DumpJsonListsEveryResidentRecord)
+{
+    auto &recorder = FlightRecorder::global();
+    recorder.clear();
+    const std::uint64_t a = recorder.beginRequest();
+    const std::uint64_t b = recorder.beginRequest();
+    {
+        FlightScope scope(a);
+        TraceSpan span("test.first", "test");
+    }
+    {
+        FlightScope scope(b);
+        TraceSpan span("test.second", "test");
+    }
+    Json dump = recorder.dumpJson();
+    const Json &records = dump.get("records");
+    ASSERT_EQ(records.size(), 2u);
+    // Sorted by start time: first request first.
+    EXPECT_EQ(records.at(0).get("name").asString(), "test.first");
+    EXPECT_EQ(records.at(1).get("name").asString(), "test.second");
+    EXPECT_EQ(records.at(0).get("seq").asInt(),
+              static_cast<std::int64_t>(a));
+    EXPECT_EQ(dump.get("overwritten").asInt(), 0);
+}
+
+TEST(Flight, ConcurrentScopesAndHarvestsSurviveHammer)
+{
+    auto &recorder = FlightRecorder::global();
+    recorder.clear();
+    const int kThreads = 16;
+    const int kSpansPerThread = 200;
+    std::vector<std::uint64_t> seqs(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        seqs[t] = recorder.beginRequest();
+        threads.emplace_back([&, t] {
+            FlightScope scope(seqs[t]);
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                TraceSpan span("test.hammer", "test");
+                if (i % 64 == 0) // concurrent readers race writers
+                    recorder.harvest(seqs[t]);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(recorder.harvest(seqs[t]).size(),
+                  static_cast<std::size_t>(kSpansPerThread));
+    recorder.clear();
+    EXPECT_EQ(recorder.recordCount(), 0u);
+}
+
+TEST(Trace, SpanCapDropsAndCountsOverflow)
+{
+    GlobalTracing guard;
+    auto &tracer = Tracer::global();
+    const std::size_t prev_cap = tracer.spanCapPerThread();
+    const std::uint64_t dropped_before = tracer.droppedSpans();
+    const std::uint64_t counter_before =
+        MetricsRegistry::global()
+            .counter("trace.dropped_spans")
+            .value();
+
+    tracer.setSpanCapPerThread(10);
+    for (int i = 0; i < 50; ++i)
+        TraceSpan span("test.capped", "test");
+    tracer.setSpanCapPerThread(prev_cap);
+
+    EXPECT_LE(tracer.spanCount(), 10u);
+    EXPECT_GE(tracer.droppedSpans() - dropped_before, 40u);
+    EXPECT_GE(MetricsRegistry::global()
+                      .counter("trace.dropped_spans")
+                      .value() -
+                  counter_before,
+              40u);
 }
