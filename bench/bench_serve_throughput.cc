@@ -17,6 +17,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -130,6 +131,71 @@ toJson(const PhaseResult &r)
     return out;
 }
 
+/** Conv configs: expensive generation-0 pools, worth warm-starting. */
+serve::CompileRequest
+convRequest(std::int64_t batch, std::int64_t cout)
+{
+    serve::CompileRequest req;
+    req.op = "conv2d";
+    req.dims = {{"batch", batch}, {"cin", 32},   {"cout", cout},
+                {"size", 14},     {"kernel", 3}};
+    req.hw = "v100";
+    req.generations = 4;
+    return req;
+}
+
+struct FamilyResult
+{
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double compilePerSec = 0.0;
+};
+
+/**
+ * The warm-start cold phase: prime a service with donor shapes,
+ * then compile held-out members of the same family — every one a
+ * cache miss — and measure the per-request compile latency. With
+ * warm-start on, the donors seed each miss's generation 0.
+ */
+FamilyResult
+runFamilyPhase(WarmStartMode mode)
+{
+    serve::ServeOptions options;
+    options.workers = 2;
+    options.warmStart = mode;
+    serve::CompileService service(options);
+
+    for (std::int64_t batch : {4, 8, 16})
+        for (std::int64_t cout : {32, 64})
+            service.serve(convRequest(batch, cout));
+
+    std::vector<double> latencies;
+    for (std::int64_t batch : {6, 12})
+        for (std::int64_t cout : {32, 48, 64}) {
+            auto t0 = Clock::now();
+            auto outcome = service.serve(convRequest(batch, cout));
+            latencies.push_back(
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - t0)
+                    .count());
+            if (!outcome.ok || outcome.servedBy != "compile")
+                std::fprintf(stderr,
+                             "family phase: unexpected %s\n",
+                             outcome.servedBy.c_str());
+        }
+
+    std::sort(latencies.begin(), latencies.end());
+    FamilyResult result;
+    result.p50Ms = latencies[latencies.size() / 2];
+    result.p99Ms = latencies.back();
+    double total_ms = 0.0;
+    for (double l : latencies)
+        total_ms += l;
+    result.compilePerSec =
+        1000.0 * static_cast<double>(latencies.size()) / total_ms;
+    return result;
+}
+
 } // namespace
 
 int
@@ -174,6 +240,20 @@ main()
     }
     std::filesystem::remove_all(dir);
 
+    // Warm-start cold-phase columns: repeat-family conv compiles
+    // (cache misses, donors present) without and with neighbor
+    // seeding.
+    auto fam_cold = runFamilyPhase(WarmStartMode::Off);
+    auto fam_warm = runFamilyPhase(WarmStartMode::Neighbors);
+    std::fprintf(stderr,
+                 "%-8s %-8s %10s %10.1f %10.3f %21.3f\n", "famcold",
+                 "1", "", fam_cold.compilePerSec, fam_cold.p50Ms,
+                 fam_cold.p99Ms);
+    std::fprintf(stderr,
+                 "%-8s %-8s %10s %10.1f %10.3f %21.3f\n", "famwarm",
+                 "1", "", fam_warm.compilePerSec, fam_warm.p50Ms,
+                 fam_warm.p99Ms);
+
     bench::BenchReport report("serve");
     report.setConfig(
         "workload",
@@ -184,6 +264,23 @@ main()
     for (const auto &r : results)
         arr.push(toJson(r));
     report.setMetric("results", std::move(arr));
+    Json family = Json::object();
+    family.set("workload",
+               Json("6 held-out conv2d configs after 6 donors"));
+    family.set("cold_p50_ms", Json(fam_cold.p50Ms));
+    family.set("cold_p99_ms", Json(fam_cold.p99Ms));
+    family.set("warm_p50_ms", Json(fam_warm.p50Ms));
+    family.set("warm_p99_ms", Json(fam_warm.p99Ms));
+    family.set("p99_improvement",
+               Json(1.0 - fam_warm.p99Ms /
+                              std::max(fam_cold.p99Ms, 1e-9)));
+    // Gated like every other throughput: compiles per second over
+    // the family's cold phase, without and with neighbor seeding.
+    family.set("family_cold_compile_eps",
+               Json(fam_cold.compilePerSec));
+    family.set("family_warmstart_compile_eps",
+               Json(fam_warm.compilePerSec));
+    report.setMetric("warmstart_family", std::move(family));
     std::printf("%s\n", report.toJson().dump().c_str());
     report.write();
 

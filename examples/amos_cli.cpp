@@ -29,6 +29,15 @@
  *   amos_cli --op gemm --m 256 --n 256 --k 256 --hw xeon \
  *            --dtype u8i8   # int8 GEMM on the VNNI intrinsic
  *   amos_cli --op conv2d --size 14 --hw mali --dtype i8
+ *   amos_cli --op gemm --m 320 --n 64 --k 64 --hw v100 \
+ *            --cache /tmp/tuning.json --warm-start neighbors
+ *   amos_cli --op gemm --m 256 --n 256 --k 256 --hw v100 \
+ *            --model-snapshot /tmp/model.json   # trained screen
+ *
+ * --warm-start off|neighbors|model|both seeds the exploration from
+ * the nearest cached winners (neighbors modes need --cache) and/or
+ * screens with a pre-trained model; --model-snapshot FILE loads the
+ * snapshot (and implies a model mode). See docs/exploration.md.
  *
  * --dtype selects the operand typing (f16 default, f32, bf16, i8,
  * u8i8); quantized typings accumulate exactly into i32 and only
@@ -156,6 +165,7 @@ requestFromArgs(const Args &args)
     // Exploration worker threads; the tuned result is identical for
     // every value (0 = one per hardware thread).
     req.numThreads = static_cast<int>(args.num("threads", 0));
+    req.warmStart = args.str("warm-start", "");
     return req;
 }
 
@@ -198,7 +208,29 @@ runCli(const Args &args)
         std::printf("target: %s\n\n", hw.name.c_str());
     }
 
-    Compiler compiler(hw, serve::tuneOptionsFromRequest(req));
+    TuneOptions tune_options = serve::tuneOptionsFromRequest(req);
+    // --model-snapshot FILE: screen with a pre-trained model from
+    // generation 0. An unloadable snapshot is a hard error here —
+    // the user asked for it by name — unlike the serve layer, which
+    // degrades to analytic screening.
+    std::string model_path = args.str("model-snapshot", "");
+    if (!model_path.empty()) {
+        auto loaded = LearnedModel::loadFile(model_path);
+        if (!loaded)
+            throw std::runtime_error(
+                "--model-snapshot: cannot load '" + model_path +
+                "' (unreadable, unparseable, or wrong schema)");
+        tune_options.warmStart.model =
+            std::make_shared<const LearnedModel>(
+                std::move(*loaded));
+        if (!warmStartUsesModel(tune_options.warmStart.mode))
+            tune_options.warmStart.mode =
+                tune_options.warmStart.mode ==
+                        WarmStartMode::Neighbors
+                    ? WarmStartMode::Both
+                    : WarmStartMode::Model;
+    }
+    Compiler compiler(hw, tune_options);
 
     if (args.flag("list-mappings")) {
         for (const auto &intr : hw.intrinsics) {

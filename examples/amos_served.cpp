@@ -36,6 +36,13 @@
  *   --flight-dump FILE   also dump the flight-recorder rings to
  *                        FILE on SIGSEGV/SIGABRT (crash postmortem;
  *                        the "flightdump" verb dumps on demand)
+ *   --warm-start MODE    default warm-start mode for requests with
+ *                        no "warm_start" field of their own:
+ *                        off|neighbors|model|both (default off)
+ *   --model-snapshot F   preload a learned-model snapshot for the
+ *                        model modes; a bad file degrades to
+ *                        analytic screening with a warning (the
+ *                        "reload_model" verb hot-swaps it later)
  */
 
 #include <fcntl.h>
@@ -164,6 +171,19 @@ main(int argc, char **argv)
         options.slowMs = std::stod(args["slow-ms"]);
     options.slowlogSize =
         static_cast<std::size_t>(num("slowlog-size", 32));
+    std::string warm = str("warm-start");
+    if (!warm.empty()) {
+        auto mode = warmStartModeFromName(warm);
+        if (!mode) {
+            std::fprintf(stderr,
+                         "unknown --warm-start mode '%s' "
+                         "(off|neighbors|model|both)\n",
+                         warm.c_str());
+            return 2;
+        }
+        options.warmStart = *mode;
+    }
+    options.modelSnapshotPath = str("model-snapshot");
 
     std::string flight_dump = str("flight-dump");
     if (!flight_dump.empty())

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * amos_train — offline trainer for learned-model snapshots.
+ *
+ * Replays a request trace (the same NDJSON format amos_served
+ * consumes) through the tuner with a measurement sample sink
+ * attached, fits the ridge-regression cost model on every
+ * (profile, measured-cycles) pair the explorations produced, and
+ * writes a JSON snapshot that amos_served can preload
+ * (--model-snapshot) or hot-swap (the "reload_model" verb) and
+ * amos_cli can use directly (--model-snapshot).
+ *
+ * Examples:
+ *   amos_train --trace requests.ndjson --out /tmp/model.json
+ *   amos_train --trace requests.ndjson --out model.json \
+ *              --generations 4 --threads 0 --limit 32
+ *
+ * Flags:
+ *   --trace FILE      request trace to learn from (required)
+ *   --out FILE        snapshot path to write (required)
+ *   --generations N   override every request's search depth
+ *   --threads N       tuner threads per request (default 0 = #cpus)
+ *   --limit N         train on at most N compile requests
+ *
+ * Prints a one-line JSON summary to stdout:
+ *   {"ok":true,"requests":12,"samples":460,"out":"...","digest":..}
+ * Exit codes: 0 success, 1 training/config error, 2 bad usage.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "amos/amos.hh"
+#include "serve/protocol.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace amos;
+
+int
+runTrain(const std::map<std::string, std::string> &args)
+{
+    auto str = [&](const std::string &key) {
+        auto it = args.find(key);
+        return it == args.end() ? std::string() : it->second;
+    };
+    auto num = [&](const std::string &key, long fallback) {
+        auto it = args.find(key);
+        return it == args.end() ? fallback : std::stol(it->second);
+    };
+
+    std::string trace_path = str("trace");
+    std::string out_path = str("out");
+    if (trace_path.empty() || out_path.empty()) {
+        std::fprintf(stderr,
+                     "usage: amos_train --trace FILE --out FILE "
+                     "[--generations N] [--threads N] [--limit N]\n");
+        return 2;
+    }
+
+    std::ifstream trace(trace_path);
+    expect(trace.good(), "amos_train: cannot read trace file ",
+           trace_path);
+
+    long generations = num("generations", 0);
+    long threads = num("threads", 0);
+    long limit = num("limit", 0);
+
+    LearnedModel model;
+    long requests = 0;
+    long skipped = 0;
+    std::string line;
+    while (std::getline(trace, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (limit > 0 && requests >= limit)
+            break;
+        serve::CompileRequest req;
+        try {
+            Json parsed = Json::parse(line);
+            expect(parsed.kind() == Json::Kind::Object,
+                   "request: expected a JSON object");
+            std::string type = parsed.has("type")
+                                   ? parsed.get("type").asString()
+                                   : "compile";
+            if (type != "compile")
+                continue; // control verbs carry no training signal
+            req = serve::CompileRequest::fromJson(parsed);
+        } catch (const std::exception &e) {
+            ++skipped;
+            warn("amos_train: skipping line (", e.what(), ")");
+            continue;
+        }
+        try {
+            auto comp = serve::computationFromRequest(req);
+            auto hw = serve::hardwareFromRequest(req);
+            TuneOptions options =
+                serve::tuneOptionsFromRequest(req);
+            if (generations > 0)
+                options.generations =
+                    static_cast<int>(generations);
+            options.numThreads = static_cast<int>(threads);
+            // The sink harvests every schedulable measurement the
+            // exploration makes — exploit-phase ones included.
+            options.sampleSink = &model;
+            tune(comp, hw, options);
+            ++requests;
+        } catch (const std::exception &e) {
+            ++skipped;
+            warn("amos_train: skipping request '", req.id, "' (",
+                 e.what(), ")");
+        }
+    }
+
+    expect(model.sampleCount() >= LearnedModel::kMinSamples,
+           "amos_train: only ", model.sampleCount(),
+           " samples collected; need >= ",
+           LearnedModel::kMinSamples,
+           " (more requests or deeper searches)");
+    model.fit();
+    model.saveFile(out_path);
+
+    Json summary = Json::object();
+    summary.set("ok", Json(true));
+    summary.set("requests", Json(static_cast<std::int64_t>(requests)));
+    summary.set("skipped", Json(static_cast<std::int64_t>(skipped)));
+    summary.set("samples", Json(static_cast<std::int64_t>(
+                               model.sampleCount())));
+    summary.set("out", Json(out_path));
+    summary.set("digest", Json(model.digest()));
+    std::printf("%s\n", summary.dump().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::map<std::string, std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--", 2) != 0) {
+            std::fprintf(stderr, "unexpected argument '%s'\n", arg);
+            return 2;
+        }
+        std::string key = arg + 2;
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+            args[key] = argv[++i];
+        else
+            args[key] = "1";
+    }
+    try {
+        return runTrain(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+}

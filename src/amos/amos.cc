@@ -138,7 +138,30 @@ Compiler::compileWithCache(const TensorComputation &comp,
         // A stale or foreign entry: fall through to a fresh tune.
     }
 
-    auto result = compile(comp);
+    // Warm start from the same cache that missed: other shapes'
+    // winners seed this exploration. The donor scan runs over a
+    // snapshot() copy, never under the cache mutex, and explicit
+    // caller-provided seeds are left alone.
+    TuneOptions options = _options;
+    if (warmStartUsesNeighbors(options.warmStart.mode) &&
+        options.warmStart.seeds.empty()) {
+        std::vector<WarmSeed> donors;
+        for (auto &[donor_key, entry] : cache.snapshot()) {
+            if (donor_key == key)
+                continue;
+            WarmSeed seed;
+            seed.sourceKey = donor_key;
+            seed.intrinsicName = entry.intrinsicName;
+            seed.mapping = entry.mapping;
+            seed.schedule = entry.schedule;
+            donors.push_back(std::move(seed));
+        }
+        options.warmStart.seeds =
+            nearestSeeds(shapeFeatureOf(comp, _hw),
+                         std::move(donors));
+    }
+
+    auto result = Compiler(_hw, options).compile(comp);
     if (result.tensorized && result.tuning.bestPlan) {
         CacheEntry entry;
         entry.intrinsicName =

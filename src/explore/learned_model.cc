@@ -1,7 +1,10 @@
 #include "learned_model.hh"
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "model/perf_model.hh"
 #include "support/logging.hh"
@@ -121,6 +124,123 @@ LearnedModel::fit(double ridge)
         ata[i][i] += ridge * static_cast<double>(_samples.size());
     _weights = solveDense(std::move(ata), std::move(atb));
     _trained = true;
+    _fittedSamples = _targets.size();
+}
+
+Json
+LearnedModel::toJson() const
+{
+    require(_trained, "LearnedModel: snapshot of untrained model");
+    Json weights = Json::array();
+    for (double w : _weights)
+        weights.push(Json(w));
+    Json out = Json::object();
+    out.set("schema", Json(std::string(kSnapshotSchema)));
+    out.set("feature_count",
+            Json(static_cast<std::int64_t>(featureCount())));
+    out.set("samples",
+            Json(static_cast<std::int64_t>(_fittedSamples)));
+    out.set("weights", std::move(weights));
+    return out;
+}
+
+std::optional<LearnedModel>
+LearnedModel::fromJson(const Json &json)
+{
+    if (json.kind() != Json::Kind::Object ||
+        !json.has("schema") || !json.has("weights") ||
+        !json.has("feature_count")) {
+        warn("LearnedModel: snapshot is not a model document");
+        return std::nullopt;
+    }
+    try {
+        if (json.get("schema").asString() != kSnapshotSchema) {
+            warn("LearnedModel: unknown snapshot schema '",
+                 json.get("schema").asString(), "'");
+            return std::nullopt;
+        }
+        auto count = json.get("feature_count").asInt();
+        if (count != static_cast<std::int64_t>(featureCount())) {
+            warn("LearnedModel: snapshot has ", count,
+                 " features, expected ", featureCount());
+            return std::nullopt;
+        }
+        const Json &weights = json.get("weights");
+        if (weights.size() != featureCount()) {
+            warn("LearnedModel: snapshot has ", weights.size(),
+                 " weights, expected ", featureCount());
+            return std::nullopt;
+        }
+        LearnedModel model;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            double w = weights.at(i).asNumber();
+            if (!std::isfinite(w)) {
+                warn("LearnedModel: non-finite snapshot weight");
+                return std::nullopt;
+            }
+            model._weights.push_back(w);
+        }
+        model._trained = true;
+        if (json.has("samples") && json.get("samples").asInt() > 0) {
+            model._fittedSamples =
+                static_cast<std::size_t>(json.get("samples").asInt());
+        }
+        return model;
+    } catch (const std::exception &e) {
+        warn("LearnedModel: corrupt snapshot (", e.what(), ")");
+        return std::nullopt;
+    }
+}
+
+void
+LearnedModel::saveFile(const std::string &path) const
+{
+    // Same write-temp-then-rename discipline as TuningCache::saveFile,
+    // so a hot-reloading server never observes a half-written model.
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        expect(out.good(), "LearnedModel: cannot write ", tmp);
+        out << toJson().dump() << "\n";
+        out.flush();
+        expect(out.good(), "LearnedModel: short write to ", tmp);
+    }
+    expect(std::rename(tmp.c_str(), path.c_str()) == 0,
+           "LearnedModel: cannot rename ", tmp, " to ", path);
+}
+
+std::optional<LearnedModel>
+LearnedModel::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.good()) {
+        warn("LearnedModel: cannot read snapshot ", path);
+        return std::nullopt;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        return fromJson(Json::parse(buffer.str()));
+    } catch (const std::exception &e) {
+        warn("LearnedModel: cannot parse snapshot ", path, " (",
+             e.what(), ")");
+        return std::nullopt;
+    }
+}
+
+std::string
+LearnedModel::digest() const
+{
+    std::string doc = toJson().dump();
+    std::uint64_t h = 1469598103934665603ull; // FNV-1a
+    for (unsigned char c : doc) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(buf);
 }
 
 double

@@ -12,10 +12,13 @@
 #define AMOS_EXPLORE_LEARNED_MODEL_HH
 
 #include <cstddef>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "hw/hardware.hh"
 #include "schedule/profile.hh"
+#include "support/json.hh"
 
 namespace amos {
 
@@ -58,11 +61,52 @@ class LearnedModel
     /** Minimum samples before fit() produces weights. */
     static constexpr std::size_t kMinSamples = 8;
 
+    /** Schema tag stamped into every snapshot document. */
+    static constexpr const char *kSnapshotSchema =
+        "amos-learned-model-v1";
+
+    /** Number of samples the current weights were fitted on. */
+    std::size_t fittedSamples() const { return _fittedSamples; }
+
+    /**
+     * Serialise the fitted weights (not the raw samples — snapshots
+     * are a screening artifact, not a training checkpoint). Requires
+     * trained().
+     */
+    Json toJson() const;
+
+    /**
+     * Deserialise a snapshot. nullopt — never a throw — on any
+     * corruption: wrong root kind, missing/mismatched schema tag,
+     * wrong feature count, wrong weight count, or non-finite
+     * weights. Callers fall back to the analytic model.
+     */
+    static std::optional<LearnedModel> fromJson(const Json &json);
+
+    /** Atomically (write-temp-then-rename) save a snapshot file. */
+    void saveFile(const std::string &path) const;
+
+    /**
+     * Load a snapshot file. nullopt (with a warning) on an
+     * unreadable, unparseable, or corrupt file — hot paths must
+     * degrade to analytic screening, never crash.
+     */
+    static std::optional<LearnedModel>
+    loadFile(const std::string &path);
+
+    /**
+     * Stable content digest of the snapshot (FNV-1a over the JSON
+     * dump, hex). Distinguishes snapshots in cache keys: two models
+     * with identical weights share a digest.
+     */
+    std::string digest() const;
+
   private:
     std::vector<std::vector<double>> _samples;
     std::vector<double> _targets; ///< log(cycles)
     std::vector<double> _weights;
     bool _trained = false;
+    std::size_t _fittedSamples = 0;
 };
 
 } // namespace amos

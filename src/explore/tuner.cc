@@ -92,11 +92,43 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
 
     const int num_threads = options.numThreads;
 
+    // Warm start (neighbor seeding): translate donor genomes onto
+    // this plan pool. Translation is serial and depends only on
+    // (seeds, plans), never on thread count; duplicates collapse so
+    // a seed never crowds out more than one random slot.
+    std::vector<Candidate> warm_genomes;
+    if (warmStartUsesNeighbors(options.warmStart.mode)) {
+        result.warmStartNeighbors =
+            static_cast<int>(options.warmStart.seeds.size());
+        std::set<std::string> seen;
+        for (const auto &seed : options.warmStart.seeds) {
+            auto slot = translateSeed(seed, plans);
+            if (!slot)
+                continue;
+            std::string sig = std::to_string(slot->first) + "/" +
+                              slot->second.toString();
+            if (!seen.insert(sig).second)
+                continue;
+            Candidate c;
+            c.mappingIndex = slot->first;
+            c.schedule = slot->second;
+            warm_genomes.push_back(std::move(c));
+            if (warm_genomes.size() >=
+                static_cast<std::size_t>(std::max(0, options.population)))
+                break;
+        }
+        result.warmStartSeeded =
+            static_cast<int>(warm_genomes.size());
+    }
+
     // --- Stage 0 (the paper's Sec. 5.3 flow): enumerate every
     // mapping, pair each with the expert schedule heuristic, and let
     // the performance model screen the whole pool; random samples
-    // add schedule diversity. The best-predicted candidates are
-    // measured and the population is trimmed by fitness.
+    // add schedule diversity. Warm seeds occupy the fixed slots just
+    // after the expert-scheduled plans — slot assignment is by index,
+    // so the pool is identical at every thread count. The best-
+    // predicted candidates are measured and the population is trimmed
+    // by fitness.
     std::size_t pool_size =
         plans.size() +
         static_cast<std::size_t>(std::max(0, options.population));
@@ -108,6 +140,8 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
             if (i < plans.size()) {
                 c.mappingIndex = i;
                 c.schedule = expertSchedule(plans[i], hw);
+            } else if (i < plans.size() + warm_genomes.size()) {
+                c = warm_genomes[i - plans.size()];
             } else {
                 Rng rng = candidateRng(options, i, 0);
                 c.mappingIndex = static_cast<std::size_t>(
@@ -127,6 +161,18 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
 
     LearnedModel learned;
 
+    // Warm start (model snapshot): a pre-trained screen replaces the
+    // analytic fallback from generation 0. The snapshot is copied
+    // once here and stays fixed for the whole run — only the online
+    // path (useLearnedModel) ever refits, so a given (seed, snapshot)
+    // pair always walks the same trajectory.
+    const bool warm_model =
+        warmStartUsesModel(options.warmStart.mode) &&
+        options.warmStart.model && options.warmStart.model->trained();
+    if (warm_model)
+        learned = *options.warmStart.model;
+    const bool screen_learned = options.useLearnedModel || warm_model;
+
     // Model screening of the whole population. lowerKernel and both
     // cost models are pure functions of (plan, schedule, hw), and
     // each body writes only its own candidate, so the fan-out is
@@ -142,7 +188,7 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
                 auto prof =
                     lowerKernel(plans[c.mappingIndex], c.schedule, hw);
                 c.modelCycles =
-                    options.useLearnedModel && learned.trained()
+                    screen_learned && learned.trained()
                         ? learned.predictCycles(prof, hw)
                         : modelCycles(prof, hw);
             },
@@ -182,6 +228,9 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
             ++result.measurements;
             if (options.useLearnedModel && sim.schedulable)
                 learned.addSample(profs[k], hw, sim.cycles);
+            if (options.sampleSink && sim.schedulable)
+                options.sampleSink->addSample(profs[k], hw,
+                                              sim.cycles);
             if (sim.schedulable) {
                 auto it = mapping_best.find(c.mappingIndex);
                 if (it == mapping_best.end() ||
@@ -204,6 +253,11 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
         }
     };
 
+    // Early-stop bookkeeping for warm-start patience: the incumbent
+    // at the last improving generation and the stall count since.
+    double patience_best = std::numeric_limits<double>::infinity();
+    int patience_stall = 0;
+
     // The oversized stage-0 pool shrinks through selection until the
     // working population size is reached.
     for (int gen = 0; gen < options.generations; ++gen) {
@@ -222,16 +276,32 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
         // paper enumerates all valid mappings and evaluates each):
         // AMOS's total budget scales with the pool size, while the
         // fixed-mapping ablations get the same *per-mapping* depth.
+        // Warm seeding replaces that full-pool sweep with the seeded
+        // genomes — the donor already told us which mappings win, so
+        // the big generation-0 measurement bill is the latency cut.
         int budget =
-            gen == 0 ? static_cast<int>(plans.size()) +
+            gen == 0 ? static_cast<int>(warm_genomes.empty()
+                                            ? plans.size()
+                                            : warm_genomes.size()) +
                            options.measureTopK
                      : options.measureTopK;
         std::vector<std::size_t> selected;
+        if (gen == 0) {
+            // Warm seeds are always measured first, in seed order:
+            // their real cycles must enter the archive even when the
+            // model screen ranks them poorly on the new shape.
+            for (std::size_t j = 0; j < warm_genomes.size(); ++j)
+                selected.push_back(plans.size() + j);
+        }
         for (auto idx : order) {
             if (static_cast<int>(selected.size()) >= budget)
                 break;
-            if (!population[idx].measured())
-                selected.push_back(idx);
+            if (population[idx].measured())
+                continue;
+            if (gen == 0 && idx >= plans.size() &&
+                idx < plans.size() + warm_genomes.size())
+                continue; // already force-selected above
+            selected.push_back(idx);
         }
         // Archive hits: candidates that carried an earlier
         // measurement into this generation, so screening them again
@@ -292,6 +362,20 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
                 meas_n ? meas_sum / static_cast<double>(meas_n)
                        : 0.0;
             result.telemetry.push_back(std::move(row));
+        }
+
+        // Warm-start patience: stop once the incumbent has not
+        // improved for `patience` consecutive generations. Driven
+        // entirely by the ordered serial incumbent, so the stopping
+        // generation is thread-count invariant.
+        if (options.warmStart.patience > 0) {
+            if (best_cycles < patience_best) {
+                patience_best = best_cycles;
+                patience_stall = 0;
+            } else if (++patience_stall >=
+                       options.warmStart.patience) {
+                break;
+            }
         }
 
         // Selection: keep the better half by (fitness, index).
@@ -369,7 +453,7 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
         c.mappingIndex = 0;
         c.schedule = defaultSchedule(plans[0]);
         auto prof = lowerKernel(plans[0], c.schedule, hw);
-        c.modelCycles = options.useLearnedModel && learned.trained()
+        c.modelCycles = screen_learned && learned.trained()
                             ? learned.predictCycles(prof, hw)
                             : modelCycles(prof, hw);
         population.push_back(std::move(c));
@@ -395,6 +479,10 @@ tuneWithPlans(const std::vector<MappingPlan> &plans,
 
         TuneOptions sub = options;
         sub.exploitSteps = 0; // recursion base case
+        // Seeds were translated for the *full* pool; inside the
+        // single-plan sub-searches they would re-translate onto the
+        // wrong indices. The model snapshot transfers unchanged.
+        sub.warmStart.seeds.clear();
         for (const auto &[cycles, idx] : ranked) {
             if (options.cancel)
                 options.cancel->checkpoint("mapping exploitation");

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "explore/warm_start.hh"
 #include "hw/hardware.hh"
 #include "mapping/generate.hh"
 #include "model/perf_model.hh"
@@ -59,6 +60,17 @@ struct TuneOptions
     /// this for per-request deadlines and abandoned explorations;
     /// not part of the tuning-cache key.
     CancelToken *cancel = nullptr;
+    /// Warm start: neighbor seeds injected into generation 0 and/or
+    /// a pre-trained model snapshot used for screening. The mode,
+    /// seed set, and snapshot all steer the search, so they join the
+    /// tuning-cache key at the serve layer (warm_start.hh).
+    WarmStartOptions warmStart{};
+    /// When set, every schedulable measurement is also fed to this
+    /// model (in ordered serial fold, so the sample set is thread-
+    /// count invariant). Pure telemetry collection for offline
+    /// training — never read during the search, so it is result-
+    /// neutral and excluded from the tuning-cache key like `cancel`.
+    LearnedModel *sampleSink = nullptr;
 };
 
 /** One predicted/measured pair from the exploration trace. */
@@ -128,6 +140,12 @@ struct TuneResult
 
     std::size_t numMappings = 0;
     int measurements = 0;
+
+    /// Neighbor seeds offered to the search (warm start).
+    int warmStartNeighbors = 0;
+    /// Seeds that survived translation onto this mapping pool and
+    /// entered generation 0.
+    int warmStartSeeded = 0;
 
     std::size_t bestMappingIndex = 0;
     Schedule bestSchedule;

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Warm-start layer for the mapping/schedule exploration: transfer
+ * tuning knowledge across structurally related shapes instead of
+ * restarting every search from scratch (the ROADMAP's warm-start
+ * item; in the spirit of ISA Mapper's mapping transfer and the
+ * learned-cost-model-driven searches of AutoTVM/TensorIR).
+ *
+ * Two mechanisms, independently switchable:
+ *
+ *  - Neighbor seeding: a shape/op feature embedding (operator
+ *    family, dtype signature, hardware, log-scaled iteration
+ *    extents) indexes previously tuned winners; the k nearest cached
+ *    (mapping, schedule) genomes are translated to the new shape —
+ *    clamped and re-validated against the new mapping pool — and
+ *    injected into the GA's generation-0 population. When no donor
+ *    is close enough the tuner falls back to plain random seeding.
+ *
+ *  - Learned-model snapshots: a pre-trained LearnedModel (JSON
+ *    snapshot, see learned_model.hh) screens candidates from
+ *    generation 0 instead of the analytic-only fallback.
+ *
+ * Determinism contract: for a fixed (seed, donor set, snapshot) the
+ * tuned result is bit-identical at every thread count — seeds occupy
+ * fixed population slots and all selection stays serial. Warm-start
+ * inputs that change the search outcome join the serve cache key
+ * (docs/exploration.md).
+ */
+
+#ifndef AMOS_EXPLORE_WARM_START_HH
+#define AMOS_EXPLORE_WARM_START_HH
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "explore/learned_model.hh"
+#include "hw/hardware.hh"
+#include "mapping/mapping.hh"
+#include "schedule/schedule.hh"
+#include "tensor/computation.hh"
+
+namespace amos {
+
+/** Which warm-start mechanisms an exploration uses. */
+enum class WarmStartMode
+{
+    Off,       ///< plain cold search (historical behaviour)
+    Neighbors, ///< seed the GA from nearby cached winners
+    Model,     ///< screen with a pre-trained model snapshot
+    Both,      ///< neighbors + model
+};
+
+/** Wire/CLI name of a mode ("off", "neighbors", "model", "both"). */
+const char *warmStartModeName(WarmStartMode mode);
+
+/** Parse a mode name; nullopt on anything unknown. */
+std::optional<WarmStartMode>
+warmStartModeFromName(const std::string &name);
+
+/** True when the mode includes neighbor seeding. */
+inline bool
+warmStartUsesNeighbors(WarmStartMode mode)
+{
+    return mode == WarmStartMode::Neighbors ||
+           mode == WarmStartMode::Both;
+}
+
+/** True when the mode includes model-snapshot screening. */
+inline bool
+warmStartUsesModel(WarmStartMode mode)
+{
+    return mode == WarmStartMode::Model ||
+           mode == WarmStartMode::Both;
+}
+
+/**
+ * Shape/op feature embedding. Categorical components (operator
+ * family, dtype signature, hardware) gate comparability — mixing
+ * them would let a gemm seed a conv2d — and the numeric component is
+ * the log1p-scaled iteration extents, so "twice as large along one
+ * dimension" is the same step everywhere in the space.
+ */
+struct ShapeFeature
+{
+    std::string family; ///< operator name ("conv2d", "gemm", ...)
+    /// Operand dtype signature; empty for the all-f16 default,
+    /// matching TuningCache::keyFor's historical-key rule.
+    std::string dtypes;
+    std::string hw;
+    std::vector<double> dims; ///< log1p of iteration extents
+
+    bool valid() const { return !family.empty(); }
+};
+
+/** Embed a computation/hardware pair. */
+ShapeFeature shapeFeatureOf(const TensorComputation &comp,
+                            const HardwareSpec &hw);
+
+/**
+ * Recover the embedding from a tuning-cache key
+ * ("hw/op_e1_e2...[/dtypes]", with or without the serve layer's
+ * trailing "/gN_sS[/w...]" search-knob segments). nullopt when the
+ * key does not parse — foreign keys degrade to "no donor", never to
+ * an error.
+ */
+std::optional<ShapeFeature>
+shapeFeatureOfKey(const std::string &key);
+
+/**
+ * Distance between two embeddings: Euclidean over the log-scaled
+ * dims when family/dtypes/hw all match (self-distance 0, symmetric,
+ * monotone in any single-dim scaling), +infinity otherwise.
+ */
+double shapeDistance(const ShapeFeature &a, const ShapeFeature &b);
+
+/**
+ * One cached winner proposed as a GA seed. Structurally a tuning-
+ * cache entry, restated here so the explore layer stays independent
+ * of the cache's serialisation types (amos_amos links amos_explore,
+ * not the other way around).
+ */
+struct WarmSeed
+{
+    /// Donor's tuning-cache key (provenance + embedding source).
+    std::string sourceKey;
+    std::string intrinsicName;
+    ComputeMapping mapping;
+    Schedule schedule;
+    /// Filled by nearestSeeds: embedding distance to the target.
+    double distance = 0.0;
+};
+
+/// Default neighbor-selection policy (docs/exploration.md).
+inline constexpr std::size_t kWarmStartMaxNeighbors = 3;
+inline constexpr double kWarmStartMaxDistance = 8.0;
+
+/// Early-stop patience the serve/CLI layers apply to warm-started
+/// searches: a well-seeded run converges in its first generations,
+/// so burning the full cold budget afterwards is pure latency. Cold
+/// searches keep patience 0 (run every generation) — the warm cache
+/// keys are already disjoint from cold ones.
+inline constexpr int kWarmStartPatience = 2;
+
+/**
+ * Rank donors by (distance to target, sourceKey) — a total order,
+ * so the selection is deterministic regardless of donor order — and
+ * keep the `maxNeighbors` nearest within `maxDistance`. Donors whose
+ * key does not parse or whose family/dtypes/hw differ (infinite
+ * distance) are dropped; an empty result means "fall back to random
+ * seeding". Never call this while holding a cache lock: distances
+ * are O(donors) of floating-point work on copied data.
+ */
+std::vector<WarmSeed>
+nearestSeeds(const ShapeFeature &target, std::vector<WarmSeed> donors,
+             std::size_t maxNeighbors = kWarmStartMaxNeighbors,
+             double maxDistance = kWarmStartMaxDistance);
+
+/**
+ * Clamp a donor schedule onto a plan's legality envelope: spatial
+ * block/warp factors snap to the nearest (log-space) legal tile
+ * candidate of the plan's own extents, reduction axes stay serial,
+ * global knobs snap to their choice sets. Deterministic; always
+ * returns a schedule sampleSchedule could have produced.
+ */
+Schedule clampSchedule(const MappingPlan &plan,
+                       const Schedule &donor);
+
+/**
+ * Translate a seed onto a mapping pool: prefer the plan with the
+ * donor's exact (intrinsic, iterator-grouping) pair, else any plan
+ * on the donor's intrinsic; nullopt when the intrinsic is absent
+ * from the pool. The schedule is clamped to the chosen plan.
+ */
+std::optional<std::pair<std::size_t, Schedule>>
+translateSeed(const WarmSeed &seed,
+              const std::vector<MappingPlan> &plans);
+
+/**
+ * Warm-start knobs carried inside TuneOptions. `seeds` must already
+ * be NN-selected (nearestSeeds); the tuner translates them onto its
+ * own plan pool and injects the survivors into generation 0.
+ */
+struct WarmStartOptions
+{
+    WarmStartMode mode = WarmStartMode::Off;
+    /// Donor genomes (neighbor modes); ignored when empty.
+    std::vector<WarmSeed> seeds;
+    /// Pre-trained snapshot (model modes); ignored when null or
+    /// untrained. Shared: many concurrent tunes may read it.
+    std::shared_ptr<const LearnedModel> model;
+    /// Early-stop patience: end the GA after this many consecutive
+    /// non-improving generations (0 = run every generation, the
+    /// historical behaviour). Joins the cache key when used.
+    int patience = 0;
+};
+
+} // namespace amos
+
+#endif // AMOS_EXPLORE_WARM_START_HH

@@ -46,6 +46,11 @@ CompileRequest::cacheKey() const
     std::ostringstream key;
     key << TuningCache::keyFor(comp, spec) << "/g" << generations
         << "_s" << seed;
+    // A warm-started exploration walks a different trajectory, so
+    // the mode is part of the artifact's identity; "off" keeps the
+    // historical key so persisted caches stay valid.
+    if (!warmStart.empty() && warmStart != "off")
+        key << "/w" << warmStart;
     return key.str();
 }
 
@@ -71,6 +76,8 @@ CompileRequest::toJson() const
         out.set("trace_id", Json(traceId));
     if (explain)
         out.set("explain", Json(true));
+    if (!warmStart.empty())
+        out.set("warm_start", Json(warmStart));
     return out;
 }
 
@@ -115,6 +122,11 @@ CompileRequest::fromJson(const Json &json)
             req.explain = value.kind() == Json::Kind::Bool
                               ? value.asBool()
                               : value.asInt() != 0;
+        } else if (key == "warm_start") {
+            req.warmStart = value.asString();
+            expect(warmStartModeFromName(req.warmStart).has_value(),
+                   "request: unknown warm_start mode '",
+                   req.warmStart, "' (off|neighbors|model|both)");
         } else {
             expect(value.kind() == Json::Kind::Number,
                    "request: unknown non-numeric field '", key, "'");
@@ -210,6 +222,14 @@ tuneOptionsFromRequest(const CompileRequest &req)
     options.generations = req.generations;
     options.seed = req.seed;
     options.numThreads = req.numThreads;
+    if (!req.warmStart.empty()) {
+        auto mode = warmStartModeFromName(req.warmStart);
+        expect(mode.has_value(), "unknown warm_start mode '",
+               req.warmStart, "' (off|neighbors|model|both)");
+        options.warmStart.mode = *mode;
+        if (options.warmStart.mode != WarmStartMode::Off)
+            options.warmStart.patience = kWarmStartPatience;
+    }
     return options;
 }
 

@@ -18,7 +18,9 @@
  * Control verbs: "stats" (counters + windowed latency), "metrics"
  * (Prometheus exposition), "healthz", "slowlog" (retained
  * slow-request postmortems, most recent first), "flightdump"
- * (write the flight-recorder rings to a file on the server).
+ * (write the flight-recorder rings to a file on the server),
+ * "reload_model" (hot-swap the learned-model snapshot used for
+ * warm-started screening; {"type":"reload_model","path":...}).
  *
  * Response (one JSON object per line, correlated by "id"):
  *
@@ -108,6 +110,12 @@ struct CompileRequest
     /// telemetry — see docs/observability.md). Pure output shaping,
     /// so it is excluded from the cache key like trace_id.
     bool explain = false;
+
+    /// Warm-start mode ("warm_start" on the wire):
+    /// off|neighbors|model|both, or empty to take the server's
+    /// default. Warm start steers the search, so a non-off mode
+    /// joins the cache key (docs/exploration.md).
+    std::string warmStart;
 
     /** Dimension value with an amos_cli-compatible default. */
     std::int64_t dim(const std::string &key,

@@ -59,7 +59,7 @@ isControlVerb(const std::string &type)
 {
     return type == "stats" || type == "metrics" ||
            type == "healthz" || type == "slowlog" ||
-           type == "flightdump";
+           type == "flightdump" || type == "reload_model";
 }
 
 /**
@@ -67,8 +67,10 @@ isControlVerb(const std::string &type)
  * and trace replay: "stats" (JSON counters), "metrics" (Prometheus
  * text exposition carried in "body"), "healthz" (liveness + drain
  * state), "slowlog" (retained postmortems, optional "limit"
- * parameter), "flightdump" (write the flight rings to "path").
- * `request` is the parsed request line, for verb parameters.
+ * parameter), "flightdump" (write the flight rings to "path"),
+ * "reload_model" (hot-swap the warm-start model snapshot from
+ * "path"). `request` is the parsed request line, for verb
+ * parameters.
  */
 Json
 controlResponse(CompileService &service, const std::string &type,
@@ -100,6 +102,15 @@ controlResponse(CompileService &service, const std::string &type,
         bool ok = result.has("ok") && result.get("ok").asBool();
         response.set("ok", Json(ok));
         response.set("flightdump", std::move(result));
+    } else if (type == "reload_model") {
+        if (!request.has("path"))
+            return protocolError(
+                id, "reload_model requires a \"path\" parameter");
+        Json result =
+            service.reloadModel(request.get("path").asString());
+        bool ok = result.has("ok") && result.get("ok").asBool();
+        response.set("ok", Json(ok));
+        response.set("reload_model", std::move(result));
     } else { // healthz
         bool draining = service.draining();
         response.set("status",

@@ -130,6 +130,13 @@ struct CompileService::Job
     TensorComputation comp;
     HardwareSpec hw;
 
+    /// Effective warm-start inputs, resolved at submit: the mode
+    /// (request field or server default) and the model snapshot
+    /// pinned for this exploration (a concurrent reload_model must
+    /// not change a job mid-flight).
+    WarmStartMode warmMode = WarmStartMode::Off;
+    std::shared_ptr<const LearnedModel> model;
+
     /// Flight-recorder sequence of the request that created the job;
     /// runJob re-installs it so the exploration's spans land in the
     /// rings under it.
@@ -168,6 +175,10 @@ CompileService::CompileService(ServeOptions options)
       _slowThresholdGauge(
           _metrics.gauge("serve.slow_threshold_ms")),
       _sloBurnGauge(_metrics.gauge("serve.slo_burn_rate")),
+      _warmSeeded(_metrics.counter("explore.warmstart_seeded")),
+      _warmNeighbors(
+          _metrics.counter("explore.warmstart_neighbors")),
+      _modelReloads(_metrics.counter("explore.model_reloads")),
       _cache(options.cache, &_metrics),
       _pool(std::make_unique<ThreadPool>(
           ThreadPool::resolveThreads(
@@ -175,6 +186,18 @@ CompileService::CompileService(ServeOptions options)
 {
     if (_options.warmOnStart && _cache.hasDisk())
         _warmedEntries.add(_cache.warm());
+    if (!_options.modelSnapshotPath.empty()) {
+        auto loaded =
+            LearnedModel::loadFile(_options.modelSnapshotPath);
+        if (loaded) {
+            _model = std::make_shared<const LearnedModel>(
+                std::move(*loaded));
+        } else {
+            warn("serve: could not load model snapshot ",
+                 _options.modelSnapshotPath,
+                 "; starting with analytic screening");
+        }
+    }
     if (_options.statsLogPeriodMs > 0)
         _statsLogger = std::thread([this] { statsLoggerLoop(); });
     // Every serve.* and cache.* counter is registered by now; the
@@ -364,12 +387,32 @@ CompileService::submit(const CompileRequest &req)
     std::optional<TensorComputation> comp;
     HardwareSpec spec;
     std::string key;
+    WarmStartMode warm_mode = _options.warmStart;
+    std::shared_ptr<const LearnedModel> model;
     try {
         comp = computationFromRequest(req);
         spec = hardwareFromRequest(req);
+        if (!req.warmStart.empty()) {
+            auto parsed = warmStartModeFromName(req.warmStart);
+            expect(parsed.has_value(),
+                   "unknown warm_start mode '", req.warmStart,
+                   "' (off|neighbors|model|both)");
+            warm_mode = *parsed;
+        }
+        if (warmStartUsesModel(warm_mode))
+            model = modelSnapshot();
         std::ostringstream k;
         k << TuningCache::keyFor(*comp, spec) << "/g"
           << req.generations << "_s" << req.seed;
+        // The effective warm-start inputs steer the search, so they
+        // join the key: the mode, and (for model modes) the snapshot
+        // content digest. Off keeps the historical key so persisted
+        // caches stay valid.
+        if (warm_mode != WarmStartMode::Off) {
+            k << "/w" << warmStartModeName(warm_mode);
+            if (model)
+                k << "-m" << model->digest().substr(0, 8);
+        }
         key = k.str();
     } catch (const std::exception &e) {
         ServeOutcome outcome;
@@ -459,6 +502,8 @@ CompileService::submit(const CompileRequest &req)
         }
         job = std::make_shared<Job>(key, req, std::move(*comp),
                                     std::move(spec));
+        job->warmMode = warm_mode;
+        job->model = std::move(model);
         job->token.setDeadline(ticket._deadline);
         job->flightSeq = ticket._flightSeq;
         job->enqueued = Clock::now();
@@ -507,9 +552,37 @@ CompileService::runJob(std::shared_ptr<Job> job)
             TuneOptions options =
                 tuneOptionsFromRequest(job->request);
             options.cancel = &job->token;
+            options.warmStart.mode = job->warmMode;
+            options.warmStart.model = job->model;
+            if (job->warmMode != WarmStartMode::Off)
+                options.warmStart.patience = kWarmStartPatience;
+            if (warmStartUsesNeighbors(job->warmMode)) {
+                // Donor scan over a snapshot copy: one lock
+                // acquisition to copy the memory tier, then all
+                // feature distances computed lock-free so the serve
+                // hot path stays uncontended.
+                auto snap = _cache.snapshotMemory();
+                std::vector<WarmSeed> donors;
+                donors.reserve(snap.size());
+                for (auto &[donor_key, entry] : snap) {
+                    WarmSeed seed;
+                    seed.sourceKey = donor_key;
+                    seed.intrinsicName = entry.intrinsicName;
+                    seed.mapping = entry.mapping;
+                    seed.schedule = entry.schedule;
+                    donors.push_back(std::move(seed));
+                }
+                options.warmStart.seeds = nearestSeeds(
+                    shapeFeatureOf(job->comp, job->hw),
+                    std::move(donors));
+            }
             Compiler compiler(job->hw, options);
             _compiles.add();
             auto result = compiler.compile(job->comp);
+            _warmNeighbors.add(static_cast<std::uint64_t>(
+                result.tuning.warmStartNeighbors));
+            _warmSeeded.add(static_cast<std::uint64_t>(
+                result.tuning.warmStartSeeded));
             if (result.tensorized && result.tuning.bestPlan) {
                 CacheEntry entry;
                 entry.intrinsicName =
@@ -721,6 +794,40 @@ CompileService::flightDump(const std::string &path) const
     out.set("path", Json(path));
     out.set("records", Json(records));
     return out;
+}
+
+Json
+CompileService::reloadModel(const std::string &path)
+{
+    Json out = Json::object();
+    out.set("path", Json(path));
+    auto loaded = LearnedModel::loadFile(path);
+    if (!loaded) {
+        out.set("ok", Json(false));
+        out.set("error",
+                Json("cannot load model snapshot from " + path +
+                     " (unreadable, unparseable, or wrong schema)"));
+        return out;
+    }
+    auto model =
+        std::make_shared<const LearnedModel>(std::move(*loaded));
+    {
+        std::lock_guard<std::mutex> lock(_modelMutex);
+        _model = model;
+    }
+    _modelReloads.add();
+    out.set("ok", Json(true));
+    out.set("digest", Json(model->digest()));
+    out.set("samples", Json(static_cast<std::int64_t>(
+                           model->fittedSamples())));
+    return out;
+}
+
+std::shared_ptr<const LearnedModel>
+CompileService::modelSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(_modelMutex);
+    return _model;
 }
 
 bool

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "amos/amos.hh"
+#include "explore/warm_start.hh"
 #include "serve/protocol.hh"
 #include "serve/tiered_cache.hh"
 #include "support/cancellation.hh"
@@ -79,6 +80,13 @@ struct ServeOptions
     /// SLO error budget: tolerated fraction of windowed requests
     /// slower than the slow threshold. Burn rate = fraction/budget.
     double sloErrorBudget = 0.01;
+    /// Default warm-start mode for requests that do not carry a
+    /// "warm_start" field of their own.
+    WarmStartMode warmStart = WarmStartMode::Off;
+    /// Learned-model snapshot preloaded at construction (empty =
+    /// none). A bad file degrades to analytic screening with a
+    /// warning; reload_model can hot-swap it later.
+    std::string modelSnapshotPath;
 };
 
 /** Monotonic counters + latency summary, readable at any time. */
@@ -209,6 +217,18 @@ class CompileService
      */
     Json flightDump(const std::string &path) const;
 
+    /**
+     * Hot-swap the learned-model snapshot (the `reload_model` verb).
+     * In-flight explorations keep the snapshot they started with;
+     * fresh requests pick up the new one. A bad file is a structured
+     * error ({"ok":false,"error":...}) and leaves the current
+     * snapshot untouched — never a crash.
+     */
+    Json reloadModel(const std::string &path);
+
+    /** The current snapshot (null when none is loaded). */
+    std::shared_ptr<const LearnedModel> modelSnapshot() const;
+
     /** True once drain() was called (the `healthz` verb's state). */
     bool draining() const;
 
@@ -265,6 +285,15 @@ class CompileService
     MetricGauge &_windowP99Gauge;
     MetricGauge &_slowThresholdGauge;
     MetricGauge &_sloBurnGauge;
+    MetricCounter &_warmSeeded;
+    MetricCounter &_warmNeighbors;
+    MetricCounter &_modelReloads;
+
+    /// Swapped atomically under _modelMutex by reloadModel; readers
+    /// take a shared_ptr copy, so a reload never invalidates an
+    /// in-flight exploration's snapshot.
+    mutable std::mutex _modelMutex;
+    std::shared_ptr<const LearnedModel> _model;
 
     TieredCache _cache;
     std::unique_ptr<ThreadPool> _pool;

@@ -129,6 +129,13 @@ TieredCache::warm()
     return loaded;
 }
 
+std::vector<std::pair<std::string, CacheEntry>>
+TieredCache::snapshotMemory() const
+{
+    std::lock_guard<std::mutex> lock(_memMutex);
+    return _memory.items();
+}
+
 std::size_t
 TieredCache::diskSize() const
 {

@@ -89,6 +89,15 @@ class TieredCache
     /** Total entries across all disk shards (0 without a disk). */
     std::size_t diskSize() const;
 
+    /**
+     * Copy of the memory tier's (key, entry) pairs, taken under one
+     * lock acquisition. Warm-start donor scans run over this copy —
+     * never compute feature distances while holding the cache mutex
+     * (it sits on the serve hot path).
+     */
+    std::vector<std::pair<std::string, CacheEntry>>
+    snapshotMemory() const;
+
   private:
     std::size_t shardOf(const std::string &key) const;
     std::string shardPath(std::size_t shard) const;

@@ -15,6 +15,7 @@
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace amos {
 
@@ -68,6 +69,16 @@ class LruMap
         _index.erase(evicted);
         _order.pop_back();
         return evicted;
+    }
+
+    /**
+     * Copy of every (key, value) pair, most recent first. Recency is
+     * untouched — a bulk read must not reorder the eviction queue.
+     */
+    std::vector<std::pair<Key, Value>>
+    items() const
+    {
+        return {_order.begin(), _order.end()};
     }
 
     void

@@ -7,7 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "explore/learned_model.hh"
 #include "explore/stats.hh"
@@ -149,6 +154,127 @@ TEST(LearnedModel, InvalidProfilePredictsInfinity)
     auto prof = lowerKernel(plan, defaultSchedule(plan), hw);
     LearnedModel model;
     EXPECT_TRUE(std::isinf(model.predictCycles(prof, hw)));
+}
+
+LearnedModel
+trainedModel(int samples, std::uint64_t seed)
+{
+    auto archive = sampleArchive(samples, seed);
+    auto hw = hw::v100();
+    LearnedModel model;
+    for (std::size_t i = 0; i < archive.profiles.size(); ++i)
+        model.addSample(archive.profiles[i], hw, archive.cycles[i]);
+    model.fit();
+    return model;
+}
+
+TEST(Snapshot, JsonRoundTripPreservesPredictions)
+{
+    auto model = trainedModel(60, 21);
+    ASSERT_TRUE(model.trained());
+    auto restored = LearnedModel::fromJson(
+        Json::parse(model.toJson().dump()));
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_TRUE(restored->trained());
+    EXPECT_EQ(restored->fittedSamples(), model.fittedSamples());
+    EXPECT_EQ(restored->digest(), model.digest());
+
+    // Bit-exact predictions: weights dump with enough precision to
+    // survive the round trip, so warm-started searches behave the
+    // same whether the model came from memory or from disk.
+    auto probe = sampleArchive(10, 77);
+    auto hw = hw::v100();
+    for (std::size_t i = 0; i < probe.profiles.size(); ++i)
+        EXPECT_DOUBLE_EQ(
+            restored->predictCycles(probe.profiles[i], hw),
+            model.predictCycles(probe.profiles[i], hw));
+}
+
+TEST(Snapshot, SaveAndLoadFileRoundTrip)
+{
+    auto model = trainedModel(60, 22);
+    auto path = (std::filesystem::temp_directory_path() /
+                 ("amos_model_" + std::to_string(::getpid()) +
+                  ".json"))
+                    .string();
+    model.saveFile(path);
+    auto loaded = LearnedModel::loadFile(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->digest(), model.digest());
+}
+
+TEST(Snapshot, UntrainedModelRefusesToSerialise)
+{
+    LearnedModel model;
+    EXPECT_THROW(model.toJson(), std::exception);
+}
+
+TEST(Snapshot, CorruptInputsLoadAsNulloptNeverCrash)
+{
+    auto good = trainedModel(60, 23).toJson();
+
+    auto corrupt = [&](auto mutate) {
+        Json doc = Json::parse(good.dump());
+        mutate(doc);
+        return LearnedModel::fromJson(doc);
+    };
+
+    // Wrong or missing schema tag.
+    EXPECT_FALSE(corrupt([](Json &d) {
+                     d.set("schema", Json("amos-learned-model-v9"));
+                 }).has_value());
+    // Feature-count mismatch (a snapshot from a different build).
+    EXPECT_FALSE(corrupt([](Json &d) {
+                     d.set("feature_count", Json(std::int64_t(3)));
+                 }).has_value());
+    // Truncated weight vector.
+    EXPECT_FALSE(corrupt([](Json &d) {
+                     Json w = Json::array();
+                     w.push(Json(1.0));
+                     d.set("weights", w);
+                 }).has_value());
+    // Non-numeric weight.
+    EXPECT_FALSE(corrupt([](Json &d) {
+                     Json w = Json::array();
+                     for (std::size_t i = 0;
+                          i < LearnedModel::featureCount(); ++i)
+                         w.push(Json("nan"));
+                     d.set("weights", w);
+                 }).has_value());
+    // Entirely the wrong document shape.
+    EXPECT_FALSE(
+        LearnedModel::fromJson(Json(std::int64_t(7))).has_value());
+    EXPECT_FALSE(LearnedModel::fromJson(Json::object()).has_value());
+
+    // The intact document still loads.
+    EXPECT_TRUE(LearnedModel::fromJson(good).has_value());
+}
+
+TEST(Snapshot, UnreadableOrUnparseableFilesLoadAsNullopt)
+{
+    EXPECT_FALSE(LearnedModel::loadFile("/nonexistent/model.json")
+                     .has_value());
+
+    auto path = (std::filesystem::temp_directory_path() /
+                 ("amos_model_garbage_" +
+                  std::to_string(::getpid()) + ".json"))
+                    .string();
+    {
+        std::ofstream out(path);
+        out << "{ this is not json";
+    }
+    EXPECT_FALSE(LearnedModel::loadFile(path).has_value());
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, DigestSeparatesDifferentFits)
+{
+    auto a = trainedModel(60, 31);
+    auto b = trainedModel(60, 32);
+    EXPECT_EQ(a.digest().size(), 16u);
+    EXPECT_EQ(a.digest(), trainedModel(60, 31).digest());
+    EXPECT_NE(a.digest(), b.digest());
 }
 
 TEST(LearnedModel, TunerIntegrationFindsComparableResults)

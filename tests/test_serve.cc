@@ -20,6 +20,9 @@
 #include <thread>
 #include <vector>
 
+#include "explore/tuner.hh"
+#include "explore/warm_start.hh"
+#include "ops/operators.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
 #include "support/rng.hh"
@@ -1099,6 +1102,217 @@ TEST(Server, FlightdumpVerbWritesTheRings)
     ASSERT_TRUE(by_id.count("bad"));
     EXPECT_FALSE(by_id["bad"].get("ok").asBool());
 
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Protocol, WarmStartRoundTripsAndJoinsTheCacheKey)
+{
+    auto plain = fastRequest();
+    auto warm = fastRequest();
+    warm.warmStart = "neighbors";
+
+    // Warm-started searches explore a different candidate sequence,
+    // so they must not collide with cold entries...
+    EXPECT_NE(warm.cacheKey(), plain.cacheKey());
+    auto both = fastRequest();
+    both.warmStart = "both";
+    EXPECT_NE(both.cacheKey(), warm.cacheKey());
+
+    // ...but an explicit "off" IS the cold search: historical keys
+    // (and persisted caches) stay valid.
+    auto off = fastRequest();
+    off.warmStart = "off";
+    EXPECT_EQ(off.cacheKey(), plain.cacheKey());
+
+    auto json = warm.toJson();
+    EXPECT_EQ(json.get("warm_start").asString(), "neighbors");
+    auto round = CompileRequest::fromJson(Json::parse(json.dump()));
+    EXPECT_EQ(round.warmStart, "neighbors");
+    EXPECT_EQ(round.cacheKey(), warm.cacheKey());
+
+    // Absent by default, so old clients see unchanged wire output.
+    EXPECT_FALSE(fastRequest().toJson().has("warm_start"));
+}
+
+TEST(Protocol, RejectsUnknownWarmStartModes)
+{
+    auto json = fastRequest().toJson();
+    json.set("warm_start", Json("banana"));
+    EXPECT_THROW(CompileRequest::fromJson(json), std::exception);
+}
+
+TEST(Service, WarmStartSeedsFromTheMemoryTierAndExportsMetrics)
+{
+    ServeOptions options;
+    options.workers = 1;
+    options.warmStart = WarmStartMode::Neighbors;
+    CompileService service(options);
+
+    // First shape: empty cache, nothing to seed from.
+    auto cold = service.serve(fastRequest());
+    ASSERT_TRUE(cold.ok);
+
+    // Same family, new dims: the cached winner becomes a donor.
+    auto req = fastRequest();
+    req.dims = {{"m", 96}, {"n", 64}, {"k", 64}};
+    auto warm = service.serve(req);
+    ASSERT_TRUE(warm.ok);
+    EXPECT_EQ(warm.servedBy, "compile");
+
+    auto stats = service.stats();
+    EXPECT_GE(stats.metrics.at("explore.warmstart_neighbors"), 1u);
+    EXPECT_GE(stats.metrics.at("explore.warmstart_seeded"), 1u);
+    EXPECT_EQ(stats.metrics.at("explore.model_reloads"), 0u);
+
+    auto body = service.prometheusText();
+    EXPECT_NE(
+        body.find("amos_explore_warmstart_seeded_total"),
+        std::string::npos)
+        << body;
+    EXPECT_NE(
+        body.find("amos_explore_warmstart_neighbors_total"),
+        std::string::npos)
+        << body;
+}
+
+TEST(Service, WarmStartModeSeparatesCacheEntries)
+{
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+
+    auto cold = service.serve(fastRequest());
+    ASSERT_TRUE(cold.ok);
+    EXPECT_EQ(cold.servedBy, "compile");
+
+    // The same shape with per-request warm-start lands on its own
+    // entry (first time a compile, then a memory hit).
+    auto req = fastRequest();
+    req.warmStart = "neighbors";
+    auto warm = service.serve(req);
+    ASSERT_TRUE(warm.ok);
+    EXPECT_EQ(warm.servedBy, "compile");
+    auto again = service.serve(req);
+    ASSERT_TRUE(again.ok);
+    EXPECT_EQ(again.servedBy, "memory");
+
+    // An invalid per-request mode is a typed error, not a crash.
+    auto bad = fastRequest();
+    bad.warmStart = "banana";
+    auto outcome = service.serve(bad);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.error, ErrorCode::BadRequest);
+}
+
+/** Train a small snapshot off one exploration's measurements. */
+std::string
+writeSnapshot(const std::string &dir)
+{
+    LearnedModel model;
+    TuneOptions options;
+    options.generations = 3;
+    options.numThreads = 1;
+    options.sampleSink = &model;
+    tune(ops::makeGemm(64, 64, 64), hw::v100(), options);
+    model.fit();
+    EXPECT_TRUE(model.trained());
+    auto path = dir + "/model.json";
+    model.saveFile(path);
+    return path;
+}
+
+TEST(Server, ReloadModelVerbHotSwapsSnapshots)
+{
+    auto dir = freshDiskDir("reload_model");
+    auto snapshot = writeSnapshot(dir);
+
+    ServeOptions options;
+    options.workers = 1;
+    CompileService service(options);
+    EXPECT_EQ(service.modelSnapshot(), nullptr);
+
+    std::istringstream in(
+        R"({"type":"reload_model","id":"r1","path":")" + snapshot +
+        R"("})"
+        "\n"
+        R"({"type":"compile","id":"c1","op":"gemm","m":96,"n":64,)"
+        R"("k":64,"hw":"v100","generations":2,)"
+        R"("warm_start":"model"})"
+        "\n"
+        R"({"type":"reload_model","id":"r2","path":"/no/such"})"
+        "\n"
+        R"({"type":"reload_model","id":"r3"})"
+        "\n");
+    std::ostringstream out;
+    serveStream(service, in, out);
+
+    std::map<std::string, Json> by_id;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        auto json = Json::parse(line);
+        if (json.has("id"))
+            by_id[json.get("id").asString()] = json;
+    }
+
+    // Successful reload: structured receipt with the digest.
+    ASSERT_TRUE(by_id.count("r1"));
+    EXPECT_TRUE(by_id["r1"].get("ok").asBool());
+    const Json &receipt = by_id["r1"].get("reload_model");
+    EXPECT_EQ(receipt.get("path").asString(), snapshot);
+    EXPECT_EQ(receipt.get("digest").asString().size(), 16u);
+    EXPECT_GT(receipt.get("samples").asInt(), 0);
+
+    // The swapped model served the model-mode compile.
+    ASSERT_TRUE(by_id.count("c1"));
+    EXPECT_TRUE(by_id["c1"].get("ok").asBool());
+    ASSERT_NE(service.modelSnapshot(), nullptr);
+    EXPECT_TRUE(service.modelSnapshot()->trained());
+
+    // A bad file is a structured error — and the previous snapshot
+    // stays in service.
+    ASSERT_TRUE(by_id.count("r2"));
+    EXPECT_FALSE(by_id["r2"].get("ok").asBool());
+    EXPECT_FALSE(by_id["r2"]
+                     .get("reload_model")
+                     .get("error")
+                     .asString()
+                     .empty());
+    EXPECT_NE(service.modelSnapshot(), nullptr);
+
+    // Missing "path" is a typed protocol error.
+    ASSERT_TRUE(by_id.count("r3"));
+    EXPECT_FALSE(by_id["r3"].get("ok").asBool());
+
+    auto stats = service.stats();
+    EXPECT_EQ(stats.metrics.at("explore.model_reloads"), 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Service, PreloadsModelSnapshotOnStart)
+{
+    auto dir = freshDiskDir("preload_model");
+    auto snapshot = writeSnapshot(dir);
+
+    ServeOptions options;
+    options.workers = 1;
+    options.warmStart = WarmStartMode::Model;
+    options.modelSnapshotPath = snapshot;
+    CompileService service(options);
+    ASSERT_NE(service.modelSnapshot(), nullptr);
+    EXPECT_TRUE(service.modelSnapshot()->trained());
+
+    auto outcome = service.serve(fastRequest());
+    EXPECT_TRUE(outcome.ok);
+
+    // A missing file degrades to analytic screening, not a crash.
+    ServeOptions degraded;
+    degraded.workers = 1;
+    degraded.warmStart = WarmStartMode::Model;
+    degraded.modelSnapshotPath = dir + "/absent.json";
+    CompileService fallback(degraded);
+    EXPECT_EQ(fallback.modelSnapshot(), nullptr);
+    EXPECT_TRUE(fallback.serve(fastRequest()).ok);
     std::filesystem::remove_all(dir);
 }
 
